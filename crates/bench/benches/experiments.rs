@@ -1,0 +1,25 @@
+//! `cargo bench` entry point that regenerates every table and figure of
+//! the paper (quick scale by default; set `CRFS_EXP_FULL=1` for
+//! paper-scale images — slower but these are the EXPERIMENTS.md numbers).
+//!
+//! This is a `harness = false` bench so its output is the experiment
+//! report itself rather than statistical timings; the criterion benches
+//! (`raw_bandwidth`, `micro_core`) cover the timing side.
+
+use bench::experiments::run_all;
+
+fn main() {
+    // cargo bench passes flags like --bench; ignore them.
+    let full = std::env::var("CRFS_EXP_FULL").map(|v| v == "1").unwrap_or(false);
+    let quick = !full;
+    eprintln!(
+        "running all paper experiments ({} scale)...",
+        if quick { "quick" } else { "FULL paper" }
+    );
+    for out in run_all(quick) {
+        println!("======================================================================");
+        println!("== {} — {}", out.id, out.title);
+        println!("======================================================================");
+        println!("{}", out.text);
+    }
+}

@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of crfs-core's hot paths: the chunk
+//! planner, buffer-pool churn, and the single-writer aggregation path.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use crfs_core::backend::DiscardBackend;
+use crfs_core::chunking::{plan_write, ChunkState};
+use crfs_core::pool::BufferPool;
+use crfs_core::{Crfs, CrfsConfig};
+
+fn bench_plan_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk_planner");
+    for (label, cur, off, len) in [
+        ("append_small", Some(ChunkState { file_offset: 0, fill: 100 }), 100u64, 4096usize),
+        ("fill_and_seal", Some(ChunkState { file_offset: 0, fill: 4 << 20 }.into()).map(|c: ChunkState| ChunkState { fill: c.fill - 4096, ..c }), (4 << 20) - 4096, 8192),
+        ("span_chunks", None, 0, 16 << 20),
+        ("discontinuity", Some(ChunkState { file_offset: 0, fill: 1000 }), 9_000_000, 4096),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| plan_write(std::hint::black_box(cur), off, len, 4 << 20));
+        });
+    }
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let pool = BufferPool::new(64 << 10, 8);
+    c.bench_function("pool_acquire_release", |b| {
+        b.iter(|| {
+            let (buf, _) = pool.acquire().expect("open pool");
+            pool.release(buf);
+        });
+    });
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_path_single_writer");
+    for size in [4096usize, 64 << 10, 1 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let fs = Crfs::mount(
+                Arc::new(DiscardBackend::new()),
+                CrfsConfig::default(),
+            )
+            .expect("mount");
+            let f = fs.create("/bench").expect("create");
+            let buf = vec![0u8; size];
+            b.iter(|| f.write(&buf).expect("write"));
+            drop(f);
+            fs.unmount().ok();
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregator(c: &mut Criterion) {
+    use crfs_core::aggregator::AggregatingBackend;
+    use crfs_core::backend::{Backend, MemBackend, OpenOptions};
+
+    let mut g = c.benchmark_group("aggregator");
+    for size in [64usize << 10, 4 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(
+            BenchmarkId::new("container_append", size),
+            &size,
+            |b, &size| {
+                let inner: Arc<dyn Backend> = Arc::new(MemBackend::new());
+                let agg = AggregatingBackend::create(&inner, "/c.agg").expect("create");
+                let f = agg
+                    .open("/f", OpenOptions::create_truncate())
+                    .expect("open");
+                let buf = vec![0x5au8; size];
+                let mut off = 0u64;
+                b.iter(|| {
+                    f.write_at(off, &buf).expect("append");
+                    off += size as u64;
+                });
+            },
+        );
+    }
+    // Read remap cost through a deep extent list (1024 extents).
+    g.bench_function("index_remap_read_4k", |b| {
+        let inner: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let agg = AggregatingBackend::create(&inner, "/c.agg").expect("create");
+        let f = agg.open("/f", OpenOptions::create_truncate()).expect("open");
+        let piece = vec![7u8; 4096];
+        for i in 0..1024u64 {
+            f.write_at(i * 4096, &piece).expect("append");
+        }
+        let mut buf = vec![0u8; 4096];
+        let mut off = 0u64;
+        b.iter(|| {
+            f.read_at(off % (1024 * 4096), &mut buf).expect("read");
+            off += 4096;
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_write,
+    bench_pool,
+    bench_write_path,
+    bench_aggregator
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 5: CRFS raw aggregation bandwidth.
+//!
+//! Measures the real threaded pipeline (8 writers → Vfs 128 KiB splits →
+//! chunk coalescing → IO threads → discard), at the paper's headline
+//! configuration and the two extremes of its sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bench::real::raw_bandwidth;
+
+fn bench_raw_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_raw_bandwidth");
+    g.sample_size(10);
+    let writers = 8;
+    let per_writer = 16 << 20; // 16 MiB per writer per iteration
+    g.throughput(Throughput::Bytes((writers * per_writer) as u64));
+    for (pool, chunk, label) in [
+        (16 << 20, 4 << 20, "pool16M_chunk4M(paper default)"),
+        (16 << 20, 128 << 10, "pool16M_chunk128K"),
+        (4 << 20, 128 << 10, "pool4M_chunk128K"),
+        (64 << 20, 4 << 20, "pool64M_chunk4M"),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(pool, chunk),
+            |b, &(pool, chunk)| {
+                b.iter(|| raw_bandwidth(pool, chunk, writers, per_writer));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_raw_bandwidth);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Experiment CLI: regenerate any table/figure of the CRFS paper.
+//!
+//! ```sh
+//! exp all                # every experiment, full scale
+//! exp all --quick        # ~6x smaller images (smoke run)
+//! exp fig6               # one experiment
+//! exp fig9 --json out/   # also dump machine-readable results
+//! exp list               # available ids
+//! ```
+
+use std::io::Write as _;
+
+use bench::experiments::{run_all, run_one, ALL_IDS, EXTENSION_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("CRFS_EXP_QUICK").map(|v| v == "1").unwrap_or(false);
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let targets: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != json_dir.as_deref())
+        .collect();
+
+    let id = targets.first().map(|s| s.as_str()).unwrap_or("all");
+    if id == "list" {
+        println!("paper experiments     : {}", ALL_IDS.join(" "));
+        println!("extension experiments : {}", EXTENSION_IDS.join(" "));
+        println!("or `all` for everything");
+        return;
+    }
+
+    let outputs = if id == "all" {
+        run_all(quick)
+    } else {
+        match run_one(id, quick) {
+            Some(o) => vec![o],
+            None => {
+                eprintln!("unknown experiment {id:?}; try `exp list`");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    for out in &outputs {
+        println!("======================================================================");
+        println!("== {} — {}", out.id, out.title);
+        println!("======================================================================");
+        println!("{}", out.text);
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = std::path::Path::new(dir).join(format!("{}.json", out.id));
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            f.write_all(
+                serde_json::to_string_pretty(&out.json)
+                    .expect("serialize")
+                    .as_bytes(),
+            )
+            .expect("write json");
+            println!("[json -> {}]", path.display());
+        }
+    }
+}

@@ -1,0 +1,794 @@
+//! Simulation-backed experiment runners, one per paper table/figure.
+
+use std::fmt::Write as _;
+
+use cluster_sim::experiment::{run_checkpoint, CheckpointResult, CheckpointSpec};
+use cluster_sim::{BackendKind, LuClass, MpiStack};
+use crfs_trace::render::Table;
+use serde_json::{json, Value};
+
+use crate::paper;
+use crate::real;
+
+/// Output of one experiment: rendered text plus machine-readable data.
+pub struct ExpOutput {
+    /// Experiment id (`table1`, `fig6`, ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Rendered report (tables/charts + paper comparison).
+    pub text: String,
+    /// Machine-readable results.
+    pub json: Value,
+}
+
+/// The paper's tables and figures, in paper order.
+pub const ALL_IDS: [&str; 10] = [
+    "table1", "fig3", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+];
+
+/// Extension experiments beyond the paper's figures: ablations of design
+/// choices the paper fixes by fiat, the §V-F restart measurement it
+/// reports only qualitatively, the §VII future-work container mode, and
+/// the PVFS2 backend it mentions but never measures.
+pub const EXTENSION_IDS: [&str; 5] = ["iothreads", "chunksweep", "restart", "container", "pvfs"];
+
+/// Runs one experiment by id. `quick` scales data sizes down for smoke
+/// runs. Returns `None` for unknown ids.
+pub fn run_one(id: &str, quick: bool) -> Option<ExpOutput> {
+    Some(match id {
+        "table1" => table1(quick),
+        "fig3" => fig3(quick),
+        "fig5" => fig5(quick),
+        "table2" => table2(),
+        "fig6" => checkpoint_grid("fig6", MpiStack::Mvapich2, quick),
+        "fig7" => checkpoint_grid("fig7", MpiStack::Mpich2, quick),
+        "fig8" => checkpoint_grid("fig8", MpiStack::OpenMpi, quick),
+        "fig9" => fig9(quick),
+        "fig10" => fig10(quick),
+        "fig11" => fig11(quick),
+        "iothreads" => iothreads(quick),
+        "chunksweep" => chunksweep(quick),
+        "container" => container(quick),
+        "pvfs" => pvfs(quick),
+        "restart" => restart(quick),
+        _ => return None,
+    })
+}
+
+/// Runs every paper experiment followed by every extension experiment.
+pub fn run_all(quick: bool) -> Vec<ExpOutput> {
+    ALL_IDS
+        .iter()
+        .chain(EXTENSION_IDS.iter())
+        .map(|id| run_one(id, quick).expect("known id"))
+        .collect()
+}
+
+fn scale_of(quick: bool) -> f64 {
+    if quick {
+        0.15
+    } else {
+        1.0
+    }
+}
+
+/// The LU.C.64 profiling setup of §III: 64 procs on 8 nodes, ext3.
+fn profiling_spec(quick: bool, use_crfs: bool) -> CheckpointSpec {
+    let mut s = CheckpointSpec::new(
+        MpiStack::Mvapich2,
+        LuClass::C,
+        BackendKind::Ext3,
+        use_crfs,
+    );
+    s.nodes = 8;
+    s.procs_per_node = 8;
+    s.scale = scale_of(quick);
+    s.record_curves = true;
+    s.record_profile = true;
+    s.trace_disk = true;
+    s.seed = 7;
+    s
+}
+
+// ---------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------
+
+fn table1(quick: bool) -> ExpOutput {
+    let r = run_checkpoint(&profiling_spec(quick, false));
+    let profile = r.profile.as_ref().expect("profile recorded").profile();
+
+    let mut t = Table::new(&[
+        "Write Size",
+        "% Writes (paper)",
+        "% Writes (sim)",
+        "% Data (paper)",
+        "% Data (sim)",
+        "% Time (paper)",
+        "% Time (sim)",
+    ]);
+    for (band, pw, pd, pt) in paper::TABLE1 {
+        let row = profile.band(band).expect("band exists");
+        t.row(&[
+            band.to_string(),
+            format!("{pw:.2}"),
+            format!("{:.2}", row.pct_writes),
+            format!("{pd:.2}"),
+            format!("{:.2}", row.pct_data),
+            format!("{pt:.2}"),
+            format!("{:.2}", row.pct_time),
+        ]);
+    }
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Checkpoint writing profile, LU.C.64 -> native ext3 (paper Table I)\n"
+    );
+    let _ = writeln!(text, "{t}");
+    let medium = profile.band("4K-16K").expect("band");
+    let _ = writeln!(
+        text,
+        "medium (4K-16K) writes: {:.1}% of writes, {:.1}% of data, {:.1}% of time \
+         (paper: 36.5%, 11.4%, 44.7%)",
+        medium.pct_writes, medium.pct_data, medium.pct_time
+    );
+    let json = json!({
+        "rows": profile.rows.iter().map(|r| json!({
+            "band": r.band, "pct_writes": r.pct_writes,
+            "pct_data": r.pct_data, "pct_time": r.pct_time,
+        })).collect::<Vec<_>>(),
+    });
+    ExpOutput {
+        id: "table1",
+        title: "Table I: checkpoint write profile (LU.C.64, ext3)".into(),
+        text,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 3 & 11: cumulative write time per process
+// ---------------------------------------------------------------------
+
+fn fig3(quick: bool) -> ExpOutput {
+    let r = run_checkpoint(&profiling_spec(quick, false));
+    let spread = &r.spread;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Cumulative write time per process, LU.C.64 -> native ext3 (paper Fig. 3)\n"
+    );
+    let _ = writeln!(text, "per-process completion: {spread}");
+    let _ = writeln!(
+        text,
+        "paper: completion times range {:.0}-{:.0}s — the slowest process gates the checkpoint",
+        paper::FIG3_SPREAD_RANGE_S.0,
+        paper::FIG3_SPREAD_RANGE_S.1
+    );
+    let _ = writeln!(
+        text,
+        "\nslowest/fastest ratio: sim {:.2}x (paper ~2x)",
+        spread.max / spread.min.max(1e-9)
+    );
+    let json = json!({
+        "per_process_seconds": r.per_process,
+        "min": spread.min, "max": spread.max,
+        "mean": spread.mean, "stddev": spread.stddev,
+    });
+    ExpOutput {
+        id: "fig3",
+        title: "Fig. 3: per-process cumulative write time (native ext3)".into(),
+        text,
+        json,
+    }
+}
+
+fn fig11(quick: bool) -> ExpOutput {
+    let native = run_checkpoint(&profiling_spec(quick, false));
+    let crfs = run_checkpoint(&profiling_spec(quick, true));
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Completion-time variance, LU.C.64 on ext3: native vs CRFS (paper Fig. 11)\n"
+    );
+    let _ = writeln!(text, "native : {}", native.spread);
+    let _ = writeln!(text, "CRFS   : {}", crfs.spread);
+    let shrink = native.spread.spread() / crfs.spread.spread().max(1e-9);
+    let _ = writeln!(
+        text,
+        "\nspread (max-min) shrinks {shrink:.1}x under CRFS; the paper shows all \
+         processes converging to nearly identical completion times"
+    );
+    let json = json!({
+        "native": { "min": native.spread.min, "max": native.spread.max,
+                     "stddev": native.spread.stddev },
+        "crfs":   { "min": crfs.spread.min, "max": crfs.spread.max,
+                     "stddev": crfs.spread.stddev },
+        "spread_shrink_factor": shrink,
+    });
+    ExpOutput {
+        id: "fig11",
+        title: "Fig. 11: completion-time variance collapse under CRFS".into(),
+        text,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: raw aggregation bandwidth (real hardware)
+// ---------------------------------------------------------------------
+
+fn fig5(quick: bool) -> ExpOutput {
+    let grid = real::fig5_grid(quick);
+    let mut pools: Vec<usize> = grid.iter().map(|p| p.pool).collect();
+    pools.sort_unstable();
+    pools.dedup();
+    let mut chunks: Vec<usize> = grid.iter().map(|p| p.chunk).collect();
+    chunks.sort_unstable();
+    chunks.dedup();
+
+    let mut headers: Vec<String> = vec!["Chunk \\ Pool".to_string()];
+    headers.extend(pools.iter().map(|p| format!("{} MiB", p >> 20)));
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr_refs);
+    for &chunk in &chunks {
+        let mut row = vec![if chunk >= 1 << 20 {
+            format!("{} MiB", chunk >> 20)
+        } else {
+            format!("{} KiB", chunk >> 10)
+        }];
+        for &pool in &pools {
+            let cell = grid
+                .iter()
+                .find(|p| p.pool == pool && p.chunk == chunk)
+                .map(|p| format!("{:.0}", p.mbs))
+                .unwrap_or_else(|| "-".to_string());
+            row.push(cell);
+        }
+        t.row(&row);
+    }
+    let min = grid.iter().map(|p| p.mbs).fold(f64::INFINITY, f64::min);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "CRFS raw write bandwidth, MiB/s — 8 real writer threads, chunks \
+         discarded by IO threads (paper Fig. 5)\n"
+    );
+    let _ = writeln!(text, "{t}");
+    let _ = writeln!(
+        text,
+        "paper floor on 2007 hardware: {} MB/s with a 16 MiB pool; slowest cell \
+         here: {min:.0} MiB/s",
+        paper::FIG5_MIN_BANDWIDTH_MBS
+    );
+    let json = json!({
+        "points": grid.iter().map(|p| json!({
+            "pool": p.pool, "chunk": p.chunk, "mibs": p.mbs
+        })).collect::<Vec<_>>(),
+    });
+    ExpOutput {
+        id: "fig5",
+        title: "Fig. 5: CRFS raw aggregation bandwidth (real, discard backend)".into(),
+        text,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table II: checkpoint sizes
+// ---------------------------------------------------------------------
+
+fn table2() -> ExpOutput {
+    let mut t = Table::new(&[
+        "Benchmark",
+        "MPI Library",
+        "Total paper (MB)",
+        "Total model (MB)",
+        "Image paper (MB)",
+        "Image model (MB)",
+    ]);
+    let mut rows_json = Vec::new();
+    for class in LuClass::ALL {
+        for stack in MpiStack::ALL {
+            let (total_paper, image_paper) = paper::table2(stack, class);
+            let image_model =
+                cluster_sim::mpi::image_bytes(stack, class, 128) as f64 / (1 << 20) as f64;
+            let total_model = image_model * 128.0;
+            t.row(&[
+                format!("{}.128", class.name()),
+                stack.name().to_string(),
+                format!("{total_paper:.1}"),
+                format!("{total_model:.1}"),
+                format!("{image_paper:.1}"),
+                format!("{image_model:.1}"),
+            ]);
+            rows_json.push(json!({
+                "class": class.name(), "stack": stack.name(),
+                "total_paper_mb": total_paper, "total_model_mb": total_model,
+                "image_paper_mb": image_paper, "image_model_mb": image_model,
+            }));
+        }
+    }
+    let text = format!(
+        "Checkpoint sizes at 128 processes (paper Table II)\n\n{t}\n\
+         model = app_state/np + transport_overhead (IB images > TCP images)\n"
+    );
+    ExpOutput {
+        id: "table2",
+        title: "Table II: checkpoint sizes per stack and class".into(),
+        text,
+        json: json!({ "rows": rows_json }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 6-8: checkpoint time grids
+// ---------------------------------------------------------------------
+
+fn grid_run(
+    stack: MpiStack,
+    backend: BackendKind,
+    class: LuClass,
+    use_crfs: bool,
+    quick: bool,
+) -> CheckpointResult {
+    let mut s = CheckpointSpec::new(stack, class, backend, use_crfs);
+    s.scale = scale_of(quick);
+    s.seed = 42;
+    run_checkpoint(&s)
+}
+
+fn checkpoint_grid(id: &'static str, stack: MpiStack, quick: bool) -> ExpOutput {
+    let mut t = Table::new(&[
+        "Backend",
+        "Class",
+        "Native paper (s)",
+        "Native sim (s)",
+        "CRFS paper (s)",
+        "CRFS sim (s)",
+        "Speedup paper",
+        "Speedup sim",
+    ]);
+    let mut rows_json = Vec::new();
+    for backend in BackendKind::ALL {
+        for class in LuClass::ALL {
+            let native = grid_run(stack, backend, class, false, quick);
+            let crfs = grid_run(stack, backend, class, true, quick);
+            let (pn, pc) = paper::checkpoint_time(stack, backend, class);
+            let fmt_opt = |v: Option<f64>| v.map_or("n/a".to_string(), |x| format!("{x:.1}"));
+            let paper_speedup = match (pn, pc) {
+                (Some(n), Some(c)) => format!("{:.1}x", n / c),
+                _ => "n/a".to_string(),
+            };
+            t.row(&[
+                backend.name().to_string(),
+                format!("{}.128", class.name()),
+                fmt_opt(pn),
+                format!("{:.1}", native.mean_time),
+                fmt_opt(pc),
+                format!("{:.1}", crfs.mean_time),
+                paper_speedup,
+                format!("{:.1}x", native.mean_time / crfs.mean_time.max(1e-9)),
+            ]);
+            rows_json.push(json!({
+                "backend": backend.name(), "class": class.name(),
+                "native_paper_s": pn, "native_sim_s": native.mean_time,
+                "crfs_paper_s": pc, "crfs_sim_s": crfs.mean_time,
+            }));
+        }
+    }
+    let scale_note = if quick {
+        "\nNOTE: --quick scales image sizes ~6x down; absolute seconds shift, shapes hold.\n"
+    } else {
+        "\n"
+    };
+    let text = format!(
+        "Checkpoint writing time, {} with 128 procs on 16 nodes (paper Fig. {})\n\n{t}{scale_note}",
+        stack.name(),
+        &id[3..],
+    );
+    ExpOutput {
+        id,
+        title: format!("Fig. {}: checkpoint time, {}", &id[3..], stack.name()),
+        text,
+        json: json!({ "stack": stack.name(), "rows": rows_json }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: multiplexing scalability
+// ---------------------------------------------------------------------
+
+fn fig9(quick: bool) -> ExpOutput {
+    let mut t = Table::new(&[
+        "Nodes x PPN",
+        "Native paper (s)",
+        "Native sim (s)",
+        "CRFS paper (s)",
+        "CRFS sim (s)",
+        "Reduction paper",
+        "Reduction sim",
+    ]);
+    let mut rows_json = Vec::new();
+    for (ppn, pn, pc, pred) in paper::FIG9 {
+        let mut sn = CheckpointSpec::new(
+            MpiStack::Mvapich2,
+            LuClass::D,
+            BackendKind::Lustre,
+            false,
+        );
+        sn.procs_per_node = ppn;
+        sn.scale = scale_of(quick);
+        sn.seed = 9;
+        let mut sc = sn.clone();
+        sc.use_crfs = true;
+        let native = run_checkpoint(&sn);
+        let crfs = run_checkpoint(&sc);
+        let red = 100.0 * (native.mean_time - crfs.mean_time) / native.mean_time.max(1e-9);
+        t.row(&[
+            format!("16 x {ppn}"),
+            format!("{pn:.1}"),
+            format!("{:.1}", native.mean_time),
+            format!("{pc:.1}"),
+            format!("{:.1}", crfs.mean_time),
+            format!("-{pred:.1}%"),
+            format!("{:+.1}%", -red),
+        ]);
+        rows_json.push(json!({
+            "ppn": ppn,
+            "native_paper_s": pn, "native_sim_s": native.mean_time,
+            "crfs_paper_s": pc, "crfs_sim_s": crfs.mean_time,
+            "reduction_paper_pct": pred, "reduction_sim_pct": red,
+        }));
+    }
+    let text = format!(
+        "CRFS scalability vs process multiplexing: LU.D on 16 nodes, Lustre, \
+         MVAPICH2 (paper Fig. 9)\n\n{t}\n\
+         shape: little benefit at 1 ppn (no node-level IO concurrency), \
+         ~30% once >= 2 ppn.\n"
+    );
+    ExpOutput {
+        id: "fig9",
+        title: "Fig. 9: multiplexing scalability (LU.D, Lustre)".into(),
+        text,
+        json: json!({ "rows": rows_json }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 10: block traces
+// ---------------------------------------------------------------------
+
+fn fig10(quick: bool) -> ExpOutput {
+    let native = run_checkpoint(&profiling_spec(quick, false));
+    let crfs = run_checkpoint(&profiling_spec(quick, true));
+    let nt = native.node0_trace.expect("trace recorded");
+    let ct = crfs.node0_trace.expect("trace recorded");
+    let ns = nt.summary();
+    let cs = ct.summary();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Block-IO trace, one node, LU.C.64 -> ext3 (paper Fig. 10)\n"
+    );
+    let _ = writeln!(text, "native ext3 : {ns}");
+    let _ = writeln!(text, "ext3 + CRFS : {cs}\n");
+    let _ = writeln!(text, "native disk-address pattern (time ->):");
+    text.push_str(&nt.scatter(72, 12));
+    let _ = writeln!(text, "\nCRFS disk-address pattern (time ->):");
+    text.push_str(&ct.scatter(72, 12));
+    let _ = writeln!(
+        text,
+        "\nseeks cut {:.1}x; sequential fraction {:.0}% -> {:.0}%",
+        ns.seeks as f64 / cs.seeks.max(1) as f64,
+        ns.sequential_fraction * 100.0,
+        cs.sequential_fraction * 100.0
+    );
+    let json = json!({
+        "native": { "requests": ns.requests, "seeks": ns.seeks,
+                     "sequential_fraction": ns.sequential_fraction },
+        "crfs":   { "requests": cs.requests, "seeks": cs.seeks,
+                     "sequential_fraction": cs.sequential_fraction },
+    });
+    ExpOutput {
+        id: "fig10",
+        title: "Fig. 10: block-IO trace, native vs CRFS".into(),
+        text,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------
+// IO-thread ablation (paper §V-B, "4 IO threads generally yield the best
+// throughput" — detailed study elided in the paper for space)
+// ---------------------------------------------------------------------
+
+fn iothreads(quick: bool) -> ExpOutput {
+    let mut t = Table::new(&["IO threads", "Mean checkpoint time (s)"]);
+    let mut rows_json = Vec::new();
+    for threads in [1usize, 2, 4, 8, 16] {
+        let mut s = CheckpointSpec::new(
+            MpiStack::Mvapich2,
+            LuClass::C,
+            BackendKind::Lustre,
+            true,
+        );
+        s.crfs_config.io_threads = threads;
+        s.scale = scale_of(quick);
+        s.seed = 17;
+        let r = run_checkpoint(&s);
+        t.row(&[threads.to_string(), format!("{:.2}", r.mean_time)]);
+        rows_json.push(json!({ "io_threads": threads, "mean_s": r.mean_time }));
+    }
+    let text = format!(
+        "IO-thread sweep, LU.C.128 over Lustre through CRFS (paper §V-B ablation)\n\n{t}\n\
+         See also `cargo run --release --example tune_io_threads` for the\n\
+         wall-clock version on the real library.\n"
+    );
+    ExpOutput {
+        id: "iothreads",
+        title: "§V-B ablation: IO-thread throttling level".into(),
+        text,
+        json: json!({ "rows": rows_json }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container-aggregation ablation (paper §VII future work, implemented:
+// crfs_core::aggregator / CrfsSim container mode)
+// ---------------------------------------------------------------------
+
+fn container(quick: bool) -> ExpOutput {
+    let mut text = String::new();
+    let mut sections = Vec::new();
+    let _ = writeln!(
+        text,
+        "Node-container aggregation ablation, LU.C.64 -> ext3 (§VII future \
+         work, implemented)\n"
+    );
+    // At the paper's 4 MiB chunks per-file CRFS already writes almost
+    // perfectly sequentially; the inter-file interleave the container
+    // removes only re-emerges at small chunk sizes. Run both regimes.
+    for chunk in [4usize << 20, 256 << 10] {
+        let mut t = Table::new(&[
+            "Mode",
+            "Mean time (s)",
+            "Spread max-min (s)",
+            "Disk seeks",
+            "Sequential fraction",
+        ]);
+        let mut rows_json = Vec::new();
+        for (label, use_crfs, container) in [
+            ("native ext3", false, false),
+            ("CRFS", true, false),
+            ("CRFS + node container", true, true),
+        ] {
+            // Image sizes stay at paper scale so the checkpoint overruns
+            // the node's background-writeback threshold and actually
+            // reaches the disk (no disk traffic ⇒ no seeks to compare);
+            // --quick shrinks the cluster instead.
+            let mut s = profiling_spec(false, use_crfs);
+            if quick {
+                s.nodes = 2;
+            }
+            s.container = container;
+            s.crfs_config = s.crfs_config.with_chunk_size(chunk);
+            s.record_curves = false;
+            s.record_profile = false;
+            let r = run_checkpoint(&s);
+            let trace = r.node0_trace.as_ref().expect("trace recorded");
+            let sum = trace.summary();
+            t.row(&[
+                label.to_string(),
+                format!("{:.2}", r.mean_time),
+                format!("{:.2}", r.spread.spread()),
+                sum.seeks.to_string(),
+                format!("{:.2}", sum.sequential_fraction),
+            ]);
+            rows_json.push(json!({
+                "chunk": chunk, "mode": label, "mean_s": r.mean_time,
+                "spread_s": r.spread.spread(),
+                "seeks": sum.seeks,
+                "sequential_fraction": sum.sequential_fraction,
+            }));
+        }
+        let _ = writeln!(
+            text,
+            "chunk size = {}:\n\n{t}",
+            if chunk >= 1 << 20 {
+                format!("{} MiB", chunk >> 20)
+            } else {
+                format!("{} KiB", chunk >> 10)
+            }
+        );
+        sections.extend(rows_json);
+    }
+    let _ = writeln!(
+        text,
+        "At 4 MiB chunks per-file CRFS already removes nearly every seek, \
+         so the container mainly narrows the completion spread and cuts \
+         backend opens to one per node. At small chunks the inter-file \
+         interleave returns for per-file CRFS — and the container erases \
+         it again by appending every chunk to one stream. Restart uses the \
+         container index or materialize() (see crfs_core::aggregator)."
+    );
+    ExpOutput {
+        id: "container",
+        title: "§VII ablation: node-level container aggregation".into(),
+        text,
+        json: json!({ "rows": sections }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chunk-size ablation (paper §V-B fixes 4 MiB by reasoning; sweep it)
+// ---------------------------------------------------------------------
+
+fn chunksweep(quick: bool) -> ExpOutput {
+    let per_writer = if quick { 4 << 20 } else { 16 << 20 };
+    let chunks: &[usize] = &[64 << 10, 256 << 10, 1 << 20, 4 << 20];
+    let points = real::chunk_sweep(chunks, 4, per_writer);
+    let mut t = Table::new(&["Chunk size", "Time (s)", "Backend writes"]);
+    let mut rows_json = Vec::new();
+    for p in &points {
+        t.row(&[
+            if p.chunk >= 1 << 20 {
+                format!("{} MiB", p.chunk >> 20)
+            } else {
+                format!("{} KiB", p.chunk >> 10)
+            },
+            format!("{:.2}", p.secs),
+            p.backend_writes.to_string(),
+        ]);
+        rows_json.push(json!({
+            "chunk": p.chunk, "secs": p.secs, "backend_writes": p.backend_writes,
+        }));
+    }
+    let text = format!(
+        "Chunk-size sweep on the REAL library: 4 writers x {} MiB of 8 KiB \
+         appends over a seek-penalized SATA device model (§V-B ablation)\n\n{t}\n\
+         Larger chunks mean fewer, larger, more sequential device writes; \
+         the curve flattens around the paper's chosen 4 MiB.\n",
+        per_writer >> 20
+    );
+    ExpOutput {
+        id: "chunksweep",
+        title: "§V-B ablation: chunk size on a seeky device (real library)".into(),
+        text,
+        json: json!({ "rows": rows_json }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Restart (paper §V-F — reported qualitatively there, measured here)
+// ---------------------------------------------------------------------
+
+fn restart(quick: bool) -> ExpOutput {
+    let (images, bytes) = if quick { (4, 4u64 << 20) } else { (8, 32 << 20) };
+    let r = real::restart_comparison(images, bytes);
+    let mut t = Table::new(&["Restart path", "Time (s)", "MB/s"]);
+    let mb = r.bytes as f64 / (1 << 20) as f64;
+    t.row(&[
+        "through CRFS mount".to_string(),
+        format!("{:.3}", r.via_crfs_s),
+        format!("{:.0}", mb / r.via_crfs_s.max(1e-9)),
+    ]);
+    t.row(&[
+        "directly from backend".to_string(),
+        format!("{:.3}", r.direct_s),
+        format!("{:.0}", mb / r.direct_s.max(1e-9)),
+    ]);
+    let text = format!(
+        "Restart timing, {} BLCR-style images ({:.0} MB total) checkpointed \
+         through CRFS, then restored (paper §V-F)\n\n{t}\n\
+         Both restores verified byte-for-byte against the original images. \
+         CRFS passes reads through and never changes the file layout, so a \
+         job can restart without CRFS mounted at all — the paper reports the \
+         same finding qualitatively and omits the numbers.\n",
+        r.images, mb
+    );
+    ExpOutput {
+        id: "restart",
+        title: "§V-F: restart through CRFS vs directly from backend".into(),
+        text,
+        json: json!({
+            "images": r.images, "bytes": r.bytes,
+            "via_crfs_s": r.via_crfs_s, "direct_s": r.direct_s,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// PVFS2 extension backend (paper §I lists PVFS2 as mountable; never
+// evaluated in the paper's figures)
+// ---------------------------------------------------------------------
+
+fn pvfs(quick: bool) -> ExpOutput {
+    let mut t = Table::new(&[
+        "Class",
+        "Native pvfs2 (s)",
+        "CRFS pvfs2 (s)",
+        "Speedup",
+        "Native lustre (s)",
+        "CRFS lustre (s)",
+        "Speedup",
+    ]);
+    let mut rows_json = Vec::new();
+    for class in LuClass::ALL {
+        let run = |backend: BackendKind, use_crfs: bool| {
+            let mut s = CheckpointSpec::new(MpiStack::Mvapich2, class, backend, use_crfs);
+            s.scale = scale_of(quick);
+            s.seed = 21;
+            run_checkpoint(&s)
+        };
+        let pn = run(BackendKind::Pvfs, false);
+        let pc = run(BackendKind::Pvfs, true);
+        let ln = run(BackendKind::Lustre, false);
+        let lc = run(BackendKind::Lustre, true);
+        t.row(&[
+            format!("{}.128", class.name()),
+            format!("{:.1}", pn.mean_time),
+            format!("{:.1}", pc.mean_time),
+            format!("{:.1}x", pn.mean_time / pc.mean_time.max(1e-9)),
+            format!("{:.1}", ln.mean_time),
+            format!("{:.1}", lc.mean_time),
+            format!("{:.1}x", ln.mean_time / lc.mean_time.max(1e-9)),
+        ]);
+        rows_json.push(json!({
+            "class": class.name(),
+            "pvfs_native_s": pn.mean_time, "pvfs_crfs_s": pc.mean_time,
+            "lustre_native_s": ln.mean_time, "lustre_crfs_s": lc.mean_time,
+        }));
+    }
+    let text = format!(
+        "PVFS2 as a CRFS backend (extension; the paper lists PVFS2 among \
+         mountable filesystems but never measures it)\n\n{t}\n\
+         Model prediction: CRFS helps PVFS2 modestly — PVFS2's native VFS \
+         path already pays a serialized per-request upcall (its kernel \
+         module is architecturally FUSE-like), so CRFS's win is bounded by \
+         the upcall/crossing cost ratio plus the removed per-write server \
+         round trips, well below the gain on Lustre, whose native path \
+         collapses under page-cache contention.\n"
+    );
+    ExpOutput {
+        id: "pvfs",
+        title: "Extension: CRFS over PVFS2 vs over Lustre".into(),
+        text,
+        json: json!({ "rows": rows_json }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_unknown_ids_rejected() {
+        let mut ids = ALL_IDS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL_IDS.len(), "duplicate experiment ids");
+        assert!(run_one("nope", true).is_none());
+    }
+
+    #[test]
+    fn one_sim_experiment_runs_end_to_end() {
+        // Executing every experiment belongs to the bench harness
+        // (`cargo bench` / the `exp` binary); here a single cheap one
+        // proves the dispatcher → simulator → renderer path.
+        let out = run_one("table1", true).expect("known id");
+        assert_eq!(out.id, "table1");
+        assert!(out.text.contains("4K-16K"));
+        assert!(out.json["rows"].as_array().is_some());
+    }
+
+    #[test]
+    fn table2_runs_quickly_and_reports_all_cells() {
+        let out = table2();
+        assert_eq!(out.id, "table2");
+        assert!(out.text.contains("MVAPICH2-IB"));
+        assert!(out.text.contains("LU.D.128"));
+        assert_eq!(out.json["rows"].as_array().expect("rows").len(), 9);
+    }
+}

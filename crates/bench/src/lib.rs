@@ -1,0 +1,22 @@
+//! # bench — experiment harness regenerating the paper's evaluation
+//!
+//! One runner per table/figure of the CRFS paper (ICPP 2011, §III & §V).
+//! Each returns an [`ExpOutput`] containing the rendered text (the same
+//! rows/series the paper reports, next to the paper's published values)
+//! plus a machine-readable JSON blob.
+//!
+//! Entry points:
+//! - `cargo run -p bench --release --bin exp -- all` — everything;
+//! - `cargo run -p bench --release --bin exp -- fig6` — one experiment;
+//! - `cargo bench -p bench` — criterion micro/raw benches plus a quick
+//!   pass of every experiment.
+//!
+//! `--quick` (or `CRFS_EXP_QUICK=1`) scales simulated data sizes down ~6×
+//! for smoke runs; headline numbers in `EXPERIMENTS.md` come from full
+//! scale.
+
+pub mod experiments;
+pub mod paper;
+pub mod real;
+
+pub use experiments::{run_all, run_one, ExpOutput};

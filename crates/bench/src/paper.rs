@@ -1,0 +1,100 @@
+//! The paper's published numbers, embedded for side-by-side reporting.
+//!
+//! Sources: ICPP 2011 paper, Figures 6–9 (values printed atop the bars)
+//! and Tables I–II. `None` marks the one datapoint the authors could not
+//! collect ("we could not get the result of native Lustre for LU.C.128"
+//! with OpenMPI, Fig. 8b).
+
+use cluster_sim::{BackendKind, LuClass, MpiStack};
+
+/// Checkpoint write time in seconds: `(native, crfs)`, or `None` where
+/// the paper has no value.
+pub type Pair = (Option<f64>, Option<f64>);
+
+/// Figure 6/7/8 values: per (stack, backend, class).
+pub fn checkpoint_time(stack: MpiStack, backend: BackendKind, class: LuClass) -> Pair {
+    use BackendKind::*;
+    use LuClass::*;
+    use MpiStack::*;
+    let (n, c) = match (stack, backend, class) {
+        (Mvapich2, Ext3, B) => (1.9, 0.5),
+        (Mvapich2, Ext3, C) => (2.9, 0.9),
+        (Mvapich2, Ext3, D) => (19.0, 17.2),
+        (Mvapich2, Lustre, B) => (4.0, 0.5),
+        (Mvapich2, Lustre, C) => (6.0, 1.1),
+        (Mvapich2, Lustre, D) => (29.3, 20.7),
+        (Mvapich2, Nfs, B) => (35.5, 10.4),
+        (Mvapich2, Nfs, C) => (45.3, 21.3),
+        (Mvapich2, Nfs, D) => (159.4, 163.4),
+        (Mpich2, Ext3, B) => (0.8, 0.1),
+        (Mpich2, Ext3, C) => (1.8, 0.2),
+        (Mpich2, Ext3, D) => (17.6, 2.2),
+        (Mpich2, Lustre, B) => (1.2, 0.1),
+        (Mpich2, Lustre, C) => (2.8, 0.3),
+        (Mpich2, Lustre, D) => (25.8, 19.7),
+        (Mpich2, Nfs, B) => (9.3, 1.1),
+        (Mpich2, Nfs, C) => (18.5, 7.7),
+        (Mpich2, Nfs, D) => (117.3, 157.3),
+        (OpenMpi, Ext3, B) => (1.3, 0.2),
+        (OpenMpi, Ext3, C) => (2.5, 0.4),
+        (OpenMpi, Ext3, D) => (17.7, 6.8),
+        (OpenMpi, Lustre, B) => (2.5, 0.2),
+        (OpenMpi, Lustre, C) => return (None, Some(0.7)), // Fig. 8b missing bar
+        (OpenMpi, Lustre, D) => (27.8, 20.5),
+        (OpenMpi, Nfs, B) => (17.7, 8.2),
+        (OpenMpi, Nfs, C) => (27.3, 16.0),
+        (OpenMpi, Nfs, D) => (133.1, 163.3),
+        // PVFS2 is this repo's extension backend (paper §I mentions it
+        // as mountable but never measures it).
+        (_, Pvfs, _) => return (None, None),
+    };
+    (Some(n), Some(c))
+}
+
+/// Figure 9: LU.D on 16 nodes × {1,2,4,8} ppn over Lustre with MVAPICH2:
+/// `(ppn, native_s, crfs_s, reduction_pct)`.
+pub const FIG9: [(usize, f64, f64, f64); 4] = [
+    (1, 14.5, 13.4, 7.6),
+    (2, 20.5, 14.7, 28.0),
+    (4, 22.8, 16.2, 28.7),
+    (8, 29.3, 20.7, 29.6),
+];
+
+/// Table I (LU.C.64 → ext3): band label → (% writes, % data, % time).
+pub const TABLE1: [(&str, f64, f64, f64); 10] = [
+    ("0-64", 50.86, 0.04, 0.17),
+    ("64-256", 0.61, 0.00, 0.00),
+    ("256-1K", 0.25, 0.01, 0.00),
+    ("1K-4K", 9.46, 1.53, 0.01),
+    ("4K-16K", 36.49, 11.36, 44.66),
+    ("16K-64K", 0.74, 0.77, 6.55),
+    ("64K-256K", 0.49, 3.79, 11.80),
+    ("256K-512K", 0.25, 3.58, 1.75),
+    ("512K-1M", 0.61, 17.72, 14.72),
+    ("> 1M", 0.25, 61.21, 20.35),
+];
+
+/// Table II: (stack, class) → (total checkpoint MB, per-process image MB)
+/// at 128 processes.
+pub fn table2(stack: MpiStack, class: LuClass) -> (f64, f64) {
+    use LuClass::*;
+    use MpiStack::*;
+    match (stack, class) {
+        (Mvapich2, B) => (903.2, 7.1),
+        (OpenMpi, B) => (909.1, 7.1),
+        (Mpich2, B) => (497.8, 3.9),
+        (Mvapich2, C) => (1928.7, 15.1),
+        (OpenMpi, C) => (1751.7, 13.7),
+        (Mpich2, C) => (1359.6, 10.7),
+        (Mvapich2, D) => (13653.9, 106.7),
+        (OpenMpi, D) => (13864.9, 108.3),
+        (Mpich2, D) => (13261.2, 103.6),
+    }
+}
+
+/// Figure 5's headline claim: ≥ 700 MB/s aggregation throughput with a
+/// 16 MiB pool and chunks ≥ 128 KiB, on 2007-era hardware.
+pub const FIG5_MIN_BANDWIDTH_MBS: f64 = 700.0;
+
+/// Fig. 3: native per-process completion spread for LU.C.64 on ext3.
+pub const FIG3_SPREAD_RANGE_S: (f64, f64) = (4.0, 8.0);

@@ -1,0 +1,180 @@
+//! BLCR checkpoint write-pattern generation.
+//!
+//! The paper's §III profiles what BLCR actually emits when dumping a
+//! process image (Table I, LU.C.64 → ext3): a bimodal distribution where
+//! half the `write()` calls are tiny VMA headers and register blocks,
+//! a third are 4–16 KiB page clusters, and a fraction of a percent are
+//! multi-megabyte region writes that carry most of the data. This module
+//! generates size streams with exactly that banded distribution, scaled
+//! to any image size, deterministically from a seed.
+
+use simkit::rng::SimRng;
+
+/// One band of the Table-I distribution: `(lo, hi)` size bounds in bytes,
+/// fraction of the write *count*, fraction of the *data*.
+///
+/// Values are Table I of the paper (LU.C.64 on ext3). The `64–1 K` bands
+/// are folded into their neighbours (they carry ≈ 0% of data and < 1% of
+/// writes).
+pub const TABLE1_BANDS: [(u64, u64, f64, f64); 10] = [
+    (1, 64, 0.5086, 0.0004),
+    (65, 256, 0.0061, 0.00004),
+    (257, 1 << 10, 0.0025, 0.0001),
+    ((1 << 10) + 1, 4 << 10, 0.0946, 0.0153),
+    ((4 << 10) + 1, 16 << 10, 0.3649, 0.1136),
+    ((16 << 10) + 1, 64 << 10, 0.0074, 0.0077),
+    ((64 << 10) + 1, 256 << 10, 0.0049, 0.0379),
+    ((256 << 10) + 1, 512 << 10, 0.0025, 0.0358),
+    ((512 << 10) + 1, 1 << 20, 0.0061, 0.1772),
+    ((1 << 20) + 1, 16 << 20, 0.0025, 0.6121),
+];
+
+/// Generates the write-size stream BLCR would emit for an image of
+/// `image_bytes`, ordered the way BLCR writes a process image: interleaved
+/// small header writes followed by their region's data writes, large
+/// regions last-ish (heap/stack data regions dominate the tail).
+///
+/// The stream sums to exactly `image_bytes` (the final write is trimmed).
+pub fn blcr_write_stream(image_bytes: u64, rng: &mut SimRng) -> Vec<u64> {
+    if image_bytes == 0 {
+        return Vec::new();
+    }
+    // Per-band byte budgets.
+    let mut writes: Vec<u64> = Vec::new();
+    for &(lo, hi, _, data_frac) in TABLE1_BANDS.iter() {
+        let budget = (image_bytes as f64 * data_frac) as u64;
+        let mut remaining = budget;
+        while remaining > 0 {
+            // Log-uniform within the band, clamped to the remainder
+            // (allowing a final short write in-band keeps counts sane).
+            let lo_f = (lo as f64).ln();
+            let hi_f = (hi as f64).ln();
+            let size = (lo_f + (hi_f - lo_f) * rng.gen_f64()).exp() as u64;
+            let size = size.clamp(lo, hi).min(remaining.max(lo));
+            writes.push(size.min(remaining).max(1));
+            remaining = remaining.saturating_sub(size);
+        }
+    }
+    // Scale to exactly image_bytes. Band budgets round down but the
+    // published percentages sum to 100.014%, so both directions occur:
+    // pop whole writes until at-or-under, then append the exact remainder.
+    let mut total: u64 = writes.iter().sum();
+    while total > image_bytes {
+        total -= writes.pop().expect("non-empty while over");
+    }
+    if total < image_bytes {
+        writes.push(image_bytes - total);
+    }
+
+    // Order like a BLCR dump: shuffle deterministically, then make sure
+    // tiny writes are spread through the stream (headers precede their
+    // region data). A Fisher-Yates pass with the seeded rng suffices to
+    // interleave bands while keeping determinism.
+    for i in (1..writes.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        writes.swap(i, j);
+    }
+    writes
+}
+
+/// Summary statistics of a generated stream (used by tests and Table II
+/// regeneration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStats {
+    /// Number of writes.
+    pub count: usize,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Fraction of writes ≤ 64 B.
+    pub tiny_count_frac: f64,
+    /// Fraction of bytes in writes > 1 MiB.
+    pub huge_data_frac: f64,
+    /// Fraction of writes in 4–16 KiB.
+    pub medium_count_frac: f64,
+}
+
+/// Computes [`StreamStats`] for a stream.
+pub fn stream_stats(stream: &[u64]) -> StreamStats {
+    let count = stream.len();
+    let bytes: u64 = stream.iter().sum();
+    let tiny = stream.iter().filter(|&&s| s <= 64).count();
+    let medium = stream
+        .iter()
+        .filter(|&&s| s > 4 << 10 && s <= 16 << 10)
+        .count();
+    let huge_bytes: u64 = stream.iter().filter(|&&s| s > 1 << 20).sum();
+    StreamStats {
+        count,
+        bytes,
+        tiny_count_frac: tiny as f64 / count.max(1) as f64,
+        huge_data_frac: huge_bytes as f64 / bytes.max(1) as f64,
+        medium_count_frac: medium as f64 / count.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_sums_to_image_size() {
+        let mut rng = SimRng::new(1);
+        for size in [64 * 1024, 7 << 20, 23 << 20, 107 << 20] {
+            let s = blcr_write_stream(size, &mut rng);
+            assert_eq!(s.iter().sum::<u64>(), size, "image {size}");
+        }
+    }
+
+    #[test]
+    fn distribution_matches_table1_shape() {
+        let mut rng = SimRng::new(2);
+        // The paper's node profile: 23 MB images.
+        let s = blcr_write_stream(23 << 20, &mut rng);
+        let st = stream_stats(&s);
+        // ~51% tiny writes, ~36% medium, >55% of data in >1MiB writes.
+        assert!(
+            (st.tiny_count_frac - 0.51).abs() < 0.15,
+            "tiny frac {}",
+            st.tiny_count_frac
+        );
+        assert!(
+            (st.medium_count_frac - 0.36).abs() < 0.15,
+            "medium frac {}",
+            st.medium_count_frac
+        );
+        assert!(
+            st.huge_data_frac > 0.5,
+            "huge data frac {}",
+            st.huge_data_frac
+        );
+    }
+
+    #[test]
+    fn write_count_scale_matches_paper() {
+        // Paper: 8 processes × 23 MB ⇒ ~7800 writes on a node, i.e.
+        // ~975 writes per 23 MB image. Allow a generous band.
+        let mut rng = SimRng::new(3);
+        let s = blcr_write_stream(23 << 20, &mut rng);
+        assert!(
+            s.len() > 400 && s.len() < 2500,
+            "writes per 23MB image = {}",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        assert_eq!(
+            blcr_write_stream(1 << 20, &mut a),
+            blcr_write_stream(1 << 20, &mut b)
+        );
+    }
+
+    #[test]
+    fn zero_image_is_empty() {
+        let mut rng = SimRng::new(1);
+        assert!(blcr_write_stream(0, &mut rng).is_empty());
+    }
+}

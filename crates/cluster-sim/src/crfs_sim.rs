@@ -1,0 +1,552 @@
+//! CRFS on virtual time.
+//!
+//! The same algorithm as `crfs-core` — buffer pool, per-file current
+//! chunk, work queue, IO worker pool, close/fsync barriers — expressed as
+//! simulation tasks. Chunking decisions are made by the *identical*
+//! [`crfs_core::chunking::plan_write`] function, so the simulated and the
+//! real filesystem provably agree on every seal/open/append (a
+//! conformance test in `/tests` replays the same stream through both).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crfs_core::chunking::{plan_write, ChunkState, PlanStep};
+use crfs_core::CrfsConfig;
+use simkit::sync::{unbounded, Semaphore, Sender, WaitGroup};
+use simkit::time::sleep;
+use storage_model::params::{CrfsCostParams, FuseParams};
+
+use crate::fuse::FuseLayer;
+use crate::target::Target;
+
+struct FileState {
+    backend_fid: u64,
+    chunk: Option<ChunkState>,
+    outstanding: WaitGroup,
+}
+
+struct WorkItem {
+    backend_fid: u64,
+    offset: u64,
+    len: u64,
+    wg: WaitGroup,
+}
+
+/// Live counters of the simulated CRFS instance.
+#[derive(Debug, Default)]
+pub struct CrfsSimStats {
+    /// Application-level write requests accepted (post-FUSE-split).
+    pub requests: Cell<u64>,
+    /// Bytes accepted.
+    pub bytes_in: Cell<u64>,
+    /// Chunks sealed (enqueued).
+    pub chunks_sealed: Cell<u64>,
+    /// Chunks completed by IO workers.
+    pub chunks_completed: Cell<u64>,
+    /// Bytes written to the backend.
+    pub bytes_out: Cell<u64>,
+}
+
+/// A simulated CRFS mount on one node.
+pub struct CrfsSim {
+    config: CrfsConfig,
+    costs: CrfsCostParams,
+    fuse: FuseLayer,
+    pool: Semaphore,
+    tx: Sender<WorkItem>,
+    target: Target,
+    files: RefCell<HashMap<u64, FileState>>,
+    next_fh: Cell<u64>,
+    stats: Rc<CrfsSimStats>,
+    /// Container (node-aggregation) mode: all sealed chunks append to one
+    /// shared backend file at a monotonic tail — the simulated counterpart
+    /// of `crfs_core::aggregator::AggregatingBackend`.
+    container: bool,
+    container_fid: Cell<Option<u64>>,
+    container_tail: Cell<u64>,
+}
+
+impl CrfsSim {
+    /// Mounts simulated CRFS over `target`, spawning the IO worker tasks.
+    /// Must be called inside a running `Sim`.
+    pub fn new(
+        target: Target,
+        config: CrfsConfig,
+        costs: CrfsCostParams,
+        fuse: FuseParams,
+    ) -> Rc<CrfsSim> {
+        Self::with_mode(target, config, costs, fuse, false)
+    }
+
+    /// Like [`new`](Self::new), with node-level container aggregation
+    /// enabled when `container` is true: per-process checkpoint files
+    /// multiplex into one sequential backend stream (the §VII future-work
+    /// mode; see `crfs_core::aggregator`). Per-file `close` still drains
+    /// that file's outstanding chunks, but the shared container is closed
+    /// by [`finalize_container`](Self::finalize_container).
+    pub fn with_mode(
+        target: Target,
+        config: CrfsConfig,
+        costs: CrfsCostParams,
+        fuse: FuseParams,
+        container: bool,
+    ) -> Rc<CrfsSim> {
+        config.validate().expect("invalid CRFS config");
+        let (tx, rx) = unbounded::<WorkItem>();
+        let stats = Rc::new(CrfsSimStats::default());
+        let pool = Semaphore::new(config.pool_chunks());
+        for _ in 0..config.io_threads {
+            let rx = rx.clone();
+            let target = target.clone();
+            let stats = Rc::clone(&stats);
+            let pool = pool.clone();
+            let _ = simkit::spawn(async move {
+                while let Some(item) = rx.recv().await {
+                    target.write(item.backend_fid, item.offset, item.len).await;
+                    stats.bytes_out.set(stats.bytes_out.get() + item.len);
+                    stats
+                        .chunks_completed
+                        .set(stats.chunks_completed.get() + 1);
+                    item.wg.done();
+                    pool.add_permits(1);
+                }
+            });
+        }
+        Rc::new(CrfsSim {
+            config,
+            costs,
+            fuse: FuseLayer::new(fuse),
+            pool,
+            tx,
+            target,
+            files: RefCell::new(HashMap::new()),
+            next_fh: Cell::new(1),
+            stats,
+            container,
+            container_fid: Cell::new(None),
+            container_tail: Cell::new(0),
+        })
+    }
+
+    /// The mount's chunking configuration.
+    pub fn config(&self) -> &CrfsConfig {
+        &self.config
+    }
+
+    /// Live statistics.
+    pub fn stats(&self) -> &CrfsSimStats {
+        &self.stats
+    }
+
+    /// open(): FUSE crossing + backend open + table entry (paper §IV-A).
+    /// In container mode only the first open creates a backend file — the
+    /// shared container; later opens are metadata-only (index entries).
+    pub async fn open(&self) -> u64 {
+        self.fuse.crossing(0).await;
+        let backend_fid = if self.container {
+            match self.container_fid.get() {
+                Some(fid) => fid,
+                None => {
+                    let fid = self.target.open().await;
+                    self.container_fid.set(Some(fid));
+                    fid
+                }
+            }
+        } else {
+            self.target.open().await
+        };
+        let fh = self.next_fh.get();
+        self.next_fh.set(fh + 1);
+        self.files.borrow_mut().insert(
+            fh,
+            FileState {
+                backend_fid,
+                chunk: None,
+                outstanding: WaitGroup::new(),
+            },
+        );
+        fh
+    }
+
+    /// An application `write()`: split at `max_write` like FUSE, then run
+    /// each request through the aggregation path.
+    pub async fn app_write(&self, fh: u64, offset: u64, len: u64) {
+        let mut off = offset;
+        for piece in self.fuse.split(len) {
+            self.request_write(fh, off, piece).await;
+            off += piece;
+        }
+    }
+
+    /// One FUSE-sized request through CRFS (paper §IV-B).
+    async fn request_write(&self, fh: u64, offset: u64, len: u64) {
+        // Kernel crossing + kernel→user copy.
+        self.fuse.crossing(len).await;
+        // CRFS bookkeeping + copy into the aggregation chunk.
+        let copy = Duration::from_secs_f64(
+            len as f64 / self.costs.copy_bandwidth.max(1) as f64,
+        );
+        sleep(self.costs.per_request + copy).await;
+
+        let (mut cur, backend_fid, wg) = {
+            let files = self.files.borrow();
+            let f = files.get(&fh).expect("write to closed CRFS file");
+            (f.chunk, f.backend_fid, f.outstanding.clone())
+        };
+        let plan = plan_write(cur, offset, len as usize, self.config.chunk_size);
+        for step in plan {
+            match step {
+                PlanStep::Seal => {
+                    let c = cur.take().expect("plan seals existing chunk");
+                    self.enqueue(backend_fid, c, &wg).await;
+                }
+                PlanStep::Open { file_offset } => {
+                    // Blocks when the pool is exhausted: CRFS back-pressure.
+                    self.pool.acquire(1).await.forget();
+                    cur = Some(ChunkState {
+                        file_offset,
+                        fill: 0,
+                    });
+                }
+                PlanStep::Append { len } => {
+                    let c = cur.as_mut().expect("plan appends into open chunk");
+                    c.fill += len;
+                }
+            }
+        }
+        if let Some(f) = self.files.borrow_mut().get_mut(&fh) {
+            f.chunk = cur;
+        }
+        self.stats.requests.set(self.stats.requests.get() + 1);
+        self.stats.bytes_in.set(self.stats.bytes_in.get() + len);
+    }
+
+    async fn enqueue(&self, backend_fid: u64, c: ChunkState, wg: &WaitGroup) {
+        wg.add(1);
+        self.stats.chunks_sealed.set(self.stats.chunks_sealed.get() + 1);
+        // Container mode: the chunk is appended at the container tail
+        // (allocated here, under the single-threaded executor, so appends
+        // never overlap) instead of the chunk's logical file offset.
+        let offset = if self.container {
+            let at = self.container_tail.get();
+            self.container_tail.set(at + c.fill as u64);
+            at
+        } else {
+            c.file_offset
+        };
+        let sent = self
+            .tx
+            .send(WorkItem {
+                backend_fid,
+                offset,
+                len: c.fill as u64,
+                wg: wg.clone(),
+            })
+            .await;
+        assert!(sent.is_ok(), "CRFS IO workers alive");
+    }
+
+    /// close(): seal the partial chunk, wait until the complete-chunk
+    /// count matches the write-chunk count, then close on the backend
+    /// (paper §IV-C).
+    pub async fn close(&self, fh: u64) {
+        self.fuse.crossing(0).await;
+        let (chunk, backend_fid, wg) = {
+            let mut files = self.files.borrow_mut();
+            let f = files.get_mut(&fh).expect("close of unknown CRFS file");
+            (f.chunk.take(), f.backend_fid, f.outstanding.clone())
+        };
+        if let Some(c) = chunk {
+            if c.fill > 0 {
+                self.enqueue(backend_fid, c, &wg).await;
+            } else {
+                self.pool.add_permits(1);
+            }
+        }
+        wg.wait().await;
+        if !self.container {
+            self.target.close(backend_fid).await;
+        }
+        self.files.borrow_mut().remove(&fh);
+    }
+
+    /// Container mode epilogue: closes the shared container file on the
+    /// backend (commits on NFS). No-op when container mode is off or
+    /// nothing was ever opened.
+    pub async fn finalize_container(&self) {
+        if let Some(fid) = self.container_fid.take() {
+            self.target.close(fid).await;
+        }
+    }
+
+    /// Bytes appended to the container so far (container mode only).
+    pub fn container_bytes(&self) -> u64 {
+        self.container_tail.get()
+    }
+
+    /// fsync(): flush the current chunk, wait out in-flight chunks, then
+    /// fsync the backend (paper §IV-D2).
+    pub async fn fsync(&self, fh: u64) {
+        self.fuse.crossing(0).await;
+        let (chunk, backend_fid, wg) = {
+            let mut files = self.files.borrow_mut();
+            let f = files.get_mut(&fh).expect("fsync of unknown CRFS file");
+            (f.chunk.take(), f.backend_fid, f.outstanding.clone())
+        };
+        if let Some(c) = chunk {
+            if c.fill > 0 {
+                self.enqueue(backend_fid, c, &wg).await;
+            } else {
+                self.pool.add_permits(1);
+            }
+        }
+        wg.wait().await;
+        self.target.fsync(backend_fid).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::SimRng;
+    use simkit::time::now;
+    use simkit::Sim;
+    use storage_model::params::{
+        AllocParams, CacheParams, DiskParams, VfsCostParams, KB, MB,
+    };
+    use storage_model::LocalFs;
+
+    fn mount(seed: u64) -> (Rc<LocalFs>, Rc<CrfsSim>) {
+        let fs = LocalFs::new(
+            VfsCostParams::ext3_node(),
+            AllocParams::ext3(),
+            CacheParams::compute_node(),
+            DiskParams::node_sata(),
+            SimRng::new(seed),
+        );
+        let crfs = CrfsSim::new(
+            Target::Ext3(Rc::clone(&fs)),
+            CrfsConfig::default(),
+            CrfsCostParams::paper(),
+            FuseParams::paper(),
+        );
+        (fs, crfs)
+    }
+
+    #[test]
+    fn sequential_stream_aggregates_into_chunks() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (fs, crfs) = mount(0);
+            let fh = crfs.open().await;
+            // 10 MiB in 8 KiB writes → 2 full 4 MiB chunks + 1 partial.
+            let mut off = 0;
+            while off < 10 * MB {
+                crfs.app_write(fh, off, 8 * KB).await;
+                off += 8 * KB;
+            }
+            crfs.close(fh).await;
+            assert_eq!(crfs.stats().chunks_sealed.get(), 3);
+            assert_eq!(crfs.stats().chunks_completed.get(), 3);
+            assert_eq!(crfs.stats().bytes_out.get(), 10 * MB);
+            fs.stop();
+        });
+    }
+
+    #[test]
+    fn close_waits_for_outstanding_chunks() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (fs, crfs) = mount(0);
+            let fh = crfs.open().await;
+            crfs.app_write(fh, 0, 9 * MB).await;
+            let t0 = now();
+            crfs.close(fh).await;
+            // Close must block while the backend absorbs the chunks.
+            assert!(now().since(t0) > Duration::ZERO);
+            assert_eq!(
+                crfs.stats().chunks_sealed.get(),
+                crfs.stats().chunks_completed.get()
+            );
+            fs.stop();
+        });
+    }
+
+    #[test]
+    fn pool_exhaustion_applies_backpressure() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (fs, crfs) = mount(0);
+            let fh = crfs.open().await;
+            // Write far more than the 16 MiB pool quickly; the pool
+            // semaphore must bound outstanding chunks at 4.
+            crfs.app_write(fh, 0, 64 * MB).await;
+            assert!(crfs.stats().chunks_sealed.get() >= 16);
+            crfs.close(fh).await;
+            assert_eq!(crfs.stats().bytes_out.get(), 64 * MB);
+            fs.stop();
+        });
+    }
+
+    #[test]
+    fn container_mode_appends_one_sequential_stream() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let fs = LocalFs::new(
+                VfsCostParams::ext3_node(),
+                AllocParams::ext3(),
+                CacheParams::compute_node(),
+                DiskParams::node_sata(),
+                SimRng::new(0),
+            );
+            let crfs = CrfsSim::with_mode(
+                Target::Ext3(Rc::clone(&fs)),
+                CrfsConfig::default(),
+                CrfsCostParams::paper(),
+                FuseParams::paper(),
+                true,
+            );
+            // 4 files × 6 MiB interleaved through one container.
+            let mut fhs = Vec::new();
+            for _ in 0..4 {
+                fhs.push(crfs.open().await);
+            }
+            for round in 0..6 {
+                for &fh in &fhs {
+                    crfs.app_write(fh, round * MB, MB).await;
+                }
+            }
+            for fh in fhs {
+                crfs.close(fh).await;
+            }
+            crfs.finalize_container().await;
+            assert_eq!(crfs.container_bytes(), 24 * MB);
+            assert_eq!(crfs.stats().bytes_out.get(), 24 * MB);
+            // Exactly one backend file was ever opened.
+            assert_eq!(fs.open_count(), 1);
+            fs.stop();
+        });
+    }
+
+    #[test]
+    fn container_mode_helps_under_multi_writer_interleave() {
+        // 8 writers of medium writes on one ext3 node: the container's
+        // single-stream allocation must not be slower than per-file CRFS
+        // (it removes the remaining inter-file interleave).
+        fn run(container: bool, seed: u64) -> f64 {
+            let mut sim = Sim::new(seed);
+            sim.run(async move {
+                let fs = LocalFs::new(
+                    VfsCostParams::ext3_node(),
+                    AllocParams::ext3(),
+                    CacheParams::compute_node(),
+                    DiskParams::node_sata(),
+                    SimRng::new(seed),
+                );
+                let crfs = CrfsSim::with_mode(
+                    Target::Ext3(Rc::clone(&fs)),
+                    CrfsConfig::default(),
+                    CrfsCostParams::paper(),
+                    FuseParams::paper(),
+                    container,
+                );
+                let t0 = now();
+                let mut handles = Vec::new();
+                for _ in 0..8 {
+                    let crfs = Rc::clone(&crfs);
+                    handles.push(simkit::spawn(async move {
+                        let fh = crfs.open().await;
+                        let mut off = 0;
+                        for _ in 0..512 {
+                            crfs.app_write(fh, off, 8 * KB).await;
+                            off += 8 * KB;
+                        }
+                        crfs.close(fh).await;
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+                crfs.finalize_container().await;
+                let dt = now().since(t0).as_secs_f64();
+                fs.stop();
+                dt
+            })
+        }
+        let per_file = run(false, 11);
+        let containered = run(true, 11);
+        assert!(
+            containered <= per_file * 1.05,
+            "container {containered:.3}s should not lose to per-file {per_file:.3}s"
+        );
+    }
+
+    #[test]
+    fn crfs_beats_native_for_concurrent_medium_writes() {
+        // The headline effect, in miniature: 8 writers × medium writes on
+        // one node, native ext3 vs CRFS over the same ext3 model.
+        fn run(use_crfs: bool, seed: u64) -> f64 {
+            let mut sim = Sim::new(seed);
+            sim.run(async move {
+                let fs = LocalFs::new(
+                    VfsCostParams::ext3_node(),
+                    AllocParams::ext3(),
+                    CacheParams::compute_node(),
+                    DiskParams::node_sata(),
+                    SimRng::new(seed),
+                );
+                let target = Target::Ext3(Rc::clone(&fs));
+                let crfs = use_crfs.then(|| {
+                    CrfsSim::new(
+                        target.clone(),
+                        CrfsConfig::default(),
+                        CrfsCostParams::paper(),
+                        FuseParams::paper(),
+                    )
+                });
+                let t0 = now();
+                let mut handles = Vec::new();
+                for _ in 0..8 {
+                    let target = target.clone();
+                    let crfs = crfs.clone();
+                    handles.push(simkit::spawn(async move {
+                        match &crfs {
+                            Some(c) => {
+                                let fh = c.open().await;
+                                let mut off = 0;
+                                for _ in 0..256 {
+                                    c.app_write(fh, off, 8 * KB).await;
+                                    off += 8 * KB;
+                                }
+                                c.close(fh).await;
+                            }
+                            None => {
+                                let fid = target.open().await;
+                                let mut off = 0;
+                                for _ in 0..256 {
+                                    target.write(fid, off, 8 * KB).await;
+                                    off += 8 * KB;
+                                }
+                                target.close(fid).await;
+                            }
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+                let dt = now().since(t0).as_secs_f64();
+                fs.stop();
+                dt
+            })
+        }
+        let native = run(false, 5);
+        let crfs = run(true, 5);
+        assert!(
+            native > crfs * 2.0,
+            "native {native:.3}s should be ≫ CRFS {crfs:.3}s"
+        );
+    }
+}

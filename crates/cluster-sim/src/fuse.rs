@@ -1,0 +1,118 @@
+//! FUSE dispatch cost model.
+//!
+//! A write through FUSE pays: request splitting at `max_write` (128 KiB
+//! with the paper's `big_writes` option — without it, 4 KiB, which the
+//! paper explicitly enables away), plus a user↔kernel crossing and one
+//! kernel→user copy per request. CRFS's entire benefit rides on this
+//! layer being much cheaper than the backend contention it removes.
+
+use std::time::Duration;
+
+use simkit::sync::Semaphore;
+use simkit::time::sleep;
+use storage_model::params::FuseParams;
+
+/// The FUSE request path for one mount.
+///
+/// Requests serialize on the mount's single `/dev/fuse` channel — with
+/// eight checkpointing processes per node, this queue is itself a
+/// contended resource (and part of why the paper's CRFS-side times are
+/// what they are).
+#[derive(Clone)]
+pub struct FuseLayer {
+    params: FuseParams,
+    channel: Semaphore,
+}
+
+impl FuseLayer {
+    /// Creates the layer. Must run inside a `Sim` (owns the channel
+    /// semaphore).
+    pub fn new(params: FuseParams) -> FuseLayer {
+        FuseLayer {
+            params,
+            channel: Semaphore::new(1),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &FuseParams {
+        &self.params
+    }
+
+    /// Splits an application write into FUSE request sizes.
+    pub fn split(&self, len: u64) -> Vec<u64> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let mw = self.params.max_write;
+        let mut out = Vec::with_capacity(len.div_ceil(mw) as usize);
+        let mut remaining = len;
+        while remaining > 0 {
+            let piece = remaining.min(mw);
+            out.push(piece);
+            remaining -= piece;
+        }
+        out
+    }
+
+    /// Charges the crossing + copy cost for one request of `bytes`,
+    /// serialized through the mount's single FUSE channel.
+    pub async fn crossing(&self, bytes: u64) {
+        let copy = Duration::from_secs_f64(
+            bytes as f64 / self.params.copy_bandwidth.max(1) as f64,
+        );
+        let _ch = self.channel.acquire(1).await;
+        sleep(self.params.crossing + copy).await;
+    }
+
+    /// Total dispatch cost of an application write of `len` bytes
+    /// (all requests), for analytical checks.
+    pub fn dispatch_cost(&self, len: u64) -> Duration {
+        let requests = len.div_ceil(self.params.max_write).max(1);
+        self.params.crossing * requests as u32
+            + Duration::from_secs_f64(len as f64 / self.params.copy_bandwidth.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::time::now;
+    use simkit::Sim;
+    use storage_model::params::{KB, MB};
+
+    #[test]
+    fn split_at_max_write() {
+        let f = FuseLayer::new(FuseParams::paper());
+        assert_eq!(f.split(0), Vec::<u64>::new());
+        assert_eq!(f.split(64 * KB), vec![64 * KB]);
+        assert_eq!(f.split(128 * KB), vec![128 * KB]);
+        assert_eq!(f.split(300 * KB), vec![128 * KB, 128 * KB, 44 * KB]);
+    }
+
+    #[test]
+    fn crossing_cost_scales_with_size() {
+        let mut sim = Sim::new(0);
+        let (small, big) = sim.run(async {
+            let f = FuseLayer::new(FuseParams::paper());
+            let t0 = now();
+            f.crossing(4 * KB).await;
+            let small = now().since(t0);
+            let t1 = now();
+            f.crossing(128 * KB).await;
+            (small, now().since(t1))
+        });
+        assert!(big > small);
+        // Sub-millisecond per request.
+        assert!(big < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn dispatch_cost_analytical() {
+        let f = FuseLayer::new(FuseParams::paper());
+        // 1 MiB = 8 requests of 128 KiB.
+        let c = f.dispatch_cost(MB);
+        assert!(c >= f.params().crossing * 8);
+        assert!(c < Duration::from_millis(5));
+    }
+}

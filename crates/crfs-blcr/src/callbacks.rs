@@ -1,0 +1,163 @@
+//! Application callbacks around checkpoint/restart.
+//!
+//! §II-B of the paper: "BLCR by itself can only checkpoint/restart
+//! processes on a single node. But it provides callbacks to be extended by
+//! applications, so that a parallel application can also be
+//! checkpointed." MPI stacks use these hooks to quiesce communication
+//! before the dump and re-establish it after. [`CallbackRegistry`] is
+//! that mechanism: ordered hooks per [`Phase`], with error propagation
+//! (a failing pre-checkpoint hook aborts the checkpoint).
+
+use std::fmt;
+
+/// When a callback fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Before the image dump (MPI: suspend channels).
+    PreCheckpoint,
+    /// After the dump completes, in the surviving process (MPI: resume).
+    PostCheckpoint,
+    /// After a restart reconstructed the process (MPI: rebuild channels).
+    Restart,
+}
+
+/// Error returned by a failing callback; aborts the phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallbackError {
+    /// Which phase failed.
+    pub phase: Phase,
+    /// Index of the failing callback.
+    pub index: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for CallbackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} callback #{} failed: {}",
+            self.phase, self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for CallbackError {}
+
+type Hook = Box<dyn FnMut(Phase) -> Result<(), String> + Send>;
+
+/// Ordered pre/post/restart hooks.
+#[derive(Default)]
+pub struct CallbackRegistry {
+    pre: Vec<Hook>,
+    post: Vec<Hook>,
+    restart: Vec<Hook>,
+}
+
+impl CallbackRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> CallbackRegistry {
+        CallbackRegistry::default()
+    }
+
+    /// Registers a hook for `phase`; hooks run in registration order.
+    pub fn register<F>(&mut self, phase: Phase, hook: F)
+    where
+        F: FnMut(Phase) -> Result<(), String> + Send + 'static,
+    {
+        let list = match phase {
+            Phase::PreCheckpoint => &mut self.pre,
+            Phase::PostCheckpoint => &mut self.post,
+            Phase::Restart => &mut self.restart,
+        };
+        list.push(Box::new(hook));
+    }
+
+    /// Number of hooks registered for `phase`.
+    pub fn count(&self, phase: Phase) -> usize {
+        match phase {
+            Phase::PreCheckpoint => self.pre.len(),
+            Phase::PostCheckpoint => self.post.len(),
+            Phase::Restart => self.restart.len(),
+        }
+    }
+
+    /// Runs all hooks of `phase`, stopping at the first failure.
+    pub fn run(&mut self, phase: Phase) -> Result<(), CallbackError> {
+        let list = match phase {
+            Phase::PreCheckpoint => &mut self.pre,
+            Phase::PostCheckpoint => &mut self.post,
+            Phase::Restart => &mut self.restart,
+        };
+        for (index, hook) in list.iter_mut().enumerate() {
+            hook(phase).map_err(|message| CallbackError {
+                phase,
+                index,
+                message,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for CallbackRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CallbackRegistry")
+            .field("pre", &self.pre.len())
+            .field("post", &self.post.len())
+            .field("restart", &self.restart.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn hooks_run_in_order() {
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut reg = CallbackRegistry::new();
+        for i in 0..3 {
+            let log = Arc::clone(&log);
+            reg.register(Phase::PreCheckpoint, move |_| {
+                log.lock().unwrap().push(i);
+                Ok(())
+            });
+        }
+        reg.run(Phase::PreCheckpoint).unwrap();
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn failure_stops_the_chain() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let mut reg = CallbackRegistry::new();
+        let r1 = Arc::clone(&ran);
+        reg.register(Phase::PreCheckpoint, move |_| {
+            r1.fetch_add(1, Ordering::SeqCst);
+            Err("channel busy".into())
+        });
+        let r2 = Arc::clone(&ran);
+        reg.register(Phase::PreCheckpoint, move |_| {
+            r2.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        let err = reg.run(Phase::PreCheckpoint).unwrap_err();
+        assert_eq!(err.index, 0);
+        assert!(err.to_string().contains("channel busy"));
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "second hook never ran");
+    }
+
+    #[test]
+    fn phases_are_independent() {
+        let mut reg = CallbackRegistry::new();
+        reg.register(Phase::Restart, |_| Ok(()));
+        assert_eq!(reg.count(Phase::Restart), 1);
+        assert_eq!(reg.count(Phase::PreCheckpoint), 0);
+        reg.run(Phase::PreCheckpoint).unwrap(); // no hooks: trivially ok
+        reg.run(Phase::Restart).unwrap();
+    }
+}

@@ -1,0 +1,282 @@
+//! The process-image data model.
+//!
+//! A checkpointable process is registers plus a list of memory regions
+//! (VMAs): code, stack, heap, anonymous mappings, file-backed mappings.
+//! Synthetic builders generate images whose VMA size mix produces the
+//! checkpoint write pattern the paper profiles — many small regions, a
+//! few huge data regions.
+
+use rand::RngCore;
+use rand::SeedableRng;
+
+/// Page size used throughout the image format.
+pub const PAGE_SIZE: usize = 4096;
+
+/// CPU register file snapshot (x86-64-shaped; contents opaque).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registers {
+    /// General-purpose + segment + FP register bytes.
+    pub bytes: [u8; 512],
+}
+
+impl Default for Registers {
+    fn default() -> Self {
+        Registers { bytes: [0; 512] }
+    }
+}
+
+/// The kind of a memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmaKind {
+    /// Program text (read-only, often skippable, but BLCR dumps it).
+    Code,
+    /// Thread or main stack.
+    Stack,
+    /// Heap.
+    Heap,
+    /// Anonymous mapping (solver arrays live here — the bulk).
+    Anon,
+    /// File-backed mapping.
+    FileBacked,
+}
+
+impl VmaKind {
+    /// Encoded tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            VmaKind::Code => 0,
+            VmaKind::Stack => 1,
+            VmaKind::Heap => 2,
+            VmaKind::Anon => 3,
+            VmaKind::FileBacked => 4,
+        }
+    }
+
+    /// Decodes a tag byte.
+    pub fn from_tag(t: u8) -> Option<VmaKind> {
+        Some(match t {
+            0 => VmaKind::Code,
+            1 => VmaKind::Stack,
+            2 => VmaKind::Heap,
+            3 => VmaKind::Anon,
+            4 => VmaKind::FileBacked,
+            _ => return None,
+        })
+    }
+}
+
+/// One memory region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vma {
+    /// Virtual start address.
+    pub start: u64,
+    /// Region kind.
+    pub kind: VmaKind,
+    /// Page-aligned contents.
+    pub data: Vec<u8>,
+}
+
+impl Vma {
+    /// Creates a region; length is rounded up to whole pages (zero
+    /// padded), as a kernel would dump it.
+    pub fn new(start: u64, kind: VmaKind, mut data: Vec<u8>) -> Vma {
+        let rem = data.len() % PAGE_SIZE;
+        if rem != 0 {
+            data.resize(data.len() + (PAGE_SIZE - rem), 0);
+        }
+        Vma { start, kind, data }
+    }
+
+    /// Region length in bytes (whole pages).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// FNV-1a checksum of the contents (stored in the image; verified on
+    /// restart).
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.data {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// A complete process image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessImage {
+    /// Process id at checkpoint time.
+    pub pid: u32,
+    /// Register snapshot.
+    pub registers: Registers,
+    /// Memory regions, in address order.
+    pub vmas: Vec<Vma>,
+}
+
+impl ProcessImage {
+    /// Creates an empty image for `pid`.
+    pub fn new(pid: u32) -> ProcessImage {
+        ProcessImage {
+            pid,
+            registers: Registers::default(),
+            vmas: Vec::new(),
+        }
+    }
+
+    /// Total payload bytes across regions.
+    pub fn total_bytes(&self) -> u64 {
+        self.vmas.iter().map(|v| v.len() as u64).sum()
+    }
+
+    /// Builds a deterministic synthetic image of roughly `target_bytes`,
+    /// with a realistic VMA mix: one code region, stack, heap, a spread of
+    /// small anonymous mappings (communication buffers, allocator arenas),
+    /// and a few large solver-array regions carrying most of the bytes —
+    /// the mix behind the paper's Table I write distribution.
+    ///
+    /// Contents are pseudo-random from `seed` (compressible zero pages are
+    /// deliberately avoided so restart verification is meaningful).
+    pub fn synthetic(pid: u32, target_bytes: u64, seed: u64) -> ProcessImage {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut img = ProcessImage::new(pid);
+        rng.fill_bytes(&mut img.registers.bytes);
+
+        let mut addr: u64 = 0x0040_0000;
+        let mut budget = target_bytes as i64;
+        let push = |img: &mut ProcessImage,
+                        addr: &mut u64,
+                        budget: &mut i64,
+                        kind: VmaKind,
+                        bytes: usize,
+                        rng: &mut rand::rngs::StdRng| {
+            if bytes == 0 {
+                return;
+            }
+            let mut data = vec![0u8; bytes];
+            rng.fill_bytes(&mut data);
+            let v = Vma::new(*addr, kind, data);
+            *addr += v.len() as u64 + PAGE_SIZE as u64; // guard page
+            *budget -= v.len() as i64;
+            img.vmas.push(v);
+        };
+
+        // Fixed small regions: code, stack, heap head.
+        push(&mut img, &mut addr, &mut budget, VmaKind::Code, 64 * 1024, &mut rng);
+        push(&mut img, &mut addr, &mut budget, VmaKind::Stack, 128 * 1024, &mut rng);
+        push(&mut img, &mut addr, &mut budget, VmaKind::Heap, 256 * 1024, &mut rng);
+
+        // Many small anon regions (8-64 KiB): buffers, arenas, DSOs.
+        let small_count = 24.min(((target_bytes / (1 << 20)).max(4)) as usize * 2);
+        for _ in 0..small_count {
+            if budget <= 0 {
+                break;
+            }
+            let sz = ((8 + (rng.next_u32() % 56) as usize) * 1024).min(budget as usize);
+            push(&mut img, &mut addr, &mut budget, VmaKind::Anon, sz, &mut rng);
+        }
+
+        // A couple of file-backed mappings.
+        for _ in 0..2 {
+            if budget <= 0 {
+                break;
+            }
+            let sz = (512 * 1024).min(budget as usize);
+            push(
+                &mut img,
+                &mut addr,
+                &mut budget,
+                VmaKind::FileBacked,
+                sz,
+                &mut rng,
+            );
+        }
+
+        // Large solver arrays: the remaining budget in up to 3 regions,
+        // each at least ~4 MiB when the budget allows (matching the
+        // >1 MiB write band that carries 61% of Table I's data).
+        if budget > 0 {
+            let pieces = ((budget as u64) / (4 << 20)).clamp(1, 3) as usize;
+            let each = (budget as usize / pieces).max(PAGE_SIZE);
+            for i in 0..pieces {
+                if budget <= 0 {
+                    break;
+                }
+                let sz = if i == pieces - 1 {
+                    budget as usize
+                } else {
+                    each
+                };
+                push(&mut img, &mut addr, &mut budget, VmaKind::Anon, sz, &mut rng);
+            }
+        }
+        img
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vma_rounds_to_pages_and_checksums() {
+        let v = Vma::new(0x1000, VmaKind::Heap, vec![1, 2, 3]);
+        assert_eq!(v.len(), PAGE_SIZE);
+        let w = Vma::new(0x1000, VmaKind::Heap, vec![1, 2, 3]);
+        assert_eq!(v.checksum(), w.checksum());
+        let x = Vma::new(0x1000, VmaKind::Heap, vec![1, 2, 4]);
+        assert_ne!(v.checksum(), x.checksum());
+    }
+
+    #[test]
+    fn synthetic_image_hits_target_size() {
+        for target in [1u64 << 20, 7 << 20, 23 << 20] {
+            let img = ProcessImage::synthetic(1, target, 99);
+            let total = img.total_bytes();
+            let err = (total as f64 - target as f64).abs() / target as f64;
+            assert!(err < 0.12, "target {target}, got {total}");
+        }
+    }
+
+    #[test]
+    fn synthetic_image_is_deterministic() {
+        let a = ProcessImage::synthetic(7, 2 << 20, 5);
+        let b = ProcessImage::synthetic(7, 2 << 20, 5);
+        assert_eq!(a, b);
+        let c = ProcessImage::synthetic(7, 2 << 20, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthetic_image_has_realistic_mix() {
+        let img = ProcessImage::synthetic(1, 23 << 20, 3);
+        assert!(img.vmas.len() > 10, "many regions: {}", img.vmas.len());
+        let largest = img.vmas.iter().map(Vma::len).max().unwrap();
+        assert!(
+            largest as u64 > img.total_bytes() / 5,
+            "a few large regions dominate"
+        );
+        assert!(img.vmas.iter().any(|v| v.kind == VmaKind::Stack));
+        assert!(img.vmas.iter().any(|v| v.kind == VmaKind::Code));
+    }
+
+    #[test]
+    fn kind_tags_roundtrip() {
+        for k in [
+            VmaKind::Code,
+            VmaKind::Stack,
+            VmaKind::Heap,
+            VmaKind::Anon,
+            VmaKind::FileBacked,
+        ] {
+            assert_eq!(VmaKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(VmaKind::from_tag(9), None);
+    }
+}

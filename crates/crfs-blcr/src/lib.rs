@@ -1,0 +1,42 @@
+//! # crfs-blcr — a BLCR-style process-image checkpoint/restart engine
+//!
+//! Berkeley Lab Checkpoint/Restart (BLCR) dumps a process's entire state —
+//! registers, memory regions (VMAs), open-file descriptions — to an image
+//! file, and can later rebuild the process from it. The CRFS paper (§II-B,
+//! §III) cares about BLCR purely as a *write-pattern generator*: its dump
+//! loop emits a storm of tiny header writes, medium page-cluster writes,
+//! and a few huge region writes.
+//!
+//! This crate is a real, self-contained reimplementation of that engine
+//! for synthetic process images:
+//!
+//! - [`image`]: the process-image data model ([`image::ProcessImage`] with
+//!   registers, VMAs of various kinds, page contents) and deterministic
+//!   synthetic-image builders sized like the paper's workloads.
+//! - [`writer`]: [`writer::CheckpointWriter`] serializes an image through
+//!   any [`CheckpointSink`] with BLCR's syscall pattern (per-VMA headers,
+//!   page-cluster data writes, large contiguous region writes) — exactly
+//!   the stream CRFS is designed to aggregate.
+//! - [`reader`]: [`reader::RestartReader`] parses an image back and
+//!   verifies integrity (magic, lengths, per-VMA checksums), the restart
+//!   path of §V-F.
+//! - [`callbacks`]: BLCR's pre/post-checkpoint hook registry (§II-B "it
+//!   provides callbacks to be extended by applications").
+//!
+//! The on-disk format is this crate's own (BLCR's format is
+//! kernel-version-specific), but its *shape* — header, per-VMA
+//! descriptors, raw page payloads — matches, which is what matters for
+//! checkpoint IO research.
+
+pub mod callbacks;
+pub mod image;
+pub mod reader;
+pub mod writer;
+
+pub use callbacks::{CallbackRegistry, Phase};
+pub use image::{ProcessImage, Vma, VmaKind};
+pub use reader::RestartReader;
+pub use writer::{CheckpointSink, CheckpointWriter, WriteStats};
+
+/// Magic bytes opening every checkpoint image ("CRFSBLC1", version 1).
+pub const IMAGE_MAGIC: [u8; 8] = *b"CRFSBLC1";

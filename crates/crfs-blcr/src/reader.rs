@@ -1,0 +1,136 @@
+//! Restart: parsing and verifying checkpoint images.
+//!
+//! §V-F of the paper: "During restart, BLCR library reads from checkpoint
+//! files and restores the in-memory context for every process."
+//! [`RestartReader`] performs the read-side: it parses the image format
+//! emitted by [`CheckpointWriter`](crate::CheckpointWriter), verifies the
+//! magic and every VMA checksum, and reconstructs the [`ProcessImage`].
+
+use std::io::{self, Read};
+
+use crate::image::{ProcessImage, Registers, Vma, VmaKind};
+use crate::IMAGE_MAGIC;
+
+/// Parses checkpoint images back into [`ProcessImage`]s.
+#[derive(Debug, Default, Clone)]
+pub struct RestartReader {
+    _priv: (),
+}
+
+impl RestartReader {
+    /// Creates a reader.
+    pub fn new() -> RestartReader {
+        RestartReader::default()
+    }
+
+    /// Reads and verifies one image.
+    ///
+    /// Fails with `InvalidData` on bad magic, truncated streams, unknown
+    /// VMA kinds, or checksum mismatches (torn/corrupt checkpoints must
+    /// never restart silently).
+    pub fn read_image<R: Read>(&self, r: &mut R) -> io::Result<ProcessImage> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != IMAGE_MAGIC {
+            return Err(bad("bad image magic"));
+        }
+        let pid = read_u32(r)?;
+        let vma_count = read_u32(r)?;
+        if vma_count > 1_000_000 {
+            return Err(bad("implausible VMA count"));
+        }
+        let mut registers = Registers::default();
+        r.read_exact(&mut registers.bytes)?;
+
+        let mut vmas = Vec::with_capacity(vma_count as usize);
+        for _ in 0..vma_count {
+            let mut d = [0u8; 40];
+            r.read_exact(&mut d)?;
+            let start = u64::from_le_bytes(d[0..8].try_into().expect("8 bytes"));
+            let kind = VmaKind::from_tag(d[8]).ok_or_else(|| bad("unknown VMA kind tag"))?;
+            let len = u64::from_le_bytes(d[16..24].try_into().expect("8 bytes"));
+            let checksum = u64::from_le_bytes(d[24..32].try_into().expect("8 bytes"));
+            if len % crate::image::PAGE_SIZE as u64 != 0 {
+                return Err(bad("VMA length not page-aligned"));
+            }
+            if len > 64 << 30 {
+                return Err(bad("implausible VMA length"));
+            }
+            let mut data = vec![0u8; len as usize];
+            r.read_exact(&mut data)?;
+            let vma = Vma { start, kind, data };
+            if vma.checksum() != checksum {
+                return Err(bad(&format!(
+                    "VMA at {start:#x} failed checksum verification"
+                )));
+            }
+            vmas.push(vma);
+        }
+        Ok(ProcessImage {
+            pid,
+            registers,
+            vmas,
+        })
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::CheckpointWriter;
+
+    #[test]
+    fn checkpoint_restart_roundtrip() {
+        let img = ProcessImage::synthetic(1234, 3 << 20, 7);
+        let mut sink: Vec<u8> = Vec::new();
+        CheckpointWriter::new().write_image(&mut sink, &img).unwrap();
+        let restored = RestartReader::new()
+            .read_image(&mut sink.as_slice())
+            .unwrap();
+        assert_eq!(restored, img);
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected() {
+        let img = ProcessImage::synthetic(1, 1 << 20, 8);
+        let mut sink: Vec<u8> = Vec::new();
+        CheckpointWriter::new().write_image(&mut sink, &img).unwrap();
+        // Flip a byte in the middle of the payload.
+        let mid = sink.len() / 2;
+        sink[mid] ^= 0xFF;
+        let err = RestartReader::new()
+            .read_image(&mut sink.as_slice())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let data = b"NOTMAGIC-and-some-extra-bytes".to_vec();
+        let err = RestartReader::new()
+            .read_image(&mut data.as_slice())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let img = ProcessImage::synthetic(1, 1 << 20, 9);
+        let mut sink: Vec<u8> = Vec::new();
+        CheckpointWriter::new().write_image(&mut sink, &img).unwrap();
+        sink.truncate(sink.len() - 100);
+        assert!(RestartReader::new()
+            .read_image(&mut sink.as_slice())
+            .is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! On-disk layout of the node-level aggregation container.
+//!
+//! A container is a single append-only file on the backing filesystem:
+//!
+//! ```text
+//! ┌────────────┬──────────────┬──────────────┬─────┬────────────┬─────────┐
+//! │ header     │ data record  │ data record  │ ... │ index block│ trailer │
+//! │ 16 bytes   │ hdr+payload  │ hdr+payload  │     │ (finalize) │ 40 bytes│
+//! └────────────┴──────────────┴──────────────┴─────┴────────────┴─────────┘
+//! ```
+//!
+//! Data records are appended strictly sequentially (that is the whole
+//! point: one sequential stream per node instead of N interleaved ones).
+//! [`finalize`](super::AggregatingBackend::finalize) appends the index
+//! block — the logical-file table with every extent — followed by a
+//! fixed-size trailer that locates it. Readers seek to the trailer,
+//! verify magic and CRC, and reconstruct the index.
+//!
+//! All integers are little-endian. The format is versioned through the
+//! header and trailer magics.
+
+use std::io;
+
+/// Magic bytes opening every container file.
+pub const HEADER_MAGIC: &[u8; 8] = b"CRFSAGG1";
+/// Magic bytes closing a *finalized* container.
+pub const TRAILER_MAGIC: &[u8; 8] = b"CRFSEND1";
+/// Container format version.
+pub const VERSION: u32 = 1;
+
+/// Byte size of the container header.
+pub const HEADER_LEN: u64 = 16;
+/// Byte size of a data-record header preceding its payload.
+pub const RECORD_HEADER_LEN: u64 = 24;
+/// Byte size of the fixed trailer.
+pub const TRAILER_LEN: u64 = 40;
+
+/// Marker word starting each data-record header.
+pub const RECORD_MARKER: u32 = 0x4352_4644; // "CRFD"
+
+/// The fixed-size container header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Format version (currently [`VERSION`]).
+    pub version: u32,
+}
+
+impl Header {
+    /// Serializes the header into its 16-byte form.
+    pub fn encode(&self) -> [u8; HEADER_LEN as usize] {
+        let mut out = [0u8; HEADER_LEN as usize];
+        out[..8].copy_from_slice(HEADER_MAGIC);
+        out[8..12].copy_from_slice(&self.version.to_le_bytes());
+        // bytes 12..16 reserved, zero.
+        out
+    }
+
+    /// Parses and validates a header.
+    pub fn decode(buf: &[u8]) -> io::Result<Header> {
+        if buf.len() < HEADER_LEN as usize {
+            return Err(corrupt("container too short for header"));
+        }
+        if &buf[..8] != HEADER_MAGIC {
+            return Err(corrupt("bad container header magic"));
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("container format version {version} not supported"),
+            ));
+        }
+        Ok(Header { version })
+    }
+}
+
+/// Header of one data record; the payload of `len` bytes follows it
+/// immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordHeader {
+    /// Logical file the payload belongs to.
+    pub file_id: u64,
+    /// Byte offset of the payload within the logical file.
+    pub logical_offset: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+impl RecordHeader {
+    /// Serializes the record header into its 24-byte form.
+    pub fn encode(&self) -> [u8; RECORD_HEADER_LEN as usize] {
+        let mut out = [0u8; RECORD_HEADER_LEN as usize];
+        out[..4].copy_from_slice(&RECORD_MARKER.to_le_bytes());
+        out[4..12].copy_from_slice(&self.file_id.to_le_bytes());
+        out[12..20].copy_from_slice(&self.logical_offset.to_le_bytes());
+        out[20..24].copy_from_slice(&self.len.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates a record header.
+    pub fn decode(buf: &[u8]) -> io::Result<RecordHeader> {
+        if buf.len() < RECORD_HEADER_LEN as usize {
+            return Err(corrupt("truncated record header"));
+        }
+        let marker = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        if marker != RECORD_MARKER {
+            return Err(corrupt("bad record marker"));
+        }
+        Ok(RecordHeader {
+            file_id: u64::from_le_bytes(buf[4..12].try_into().unwrap()),
+            logical_offset: u64::from_le_bytes(buf[12..20].try_into().unwrap()),
+            len: u32::from_le_bytes(buf[20..24].try_into().unwrap()),
+        })
+    }
+}
+
+/// The fixed trailer appended by `finalize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trailer {
+    /// Container offset of the index block.
+    pub index_offset: u64,
+    /// Length of the index block in bytes.
+    pub index_len: u64,
+    /// Number of logical files in the index.
+    pub file_count: u32,
+    /// CRC-32 (IEEE) of the index block.
+    pub index_crc: u32,
+}
+
+impl Trailer {
+    /// Serializes the trailer into its 40-byte form.
+    pub fn encode(&self) -> [u8; TRAILER_LEN as usize] {
+        let mut out = [0u8; TRAILER_LEN as usize];
+        out[..8].copy_from_slice(&self.index_offset.to_le_bytes());
+        out[8..16].copy_from_slice(&self.index_len.to_le_bytes());
+        out[16..20].copy_from_slice(&self.file_count.to_le_bytes());
+        out[20..24].copy_from_slice(&self.index_crc.to_le_bytes());
+        // bytes 24..32 reserved, zero.
+        out[32..40].copy_from_slice(TRAILER_MAGIC);
+        out
+    }
+
+    /// Parses and validates a trailer.
+    pub fn decode(buf: &[u8]) -> io::Result<Trailer> {
+        if buf.len() < TRAILER_LEN as usize {
+            return Err(corrupt("container too short for trailer"));
+        }
+        if &buf[32..40] != TRAILER_MAGIC {
+            return Err(corrupt(
+                "bad trailer magic — container was not finalized or is corrupt",
+            ));
+        }
+        Ok(Trailer {
+            index_offset: u64::from_le_bytes(buf[..8].try_into().unwrap()),
+            index_len: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            file_count: u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+            index_crc: u32::from_le_bytes(buf[20..24].try_into().unwrap()),
+        })
+    }
+}
+
+/// A little-endian byte writer for variable-length blocks (the index).
+#[derive(Default)]
+pub struct BlockWriter {
+    buf: Vec<u8>,
+}
+
+impl BlockWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BlockWriter {
+        BlockWriter::default()
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Finishes, returning the block.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A little-endian byte reader over a block, with bounds checking.
+pub struct BlockReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BlockReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> BlockReader<'a> {
+        BlockReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(corrupt("index block truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `data` — the integrity check on the
+/// index block. Implemented locally to keep `crfs-core` dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header { version: VERSION };
+        let enc = h.encode();
+        assert_eq!(Header::decode(&enc).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_and_version() {
+        let mut enc = Header { version: VERSION }.encode();
+        enc[0] ^= 0xFF;
+        assert!(Header::decode(&enc).is_err());
+        let mut enc = Header { version: VERSION }.encode();
+        enc[8] = 99;
+        let err = Header::decode(&enc).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn record_header_roundtrip() {
+        let r = RecordHeader {
+            file_id: 42,
+            logical_offset: 1 << 40,
+            len: 4096,
+        };
+        assert_eq!(RecordHeader::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn record_header_rejects_bad_marker() {
+        let mut enc = RecordHeader {
+            file_id: 1,
+            logical_offset: 0,
+            len: 1,
+        }
+        .encode();
+        enc[0] = 0;
+        assert!(RecordHeader::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn trailer_roundtrip() {
+        let t = Trailer {
+            index_offset: 123_456,
+            index_len: 789,
+            file_count: 8,
+            index_crc: 0xDEAD_BEEF,
+        };
+        assert_eq!(Trailer::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn trailer_rejects_unfinalized() {
+        let buf = [0u8; TRAILER_LEN as usize];
+        let err = Trailer::decode(&buf).unwrap_err();
+        assert!(err.to_string().contains("not finalized"));
+    }
+
+    #[test]
+    fn block_writer_reader_roundtrip() {
+        let mut w = BlockWriter::new();
+        w.u16(7);
+        w.u32(1_000_000);
+        w.u64(u64::MAX);
+        w.bytes(b"path/bytes");
+        let block = w.finish();
+        let mut r = BlockReader::new(&block);
+        assert_eq!(r.u16().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 1_000_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.bytes(10).unwrap(), b"path/bytes");
+        assert_eq!(r.remaining(), 0);
+        assert!(r.u16().is_err(), "reads past end are rejected");
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+}

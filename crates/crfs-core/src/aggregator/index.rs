@@ -1,0 +1,470 @@
+//! The logical-file extent index of an aggregation container.
+//!
+//! Every data record appended to the container adds one [`Extent`] to its
+//! logical file: *bytes `[logical_offset, logical_offset + len)` of this
+//! file live at `container_offset`*. Extents are kept in append order,
+//! which makes overwrite semantics trivial: the **newest extent covering a
+//! byte wins**. Reads are planned by walking extents newest → oldest,
+//! claiming the parts of the request they cover; anything left uncovered
+//! inside the file length is a hole and reads as zeros.
+//!
+//! The index lives in memory while a container is being written and is
+//! serialized into the container's index block at finalize time (see
+//! [`format`](super::format)).
+
+use std::collections::HashMap;
+use std::io;
+
+use super::format::{BlockReader, BlockWriter};
+
+/// One contiguous run of a logical file stored in the container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// Byte offset within the logical file.
+    pub logical_offset: u64,
+    /// Run length in bytes.
+    pub len: u64,
+    /// Byte offset of the payload within the container file.
+    pub container_offset: u64,
+}
+
+impl Extent {
+    fn logical_end(&self) -> u64 {
+        self.logical_offset + self.len
+    }
+}
+
+/// Index entry for one logical file.
+#[derive(Debug, Clone, Default)]
+pub struct FileIndex {
+    /// Stable numeric id, stamped into every data record of this file so
+    /// an unfinalized container can still be attributed record-by-record.
+    pub id: u64,
+    /// Extents in append (= age) order.
+    pub extents: Vec<Extent>,
+    /// Logical file length. Tracks the maximum extent end, and is set
+    /// explicitly by truncation.
+    pub len: u64,
+}
+
+/// One piece of a planned read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPiece {
+    /// Copy `len` bytes from `container_offset` into the destination at
+    /// `dst` bytes from the start of the request.
+    Data {
+        /// Offset into the destination buffer.
+        dst: usize,
+        /// Source offset within the container file.
+        container_offset: u64,
+        /// Bytes to copy.
+        len: usize,
+    },
+    /// Zero-fill `len` bytes at `dst` (a hole).
+    Hole {
+        /// Offset into the destination buffer.
+        dst: usize,
+        /// Bytes to zero.
+        len: usize,
+    },
+}
+
+impl FileIndex {
+    /// Records a new extent (a data record that was just appended).
+    pub fn push(&mut self, e: Extent) {
+        self.len = self.len.max(e.logical_end());
+        self.extents.push(e);
+    }
+
+    /// Applies `truncate(new_len)`: drops extents past the new length and
+    /// trims any straddling it, so bytes beyond the cut can never
+    /// resurface — even if the file is later extended again (POSIX says
+    /// the re-extended range reads as zeros).
+    pub fn truncate(&mut self, new_len: u64) {
+        if new_len < self.len {
+            self.extents.retain_mut(|e| {
+                if e.logical_offset >= new_len {
+                    return false;
+                }
+                if e.logical_end() > new_len {
+                    e.len = new_len - e.logical_offset;
+                }
+                true
+            });
+        }
+        self.len = new_len;
+    }
+
+    /// Plans a read of `len` bytes at `offset`: returns the pieces to
+    /// assemble (newest-extent-wins) and the number of destination bytes
+    /// the plan produces (clamped at the logical file length; 0 at EOF).
+    ///
+    /// Pieces are returned in ascending `dst` order and exactly tile
+    /// `[0, returned_len)`.
+    pub fn plan_read(&self, offset: u64, len: usize) -> (Vec<ReadPiece>, usize) {
+        if offset >= self.len || len == 0 {
+            return (Vec::new(), 0);
+        }
+        let end = (offset + len as u64).min(self.len);
+        let total = (end - offset) as usize;
+
+        // Uncovered logical ranges, relative to the request.
+        let mut uncovered: Vec<(u64, u64)> = vec![(offset, end)];
+        let mut pieces: Vec<ReadPiece> = Vec::new();
+
+        for e in self.extents.iter().rev() {
+            if uncovered.is_empty() {
+                break;
+            }
+            let mut next_uncovered = Vec::with_capacity(uncovered.len());
+            for &(lo, hi) in &uncovered {
+                let cov_lo = lo.max(e.logical_offset);
+                let cov_hi = hi.min(e.logical_end());
+                if cov_lo >= cov_hi {
+                    next_uncovered.push((lo, hi));
+                    continue;
+                }
+                pieces.push(ReadPiece::Data {
+                    dst: (cov_lo - offset) as usize,
+                    container_offset: e.container_offset + (cov_lo - e.logical_offset),
+                    len: (cov_hi - cov_lo) as usize,
+                });
+                if lo < cov_lo {
+                    next_uncovered.push((lo, cov_lo));
+                }
+                if cov_hi < hi {
+                    next_uncovered.push((cov_hi, hi));
+                }
+            }
+            uncovered = next_uncovered;
+        }
+        for (lo, hi) in uncovered {
+            pieces.push(ReadPiece::Hole {
+                dst: (lo - offset) as usize,
+                len: (hi - lo) as usize,
+            });
+        }
+        pieces.sort_by_key(|p| match *p {
+            ReadPiece::Data { dst, .. } | ReadPiece::Hole { dst, .. } => dst,
+        });
+        (pieces, total)
+    }
+}
+
+/// The full container index: logical path → file entry.
+#[derive(Debug, Default, Clone)]
+pub struct ContainerIndex {
+    files: HashMap<String, FileIndex>,
+    next_id: u64,
+}
+
+impl ContainerIndex {
+    /// Creates an empty index.
+    pub fn new() -> ContainerIndex {
+        ContainerIndex::default()
+    }
+
+    /// The entry for `path`, creating it (with a fresh id) if absent.
+    pub fn entry(&mut self, path: &str) -> &mut FileIndex {
+        let next_id = &mut self.next_id;
+        self.files.entry(path.to_string()).or_insert_with(|| {
+            let id = *next_id;
+            *next_id += 1;
+            FileIndex {
+                id,
+                ..FileIndex::default()
+            }
+        })
+    }
+
+    /// The entry for `path`, if present.
+    pub fn get(&self, path: &str) -> Option<&FileIndex> {
+        self.files.get(path)
+    }
+
+    /// Removes `path` from the index (unlink).
+    pub fn remove(&mut self, path: &str) -> Option<FileIndex> {
+        self.files.remove(path)
+    }
+
+    /// Renames a logical file.
+    pub fn rename(&mut self, from: &str, to: &str) -> bool {
+        match self.files.remove(from) {
+            Some(fi) => {
+                self.files.insert(to.to_string(), fi);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Logical paths, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        let mut p: Vec<String> = self.files.keys().cloned().collect();
+        p.sort();
+        p
+    }
+
+    /// Number of logical files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total extents across all files.
+    pub fn extent_count(&self) -> usize {
+        self.files.values().map(|f| f.extents.len()).sum()
+    }
+
+    /// Serializes the index into an index block (see module docs of
+    /// [`format`](super::format) for the container layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = BlockWriter::new();
+        w.u32(self.files.len() as u32);
+        // Deterministic order for reproducible containers.
+        for path in self.paths() {
+            let fi = &self.files[&path];
+            let pb = path.as_bytes();
+            w.u16(pb.len() as u16);
+            w.bytes(pb);
+            w.u64(fi.id);
+            w.u64(fi.len);
+            w.u32(fi.extents.len() as u32);
+            for e in &fi.extents {
+                w.u64(e.logical_offset);
+                w.u64(e.len);
+                w.u64(e.container_offset);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes an index block.
+    pub fn decode(block: &[u8]) -> io::Result<ContainerIndex> {
+        let mut r = BlockReader::new(block);
+        let n = r.u32()? as usize;
+        let mut files = HashMap::with_capacity(n);
+        let mut next_id = 0;
+        for _ in 0..n {
+            let plen = r.u16()? as usize;
+            let path = String::from_utf8(r.bytes(plen)?.to_vec()).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 path in index")
+            })?;
+            let id = r.u64()?;
+            let len = r.u64()?;
+            let ecount = r.u32()? as usize;
+            let mut fi = FileIndex {
+                id,
+                extents: Vec::with_capacity(ecount),
+                len: 0,
+            };
+            for _ in 0..ecount {
+                fi.push(Extent {
+                    logical_offset: r.u64()?,
+                    len: r.u64()?,
+                    container_offset: r.u64()?,
+                });
+            }
+            fi.len = len; // authoritative (truncation may shrink it)
+            next_id = next_id.max(id + 1);
+            files.insert(path, fi);
+        }
+        if r.remaining() != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes after index block",
+            ));
+        }
+        Ok(ContainerIndex { files, next_id })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext(lo: u64, len: u64, co: u64) -> Extent {
+        Extent {
+            logical_offset: lo,
+            len,
+            container_offset: co,
+        }
+    }
+
+    /// Reference model: materialize the file into a Vec and slice it.
+    fn reference_read(fi: &FileIndex, offset: u64, len: usize) -> Vec<Option<u64>> {
+        // Each byte is labelled by the container offset it comes from,
+        // or None for holes.
+        let mut bytes: Vec<Option<u64>> = vec![None; fi.len as usize];
+        for e in &fi.extents {
+            for i in 0..e.len {
+                bytes[(e.logical_offset + i) as usize] = Some(e.container_offset + i);
+            }
+        }
+        let end = ((offset + len as u64).min(fi.len)) as usize;
+        if offset as usize >= bytes.len() {
+            return Vec::new();
+        }
+        bytes[offset as usize..end].to_vec()
+    }
+
+    fn planned_read(fi: &FileIndex, offset: u64, len: usize) -> Vec<Option<u64>> {
+        let (pieces, total) = fi.plan_read(offset, len);
+        let mut out: Vec<Option<u64>> = vec![None; total];
+        let mut covered = 0;
+        for p in pieces {
+            match p {
+                ReadPiece::Data {
+                    dst,
+                    container_offset,
+                    len,
+                } => {
+                    for i in 0..len {
+                        assert!(out[dst + i].is_none(), "pieces overlap");
+                        out[dst + i] = Some(container_offset + i as u64);
+                    }
+                    covered += len;
+                }
+                ReadPiece::Hole { len, .. } => covered += len,
+            }
+        }
+        assert_eq!(covered, total, "pieces must tile the request exactly");
+        out
+    }
+
+    #[test]
+    fn sequential_extents_plan_single_piece() {
+        let mut fi = FileIndex::default();
+        fi.push(ext(0, 100, 1000));
+        let (pieces, total) = fi.plan_read(10, 50);
+        assert_eq!(total, 50);
+        assert_eq!(
+            pieces,
+            vec![ReadPiece::Data {
+                dst: 0,
+                container_offset: 1010,
+                len: 50
+            }]
+        );
+    }
+
+    #[test]
+    fn newest_extent_wins_on_overwrite() {
+        let mut fi = FileIndex::default();
+        fi.push(ext(0, 100, 0)); // old data
+        fi.push(ext(20, 10, 500)); // overwrite of [20,30)
+        assert_eq!(planned_read(&fi, 0, 100), reference_read(&fi, 0, 100));
+        // Byte 25 must come from the newer extent.
+        let r = planned_read(&fi, 25, 1);
+        assert_eq!(r[0], Some(505));
+    }
+
+    #[test]
+    fn holes_read_as_none_within_len() {
+        let mut fi = FileIndex::default();
+        fi.push(ext(100, 50, 0)); // file starts with a 100-byte hole
+        assert_eq!(fi.len, 150);
+        let r = planned_read(&fi, 0, 150);
+        assert_eq!(r, reference_read(&fi, 0, 150));
+        assert!(r[..100].iter().all(Option::is_none));
+        assert!(r[100..].iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn read_past_eof_is_empty_and_reads_clamp() {
+        let mut fi = FileIndex::default();
+        fi.push(ext(0, 10, 0));
+        assert_eq!(fi.plan_read(10, 5).1, 0);
+        assert_eq!(fi.plan_read(100, 5).1, 0);
+        assert_eq!(fi.plan_read(8, 100).1, 2);
+    }
+
+    #[test]
+    fn truncate_drops_and_trims_extents() {
+        let mut fi = FileIndex::default();
+        fi.push(ext(0, 100, 0));
+        fi.push(ext(100, 100, 200));
+        fi.truncate(150);
+        assert_eq!(fi.len, 150);
+        assert_eq!(fi.extents.len(), 2);
+        assert_eq!(fi.extents[1].len, 50);
+        fi.truncate(50);
+        assert_eq!(fi.extents.len(), 1);
+        assert_eq!(fi.extents[0].len, 50);
+        // Extending again: the cut range must stay a hole.
+        fi.truncate(200);
+        let r = planned_read(&fi, 0, 200);
+        assert!(r[..50].iter().all(Option::is_some));
+        assert!(r[50..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn truncate_to_zero_then_rewrite() {
+        let mut fi = FileIndex::default();
+        fi.push(ext(0, 64, 0));
+        fi.truncate(0);
+        assert_eq!(fi.len, 0);
+        assert!(fi.extents.is_empty());
+        fi.push(ext(0, 8, 900));
+        assert_eq!(planned_read(&fi, 0, 8)[0], Some(900));
+    }
+
+    #[test]
+    fn many_overlapping_extents_match_reference() {
+        // Deterministic pseudo-random overlap pattern, checked byte-for-
+        // byte against the materialized reference model.
+        let mut fi = FileIndex::default();
+        let mut co = 0u64;
+        let mut x = 12345u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let lo = (x >> 33) % 1000;
+            let len = 1 + (x >> 17) % 100;
+            fi.push(ext(lo, len, co));
+            co += len;
+        }
+        for (off, len) in [(0u64, 1100usize), (500, 100), (999, 10), (0, 1), (37, 613)] {
+            assert_eq!(
+                planned_read(&fi, off, len),
+                reference_read(&fi, off, len),
+                "mismatch at offset {off} len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_encode_decode_roundtrip() {
+        let mut idx = ContainerIndex::new();
+        idx.entry("/ckpt/rank0.img").push(ext(0, 4096, 16));
+        idx.entry("/ckpt/rank0.img").push(ext(4096, 100, 5000));
+        idx.entry("/ckpt/rank1.img").push(ext(0, 64, 6000));
+        idx.entry("/empty");
+        let block = idx.encode();
+        let back = ContainerIndex::decode(&block).unwrap();
+        assert_eq!(back.file_count(), 3);
+        assert_eq!(back.paths(), idx.paths());
+        assert_eq!(back.get("/ckpt/rank0.img").unwrap().extents.len(), 2);
+        assert_eq!(back.get("/ckpt/rank0.img").unwrap().len, 4196);
+        assert_eq!(back.get("/empty").unwrap().len, 0);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ContainerIndex::decode(&[1, 2, 3]).is_err());
+        let mut idx = ContainerIndex::new();
+        idx.entry("/f").push(ext(0, 1, 0));
+        let mut block = idx.encode();
+        block.push(0); // trailing junk
+        assert!(ContainerIndex::decode(&block).is_err());
+    }
+
+    #[test]
+    fn rename_and_remove() {
+        let mut idx = ContainerIndex::new();
+        idx.entry("/a").push(ext(0, 1, 0));
+        assert!(idx.rename("/a", "/b"));
+        assert!(!idx.rename("/a", "/c"));
+        assert!(idx.get("/b").is_some());
+        assert!(idx.remove("/b").is_some());
+        assert_eq!(idx.file_count(), 0);
+    }
+}

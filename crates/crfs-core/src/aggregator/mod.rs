@@ -1,0 +1,60 @@
+//! Node-level write aggregation into container files — the paper's §VII
+//! future-work direction, implemented.
+//!
+//! CRFS as published fixes *intra-file* inefficiency (many small writes →
+//! few large chunks) but still emits one backend file per checkpointing
+//! process. On a node with 8 processes the backing filesystem therefore
+//! interleaves block allocations across 8 files — exactly the seek storm
+//! Figure 10 shows, reduced but not eliminated by chunking. The paper's
+//! stated future work is to attack this *inter-file* (and inter-node)
+//! contention too.
+//!
+//! This module collapses a node's checkpoint output into **one**
+//! append-only container file:
+//!
+//! - [`AggregatingBackend`] — a [`Backend`](crate::backend::Backend)
+//!   adapter CRFS mounts over. Logical files become sequential data
+//!   records in the container; an in-memory extent index tracks where
+//!   every logical byte lives. [`finalize`](AggregatingBackend::finalize)
+//!   seals the container with the serialized index and a CRC-protected
+//!   trailer.
+//! - [`ContainerReader`] — restart-time access: validated open, logical
+//!   reads remapped through the index,
+//!   [`materialize`](ContainerReader::materialize) to rebuild the
+//!   original per-file layout on any backend (restoring the paper's
+//!   "restart without CRFS" property), a garbage-collecting
+//!   [`compact`](ContainerReader::compact), and an
+//!   [`fsck`](ContainerReader::fsck) structural check.
+//!
+//! Contrast with PLFS (Bent et al., SC '09): PLFS turns one logical N-1
+//! shared file into N physical streams; this container turns N logical
+//! N-N files into one physical stream. Both attack backend contention by
+//! decoupling the logical from the physical layout with an index.
+//!
+//! ```
+//! use crfs_core::aggregator::{AggregatingBackend, ContainerReader};
+//! use crfs_core::backend::{Backend, MemBackend};
+//! use crfs_core::{Crfs, CrfsConfig};
+//! use std::sync::Arc;
+//!
+//! let disk: Arc<dyn Backend> = Arc::new(MemBackend::new());
+//! let agg = Arc::new(AggregatingBackend::create(&disk, "/node0.agg").unwrap());
+//!
+//! let fs = Crfs::mount(Arc::clone(&agg) as Arc<dyn Backend>, CrfsConfig::default()).unwrap();
+//! let f = fs.create("/rank0.img").unwrap();
+//! f.write(b"process snapshot").unwrap();
+//! f.close().unwrap();
+//! fs.unmount().unwrap();
+//! agg.finalize().unwrap();
+//!
+//! let reader = ContainerReader::open(&disk, "/node0.agg").unwrap();
+//! assert_eq!(reader.read_file("/rank0.img").unwrap(), b"process snapshot");
+//! ```
+
+pub mod format;
+pub mod index;
+mod reader;
+mod writer;
+
+pub use reader::{ContainerReader, FsckReport};
+pub use writer::{AggregatingBackend, ContainerSummary};

@@ -1,0 +1,600 @@
+//! The aggregating backend: N logical files in, one sequential container
+//! stream out.
+//!
+//! [`AggregatingBackend`] implements [`Backend`], so CRFS stacks directly
+//! on top of it:
+//!
+//! ```text
+//! checkpointers → Crfs (chunk pipeline) → AggregatingBackend → real backend
+//!                                          └─ one append-only container file
+//! ```
+//!
+//! Every `write_at` on any logical file becomes one data record appended
+//! at the container tail under a single appender lock. That lock is the
+//! design, not a bottleneck to engineer away: the paper's future-work
+//! direction (§VII) is to collapse a node's *inter-file* write
+//! interleaving — the thing that makes ext3 allocate blocks round-robin
+//! across N checkpoint files and seek between them — into one sequential
+//! stream per node. CRFS's chunking above already turned thousands of
+//! small writes into few multi-MiB chunks, so the serialized appends are
+//! large and the lock is held for one backend call at a time.
+//!
+//! Restart has two paths:
+//! - mount the container through [`ContainerReader`](super::ContainerReader)
+//!   and read logical files directly (index-remapped), or
+//! - [`materialize`](super::ContainerReader::materialize) the original
+//!   per-file layout back onto any backend, restoring the paper's
+//!   "restart without CRFS mounted" property.
+
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use super::format::{Header, RecordHeader, Trailer, crc32, HEADER_LEN, RECORD_HEADER_LEN, TRAILER_LEN, VERSION};
+use super::index::{ContainerIndex, Extent, ReadPiece};
+use crate::backend::{normalize_path, parent_of, Backend, BackendFile, OpenOptions};
+
+/// Statistics of a finalized container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerSummary {
+    /// Logical files stored.
+    pub file_count: usize,
+    /// Extents (data records) stored.
+    pub extent_count: usize,
+    /// Payload bytes (sum of record payloads).
+    pub data_bytes: u64,
+    /// Size of the serialized index block.
+    pub index_bytes: u64,
+    /// Total container file size including header, record headers, index
+    /// and trailer.
+    pub container_bytes: u64,
+}
+
+struct Appender {
+    file: Box<dyn BackendFile>,
+    tail: u64,
+    finalized: bool,
+}
+
+struct AggShared {
+    inner_name: String,
+    appender: Mutex<Appender>,
+    index: Mutex<ContainerIndex>,
+    dirs: Mutex<HashSet<String>>,
+    data_bytes: AtomicU64,
+    records: AtomicU64,
+}
+
+/// A [`Backend`] that multiplexes all logical files into one append-only
+/// container on the inner backend. See the module docs for the role it
+/// plays in the CRFS stack.
+pub struct AggregatingBackend {
+    shared: Arc<AggShared>,
+    name: String,
+}
+
+impl AggregatingBackend {
+    /// Creates a new container at `container_path` on `inner` and returns
+    /// the aggregating backend. The parent directory must exist on the
+    /// inner backend.
+    pub fn create(inner: &Arc<dyn Backend>, container_path: &str) -> io::Result<AggregatingBackend> {
+        let path = normalize_path(container_path)?;
+        let file = inner.open(&path, OpenOptions::create_truncate())?;
+        let header = Header { version: VERSION }.encode();
+        file.write_at(0, &header)?;
+        let mut dirs = HashSet::new();
+        dirs.insert("/".to_string());
+        Ok(AggregatingBackend {
+            name: format!("agg({})", inner.name()),
+            shared: Arc::new(AggShared {
+                inner_name: inner.name().to_string(),
+                appender: Mutex::new(Appender {
+                    file,
+                    tail: HEADER_LEN,
+                    finalized: false,
+                }),
+                index: Mutex::new(ContainerIndex::new()),
+                dirs: Mutex::new(dirs),
+                data_bytes: AtomicU64::new(0),
+                records: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Name of the wrapped backend.
+    pub fn inner_name(&self) -> &str {
+        &self.shared.inner_name
+    }
+
+    /// Payload bytes appended so far.
+    pub fn data_bytes(&self) -> u64 {
+        self.shared.data_bytes.load(Relaxed)
+    }
+
+    /// Data records appended so far.
+    pub fn records(&self) -> u64 {
+        self.shared.records.load(Relaxed)
+    }
+
+    /// Seals the container: appends the index block and trailer, fsyncs,
+    /// and rejects all further writes. Returns the container summary.
+    ///
+    /// Idempotent-with-error: a second call fails with
+    /// [`io::ErrorKind::InvalidInput`].
+    pub fn finalize(&self) -> io::Result<ContainerSummary> {
+        let mut app = self.shared.appender.lock();
+        if app.finalized {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "container already finalized",
+            ));
+        }
+        let index = self.shared.index.lock();
+        let block = index.encode();
+        let trailer = Trailer {
+            index_offset: app.tail,
+            index_len: block.len() as u64,
+            file_count: index.file_count() as u32,
+            index_crc: crc32(&block),
+        };
+        let file_count = index.file_count();
+        let extent_count = index.extent_count();
+        drop(index);
+
+        app.file.write_at(app.tail, &block)?;
+        app.file
+            .write_at(app.tail + block.len() as u64, &trailer.encode())?;
+        app.tail += block.len() as u64 + TRAILER_LEN;
+        app.file.sync()?;
+        app.finalized = true;
+        Ok(ContainerSummary {
+            file_count,
+            extent_count,
+            data_bytes: self.shared.data_bytes.load(Relaxed),
+            index_bytes: block.len() as u64,
+            container_bytes: app.tail,
+        })
+    }
+
+    /// Whether [`finalize`](Self::finalize) has run.
+    pub fn is_finalized(&self) -> bool {
+        self.shared.appender.lock().finalized
+    }
+}
+
+impl Backend for AggregatingBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn open(&self, path: &str, opts: OpenOptions) -> io::Result<Box<dyn BackendFile>> {
+        let path = normalize_path(path)?;
+        let mut index = self.shared.index.lock();
+        let known = index.get(&path).is_some();
+        if !known && !opts.create {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{path:?} not in container"),
+            ));
+        }
+        if opts.create && !known {
+            let parent = parent_of(&path).to_string();
+            if !self.shared.dirs.lock().contains(&parent) && parent != "/" {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("parent of {path:?} does not exist"),
+                ));
+            }
+            index.entry(&path);
+        }
+        if opts.truncate {
+            index.entry(&path).truncate(0);
+        }
+        let id = index.entry(&path).id;
+        drop(index);
+        Ok(Box::new(AggFile {
+            shared: Arc::clone(&self.shared),
+            path,
+            id,
+        }))
+    }
+
+    fn mkdir(&self, path: &str) -> io::Result<()> {
+        let path = normalize_path(path)?;
+        let mut dirs = self.shared.dirs.lock();
+        if dirs.contains(&path) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{path:?} exists"),
+            ));
+        }
+        let parent = parent_of(&path);
+        if !dirs.contains(parent) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("parent of {path:?} does not exist"),
+            ));
+        }
+        dirs.insert(path);
+        Ok(())
+    }
+
+    fn rmdir(&self, path: &str) -> io::Result<()> {
+        let path = normalize_path(path)?;
+        if path == "/" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot remove root",
+            ));
+        }
+        let mut dirs = self.shared.dirs.lock();
+        if !dirs.contains(&path) {
+            return Err(io::Error::new(io::ErrorKind::NotFound, path));
+        }
+        let prefix = format!("{path}/");
+        let has_children = dirs.iter().any(|d| d.starts_with(&prefix))
+            || self
+                .shared
+                .index
+                .lock()
+                .paths()
+                .iter()
+                .any(|p| p.starts_with(&prefix));
+        if has_children {
+            return Err(io::Error::new(
+                io::ErrorKind::DirectoryNotEmpty,
+                format!("{path:?} not empty"),
+            ));
+        }
+        dirs.remove(&path);
+        Ok(())
+    }
+
+    fn unlink(&self, path: &str) -> io::Result<()> {
+        let path = normalize_path(path)?;
+        match self.shared.index.lock().remove(&path) {
+            Some(_) => Ok(()), // payload bytes stay in the log, unreferenced
+            None => Err(io::Error::new(io::ErrorKind::NotFound, path)),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let from = normalize_path(from)?;
+        let to = normalize_path(to)?;
+        if self.shared.index.lock().rename(&from, &to) {
+            Ok(())
+        } else {
+            Err(io::Error::new(io::ErrorKind::NotFound, from))
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        match normalize_path(path) {
+            Ok(p) => {
+                self.shared.index.lock().get(&p).is_some() || self.shared.dirs.lock().contains(&p)
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn file_len(&self, path: &str) -> io::Result<u64> {
+        let p = normalize_path(path)?;
+        self.shared
+            .index
+            .lock()
+            .get(&p)
+            .map(|fi| fi.len)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, p))
+    }
+
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        let p = normalize_path(path)?;
+        if !self.shared.dirs.lock().contains(&p) {
+            return Err(io::Error::new(io::ErrorKind::NotFound, p));
+        }
+        let prefix = if p == "/" { "/".to_string() } else { format!("{p}/") };
+        let mut names: HashSet<String> = HashSet::new();
+        for f in self.shared.index.lock().paths() {
+            if let Some(rest) = f.strip_prefix(&prefix) {
+                names.insert(rest.split('/').next().unwrap_or(rest).to_string());
+            }
+        }
+        for d in self.shared.dirs.lock().iter() {
+            if let Some(rest) = d.strip_prefix(&prefix) {
+                if !rest.is_empty() {
+                    names.insert(rest.split('/').next().unwrap_or(rest).to_string());
+                }
+            }
+        }
+        let mut out: Vec<String> = names.into_iter().collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// Handle on a logical file inside a live container.
+struct AggFile {
+    shared: Arc<AggShared>,
+    path: String,
+    id: u64,
+}
+
+impl BackendFile for AggFile {
+    fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        // Assemble the record (header + payload) so the inner backend sees
+        // exactly one sequential write per record.
+        let header = RecordHeader {
+            file_id: self.id,
+            logical_offset: offset,
+            len: data.len() as u32,
+        };
+        let mut rec = Vec::with_capacity(RECORD_HEADER_LEN as usize + data.len());
+        rec.extend_from_slice(&header.encode());
+        rec.extend_from_slice(data);
+
+        let mut app = self.shared.appender.lock();
+        if app.finalized {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "container finalized — no further writes accepted",
+            ));
+        }
+        let record_off = app.tail;
+        app.file.write_at(record_off, &rec)?;
+        app.tail += rec.len() as u64;
+        drop(app);
+
+        self.shared.index.lock().entry(&self.path).push(Extent {
+            logical_offset: offset,
+            len: data.len() as u64,
+            container_offset: record_off + RECORD_HEADER_LEN,
+        });
+        self.shared
+            .data_bytes
+            .fetch_add(data.len() as u64, Relaxed);
+        self.shared.records.fetch_add(1, Relaxed);
+        Ok(())
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let (pieces, total) = {
+            let index = self.shared.index.lock();
+            match index.get(&self.path) {
+                Some(fi) => fi.plan_read(offset, buf.len()),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("{:?} vanished from container", self.path),
+                    ))
+                }
+            }
+        };
+        let app = self.shared.appender.lock();
+        for p in pieces {
+            match p {
+                ReadPiece::Data {
+                    dst,
+                    container_offset,
+                    len,
+                } => {
+                    let got = app.file.read_at(container_offset, &mut buf[dst..dst + len])?;
+                    if got != len {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "container shorter than its index",
+                        ));
+                    }
+                }
+                ReadPiece::Hole { dst, len } => buf[dst..dst + len].fill(0),
+            }
+        }
+        Ok(total)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.shared.appender.lock().file.sync()
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.shared
+            .index
+            .lock()
+            .get(&self.path)
+            .map(|fi| fi.len)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, self.path.clone()))
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        let mut index = self.shared.index.lock();
+        match index.get(&self.path) {
+            Some(_) => {
+                let fi = index.entry(&self.path);
+                if len < fi.len {
+                    fi.truncate(len);
+                } else {
+                    fi.len = len; // extension: the gap reads as a hole
+                }
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, self.path.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn agg() -> (Arc<dyn Backend>, AggregatingBackend) {
+        let inner: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let agg = AggregatingBackend::create(&inner, "/node0.crfsagg").unwrap();
+        (inner, agg)
+    }
+
+    #[test]
+    fn create_writes_header() {
+        let (inner, _agg) = agg();
+        let f = inner.open("/node0.crfsagg", OpenOptions::read_only()).unwrap();
+        let mut hdr = [0u8; HEADER_LEN as usize];
+        assert_eq!(f.read_at(0, &mut hdr).unwrap(), HEADER_LEN as usize);
+        Header::decode(&hdr).unwrap();
+    }
+
+    #[test]
+    fn logical_files_roundtrip_through_container() {
+        let (_inner, agg) = agg();
+        let a = agg.open("/rank0", OpenOptions::create_truncate()).unwrap();
+        let b = agg.open("/rank1", OpenOptions::create_truncate()).unwrap();
+        a.write_at(0, b"aaaa").unwrap();
+        b.write_at(0, b"bbbb").unwrap();
+        a.write_at(4, b"AAAA").unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(a.read_at(0, &mut buf).unwrap(), 8);
+        assert_eq!(&buf, b"aaaaAAAA");
+        let mut buf = [0u8; 4];
+        assert_eq!(b.read_at(0, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"bbbb");
+        assert_eq!(agg.records(), 3);
+        assert_eq!(agg.data_bytes(), 12);
+    }
+
+    #[test]
+    fn appends_are_sequential_in_container() {
+        let (inner, agg) = agg();
+        let a = agg.open("/r0", OpenOptions::create_truncate()).unwrap();
+        let b = agg.open("/r1", OpenOptions::create_truncate()).unwrap();
+        // Interleaved logical writes...
+        for i in 0..10u8 {
+            a.write_at(u64::from(i) * 4, &[i; 4]).unwrap();
+            b.write_at(u64::from(i) * 4, &[i | 0x80; 4]).unwrap();
+        }
+        // ...must appear as one dense run of records in the container.
+        let clen = inner.file_len("/node0.crfsagg").unwrap();
+        assert_eq!(
+            clen,
+            HEADER_LEN + 20 * (RECORD_HEADER_LEN + 4),
+            "container must be contiguous records, no gaps"
+        );
+    }
+
+    #[test]
+    fn overwrites_newest_wins_through_backend_api() {
+        let (_inner, agg) = agg();
+        let f = agg.open("/f", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, &[1; 100]).unwrap();
+        f.write_at(25, &[2; 50]).unwrap();
+        let mut buf = [0u8; 100];
+        f.read_at(0, &mut buf).unwrap();
+        assert!(buf[..25].iter().all(|&b| b == 1));
+        assert!(buf[25..75].iter().all(|&b| b == 2));
+        assert!(buf[75..].iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn finalize_seals_the_container() {
+        let (_inner, agg) = agg();
+        let f = agg.open("/f", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, b"data").unwrap();
+        let summary = agg.finalize().unwrap();
+        assert_eq!(summary.file_count, 1);
+        assert_eq!(summary.extent_count, 1);
+        assert_eq!(summary.data_bytes, 4);
+        assert!(agg.is_finalized());
+        let err = f.write_at(4, b"more").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(agg.finalize().is_err(), "double finalize rejected");
+        // Reads still work after finalize.
+        let mut buf = [0u8; 4];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"data");
+    }
+
+    #[test]
+    fn namespace_ops_work_on_logical_tree() {
+        let (_inner, agg) = agg();
+        agg.mkdir("/ckpt").unwrap();
+        assert!(agg.mkdir("/ckpt").is_err(), "duplicate mkdir");
+        assert!(agg.mkdir("/no/parent").is_err());
+        let f = agg
+            .open("/ckpt/rank0", OpenOptions::create_truncate())
+            .unwrap();
+        f.write_at(0, b"x").unwrap();
+        assert!(agg.exists("/ckpt/rank0"));
+        assert_eq!(agg.file_len("/ckpt/rank0").unwrap(), 1);
+        assert_eq!(agg.list_dir("/ckpt").unwrap(), vec!["rank0"]);
+        assert!(agg.rmdir("/ckpt").is_err(), "non-empty rmdir rejected");
+        agg.rename("/ckpt/rank0", "/ckpt/rank0.done").unwrap();
+        assert!(!agg.exists("/ckpt/rank0"));
+        agg.unlink("/ckpt/rank0.done").unwrap();
+        agg.rmdir("/ckpt").unwrap();
+        assert!(!agg.exists("/ckpt"));
+    }
+
+    #[test]
+    fn open_missing_without_create_fails() {
+        let (_inner, agg) = agg();
+        assert!(agg.open("/nope", OpenOptions::read_only()).is_err());
+        assert!(agg.open("/nope", OpenOptions::read_write()).is_err());
+    }
+
+    #[test]
+    fn truncate_through_backend_handle() {
+        let (_inner, agg) = agg();
+        let f = agg.open("/t", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, &[9; 100]).unwrap();
+        f.set_len(10).unwrap();
+        assert_eq!(f.len().unwrap(), 10);
+        f.set_len(20).unwrap();
+        let mut buf = [0u8; 20];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 20);
+        assert!(buf[..10].iter().all(|&b| b == 9));
+        assert!(buf[10..].iter().all(|&b| b == 0), "re-extended range is a hole");
+    }
+
+    #[test]
+    fn crfs_mounts_over_aggregating_backend() {
+        use crate::{Crfs, CrfsConfig};
+        let inner: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let agg: Arc<AggregatingBackend> =
+            Arc::new(AggregatingBackend::create(&inner, "/node.agg").unwrap());
+        let fs = Crfs::mount(
+            Arc::clone(&agg) as Arc<dyn Backend>,
+            CrfsConfig::default()
+                .with_chunk_size(1024)
+                .with_pool_size(8192),
+        )
+        .unwrap();
+        let mut handles = Vec::new();
+        for r in 0..4 {
+            let fs = Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                let f = fs.create(&format!("/rank{r}.img")).unwrap();
+                for _ in 0..10 {
+                    f.write(&vec![r as u8; 300]).unwrap();
+                }
+                f.close().unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        fs.unmount().unwrap();
+        for r in 0..4u8 {
+            let f = agg
+                .open(&format!("/rank{r}.img"), OpenOptions::read_only())
+                .unwrap();
+            let mut buf = vec![0u8; 3000];
+            assert_eq!(f.read_at(0, &mut buf).unwrap(), 3000);
+            assert!(buf.iter().all(|&b| b == r));
+        }
+        // CRFS chunking above the container: 3000-byte files over 1024-byte
+        // chunks → ≤ 4 records per file, not 10 (the per-write count).
+        assert!(agg.records() <= 16, "records={}", agg.records());
+    }
+}

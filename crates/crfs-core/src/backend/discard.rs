@@ -1,0 +1,182 @@
+//! Null-sink backend for raw pipeline measurement.
+//!
+//! The paper's Fig. 5 measures CRFS's aggregation throughput by having IO
+//! threads *discard* filled chunks instead of writing them: "Once a filled
+//! chunk is picked up by an IO thread it is discarded without being written
+//! to a back-end filesystem." `DiscardBackend` is that measurement device:
+//! writes are acknowledged instantly, metadata is tracked so the filesystem
+//! remains well-formed, reads return zeros.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use super::{normalize_path, Backend, BackendFile, OpenOptions};
+
+/// A backend that swallows all data.
+#[derive(Default)]
+pub struct DiscardBackend {
+    /// Logical lengths per path, so `len`/`exists` behave sensibly.
+    lens: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    /// Total bytes "written" across all files; shared with file handles.
+    bytes: Arc<AtomicU64>,
+}
+
+impl DiscardBackend {
+    /// Creates an empty discard backend.
+    pub fn new() -> DiscardBackend {
+        DiscardBackend::default()
+    }
+
+    /// Total bytes acknowledged so far (for throughput reporting).
+    pub fn bytes_discarded(&self) -> u64 {
+        self.bytes.load(Relaxed)
+    }
+}
+
+impl Backend for DiscardBackend {
+    fn name(&self) -> &str {
+        "discard"
+    }
+
+    fn open(&self, path: &str, opts: OpenOptions) -> io::Result<Box<dyn BackendFile>> {
+        let path = normalize_path(path)?;
+        let mut lens = self.lens.lock();
+        let len = match lens.get(&path) {
+            Some(l) => {
+                if opts.truncate {
+                    l.store(0, Relaxed);
+                }
+                Arc::clone(l)
+            }
+            None => {
+                if !opts.create {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("{path:?} not found"),
+                    ));
+                }
+                let l = Arc::new(AtomicU64::new(0));
+                lens.insert(path, Arc::clone(&l));
+                l
+            }
+        };
+        Ok(Box::new(DiscardFile {
+            len,
+            total: Arc::clone(&self.bytes),
+        }))
+    }
+
+    fn mkdir(&self, _path: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn rmdir(&self, _path: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn unlink(&self, path: &str) -> io::Result<()> {
+        self.lens.lock().remove(&normalize_path(path)?);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let from = normalize_path(from)?;
+        let to = normalize_path(to)?;
+        let mut lens = self.lens.lock();
+        if let Some(l) = lens.remove(&from) {
+            lens.insert(to, l);
+        }
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        match normalize_path(path) {
+            Ok(p) => self.lens.lock().contains_key(&p),
+            Err(_) => false,
+        }
+    }
+
+    fn file_len(&self, path: &str) -> io::Result<u64> {
+        let p = normalize_path(path)?;
+        self.lens
+            .lock()
+            .get(&p)
+            .map(|l| l.load(Relaxed))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{p:?} not found")))
+    }
+
+    fn list_dir(&self, _path: &str) -> io::Result<Vec<String>> {
+        let lens = self.lens.lock();
+        let mut names: Vec<String> = lens
+            .keys()
+            .map(|k| super::basename_of(k).to_string())
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+}
+
+struct DiscardFile {
+    len: Arc<AtomicU64>,
+    total: Arc<AtomicU64>,
+}
+
+impl BackendFile for DiscardFile {
+    fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let end = offset + data.len() as u64;
+        self.len.fetch_max(end, Relaxed);
+        self.total.fetch_add(data.len() as u64, Relaxed);
+        Ok(())
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let len = self.len.load(Relaxed);
+        if offset >= len {
+            return Ok(0);
+        }
+        let n = buf.len().min((len - offset) as usize);
+        buf[..n].fill(0);
+        Ok(n)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.len.load(Relaxed))
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.len.store(len, Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discard_tracks_length_and_bytes() {
+        let be = DiscardBackend::new();
+        let f = be.open("/x", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, &[1; 100]).unwrap();
+        f.write_at(100, &[2; 50]).unwrap();
+        assert_eq!(f.len().unwrap(), 150);
+        assert_eq!(be.bytes_discarded(), 150);
+        let mut buf = [7u8; 10];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 10);
+        assert_eq!(buf, [0u8; 10]);
+    }
+
+    #[test]
+    fn missing_file_not_found() {
+        let be = DiscardBackend::new();
+        assert!(be.open("/missing", OpenOptions::read_only()).is_err());
+        assert!(!be.exists("/missing"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Deterministic failure injection for tests.
+//!
+//! Wraps a [`Backend`] and fails operations according to a
+//! [`FailureMode`]. Used by the failure-injection test suite to verify
+//! that asynchronous chunk-write errors surface at close/fsync and that
+//! CRFS never loses track of pool buffers when the backend misbehaves.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use super::{Backend, BackendFile, OpenOptions};
+
+/// When the wrapped backend should fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Never fail (control).
+    None,
+    /// Fail every `write_at` after the first `n` have succeeded.
+    FailWritesAfter(u64),
+    /// Fail every `sync`.
+    FailSync,
+    /// Fail every `open`.
+    FailOpen,
+}
+
+/// A failure-injecting [`Backend`] decorator.
+pub struct FaultyBackend<B> {
+    inner: B,
+    mode: FailureMode,
+    writes_seen: Arc<AtomicU64>,
+}
+
+impl<B: Backend> FaultyBackend<B> {
+    /// Wraps `inner` with the given failure mode.
+    pub fn new(inner: B, mode: FailureMode) -> FaultyBackend<B> {
+        FaultyBackend {
+            inner,
+            mode,
+            writes_seen: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Total `write_at` attempts observed (including failed ones).
+    pub fn writes_seen(&self) -> u64 {
+        self.writes_seen.load(Relaxed)
+    }
+
+    fn injected() -> io::Error {
+        io::Error::other("injected backend failure")
+    }
+}
+
+impl<B: Backend> Backend for FaultyBackend<B> {
+    fn name(&self) -> &str {
+        "faulty"
+    }
+
+    fn open(&self, path: &str, opts: OpenOptions) -> io::Result<Box<dyn BackendFile>> {
+        if self.mode == FailureMode::FailOpen {
+            return Err(Self::injected());
+        }
+        let file = self.inner.open(path, opts)?;
+        Ok(Box::new(FaultyFile {
+            inner: file,
+            mode: self.mode,
+            writes_seen: Arc::clone(&self.writes_seen),
+        }))
+    }
+
+    fn mkdir(&self, path: &str) -> io::Result<()> {
+        self.inner.mkdir(path)
+    }
+
+    fn rmdir(&self, path: &str) -> io::Result<()> {
+        self.inner.rmdir(path)
+    }
+
+    fn unlink(&self, path: &str) -> io::Result<()> {
+        self.inner.unlink(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn file_len(&self, path: &str) -> io::Result<u64> {
+        self.inner.file_len(path)
+    }
+
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        self.inner.list_dir(path)
+    }
+}
+
+struct FaultyFile {
+    inner: Box<dyn BackendFile>,
+    mode: FailureMode,
+    writes_seen: Arc<AtomicU64>,
+}
+
+impl BackendFile for FaultyFile {
+    fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let seen = self.writes_seen.fetch_add(1, Relaxed);
+        if let FailureMode::FailWritesAfter(n) = self.mode {
+            if seen >= n {
+                return Err(FaultyBackend::<super::MemBackend>::injected());
+            }
+        }
+        self.inner.write_at(offset, data)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read_at(offset, buf)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        if self.mode == FailureMode::FailSync {
+            return Err(FaultyBackend::<super::MemBackend>::injected());
+        }
+        self.inner.sync()
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    #[test]
+    fn fail_after_n_writes() {
+        let be = FaultyBackend::new(MemBackend::new(), FailureMode::FailWritesAfter(2));
+        let f = be.open("/f", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, b"a").unwrap();
+        f.write_at(1, b"b").unwrap();
+        assert!(f.write_at(2, b"c").is_err());
+        assert_eq!(be.writes_seen(), 3);
+    }
+
+    #[test]
+    fn fail_sync_and_open() {
+        let be = FaultyBackend::new(MemBackend::new(), FailureMode::FailSync);
+        let f = be.open("/f", OpenOptions::create_truncate()).unwrap();
+        assert!(f.sync().is_err());
+
+        let be = FaultyBackend::new(MemBackend::new(), FailureMode::FailOpen);
+        assert!(be.open("/f", OpenOptions::create_truncate()).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Passthrough backend: stores files in a directory of the host
+//! filesystem. This is the production backend — the equivalent of
+//! mounting CRFS over ext3/NFS/Lustre in the paper.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use super::{normalize_path, Backend, BackendFile, OpenOptions};
+
+/// Backend rooted at a host directory.
+pub struct PassthroughBackend {
+    root: PathBuf,
+}
+
+impl PassthroughBackend {
+    /// Creates a backend rooted at `root`, creating the directory if
+    /// needed.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<PassthroughBackend> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(PassthroughBackend { root })
+    }
+
+    /// The host directory backing this filesystem.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn host_path(&self, path: &str) -> io::Result<PathBuf> {
+        let norm = normalize_path(path)?;
+        Ok(self.root.join(norm.trim_start_matches('/')))
+    }
+}
+
+impl Backend for PassthroughBackend {
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+
+    fn open(&self, path: &str, opts: OpenOptions) -> io::Result<Box<dyn BackendFile>> {
+        let host = self.host_path(path)?;
+        let file = fs::OpenOptions::new()
+            .read(opts.read)
+            .write(opts.write)
+            .create(opts.create)
+            .truncate(opts.truncate)
+            .open(&host)?;
+        Ok(Box::new(PassthroughFile { file }))
+    }
+
+    fn mkdir(&self, path: &str) -> io::Result<()> {
+        fs::create_dir(self.host_path(path)?)
+    }
+
+    fn rmdir(&self, path: &str) -> io::Result<()> {
+        fs::remove_dir(self.host_path(path)?)
+    }
+
+    fn unlink(&self, path: &str) -> io::Result<()> {
+        fs::remove_file(self.host_path(path)?)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        fs::rename(self.host_path(from)?, self.host_path(to)?)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.host_path(path).map(|p| p.exists()).unwrap_or(false)
+    }
+
+    fn file_len(&self, path: &str) -> io::Result<u64> {
+        Ok(fs::metadata(self.host_path(path)?)?.len())
+    }
+
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(self.host_path(path)?)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+struct PassthroughFile {
+    file: fs::File,
+}
+
+#[cfg(unix)]
+impl BackendFile for PassthroughFile {
+    fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(data, offset)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_at(buf, offset)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!(
+    "PassthroughBackend currently requires a Unix platform (positioned IO via FileExt)"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let n = UNIQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "crfs-test-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_on_real_fs() {
+        let dir = scratch_dir("rt");
+        let be = PassthroughBackend::new(&dir).unwrap();
+        be.mkdir("/ckpt").unwrap();
+        let f = be
+            .open("/ckpt/rank0", OpenOptions::create_truncate())
+            .unwrap();
+        f.write_at(0, b"abc").unwrap();
+        f.write_at(3, b"def").unwrap();
+        f.sync().unwrap();
+        let mut buf = [0u8; 6];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 6);
+        assert_eq!(&buf, b"abcdef");
+        assert_eq!(be.file_len("/ckpt/rank0").unwrap(), 6);
+        assert_eq!(be.list_dir("/ckpt").unwrap(), vec!["rank0"]);
+        be.unlink("/ckpt/rank0").unwrap();
+        be.rmdir("/ckpt").unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_offsets_produce_holes() {
+        let dir = scratch_dir("holes");
+        let be = PassthroughBackend::new(&dir).unwrap();
+        let f = be.open("/h", OpenOptions::create_truncate()).unwrap();
+        f.write_at(100, b"tail").unwrap();
+        assert_eq!(f.len().unwrap(), 104);
+        let mut buf = [1u8; 4];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 4]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn path_escape_rejected() {
+        let dir = scratch_dir("esc");
+        let be = PassthroughBackend::new(&dir).unwrap();
+        assert!(be.open("/../../etc/passwd", OpenOptions::read_only()).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

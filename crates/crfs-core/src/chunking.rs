@@ -1,0 +1,243 @@
+//! Pure chunk-planning logic, shared by the real filesystem and the
+//! cluster simulator.
+//!
+//! Given the state of a file's *current chunk* and an incoming write, the
+//! planner emits the exact sequence of chunk operations CRFS performs:
+//! seal the current chunk on a discontinuity, open chunks at the right file
+//! offsets, append runs of bytes, and seal chunks as they fill. Keeping
+//! this logic in one pure function lets the threaded implementation
+//! (`crfs-core`) and the discrete-event model (`cluster-sim`) be verified
+//! against each other byte for byte.
+
+/// State of a file's current (partially filled) chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkState {
+    /// Offset of the chunk's first byte within the file.
+    pub file_offset: u64,
+    /// Bytes of valid data currently in the chunk (the append point).
+    pub fill: usize,
+}
+
+impl ChunkState {
+    /// File offset right after the last valid byte — where a sequential
+    /// write is expected to land.
+    pub fn append_offset(&self) -> u64 {
+        self.file_offset + self.fill as u64
+    }
+}
+
+/// One step of the plan produced by [`plan_write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Seal the current chunk (enqueue it for asynchronous writing) and
+    /// drop it as the current chunk. Emitted for full chunks and for
+    /// partial chunks orphaned by a non-sequential write.
+    Seal,
+    /// Acquire a fresh chunk from the buffer pool, anchored at this file
+    /// offset.
+    Open {
+        /// File offset the new chunk starts at.
+        file_offset: u64,
+    },
+    /// Copy the next `len` bytes of the write into the current chunk.
+    Append {
+        /// Number of bytes to append.
+        len: usize,
+    },
+}
+
+/// Plans how a write of `len` bytes at `offset` folds into chunks of
+/// `chunk_size` bytes, given the file's current chunk state.
+///
+/// Properties (enforced by tests and property tests):
+/// - Appends cover exactly `len` bytes, in order.
+/// - A chunk never exceeds `chunk_size` bytes.
+/// - Every `Append` lands at the current chunk's append point — the chunk
+///   is always a contiguous run of file bytes, so the asynchronous writer
+///   can issue one `write_at(chunk.file_offset, &chunk[..fill])`.
+/// - A non-sequential write (offset ≠ append point) first seals the
+///   current chunk, as the paper's design implies ("checkpoint data is
+///   written sequentially" — discontinuities are rare and handled by
+///   flushing).
+///
+/// Zero-length writes produce an empty plan.
+pub fn plan_write(
+    current: Option<ChunkState>,
+    offset: u64,
+    len: usize,
+    chunk_size: usize,
+) -> Vec<PlanStep> {
+    assert!(chunk_size > 0, "chunk_size must be non-zero");
+    let mut steps = Vec::new();
+    if len == 0 {
+        return steps;
+    }
+
+    let mut cur = current;
+    // Discontinuity: orphan the current chunk.
+    if let Some(c) = cur {
+        if c.append_offset() != offset {
+            steps.push(PlanStep::Seal);
+            cur = None;
+        }
+    }
+
+    let mut off = offset;
+    let mut remaining = len;
+    while remaining > 0 {
+        let fill = match cur {
+            Some(c) => c.fill,
+            None => {
+                steps.push(PlanStep::Open { file_offset: off });
+                cur = Some(ChunkState {
+                    file_offset: off,
+                    fill: 0,
+                });
+                0
+            }
+        };
+        let room = chunk_size - fill;
+        let n = room.min(remaining);
+        steps.push(PlanStep::Append { len: n });
+        off += n as u64;
+        remaining -= n;
+        let c = cur.as_mut().expect("current chunk exists while appending");
+        c.fill += n;
+        if c.fill == chunk_size {
+            steps.push(PlanStep::Seal);
+            cur = None;
+        }
+    }
+    steps
+}
+
+/// Applies a plan to a `ChunkState`, returning the resulting state.
+/// Used by tests and by the simulator to track chunk occupancy without
+/// buffering actual bytes.
+pub fn apply_plan(
+    mut current: Option<ChunkState>,
+    steps: &[PlanStep],
+    chunk_size: usize,
+) -> Option<ChunkState> {
+    for s in steps {
+        match *s {
+            PlanStep::Seal => {
+                assert!(current.is_some(), "Seal without a current chunk");
+                current = None;
+            }
+            PlanStep::Open { file_offset } => {
+                assert!(current.is_none(), "Open while a chunk is current");
+                current = Some(ChunkState {
+                    file_offset,
+                    fill: 0,
+                });
+            }
+            PlanStep::Append { len } => {
+                let c = current.as_mut().expect("Append without a current chunk");
+                assert!(c.fill + len <= chunk_size, "Append overflows chunk");
+                c.fill += len;
+            }
+        }
+    }
+    current
+}
+
+/// Counts how many `Seal` steps a plan contains (sealed chunks become
+/// work-queue items — the paper's "write chunk count").
+pub fn seals_in(steps: &[PlanStep]) -> usize {
+    steps
+        .iter()
+        .filter(|s| matches!(s, PlanStep::Seal))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CS: usize = 1024;
+
+    #[test]
+    fn empty_write_is_a_noop() {
+        assert!(plan_write(None, 0, 0, CS).is_empty());
+    }
+
+    #[test]
+    fn small_sequential_write_opens_and_appends() {
+        let plan = plan_write(None, 0, 100, CS);
+        assert_eq!(
+            plan,
+            vec![PlanStep::Open { file_offset: 0 }, PlanStep::Append { len: 100 }]
+        );
+        let st = apply_plan(None, &plan, CS).unwrap();
+        assert_eq!(st, ChunkState { file_offset: 0, fill: 100 });
+    }
+
+    #[test]
+    fn appends_coalesce_into_existing_chunk() {
+        let cur = Some(ChunkState { file_offset: 0, fill: 100 });
+        let plan = plan_write(cur, 100, 50, CS);
+        assert_eq!(plan, vec![PlanStep::Append { len: 50 }]);
+    }
+
+    #[test]
+    fn exactly_filling_chunk_seals_it() {
+        let cur = Some(ChunkState { file_offset: 0, fill: 1000 });
+        let plan = plan_write(cur, 1000, 24, CS);
+        assert_eq!(plan, vec![PlanStep::Append { len: 24 }, PlanStep::Seal]);
+        assert_eq!(apply_plan(cur, &plan, CS), None);
+    }
+
+    #[test]
+    fn large_write_spans_multiple_chunks() {
+        // 2.5 chunks starting fresh.
+        let plan = plan_write(None, 0, 2560, CS);
+        assert_eq!(
+            plan,
+            vec![
+                PlanStep::Open { file_offset: 0 },
+                PlanStep::Append { len: 1024 },
+                PlanStep::Seal,
+                PlanStep::Open { file_offset: 1024 },
+                PlanStep::Append { len: 1024 },
+                PlanStep::Seal,
+                PlanStep::Open { file_offset: 2048 },
+                PlanStep::Append { len: 512 },
+            ]
+        );
+        assert_eq!(seals_in(&plan), 2);
+    }
+
+    #[test]
+    fn non_sequential_write_seals_partial_chunk() {
+        let cur = Some(ChunkState { file_offset: 0, fill: 10 });
+        let plan = plan_write(cur, 5000, 8, CS);
+        assert_eq!(
+            plan,
+            vec![
+                PlanStep::Seal,
+                PlanStep::Open { file_offset: 5000 },
+                PlanStep::Append { len: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn rewrite_at_same_offset_is_discontinuity_too() {
+        // Overwriting earlier bytes must not append into the chunk.
+        let cur = Some(ChunkState { file_offset: 0, fill: 10 });
+        let plan = plan_write(cur, 0, 4, CS);
+        assert_eq!(plan[0], PlanStep::Seal);
+    }
+
+    #[test]
+    fn chunk_boundary_continuation() {
+        // A chunk was just sealed (no current); sequential write continues
+        // at the next offset.
+        let plan = plan_write(None, 1024, 10, CS);
+        assert_eq!(
+            plan,
+            vec![PlanStep::Open { file_offset: 1024 }, PlanStep::Append { len: 10 }]
+        );
+    }
+}

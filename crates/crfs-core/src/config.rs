@@ -1,0 +1,149 @@
+//! Mount-time configuration.
+
+use crate::error::{CrfsError, Result};
+use std::time::Duration;
+
+/// Configuration for a CRFS mount.
+///
+/// Defaults follow the paper's evaluation (§V-B): a 16 MiB buffer pool
+/// split into 4 MiB chunks, drained by 4 IO threads, with FUSE
+/// "big writes" (128 KiB request splitting) enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrfsConfig {
+    /// Size of each aggregation chunk in bytes. The paper sweeps
+    /// 128 KiB–4 MiB (Fig. 5) and settles on 4 MiB.
+    pub chunk_size: usize,
+    /// Total buffer-pool size in bytes; divided into
+    /// `pool_size / chunk_size` chunks at mount time. The paper sweeps
+    /// 4–64 MiB and settles on 16 MiB to bound memory stolen from the
+    /// application.
+    pub pool_size: usize,
+    /// Number of IO worker threads draining the work queue. The paper
+    /// finds 4 "generally yields the best throughput" — enough to keep the
+    /// backend busy, few enough to throttle backend contention.
+    pub io_threads: usize,
+    /// Largest single request accepted by the FUSE-like dispatch layer
+    /// ([`Vfs`](crate::Vfs)). Linux FUSE with `big_writes` caps requests at
+    /// 128 KiB; larger application writes arrive as multiple requests.
+    pub max_write: usize,
+    /// Optional artificial per-request crossing latency in the
+    /// [`Vfs`](crate::Vfs) layer, modelling the user↔kernel FUSE round
+    /// trip. `None` (default) adds nothing — the real dispatch cost of this
+    /// library stands in for it.
+    pub crossing_delay: Option<Duration>,
+    /// If `true` (default), reads first flush the file's pending chunks so
+    /// read-after-write within one mount is always coherent. `false`
+    /// reproduces the paper's raw pass-through reads (safe for
+    /// checkpoint/restart usage, where reads only happen after `close`).
+    pub read_flushes: bool,
+}
+
+impl Default for CrfsConfig {
+    fn default() -> Self {
+        CrfsConfig {
+            chunk_size: 4 << 20,
+            pool_size: 16 << 20,
+            io_threads: 4,
+            max_write: 128 << 10,
+            crossing_delay: None,
+            read_flushes: true,
+        }
+    }
+}
+
+impl CrfsConfig {
+    /// Convenience builder: sets the chunk size.
+    pub fn with_chunk_size(mut self, bytes: usize) -> Self {
+        self.chunk_size = bytes;
+        self
+    }
+
+    /// Convenience builder: sets the total buffer-pool size.
+    pub fn with_pool_size(mut self, bytes: usize) -> Self {
+        self.pool_size = bytes;
+        self
+    }
+
+    /// Convenience builder: sets the IO worker-thread count.
+    pub fn with_io_threads(mut self, n: usize) -> Self {
+        self.io_threads = n;
+        self
+    }
+
+    /// Number of chunks the pool will hold.
+    pub fn pool_chunks(&self) -> usize {
+        self.pool_size / self.chunk_size.max(1)
+    }
+
+    /// Validates the configuration, returning a descriptive error for any
+    /// inconsistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.chunk_size == 0 {
+            return Err(CrfsError::Config("chunk_size must be non-zero".into()));
+        }
+        if self.pool_size < self.chunk_size {
+            return Err(CrfsError::Config(format!(
+                "pool_size ({}) must hold at least one chunk ({})",
+                self.pool_size, self.chunk_size
+            )));
+        }
+        if self.pool_chunks() < 2 {
+            return Err(CrfsError::Config(format!(
+                "pool must hold at least 2 chunks to pipeline (got {}); \
+                 grow pool_size or shrink chunk_size",
+                self.pool_chunks()
+            )));
+        }
+        if self.io_threads == 0 {
+            return Err(CrfsError::Config("io_threads must be at least 1".into()));
+        }
+        if self.max_write == 0 {
+            return Err(CrfsError::Config("max_write must be non-zero".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = CrfsConfig::default();
+        assert_eq!(c.chunk_size, 4 << 20);
+        assert_eq!(c.pool_size, 16 << 20);
+        assert_eq!(c.io_threads, 4);
+        assert_eq!(c.max_write, 128 << 10);
+        assert_eq!(c.pool_chunks(), 4);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = CrfsConfig::default()
+            .with_chunk_size(1 << 20)
+            .with_pool_size(8 << 20)
+            .with_io_threads(2);
+        assert_eq!(c.pool_chunks(), 8);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        assert!(CrfsConfig::default().with_chunk_size(0).validate().is_err());
+        assert!(CrfsConfig::default().with_io_threads(0).validate().is_err());
+        assert!(CrfsConfig::default()
+            .with_pool_size(1 << 20)
+            .validate()
+            .is_err());
+        // A pool of exactly one chunk cannot pipeline.
+        assert!(CrfsConfig::default()
+            .with_chunk_size(16 << 20)
+            .validate()
+            .is_err());
+        let mut c = CrfsConfig::default();
+        c.max_write = 0;
+        assert!(c.validate().is_err());
+    }
+}

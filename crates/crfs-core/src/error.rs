@@ -1,0 +1,135 @@
+//! Error types for CRFS operations.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CrfsError>;
+
+/// Errors surfaced by CRFS operations.
+///
+/// Backend IO failures from *asynchronous* chunk writes are captured by the
+/// IO workers and re-surfaced at the file's next synchronization point
+/// (`close`, `fsync`, `read_at` or `flush`) as [`CrfsError::DeferredWrite`] —
+/// the same place a kernel would surface async write-back errors.
+#[derive(Debug)]
+pub enum CrfsError {
+    /// Immediate IO failure from the backend.
+    Io(io::Error),
+    /// An asynchronous chunk write failed earlier; the string preserves the
+    /// original error text and the file it struck.
+    DeferredWrite {
+        /// Path of the file whose background write failed.
+        path: String,
+        /// Original IO error message.
+        source: io::Error,
+    },
+    /// Invalid mount configuration.
+    Config(String),
+    /// Operation on a handle whose file has already been closed.
+    HandleClosed,
+    /// Operation on a filesystem that has been unmounted.
+    Unmounted,
+    /// Path does not exist.
+    NotFound(String),
+    /// Path already exists (e.g. `create_new` semantics).
+    AlreadyExists(String),
+    /// Path names a directory where a file was required, or vice versa.
+    NotAFile(String),
+}
+
+impl CrfsError {
+    /// Maps the error onto the closest `std::io::ErrorKind`, for callers
+    /// that need to interoperate with `std::io` interfaces.
+    pub fn io_kind(&self) -> io::ErrorKind {
+        match self {
+            CrfsError::Io(e) | CrfsError::DeferredWrite { source: e, .. } => e.kind(),
+            CrfsError::Config(_) => io::ErrorKind::InvalidInput,
+            CrfsError::HandleClosed | CrfsError::Unmounted => io::ErrorKind::BrokenPipe,
+            CrfsError::NotFound(_) => io::ErrorKind::NotFound,
+            CrfsError::AlreadyExists(_) => io::ErrorKind::AlreadyExists,
+            CrfsError::NotAFile(_) => io::ErrorKind::InvalidInput,
+        }
+    }
+}
+
+impl fmt::Display for CrfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrfsError::Io(e) => write!(f, "backend IO error: {e}"),
+            CrfsError::DeferredWrite { path, source } => {
+                write!(f, "asynchronous chunk write to {path:?} failed: {source}")
+            }
+            CrfsError::Config(msg) => write!(f, "invalid CRFS configuration: {msg}"),
+            CrfsError::HandleClosed => f.write_str("file handle already closed"),
+            CrfsError::Unmounted => f.write_str("filesystem already unmounted"),
+            CrfsError::NotFound(p) => write!(f, "no such file or directory: {p:?}"),
+            CrfsError::AlreadyExists(p) => write!(f, "already exists: {p:?}"),
+            CrfsError::NotAFile(p) => write!(f, "not a regular file: {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CrfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrfsError::Io(e) | CrfsError::DeferredWrite { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CrfsError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::NotFound => CrfsError::NotFound(String::new()),
+            io::ErrorKind::AlreadyExists => CrfsError::AlreadyExists(String::new()),
+            _ => CrfsError::Io(e),
+        }
+    }
+}
+
+impl From<CrfsError> for io::Error {
+    fn from(e: CrfsError) -> io::Error {
+        match e {
+            CrfsError::Io(e) => e,
+            other => io::Error::new(other.io_kind(), other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_kind_mapping() {
+        assert_eq!(
+            CrfsError::NotFound("/x".into()).io_kind(),
+            io::ErrorKind::NotFound
+        );
+        assert_eq!(
+            CrfsError::Config("bad".into()).io_kind(),
+            io::ErrorKind::InvalidInput
+        );
+        assert_eq!(CrfsError::Unmounted.io_kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn from_io_error_classifies() {
+        let nf = io::Error::new(io::ErrorKind::NotFound, "gone");
+        assert!(matches!(CrfsError::from(nf), CrfsError::NotFound(_)));
+        let other = io::Error::other("boom");
+        assert!(matches!(CrfsError::from(other), CrfsError::Io(_)));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CrfsError::DeferredWrite {
+            path: "/ckpt/a".into(),
+            source: io::Error::other("disk on fire"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("/ckpt/a") && s.contains("disk on fire"));
+    }
+}

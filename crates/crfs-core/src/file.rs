@@ -1,0 +1,211 @@
+//! Open-file table entries and per-file chunk accounting.
+//!
+//! The paper (§IV-A/B/C): CRFS keeps a hash table of opened files; each
+//! entry carries a reference count, the file's current buffer chunk, and
+//! two counters — the "write chunk count" (chunks enqueued) and the
+//! "complete chunk count" (chunks the IO threads finished). `close()` and
+//! `fsync()` block until the counters match.
+
+use parking_lot::{Condvar, Mutex};
+use std::io;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+use crate::backend::BackendFile;
+use crate::chunking::ChunkState;
+
+/// A file's current aggregation chunk: a pool buffer plus its placement.
+pub struct CurrentChunk {
+    /// Buffer borrowed from the [`BufferPool`](crate::pool::BufferPool).
+    pub buf: Vec<u8>,
+    /// Placement and fill level.
+    pub state: ChunkState,
+}
+
+/// `io::Error` is not `Clone`; persist kind + message so the error can be
+/// re-surfaced at every later synchronization point.
+#[derive(Debug, Clone)]
+struct StoredError {
+    kind: io::ErrorKind,
+    msg: String,
+}
+
+impl StoredError {
+    fn to_io(&self) -> io::Error {
+        io::Error::new(self.kind, self.msg.clone())
+    }
+}
+
+#[derive(Default)]
+struct ChunkCounts {
+    /// Chunks enqueued to the work queue ("write chunk count").
+    sealed: u64,
+    /// Chunks the IO workers finished ("complete chunk count").
+    completed: u64,
+    /// First asynchronous write error, kept until the entry dies.
+    error: Option<StoredError>,
+}
+
+/// One open file: shared by every handle opened on the same path.
+pub struct FileEntry {
+    /// Normalized path within the mount.
+    pub path: String,
+    /// The backend file all chunk writes target.
+    pub file: Box<dyn BackendFile>,
+    /// Number of live handles (paper: "reference counter in its table
+    /// entry").
+    pub refcount: AtomicUsize,
+    /// The file's current (partial) chunk, if any.
+    pub chunk: Mutex<Option<CurrentChunk>>,
+    /// Highest byte offset written through CRFS (pending or completed),
+    /// so `len()` can account for not-yet-flushed data.
+    pub max_extent: AtomicU64,
+    counts: Mutex<ChunkCounts>,
+    cv: Condvar,
+}
+
+impl FileEntry {
+    /// Creates an entry with refcount 1 and no pending chunks.
+    pub fn new(path: String, file: Box<dyn BackendFile>) -> FileEntry {
+        let initial_len = file.len().unwrap_or(0);
+        FileEntry {
+            path,
+            file,
+            refcount: AtomicUsize::new(1),
+            chunk: Mutex::new(None),
+            max_extent: AtomicU64::new(initial_len),
+            counts: Mutex::new(ChunkCounts::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Registers a chunk as enqueued (bumps the write chunk count).
+    pub fn note_sealed(&self) {
+        self.counts.lock().sealed += 1;
+    }
+
+    /// Registers a chunk as finished by an IO worker, recording the first
+    /// error if the backend write failed, and wakes barrier waiters.
+    pub fn note_completed(&self, result: io::Result<()>) {
+        let mut c = self.counts.lock();
+        c.completed += 1;
+        if let Err(e) = result {
+            if c.error.is_none() {
+                c.error = Some(StoredError {
+                    kind: e.kind(),
+                    msg: e.to_string(),
+                });
+            }
+        }
+        debug_assert!(c.completed <= c.sealed, "completed more than sealed");
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every sealed chunk has completed, then reports the
+    /// sticky asynchronous error, if any. Returns the time spent blocked.
+    pub fn wait_outstanding(&self) -> (Duration, Option<io::Error>) {
+        let mut c = self.counts.lock();
+        if c.completed == c.sealed {
+            return (Duration::ZERO, c.error.as_ref().map(StoredError::to_io));
+        }
+        let t0 = Instant::now();
+        while c.completed < c.sealed {
+            self.cv.wait(&mut c);
+        }
+        (t0.elapsed(), c.error.as_ref().map(StoredError::to_io))
+    }
+
+    /// Chunks currently in flight (sealed but not completed).
+    pub fn outstanding(&self) -> u64 {
+        let c = self.counts.lock();
+        c.sealed - c.completed
+    }
+
+    /// The sticky asynchronous error, if one occurred.
+    pub fn async_error(&self) -> Option<io::Error> {
+        self.counts.lock().error.as_ref().map(StoredError::to_io)
+    }
+
+    /// Logical file length: the larger of the backend length and the
+    /// highest offset written through CRFS.
+    pub fn logical_len(&self) -> io::Result<u64> {
+        let backend = self.file.len()?;
+        Ok(backend.max(self.max_extent.load(Relaxed)))
+    }
+}
+
+impl std::fmt::Debug for FileEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.counts.lock();
+        f.debug_struct("FileEntry")
+            .field("path", &self.path)
+            .field("refcount", &self.refcount.load(Relaxed))
+            .field("sealed", &c.sealed)
+            .field("completed", &c.completed)
+            .field("has_error", &c.error.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, MemBackend, OpenOptions};
+    use std::sync::Arc;
+
+    fn entry() -> Arc<FileEntry> {
+        let be = MemBackend::new();
+        let f = be.open("/t", OpenOptions::create_truncate()).unwrap();
+        Arc::new(FileEntry::new("/t".into(), f))
+    }
+
+    #[test]
+    fn barrier_waits_for_completion() {
+        let e = entry();
+        e.note_sealed();
+        e.note_sealed();
+        assert_eq!(e.outstanding(), 2);
+
+        let e2 = Arc::clone(&e);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            e2.note_completed(Ok(()));
+            std::thread::sleep(Duration::from_millis(20));
+            e2.note_completed(Ok(()));
+        });
+        let (waited, err) = e.wait_outstanding();
+        h.join().unwrap();
+        assert!(err.is_none());
+        assert!(waited >= Duration::from_millis(20));
+        assert_eq!(e.outstanding(), 0);
+    }
+
+    #[test]
+    fn first_async_error_is_sticky() {
+        let e = entry();
+        e.note_sealed();
+        e.note_sealed();
+        e.note_completed(Err(io::Error::other("first")));
+        e.note_completed(Err(io::Error::other("second")));
+        let (_, err) = e.wait_outstanding();
+        assert!(err.unwrap().to_string().contains("first"));
+        // Still reported on the next barrier.
+        assert!(e.async_error().unwrap().to_string().contains("first"));
+    }
+
+    #[test]
+    fn wait_with_nothing_outstanding_is_instant() {
+        let e = entry();
+        let (waited, err) = e.wait_outstanding();
+        assert_eq!(waited, Duration::ZERO);
+        assert!(err.is_none());
+    }
+
+    #[test]
+    fn logical_len_tracks_pending_extent() {
+        let e = entry();
+        assert_eq!(e.logical_len().unwrap(), 0);
+        e.max_extent.fetch_max(4096, Relaxed);
+        assert_eq!(e.logical_len().unwrap(), 4096);
+    }
+}

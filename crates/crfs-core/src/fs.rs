@@ -1,0 +1,1029 @@
+//! The CRFS filesystem: write aggregation, the work queue, IO worker
+//! threads, and the POSIX-like public API.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use crate::backend::{normalize_path, parent_of, Backend, OpenOptions};
+use crate::chunking::{plan_write, ChunkState, PlanStep};
+use crate::config::CrfsConfig;
+use crate::error::{CrfsError, Result};
+use crate::file::{CurrentChunk, FileEntry};
+use crate::pool::BufferPool;
+use crate::stats::{CrfsStats, StatsSnapshot};
+
+/// A sealed chunk travelling through the work queue to an IO thread.
+///
+/// Carries exactly the metadata the paper lists: "target file handler,
+/// offset into the file, valid data size in the chunk".
+struct WorkItem {
+    entry: Arc<FileEntry>,
+    buf: Vec<u8>,
+    len: usize,
+    offset: u64,
+}
+
+/// State shared between the front end and the IO workers.
+struct Shared {
+    backend: Arc<dyn Backend>,
+    config: CrfsConfig,
+    pool: BufferPool,
+    table: Mutex<HashMap<String, Arc<FileEntry>>>,
+    stats: CrfsStats,
+}
+
+/// A mounted CRFS filesystem.
+///
+/// Created with [`Crfs::mount`]; returns an `Arc` because open file handles
+/// keep the mount alive. All methods are thread-safe; the write path is
+/// designed for many concurrent writer threads (one per checkpointing
+/// process in the paper's setting).
+pub struct Crfs {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    sender: Mutex<Option<Sender<WorkItem>>>,
+    unmounted: AtomicBool,
+}
+
+impl Crfs {
+    /// Mounts CRFS over `backend` with the given configuration.
+    ///
+    /// Allocates the buffer pool and starts `config.io_threads` IO worker
+    /// threads, as the paper does at mount time.
+    pub fn mount(backend: Arc<dyn Backend>, config: CrfsConfig) -> Result<Arc<Crfs>> {
+        config.validate()?;
+        let pool = BufferPool::new(config.chunk_size, config.pool_chunks());
+        let shared = Arc::new(Shared {
+            backend,
+            config,
+            pool,
+            table: Mutex::new(HashMap::new()),
+            stats: CrfsStats::new(),
+        });
+        let (tx, rx) = unbounded::<WorkItem>();
+        let mut workers = Vec::with_capacity(shared.config.io_threads);
+        for i in 0..shared.config.io_threads {
+            let rx: Receiver<WorkItem> = rx.clone();
+            let shared = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("crfs-io-{i}"))
+                    .spawn(move || io_worker(rx, shared))
+                    .map_err(CrfsError::Io)?,
+            );
+        }
+        Ok(Arc::new(Crfs {
+            shared,
+            workers: Mutex::new(workers),
+            sender: Mutex::new(Some(tx)),
+            unmounted: AtomicBool::new(false),
+        }))
+    }
+
+    /// The mount configuration.
+    pub fn config(&self) -> &CrfsConfig {
+        &self.shared.config
+    }
+
+    /// Instrumentation snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// The backing filesystem.
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.shared.backend
+    }
+
+    /// Number of files currently open.
+    pub fn open_files(&self) -> usize {
+        self.shared.table.lock().len()
+    }
+
+    fn check_mounted(&self) -> Result<()> {
+        if self.unmounted.load(Relaxed) {
+            Err(CrfsError::Unmounted)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // open / create / close
+    // ------------------------------------------------------------------
+
+    /// Opens an existing file for reading and writing.
+    pub fn open(self: &Arc<Self>, path: &str) -> Result<CrfsFile> {
+        self.open_with(path, OpenOptions::read_write())
+    }
+
+    /// Creates (or truncates) a file for writing — the checkpoint-file
+    /// open mode.
+    pub fn create(self: &Arc<Self>, path: &str) -> Result<CrfsFile> {
+        self.open_with(path, OpenOptions::create_truncate())
+    }
+
+    /// Opens a file with explicit options.
+    ///
+    /// Mirrors the paper's §IV-A: if the file is already in the open-file
+    /// table its reference count is bumped; otherwise the backend open is
+    /// performed and a new entry inserted.
+    pub fn open_with(self: &Arc<Self>, path: &str, opts: OpenOptions) -> Result<CrfsFile> {
+        self.check_mounted()?;
+        let path = normalize_path(path).map_err(CrfsError::Io)?;
+        let mut table = self.shared.table.lock();
+        if let Some(entry) = table.get(&path) {
+            let entry = Arc::clone(entry);
+            entry.refcount.fetch_add(1, Relaxed);
+            drop(table);
+            if opts.truncate {
+                self.truncate_entry(&entry)?;
+            }
+            return Ok(CrfsFile::new(Arc::clone(self), entry));
+        }
+        let file = self
+            .shared
+            .backend
+            .open(&path, opts)
+            .map_err(|e| annotate(e, &path))?;
+        let entry = Arc::new(FileEntry::new(path.clone(), file));
+        table.insert(path, Arc::clone(&entry));
+        drop(table);
+        self.shared.stats.opens.fetch_add(1, Relaxed);
+        Ok(CrfsFile::new(Arc::clone(self), entry))
+    }
+
+    /// Truncates an open entry to zero: discards its current chunk, waits
+    /// out in-flight chunks, truncates the backend file.
+    fn truncate_entry(&self, entry: &Arc<FileEntry>) -> Result<()> {
+        {
+            let mut slot = entry.chunk.lock();
+            if let Some(cur) = slot.take() {
+                self.shared.pool.release(cur.buf);
+            }
+        }
+        let (waited, err) = entry.wait_outstanding();
+        self.shared
+            .stats
+            .barrier_wait_ns
+            .fetch_add(waited.as_nanos() as u64, Relaxed);
+        if let Some(e) = err {
+            return Err(CrfsError::DeferredWrite {
+                path: entry.path.clone(),
+                source: e,
+            });
+        }
+        entry.file.set_len(0).map_err(CrfsError::Io)?;
+        entry.max_extent.store(0, Relaxed);
+        Ok(())
+    }
+
+    /// Handle close path (paper §IV-C): drop one reference; the last
+    /// reference seals the file's remaining chunk, waits until every
+    /// outstanding chunk write completed, and retires the table entry.
+    fn close_entry(&self, entry: &Arc<FileEntry>) -> Result<()> {
+        let last = {
+            let mut table = self.shared.table.lock();
+            let prev = entry.refcount.fetch_sub(1, Relaxed);
+            debug_assert!(prev >= 1, "refcount underflow on {}", entry.path);
+            if prev == 1 {
+                table.remove(&entry.path);
+                true
+            } else {
+                false
+            }
+        };
+        if !last {
+            return Ok(());
+        }
+        let res = self.flush_entry(entry);
+        self.shared.stats.closes.fetch_add(1, Relaxed);
+        res
+    }
+
+    // ------------------------------------------------------------------
+    // write path
+    // ------------------------------------------------------------------
+
+    /// Core write-aggregation path (paper §IV-B).
+    fn write_entry(&self, entry: &Arc<FileEntry>, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_mounted()?;
+        let chunk_size = self.shared.config.chunk_size;
+        let mut slot = entry.chunk.lock();
+        let plan = plan_write(
+            slot.as_ref().map(|c| c.state),
+            offset,
+            data.len(),
+            chunk_size,
+        );
+        let mut consumed = 0usize;
+        for step in plan {
+            match step {
+                PlanStep::Seal => {
+                    let cur = slot.take().expect("plan seals existing chunk");
+                    let full = cur.state.fill == chunk_size;
+                    if full {
+                        self.seal_chunk(entry, cur)?;
+                    } else {
+                        self.shared
+                            .stats
+                            .discontinuity_seals
+                            .fetch_add(1, Relaxed);
+                        self.seal_chunk(entry, cur)?;
+                    }
+                }
+                PlanStep::Open { file_offset } => {
+                    let Some((buf, waited)) = self.shared.pool.acquire() else {
+                        return Err(CrfsError::Unmounted);
+                    };
+                    if !waited.is_zero() {
+                        self.shared.stats.pool_waits.fetch_add(1, Relaxed);
+                        self.shared
+                            .stats
+                            .pool_wait_ns
+                            .fetch_add(waited.as_nanos() as u64, Relaxed);
+                    }
+                    *slot = Some(CurrentChunk {
+                        buf,
+                        state: ChunkState {
+                            file_offset,
+                            fill: 0,
+                        },
+                    });
+                }
+                PlanStep::Append { len } => {
+                    let cur = slot.as_mut().expect("plan appends into open chunk");
+                    let at = cur.state.fill;
+                    cur.buf[at..at + len].copy_from_slice(&data[consumed..consumed + len]);
+                    cur.state.fill += len;
+                    consumed += len;
+                }
+            }
+        }
+        drop(slot);
+        self.shared.stats.writes.fetch_add(1, Relaxed);
+        self.shared
+            .stats
+            .bytes_in
+            .fetch_add(data.len() as u64, Relaxed);
+        entry
+            .max_extent
+            .fetch_max(offset + data.len() as u64, Relaxed);
+        Ok(())
+    }
+
+    /// Enqueues a sealed chunk for asynchronous writing.
+    fn seal_chunk(&self, entry: &Arc<FileEntry>, cur: CurrentChunk) -> Result<()> {
+        entry.note_sealed();
+        self.shared.stats.chunks_sealed.fetch_add(1, Relaxed);
+        let item = WorkItem {
+            entry: Arc::clone(entry),
+            len: cur.state.fill,
+            offset: cur.state.file_offset,
+            buf: cur.buf,
+        };
+        let sender = self.sender.lock();
+        match sender.as_ref() {
+            Some(tx) => tx.send(item).map_err(|_| CrfsError::Unmounted),
+            None => Err(CrfsError::Unmounted),
+        }
+    }
+
+    /// Seals the entry's partial chunk (if any) and waits for all
+    /// outstanding chunk writes — the close/fsync barrier.
+    fn flush_entry(&self, entry: &Arc<FileEntry>) -> Result<()> {
+        {
+            let mut slot = entry.chunk.lock();
+            if let Some(cur) = slot.take() {
+                if cur.state.fill > 0 {
+                    self.shared.stats.partial_seals.fetch_add(1, Relaxed);
+                    self.seal_chunk(entry, cur)?;
+                } else {
+                    self.shared.pool.release(cur.buf);
+                }
+            }
+        }
+        let (waited, err) = entry.wait_outstanding();
+        self.shared
+            .stats
+            .barrier_wait_ns
+            .fetch_add(waited.as_nanos() as u64, Relaxed);
+        match err {
+            Some(e) => Err(CrfsError::DeferredWrite {
+                path: entry.path.clone(),
+                source: e,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// fsync path (paper §IV-D2): flush the current chunk, wait for
+    /// outstanding chunk writes, then fsync the backend file.
+    fn fsync_entry(&self, entry: &Arc<FileEntry>) -> Result<()> {
+        self.flush_entry(entry)?;
+        self.shared.stats.fsyncs.fetch_add(1, Relaxed);
+        entry.file.sync().map_err(CrfsError::Io)
+    }
+
+    /// Read path: optionally flush (read-after-write coherence), then pass
+    /// through to the backend (paper §IV-D1).
+    fn read_entry(&self, entry: &Arc<FileEntry>, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        self.check_mounted()?;
+        if self.shared.config.read_flushes {
+            self.flush_entry(entry)?;
+        }
+        entry.file.read_at(offset, buf).map_err(CrfsError::Io)
+    }
+
+    // ------------------------------------------------------------------
+    // metadata operations (paper §IV-D3: passed straight through)
+    // ------------------------------------------------------------------
+
+    /// Creates a directory (parent must exist).
+    pub fn mkdir(&self, path: &str) -> Result<()> {
+        self.check_mounted()?;
+        let p = normalize_path(path).map_err(CrfsError::Io)?;
+        self.shared.backend.mkdir(&p).map_err(|e| annotate(e, &p))
+    }
+
+    /// Creates a directory and all missing parents.
+    pub fn mkdir_all(&self, path: &str) -> Result<()> {
+        self.check_mounted()?;
+        let p = normalize_path(path).map_err(CrfsError::Io)?;
+        if p == "/" {
+            return Ok(());
+        }
+        let mut prefix = String::new();
+        for comp in p.trim_start_matches('/').split('/') {
+            prefix.push('/');
+            prefix.push_str(comp);
+            if !self.shared.backend.exists(&prefix) {
+                self.shared
+                    .backend
+                    .mkdir(&prefix)
+                    .map_err(|e| annotate(e, &prefix))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&self, path: &str) -> Result<()> {
+        self.check_mounted()?;
+        let p = normalize_path(path).map_err(CrfsError::Io)?;
+        self.shared.backend.rmdir(&p).map_err(|e| annotate(e, &p))
+    }
+
+    /// Removes a file. An open file keeps working on its existing handle
+    /// (Unix unlink semantics, to the extent the backend supports it).
+    pub fn unlink(&self, path: &str) -> Result<()> {
+        self.check_mounted()?;
+        let p = normalize_path(path).map_err(CrfsError::Io)?;
+        self.shared.backend.unlink(&p).map_err(|e| annotate(e, &p))
+    }
+
+    /// Renames a file or directory; open files under the old name are
+    /// flushed first so no chunk lands at a stale path.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.check_mounted()?;
+        let from = normalize_path(from).map_err(CrfsError::Io)?;
+        let to = normalize_path(to).map_err(CrfsError::Io)?;
+        let open_under: Vec<Arc<FileEntry>> = {
+            let table = self.shared.table.lock();
+            table
+                .iter()
+                .filter(|(k, _)| {
+                    k.as_str() == from || k.starts_with(&format!("{from}/")) || parent_of(k) == from
+                })
+                .map(|(_, v)| Arc::clone(v))
+                .collect()
+        };
+        for e in open_under {
+            self.flush_entry(&e)?;
+        }
+        self.shared
+            .backend
+            .rename(&from, &to)
+            .map_err(|e| annotate(e, &from))
+    }
+
+    /// Truncates (or extends) the file at `path` to exactly `len` bytes
+    /// (paper §IV-D3 pass-through, made buffering-aware: pending chunks
+    /// of an open file are drained first so none lands past the cut
+    /// afterwards).
+    pub fn truncate(&self, path: &str, len: u64) -> Result<()> {
+        self.check_mounted()?;
+        let p = normalize_path(path).map_err(CrfsError::Io)?;
+        let open_entry = self.shared.table.lock().get(&p).map(Arc::clone);
+        match open_entry {
+            Some(entry) => {
+                self.flush_entry(&entry)?;
+                entry.file.set_len(len).map_err(CrfsError::Io)?;
+                // Clamp-then-raise keeps the pending-extent accounting
+                // exact for both shrink and extend.
+                entry.max_extent.store(len, Relaxed);
+                Ok(())
+            }
+            None => {
+                let file = self
+                    .shared
+                    .backend
+                    .open(&p, crate::backend::OpenOptions::read_write())
+                    .map_err(|e| annotate(e, &p))?;
+                file.set_len(len).map_err(CrfsError::Io)
+            }
+        }
+    }
+
+    /// Whether the path exists on the backend.
+    pub fn exists(&self, path: &str) -> bool {
+        normalize_path(path)
+            .map(|p| self.shared.backend.exists(&p))
+            .unwrap_or(false)
+    }
+
+    /// Length of the file at `path`, including data still buffered in CRFS
+    /// for open files.
+    pub fn file_len(&self, path: &str) -> Result<u64> {
+        self.check_mounted()?;
+        let p = normalize_path(path).map_err(CrfsError::Io)?;
+        if let Some(entry) = self.shared.table.lock().get(&p) {
+            return entry.logical_len().map_err(CrfsError::Io);
+        }
+        self.shared
+            .backend
+            .file_len(&p)
+            .map_err(|e| annotate(e, &p))
+    }
+
+    /// Entries directly under a directory.
+    pub fn list_dir(&self, path: &str) -> Result<Vec<String>> {
+        self.check_mounted()?;
+        let p = normalize_path(path).map_err(CrfsError::Io)?;
+        self.shared
+            .backend
+            .list_dir(&p)
+            .map_err(|e| annotate(e, &p))
+    }
+
+    // ------------------------------------------------------------------
+    // unmount
+    // ------------------------------------------------------------------
+
+    /// Unmounts the filesystem: flushes every open file, drains the work
+    /// queue, stops the IO workers, and closes the buffer pool.
+    ///
+    /// Idempotent; later calls return [`CrfsError::Unmounted`]. Handles
+    /// still open become inert (their operations fail with `Unmounted`).
+    pub fn unmount(&self) -> Result<()> {
+        if self.unmounted.swap(true, Relaxed) {
+            return Err(CrfsError::Unmounted);
+        }
+        let entries: Vec<Arc<FileEntry>> =
+            self.shared.table.lock().values().cloned().collect();
+        let mut first_err = None;
+        for e in entries {
+            if let Err(err) = self.flush_entry(&e) {
+                first_err.get_or_insert(err);
+            }
+        }
+        self.shared.table.lock().clear();
+        // Dropping the sender lets workers drain and exit.
+        *self.sender.lock() = None;
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+        self.shared.pool.close();
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Crfs {
+    fn drop(&mut self) {
+        if !self.unmounted.load(Relaxed) {
+            let _ = self.unmount();
+        }
+    }
+}
+
+impl std::fmt::Debug for Crfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Crfs")
+            .field("backend", &self.shared.backend.name())
+            .field("config", &self.shared.config)
+            .field("open_files", &self.open_files())
+            .field("unmounted", &self.unmounted.load(Relaxed))
+            .finish()
+    }
+}
+
+/// Adds the path to backend error messages that lack one.
+fn annotate(e: io::Error, path: &str) -> CrfsError {
+    match e.kind() {
+        io::ErrorKind::NotFound => CrfsError::NotFound(path.to_string()),
+        io::ErrorKind::AlreadyExists => CrfsError::AlreadyExists(path.to_string()),
+        _ => CrfsError::Io(e),
+    }
+}
+
+/// The IO worker loop (paper §IV-B "Work Queue and IO Throttling"): take a
+/// chunk, write it with one large `write_at`, bump the complete count,
+/// recycle the buffer.
+fn io_worker(rx: Receiver<WorkItem>, shared: Arc<Shared>) {
+    while let Ok(item) = rx.recv() {
+        let t0 = Instant::now();
+        let res = item.entry.file.write_at(item.offset, &item.buf[..item.len]);
+        shared
+            .stats
+            .backend_write_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+        if res.is_ok() {
+            shared.stats.bytes_out.fetch_add(item.len as u64, Relaxed);
+        }
+        shared.stats.chunks_completed.fetch_add(1, Relaxed);
+        item.entry.note_completed(res);
+        shared.pool.release(item.buf);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CrfsFile
+// ---------------------------------------------------------------------------
+
+/// A handle to an open CRFS file.
+///
+/// Carries its own sequential position for [`write`](CrfsFile::write) /
+/// [`read`](CrfsFile::read); positioned IO is available via
+/// [`write_at`](CrfsFile::write_at) / [`read_at`](CrfsFile::read_at).
+/// Dropping the handle closes it (blocking until outstanding chunks are
+/// written, per the paper's close semantics) but swallows errors — call
+/// [`close`](CrfsFile::close) to observe them.
+pub struct CrfsFile {
+    crfs: Arc<Crfs>,
+    entry: Arc<FileEntry>,
+    pos: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl CrfsFile {
+    fn new(crfs: Arc<Crfs>, entry: Arc<FileEntry>) -> CrfsFile {
+        CrfsFile {
+            crfs,
+            entry,
+            pos: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// The file's normalized path within the mount.
+    pub fn path(&self) -> &str {
+        &self.entry.path
+    }
+
+    /// The filesystem this handle belongs to.
+    pub fn mount(&self) -> &Arc<Crfs> {
+        &self.crfs
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.closed.load(Relaxed) {
+            Err(CrfsError::HandleClosed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Appends `data` at the current position; returns the bytes accepted
+    /// (always all of them — CRFS buffers or blocks, it never short-writes).
+    pub fn write(&self, data: &[u8]) -> Result<usize> {
+        self.check_open()?;
+        let off = self.pos.load(Relaxed);
+        self.crfs.write_entry(&self.entry, off, data)?;
+        self.pos.store(off + data.len() as u64, Relaxed);
+        Ok(data.len())
+    }
+
+    /// Writes `data` at an explicit offset (does not move the sequential
+    /// position).
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_open()?;
+        self.crfs.write_entry(&self.entry, offset, data)
+    }
+
+    /// Reads at the current position, advancing it.
+    pub fn read(&self, buf: &mut [u8]) -> Result<usize> {
+        self.check_open()?;
+        let off = self.pos.load(Relaxed);
+        let n = self.crfs.read_entry(&self.entry, off, buf)?;
+        self.pos.store(off + n as u64, Relaxed);
+        Ok(n)
+    }
+
+    /// Reads at an explicit offset.
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        self.check_open()?;
+        self.crfs.read_entry(&self.entry, offset, buf)
+    }
+
+    /// Seals and drains this file's pending chunks (no backend fsync).
+    pub fn flush(&self) -> Result<()> {
+        self.check_open()?;
+        self.crfs.flush_entry(&self.entry)
+    }
+
+    /// Full fsync: flush pending chunks, wait, then fsync the backend.
+    pub fn fsync(&self) -> Result<()> {
+        self.check_open()?;
+        self.crfs.fsync_entry(&self.entry)
+    }
+
+    /// Logical length (includes buffered-but-unflushed data).
+    pub fn len(&self) -> Result<u64> {
+        self.check_open()?;
+        self.entry.logical_len().map_err(CrfsError::Io)
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Truncates (or extends) this file to exactly `len` bytes, draining
+    /// pending chunks first. The sequential position is left unchanged
+    /// (as with `ftruncate(2)`).
+    pub fn set_len(&self, len: u64) -> Result<()> {
+        self.check_open()?;
+        self.crfs.flush_entry(&self.entry)?;
+        self.entry.file.set_len(len).map_err(CrfsError::Io)?;
+        self.entry.max_extent.store(len, Relaxed);
+        Ok(())
+    }
+
+    /// Current sequential position.
+    pub fn position(&self) -> u64 {
+        self.pos.load(Relaxed)
+    }
+
+    /// Moves the sequential position.
+    pub fn set_position(&self, pos: u64) {
+        self.pos.store(pos, Relaxed);
+    }
+
+    /// Closes the handle. The last handle on a file blocks until all its
+    /// outstanding chunk writes completed and reports any asynchronous
+    /// write error (paper §IV-C).
+    pub fn close(self) -> Result<()> {
+        self.close_inner()
+    }
+
+    pub(crate) fn close_inner(&self) -> Result<()> {
+        if self.closed.swap(true, Relaxed) {
+            return Err(CrfsError::HandleClosed);
+        }
+        self.crfs.close_entry(&self.entry)
+    }
+}
+
+impl Drop for CrfsFile {
+    fn drop(&mut self) {
+        if !self.closed.load(Relaxed) {
+            let _ = self.close_inner();
+        }
+    }
+}
+
+impl io::Write for CrfsFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        CrfsFile::write(self, buf).map_err(io::Error::from)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        CrfsFile::flush(self).map_err(io::Error::from)
+    }
+}
+
+impl io::Read for CrfsFile {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        CrfsFile::read(self, buf).map_err(io::Error::from)
+    }
+}
+
+impl std::fmt::Debug for CrfsFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrfsFile")
+            .field("path", &self.entry.path)
+            .field("pos", &self.position())
+            .field("closed", &self.closed.load(Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{FailureMode, FaultyBackend, MemBackend};
+
+    fn mount_mem(config: CrfsConfig) -> (Arc<Crfs>, Arc<MemBackend>) {
+        let be = Arc::new(MemBackend::new());
+        let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, config).unwrap();
+        (fs, be)
+    }
+
+    fn small_config() -> CrfsConfig {
+        CrfsConfig::default()
+            .with_chunk_size(1024)
+            .with_pool_size(4096)
+            .with_io_threads(2)
+    }
+
+    #[test]
+    fn write_close_lands_data_in_backend() {
+        let (fs, be) = mount_mem(small_config());
+        let f = fs.create("/ckpt").unwrap();
+        f.write(b"hello ").unwrap();
+        f.write(b"world").unwrap();
+        f.close().unwrap();
+        assert_eq!(be.contents("/ckpt").unwrap(), b"hello world");
+        let snap = fs.stats();
+        assert_eq!(snap.writes, 2);
+        assert_eq!(snap.bytes_in, 11);
+        assert_eq!(snap.bytes_out, 11);
+        assert_eq!(snap.partial_seals, 1); // the close-time partial chunk
+    }
+
+    #[test]
+    fn small_writes_aggregate_into_chunks() {
+        let (fs, be) = mount_mem(small_config());
+        let f = fs.create("/agg").unwrap();
+        // 100 writes of 100 bytes = 10_000 bytes = 9 full 1024-chunks + tail.
+        let payload = [7u8; 100];
+        for _ in 0..100 {
+            f.write(&payload).unwrap();
+        }
+        f.close().unwrap();
+        assert_eq!(be.contents("/agg").unwrap().len(), 10_000);
+        let snap = fs.stats();
+        assert_eq!(snap.writes, 100);
+        assert_eq!(snap.chunks_sealed, 10);
+        assert_eq!(snap.bytes_out, 10_000);
+        assert!(snap.aggregation_ratio() >= 10.0);
+    }
+
+    #[test]
+    fn data_content_survives_chunking_boundaries() {
+        let (fs, be) = mount_mem(small_config());
+        let f = fs.create("/pattern").unwrap();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        // Write in awkward sizes straddling chunk boundaries.
+        let mut off = 0;
+        for size in [1, 1023, 1024, 1025, 7, 2048, 4096, 777].iter().cycle() {
+            if off >= data.len() {
+                break;
+            }
+            let end = (off + size).min(data.len());
+            f.write(&data[off..end]).unwrap();
+            off = end;
+        }
+        f.close().unwrap();
+        assert_eq!(be.contents("/pattern").unwrap(), data);
+    }
+
+    #[test]
+    fn concurrent_writers_to_separate_files() {
+        let (fs, be) = mount_mem(small_config());
+        let mut handles = Vec::new();
+        for rank in 0..8 {
+            let fs = Arc::clone(&fs);
+            handles.push(thread::spawn(move || {
+                let f = fs.create(&format!("/rank{rank}")).unwrap();
+                let byte = rank as u8;
+                for _ in 0..50 {
+                    f.write(&vec![byte; 257]).unwrap();
+                }
+                f.close().unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for rank in 0..8 {
+            let data = be.contents(&format!("/rank{rank}")).unwrap();
+            assert_eq!(data.len(), 50 * 257);
+            assert!(data.iter().all(|&b| b == rank as u8));
+        }
+        // All pool buffers must be back.
+        let snap = fs.stats();
+        assert_eq!(snap.chunks_sealed, snap.chunks_completed);
+    }
+
+    #[test]
+    fn shared_entry_refcounting() {
+        let (fs, _be) = mount_mem(small_config());
+        let a = fs.create("/shared").unwrap();
+        let b = fs.open("/shared").unwrap();
+        assert_eq!(fs.open_files(), 1, "same file shares one table entry");
+        a.write(b"xx").unwrap();
+        drop(a);
+        assert_eq!(fs.open_files(), 1, "entry survives while handles remain");
+        b.close().unwrap();
+        assert_eq!(fs.open_files(), 0);
+    }
+
+    #[test]
+    fn nonsequential_write_seals_and_rewrites_correctly() {
+        let (fs, be) = mount_mem(small_config());
+        let f = fs.create("/nonseq").unwrap();
+        f.write_at(0, b"AAAA").unwrap();
+        f.write_at(100, b"BBBB").unwrap(); // discontinuity
+        f.write_at(2, b"cc").unwrap(); // overwrite inside first run
+        f.close().unwrap();
+        let data = be.contents("/nonseq").unwrap();
+        assert_eq!(&data[0..2], b"AA");
+        assert_eq!(&data[2..4], b"cc");
+        assert_eq!(&data[100..104], b"BBBB");
+        assert_eq!(data.len(), 104);
+        assert!(fs.stats().discontinuity_seals >= 1);
+    }
+
+    #[test]
+    fn fsync_reaches_backend() {
+        let (fs, be) = mount_mem(small_config());
+        let f = fs.create("/sync").unwrap();
+        f.write(b"data").unwrap();
+        f.fsync().unwrap();
+        assert_eq!(be.sync_count(), 1);
+        assert_eq!(be.contents("/sync").unwrap(), b"data");
+        f.close().unwrap();
+    }
+
+    #[test]
+    fn read_after_write_same_mount_is_coherent() {
+        let (fs, _be) = mount_mem(small_config());
+        let f = fs.create("/raw").unwrap();
+        f.write(b"0123456789").unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(f.read_at(3, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"3456");
+        f.close().unwrap();
+    }
+
+    #[test]
+    fn len_includes_buffered_data() {
+        let (fs, _be) = mount_mem(small_config());
+        let f = fs.create("/len").unwrap();
+        f.write(&[0; 100]).unwrap();
+        assert_eq!(f.len().unwrap(), 100, "buffered data counts");
+        assert_eq!(fs.file_len("/len").unwrap(), 100);
+        f.close().unwrap();
+        assert_eq!(fs.file_len("/len").unwrap(), 100);
+    }
+
+    #[test]
+    fn async_write_error_surfaces_at_close() {
+        let be = Arc::new(FaultyBackend::new(
+            MemBackend::new(),
+            FailureMode::FailWritesAfter(0),
+        ));
+        let fs = Crfs::mount(be as Arc<dyn Backend>, small_config()).unwrap();
+        let f = fs.create("/bad").unwrap();
+        // Fill more than one chunk so a background write definitely runs.
+        f.write(&vec![1u8; 3000]).unwrap();
+        let err = f.close().unwrap_err();
+        assert!(
+            matches!(err, CrfsError::DeferredWrite { .. }),
+            "got {err:?}"
+        );
+        // Pool must not leak buffers even on failure.
+        let snap = fs.stats();
+        assert_eq!(snap.chunks_sealed, snap.chunks_completed);
+    }
+
+    #[test]
+    fn unmount_flushes_open_files() {
+        let (fs, be) = mount_mem(small_config());
+        let f = fs.create("/open-at-unmount").unwrap();
+        f.write(b"pending!").unwrap();
+        fs.unmount().unwrap();
+        assert_eq!(be.contents("/open-at-unmount").unwrap(), b"pending!");
+        // Handle is now inert.
+        assert!(matches!(f.write(b"x"), Err(CrfsError::Unmounted)));
+        // Unmount is idempotent-with-error.
+        assert!(matches!(fs.unmount(), Err(CrfsError::Unmounted)));
+    }
+
+    #[test]
+    fn metadata_ops_pass_through() {
+        let (fs, be) = mount_mem(small_config());
+        fs.mkdir_all("/a/b/c").unwrap();
+        assert!(fs.exists("/a/b/c"));
+        fs.create("/a/b/c/f").unwrap().close().unwrap();
+        assert_eq!(fs.list_dir("/a/b/c").unwrap(), vec!["f"]);
+        fs.rename("/a/b/c/f", "/a/b/c/g").unwrap();
+        assert!(be.exists("/a/b/c/g"));
+        fs.unlink("/a/b/c/g").unwrap();
+        fs.rmdir("/a/b/c").unwrap();
+        assert!(!fs.exists("/a/b/c"));
+    }
+
+    #[test]
+    fn reopen_with_truncate_discards_pending_data() {
+        let (fs, be) = mount_mem(small_config());
+        let f = fs.create("/trunc").unwrap();
+        f.write(b"old-old-old").unwrap();
+        let g = fs.create("/trunc").unwrap(); // truncating re-open
+        g.write(b"new").unwrap();
+        drop(f);
+        g.close().unwrap();
+        assert_eq!(be.contents("/trunc").unwrap(), b"new");
+    }
+
+    #[test]
+    fn truncate_open_file_drains_pending_chunks_first() {
+        let (fs, be) = mount_mem(small_config());
+        let f = fs.create("/t").unwrap();
+        f.write(&vec![7u8; 3000]).unwrap(); // spans buffered + in-flight
+        f.set_len(100).unwrap();
+        assert_eq!(f.len().unwrap(), 100);
+        f.close().unwrap();
+        let data = be.contents("/t").unwrap();
+        assert_eq!(data.len(), 100);
+        assert!(data.iter().all(|&b| b == 7), "surviving prefix intact");
+    }
+
+    #[test]
+    fn truncate_by_path_open_and_closed() {
+        let (fs, be) = mount_mem(small_config());
+        // Open file: buffered data is honoured before the cut.
+        let f = fs.create("/open").unwrap();
+        f.write(&vec![1u8; 500]).unwrap();
+        fs.truncate("/open", 200).unwrap();
+        assert_eq!(fs.file_len("/open").unwrap(), 200);
+        f.close().unwrap();
+        assert_eq!(be.contents("/open").unwrap().len(), 200);
+        // Closed file: plain backend pass-through, extend with zeros.
+        fs.truncate("/open", 300).unwrap();
+        let data = be.contents("/open").unwrap();
+        assert_eq!(data.len(), 300);
+        assert!(data[200..].iter().all(|&b| b == 0));
+        // Missing file: clean error.
+        assert!(fs.truncate("/missing", 0).is_err());
+    }
+
+    #[test]
+    fn write_after_truncate_lands_at_logical_offset() {
+        let (fs, be) = mount_mem(small_config());
+        let f = fs.create("/wt").unwrap();
+        f.write(&vec![1u8; 100]).unwrap();
+        f.set_len(0).unwrap();
+        f.write_at(0, b"fresh").unwrap();
+        f.close().unwrap();
+        assert_eq!(be.contents("/wt").unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn pool_backpressure_throttles_writers() {
+        // 2-chunk pool, writes of 3 chunks each: writers must block and
+        // recycle buffers; totals must still be exact.
+        let config = CrfsConfig::default()
+            .with_chunk_size(1024)
+            .with_pool_size(2048)
+            .with_io_threads(1);
+        let (fs, be) = mount_mem(config);
+        let f = fs.create("/bp").unwrap();
+        f.write(&vec![9u8; 3 * 1024]).unwrap();
+        f.close().unwrap();
+        assert_eq!(be.contents("/bp").unwrap().len(), 3 * 1024);
+    }
+
+    #[test]
+    fn closed_handle_rejects_operations() {
+        let (fs, _be) = mount_mem(small_config());
+        let f = fs.create("/c").unwrap();
+        let entry_ops = f.close();
+        entry_ops.unwrap();
+        // f is consumed by close; create a fresh handle and close twice via drop + close_inner
+        let g = fs.create("/c2").unwrap();
+        g.write(b"x").unwrap();
+        drop(g);
+    }
+
+    #[test]
+    fn io_write_trait_works() {
+        use std::io::Write;
+        let (fs, be) = mount_mem(small_config());
+        let mut f = fs.create("/w").unwrap();
+        f.write_all(b"via io::Write").unwrap();
+        f.flush().unwrap();
+        drop(f);
+        assert_eq!(be.contents("/w").unwrap(), b"via io::Write");
+    }
+}

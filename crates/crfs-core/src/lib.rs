@@ -1,0 +1,79 @@
+//! # crfs-core — a lightweight user-level filesystem for checkpoint/restart
+//!
+//! This crate is a faithful Rust implementation of **CRFS** (Ouyang et al.,
+//! *CRFS: A Lightweight User-Level Filesystem for Generic
+//! Checkpoint/Restart*, ICPP 2011): a stackable, user-level filesystem that
+//! sits between checkpoint writers (BLCR-style system-level checkpointers,
+//! or any sequential bulk writer) and a backing filesystem, and turns the
+//! storm of small and medium `write()` calls that checkpointing produces
+//! into a small number of large, asynchronous, mostly-sequential writes.
+//!
+//! ## Architecture (paper §IV)
+//!
+//! ```text
+//!  application write()                 ┌───────────────────────────────┐
+//!  ──────────────▶ Vfs (FUSE-like     │            Crfs               │
+//!                  dispatch, splits   │  FileTable (open-file hash    │
+//!                  at max_write)      │  table w/ refcounts)          │
+//!                        │            │     │                         │
+//!                        ▼            │     ▼                         │
+//!                   Crfs::write ──────┼─▶ per-file current Chunk      │
+//!                                     │     │ full / sealed           │
+//!                  BufferPool ◀───────┼─────┤                         │
+//!                  (fixed chunks,     │     ▼                         │
+//!                   recycled)         │  WorkQueue ──▶ IO threads ────┼──▶ Backend
+//!                                     └───────────────────────────────┘   (ext3/NFS/
+//!                                                                          Lustre/...)
+//! ```
+//!
+//! - **Write aggregation**: every file owns at most one *current chunk*
+//!   drawn from a mount-wide [`BufferPool`](pool::BufferPool). Sequential
+//!   writes append into the chunk; a full chunk is *sealed* and enqueued.
+//! - **Asynchronous draining**: a pool of IO worker threads (default 4, the
+//!   paper's best setting) dequeues sealed chunks and issues large
+//!   `write_at` calls against the [`Backend`](backend::Backend).
+//! - **IO throttling**: the worker count bounds backend concurrency; the
+//!   buffer pool bounds memory and applies back-pressure to writers.
+//! - **close()/fsync() barrier**: both wait until the file's completed
+//!   chunk count equals its sealed chunk count, then act on the backend —
+//!   exactly the accounting the paper describes.
+//! - **Reads & metadata**: passed through to the backend (after flushing
+//!   pending chunks of that file, a strictly-safer refinement of the
+//!   paper's pass-through reads).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use crfs_core::{Crfs, CrfsConfig, backend::MemBackend};
+//! use std::sync::Arc;
+//!
+//! let fs = Crfs::mount(Arc::new(MemBackend::new()), CrfsConfig::default()).unwrap();
+//! fs.mkdir_all("/ckpt").unwrap();
+//! let f = fs.create("/ckpt/rank0.img").unwrap();
+//! f.write(b"snapshot bytes...").unwrap();
+//! f.close().unwrap(); // blocks until the data reached the backend
+//!
+//! let g = fs.open("/ckpt/rank0.img").unwrap();
+//! let mut buf = vec![0; 17];
+//! g.read_at(0, &mut buf).unwrap();
+//! assert_eq!(&buf, b"snapshot bytes...");
+//! fs.unmount().unwrap();
+//! ```
+
+pub mod aggregator;
+pub mod backend;
+pub mod chunking;
+pub mod config;
+pub mod error;
+pub mod file;
+pub mod fs;
+pub mod pool;
+pub mod stats;
+pub mod vfs;
+
+pub use backend::{Backend, BackendFile};
+pub use config::CrfsConfig;
+pub use error::{CrfsError, Result};
+pub use fs::{Crfs, CrfsFile};
+pub use stats::StatsSnapshot;
+pub use vfs::{Fd, Vfs};

@@ -1,0 +1,195 @@
+//! The mount-wide buffer pool.
+//!
+//! At mount time the pool is carved into `pool_size / chunk_size` equally
+//! sized buffers (paper §IV-B). Writers block on [`BufferPool::acquire`]
+//! when every chunk is in flight — this back-pressure, together with the
+//! bounded IO-thread count, is CRFS's *IO throttling*. IO workers return
+//! buffers with [`BufferPool::release`] after writing them out.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct PoolState {
+    free: Vec<Vec<u8>>,
+    closed: bool,
+}
+
+/// Fixed-size pool of reusable chunk buffers.
+pub struct BufferPool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    chunk_size: usize,
+    total_chunks: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool of `total_chunks` buffers of `chunk_size` bytes each.
+    /// All buffers are allocated (and zero-initialized) up front, like the
+    /// paper's mount-time pool.
+    pub fn new(chunk_size: usize, total_chunks: usize) -> BufferPool {
+        assert!(chunk_size > 0 && total_chunks > 0);
+        let free = (0..total_chunks).map(|_| vec![0u8; chunk_size]).collect();
+        BufferPool {
+            state: Mutex::new(PoolState {
+                free,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            chunk_size,
+            total_chunks,
+        }
+    }
+
+    /// Size of each buffer.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Total buffers owned by the pool.
+    pub fn total_chunks(&self) -> usize {
+        self.total_chunks
+    }
+
+    /// Buffers currently free.
+    pub fn free_chunks(&self) -> usize {
+        self.state.lock().free.len()
+    }
+
+    /// Takes a free buffer, blocking until one is available.
+    ///
+    /// Returns the buffer and the time spent blocked (zero when a buffer
+    /// was immediately available). Returns `None` if the pool was closed
+    /// while waiting (unmount).
+    pub fn acquire(&self) -> Option<(Vec<u8>, Duration)> {
+        let mut st = self.state.lock();
+        if let Some(buf) = st.free.pop() {
+            return Some((buf, Duration::ZERO));
+        }
+        let t0 = Instant::now();
+        loop {
+            if st.closed {
+                return None;
+            }
+            if let Some(buf) = st.free.pop() {
+                return Some((buf, t0.elapsed()));
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking acquire.
+    pub fn try_acquire(&self) -> Option<Vec<u8>> {
+        self.state.lock().free.pop()
+    }
+
+    /// Returns a buffer to the pool, waking one blocked writer.
+    ///
+    /// # Panics
+    /// Panics if the buffer does not have the pool's chunk size (a foreign
+    /// or corrupted buffer) or if the pool would exceed its capacity.
+    pub fn release(&self, buf: Vec<u8>) {
+        assert_eq!(
+            buf.len(),
+            self.chunk_size,
+            "released buffer has wrong size"
+        );
+        let mut st = self.state.lock();
+        assert!(
+            st.free.len() < self.total_chunks,
+            "pool over-released: more buffers than capacity"
+        );
+        st.free.push(buf);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Closes the pool: blocked and future `acquire`s return `None`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("chunk_size", &self.chunk_size)
+            .field("total_chunks", &self.total_chunks)
+            .field("free_chunks", &self.free_chunks())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let pool = BufferPool::new(1024, 2);
+        assert_eq!(pool.free_chunks(), 2);
+        let (a, w) = pool.acquire().unwrap();
+        assert_eq!(a.len(), 1024);
+        assert_eq!(w, Duration::ZERO);
+        let (_b, _) = pool.acquire().unwrap();
+        assert_eq!(pool.free_chunks(), 0);
+        assert!(pool.try_acquire().is_none());
+        pool.release(a);
+        assert_eq!(pool.free_chunks(), 1);
+    }
+
+    #[test]
+    fn exhausted_pool_blocks_until_release() {
+        let pool = Arc::new(BufferPool::new(64, 1));
+        let (buf, _) = pool.acquire().unwrap();
+        let p2 = Arc::clone(&pool);
+        let h = thread::spawn(move || {
+            let (b, waited) = p2.acquire().unwrap();
+            (b.len(), waited)
+        });
+        thread::sleep(Duration::from_millis(30));
+        pool.release(buf);
+        let (len, waited) = h.join().unwrap();
+        assert_eq!(len, 64);
+        assert!(waited >= Duration::from_millis(15), "waited {waited:?}");
+    }
+
+    #[test]
+    fn close_unblocks_waiters() {
+        let pool = Arc::new(BufferPool::new(64, 1));
+        let (_held, _) = pool.acquire().unwrap();
+        let p2 = Arc::clone(&pool);
+        let h = thread::spawn(move || p2.acquire());
+        thread::sleep(Duration::from_millis(20));
+        pool.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn release_rejects_foreign_buffer() {
+        let pool = BufferPool::new(64, 1);
+        pool.release(vec![0; 65]);
+    }
+
+    #[test]
+    fn concurrent_churn_conserves_buffers() {
+        let pool = Arc::new(BufferPool::new(256, 4));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = Arc::clone(&pool);
+            handles.push(thread::spawn(move || {
+                for _ in 0..200 {
+                    let (buf, _) = pool.acquire().unwrap();
+                    pool.release(buf);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.free_chunks(), 4);
+    }
+}

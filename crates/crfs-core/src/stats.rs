@@ -1,0 +1,205 @@
+//! Mount-wide instrumentation counters.
+//!
+//! All counters are relaxed atomics — they are monotonic event counts whose
+//! exact interleaving does not matter, only their totals. A coherent view
+//! is taken with [`CrfsStats::snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Live counters updated by the write path and the IO workers.
+#[derive(Debug, Default)]
+pub struct CrfsStats {
+    /// `write()`/`write_at()` calls accepted.
+    pub writes: AtomicU64,
+    /// Bytes accepted from writers.
+    pub bytes_in: AtomicU64,
+    /// Chunks sealed (enqueued to the work queue).
+    pub chunks_sealed: AtomicU64,
+    /// Chunks sealed while only partially full (close/fsync/discontinuity).
+    pub partial_seals: AtomicU64,
+    /// Seals forced by non-sequential writes.
+    pub discontinuity_seals: AtomicU64,
+    /// Chunks fully written to the backend by IO workers.
+    pub chunks_completed: AtomicU64,
+    /// Bytes pushed to the backend.
+    pub bytes_out: AtomicU64,
+    /// Nanoseconds writers spent blocked waiting for a free chunk.
+    pub pool_wait_ns: AtomicU64,
+    /// Number of pool acquisitions that had to block.
+    pub pool_waits: AtomicU64,
+    /// Nanoseconds IO workers spent inside backend `write_at`.
+    pub backend_write_ns: AtomicU64,
+    /// Files opened (new table entries).
+    pub opens: AtomicU64,
+    /// Files fully closed (table entries retired).
+    pub closes: AtomicU64,
+    /// fsync() calls served.
+    pub fsyncs: AtomicU64,
+    /// Nanoseconds callers spent blocked in close/fsync barriers.
+    pub barrier_wait_ns: AtomicU64,
+}
+
+impl CrfsStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a coherent-enough copy for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            writes: self.writes.load(Relaxed),
+            bytes_in: self.bytes_in.load(Relaxed),
+            chunks_sealed: self.chunks_sealed.load(Relaxed),
+            partial_seals: self.partial_seals.load(Relaxed),
+            discontinuity_seals: self.discontinuity_seals.load(Relaxed),
+            chunks_completed: self.chunks_completed.load(Relaxed),
+            bytes_out: self.bytes_out.load(Relaxed),
+            pool_wait: Duration::from_nanos(self.pool_wait_ns.load(Relaxed)),
+            pool_waits: self.pool_waits.load(Relaxed),
+            backend_write: Duration::from_nanos(self.backend_write_ns.load(Relaxed)),
+            opens: self.opens.load(Relaxed),
+            closes: self.closes.load(Relaxed),
+            fsyncs: self.fsyncs.load(Relaxed),
+            barrier_wait: Duration::from_nanos(self.barrier_wait_ns.load(Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of [`CrfsStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// `write()`/`write_at()` calls accepted.
+    pub writes: u64,
+    /// Bytes accepted from writers.
+    pub bytes_in: u64,
+    /// Chunks sealed (enqueued).
+    pub chunks_sealed: u64,
+    /// Seals of partially-full chunks.
+    pub partial_seals: u64,
+    /// Seals forced by non-sequential writes.
+    pub discontinuity_seals: u64,
+    /// Chunks completed by IO workers.
+    pub chunks_completed: u64,
+    /// Bytes written to the backend.
+    pub bytes_out: u64,
+    /// Total time writers blocked on the buffer pool.
+    pub pool_wait: Duration,
+    /// Pool acquisitions that blocked.
+    pub pool_waits: u64,
+    /// Total time workers spent in backend writes.
+    pub backend_write: Duration,
+    /// Files opened.
+    pub opens: u64,
+    /// Files closed.
+    pub closes: u64,
+    /// fsync calls.
+    pub fsyncs: u64,
+    /// Total time callers blocked in close/fsync barriers.
+    pub barrier_wait: Duration,
+}
+
+impl StatsSnapshot {
+    /// Mean bytes per sealed chunk — the aggregation factor actually
+    /// achieved (ideal: the configured chunk size).
+    pub fn mean_chunk_fill(&self) -> f64 {
+        if self.chunks_sealed == 0 {
+            0.0
+        } else {
+            self.bytes_out as f64 / self.chunks_sealed as f64
+        }
+    }
+
+    /// Mean size of an incoming write.
+    pub fn mean_write_size(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.bytes_in as f64 / self.writes as f64
+        }
+    }
+
+    /// Ratio of backend writes to application writes — how much CRFS
+    /// reduced the backend request count (e.g. 7800 application writes to
+    /// 6 chunk writes for the paper's LU.C node profile).
+    pub fn aggregation_ratio(&self) -> f64 {
+        if self.chunks_sealed == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.chunks_sealed as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "writes in : {:>10}  ({} bytes, mean {:.0} B)",
+            self.writes,
+            self.bytes_in,
+            self.mean_write_size()
+        )?;
+        writeln!(
+            f,
+            "chunks out: {:>10}  ({} bytes, mean fill {:.0} B, {} partial, {} disc.)",
+            self.chunks_sealed,
+            self.bytes_out,
+            self.mean_chunk_fill(),
+            self.partial_seals,
+            self.discontinuity_seals
+        )?;
+        writeln!(
+            f,
+            "aggregation ratio: {:.1} writes/chunk",
+            self.aggregation_ratio()
+        )?;
+        writeln!(
+            f,
+            "pool waits: {} ({:?}); backend write time {:?}; barrier wait {:?}",
+            self.pool_waits, self.pool_wait, self.backend_write, self.barrier_wait
+        )?;
+        write!(
+            f,
+            "opens {} / closes {} / fsyncs {}",
+            self.opens, self.closes, self.fsyncs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = CrfsStats::new();
+        s.writes.fetch_add(10, Relaxed);
+        s.bytes_in.fetch_add(1000, Relaxed);
+        s.chunks_sealed.fetch_add(2, Relaxed);
+        s.bytes_out.fetch_add(1000, Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.writes, 10);
+        assert_eq!(snap.mean_write_size(), 100.0);
+        assert_eq!(snap.mean_chunk_fill(), 500.0);
+        assert_eq!(snap.aggregation_ratio(), 5.0);
+    }
+
+    #[test]
+    fn empty_snapshot_ratios_are_zero() {
+        let snap = StatsSnapshot::default();
+        assert_eq!(snap.mean_chunk_fill(), 0.0);
+        assert_eq!(snap.mean_write_size(), 0.0);
+        assert_eq!(snap.aggregation_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = CrfsStats::new();
+        s.writes.fetch_add(7800, Relaxed);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("7800"));
+        assert!(text.contains("aggregation ratio"));
+    }
+}

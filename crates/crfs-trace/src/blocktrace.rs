@@ -1,0 +1,204 @@
+//! `blktrace`-style block-IO tracing and seek analysis (Figure 10).
+//!
+//! The paper uses `blktrace` to show that native checkpointing produces a
+//! high degree of disk-address randomness (a cloud of points and constant
+//! head seeks), while CRFS produces near-sequential access. The simulated
+//! disk ([`storage-model`]'s `DiskModel`) logs every request here; the
+//! analysis reduces the trace to the numbers the figure argues visually:
+//! seek count, mean seek distance and the sequential-byte fraction.
+
+/// One block-layer request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRecord {
+    /// Issue time, nanoseconds on the run's clock.
+    pub time_ns: u64,
+    /// Starting sector (512-byte units).
+    pub sector: u64,
+    /// Length in sectors.
+    pub len: u64,
+}
+
+/// A block request trace for one device.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTrace {
+    records: Vec<BlockRecord>,
+}
+
+impl BlockTrace {
+    /// Creates an empty trace.
+    pub fn new() -> BlockTrace {
+        BlockTrace::default()
+    }
+
+    /// Appends a request.
+    pub fn record(&mut self, time_ns: u64, sector: u64, len: u64) {
+        self.records.push(BlockRecord {
+            time_ns,
+            sector,
+            len,
+        });
+    }
+
+    /// The raw records, in issue order.
+    pub fn records(&self) -> &[BlockRecord] {
+        &self.records
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Reduces the trace to seek statistics.
+    pub fn summary(&self) -> BlockTraceSummary {
+        let mut seeks = 0u64;
+        let mut seek_distance = 0u64;
+        let mut seq_bytes = 0u64;
+        let mut total_bytes = 0u64;
+        let mut last_end: Option<u64> = None;
+        for r in &self.records {
+            let bytes = r.len * 512;
+            total_bytes += bytes;
+            match last_end {
+                Some(end) if end == r.sector => seq_bytes += bytes,
+                Some(end) => {
+                    seeks += 1;
+                    seek_distance += end.abs_diff(r.sector);
+                }
+                None => {}
+            }
+            last_end = Some(r.sector + r.len);
+        }
+        BlockTraceSummary {
+            requests: self.records.len() as u64,
+            total_bytes,
+            seeks,
+            mean_seek_distance: if seeks == 0 {
+                0.0
+            } else {
+                seek_distance as f64 / seeks as f64
+            },
+            sequential_fraction: if total_bytes == 0 {
+                1.0
+            } else {
+                seq_bytes as f64 / total_bytes as f64
+            },
+        }
+    }
+
+    /// ASCII scatter of sector (y) versus time (x), the shape of the
+    /// paper's Fig. 10 upper panels. `width`×`height` character cells.
+    pub fn scatter(&self, width: usize, height: usize) -> String {
+        if self.records.is_empty() || width == 0 || height == 0 {
+            return String::from("(empty trace)\n");
+        }
+        let t_max = self.records.iter().map(|r| r.time_ns).max().unwrap().max(1);
+        let s_min = self.records.iter().map(|r| r.sector).min().unwrap();
+        let s_max = self
+            .records
+            .iter()
+            .map(|r| r.sector + r.len)
+            .max()
+            .unwrap()
+            .max(s_min + 1);
+        let mut grid = vec![vec![' '; width]; height];
+        for r in &self.records {
+            let x = ((r.time_ns as f64 / t_max as f64) * (width - 1) as f64) as usize;
+            let y = (((r.sector - s_min) as f64 / (s_max - s_min) as f64)
+                * (height - 1) as f64) as usize;
+            grid[height - 1 - y][x] = '*';
+        }
+        let mut out = String::new();
+        for row in grid {
+            out.push_str(&row.into_iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "x: 0..{:.3}s  y: sectors {}..{}\n",
+            t_max as f64 / 1e9,
+            s_min,
+            s_max
+        ));
+        out
+    }
+}
+
+/// Seek statistics for a [`BlockTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockTraceSummary {
+    /// Number of block requests.
+    pub requests: u64,
+    /// Bytes transferred.
+    pub total_bytes: u64,
+    /// Number of non-contiguous transitions (head seeks).
+    pub seeks: u64,
+    /// Mean seek distance in sectors.
+    pub mean_seek_distance: f64,
+    /// Fraction of bytes issued contiguously with the previous request.
+    pub sequential_fraction: f64,
+}
+
+impl std::fmt::Display for BlockTraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} reqs, {:.1} MiB, {} seeks (mean {:.0} sectors), {:.1}% sequential",
+            self.requests,
+            self.total_bytes as f64 / (1 << 20) as f64,
+            self.seeks,
+            self.mean_seek_distance,
+            self.sequential_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_trace_has_no_seeks() {
+        let mut t = BlockTrace::new();
+        t.record(0, 0, 8);
+        t.record(10, 8, 8);
+        t.record(20, 16, 8);
+        let s = t.summary();
+        assert_eq!(s.seeks, 0);
+        // The first request has no predecessor, so 2 of 3 are "sequential".
+        assert!((s.sequential_fraction - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_trace_counts_seeks_and_distance() {
+        let mut t = BlockTrace::new();
+        t.record(0, 0, 8); // ends at 8
+        t.record(10, 1000, 8); // seek of 992
+        t.record(20, 8, 8); // seek of 1000
+        let s = t.summary();
+        assert_eq!(s.seeks, 2);
+        assert!((s.mean_seek_distance - 996.0).abs() < 1e-9);
+        assert!(s.sequential_fraction < 0.01);
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let s = BlockTrace::new().summary();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.sequential_fraction, 1.0);
+    }
+
+    #[test]
+    fn scatter_renders_bounds() {
+        let mut t = BlockTrace::new();
+        t.record(0, 100, 8);
+        t.record(1_000_000, 200, 8);
+        let plot = t.scatter(40, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("sectors 100..208"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-process cumulative write-time curves (Figures 3 and 11).
+//!
+//! The paper plots, for every process, its cumulative time spent in
+//! `write()` as a function of write size, and argues from the vertical
+//! spread of the curve endpoints: native ext3 completion times range
+//! 4–8 s (slowest process gates the checkpoint), while CRFS collapses the
+//! spread. [`CumulativeCurve`] builds those curves and
+//! [`SpreadSummary`] quantifies the endpoint spread.
+
+use std::time::Duration;
+
+/// One process's recorded writes.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessTrace {
+    /// (write size in bytes, latency) per write, in issue order.
+    pub writes: Vec<(u64, Duration)>,
+}
+
+impl ProcessTrace {
+    /// Creates an empty trace.
+    pub fn new() -> ProcessTrace {
+        ProcessTrace::default()
+    }
+
+    /// Records one write.
+    pub fn record(&mut self, size: u64, latency: Duration) {
+        self.writes.push((size, latency));
+    }
+
+    /// Total time the process spent writing.
+    pub fn total_time(&self) -> Duration {
+        self.writes.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// Total bytes the process wrote.
+    pub fn total_bytes(&self) -> u64 {
+        self.writes.iter().map(|&(s, _)| s).sum()
+    }
+
+    /// The Fig. 3 curve: writes sorted by size, cumulative time after each.
+    /// Returns `(size, cumulative_seconds)` points.
+    pub fn cumulative_by_size(&self) -> Vec<(u64, f64)> {
+        let mut sorted = self.writes.clone();
+        sorted.sort_by_key(|&(s, _)| s);
+        let mut acc = 0.0;
+        sorted
+            .into_iter()
+            .map(|(s, d)| {
+                acc += d.as_secs_f64();
+                (s, acc)
+            })
+            .collect()
+    }
+}
+
+/// Curves for all processes in one run.
+#[derive(Debug, Clone, Default)]
+pub struct CumulativeCurve {
+    /// One trace per process, indexed by rank.
+    pub processes: Vec<ProcessTrace>,
+}
+
+impl CumulativeCurve {
+    /// Creates a curve set for `n` processes.
+    pub fn new(n: usize) -> CumulativeCurve {
+        CumulativeCurve {
+            processes: vec![ProcessTrace::new(); n],
+        }
+    }
+
+    /// Records a write for process `rank`.
+    pub fn record(&mut self, rank: usize, size: u64, latency: Duration) {
+        self.processes[rank].record(size, latency);
+    }
+
+    /// Completion-time statistics across processes (the curve endpoints).
+    pub fn spread(&self) -> SpreadSummary {
+        let totals: Vec<f64> = self
+            .processes
+            .iter()
+            .map(|p| p.total_time().as_secs_f64())
+            .collect();
+        SpreadSummary::from_values(&totals)
+    }
+
+    /// Renders every process curve as CSV rows:
+    /// `rank,write_size,cumulative_seconds`.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("rank,write_size,cumulative_seconds\n");
+        for (rank, p) in self.processes.iter().enumerate() {
+            for (size, cum) in p.cumulative_by_size() {
+                s.push_str(&format!("{rank},{size},{cum:.6}\n"));
+            }
+        }
+        s
+    }
+}
+
+/// Min/max/mean/stddev of per-process completion times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpreadSummary {
+    /// Number of processes.
+    pub n: usize,
+    /// Fastest process total write time (seconds).
+    pub min: f64,
+    /// Slowest process total write time (seconds) — this gates the
+    /// checkpoint in coordinated C/R.
+    pub max: f64,
+    /// Mean across processes.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl SpreadSummary {
+    /// Builds a summary from raw per-process totals.
+    pub fn from_values(values: &[f64]) -> SpreadSummary {
+        let n = values.len();
+        if n == 0 {
+            return SpreadSummary {
+                n: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        SpreadSummary {
+            n,
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// `max - min`: the variation the paper highlights.
+    pub fn spread(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+impl std::fmt::Display for SpreadSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.2}s max={:.2}s mean={:.2}s stddev={:.3}s spread={:.2}s",
+            self.n,
+            self.min,
+            self.max,
+            self.mean,
+            self.stddev,
+            self.spread()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_sorts_by_size() {
+        let mut p = ProcessTrace::new();
+        p.record(1000, Duration::from_secs(1));
+        p.record(10, Duration::from_secs(2));
+        p.record(100, Duration::from_secs(3));
+        let curve = p.cumulative_by_size();
+        assert_eq!(curve[0].0, 10);
+        assert_eq!(curve[1].0, 100);
+        assert_eq!(curve[2].0, 1000);
+        assert!((curve[2].1 - 6.0).abs() < 1e-9);
+        // Cumulative values are monotone.
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn spread_summary_statistics() {
+        let s = SpreadSummary::from_values(&[4.0, 8.0, 6.0]);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(s.mean, 6.0);
+        assert_eq!(s.spread(), 4.0);
+        assert!(s.stddev > 1.0 && s.stddev < 2.0);
+    }
+
+    #[test]
+    fn empty_spread_is_zero() {
+        let s = SpreadSummary::from_values(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.spread(), 0.0);
+    }
+
+    #[test]
+    fn curve_csv_has_all_processes() {
+        let mut c = CumulativeCurve::new(2);
+        c.record(0, 64, Duration::from_millis(1));
+        c.record(1, 128, Duration::from_millis(2));
+        let csv = c.to_csv();
+        assert!(csv.contains("0,64,"));
+        assert!(csv.contains("1,128,"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # crfs-trace — checkpoint IO instrumentation and figure rendering
+//!
+//! The CRFS paper builds its case with three instruments, all reproduced
+//! here:
+//!
+//! - [`profile::WriteProfiler`] — the per-write (size, latency) recorder
+//!   behind **Table I** ("% of Writes / % of Data / % of Time" per write
+//!   size band) from their extended BLCR library.
+//! - [`curve::CumulativeCurve`] — per-process cumulative write time versus
+//!   write size, behind **Figures 3 and 11** (completion-time variance).
+//! - [`blocktrace`] — a `blktrace`-style block-level access log with seek
+//!   and sequentiality analysis, behind **Figure 10**.
+//!
+//! [`render`] provides plain-text tables, CSV emission and ASCII charts so
+//! every experiment binary can print paper-shaped output in a terminal.
+//! [`replay`] records timestamped IO-operation traces and replays them
+//! against any sink — the §III trace-driven methodology as a reusable
+//! artifact.
+
+pub mod blocktrace;
+pub mod curve;
+pub mod profile;
+pub mod render;
+pub mod replay;
+
+pub use blocktrace::{BlockTrace, BlockTraceSummary};
+pub use curve::{CumulativeCurve, SpreadSummary};
+pub use profile::{BandRow, WriteProfile, WriteProfiler};
+pub use replay::{Pace, Recorder, ReplayStats, TraceEvent, TraceOp, TraceSink, WriteTrace};

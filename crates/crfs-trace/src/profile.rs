@@ -1,0 +1,214 @@
+//! Write-size/latency profiling — the instrument behind Table I.
+//!
+//! The paper extends BLCR "to record the information for all write
+//! operations, including number of writes, size of a write and time cost
+//! for each write", then reports, per write-size band, the percentage of
+//! writes, of data, and of time. [`WriteProfiler`] is that recorder and
+//! [`WriteProfile`] the banded report.
+
+use std::time::Duration;
+
+/// The paper's Table I write-size bands (upper bounds, exclusive except
+/// the last).
+pub const BAND_BOUNDS: [(u64, &str); 10] = [
+    (64, "0-64"),
+    (256, "64-256"),
+    (1 << 10, "256-1K"),
+    (4 << 10, "1K-4K"),
+    (16 << 10, "4K-16K"),
+    (64 << 10, "16K-64K"),
+    (256 << 10, "64K-256K"),
+    (512 << 10, "256K-512K"),
+    (1 << 20, "512K-1M"),
+    (u64::MAX, "> 1M"),
+];
+
+/// Index of the band a write size falls into.
+pub fn band_of(size: u64) -> usize {
+    BAND_BOUNDS
+        .iter()
+        .position(|&(hi, _)| size < hi || hi == u64::MAX)
+        .expect("band bounds cover u64")
+}
+
+/// Accumulates per-write observations.
+#[derive(Debug, Clone, Default)]
+pub struct WriteProfiler {
+    counts: [u64; 10],
+    bytes: [u64; 10],
+    time_ns: [u64; 10],
+}
+
+impl WriteProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> WriteProfiler {
+        WriteProfiler::default()
+    }
+
+    /// Records one write of `size` bytes that took `latency`.
+    pub fn record(&mut self, size: u64, latency: Duration) {
+        let b = band_of(size);
+        self.counts[b] += 1;
+        self.bytes[b] += size;
+        self.time_ns[b] += latency.as_nanos() as u64;
+    }
+
+    /// Merges another profiler (e.g. per-process profilers into a node
+    /// total).
+    pub fn merge(&mut self, other: &WriteProfiler) {
+        for i in 0..10 {
+            self.counts[i] += other.counts[i];
+            self.bytes[i] += other.bytes[i];
+            self.time_ns[i] += other.time_ns[i];
+        }
+    }
+
+    /// Total number of writes recorded.
+    pub fn total_writes(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total write time recorded.
+    pub fn total_time(&self) -> Duration {
+        Duration::from_nanos(self.time_ns.iter().sum())
+    }
+
+    /// Produces the banded percentage report.
+    pub fn profile(&self) -> WriteProfile {
+        let tw = self.total_writes().max(1) as f64;
+        let tb = self.total_bytes().max(1) as f64;
+        let tt = self.time_ns.iter().sum::<u64>().max(1) as f64;
+        let rows = BAND_BOUNDS
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, label))| BandRow {
+                band: label,
+                writes: self.counts[i],
+                pct_writes: 100.0 * self.counts[i] as f64 / tw,
+                pct_data: 100.0 * self.bytes[i] as f64 / tb,
+                pct_time: 100.0 * self.time_ns[i] as f64 / tt,
+            })
+            .collect();
+        WriteProfile { rows }
+    }
+}
+
+/// One row of the Table-I-style report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandRow {
+    /// Band label, e.g. `"4K-16K"`.
+    pub band: &'static str,
+    /// Absolute number of writes in the band.
+    pub writes: u64,
+    /// Percentage of all writes.
+    pub pct_writes: f64,
+    /// Percentage of all bytes.
+    pub pct_data: f64,
+    /// Percentage of all write time.
+    pub pct_time: f64,
+}
+
+/// The full banded report (always 10 rows, possibly zero-valued).
+#[derive(Debug, Clone)]
+pub struct WriteProfile {
+    /// Rows in ascending band order.
+    pub rows: Vec<BandRow>,
+}
+
+impl WriteProfile {
+    /// Row lookup by band label.
+    pub fn band(&self, label: &str) -> Option<&BandRow> {
+        self.rows.iter().find(|r| r.band == label)
+    }
+
+    /// Renders the paper's Table I layout.
+    pub fn to_table(&self) -> String {
+        let mut t = crate::render::Table::new(&["Write Size", "% of Writes", "% of Data", "% of Time"]);
+        for r in &self.rows {
+            t.row(&[
+                r.band.to_string(),
+                format!("{:.2}", r.pct_writes),
+                format!("{:.2}", r.pct_data),
+                format!("{:.2}", r.pct_time),
+            ]);
+        }
+        t.to_string()
+    }
+
+    /// CSV form (`band,pct_writes,pct_data,pct_time`).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("band,pct_writes,pct_data,pct_time\n");
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{},{:.4},{:.4},{:.4}\n",
+                r.band, r.pct_writes, r.pct_data, r.pct_time
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_classification_matches_paper_bounds() {
+        assert_eq!(BAND_BOUNDS[band_of(0)].1, "0-64");
+        assert_eq!(BAND_BOUNDS[band_of(63)].1, "0-64");
+        assert_eq!(BAND_BOUNDS[band_of(64)].1, "64-256");
+        assert_eq!(BAND_BOUNDS[band_of(5000)].1, "4K-16K");
+        assert_eq!(BAND_BOUNDS[band_of(300 << 10)].1, "256K-512K");
+        assert_eq!(BAND_BOUNDS[band_of(10 << 20)].1, "> 1M");
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let mut p = WriteProfiler::new();
+        p.record(32, Duration::from_micros(1));
+        p.record(8192, Duration::from_micros(500));
+        p.record(2 << 20, Duration::from_millis(20));
+        let prof = p.profile();
+        let w: f64 = prof.rows.iter().map(|r| r.pct_writes).sum();
+        let d: f64 = prof.rows.iter().map(|r| r.pct_data).sum();
+        let t: f64 = prof.rows.iter().map(|r| r.pct_time).sum();
+        assert!((w - 100.0).abs() < 1e-9);
+        assert!((d - 100.0).abs() < 1e-9);
+        assert!((t - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = WriteProfiler::new();
+        let mut b = WriteProfiler::new();
+        a.record(100, Duration::from_micros(5));
+        b.record(100, Duration::from_micros(5));
+        b.record(1 << 20, Duration::from_micros(100));
+        a.merge(&b);
+        assert_eq!(a.total_writes(), 3);
+        assert_eq!(a.total_bytes(), 200 + (1 << 20));
+    }
+
+    #[test]
+    fn table_contains_all_bands() {
+        let p = WriteProfiler::new().profile();
+        let t = p.to_table();
+        for (_, label) in BAND_BOUNDS {
+            assert!(t.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut p = WriteProfiler::new();
+        p.record(10, Duration::from_micros(1));
+        let csv = p.profile().to_csv();
+        assert_eq!(csv.lines().count(), 11); // header + 10 bands
+        assert!(csv.starts_with("band,"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Terminal rendering: aligned tables, CSV, and ASCII bar charts.
+//!
+//! Every experiment binary prints its paper table/figure through these
+//! helpers, so output stays uniform and diff-able (EXPERIMENTS.md embeds
+//! it verbatim).
+
+use std::fmt::Write as _;
+
+/// A simple aligned-column text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// CSV form.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        s.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for i in 0..cols {
+                widths[i] = widths[i].max(r[i].len());
+            }
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{sep}")?;
+        for r in &self.rows {
+            writeln!(f, "{}", fmt_row(r))?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a horizontal ASCII bar chart: one `(label, value)` bar per
+/// entry, scaled so the longest bar spans `width` characters. Used for the
+/// paper's grouped-bar figures (6–9).
+pub fn bar_chart(entries: &[(String, f64)], width: usize, unit: &str) -> String {
+    let max = entries
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in entries {
+        let n = ((v / max) * width as f64).round().max(0.0) as usize;
+        let _ = writeln!(
+            out,
+            "{:<label_w$} | {:<width$} {:.2} {unit}",
+            label,
+            "#".repeat(n),
+            v,
+        );
+    }
+    out
+}
+
+/// Formats a byte count in human units (KiB/MiB/GiB) for labels.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{bytes} B")
+    } else if v >= 10.0 {
+        format!("{:.0} {}", v, UNITS[u])
+    } else {
+        format!("{:.1} {}", v, UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_and_counts() {
+        let mut t = Table::new(&["fs", "native", "crfs"]);
+        t.row(&["ext3".into(), "2.9".into(), "0.9".into()]);
+        t.row(&["lustre".into(), "6.0".into(), "1.1".into()]);
+        assert_eq!(t.len(), 2);
+        let text = t.to_string();
+        assert!(text.contains("ext3"));
+        assert!(text.lines().count() >= 4);
+        // Columns align: every line has the same separator positions.
+        let lines: Vec<&str> = text.lines().collect();
+        let pipe_pos: Vec<usize> = lines[0].match_indices('|').map(|(i, _)| i).collect();
+        for l in &lines[2..] {
+            let p: Vec<usize> = l.match_indices('|').map(|(i, _)| i).collect();
+            assert_eq!(p, pipe_pos);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        Table::new(&["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(&["k", "v"]);
+        t.row(&["a,b".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let chart = bar_chart(
+            &[("native".into(), 6.0), ("crfs".into(), 1.1)],
+            30,
+            "s",
+        );
+        let native_hashes = chart.lines().next().unwrap().matches('#').count();
+        let crfs_hashes = chart.lines().nth(1).unwrap().matches('#').count();
+        assert_eq!(native_hashes, 30);
+        assert!(crfs_hashes >= 5 && crfs_hashes <= 6);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(4 << 20), "4.0 MiB");
+        assert_eq!(human_bytes(16 << 30), "16 GiB");
+    }
+}

@@ -1,0 +1,540 @@
+//! Write-trace recording and replay.
+//!
+//! The paper's §III methodology is trace-driven: the authors extended
+//! BLCR to log every write (size, latency) and analyzed the stream. This
+//! module makes that workflow a first-class artifact:
+//!
+//! - [`Recorder`] captures a timestamped IO-operation stream from any
+//!   number of threads.
+//! - [`WriteTrace`] is the captured trace: queryable, serializable to a
+//!   plain-text line format (diffable, greppable, VCS-friendly), and
+//!   parseable back.
+//! - [`WriteTrace::replay`] re-drives the operations against any
+//!   [`TraceSink`] — a different filesystem, a different CRFS
+//!   configuration, a simulator — optionally honouring the recorded
+//!   inter-arrival times.
+//!
+//! Trace text format, one event per line (`#` comments allowed):
+//!
+//! ```text
+//! <t_ns> open  <path>
+//! <t_ns> write <path> <offset> <len>
+//! <t_ns> fsync <path>
+//! <t_ns> close <path>
+//! ```
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One IO operation, without its payload (like real block/syscall
+/// traces, payloads are synthesized at replay time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `open(path)` (create-or-truncate, the checkpoint open mode).
+    Open {
+        /// File path.
+        path: String,
+    },
+    /// `pwrite(path, offset, len)`.
+    Write {
+        /// File path.
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: u64,
+    },
+    /// `fsync(path)`.
+    Fsync {
+        /// File path.
+        path: String,
+    },
+    /// `close(path)`.
+    Close {
+        /// File path.
+        path: String,
+    },
+}
+
+/// A timestamped operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Time since the start of the recording.
+    pub at: Duration,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+/// A recorded IO trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl WriteTrace {
+    /// An empty trace.
+    pub fn new() -> WriteTrace {
+        WriteTrace::default()
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Appends an event. Events must be pushed in non-decreasing time
+    /// order (as [`Recorder::finish`] produces them).
+    pub fn push(&mut self, event: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.at <= event.at),
+            "events must be time-ordered"
+        );
+        self.events.push(event);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total bytes written across all events.
+    pub fn bytes_written(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.op {
+                TraceOp::Write { len, .. } => len,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Duration from first to last event.
+    pub fn duration(&self) -> Duration {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => b.at - a.at,
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Write-size histogram: `(size, count)` sorted by size — the raw
+    /// material of a Table-I-style analysis.
+    pub fn write_sizes(&self) -> Vec<(u64, u64)> {
+        let mut sizes: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in &self.events {
+            if let TraceOp::Write { len, .. } = e.op {
+                *sizes.entry(len).or_default() += 1;
+            }
+        }
+        sizes.into_iter().collect()
+    }
+
+    /// Serializes to the line format (see module docs).
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 32);
+        out.push_str("# crfs-trace v1\n");
+        for e in &self.events {
+            let t = e.at.as_nanos();
+            match &e.op {
+                TraceOp::Open { path } => {
+                    out.push_str(&format!("{t} open {path}\n"));
+                }
+                TraceOp::Write { path, offset, len } => {
+                    out.push_str(&format!("{t} write {path} {offset} {len}\n"));
+                }
+                TraceOp::Fsync { path } => {
+                    out.push_str(&format!("{t} fsync {path}\n"));
+                }
+                TraceOp::Close { path } => {
+                    out.push_str(&format!("{t} close {path}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the line format. Lines starting with `#` and blank lines
+    /// are ignored. Paths must not contain whitespace (they are produced
+    /// by this crate's own recorder; foreign traces should be sanitized).
+    pub fn parse(text: &str) -> io::Result<WriteTrace> {
+        let mut events = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let bad = |what: &str| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("trace line {}: {what}: {line:?}", ln + 1),
+                )
+            };
+            let mut parts = line.split_ascii_whitespace();
+            let t: u128 = parts
+                .next()
+                .ok_or_else(|| bad("missing timestamp"))?
+                .parse()
+                .map_err(|_| bad("bad timestamp"))?;
+            let at = Duration::from_nanos(t as u64);
+            let verb = parts.next().ok_or_else(|| bad("missing verb"))?;
+            let path = parts
+                .next()
+                .ok_or_else(|| bad("missing path"))?
+                .to_string();
+            let op = match verb {
+                "open" => TraceOp::Open { path },
+                "fsync" => TraceOp::Fsync { path },
+                "close" => TraceOp::Close { path },
+                "write" => {
+                    let offset = parts
+                        .next()
+                        .ok_or_else(|| bad("missing offset"))?
+                        .parse()
+                        .map_err(|_| bad("bad offset"))?;
+                    let len = parts
+                        .next()
+                        .ok_or_else(|| bad("missing len"))?
+                        .parse()
+                        .map_err(|_| bad("bad len"))?;
+                    TraceOp::Write { path, offset, len }
+                }
+                _ => return Err(bad("unknown verb")),
+            };
+            if parts.next().is_some() {
+                return Err(bad("trailing fields"));
+            }
+            events.push(TraceEvent { at, op });
+        }
+        Ok(WriteTrace { events })
+    }
+
+    /// Replays every operation into `sink`, in order.
+    ///
+    /// With [`Pace::AsFastAsPossible`] events fire back-to-back; with
+    /// [`Pace::ThinkTime`] the replayer sleeps to honour recorded
+    /// inter-arrival gaps (divided by the speedup factor). Write payloads
+    /// are synthesized as a deterministic byte pattern.
+    pub fn replay<S: TraceSink>(&self, sink: &mut S, pace: Pace) -> io::Result<ReplayStats> {
+        let mut stats = ReplayStats::default();
+        let mut pattern = Vec::new();
+        let mut prev_at: Option<Duration> = None;
+        for e in &self.events {
+            if let (Pace::ThinkTime { speedup }, Some(prev)) = (pace, prev_at) {
+                let gap = e.at.saturating_sub(prev);
+                let scaled = gap.div_f64(speedup.max(1e-9));
+                if !scaled.is_zero() {
+                    std::thread::sleep(scaled);
+                }
+            }
+            prev_at = Some(e.at);
+            match &e.op {
+                TraceOp::Open { path } => {
+                    sink.open(path)?;
+                    stats.opens += 1;
+                }
+                TraceOp::Write { path, offset, len } => {
+                    let len = *len as usize;
+                    if pattern.len() < len {
+                        let start = pattern.len();
+                        pattern.resize(len, 0);
+                        for (i, b) in pattern.iter_mut().enumerate().skip(start) {
+                            *b = (i % 251) as u8;
+                        }
+                    }
+                    sink.write(path, *offset, &pattern[..len])?;
+                    stats.writes += 1;
+                    stats.bytes += len as u64;
+                }
+                TraceOp::Fsync { path } => {
+                    sink.fsync(path)?;
+                    stats.fsyncs += 1;
+                }
+                TraceOp::Close { path } => {
+                    sink.close(path)?;
+                    stats.closes += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Replay pacing policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pace {
+    /// Fire events back-to-back.
+    AsFastAsPossible,
+    /// Honour recorded inter-arrival times, scaled by `speedup` (2.0 =
+    /// replay twice as fast as recorded).
+    ThinkTime {
+        /// Time-compression factor.
+        speedup: f64,
+    },
+}
+
+/// Counters produced by [`WriteTrace::replay`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// `open` events replayed.
+    pub opens: u64,
+    /// `write` events replayed.
+    pub writes: u64,
+    /// `fsync` events replayed.
+    pub fsyncs: u64,
+    /// `close` events replayed.
+    pub closes: u64,
+    /// Payload bytes written.
+    pub bytes: u64,
+}
+
+/// Where replayed operations land: implement this for a CRFS mount, a
+/// plain directory, a simulator — anything with open/write/fsync/close.
+pub trait TraceSink {
+    /// Create-or-truncate `path`.
+    fn open(&mut self, path: &str) -> io::Result<()>;
+    /// Write `data` at `offset` of `path`.
+    fn write(&mut self, path: &str, offset: u64, data: &[u8]) -> io::Result<()>;
+    /// Flush `path` to stable storage.
+    fn fsync(&mut self, path: &str) -> io::Result<()>;
+    /// Close `path`.
+    fn close(&mut self, path: &str) -> io::Result<()>;
+}
+
+/// Thread-safe trace recorder; hand one to every writer thread (via
+/// `&Recorder`) and take the trace at the end.
+#[derive(Debug)]
+pub struct Recorder {
+    t0: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// Starts the clock.
+    pub fn new() -> Recorder {
+        Recorder {
+            t0: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn push(&self, op: TraceOp) {
+        let at = self.t0.elapsed();
+        self.events
+            .lock()
+            .expect("recorder poisoned")
+            .push(TraceEvent { at, op });
+    }
+
+    /// Records an `open`.
+    pub fn open(&self, path: &str) {
+        self.push(TraceOp::Open {
+            path: path.to_string(),
+        });
+    }
+
+    /// Records a `write`.
+    pub fn write(&self, path: &str, offset: u64, len: u64) {
+        self.push(TraceOp::Write {
+            path: path.to_string(),
+            offset,
+            len,
+        });
+    }
+
+    /// Records an `fsync`.
+    pub fn fsync(&self, path: &str) {
+        self.push(TraceOp::Fsync {
+            path: path.to_string(),
+        });
+    }
+
+    /// Records a `close`.
+    pub fn close(&self, path: &str) {
+        self.push(TraceOp::Close {
+            path: path.to_string(),
+        });
+    }
+
+    /// Stops recording and returns the trace, sorted by timestamp (events
+    /// from different threads may interleave non-monotonically in the
+    /// buffer).
+    pub fn finish(self) -> WriteTrace {
+        let mut events = self.events.into_inner().expect("recorder poisoned");
+        events.sort_by_key(|e| e.at);
+        WriteTrace { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WriteTrace {
+        let rec = Recorder::new();
+        rec.open("/ckpt/rank0");
+        rec.write("/ckpt/rank0", 0, 4096);
+        rec.write("/ckpt/rank0", 4096, 64);
+        rec.fsync("/ckpt/rank0");
+        rec.close("/ckpt/rank0");
+        rec.finish()
+    }
+
+    #[derive(Default)]
+    struct MemSink {
+        log: Vec<String>,
+        bytes: u64,
+    }
+
+    impl TraceSink for MemSink {
+        fn open(&mut self, path: &str) -> io::Result<()> {
+            self.log.push(format!("open {path}"));
+            Ok(())
+        }
+        fn write(&mut self, path: &str, offset: u64, data: &[u8]) -> io::Result<()> {
+            self.log.push(format!("write {path} {offset} {}", data.len()));
+            self.bytes += data.len() as u64;
+            Ok(())
+        }
+        fn fsync(&mut self, path: &str) -> io::Result<()> {
+            self.log.push(format!("fsync {path}"));
+            Ok(())
+        }
+        fn close(&mut self, path: &str) -> io::Result<()> {
+            self.log.push(format!("close {path}"));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_text() {
+        let trace = sample();
+        let text = trace.to_text();
+        let back = WriteTrace::parse(&text).unwrap();
+        // Timestamps survive at nanosecond resolution; ops exactly.
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in back.events().iter().zip(trace.events()) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.at.as_nanos(), b.at.as_nanos());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(WriteTrace::parse("10 write /f 0").is_err(), "missing len");
+        assert!(WriteTrace::parse("x open /f").is_err(), "bad timestamp");
+        assert!(WriteTrace::parse("10 chmod /f").is_err(), "unknown verb");
+        assert!(WriteTrace::parse("10 open /f extra").is_err(), "trailing");
+        assert!(WriteTrace::parse("# comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn replay_drives_sink_in_order() {
+        let trace = sample();
+        let mut sink = MemSink::default();
+        let stats = trace.replay(&mut sink, Pace::AsFastAsPossible).unwrap();
+        assert_eq!(stats.opens, 1);
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.fsyncs, 1);
+        assert_eq!(stats.closes, 1);
+        assert_eq!(stats.bytes, 4096 + 64);
+        assert_eq!(sink.bytes, 4160);
+        assert_eq!(sink.log[0], "open /ckpt/rank0");
+        assert_eq!(sink.log[1], "write /ckpt/rank0 0 4096");
+        assert_eq!(sink.log[4], "close /ckpt/rank0");
+    }
+
+    #[test]
+    fn replay_payloads_are_deterministic() {
+        struct CheckSink;
+        impl TraceSink for CheckSink {
+            fn open(&mut self, _: &str) -> io::Result<()> {
+                Ok(())
+            }
+            fn write(&mut self, _: &str, _: u64, data: &[u8]) -> io::Result<()> {
+                for (i, &b) in data.iter().enumerate() {
+                    assert_eq!(b, (i % 251) as u8);
+                }
+                Ok(())
+            }
+            fn fsync(&mut self, _: &str) -> io::Result<()> {
+                Ok(())
+            }
+            fn close(&mut self, _: &str) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        sample().replay(&mut CheckSink, Pace::AsFastAsPossible).unwrap();
+    }
+
+    #[test]
+    fn think_time_pacing_sleeps() {
+        let trace = WriteTrace {
+            events: vec![
+                TraceEvent {
+                    at: Duration::ZERO,
+                    op: TraceOp::Open {
+                        path: "/f".to_string(),
+                    },
+                },
+                TraceEvent {
+                    at: Duration::from_millis(40),
+                    op: TraceOp::Close {
+                        path: "/f".to_string(),
+                    },
+                },
+            ],
+        };
+        let mut sink = MemSink::default();
+        let t0 = Instant::now();
+        trace
+            .replay(&mut sink, Pace::ThinkTime { speedup: 2.0 })
+            .unwrap();
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_millis(15), "slept only {dt:?}");
+        let t1 = Instant::now();
+        trace.replay(&mut sink, Pace::AsFastAsPossible).unwrap();
+        assert!(t1.elapsed() < Duration::from_millis(15));
+    }
+
+    #[test]
+    fn multi_threaded_recording_sorts_by_time() {
+        let rec = std::sync::Arc::new(Recorder::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let rec = std::sync::Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    rec.write(&format!("/f{t}"), i * 10, 10);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let trace = std::sync::Arc::try_unwrap(rec).unwrap().finish();
+        assert_eq!(trace.len(), 200);
+        assert!(trace
+            .events()
+            .windows(2)
+            .all(|w| w[0].at <= w[1].at));
+        assert_eq!(trace.bytes_written(), 2000);
+    }
+
+    #[test]
+    fn write_sizes_histogram() {
+        let trace = sample();
+        assert_eq!(trace.write_sizes(), vec![(64, 1), (4096, 1)]);
+    }
+}

@@ -1,0 +1,642 @@
+//! The single-threaded virtual-clock executor.
+//!
+//! [`Sim`] owns every task (a `Pin<Box<dyn Future>>`) plus the timer wheel
+//! and the virtual clock. Wakers only append task ids to a shared ready
+//! queue; all other state is thread-local to the simulation, so task futures
+//! do not need to be `Send` and may freely hold `Rc`-based simulation state.
+//!
+//! The event loop:
+//! 1. Poll ready tasks in FIFO order until the ready queue drains.
+//! 2. If tasks remain but none are ready, pop the earliest timer, advance
+//!    the clock to its deadline, and wake it.
+//! 3. If no timers remain either, the simulation is *idle*: either finished
+//!    or deadlocked (see [`Sim::run`]).
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::time::{duration_to_nanos, SimTime};
+
+/// Identifier of a spawned task, unique within one [`Sim`].
+pub(crate) type TaskId = u64;
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// Ready queue shared with wakers. This is the only piece of executor state
+/// that must be `Send + Sync` (because `std::task::Waker` requires it).
+#[derive(Default)]
+struct ReadyQueue {
+    queue: VecDeque<TaskId>,
+    enqueued: HashSet<TaskId>,
+}
+
+impl ReadyQueue {
+    fn push(&mut self, id: TaskId) {
+        if self.enqueued.insert(id) {
+            self.queue.push_back(id);
+        }
+    }
+
+    fn pop(&mut self) -> Option<TaskId> {
+        let id = self.queue.pop_front()?;
+        self.enqueued.remove(&id);
+        Some(id)
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<Mutex<ReadyQueue>>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.lock().push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.lock().push(self.id);
+    }
+}
+
+/// A timer entry; min-ordered by `(deadline, seq)` so that timers registered
+/// earlier fire first among equals — part of the determinism contract.
+struct TimerEntry {
+    deadline: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deadline, self.seq) == (other.deadline, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// Executor state local to the simulation thread.
+struct LocalState {
+    now: Cell<u64>,
+    next_task: Cell<TaskId>,
+    timer_seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    /// Tasks spawned while the executor is polling; drained by the loop.
+    pending_spawn: RefCell<Vec<(TaskId, LocalFuture)>>,
+}
+
+/// A cloneable handle onto a running simulation.
+///
+/// Obtainable inside any task via [`Handle::current`]; used by the `time`
+/// and `sync` modules to reach the clock, the timer wheel and the spawner.
+#[derive(Clone)]
+pub struct Handle {
+    ready: Arc<Mutex<ReadyQueue>>,
+    local: Rc<LocalState>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Handle>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Handle {
+    /// The handle of the simulation currently driving this thread.
+    ///
+    /// # Panics
+    /// Panics when called outside [`Sim::run`] / [`Sim::run_until_idle`].
+    pub fn current() -> Handle {
+        CURRENT.with(|c| {
+            c.borrow()
+                .last()
+                .cloned()
+                .expect("simkit: no simulation is running on this thread")
+        })
+    }
+
+    /// Returns `true` if a simulation is driving the current thread.
+    pub fn is_active() -> bool {
+        CURRENT.with(|c| !c.borrow().is_empty())
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.local.now.get())
+    }
+
+    /// Registers `waker` to be woken once the clock reaches `deadline`.
+    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        let seq = self.local.timer_seq.get();
+        self.local.timer_seq.set(seq + 1);
+        self.local.timers.borrow_mut().push(Reverse(TimerEntry {
+            deadline: deadline.as_nanos(),
+            seq,
+            waker,
+        }));
+    }
+
+    /// Spawns a task onto the simulation, returning a [`JoinHandle`].
+    ///
+    /// The task starts in the ready queue and runs at the current virtual
+    /// instant, after previously-ready tasks.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let id = self.local.next_task.get();
+        self.local.next_task.set(id + 1);
+
+        let join = Rc::new(RefCell::new(JoinState::<F::Output> {
+            result: None,
+            waker: None,
+            finished: false,
+        }));
+        let join2 = Rc::clone(&join);
+        let wrapped: LocalFuture = Box::pin(async move {
+            let out = fut.await;
+            let mut st = join2.borrow_mut();
+            st.result = Some(out);
+            st.finished = true;
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        });
+        self.local.pending_spawn.borrow_mut().push((id, wrapped));
+        self.ready.lock().push(id);
+        JoinHandle { state: join }
+    }
+}
+
+/// Spawns a task onto the currently-running simulation.
+///
+/// Convenience for `Handle::current().spawn(fut)`.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    Handle::current().spawn(fut)
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+/// Awaitable handle to a spawned task's result.
+///
+/// Dropping the handle detaches the task (it keeps running). Awaiting a
+/// handle of a task that has already finished returns immediately.
+#[must_use = "drop detaches the task; await to join it"]
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().finished
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.result.take() {
+            return Poll::Ready(v);
+        }
+        assert!(
+            !st.finished,
+            "JoinHandle polled after the result was already taken"
+        );
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Outcome of driving a simulation until no work remains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleReason {
+    /// All tasks ran to completion.
+    AllTasksFinished,
+    /// Live tasks remain but none is ready and no timer is pending —
+    /// i.e. the model deadlocked (a task awaits an event nobody will send).
+    Deadlock {
+        /// Number of tasks still alive.
+        blocked_tasks: usize,
+    },
+}
+
+/// A discrete-event simulation: an executor plus a virtual clock.
+///
+/// Construct with [`Sim::new`] (the seed feeds [`rng`](crate::rng) streams
+/// derived from this simulation), then either [`run`](Sim::run) a root
+/// future to completion or [`spawn`](Sim::spawn) tasks and call
+/// [`run_until_idle`](Sim::run_until_idle).
+pub struct Sim {
+    handle: Handle,
+    tasks: HashMap<TaskId, LocalFuture>,
+    wakers: HashMap<TaskId, Waker>,
+    seed: u64,
+    steps: u64,
+    /// Upper bound on executor steps, to turn accidental infinite
+    /// wake-loops into a loud panic instead of a hang.
+    step_limit: u64,
+}
+
+impl Sim {
+    /// Creates an empty simulation whose RNG streams derive from `seed`.
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            handle: Handle {
+                ready: Arc::new(Mutex::new(ReadyQueue::default())),
+                local: Rc::new(LocalState {
+                    now: Cell::new(0),
+                    next_task: Cell::new(0),
+                    timer_seq: Cell::new(0),
+                    timers: RefCell::new(BinaryHeap::new()),
+                    pending_spawn: RefCell::new(Vec::new()),
+                }),
+            },
+            tasks: HashMap::new(),
+            wakers: HashMap::new(),
+            seed,
+            steps: 0,
+            step_limit: u64::MAX,
+        }
+    }
+
+    /// Caps the number of task polls before the executor panics; useful in
+    /// tests to catch livelocks deterministically.
+    pub fn with_step_limit(mut self, limit: u64) -> Sim {
+        self.step_limit = limit;
+        self
+    }
+
+    /// The seed this simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A handle usable to spawn tasks before the simulation starts running.
+    pub fn handle(&self) -> Handle {
+        self.handle.clone()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.handle.now()
+    }
+
+    /// Spawns a task; see [`Handle::spawn`].
+    pub fn spawn<F>(&mut self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.handle.spawn(fut)
+    }
+
+    /// Runs `root` to completion, driving all spawned tasks, and returns its
+    /// output. Background tasks that are still pending when `root` finishes
+    /// stay parked; call [`run_until_idle`](Sim::run_until_idle) to drain
+    /// them.
+    ///
+    /// # Panics
+    /// Panics if the simulation deadlocks before `root` completes, or if the
+    /// step limit is exceeded.
+    pub fn run<F>(&mut self, root: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let mut join = self.spawn(root);
+        let _guard = EnterGuard::enter(self.handle.clone());
+        loop {
+            if join.is_finished() {
+                // Extract without an executor context: poll directly.
+                let waker = noop_waker();
+                let mut cx = Context::from_waker(&waker);
+                match Pin::new(&mut join).poll(&mut cx) {
+                    Poll::Ready(v) => return v,
+                    Poll::Pending => unreachable!("finished join must be ready"),
+                }
+            }
+            match self.step() {
+                StepOutcome::Progress => {}
+                StepOutcome::Idle => {
+                    panic!(
+                        "simkit: deadlock at t={} with {} task(s) blocked while \
+                         the root task is still pending",
+                        self.handle.now(),
+                        self.tasks.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Drives the simulation until no ready task and no timer remains.
+    pub fn run_until_idle(&mut self) -> IdleReason {
+        let _guard = EnterGuard::enter(self.handle.clone());
+        loop {
+            match self.step() {
+                StepOutcome::Progress => {}
+                StepOutcome::Idle => {
+                    return if self.tasks.is_empty() && self.handle.local.pending_spawn.borrow().is_empty() {
+                        IdleReason::AllTasksFinished
+                    } else {
+                        IdleReason::Deadlock {
+                            blocked_tasks: self.tasks.len(),
+                        }
+                    };
+                }
+            }
+        }
+    }
+
+    /// Executes one scheduling step: polls the next ready task, or advances
+    /// the clock to the next timer.
+    fn step(&mut self) -> StepOutcome {
+        self.admit_spawned();
+
+        let next = self.handle.ready.lock().pop();
+        if let Some(id) = next {
+            let Some(mut task) = self.tasks.remove(&id) else {
+                // Task already completed; stale wake. Skip.
+                return StepOutcome::Progress;
+            };
+            self.steps += 1;
+            assert!(
+                self.steps <= self.step_limit,
+                "simkit: step limit {} exceeded at t={} (livelock?)",
+                self.step_limit,
+                self.handle.now()
+            );
+            let waker = self
+                .wakers
+                .entry(id)
+                .or_insert_with(|| {
+                    Waker::from(Arc::new(TaskWaker {
+                        id,
+                        ready: Arc::clone(&self.handle.ready),
+                    }))
+                })
+                .clone();
+            let mut cx = Context::from_waker(&waker);
+            match task.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    self.wakers.remove(&id);
+                }
+                Poll::Pending => {
+                    self.tasks.insert(id, task);
+                }
+            }
+            return StepOutcome::Progress;
+        }
+
+        // Ready queue empty: advance virtual time to the earliest timer.
+        let entry = self.handle.local.timers.borrow_mut().pop();
+        match entry {
+            Some(Reverse(t)) => {
+                debug_assert!(t.deadline >= self.handle.local.now.get());
+                self.handle.local.now.set(t.deadline);
+                t.waker.wake();
+                StepOutcome::Progress
+            }
+            None => StepOutcome::Idle,
+        }
+    }
+
+    /// Moves futures spawned during polling into the task table.
+    fn admit_spawned(&mut self) {
+        let mut pending = self.handle.local.pending_spawn.borrow_mut();
+        for (id, fut) in pending.drain(..) {
+            self.tasks.insert(id, fut);
+        }
+    }
+
+    /// Number of live (not yet completed) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.len() + self.handle.local.pending_spawn.borrow().len()
+    }
+
+    /// Advances the clock by `d` even if no timer requests it — useful to
+    /// give background tasks a window in tests.
+    pub fn advance(&mut self, d: Duration) {
+        let target = self.handle.local.now.get() + duration_to_nanos(d);
+        let _guard = EnterGuard::enter(self.handle.clone());
+        loop {
+            self.admit_spawned();
+            let ready = { self.handle.ready.lock().queue.front().copied() };
+            if ready.is_some() {
+                self.step();
+                continue;
+            }
+            let fire = {
+                let timers = self.handle.local.timers.borrow();
+                timers
+                    .peek()
+                    .map(|Reverse(t)| t.deadline)
+                    .filter(|&d| d <= target)
+                    .is_some()
+            };
+            if fire {
+                self.step();
+            } else {
+                break;
+            }
+        }
+        self.handle.local.now.set(target);
+    }
+}
+
+enum StepOutcome {
+    Progress,
+    Idle,
+}
+
+/// RAII guard installing a [`Handle`] as the thread-current simulation.
+struct EnterGuard;
+
+impl EnterGuard {
+    fn enter(handle: Handle) -> EnterGuard {
+        CURRENT.with(|c| c.borrow_mut().push(handle));
+        EnterGuard
+    }
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+fn noop_waker() -> Waker {
+    struct Noop;
+    impl Wake for Noop {
+        fn wake(self: Arc<Self>) {}
+    }
+    Waker::from(Arc::new(Noop))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{now, sleep, yield_now};
+
+    #[test]
+    fn run_returns_root_output() {
+        let mut sim = Sim::new(0);
+        assert_eq!(sim.run(async { 21 * 2 }), 42);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_clock_only() {
+        let mut sim = Sim::new(0);
+        let wall = std::time::Instant::now();
+        let t = sim.run(async {
+            sleep(Duration::from_secs(3600)).await;
+            now()
+        });
+        assert_eq!(t.as_nanos(), 3600 * 1_000_000_000);
+        assert!(wall.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn spawned_tasks_interleave_fifo() {
+        let mut sim = Sim::new(0);
+        let order = std::rc::Rc::new(RefCell::new(Vec::new()));
+        let o1 = order.clone();
+        let o2 = order.clone();
+        sim.run(async move {
+            let a = spawn(async move {
+                o1.borrow_mut().push("a0");
+                yield_now().await;
+                o1.borrow_mut().push("a1");
+            });
+            let b = spawn(async move {
+                o2.borrow_mut().push("b0");
+                yield_now().await;
+                o2.borrow_mut().push("b1");
+            });
+            a.await;
+            b.await;
+        });
+        assert_eq!(*order.borrow(), vec!["a0", "b0", "a1", "b1"]);
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_then_registration_order() {
+        let mut sim = Sim::new(0);
+        let log = std::rc::Rc::new(RefCell::new(Vec::new()));
+        for (i, delay) in [(0u32, 50u64), (1, 10), (2, 50), (3, 30)] {
+            let log = log.clone();
+            let _ = sim.spawn(async move {
+                sleep(Duration::from_millis(delay)).await;
+                log.borrow_mut().push(i);
+            });
+        }
+        assert_eq!(sim.run_until_idle(), IdleReason::AllTasksFinished);
+        // ties (the two 50ms timers) break by registration order: task 0 then 2.
+        assert_eq!(*log.borrow(), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut sim = Sim::new(0);
+        let _ = sim.spawn(std::future::pending::<()>());
+        assert_eq!(
+            sim.run_until_idle(),
+            IdleReason::Deadlock { blocked_tasks: 1 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn run_panics_on_deadlock() {
+        let mut sim = Sim::new(0);
+        sim.run(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn join_handle_returns_value_across_time() {
+        let mut sim = Sim::new(0);
+        let v = sim.run(async {
+            let h = spawn(async {
+                sleep(Duration::from_millis(5)).await;
+                "done"
+            });
+            h.await
+        });
+        assert_eq!(v, "done");
+    }
+
+    #[test]
+    fn advance_runs_due_timers() {
+        let mut sim = Sim::new(0);
+        let hit = Rc::new(Cell::new(false));
+        let hit2 = hit.clone();
+        let _ = sim.spawn(async move {
+            sleep(Duration::from_millis(10)).await;
+            hit2.set(true);
+        });
+        sim.advance(Duration::from_millis(5));
+        assert!(!hit.get());
+        sim.advance(Duration::from_millis(5));
+        assert!(hit.get());
+        assert_eq!(sim.now().as_nanos(), 10_000_000);
+    }
+
+    #[test]
+    fn nested_sims_are_isolated() {
+        let mut outer = Sim::new(1);
+        let t = outer.run(async {
+            sleep(Duration::from_secs(1)).await;
+            // Run a whole inner simulation from within a task.
+            let mut inner = Sim::new(2);
+            let inner_t = inner.run(async {
+                sleep(Duration::from_secs(5)).await;
+                now()
+            });
+            assert_eq!(inner_t.as_secs_f64(), 5.0);
+            now()
+        });
+        assert_eq!(t.as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step limit")]
+    fn step_limit_catches_livelock() {
+        let mut sim = Sim::new(0).with_step_limit(1000);
+        let _ = sim.spawn(async {
+            loop {
+                yield_now().await;
+            }
+        });
+        sim.run_until_idle();
+    }
+}

@@ -1,0 +1,327 @@
+//! Measurement helpers: counters and log-bucketed histograms.
+//!
+//! These are deliberately simple (no atomics — simulations are
+//! single-threaded) and optimized for the reporting the experiment harness
+//! needs: totals, means, percentiles, and per-bucket breakdowns.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    value: Cell<u64>,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.set(self.value.get() + n);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.get()
+    }
+}
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))`, with bucket 0 covering `[0, 2)`.
+/// Exact sums are kept alongside the bucketed counts, so `sum`/`mean` are
+/// precise while percentiles are bucket-resolution approximations
+/// (upper-bound estimates).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < 2 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        self.buckets[Self::bucket_of(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// containing the q-th sample. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let hi = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return Some(hi.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Iterates non-empty buckets as `(lower_bound, count)`.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter_map(|(i, &c)| {
+            (c > 0).then_some((if i == 0 { 0 } else { 1u64 << i }, c))
+        })
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} sum={} mean={:.1} min={} max={}",
+            self.count,
+            self.sum,
+            self.mean(),
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0)
+        )
+    }
+}
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Default, Clone)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Running {
+        Running {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Default::default()
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0.0 with fewer than 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// `max - min` spread (0.0 when empty).
+    pub fn spread(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1 << 20), 20);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.mean(), 22.0);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        // Median falls in the [2,4) bucket; quantile reports its upper bound.
+        assert!(h.quantile(0.5).unwrap() <= 4);
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record_n(1000, 3);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 3010);
+        assert_eq!(a.max(), Some(1000));
+    }
+
+    #[test]
+    fn running_welford() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert!((r.mean() - 5.0).abs() < 1e-9);
+        assert!((r.stddev() - 2.0).abs() < 1e-9);
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(9.0));
+        assert_eq!(r.spread(), 7.0);
+    }
+
+    #[test]
+    fn empty_structures_are_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.stddev(), 0.0);
+        assert_eq!(r.min(), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! Virtual time: instants, sleeping, and timeouts.
+//!
+//! The simulation clock is a `u64` nanosecond counter starting at zero.
+//! [`SimTime`] is an instant on that clock; [`sleep`] suspends the current
+//! task until the clock reaches a deadline. The clock only moves inside
+//! [`Sim::run`](crate::Sim::run) when every task is blocked.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+use crate::executor::Handle;
+
+/// An instant on the simulation clock (nanoseconds since simulation start).
+///
+/// `SimTime` is `Copy` and totally ordered. Subtraction of an earlier
+/// instant yields a [`Duration`]; subtracting a later instant panics (the
+/// simulation clock never runs backwards, so this always signals a bug).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from raw nanoseconds since simulation start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        assert!(
+            earlier.0 <= self.0,
+            "SimTime::since: earlier ({earlier}) is after self ({self})"
+        );
+        Duration::from_nanos(self.0 - earlier.0)
+    }
+
+    /// The instant `d` after `self` (saturating at the clock maximum).
+    pub fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(duration_to_nanos(d)))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl std::ops::Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime::add(self, rhs)
+    }
+}
+
+/// Converts a [`Duration`] to nanoseconds, saturating at `u64::MAX`.
+pub(crate) fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Current simulation time.
+///
+/// # Panics
+/// Panics if called from outside a running [`Sim`](crate::Sim).
+pub fn now() -> SimTime {
+    Handle::current().now()
+}
+
+/// Suspends the current task for `d` of virtual time.
+///
+/// Sleeping for [`Duration::ZERO`] still yields to the scheduler once,
+/// which is occasionally useful to model an instantaneous hand-off.
+pub fn sleep(d: Duration) -> Sleep {
+    let handle = Handle::current();
+    let deadline = handle.now().add(d);
+    Sleep {
+        deadline,
+        registered: false,
+    }
+}
+
+/// Suspends the current task until the clock reaches `deadline`.
+pub fn sleep_until(deadline: SimTime) -> Sleep {
+    Sleep {
+        deadline,
+        registered: false,
+    }
+}
+
+/// Future returned by [`sleep`] / [`sleep_until`].
+#[derive(Debug)]
+#[must_use = "futures do nothing unless awaited"]
+pub struct Sleep {
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Sleep {
+    /// The instant at which this sleep completes.
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let handle = Handle::current();
+        if handle.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            handle.register_timer(self.deadline, cx.waker().clone());
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// Yields to the scheduler once, letting same-time tasks run.
+pub fn yield_now() -> YieldNow {
+    YieldNow { polled: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+#[must_use = "futures do nothing unless awaited"]
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Error returned by [`timeout`] when the deadline elapses first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("simulated deadline elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Runs `fut`, cancelling it (by drop) if it takes longer than `d` of
+/// virtual time. Returns `Err(Elapsed)` on timeout.
+pub async fn timeout<F: Future>(d: Duration, fut: F) -> Result<F::Output, Elapsed> {
+    let mut fut = Box::pin(fut);
+    let mut delay = Box::pin(sleep(d));
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if delay.as_mut().poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_arithmetic() {
+        let t = SimTime::from_nanos(1_000);
+        let u = t + Duration::from_nanos(500);
+        assert_eq!(u.as_nanos(), 1_500);
+        assert_eq!(u.since(t), Duration::from_nanos(500));
+        assert_eq!(format!("{}", SimTime::from_nanos(2_500_000_000)), "2.500000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn simtime_since_backwards_panics() {
+        SimTime::from_nanos(1).since(SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn simtime_display_and_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimTime::ZERO.as_secs_f64(), 0.0);
+    }
+}

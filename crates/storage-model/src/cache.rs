@@ -1,0 +1,423 @@
+//! Page-cache model: dirty accounting, background write-back, and
+//! dirty-ratio throttling.
+//!
+//! Reproduces the three Linux behaviours that shape checkpoint writing:
+//!
+//! 1. Writes land in memory and return — small checkpoints never touch
+//!    the disk synchronously.
+//! 2. Once dirty bytes exceed `background_limit`, a write-back task pushes
+//!    dirty extents to disk, one file at a time in batches
+//!    (per-inode `writeback_batch`).
+//! 3. Once dirty bytes exceed `dirty_limit`, writers block until
+//!    write-back makes room (`balance_dirty_pages`) — this is what makes
+//!    class-D checkpoints disk-bound.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::time::Duration;
+
+use simkit::sync::Notify;
+use simkit::time::{sleep, timeout};
+
+use crate::disk::DiskModel;
+use crate::params::CacheParams;
+
+/// A dirty extent: `bytes` of file `file` placed at `sector`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// Owning file/object id.
+    pub file: u64,
+    /// Starting sector on the backing disk.
+    pub sector: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+}
+
+/// Page cache fronting one [`DiskModel`].
+pub struct PageCache {
+    params: CacheParams,
+    disk: Rc<DiskModel>,
+    dirty: Cell<u64>,
+    queue: RefCell<VecDeque<Extent>>,
+    /// Wakes writers blocked on the dirty limit.
+    room: Notify,
+    /// Wakes the write-back task.
+    kick: Notify,
+    stopped: Cell<bool>,
+    written_back: Cell<u64>,
+    throttle_events: Cell<u64>,
+}
+
+impl PageCache {
+    /// Creates the cache and spawns its write-back task.
+    ///
+    /// Must be called from inside a running [`simkit::Sim`].
+    pub fn new(params: CacheParams, disk: Rc<DiskModel>) -> Rc<PageCache> {
+        let cache = Rc::new(PageCache {
+            params,
+            disk,
+            dirty: Cell::new(0),
+            queue: RefCell::new(VecDeque::new()),
+            room: Notify::new(),
+            kick: Notify::new(),
+            stopped: Cell::new(false),
+            written_back: Cell::new(0),
+            throttle_events: Cell::new(0),
+        });
+        let wb = Rc::clone(&cache);
+        let _ = simkit::spawn(async move { wb.writeback_loop().await });
+        cache
+    }
+
+    /// Current dirty bytes.
+    pub fn dirty(&self) -> u64 {
+        self.dirty.get()
+    }
+
+    /// Bytes written back to disk so far.
+    pub fn written_back(&self) -> u64 {
+        self.written_back.get()
+    }
+
+    /// Times a writer hit the dirty-limit throttle.
+    pub fn throttle_events(&self) -> u64 {
+        self.throttle_events.get()
+    }
+
+    /// The cache parameters.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Accepts dirty extents into the cache. Instantaneous while under the
+    /// dirty limit; blocks (throttled) once over it.
+    pub async fn write(&self, extents: &[Extent]) {
+        for e in extents {
+            self.queue.borrow_mut().push_back(*e);
+            self.dirty.set(self.dirty.get() + e.bytes);
+        }
+        if self.dirty.get() > self.params.background_limit {
+            self.kick.notify_one();
+        }
+        if self.dirty.get() > self.params.dirty_limit {
+            self.throttle_events.set(self.throttle_events.get() + 1);
+            while self.dirty.get() > self.params.dirty_limit && !self.stopped.get() {
+                self.kick.notify_one();
+                self.room.notified().await;
+            }
+        }
+    }
+
+    /// Synchronously flushes every dirty extent of `file` (fsync).
+    pub async fn fsync_file(&self, file: u64) {
+        let mut mine: Vec<Extent> = {
+            let mut q = self.queue.borrow_mut();
+            let (keep, take): (VecDeque<Extent>, VecDeque<Extent>) =
+                q.drain(..).partition(|e| e.file != file);
+            *q = keep;
+            take.into()
+        };
+        mine.sort_by_key(|e| e.sector);
+        for run in coalesce(&mine) {
+            self.disk.write(run.sector, run.bytes).await;
+            self.dirty.set(self.dirty.get() - run.bytes);
+            self.written_back.set(self.written_back.get() + run.bytes);
+        }
+        self.room.notify_all();
+    }
+
+    /// Synchronously flushes everything (sync / unmount).
+    pub async fn sync_all(&self) {
+        loop {
+            let mut batch: Vec<Extent> = {
+                let mut q = self.queue.borrow_mut();
+                q.drain(..).collect()
+            };
+            if batch.is_empty() {
+                return;
+            }
+            batch.sort_by_key(|e| (e.file, e.sector));
+            for run in coalesce(&batch) {
+                self.disk.write(run.sector, run.bytes).await;
+                self.dirty.set(self.dirty.get() - run.bytes);
+                self.written_back.set(self.written_back.get() + run.bytes);
+            }
+            self.room.notify_all();
+        }
+    }
+
+    /// Stops the write-back task (for tests that drain the simulation).
+    pub fn stop(&self) {
+        self.stopped.set(true);
+        self.kick.notify_all();
+        self.room.notify_all();
+    }
+
+    /// One write-back pass: pick the file at the queue head, gather up to
+    /// `writeback_batch` bytes of its extents, write them sorted/coalesced.
+    /// Returns whether anything was written (`false` when the queue is
+    /// momentarily empty, e.g. a concurrent fsync stole the extents but
+    /// has not finished writing them, so `dirty` is still non-zero).
+    async fn writeback_pass(&self) -> bool {
+        let batch: Vec<Extent> = {
+            let mut q = self.queue.borrow_mut();
+            let Some(&front) = q.front() else { return false };
+            let victim = front.file;
+            let mut taken = Vec::new();
+            let mut bytes = 0u64;
+            let mut rest = VecDeque::with_capacity(q.len());
+            for e in q.drain(..) {
+                if e.file == victim && bytes < self.params.writeback_batch {
+                    bytes += e.bytes;
+                    taken.push(e);
+                } else {
+                    rest.push_back(e);
+                }
+            }
+            *q = rest;
+            taken
+        };
+        if batch.is_empty() {
+            return false;
+        }
+        let mut sorted = batch;
+        sorted.sort_by_key(|e| e.sector);
+        for run in coalesce(&sorted) {
+            self.disk.write(run.sector, run.bytes).await;
+            self.dirty.set(self.dirty.get() - run.bytes);
+            self.written_back.set(self.written_back.get() + run.bytes);
+            self.room.notify_all();
+        }
+        true
+    }
+
+    /// The background write-back task: sleeps until kicked past the
+    /// background limit (or a 5 s `kupdate`-style timer with any dirty
+    /// data), then drains until back under the background limit.
+    async fn writeback_loop(self: Rc<Self>) {
+        const KUPDATE: Duration = Duration::from_secs(5);
+        loop {
+            if self.stopped.get() {
+                return;
+            }
+            if self.dirty.get() > self.params.background_limit {
+                while self.dirty.get() > self.params.background_limit && !self.stopped.get() {
+                    if !self.writeback_pass().await {
+                        // A concurrent fsync/sync holds the extents; wait a
+                        // beat instead of spinning at frozen virtual time.
+                        sleep(Duration::from_micros(100)).await;
+                    }
+                }
+                continue;
+            }
+            // Idle: wait for a kick or the periodic timer.
+            let kicked = timeout(KUPDATE, self.kick.notified()).await;
+            if self.stopped.get() {
+                return;
+            }
+            if kicked.is_err() && self.dirty.get() > 0 {
+                // kupdate: age-based flush of whatever is dirty.
+                let _ = self.writeback_pass().await;
+            }
+        }
+    }
+}
+
+/// Merges sector-adjacent extents (must be pre-sorted by sector).
+fn coalesce(sorted: &[Extent]) -> Vec<Extent> {
+    let mut out: Vec<Extent> = Vec::new();
+    for e in sorted {
+        if let Some(last) = out.last_mut() {
+            if last.sector + last.bytes.div_ceil(512) == e.sector {
+                last.bytes += e.bytes;
+                continue;
+            }
+        }
+        out.push(*e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{DiskParams, MB};
+    use simkit::time::{now, sleep};
+    use simkit::Sim;
+
+    fn cache_params_small() -> CacheParams {
+        CacheParams {
+            dirty_limit: 10 * MB,
+            background_limit: 4 * MB,
+            writeback_batch: 2 * MB,
+        }
+    }
+
+    #[test]
+    fn writes_under_limit_are_instant() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let disk = DiskModel::new(DiskParams::node_sata());
+            let cache = PageCache::new(cache_params_small(), disk);
+            let t0 = now();
+            cache
+                .write(&[Extent {
+                    file: 1,
+                    sector: 0,
+                    bytes: MB,
+                }])
+                .await;
+            assert_eq!(now().since(t0), Duration::ZERO);
+            assert_eq!(cache.dirty(), MB);
+            cache.stop();
+        });
+    }
+
+    #[test]
+    fn dirty_limit_throttles_writers() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let disk = DiskModel::new(DiskParams::node_sata());
+            let cache = PageCache::new(cache_params_small(), disk);
+            let t0 = now();
+            // 30 MB through a 10 MB dirty limit must wait for write-back.
+            for i in 0..30 {
+                cache
+                    .write(&[Extent {
+                        file: 1,
+                        sector: i * (MB / 512),
+                        bytes: MB,
+                    }])
+                    .await;
+            }
+            let elapsed = now().since(t0);
+            assert!(cache.throttle_events() > 0);
+            // At least (30-10) MB had to hit the 75 MB/s disk first.
+            assert!(
+                elapsed >= Duration::from_millis(200),
+                "elapsed {elapsed:?}"
+            );
+            cache.stop();
+        });
+    }
+
+    #[test]
+    fn fsync_drains_only_that_file() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let disk = DiskModel::new(DiskParams::node_sata());
+            let cache = PageCache::new(cache_params_small(), Rc::clone(&disk));
+            cache
+                .write(&[
+                    Extent {
+                        file: 1,
+                        sector: 0,
+                        bytes: MB,
+                    },
+                    Extent {
+                        file: 2,
+                        sector: 10_000,
+                        bytes: MB,
+                    },
+                ])
+                .await;
+            cache.fsync_file(1).await;
+            assert_eq!(cache.dirty(), MB, "file 2 stays dirty");
+            assert_eq!(disk.bytes_written(), MB);
+            cache.stop();
+        });
+    }
+
+    #[test]
+    fn background_writeback_kicks_in_above_limit() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let disk = DiskModel::new(DiskParams::node_sata());
+            let cache = PageCache::new(cache_params_small(), Rc::clone(&disk));
+            // 6 MB > 4 MB background limit, < 10 MB dirty limit.
+            for i in 0..6u64 {
+                cache
+                    .write(&[Extent {
+                        file: 1,
+                        sector: i * (MB / 512),
+                        bytes: MB,
+                    }])
+                    .await;
+            }
+            // Writes returned instantly; give write-back virtual time.
+            sleep(Duration::from_secs(2)).await;
+            assert!(
+                disk.bytes_written() >= 2 * MB,
+                "background write-back ran: {}",
+                disk.bytes_written()
+            );
+            cache.stop();
+        });
+    }
+
+    #[test]
+    fn kupdate_flushes_aged_dirty_data() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let disk = DiskModel::new(DiskParams::node_sata());
+            let cache = PageCache::new(cache_params_small(), Rc::clone(&disk));
+            cache
+                .write(&[Extent {
+                    file: 1,
+                    sector: 0,
+                    bytes: MB,
+                }])
+                .await; // under background limit
+            sleep(Duration::from_secs(6)).await; // > kupdate period
+            assert!(disk.bytes_written() >= MB, "kupdate flushed");
+            cache.stop();
+        });
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_runs() {
+        let runs = coalesce(&[
+            Extent {
+                file: 1,
+                sector: 0,
+                bytes: 512,
+            },
+            Extent {
+                file: 1,
+                sector: 1,
+                bytes: 512,
+            },
+            Extent {
+                file: 1,
+                sector: 100,
+                bytes: 1024,
+            },
+        ]);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].bytes, 1024);
+        assert_eq!(runs[1].sector, 100);
+    }
+
+    #[test]
+    fn sync_all_empties_cache() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let disk = DiskModel::new(DiskParams::node_sata());
+            let cache = PageCache::new(cache_params_small(), Rc::clone(&disk));
+            for f in 0..3u64 {
+                cache
+                    .write(&[Extent {
+                        file: f,
+                        sector: f * 100_000,
+                        bytes: MB,
+                    }])
+                    .await;
+            }
+            cache.sync_all().await;
+            assert_eq!(cache.dirty(), 0);
+            assert_eq!(disk.bytes_written(), 3 * MB);
+            cache.stop();
+        });
+    }
+}

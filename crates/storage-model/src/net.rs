@@ -1,0 +1,136 @@
+//! Network links: store-and-forward pipes with bandwidth, latency and
+//! per-message sender CPU.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use simkit::sync::Semaphore;
+use simkit::time::sleep;
+
+use crate::params::NetParams;
+
+/// A half-duplex link (or a node's share of a fabric).
+///
+/// Transfers serialize on the link for their `bytes / bandwidth` time
+/// (FIFO), then pay propagation latency off the link, so back-to-back
+/// messages pipeline like real networks.
+pub struct NetLink {
+    params: NetParams,
+    channel: Semaphore,
+    bytes: Cell<u64>,
+    messages: Cell<u64>,
+}
+
+impl NetLink {
+    /// Creates a link.
+    pub fn new(params: NetParams) -> Rc<NetLink> {
+        Rc::new(NetLink {
+            params,
+            channel: Semaphore::new(1),
+            bytes: Cell::new(0),
+            messages: Cell::new(0),
+        })
+    }
+
+    /// Sends `bytes` over the link, returning when the message has been
+    /// delivered (serialization + propagation).
+    pub async fn transfer(&self, bytes: u64) {
+        sleep(self.params.per_message).await;
+        {
+            let _ch = self.channel.acquire(1).await;
+            let ser = Duration::from_secs_f64(
+                bytes as f64 / self.params.bandwidth.max(1) as f64,
+            );
+            sleep(ser).await;
+        }
+        sleep(self.params.latency).await;
+        self.bytes.set(self.bytes.get() + bytes);
+        self.messages.set(self.messages.get() + 1);
+    }
+
+    /// A bare round-trip (e.g. an RPC reply).
+    pub async fn rtt(&self) {
+        sleep(self.params.latency).await;
+        sleep(self.params.latency).await;
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.get()
+    }
+
+    /// Total messages transferred.
+    pub fn messages(&self) -> u64 {
+        self.messages.get()
+    }
+
+    /// The link parameters.
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MB;
+    use simkit::time::now;
+    use simkit::Sim;
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        let mut sim = Sim::new(0);
+        let d = sim.run(async {
+            let link = NetLink::new(NetParams {
+                bandwidth: 100 * MB,
+                latency: Duration::from_micros(10),
+                per_message: Duration::ZERO,
+            });
+            let t0 = now();
+            link.transfer(100 * MB).await;
+            now().since(t0)
+        });
+        // 1 s serialization + 10 µs latency.
+        assert!(d >= Duration::from_secs(1));
+        assert!(d < Duration::from_millis(1001));
+    }
+
+    #[test]
+    fn concurrent_transfers_share_bandwidth() {
+        let mut sim = Sim::new(0);
+        let d = sim.run(async {
+            let link = NetLink::new(NetParams {
+                bandwidth: 100 * MB,
+                latency: Duration::ZERO,
+                per_message: Duration::ZERO,
+            });
+            let t0 = now();
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let link = Rc::clone(&link);
+                handles.push(simkit::spawn(async move {
+                    link.transfer(25 * MB).await;
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            now().since(t0)
+        });
+        // 4 × 25 MB over 100 MB/s serializes to ~1 s total.
+        assert!(d >= Duration::from_secs(1), "got {d:?}");
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let link = NetLink::new(NetParams::ib_ddr());
+            link.transfer(1234).await;
+            link.transfer(4321).await;
+            assert_eq!(link.bytes(), 5555);
+            assert_eq!(link.messages(), 2);
+        });
+    }
+}

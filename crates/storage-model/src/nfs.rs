@@ -1,0 +1,324 @@
+//! NFSv3 single-server model — the paper's pathological backend.
+//!
+//! "NFS isn't a good candidate to store checkpoint since its single server
+//! design doesn't match the intensive concurrent IO requirements" (§V-C).
+//! The model:
+//!
+//! - client writes gather in the page cache and ship as asynchronous
+//!   `wsize` (32 KiB) WRITE RPCs (`nfs_writepages` — writes do not map
+//!   1:1 to RPCs), bounded by the client's RPC slot window;
+//! - one server ingress link (IPoIB) that all clients share;
+//! - a bounded `nfsd` thread pool charging CPU per RPC;
+//! - a server-local filesystem (page cache + single disk) with an eager
+//!   flush policy;
+//! - `close()` drains the client's in-flight writes and performs the
+//!   NFSv3 COMMIT: the file's dirty server-side data must reach the
+//!   disk — which is why NFS checkpoints are disk-bound even for small
+//!   classes, and why CRFS cannot beat native once the single disk is
+//!   the binding constraint (the paper's class-D outlier).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use simkit::rng::SimRng;
+use simkit::sync::{Semaphore, WaitGroup};
+use simkit::time::sleep;
+
+use crate::localfs::LocalFs;
+use crate::net::NetLink;
+use crate::params::{AllocParams, CacheParams, DiskParams, NetParams, NfsParams, VfsCostParams};
+
+/// The NFS server (shared by all client nodes).
+pub struct NfsModel {
+    params: NfsParams,
+    cpu: Semaphore,
+    store: Rc<LocalFs>,
+    /// Single ingress link into the server.
+    link: Rc<NetLink>,
+    next_fid: Cell<u64>,
+}
+
+impl NfsModel {
+    /// Builds the server. Must run inside a `Sim`.
+    pub fn new(params: NfsParams, rng: &SimRng) -> Rc<NfsModel> {
+        Rc::new(NfsModel {
+            params,
+            cpu: Semaphore::new(params.server_threads),
+            store: LocalFs::new(
+                VfsCostParams::server_store(),
+                AllocParams::nfs_export(),
+                CacheParams::nfs_server(),
+                DiskParams::nfs_server_disk(),
+                rng.stream("nfs-server"),
+            ),
+            link: NetLink::new(NetParams::ipoib()),
+            next_fid: Cell::new(1),
+        })
+    }
+
+    /// The server's local store.
+    pub fn store(&self) -> &Rc<LocalFs> {
+        &self.store
+    }
+
+    /// The server ingress link.
+    pub fn link(&self) -> &Rc<NetLink> {
+        &self.link
+    }
+
+    /// The deployment parameters.
+    pub fn params(&self) -> &NfsParams {
+        &self.params
+    }
+
+    /// Stops background tasks.
+    pub fn stop(&self) {
+        self.store.stop();
+    }
+
+    async fn handle_write(&self, fid: u64, bytes: u64) {
+        let _thread = self.cpu.acquire(1).await;
+        sleep(self.params.server_cpu_per_rpc).await;
+        self.store.write(fid, bytes).await;
+    }
+
+    async fn handle_commit(&self, fid: u64) {
+        let _thread = self.cpu.acquire(1).await;
+        sleep(self.params.server_cpu_per_rpc).await;
+        self.store.fsync(fid).await;
+    }
+}
+
+/// Per-open-file client state.
+struct NfsFile {
+    /// Outstanding asynchronous WRITE RPCs (close/fsync barrier).
+    outstanding: WaitGroup,
+    /// Systematic slowness factor (see `LocalFs::handicap`).
+    handicap: f64,
+    /// Bytes gathered toward the next `wsize` RPC.
+    gather: Cell<u64>,
+}
+
+/// A node's NFS client.
+pub struct NfsClient {
+    model: Rc<NfsModel>,
+    cost: VfsCostParams,
+    active: Cell<usize>,
+    rng: RefCell<SimRng>,
+    /// In-flight WRITE RPC credit (the client RPC slot table), in bytes.
+    window: Semaphore,
+    files: RefCell<std::collections::HashMap<u64, Rc<NfsFile>>>,
+}
+
+impl NfsClient {
+    /// Creates the client for one node.
+    pub fn new(model: Rc<NfsModel>, cost: VfsCostParams, rng: SimRng) -> Rc<NfsClient> {
+        let window =
+            Semaphore::new(model.params.client_inflight * model.params.wsize as usize);
+        Rc::new(NfsClient {
+            model,
+            cost,
+            active: Cell::new(0),
+            rng: RefCell::new(rng),
+            window,
+            files: RefCell::new(std::collections::HashMap::new()),
+        })
+    }
+
+    fn file(&self, fid: u64) -> Rc<NfsFile> {
+        Rc::clone(
+            self.files
+                .borrow()
+                .get(&fid)
+                .expect("write/close to unopened NFS file"),
+        )
+    }
+
+    /// CREATE RPC.
+    pub async fn open(&self) -> u64 {
+        self.model.link.transfer(256).await;
+        let fid = {
+            let _t = self.model.cpu.acquire(1).await;
+            sleep(self.model.params.server_cpu_per_rpc).await;
+            let fid = self.model.next_fid.get();
+            self.model.next_fid.set(fid + 1);
+            fid
+        };
+        sleep(self.model.link.params().latency).await;
+        let handicap = 1.0 + self.rng.borrow_mut().exponential(0.45);
+        self.files.borrow_mut().insert(
+            fid,
+            Rc::new(NfsFile {
+                outstanding: WaitGroup::new(),
+                handicap,
+                gather: Cell::new(0),
+            }),
+        );
+        fid
+    }
+
+    /// WRITE: client page cost, then `nfs_writepages`-style gathering —
+    /// dirty bytes accumulate and ship as asynchronous `wsize` RPCs under
+    /// the client's slot window.
+    pub async fn write(&self, fid: u64, _offset: u64, len: u64) {
+        let writers = self.active.get() + 1;
+        self.active.set(writers);
+        let file = self.file(fid);
+
+        let jitter =
+            (1.0 + self.rng.borrow_mut().exponential(self.cost.jitter)) * file.handicap;
+        sleep(self.cost.write_cost(len, writers, jitter)).await;
+
+        let p = self.model.params;
+        let mut remaining = len;
+        while remaining > 0 {
+            let room = p.wsize - file.gather.get();
+            let take = remaining.min(room);
+            file.gather.set(file.gather.get() + take);
+            remaining -= take;
+            if file.gather.get() == p.wsize {
+                self.ship_rpc(fid, &file).await;
+            }
+        }
+        self.active.set(self.active.get() - 1);
+    }
+
+    /// Ships the gathered dirty bytes as one async WRITE RPC.
+    async fn ship_rpc(&self, fid: u64, file: &Rc<NfsFile>) {
+        let bytes = file.gather.get();
+        if bytes == 0 {
+            return;
+        }
+        file.gather.set(0);
+        sleep(self.model.params.client_cpu_per_rpc).await;
+        let credit = self.window.acquire(bytes as usize).await;
+        file.outstanding.add(1);
+        let model = Rc::clone(&self.model);
+        let wg = file.outstanding.clone();
+        let _ = simkit::spawn(async move {
+            model.link.transfer(bytes).await;
+            model.handle_write(fid, bytes).await;
+            sleep(model.link.params().latency).await;
+            drop(credit);
+            wg.done();
+        });
+    }
+
+    /// close(): NFSv3 close-to-open consistency — flush the gather
+    /// buffer, drain in-flight writes, then COMMIT (data to the server's
+    /// disk).
+    pub async fn close(&self, fid: u64) {
+        let file = self.file(fid);
+        self.ship_rpc(fid, &file).await;
+        file.outstanding.wait().await;
+        self.model.link.transfer(128).await;
+        self.model.handle_commit(fid).await;
+        sleep(self.model.link.params().latency).await;
+        self.files.borrow_mut().remove(&fid);
+    }
+
+    /// fsync(): same flush + COMMIT path as close.
+    pub async fn fsync(&self, fid: u64) {
+        let file = self.file(fid);
+        self.ship_rpc(fid, &file).await;
+        file.outstanding.wait().await;
+        self.model.link.transfer(128).await;
+        self.model.handle_commit(fid).await;
+        sleep(self.model.link.params().latency).await;
+    }
+
+    /// Writers currently inside `write` on this node.
+    pub fn active_writers(&self) -> usize {
+        self.active.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{KB, MB};
+    use std::time::Duration;
+    use simkit::time::now;
+    use simkit::Sim;
+
+    fn setup(seed: u64) -> (Rc<NfsModel>, Rc<NfsClient>) {
+        let rng = SimRng::new(seed);
+        let model = NfsModel::new(NfsParams::paper(), &rng);
+        let client = NfsClient::new(
+            Rc::clone(&model),
+            VfsCostParams::nfs_client(),
+            rng.stream("client"),
+        );
+        (model, client)
+    }
+
+    #[test]
+    fn write_gathers_at_wsize() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (model, client) = setup(0);
+            let fid = client.open().await;
+            let msgs_before = model.link().messages();
+            // Many tiny writes followed by close: they gather into
+            // 256 KiB / 32 KiB = 8 WRITE RPCs plus 1 COMMIT.
+            for _ in 0..64 {
+                client.write(fid, 0, 4 * KB).await;
+            }
+            client.close(fid).await;
+            assert_eq!(model.link().messages() - msgs_before, 9);
+            model.stop();
+        });
+    }
+
+    #[test]
+    fn close_commits_to_disk() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (model, client) = setup(0);
+            let fid = client.open().await;
+            client.write(fid, 0, MB).await;
+            assert_eq!(model.store().disk().bytes_written(), 0);
+            client.close(fid).await;
+            assert_eq!(model.store().disk().bytes_written(), MB);
+            model.stop();
+        });
+    }
+
+    #[test]
+    fn single_server_serializes_many_clients() {
+        // 8 clients writing concurrently must take much longer than 1
+        // client writing 1/8 the data (shared link + nfsd pool).
+        fn run(clients: usize, bytes_each: u64, seed: u64) -> Duration {
+            let mut sim = Sim::new(seed);
+            sim.run(async move {
+                let rng = SimRng::new(seed);
+                let model = NfsModel::new(NfsParams::paper(), &rng);
+                let t0 = now();
+                let mut handles = Vec::new();
+                for c in 0..clients {
+                    let client = NfsClient::new(
+                        Rc::clone(&model),
+                        VfsCostParams::nfs_client(),
+                        rng.stream(&format!("c{c}")),
+                    );
+                    handles.push(simkit::spawn(async move {
+                        let fid = client.open().await;
+                        client.write(fid, 0, bytes_each).await;
+                        client.close(fid).await;
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+                model.stop();
+                now().since(t0)
+            })
+        }
+        let one = run(1, 4 * MB, 3);
+        let eight = run(8, 4 * MB, 3);
+        assert!(
+            eight > one * 4,
+            "8 clients: {eight:?} vs 1 client: {one:?}"
+        );
+    }
+}

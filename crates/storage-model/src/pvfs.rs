@@ -1,0 +1,393 @@
+//! PVFS2 model — striped parallel filesystem with **no client cache**.
+//!
+//! The paper lists PVFS2 among CRFS's possible backends (§I), and its
+//! related work [21] describes modifying PVFS to serialize checkpoint
+//! writes — evidence that stock PVFS suffered badly under checkpoint
+//! storms. The mechanism is architectural: PVFS2 performs no client-side
+//! write-back caching. Every `write()` becomes a synchronous striped
+//! request: strips fan out to the I/O servers in parallel (the flow
+//! protocol), but the call returns only when every server has
+//! acknowledged. BLCR's thousands of small and medium writes therefore
+//! each pay a full round trip — while one 4 MiB CRFS chunk amortizes the
+//! same cost over 64 strips shipped concurrently.
+//!
+//! Model structure:
+//! - [`PvfsModel`]: N I/O servers, each with its own fabric link, a
+//!   bounded service-thread pool, and a local store (page cache + disk);
+//!   metadata operations are served by server 0.
+//! - [`PvfsClient`]: per-node client charging the (cache-less) client
+//!   path cost, then splitting `[offset, offset+len)` into round-robin
+//!   strips and awaiting all strip acknowledgements.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simkit::rng::SimRng;
+use simkit::sync::{Semaphore, WaitGroup};
+use simkit::time::sleep;
+
+use crate::localfs::LocalFs;
+use crate::net::NetLink;
+use crate::params::{
+    AllocParams, CacheParams, DiskParams, NetParams, PvfsParams, VfsCostParams,
+};
+
+/// One PVFS2 I/O server.
+pub struct PvfsServer {
+    cpu: Semaphore,
+    per_req: std::time::Duration,
+    link: Rc<NetLink>,
+    store: Rc<LocalFs>,
+}
+
+impl PvfsServer {
+    fn new(params: &PvfsParams, rng: SimRng) -> Rc<PvfsServer> {
+        Rc::new(PvfsServer {
+            cpu: Semaphore::new(params.server_threads),
+            per_req: params.server_cpu_per_req,
+            link: NetLink::new(NetParams::ib_ddr()),
+            store: LocalFs::new(
+                VfsCostParams::server_store(),
+                AllocParams::ldiskfs(),
+                CacheParams::server(),
+                DiskParams::ost_volume(),
+                rng,
+            ),
+        })
+    }
+
+    /// Services one strip write: CPU + local store ingestion.
+    async fn handle_write(&self, object: u64, bytes: u64) {
+        let _thread = self.cpu.acquire(1).await;
+        sleep(self.per_req).await;
+        self.store.write(object, bytes).await;
+    }
+
+    /// The server's local store (counters, traces).
+    pub fn store(&self) -> &Rc<LocalFs> {
+        &self.store
+    }
+}
+
+/// The shared PVFS2 deployment.
+pub struct PvfsModel {
+    params: PvfsParams,
+    servers: Vec<Rc<PvfsServer>>,
+    meta: Semaphore,
+    next_fid: Cell<u64>,
+}
+
+impl PvfsModel {
+    /// Builds the deployment. Must run inside a `Sim`.
+    pub fn new(params: PvfsParams, rng: &SimRng) -> Rc<PvfsModel> {
+        let servers = (0..params.n_servers)
+            .map(|i| PvfsServer::new(&params, rng.stream(&format!("pvfs{i}"))))
+            .collect();
+        Rc::new(PvfsModel {
+            params,
+            servers,
+            meta: Semaphore::new(1),
+            next_fid: Cell::new(1),
+        })
+    }
+
+    /// The deployment parameters.
+    pub fn params(&self) -> &PvfsParams {
+        &self.params
+    }
+
+    /// The I/O servers.
+    pub fn servers(&self) -> &[Rc<PvfsServer>] {
+        &self.servers
+    }
+
+    /// Creates a file: metadata service on server 0 (serialized).
+    pub async fn meta_create(&self) -> u64 {
+        let _m = self.meta.acquire(1).await;
+        sleep(self.params.meta_op).await;
+        let fid = self.next_fid.get();
+        self.next_fid.set(fid + 1);
+        fid
+    }
+
+    /// Total bytes ingested across servers.
+    pub fn bytes_ingested(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| s.store.cache().written_back() + s.store.cache().dirty())
+            .sum()
+    }
+
+    /// Stops background tasks on all servers.
+    pub fn stop(&self) {
+        for s in &self.servers {
+            s.store.stop();
+        }
+    }
+}
+
+/// Per-open-file client state (no cache — just identity and spread).
+struct PvfsFile {
+    handicap: f64,
+}
+
+/// A node's PVFS2 client.
+pub struct PvfsClient {
+    model: Rc<PvfsModel>,
+    cost: VfsCostParams,
+    active: Cell<usize>,
+    rng: RefCell<SimRng>,
+    /// The node's single `/dev/pvfs2-req` upcall channel: every VFS
+    /// request crosses into the `pvfs2-client-core` daemon through this
+    /// serialized queue — PVFS2's FUSE-like architectural cost.
+    upcall: Semaphore,
+    files: RefCell<HashMap<u64, Rc<PvfsFile>>>,
+}
+
+impl PvfsClient {
+    /// Creates the client for one node.
+    pub fn new(model: Rc<PvfsModel>, cost: VfsCostParams, rng: SimRng) -> Rc<PvfsClient> {
+        Rc::new(PvfsClient {
+            model,
+            cost,
+            active: Cell::new(0),
+            rng: RefCell::new(rng),
+            upcall: Semaphore::new(1),
+            files: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// One serialized upcall round trip into the client daemon.
+    async fn upcall(&self) {
+        let _ch = self.upcall.acquire(1).await;
+        sleep(self.model.params.upcall).await;
+    }
+
+    fn file(&self, fid: u64) -> Rc<PvfsFile> {
+        Rc::clone(
+            self.files
+                .borrow()
+                .get(&fid)
+                .expect("write/close to unopened PVFS file"),
+        )
+    }
+
+    /// Creates a file via the metadata server.
+    pub async fn open(&self) -> u64 {
+        self.upcall().await;
+        let fid = self.model.meta_create().await;
+        let handicap = 1.0 + self.rng.borrow_mut().exponential(0.45);
+        self.files
+            .borrow_mut()
+            .insert(fid, Rc::new(PvfsFile { handicap }));
+        fid
+    }
+
+    /// A synchronous striped write: client path cost, then all strips of
+    /// `[offset, offset + len)` fan out concurrently and the call returns
+    /// when the last server acknowledges. No client cache, no
+    /// write-behind: this is the PVFS2 trait that punishes checkpoint
+    /// traffic.
+    pub async fn write(&self, fid: u64, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let writers = self.active.get() + 1;
+        self.active.set(writers);
+        let file = self.file(fid);
+
+        // Every write syscall is one upcall into the client daemon —
+        // serialized per node, exactly like a FUSE crossing. CRFS pays
+        // this only once per 4 MiB chunk; native BLCR pays it per write.
+        self.upcall().await;
+
+        let jitter =
+            (1.0 + self.rng.borrow_mut().exponential(self.cost.jitter)) * file.handicap;
+        sleep(self.cost.write_cost(len, writers, jitter)).await;
+
+        let p = self.model.params;
+        let n = self.model.servers.len() as u64;
+        let wg = WaitGroup::new();
+        let mut at = offset;
+        let end = offset + len;
+        while at < end {
+            let strip_end = ((at / p.strip_size) + 1) * p.strip_size;
+            let piece = strip_end.min(end) - at;
+            let server_idx = ((fid + at / p.strip_size) % n) as usize;
+            let server = Rc::clone(&self.model.servers[server_idx]);
+            let object = fid * 64 + server_idx as u64;
+
+            sleep(p.client_cpu_per_req).await;
+            wg.add(1);
+            let done = wg.clone();
+            let _ = simkit::spawn(async move {
+                server.link.transfer(piece).await;
+                server.handle_write(object, piece).await;
+                sleep(server.link.params().latency).await; // ack
+                done.done();
+            });
+            at += piece;
+        }
+        // Synchronous request: block until every strip is acknowledged.
+        wg.wait().await;
+        self.active.set(self.active.get() - 1);
+    }
+
+    /// close(): metadata release only — there is no client cache to
+    /// flush and PVFS2 does not commit-on-close.
+    pub async fn close(&self, fid: u64) {
+        sleep(std::time::Duration::from_micros(20)).await;
+        self.files.borrow_mut().remove(&fid);
+    }
+
+    /// fsync(): forces the file's objects to every server's disk.
+    pub async fn fsync(&self, fid: u64) {
+        for (i, server) in self.model.servers.iter().enumerate() {
+            server.store.fsync(fid * 64 + i as u64).await;
+        }
+    }
+
+    /// Writers currently inside `write` on this node.
+    pub fn active_writers(&self) -> usize {
+        self.active.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{KB, MB};
+    use simkit::time::now;
+    use simkit::Sim;
+    use std::time::Duration;
+
+    fn setup(seed: u64) -> (Rc<PvfsModel>, Rc<PvfsClient>) {
+        let rng = SimRng::new(seed);
+        let model = PvfsModel::new(PvfsParams::paper_era(), &rng);
+        let client = PvfsClient::new(
+            Rc::clone(&model),
+            VfsCostParams::pvfs_client(),
+            rng.stream("client"),
+        );
+        (model, client)
+    }
+
+    #[test]
+    fn striping_distributes_across_servers() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (model, client) = setup(0);
+            let fid = client.open().await;
+            // 6 MiB over 64 KiB strips round-robins 96 strips over 3
+            // servers → 2 MiB each.
+            client.write(fid, 0, 6 * MB).await;
+            for s in model.servers() {
+                let ingested = s.store().cache().dirty() + s.store().cache().written_back();
+                assert_eq!(ingested, 2 * MB);
+            }
+            model.stop();
+        });
+    }
+
+    #[test]
+    fn writes_are_synchronous_no_write_behind() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (model, client) = setup(0);
+            let fid = client.open().await;
+            client.write(fid, 0, MB).await;
+            // All data is at the servers the moment write() returns.
+            assert_eq!(model.bytes_ingested(), MB);
+            let t0 = now();
+            client.close(fid).await;
+            // ... and close is nearly free (no COMMIT, no drain).
+            assert!(now().since(t0) < Duration::from_millis(1));
+            model.stop();
+        });
+    }
+
+    #[test]
+    fn small_writes_pay_per_request_round_trips() {
+        // The same bytes as 4 KiB pieces vs one 256 KiB request: the
+        // small stream pays a synchronous round trip per piece and must
+        // be dramatically slower.
+        fn run(piece: u64, seed: u64) -> Duration {
+            let mut sim = Sim::new(seed);
+            sim.run(async move {
+                let (model, client) = setup(seed);
+                let fid = client.open().await;
+                let total = 256 * KB;
+                let t0 = now();
+                let mut off = 0;
+                while off < total {
+                    client.write(fid, off, piece).await;
+                    off += piece;
+                }
+                let dt = now().since(t0);
+                model.stop();
+                dt
+            })
+        }
+        let small = run(4 * KB, 9);
+        let bulk = run(256 * KB, 9);
+        assert!(
+            small > bulk * 3,
+            "small={small:?} must be ≫ bulk={bulk:?}"
+        );
+    }
+
+    #[test]
+    fn strips_of_one_request_overlap() {
+        // One 3 MiB write spans all 3 servers; because strips fly in
+        // parallel it must take far less than 3 sequential 1 MiB writes
+        // to a single-server layout would.
+        let mut sim = Sim::new(0);
+        let dt = sim.run(async {
+            let (model, client) = setup(0);
+            let fid = client.open().await;
+            let t0 = now();
+            client.write(fid, 0, 3 * MB).await;
+            let dt = now().since(t0);
+            model.stop();
+            dt
+        });
+        // 3 MiB over one IB link alone would take ~2 ms; three links in
+        // parallel should land well under 1.5× a single MiB's time.
+        assert!(dt < Duration::from_millis(4), "took {dt:?}");
+    }
+
+    #[test]
+    fn fsync_reaches_server_disks() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (model, client) = setup(0);
+            let fid = client.open().await;
+            client.write(fid, 0, 3 * MB).await;
+            client.fsync(fid).await;
+            let on_disk: u64 = model
+                .servers()
+                .iter()
+                .map(|s| s.store().disk().bytes_written())
+                .sum();
+            assert_eq!(on_disk, 3 * MB);
+            model.stop();
+        });
+    }
+
+    #[test]
+    fn meta_creates_serialize() {
+        let mut sim = Sim::new(0);
+        let dt = sim.run(async {
+            let (model, client) = setup(0);
+            let t0 = now();
+            for _ in 0..10 {
+                client.open().await;
+            }
+            let dt = now().since(t0);
+            model.stop();
+            dt
+        });
+        assert!(dt >= Duration::from_micros(5000), "10 × 500 µs meta ops");
+    }
+}

@@ -1,0 +1,123 @@
+//! A generic IO application on CRFS — the paper's closing claim (§VII:
+//! "other general IO applications ... will transparently benefit from
+//! CRFS"). An append-heavy event logger issues thousands of small
+//! writes; run once against a throttled device directly and once through
+//! CRFS over the same device, and compare.
+//!
+//! ```sh
+//! cargo run --release --example io_logger
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crfs::core::backend::{
+    Backend, MemBackend, OpenOptions, ThrottleParams, ThrottledBackend,
+};
+use crfs::core::{Crfs, CrfsConfig};
+
+/// Synthesizes one log line of roughly realistic shape.
+fn log_line(seq: u64) -> String {
+    format!(
+        "2011-09-13T09:{:02}:{:02}.{:03}Z worker-{} event=checkpoint_progress \
+         bytes={} state=running latency_us={}\n",
+        (seq / 60000) % 60,
+        (seq / 1000) % 60,
+        seq % 1000,
+        seq % 16,
+        seq * 413 % 100_000,
+        seq * 7 % 1500,
+    )
+}
+
+// Four interleaved appenders on one spindle: with ~8.5 ms per alternating
+// seek, every direct append is catastrophic — keep the line count modest
+// so the demo finishes in seconds.
+const LINES: u64 = 250;
+const WRITERS: usize = 4;
+
+fn run_direct(backend: &Arc<dyn Backend>) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let backend = Arc::clone(backend);
+            s.spawn(move || {
+                let f = backend
+                    .open(&format!("/direct-{w}.log"), OpenOptions::create_truncate())
+                    .expect("open");
+                let mut off = 0u64;
+                for seq in 0..LINES {
+                    let line = log_line(seq);
+                    f.write_at(off, line.as_bytes()).expect("append");
+                    off += line.len() as u64;
+                }
+                f.sync().expect("final sync");
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+fn run_through_crfs(backend: &Arc<dyn Backend>) -> (f64, crfs::core::StatsSnapshot) {
+    // Logs don't need 4 MiB chunks; 256 KiB keeps flush latency low.
+    let fs = Crfs::mount(
+        Arc::clone(backend),
+        CrfsConfig::default()
+            .with_chunk_size(256 << 10)
+            .with_pool_size(4 << 20),
+    )
+    .expect("mount");
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let fs = &fs;
+            s.spawn(move || {
+                let f = fs.create(&format!("/crfs-{w}.log")).expect("create");
+                for seq in 0..LINES {
+                    f.write(log_line(seq).as_bytes()).expect("append");
+                }
+                f.fsync().expect("final sync");
+                f.close().expect("close");
+            });
+        }
+    });
+    let dt = t0.elapsed().as_secs_f64();
+    let snap = fs.stats();
+    fs.unmount().expect("unmount");
+    (dt, snap)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One shared "disk": 75 MB/s with per-op latency and seek penalties,
+    // like the paper's node-local SATA drive.
+    let backend: Arc<dyn Backend> =
+        Arc::new(ThrottledBackend::new(MemBackend::new(), ThrottleParams::sata_disk()));
+
+    println!(
+        "{WRITERS} loggers x {LINES} lines (~{:.1} MiB total), shared throttled disk\n",
+        WRITERS as f64 * LINES as f64 * log_line(0).len() as f64 / (1 << 20) as f64
+    );
+
+    let direct = run_direct(&backend);
+    println!("direct appends      : {direct:.2}s");
+
+    let (via_crfs, snap) = run_through_crfs(&backend);
+    println!("through CRFS        : {via_crfs:.2}s   ({:.1}x)", direct / via_crfs);
+    println!(
+        "\nCRFS turned {} small appends into {} chunk writes ({:.0}x aggregation);",
+        snap.writes, snap.chunks_sealed, snap.aggregation_ratio()
+    );
+    println!(
+        "backend wrote {} bytes, every log line accounted for.",
+        snap.bytes_out
+    );
+    assert_eq!(snap.bytes_in, snap.bytes_out, "no data lost in the pipeline");
+
+    // Sanity: the log contents really landed (spot-check one file).
+    let f = backend.open("/crfs-0.log", OpenOptions::read_only())?;
+    let mut head = vec![0u8; 40];
+    f.read_at(0, &mut head)?;
+    assert!(head.starts_with(b"2011-09-13T09:00:00.000Z worker-0"));
+    println!("\nlog contents verified readable without CRFS mounted");
+    Ok(())
+}

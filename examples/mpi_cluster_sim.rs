@@ -1,0 +1,48 @@
+//! Simulate a full cluster checkpoint: LU.C with 128 processes on 16
+//! nodes (the paper's Fig. 6/7/8 configuration), native vs CRFS, on the
+//! backend of your choice.
+//!
+//! ```sh
+//! cargo run --release --example mpi_cluster_sim            # lustre
+//! cargo run --release --example mpi_cluster_sim -- ext3
+//! cargo run --release --example mpi_cluster_sim -- nfs
+//! ```
+
+use crfs::sim::{run_checkpoint, BackendKind, CheckpointSpec, LuClass, MpiStack};
+use crfs::trace::render::bar_chart;
+
+fn main() {
+    let backend = match std::env::args().nth(1).as_deref() {
+        Some("ext3") => BackendKind::Ext3,
+        Some("nfs") => BackendKind::Nfs,
+        None | Some("lustre") => BackendKind::Lustre,
+        Some(other) => {
+            eprintln!("unknown backend {other:?}; use ext3|lustre|nfs");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "simulating LU.C.128 checkpoint on 16 nodes x 8 ppn -> {} (MVAPICH2)",
+        backend.name()
+    );
+
+    let mut results = Vec::new();
+    for use_crfs in [false, true] {
+        let spec = CheckpointSpec::new(MpiStack::Mvapich2, LuClass::C, backend, use_crfs);
+        let r = run_checkpoint(&spec);
+        println!(
+            "  {:<42} mean {:.2}s  (min {:.2}s / max {:.2}s / stddev {:.3}s)",
+            r.label, r.mean_time, r.spread.min, r.spread.max, r.spread.stddev
+        );
+        results.push((
+            if use_crfs { "CRFS".to_string() } else { "native".to_string() },
+            r.mean_time,
+        ));
+    }
+
+    println!("\naverage local checkpoint time (lower is better):");
+    print!("{}", bar_chart(&results, 40, "s"));
+    let speedup = results[0].1 / results[1].1;
+    println!("\nCRFS speedup over native {}: {speedup:.1}x", backend.name());
+}

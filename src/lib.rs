@@ -1,0 +1,24 @@
+//! # crfs — umbrella crate for the CRFS reproduction
+//!
+//! Re-exports every crate of the workspace under one roof, mirroring the
+//! layering of the system:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `crfs-core` | the real, threaded CRFS filesystem library |
+//! | [`blcr`] | `crfs-blcr` | BLCR-style checkpoint/restart engine |
+//! | [`trace`] | `crfs-trace` | write profiling, block traces, rendering |
+//! | [`simkit`] | `simkit` | deterministic discrete-event executor |
+//! | [`storage`] | `storage-model` | disk/cache/network/ext3/Lustre/NFS models |
+//! | [`sim`] | `cluster-sim` | the simulated cluster and experiment drivers |
+//!
+//! See the repository README for a quickstart, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record of
+//! every table and figure.
+
+pub use cluster_sim as sim;
+pub use crfs_blcr as blcr;
+pub use crfs_core as core;
+pub use crfs_trace as trace;
+pub use simkit;
+pub use storage_model as storage;

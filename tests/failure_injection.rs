@@ -1,0 +1,195 @@
+//! Failure-injection tests across the full stack: a misbehaving backend
+//! must surface errors at the paper's synchronization points (close,
+//! fsync, unmount) without hanging, leaking pool buffers, or losing
+//! track of which data made it out.
+
+use std::sync::Arc;
+
+use crfs::core::aggregator::{AggregatingBackend, ContainerReader};
+use crfs::core::backend::{
+    Backend, FailureMode, FaultyBackend, MemBackend, OpenOptions,
+};
+use crfs::core::{Crfs, CrfsConfig, CrfsError, Vfs};
+
+fn small_config() -> CrfsConfig {
+    CrfsConfig::default()
+        .with_chunk_size(1024)
+        .with_pool_size(8192)
+        .with_io_threads(2)
+}
+
+fn faulty(mode: FailureMode) -> Arc<dyn Backend> {
+    Arc::new(FaultyBackend::new(MemBackend::new(), mode))
+}
+
+#[test]
+fn async_error_is_sticky_across_barriers() {
+    let fs = Crfs::mount(faulty(FailureMode::FailWritesAfter(0)), small_config()).unwrap();
+    let f = fs.create("/bad").unwrap();
+    f.write(&vec![1u8; 4096]).unwrap(); // chunks fail in the background
+
+    // First barrier reports the failure...
+    let err = f.flush().unwrap_err();
+    assert!(matches!(err, CrfsError::DeferredWrite { .. }), "{err:?}");
+    // ...and so does every later one (the paper's close barrier must not
+    // silently succeed after an earlier flush observed the error).
+    let err = f.close().unwrap_err();
+    assert!(matches!(err, CrfsError::DeferredWrite { .. }), "{err:?}");
+}
+
+#[test]
+fn fsync_failure_propagates_but_close_succeeds() {
+    // Backend accepts data but cannot fsync: fsync() must fail, while
+    // close (which does not fsync in the paper's design) succeeds.
+    let fs = Crfs::mount(faulty(FailureMode::FailSync), small_config()).unwrap();
+    let f = fs.create("/nosync").unwrap();
+    f.write(b"data").unwrap();
+    assert!(f.fsync().is_err());
+
+    let g = fs.create("/nosync2").unwrap();
+    g.write(b"data").unwrap();
+    g.close().unwrap();
+}
+
+#[test]
+fn open_failure_leaves_no_table_entry() {
+    let fs = Crfs::mount(faulty(FailureMode::FailOpen), small_config()).unwrap();
+    assert!(fs.create("/f").is_err());
+    assert_eq!(fs.open_files(), 0, "failed open must not leak an entry");
+}
+
+#[test]
+fn unmount_reports_pending_write_errors() {
+    let fs = Crfs::mount(faulty(FailureMode::FailWritesAfter(0)), small_config()).unwrap();
+    let f = fs.create("/pending").unwrap();
+    f.write(&vec![9u8; 3000]).unwrap();
+    // Unmount flushes open files; the flush failure must be reported.
+    let err = fs.unmount().unwrap_err();
+    assert!(matches!(err, CrfsError::DeferredWrite { .. }), "{err:?}");
+    // The mount is down regardless.
+    assert!(matches!(f.write(b"x"), Err(CrfsError::Unmounted)));
+}
+
+#[test]
+fn pool_buffers_survive_backend_failures_under_concurrency() {
+    // 8 writers, backend starts failing after 5 writes: every close must
+    // return (error or not), and every sealed chunk must be completed —
+    // i.e. no buffer is lost to the failure path.
+    let be = Arc::new(FaultyBackend::new(
+        MemBackend::new(),
+        FailureMode::FailWritesAfter(5),
+    ));
+    let fs = Crfs::mount(
+        be.clone() as Arc<dyn Backend>,
+        small_config(),
+    )
+    .unwrap();
+    let mut handles = Vec::new();
+    for w in 0..8 {
+        let fs = Arc::clone(&fs);
+        handles.push(std::thread::spawn(move || {
+            let f = fs.create(&format!("/w{w}")).unwrap();
+            for _ in 0..10 {
+                if f.write(&vec![w as u8; 700]).is_err() {
+                    break; // write-time flush may already report
+                }
+            }
+            let _ = f.close(); // must not hang
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = fs.stats();
+    assert_eq!(
+        s.chunks_sealed, s.chunks_completed,
+        "every sealed chunk must complete (ok or error) and recycle its buffer"
+    );
+    assert!(be.writes_seen() > 5, "the backend did see the failing writes");
+}
+
+#[test]
+fn writes_after_failure_still_work_on_new_files() {
+    // A failure on one file must not poison the mount: FailWritesAfter
+    // counts globally here, so use FailSync (per-op) instead and verify
+    // data flows despite sync failures.
+    let be = Arc::new(FaultyBackend::new(MemBackend::new(), FailureMode::FailSync));
+    let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, small_config()).unwrap();
+    let f = fs.create("/a").unwrap();
+    f.write(b"payload-a").unwrap();
+    assert!(f.fsync().is_err());
+    f.close().unwrap();
+    let g = fs.create("/b").unwrap();
+    g.write(b"payload-b").unwrap();
+    g.close().unwrap();
+    assert_eq!(be.inner().contents("/a").unwrap(), b"payload-a");
+    assert_eq!(be.inner().contents("/b").unwrap(), b"payload-b");
+    fs.unmount().unwrap();
+}
+
+#[test]
+fn vfs_propagates_deferred_errors_at_close() {
+    let fs = Crfs::mount(faulty(FailureMode::FailWritesAfter(0)), small_config()).unwrap();
+    let vfs = Vfs::new();
+    vfs.mount("/mnt", fs).unwrap();
+    let fd = vfs.create("/mnt/ckpt").unwrap();
+    vfs.write(fd, &vec![3u8; 4096]).unwrap();
+    assert!(vfs.close(fd).is_err(), "fd close must report the async error");
+    assert_eq!(vfs.open_fds(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Aggregator under failure
+// ---------------------------------------------------------------------
+
+#[test]
+fn aggregator_propagates_append_failures_to_crfs_close() {
+    let inner: Arc<dyn Backend> = Arc::new(FaultyBackend::new(
+        MemBackend::new(),
+        // Header write succeeds (container creation), all appends fail.
+        FailureMode::FailWritesAfter(1),
+    ));
+    let agg: Arc<dyn Backend> =
+        Arc::new(AggregatingBackend::create(&inner, "/node.agg").unwrap());
+    let fs = Crfs::mount(agg, small_config()).unwrap();
+    let f = fs.create("/rank0").unwrap();
+    f.write(&vec![5u8; 4096]).unwrap();
+    let err = f.close().unwrap_err();
+    assert!(matches!(err, CrfsError::DeferredWrite { .. }), "{err:?}");
+    let s = fs.stats();
+    assert_eq!(s.chunks_sealed, s.chunks_completed);
+}
+
+#[test]
+fn aggregator_finalize_failure_is_retryable() {
+    let inner: Arc<dyn Backend> =
+        Arc::new(FaultyBackend::new(MemBackend::new(), FailureMode::FailSync));
+    let agg = AggregatingBackend::create(&inner, "/node.agg").unwrap();
+    let f = agg.open("/rank0", OpenOptions::create_truncate()).unwrap();
+    f.write_at(0, b"data").unwrap();
+    // finalize fsyncs the container; the sync failure must surface and
+    // leave the container unfinalized (writes still accepted).
+    assert!(agg.finalize().is_err());
+    assert!(!agg.is_finalized());
+    f.write_at(4, b"more").unwrap();
+}
+
+#[test]
+fn truncated_container_is_rejected_with_clear_error() {
+    let inner: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    let agg = AggregatingBackend::create(&inner, "/node.agg").unwrap();
+    let f = agg.open("/rank0", OpenOptions::create_truncate()).unwrap();
+    f.write_at(0, &vec![1u8; 10_000]).unwrap();
+    agg.finalize().unwrap();
+
+    // Chop the tail off the container (lost trailer).
+    let len = inner.file_len("/node.agg").unwrap();
+    let c = inner.open("/node.agg", OpenOptions::read_write()).unwrap();
+    c.set_len(len - 16).unwrap();
+
+    let err = ContainerReader::open(&inner, "/node.agg").unwrap_err();
+    assert!(
+        err.to_string().contains("finalized") || err.to_string().contains("trailer"),
+        "unhelpful error: {err}"
+    );
+}

@@ -1,0 +1,351 @@
+//! Property-based tests over the core invariants.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use crfs::blcr::{CheckpointWriter, ProcessImage, RestartReader};
+use crfs::core::backend::{Backend, MemBackend};
+use crfs::core::chunking::{apply_plan, plan_write, ChunkState, PlanStep};
+use crfs::core::{Crfs, CrfsConfig};
+
+// ---------------------------------------------------------------------
+// plan_write invariants
+// ---------------------------------------------------------------------
+
+fn chunk_state_strategy(chunk_size: usize) -> impl Strategy<Value = Option<ChunkState>> {
+    prop_oneof![
+        Just(None),
+        (0u64..1 << 24, 1usize..=chunk_size).prop_map(move |(fo, fill)| {
+            Some(ChunkState {
+                file_offset: fo,
+                fill: fill.min(chunk_size - 1).max(0),
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Appends cover exactly `len` bytes; chunks never overfill; the plan
+    /// applies cleanly; contiguity of chunk contents is preserved.
+    #[test]
+    fn plan_write_invariants(
+        cur in chunk_state_strategy(4096),
+        offset in 0u64..1 << 24,
+        len in 0usize..64 << 10,
+    ) {
+        let chunk_size = 4096usize;
+        let plan = plan_write(cur, offset, len, chunk_size);
+
+        // 1. Appended bytes sum to len.
+        let appended: usize = plan.iter().map(|s| match s {
+            PlanStep::Append { len } => *len,
+            _ => 0,
+        }).sum();
+        prop_assert_eq!(appended, len);
+
+        // 2. Simulation of the plan never overfills and ends consistent.
+        let end = apply_plan(cur, &plan, chunk_size);
+        if let Some(c) = end {
+            prop_assert!(c.fill < chunk_size || len == 0,
+                "a full chunk must have been sealed");
+        }
+
+        // 3. Non-sequential start forces a seal first.
+        if let Some(c) = cur {
+            if len > 0 && c.append_offset() != offset {
+                prop_assert_eq!(plan.first(), Some(&PlanStep::Seal));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CRFS over MemBackend equals direct writes (data integrity oracle)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Sequential write of n bytes of a given fill byte.
+    Write(usize, u8),
+    /// Positioned write at offset.
+    WriteAt(u64, usize, u8),
+    /// Flush pending chunks.
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1usize..20_000, any::<u8>()).prop_map(|(n, b)| Op::Write(n, b)),
+        2 => (0u64..40_000, 1usize..8_000, any::<u8>()).prop_map(|(o, n, b)| Op::WriteAt(o, n, b)),
+        1 => Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever sequence of writes is applied, the bytes visible in the
+    /// backend after close are identical to a plain Vec<u8> model.
+    #[test]
+    fn crfs_matches_reference_buffer(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        let be = Arc::new(MemBackend::new());
+        let fs = Crfs::mount(
+            be.clone(),
+            CrfsConfig::default().with_chunk_size(4096).with_pool_size(16 << 10),
+        ).expect("mount");
+        let f = fs.create("/prop").expect("create");
+
+        let mut model: Vec<u8> = Vec::new();
+        let mut pos: u64 = 0;
+        let apply = |model: &mut Vec<u8>, off: u64, data: &[u8]| {
+            let end = off as usize + data.len();
+            if model.len() < end { model.resize(end, 0); }
+            model[off as usize..end].copy_from_slice(data);
+        };
+
+        for op in ops {
+            match op {
+                Op::Write(n, b) => {
+                    let data = vec![b; n];
+                    f.write(&data).expect("write");
+                    apply(&mut model, pos, &data);
+                    pos += n as u64;
+                }
+                Op::WriteAt(o, n, b) => {
+                    let data = vec![b; n];
+                    f.write_at(o, &data).expect("write_at");
+                    apply(&mut model, o, &data);
+                }
+                Op::Flush => f.flush().expect("flush"),
+            }
+        }
+        f.close().expect("close");
+        prop_assert_eq!(be.contents("/prop").expect("backend"), model);
+        fs.unmount().expect("unmount");
+    }
+
+    /// Buffer pool conservation: after any workload, sealed == completed
+    /// and bytes in == bytes out.
+    #[test]
+    fn pool_and_byte_conservation(sizes in proptest::collection::vec(1usize..50_000, 1..20)) {
+        let fs = Crfs::mount(
+            Arc::new(MemBackend::new()),
+            CrfsConfig::default().with_chunk_size(8192).with_pool_size(32 << 10),
+        ).expect("mount");
+        let f = fs.create("/conserve").expect("create");
+        let mut total = 0u64;
+        for n in sizes {
+            f.write(&vec![0xAB; n]).expect("write");
+            total += n as u64;
+        }
+        f.close().expect("close");
+        let s = fs.stats();
+        prop_assert_eq!(s.bytes_in, total);
+        prop_assert_eq!(s.bytes_out, total);
+        prop_assert_eq!(s.chunks_sealed, s.chunks_completed);
+        fs.unmount().expect("unmount");
+    }
+}
+
+// ---------------------------------------------------------------------
+// BLCR image round-trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// restart(checkpoint(image)) == image, for arbitrary sizes/seeds,
+    /// through an actual CRFS mount.
+    #[test]
+    fn blcr_roundtrip_through_crfs(
+        kb in 1u64..2_048,
+        seed in any::<u64>(),
+    ) {
+        let fs = Crfs::mount(
+            Arc::new(MemBackend::new()),
+            CrfsConfig::default().with_chunk_size(64 << 10).with_pool_size(256 << 10),
+        ).expect("mount");
+        let image = ProcessImage::synthetic(1, kb << 10, seed);
+        let mut f = fs.create("/img").expect("create");
+        CheckpointWriter::new().write_image(&mut f, &image).expect("dump");
+        f.close().expect("close");
+
+        let mut g = fs.open("/img").expect("open");
+        let restored = RestartReader::new().read_image(&mut g).expect("restore");
+        prop_assert_eq!(restored, image);
+        fs.unmount().expect("unmount");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aggregation container equals a plain per-file backend (oracle)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AggOp {
+    /// Positioned write of `len` bytes of `fill` into file `idx`.
+    WriteAt(usize, u64, usize, u8),
+    /// Truncate/extend file `idx` to `len`.
+    SetLen(usize, u64),
+}
+
+fn agg_op_strategy() -> impl Strategy<Value = AggOp> {
+    prop_oneof![
+        6 => (0usize..3, 0u64..5_000, 1usize..3_000, any::<u8>())
+            .prop_map(|(i, o, n, b)| AggOp::WriteAt(i, o, n, b)),
+        1 => (0usize..3, 0u64..8_000).prop_map(|(i, l)| AggOp::SetLen(i, l)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any op sequence, logical files seen through the container —
+    /// live, reopened via `ContainerReader`, and materialized back out —
+    /// are byte-identical to the same ops applied to a plain backend.
+    #[test]
+    fn aggregator_matches_plain_backend(ops in proptest::collection::vec(agg_op_strategy(), 1..24)) {
+        use crfs::core::aggregator::{AggregatingBackend, ContainerReader};
+        use crfs::core::backend::OpenOptions;
+
+        let disk: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let agg = AggregatingBackend::create(&disk, "/c.agg").expect("create");
+        let plain = MemBackend::new();
+
+        let agg_files: Vec<_> = (0..3)
+            .map(|i| agg.open(&format!("/f{i}"), OpenOptions::create_truncate()).expect("agg open"))
+            .collect();
+        let plain_files: Vec<_> = (0..3)
+            .map(|i| plain.open(&format!("/f{i}"), OpenOptions::create_truncate()).expect("plain open"))
+            .collect();
+
+        for op in &ops {
+            match *op {
+                AggOp::WriteAt(i, off, n, b) => {
+                    let data = vec![b; n];
+                    agg_files[i].write_at(off, &data).expect("agg write");
+                    plain_files[i].write_at(off, &data).expect("plain write");
+                }
+                AggOp::SetLen(i, l) => {
+                    agg_files[i].set_len(l).expect("agg set_len");
+                    plain_files[i].set_len(l).expect("plain set_len");
+                }
+            }
+        }
+
+        // 1. Live reads through the aggregating backend.
+        for i in 0..3 {
+            let expect = plain.contents(&format!("/f{i}")).expect("model");
+            let len = agg_files[i].len().expect("len") as usize;
+            prop_assert_eq!(len, expect.len());
+            let mut got = vec![0u8; len];
+            if len > 0 {
+                prop_assert_eq!(agg_files[i].read_at(0, &mut got).expect("read"), len);
+            }
+            prop_assert_eq!(&got, &expect, "live read of /f{}", i);
+        }
+
+        // 2. Reopened via the finalized container.
+        agg.finalize().expect("finalize");
+        let reader = ContainerReader::open(&disk, "/c.agg").expect("reader");
+        reader.fsck().expect("fsck");
+        for i in 0..3 {
+            let expect = plain.contents(&format!("/f{i}")).expect("model");
+            prop_assert_eq!(
+                reader.read_file(&format!("/f{i}")).expect("read_file"),
+                expect,
+                "container read of /f{}", i
+            );
+        }
+
+        // 3. Materialized back onto a fresh backend.
+        let out: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        reader.materialize(&out).expect("materialize");
+        for i in 0..3 {
+            let expect = plain.contents(&format!("/f{i}")).expect("model");
+            let f = out.open(&format!("/f{i}"), OpenOptions::read_only()).expect("open");
+            let len = f.len().expect("len") as usize;
+            prop_assert_eq!(len, expect.len());
+            let mut got = vec![0u8; len];
+            if len > 0 {
+                prop_assert_eq!(f.read_at(0, &mut got).expect("read"), len);
+            }
+            prop_assert_eq!(&got, &expect, "materialized /f{}", i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Write-trace text format round-trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trace_text_roundtrip(
+        ops in proptest::collection::vec(
+            (0u64..1u64 << 40, 0usize..4, "[a-z0-9_.]{1,12}", 0u64..1 << 30, 1u64..1 << 20),
+            0..40,
+        )
+    ) {
+        use crfs::trace::{TraceEvent, TraceOp, WriteTrace};
+        let mut trace = WriteTrace::new();
+        let mut events: Vec<TraceEvent> = ops.iter().map(|(t, kind, name, off, len)| {
+            let path = format!("/{name}");
+            TraceEvent {
+                at: std::time::Duration::from_nanos(*t),
+                op: match kind {
+                    0 => TraceOp::Open { path },
+                    1 => TraceOp::Write { path, offset: *off, len: *len },
+                    2 => TraceOp::Fsync { path },
+                    _ => TraceOp::Close { path },
+                },
+            }
+        }).collect();
+        events.sort_by_key(|e| e.at);
+        for e in events {
+            trace.push(e);
+        }
+        let parsed = WriteTrace::parse(&trace.to_text()).expect("parse");
+        prop_assert_eq!(parsed, trace);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Path normalization never escapes, never panics
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn normalize_path_is_total_and_rooted(path in "[a-z./]{0,40}") {
+        match crfs::core::backend::normalize_path(&path) {
+            Ok(p) => {
+                prop_assert!(p.starts_with('/'));
+                prop_assert!(!p.contains("//"));
+                prop_assert!(!p.split('/').any(|c| c == "." || c == ".."));
+            }
+            Err(_) => {} // escape attempts are rejected, not panicked on
+        }
+    }
+
+    /// MemBackend never allows writes to corrupt other files.
+    #[test]
+    fn mem_backend_file_isolation(
+        a in proptest::collection::vec(any::<u8>(), 0..512),
+        b in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let be = MemBackend::new();
+        let fa = be.open("/a", crfs::core::backend::OpenOptions::create_truncate()).expect("a");
+        let fb = be.open("/b", crfs::core::backend::OpenOptions::create_truncate()).expect("b");
+        fa.write_at(0, &a).expect("write a");
+        fb.write_at(0, &b).expect("write b");
+        prop_assert_eq!(be.contents("/a").expect("a"), a);
+        prop_assert_eq!(be.contents("/b").expect("b"), b);
+    }
+}
