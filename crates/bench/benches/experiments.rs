@@ -10,7 +10,9 @@ use bench::experiments::run_all;
 
 fn main() {
     // cargo bench passes flags like --bench; ignore them.
-    let full = std::env::var("CRFS_EXP_FULL").map(|v| v == "1").unwrap_or(false);
+    let full = std::env::var("CRFS_EXP_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let quick = !full;
     eprintln!(
         "running all paper experiments ({} scale)...",

@@ -13,10 +13,38 @@ use crfs_core::{Crfs, CrfsConfig};
 fn bench_plan_write(c: &mut Criterion) {
     let mut g = c.benchmark_group("chunk_planner");
     for (label, cur, off, len) in [
-        ("append_small", Some(ChunkState { file_offset: 0, fill: 100 }), 100u64, 4096usize),
-        ("fill_and_seal", Some(ChunkState { file_offset: 0, fill: 4 << 20 }.into()).map(|c: ChunkState| ChunkState { fill: c.fill - 4096, ..c }), (4 << 20) - 4096, 8192),
+        (
+            "append_small",
+            Some(ChunkState {
+                file_offset: 0,
+                fill: 100,
+            }),
+            100u64,
+            4096usize,
+        ),
+        (
+            "fill_and_seal",
+            Some(ChunkState {
+                file_offset: 0,
+                fill: 4 << 20,
+            })
+            .map(|c: ChunkState| ChunkState {
+                fill: c.fill - 4096,
+                ..c
+            }),
+            (4 << 20) - 4096,
+            8192,
+        ),
         ("span_chunks", None, 0, 16 << 20),
-        ("discontinuity", Some(ChunkState { file_offset: 0, fill: 1000 }), 9_000_000, 4096),
+        (
+            "discontinuity",
+            Some(ChunkState {
+                file_offset: 0,
+                fill: 1000,
+            }),
+            9_000_000,
+            4096,
+        ),
     ] {
         g.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| plan_write(std::hint::black_box(cur), off, len, 4 << 20));
@@ -40,11 +68,8 @@ fn bench_write_path(c: &mut Criterion) {
     for size in [4096usize, 64 << 10, 1 << 20] {
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let fs = Crfs::mount(
-                Arc::new(DiscardBackend::new()),
-                CrfsConfig::default(),
-            )
-            .expect("mount");
+            let fs =
+                Crfs::mount(Arc::new(DiscardBackend::new()), CrfsConfig::default()).expect("mount");
             let f = fs.create("/bench").expect("create");
             let buf = vec![0u8; size];
             b.iter(|| f.write(&buf).expect("write"));
@@ -84,7 +109,9 @@ fn bench_aggregator(c: &mut Criterion) {
     g.bench_function("index_remap_read_4k", |b| {
         let inner: Arc<dyn Backend> = Arc::new(MemBackend::new());
         let agg = AggregatingBackend::create(&inner, "/c.agg").expect("create");
-        let f = agg.open("/f", OpenOptions::create_truncate()).expect("open");
+        let f = agg
+            .open("/f", OpenOptions::create_truncate())
+            .expect("open");
         let piece = vec![7u8; 4096];
         for i in 0..1024u64 {
             f.write_at(i * 4096, &piece).expect("append");

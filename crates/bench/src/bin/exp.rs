@@ -15,7 +15,9 @@ use bench::experiments::{run_all, run_one, ALL_IDS, EXTENSION_IDS};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick")
-        || std::env::var("CRFS_EXP_QUICK").map(|v| v == "1").unwrap_or(false);
+        || std::env::var("CRFS_EXP_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
     let json_dir = args
         .iter()
         .position(|a| a == "--json")

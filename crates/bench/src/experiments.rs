@@ -75,12 +75,7 @@ fn scale_of(quick: bool) -> f64 {
 
 /// The LU.C.64 profiling setup of §III: 64 procs on 8 nodes, ext3.
 fn profiling_spec(quick: bool, use_crfs: bool) -> CheckpointSpec {
-    let mut s = CheckpointSpec::new(
-        MpiStack::Mvapich2,
-        LuClass::C,
-        BackendKind::Ext3,
-        use_crfs,
-    );
+    let mut s = CheckpointSpec::new(MpiStack::Mvapich2, LuClass::C, BackendKind::Ext3, use_crfs);
     s.nodes = 8;
     s.procs_per_node = 8;
     s.scale = scale_of(quick);
@@ -412,12 +407,8 @@ fn fig9(quick: bool) -> ExpOutput {
     ]);
     let mut rows_json = Vec::new();
     for (ppn, pn, pc, pred) in paper::FIG9 {
-        let mut sn = CheckpointSpec::new(
-            MpiStack::Mvapich2,
-            LuClass::D,
-            BackendKind::Lustre,
-            false,
-        );
+        let mut sn =
+            CheckpointSpec::new(MpiStack::Mvapich2, LuClass::D, BackendKind::Lustre, false);
         sn.procs_per_node = ppn;
         sn.scale = scale_of(quick);
         sn.seed = 9;
@@ -508,12 +499,7 @@ fn iothreads(quick: bool) -> ExpOutput {
     let mut t = Table::new(&["IO threads", "Mean checkpoint time (s)"]);
     let mut rows_json = Vec::new();
     for threads in [1usize, 2, 4, 8, 16] {
-        let mut s = CheckpointSpec::new(
-            MpiStack::Mvapich2,
-            LuClass::C,
-            BackendKind::Lustre,
-            true,
-        );
+        let mut s = CheckpointSpec::new(MpiStack::Mvapich2, LuClass::C, BackendKind::Lustre, true);
         s.crfs_config.io_threads = threads;
         s.scale = scale_of(quick);
         s.seed = 17;
@@ -665,7 +651,11 @@ fn chunksweep(quick: bool) -> ExpOutput {
 // ---------------------------------------------------------------------
 
 fn restart(quick: bool) -> ExpOutput {
-    let (images, bytes) = if quick { (4, 4u64 << 20) } else { (8, 32 << 20) };
+    let (images, bytes) = if quick {
+        (4, 4u64 << 20)
+    } else {
+        (8, 32 << 20)
+    };
     let r = real::restart_comparison(images, bytes);
     let mut t = Table::new(&["Restart path", "Time (s)", "MB/s"]);
     let mb = r.bytes as f64 / (1 << 20) as f64;

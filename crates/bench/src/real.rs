@@ -11,12 +11,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crfs_blcr::{CheckpointWriter, ProcessImage, RestartReader};
 use crfs_core::backend::{
-    Backend, DiscardBackend, MemBackend, OpenOptions, ReadCursor, ThrottleParams,
-    ThrottledBackend,
+    Backend, DiscardBackend, MemBackend, OpenOptions, ReadCursor, ThrottleParams, ThrottledBackend,
 };
 use crfs_core::{Crfs, CrfsConfig, Vfs};
-use crfs_blcr::{CheckpointWriter, ProcessImage, RestartReader};
 
 /// One cell of the Fig. 5 sweep.
 #[derive(Debug, Clone, Copy)]
@@ -155,11 +154,7 @@ pub fn restart_comparison(images: usize, image_bytes: u64) -> RestartComparison 
     let verify = |img: &ProcessImage, pid: usize| {
         let orig = &originals[pid];
         assert_eq!(img.total_bytes(), orig.total_bytes(), "rank{pid} size");
-        assert_eq!(
-            img.vmas.len(),
-            orig.vmas.len(),
-            "rank{pid} VMA count"
-        );
+        assert_eq!(img.vmas.len(), orig.vmas.len(), "rank{pid} VMA count");
     };
 
     // Restart (a): through a fresh CRFS mount (reads pass through).

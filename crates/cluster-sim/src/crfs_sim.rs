@@ -3,16 +3,21 @@
 //! The same algorithm as `crfs-core` — buffer pool, per-file current
 //! chunk, work queue, IO worker pool, close/fsync barriers — expressed as
 //! simulation tasks. Chunking decisions are made by the *identical*
-//! [`crfs_core::chunking::plan_write`] function, so the simulated and the
-//! real filesystem provably agree on every seal/open/append (a
-//! conformance test in `/tests` replays the same stream through both).
+//! [`crfs_core::chunking::plan_write`] function, the close/fsync prologue
+//! by the shared [`crfs_core::chunking::flush_plan`], and the barrier
+//! counters by the shared
+//! [`crfs_core::engine::account::ChunkAccounting`] ledger, so the
+//! simulated and the real filesystem provably agree on every
+//! seal/open/append and on the barrier bookkeeping (a conformance test in
+//! `/tests` replays the same stream through both).
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
-use crfs_core::chunking::{plan_write, ChunkState, PlanStep};
+use crfs_core::chunking::{flush_plan, plan_write, ChunkState, FlushStep, PlanStep};
+use crfs_core::engine::account::ChunkAccounting;
 use crfs_core::CrfsConfig;
 use simkit::sync::{unbounded, Semaphore, Sender, WaitGroup};
 use simkit::time::sleep;
@@ -24,6 +29,10 @@ use crate::target::Target;
 struct FileState {
     backend_fid: u64,
     chunk: Option<ChunkState>,
+    /// Shared sealed/completed ledger (same type the real filesystem's
+    /// `FileEntry` uses); the `WaitGroup` supplies the async wakeup the
+    /// real side gets from its condvar.
+    acct: Rc<RefCell<ChunkAccounting>>,
     outstanding: WaitGroup,
 }
 
@@ -31,6 +40,7 @@ struct WorkItem {
     backend_fid: u64,
     offset: u64,
     len: u64,
+    acct: Rc<RefCell<ChunkAccounting>>,
     wg: WaitGroup,
 }
 
@@ -102,13 +112,12 @@ impl CrfsSim {
             let target = target.clone();
             let stats = Rc::clone(&stats);
             let pool = pool.clone();
-            let _ = simkit::spawn(async move {
+            let _task = simkit::spawn(async move {
                 while let Some(item) = rx.recv().await {
                     target.write(item.backend_fid, item.offset, item.len).await;
                     stats.bytes_out.set(stats.bytes_out.get() + item.len);
-                    stats
-                        .chunks_completed
-                        .set(stats.chunks_completed.get() + 1);
+                    stats.chunks_completed.set(stats.chunks_completed.get() + 1);
+                    item.acct.borrow_mut().note_completed(Ok(()));
                     item.wg.done();
                     pool.add_permits(1);
                 }
@@ -164,6 +173,7 @@ impl CrfsSim {
             FileState {
                 backend_fid,
                 chunk: None,
+                acct: Rc::new(RefCell::new(ChunkAccounting::new())),
                 outstanding: WaitGroup::new(),
             },
         );
@@ -185,22 +195,25 @@ impl CrfsSim {
         // Kernel crossing + kernel→user copy.
         self.fuse.crossing(len).await;
         // CRFS bookkeeping + copy into the aggregation chunk.
-        let copy = Duration::from_secs_f64(
-            len as f64 / self.costs.copy_bandwidth.max(1) as f64,
-        );
+        let copy = Duration::from_secs_f64(len as f64 / self.costs.copy_bandwidth.max(1) as f64);
         sleep(self.costs.per_request + copy).await;
 
-        let (mut cur, backend_fid, wg) = {
+        let (mut cur, backend_fid, acct, wg) = {
             let files = self.files.borrow();
             let f = files.get(&fh).expect("write to closed CRFS file");
-            (f.chunk, f.backend_fid, f.outstanding.clone())
+            (
+                f.chunk,
+                f.backend_fid,
+                Rc::clone(&f.acct),
+                f.outstanding.clone(),
+            )
         };
         let plan = plan_write(cur, offset, len as usize, self.config.chunk_size);
         for step in plan {
             match step {
                 PlanStep::Seal => {
                     let c = cur.take().expect("plan seals existing chunk");
-                    self.enqueue(backend_fid, c, &wg).await;
+                    self.enqueue(backend_fid, c, &acct, &wg).await;
                 }
                 PlanStep::Open { file_offset } => {
                     // Blocks when the pool is exhausted: CRFS back-pressure.
@@ -223,9 +236,18 @@ impl CrfsSim {
         self.stats.bytes_in.set(self.stats.bytes_in.get() + len);
     }
 
-    async fn enqueue(&self, backend_fid: u64, c: ChunkState, wg: &WaitGroup) {
+    async fn enqueue(
+        &self,
+        backend_fid: u64,
+        c: ChunkState,
+        acct: &Rc<RefCell<ChunkAccounting>>,
+        wg: &WaitGroup,
+    ) {
+        acct.borrow_mut().note_sealed();
         wg.add(1);
-        self.stats.chunks_sealed.set(self.stats.chunks_sealed.get() + 1);
+        self.stats
+            .chunks_sealed
+            .set(self.stats.chunks_sealed.get() + 1);
         // Container mode: the chunk is appended at the container tail
         // (allocated here, under the single-threaded executor, so appends
         // never overlap) instead of the chunk's logical file offset.
@@ -242,6 +264,7 @@ impl CrfsSim {
                 backend_fid,
                 offset,
                 len: c.fill as u64,
+                acct: Rc::clone(acct),
                 wg: wg.clone(),
             })
             .await;
@@ -253,19 +276,23 @@ impl CrfsSim {
     /// (paper §IV-C).
     pub async fn close(&self, fh: u64) {
         self.fuse.crossing(0).await;
-        let (chunk, backend_fid, wg) = {
+        let (chunk, backend_fid, acct, wg) = {
             let mut files = self.files.borrow_mut();
             let f = files.get_mut(&fh).expect("close of unknown CRFS file");
-            (f.chunk.take(), f.backend_fid, f.outstanding.clone())
+            (
+                f.chunk.take(),
+                f.backend_fid,
+                Rc::clone(&f.acct),
+                f.outstanding.clone(),
+            )
         };
-        if let Some(c) = chunk {
-            if c.fill > 0 {
-                self.enqueue(backend_fid, c, &wg).await;
-            } else {
-                self.pool.add_permits(1);
-            }
+        match flush_plan(chunk) {
+            FlushStep::SealPartial(c) => self.enqueue(backend_fid, c, &acct, &wg).await,
+            FlushStep::ReleaseEmpty(_) => self.pool.add_permits(1),
+            FlushStep::Nothing => {}
         }
         wg.wait().await;
+        debug_assert!(acct.borrow().is_quiescent(), "barrier passed early");
         if !self.container {
             self.target.close(backend_fid).await;
         }
@@ -290,19 +317,23 @@ impl CrfsSim {
     /// fsync the backend (paper §IV-D2).
     pub async fn fsync(&self, fh: u64) {
         self.fuse.crossing(0).await;
-        let (chunk, backend_fid, wg) = {
+        let (chunk, backend_fid, acct, wg) = {
             let mut files = self.files.borrow_mut();
             let f = files.get_mut(&fh).expect("fsync of unknown CRFS file");
-            (f.chunk.take(), f.backend_fid, f.outstanding.clone())
+            (
+                f.chunk.take(),
+                f.backend_fid,
+                Rc::clone(&f.acct),
+                f.outstanding.clone(),
+            )
         };
-        if let Some(c) = chunk {
-            if c.fill > 0 {
-                self.enqueue(backend_fid, c, &wg).await;
-            } else {
-                self.pool.add_permits(1);
-            }
+        match flush_plan(chunk) {
+            FlushStep::SealPartial(c) => self.enqueue(backend_fid, c, &acct, &wg).await,
+            FlushStep::ReleaseEmpty(_) => self.pool.add_permits(1),
+            FlushStep::Nothing => {}
         }
         wg.wait().await;
+        debug_assert!(acct.borrow().is_quiescent(), "barrier passed early");
         self.target.fsync(backend_fid).await;
     }
 }
@@ -313,9 +344,7 @@ mod tests {
     use simkit::rng::SimRng;
     use simkit::time::now;
     use simkit::Sim;
-    use storage_model::params::{
-        AllocParams, CacheParams, DiskParams, VfsCostParams, KB, MB,
-    };
+    use storage_model::params::{AllocParams, CacheParams, DiskParams, VfsCostParams, KB, MB};
     use storage_model::LocalFs;
 
     fn mount(seed: u64) -> (Rc<LocalFs>, Rc<CrfsSim>) {

@@ -58,9 +58,7 @@ impl FuseLayer {
     /// Charges the crossing + copy cost for one request of `bytes`,
     /// serialized through the mount's single FUSE channel.
     pub async fn crossing(&self, bytes: u64) {
-        let copy = Duration::from_secs_f64(
-            bytes as f64 / self.params.copy_bandwidth.max(1) as f64,
-        );
+        let copy = Duration::from_secs_f64(bytes as f64 / self.params.copy_bandwidth.max(1) as f64);
         let _ch = self.channel.acquire(1).await;
         sleep(self.params.crossing + copy).await;
     }

@@ -78,9 +78,7 @@ mod tests {
     use super::*;
     use simkit::rng::SimRng;
     use simkit::Sim;
-    use storage_model::params::{
-        AllocParams, CacheParams, DiskParams, VfsCostParams, MB,
-    };
+    use storage_model::params::{AllocParams, CacheParams, DiskParams, VfsCostParams, MB};
 
     #[test]
     fn ext3_target_roundtrip() {

@@ -6,11 +6,44 @@
 //! checkpoint write pattern the paper profiles — many small regions, a
 //! few huge data regions.
 
-use rand::RngCore;
-use rand::SeedableRng;
-
 /// Page size used throughout the image format.
 pub const PAGE_SIZE: usize = 4096;
+
+/// Self-contained deterministic generator (splitmix64) for synthetic
+/// image payloads; keeps the crate dependency-free and the images
+/// bit-stable across builds. Deliberately mirrors the splitmix64 +
+/// `fill_bytes` in `simkit::rng` — keep the two in sync if the
+/// constants ever change.
+struct PayloadRng {
+    state: u64,
+}
+
+impl PayloadRng {
+    fn new(seed: u64) -> PayloadRng {
+        PayloadRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
 
 /// CPU register file snapshot (x86-64-shaped; contents opaque).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,18 +177,18 @@ impl ProcessImage {
     /// Contents are pseudo-random from `seed` (compressible zero pages are
     /// deliberately avoided so restart verification is meaningful).
     pub fn synthetic(pid: u32, target_bytes: u64, seed: u64) -> ProcessImage {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = PayloadRng::new(seed);
         let mut img = ProcessImage::new(pid);
         rng.fill_bytes(&mut img.registers.bytes);
 
         let mut addr: u64 = 0x0040_0000;
         let mut budget = target_bytes as i64;
         let push = |img: &mut ProcessImage,
-                        addr: &mut u64,
-                        budget: &mut i64,
-                        kind: VmaKind,
-                        bytes: usize,
-                        rng: &mut rand::rngs::StdRng| {
+                    addr: &mut u64,
+                    budget: &mut i64,
+                    kind: VmaKind,
+                    bytes: usize,
+                    rng: &mut PayloadRng| {
             if bytes == 0 {
                 return;
             }
@@ -168,9 +201,30 @@ impl ProcessImage {
         };
 
         // Fixed small regions: code, stack, heap head.
-        push(&mut img, &mut addr, &mut budget, VmaKind::Code, 64 * 1024, &mut rng);
-        push(&mut img, &mut addr, &mut budget, VmaKind::Stack, 128 * 1024, &mut rng);
-        push(&mut img, &mut addr, &mut budget, VmaKind::Heap, 256 * 1024, &mut rng);
+        push(
+            &mut img,
+            &mut addr,
+            &mut budget,
+            VmaKind::Code,
+            64 * 1024,
+            &mut rng,
+        );
+        push(
+            &mut img,
+            &mut addr,
+            &mut budget,
+            VmaKind::Stack,
+            128 * 1024,
+            &mut rng,
+        );
+        push(
+            &mut img,
+            &mut addr,
+            &mut budget,
+            VmaKind::Heap,
+            256 * 1024,
+            &mut rng,
+        );
 
         // Many small anon regions (8-64 KiB): buffers, arenas, DSOs.
         let small_count = 24.min(((target_bytes / (1 << 20)).max(4)) as usize * 2);
@@ -179,7 +233,14 @@ impl ProcessImage {
                 break;
             }
             let sz = ((8 + (rng.next_u32() % 56) as usize) * 1024).min(budget as usize);
-            push(&mut img, &mut addr, &mut budget, VmaKind::Anon, sz, &mut rng);
+            push(
+                &mut img,
+                &mut addr,
+                &mut budget,
+                VmaKind::Anon,
+                sz,
+                &mut rng,
+            );
         }
 
         // A couple of file-backed mappings.
@@ -213,7 +274,14 @@ impl ProcessImage {
                 } else {
                     each
                 };
-                push(&mut img, &mut addr, &mut budget, VmaKind::Anon, sz, &mut rng);
+                push(
+                    &mut img,
+                    &mut addr,
+                    &mut budget,
+                    VmaKind::Anon,
+                    sz,
+                    &mut rng,
+                );
             }
         }
         img

@@ -93,7 +93,9 @@ mod tests {
     fn checkpoint_restart_roundtrip() {
         let img = ProcessImage::synthetic(1234, 3 << 20, 7);
         let mut sink: Vec<u8> = Vec::new();
-        CheckpointWriter::new().write_image(&mut sink, &img).unwrap();
+        CheckpointWriter::new()
+            .write_image(&mut sink, &img)
+            .unwrap();
         let restored = RestartReader::new()
             .read_image(&mut sink.as_slice())
             .unwrap();
@@ -104,7 +106,9 @@ mod tests {
     fn corrupted_payload_is_rejected() {
         let img = ProcessImage::synthetic(1, 1 << 20, 8);
         let mut sink: Vec<u8> = Vec::new();
-        CheckpointWriter::new().write_image(&mut sink, &img).unwrap();
+        CheckpointWriter::new()
+            .write_image(&mut sink, &img)
+            .unwrap();
         // Flip a byte in the middle of the payload.
         let mid = sink.len() / 2;
         sink[mid] ^= 0xFF;
@@ -127,7 +131,9 @@ mod tests {
     fn truncated_stream_is_rejected() {
         let img = ProcessImage::synthetic(1, 1 << 20, 9);
         let mut sink: Vec<u8> = Vec::new();
-        CheckpointWriter::new().write_image(&mut sink, &img).unwrap();
+        CheckpointWriter::new()
+            .write_image(&mut sink, &img)
+            .unwrap();
         sink.truncate(sink.len() - 100);
         assert!(RestartReader::new()
             .read_image(&mut sink.as_slice())

@@ -118,10 +118,7 @@ impl CheckpointWriter {
     }
 
     /// Emits a region's payload with the BLCR size pattern.
-    fn write_payload(
-        put: &mut impl FnMut(&[u8]) -> io::Result<()>,
-        vma: &Vma,
-    ) -> io::Result<()> {
+    fn write_payload(put: &mut impl FnMut(&[u8]) -> io::Result<()>, vma: &Vma) -> io::Result<()> {
         let data = &vma.data;
         if data.len() <= SMALL_REGION || data.len() > HUGE_REGION {
             // Single write: small regions and huge regions alike.

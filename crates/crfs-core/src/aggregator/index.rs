@@ -416,7 +416,9 @@ mod tests {
         let mut co = 0u64;
         let mut x = 12345u64;
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lo = (x >> 33) % 1000;
             let len = 1 + (x >> 17) % 100;
             fi.push(ext(lo, len, co));

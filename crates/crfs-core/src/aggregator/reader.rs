@@ -144,11 +144,7 @@ impl ContainerReader {
                 let mut done = 0u64;
                 while done < e.len {
                     let n = ((e.len - done) as usize).min(staging.len());
-                    read_exact_at(
-                        &*self.file,
-                        e.container_offset + done,
-                        &mut staging[..n],
-                    )?;
+                    read_exact_at(&*self.file, e.container_offset + done, &mut staging[..n])?;
                     out.write_at(e.logical_offset + done, &staging[..n])?;
                     done += n as u64;
                     bytes += n as u64;
@@ -253,9 +249,7 @@ impl ContainerReader {
                         if fid != fi.id {
                             return Err(io::Error::new(
                                 io::ErrorKind::InvalidData,
-                                format!(
-                                    "extent of {path:?} points into a record of file id {fid}"
-                                ),
+                                format!("extent of {path:?} points into a record of file id {fid}"),
                             ));
                         }
                         referenced += e.len;
@@ -316,10 +310,7 @@ fn read_exact_at(file: &dyn BackendFile, offset: u64, buf: &mut [u8]) -> io::Res
     if got != buf.len() {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
-            format!(
-                "short read at {offset}: wanted {}, got {got}",
-                buf.len()
-            ),
+            format!("short read at {offset}: wanted {}, got {got}", buf.len()),
         ));
     }
     Ok(())
@@ -327,8 +318,8 @@ fn read_exact_at(file: &dyn BackendFile, offset: u64, buf: &mut [u8]) -> io::Res
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::writer::AggregatingBackend;
+    use super::*;
     use crate::backend::MemBackend;
 
     fn build_container() -> (Arc<dyn Backend>, String) {
@@ -337,13 +328,18 @@ mod tests {
         agg.mkdir("/ckpt").unwrap();
         for r in 0..3u8 {
             let f = agg
-                .open(&format!("/ckpt/rank{r}.img"), OpenOptions::create_truncate())
+                .open(
+                    &format!("/ckpt/rank{r}.img"),
+                    OpenOptions::create_truncate(),
+                )
                 .unwrap();
             f.write_at(0, &vec![r; 1000]).unwrap();
             f.write_at(1000, &vec![r ^ 0xFF; 500]).unwrap();
         }
         // One file with an overwrite and a truncation, to exercise remap.
-        let f = agg.open("/ckpt/odd.img", OpenOptions::create_truncate()).unwrap();
+        let f = agg
+            .open("/ckpt/odd.img", OpenOptions::create_truncate())
+            .unwrap();
         f.write_at(0, &[1; 300]).unwrap();
         f.write_at(100, &[2; 100]).unwrap();
         f.set_len(250).unwrap();
@@ -440,7 +436,9 @@ mod tests {
         }
         // Truncation carried over.
         assert_eq!(target.file_len("/ckpt/odd.img").unwrap(), 250);
-        let f = target.open("/ckpt/odd.img", OpenOptions::read_only()).unwrap();
+        let f = target
+            .open("/ckpt/odd.img", OpenOptions::read_only())
+            .unwrap();
         let mut odd = vec![0u8; 250];
         f.read_at(0, &mut odd).unwrap();
         assert!(odd[100..200].iter().all(|&b| b == 2));

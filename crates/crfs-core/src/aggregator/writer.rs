@@ -32,7 +32,9 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
-use super::format::{Header, RecordHeader, Trailer, crc32, HEADER_LEN, RECORD_HEADER_LEN, TRAILER_LEN, VERSION};
+use super::format::{
+    crc32, Header, RecordHeader, Trailer, HEADER_LEN, RECORD_HEADER_LEN, TRAILER_LEN, VERSION,
+};
 use super::index::{ContainerIndex, Extent, ReadPiece};
 use crate::backend::{normalize_path, parent_of, Backend, BackendFile, OpenOptions};
 
@@ -79,7 +81,10 @@ impl AggregatingBackend {
     /// Creates a new container at `container_path` on `inner` and returns
     /// the aggregating backend. The parent directory must exist on the
     /// inner backend.
-    pub fn create(inner: &Arc<dyn Backend>, container_path: &str) -> io::Result<AggregatingBackend> {
+    pub fn create(
+        inner: &Arc<dyn Backend>,
+        container_path: &str,
+    ) -> io::Result<AggregatingBackend> {
         let path = normalize_path(container_path)?;
         let file = inner.open(&path, OpenOptions::create_truncate())?;
         let header = Header { version: VERSION }.encode();
@@ -294,7 +299,11 @@ impl Backend for AggregatingBackend {
         if !self.shared.dirs.lock().contains(&p) {
             return Err(io::Error::new(io::ErrorKind::NotFound, p));
         }
-        let prefix = if p == "/" { "/".to_string() } else { format!("{p}/") };
+        let prefix = if p == "/" {
+            "/".to_string()
+        } else {
+            format!("{p}/")
+        };
         let mut names: HashSet<String> = HashSet::new();
         for f in self.shared.index.lock().paths() {
             if let Some(rest) = f.strip_prefix(&prefix) {
@@ -354,9 +363,7 @@ impl BackendFile for AggFile {
             len: data.len() as u64,
             container_offset: record_off + RECORD_HEADER_LEN,
         });
-        self.shared
-            .data_bytes
-            .fetch_add(data.len() as u64, Relaxed);
+        self.shared.data_bytes.fetch_add(data.len() as u64, Relaxed);
         self.shared.records.fetch_add(1, Relaxed);
         Ok(())
     }
@@ -382,7 +389,9 @@ impl BackendFile for AggFile {
                     container_offset,
                     len,
                 } => {
-                    let got = app.file.read_at(container_offset, &mut buf[dst..dst + len])?;
+                    let got = app
+                        .file
+                        .read_at(container_offset, &mut buf[dst..dst + len])?;
                     if got != len {
                         return Err(io::Error::new(
                             io::ErrorKind::UnexpectedEof,
@@ -440,7 +449,9 @@ mod tests {
     #[test]
     fn create_writes_header() {
         let (inner, _agg) = agg();
-        let f = inner.open("/node0.crfsagg", OpenOptions::read_only()).unwrap();
+        let f = inner
+            .open("/node0.crfsagg", OpenOptions::read_only())
+            .unwrap();
         let mut hdr = [0u8; HEADER_LEN as usize];
         assert_eq!(f.read_at(0, &mut hdr).unwrap(), HEADER_LEN as usize);
         Header::decode(&hdr).unwrap();
@@ -554,7 +565,10 @@ mod tests {
         let mut buf = [0u8; 20];
         assert_eq!(f.read_at(0, &mut buf).unwrap(), 20);
         assert!(buf[..10].iter().all(|&b| b == 9));
-        assert!(buf[10..].iter().all(|&b| b == 0), "re-extended range is a hole");
+        assert!(
+            buf[10..].iter().all(|&b| b == 0),
+            "re-extended range is a hole"
+        );
     }
 
     #[test]

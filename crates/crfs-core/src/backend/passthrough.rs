@@ -113,9 +113,7 @@ impl BackendFile for PassthroughFile {
 }
 
 #[cfg(not(unix))]
-compile_error!(
-    "PassthroughBackend currently requires a Unix platform (positioned IO via FileExt)"
-);
+compile_error!("PassthroughBackend currently requires a Unix platform (positioned IO via FileExt)");
 
 #[cfg(test)]
 mod tests {
@@ -125,10 +123,7 @@ mod tests {
     fn scratch_dir(tag: &str) -> PathBuf {
         static UNIQ: AtomicU64 = AtomicU64::new(0);
         let n = UNIQ.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "crfs-test-{tag}-{}-{n}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("crfs-test-{tag}-{}-{n}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -171,7 +166,9 @@ mod tests {
     fn path_escape_rejected() {
         let dir = scratch_dir("esc");
         let be = PassthroughBackend::new(&dir).unwrap();
-        assert!(be.open("/../../etc/passwd", OpenOptions::read_only()).is_err());
+        assert!(be
+            .open("/../../etc/passwd", OpenOptions::read_only())
+            .is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

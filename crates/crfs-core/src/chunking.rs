@@ -142,13 +142,32 @@ pub fn apply_plan(
     current
 }
 
+/// What to do with a file's current chunk at a close/fsync/flush point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushStep {
+    /// The chunk holds data: seal and enqueue it (a "partial seal").
+    SealPartial(ChunkState),
+    /// The chunk is empty: return its buffer to the pool unenqueued.
+    ReleaseEmpty(ChunkState),
+    /// No current chunk; nothing to do before the barrier.
+    Nothing,
+}
+
+/// Decides the flush action for a current chunk — the close/fsync prologue
+/// both the threaded filesystem and the simulator must agree on (paper
+/// §IV-C/D2).
+pub fn flush_plan(current: Option<ChunkState>) -> FlushStep {
+    match current {
+        Some(c) if c.fill > 0 => FlushStep::SealPartial(c),
+        Some(c) => FlushStep::ReleaseEmpty(c),
+        None => FlushStep::Nothing,
+    }
+}
+
 /// Counts how many `Seal` steps a plan contains (sealed chunks become
 /// work-queue items — the paper's "write chunk count").
 pub fn seals_in(steps: &[PlanStep]) -> usize {
-    steps
-        .iter()
-        .filter(|s| matches!(s, PlanStep::Seal))
-        .count()
+    steps.iter().filter(|s| matches!(s, PlanStep::Seal)).count()
 }
 
 #[cfg(test)]
@@ -167,22 +186,37 @@ mod tests {
         let plan = plan_write(None, 0, 100, CS);
         assert_eq!(
             plan,
-            vec![PlanStep::Open { file_offset: 0 }, PlanStep::Append { len: 100 }]
+            vec![
+                PlanStep::Open { file_offset: 0 },
+                PlanStep::Append { len: 100 }
+            ]
         );
         let st = apply_plan(None, &plan, CS).unwrap();
-        assert_eq!(st, ChunkState { file_offset: 0, fill: 100 });
+        assert_eq!(
+            st,
+            ChunkState {
+                file_offset: 0,
+                fill: 100
+            }
+        );
     }
 
     #[test]
     fn appends_coalesce_into_existing_chunk() {
-        let cur = Some(ChunkState { file_offset: 0, fill: 100 });
+        let cur = Some(ChunkState {
+            file_offset: 0,
+            fill: 100,
+        });
         let plan = plan_write(cur, 100, 50, CS);
         assert_eq!(plan, vec![PlanStep::Append { len: 50 }]);
     }
 
     #[test]
     fn exactly_filling_chunk_seals_it() {
-        let cur = Some(ChunkState { file_offset: 0, fill: 1000 });
+        let cur = Some(ChunkState {
+            file_offset: 0,
+            fill: 1000,
+        });
         let plan = plan_write(cur, 1000, 24, CS);
         assert_eq!(plan, vec![PlanStep::Append { len: 24 }, PlanStep::Seal]);
         assert_eq!(apply_plan(cur, &plan, CS), None);
@@ -210,7 +244,10 @@ mod tests {
 
     #[test]
     fn non_sequential_write_seals_partial_chunk() {
-        let cur = Some(ChunkState { file_offset: 0, fill: 10 });
+        let cur = Some(ChunkState {
+            file_offset: 0,
+            fill: 10,
+        });
         let plan = plan_write(cur, 5000, 8, CS);
         assert_eq!(
             plan,
@@ -225,9 +262,27 @@ mod tests {
     #[test]
     fn rewrite_at_same_offset_is_discontinuity_too() {
         // Overwriting earlier bytes must not append into the chunk.
-        let cur = Some(ChunkState { file_offset: 0, fill: 10 });
+        let cur = Some(ChunkState {
+            file_offset: 0,
+            fill: 10,
+        });
         let plan = plan_write(cur, 0, 4, CS);
         assert_eq!(plan[0], PlanStep::Seal);
+    }
+
+    #[test]
+    fn flush_plan_matches_fill_state() {
+        assert_eq!(flush_plan(None), FlushStep::Nothing);
+        let empty = ChunkState {
+            file_offset: 64,
+            fill: 0,
+        };
+        assert_eq!(flush_plan(Some(empty)), FlushStep::ReleaseEmpty(empty));
+        let partial = ChunkState {
+            file_offset: 64,
+            fill: 9,
+        };
+        assert_eq!(flush_plan(Some(partial)), FlushStep::SealPartial(partial));
     }
 
     #[test]
@@ -237,7 +292,10 @@ mod tests {
         let plan = plan_write(None, 1024, 10, CS);
         assert_eq!(
             plan,
-            vec![PlanStep::Open { file_offset: 1024 }, PlanStep::Append { len: 10 }]
+            vec![
+                PlanStep::Open { file_offset: 1024 },
+                PlanStep::Append { len: 10 }
+            ]
         );
     }
 }

@@ -3,6 +3,37 @@
 use crate::error::{CrfsError, Result};
 use std::time::Duration;
 
+/// Which IO engine a mount dispatches sealed chunks through.
+///
+/// See [`crate::engine`] for the engine implementations and contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Work queue + `io_threads` workers, one backend write per chunk —
+    /// the paper's §IV-B design and the default.
+    #[default]
+    Threaded,
+    /// Threaded, plus merging of adjacent sealed chunks of a file into
+    /// single larger backend writes.
+    Coalescing,
+    /// Synchronous dispatch on the writer's thread; deterministic, for
+    /// tests and baselines.
+    Inline,
+}
+
+impl EngineKind {
+    /// Parses an engine name (`threaded`, `coalescing`, `inline`) as
+    /// used by CLI flags and the examples' `CRFS_ENGINE` environment
+    /// selector.
+    pub fn parse(name: &str) -> Option<EngineKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "threaded" => Some(EngineKind::Threaded),
+            "coalescing" => Some(EngineKind::Coalescing),
+            "inline" => Some(EngineKind::Inline),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration for a CRFS mount.
 ///
 /// Defaults follow the paper's evaluation (§V-B): a 16 MiB buffer pool
@@ -36,6 +67,8 @@ pub struct CrfsConfig {
     /// reproduces the paper's raw pass-through reads (safe for
     /// checkpoint/restart usage, where reads only happen after `close`).
     pub read_flushes: bool,
+    /// IO engine dispatching sealed chunks to the backend.
+    pub engine: EngineKind,
 }
 
 impl Default for CrfsConfig {
@@ -47,6 +80,7 @@ impl Default for CrfsConfig {
             max_write: 128 << 10,
             crossing_delay: None,
             read_flushes: true,
+            engine: EngineKind::Threaded,
         }
     }
 }
@@ -67,6 +101,12 @@ impl CrfsConfig {
     /// Convenience builder: sets the IO worker-thread count.
     pub fn with_io_threads(mut self, n: usize) -> Self {
         self.io_threads = n;
+        self
+    }
+
+    /// Convenience builder: selects the IO engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -116,6 +156,21 @@ mod tests {
         assert_eq!(c.io_threads, 4);
         assert_eq!(c.max_write, 128 << 10);
         assert_eq!(c.pool_chunks(), 4);
+        assert_eq!(c.engine, EngineKind::Threaded);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn engine_kind_parses_and_selects() {
+        assert_eq!(EngineKind::parse("Threaded"), Some(EngineKind::Threaded));
+        assert_eq!(EngineKind::parse(" inline "), Some(EngineKind::Inline));
+        assert_eq!(
+            EngineKind::parse("coalescing"),
+            Some(EngineKind::Coalescing)
+        );
+        assert_eq!(EngineKind::parse("fancy"), None);
+        let c = CrfsConfig::default().with_engine(EngineKind::Coalescing);
+        assert_eq!(c.engine, EngineKind::Coalescing);
         c.validate().unwrap();
     }
 
@@ -142,8 +197,10 @@ mod tests {
             .with_chunk_size(16 << 20)
             .validate()
             .is_err());
-        let mut c = CrfsConfig::default();
-        c.max_write = 0;
+        let c = CrfsConfig {
+            max_write: 0,
+            ..CrfsConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -1,0 +1,82 @@
+//! Synchronous engine: submission is completion.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+use super::{refuse, write_and_retire, IoEngine, SealedChunk};
+use crate::error::Result;
+use crate::pool::BufferPool;
+use crate::stats::CrfsStats;
+
+#[derive(Default)]
+struct InlineState {
+    shut: bool,
+    /// Submits currently executing their backend write.
+    in_flight: usize,
+}
+
+/// Writes every sealed chunk on the submitting thread before `submit`
+/// returns. No threads, no queue, no reordering: the deterministic
+/// baseline for tests and for measuring what the asynchronous engines
+/// buy. Barrier accounting still flows through the shared ledger, so
+/// close/fsync semantics are identical — they just never block.
+pub struct InlineEngine {
+    pool: Arc<BufferPool>,
+    stats: Arc<CrfsStats>,
+    state: Mutex<InlineState>,
+    cv: Condvar,
+}
+
+impl InlineEngine {
+    /// Creates the engine; nothing to spawn.
+    pub fn new(pool: Arc<BufferPool>, stats: Arc<CrfsStats>) -> InlineEngine {
+        InlineEngine {
+            pool,
+            stats,
+            state: Mutex::new(InlineState::default()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl IoEngine for InlineEngine {
+    fn submit(&self, chunk: SealedChunk) -> Result<()> {
+        {
+            let mut st = self.state.lock();
+            if st.shut {
+                drop(st);
+                return Err(refuse(&self.stats, &self.pool, chunk));
+            }
+            st.in_flight += 1;
+        }
+        write_and_retire(&self.stats, &self.pool, chunk);
+        let mut st = self.state.lock();
+        st.in_flight -= 1;
+        if st.in_flight == 0 {
+            self.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    fn drain(&self) {
+        let mut st = self.state.lock();
+        while st.in_flight > 0 {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    fn shutdown(&self) {
+        // Refuse new submits, then wait out the ones already past the
+        // gate, so "shutdown returned" means the backend is quiet — the
+        // same guarantee the threaded engines give via their queue drain.
+        let mut st = self.state.lock();
+        st.shut = true;
+        while st.in_flight > 0 {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+}

@@ -1,0 +1,314 @@
+//! The engine work queue (paper §IV-B "Work Queue and IO Throttling").
+//!
+//! A bounded-by-the-buffer-pool FIFO plus the worker-thread scaffolding
+//! shared by the threaded engines. Close/unmount semantics follow the
+//! paper's drain rule: after [`WorkQueue::close`], producers are refused
+//! but consumers keep draining until the queue is empty.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io;
+use std::sync::Arc;
+use std::thread;
+
+struct State<T> {
+    items: VecDeque<T>,
+    /// Items popped whose [`InFlightGuard`] has not been dropped yet.
+    in_flight: usize,
+    closed: bool,
+}
+
+/// Multi-producer / multi-consumer FIFO with tail-merge support.
+pub(crate) struct WorkQueue<T> {
+    state: Mutex<State<T>>,
+    /// Wakes idle consumers: an item arrived or the queue closed.
+    items_cv: Condvar,
+    /// Wakes [`WorkQueue::drain`] waiters: the queue may have gone quiet.
+    quiet_cv: Condvar,
+}
+
+/// Marks one popped item as in flight until dropped — dropping (even by
+/// panic unwind) re-arms [`WorkQueue::drain`], so a worker that dies
+/// mid-item cannot wedge shutdown/unmount forever.
+pub(crate) struct InFlightGuard<'a, T> {
+    queue: &'a WorkQueue<T>,
+}
+
+impl<T> Drop for InFlightGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut st = self.queue.state.lock();
+        st.in_flight -= 1;
+        if st.items.is_empty() && st.in_flight == 0 {
+            self.queue.quiet_cv.notify_all();
+        }
+    }
+}
+
+impl<T> WorkQueue<T> {
+    pub fn new() -> WorkQueue<T> {
+        WorkQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                in_flight: 0,
+                closed: false,
+            }),
+            items_cv: Condvar::new(),
+            quiet_cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, or returns it if the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        self.push_or_merge(item, |_, item| Some(item))
+    }
+
+    /// Enqueues `item`, first offering it to `merge` together with the
+    /// current tail (both under the queue lock). `merge` returns `None`
+    /// if it absorbed the item into the tail, or gives it back to be
+    /// enqueued as its own entry. Returns the item if the queue is closed.
+    pub fn push_or_merge(
+        &self,
+        item: T,
+        merge: impl FnOnce(&mut T, T) -> Option<T>,
+    ) -> Result<(), T> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(item);
+        }
+        let item = match st.items.back_mut() {
+            Some(tail) => match merge(tail, item) {
+                Some(item) => item,
+                None => return Ok(()), // merged into the tail
+            },
+            None => item,
+        };
+        st.items.push_back(item);
+        drop(st);
+        self.items_cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained. The item counts as
+    /// in flight until the returned guard is dropped.
+    pub fn pop(&self) -> Option<(T, InFlightGuard<'_, T>)> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                st.in_flight += 1;
+                return Some((item, InFlightGuard { queue: self }));
+            }
+            if st.closed {
+                return None;
+            }
+            self.items_cv.wait(&mut st);
+        }
+    }
+
+    /// Blocks until every queued item has been popped *and* its guard
+    /// dropped.
+    pub fn drain(&self) {
+        let mut st = self.state.lock();
+        while !st.items.is_empty() || st.in_flight > 0 {
+            self.quiet_cv.wait(&mut st);
+        }
+    }
+
+    /// Closes the queue: producers are refused, consumers drain what is
+    /// left and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.items_cv.notify_all();
+        self.quiet_cv.notify_all();
+    }
+
+    /// Items currently queued (not counting in-flight ones).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+}
+
+/// A [`WorkQueue`] drained by named worker threads — the scaffolding the
+/// threaded and coalescing engines share (spawn, drain, race-free
+/// idempotent shutdown).
+pub(crate) struct WorkerPool<T> {
+    queue: Arc<WorkQueue<T>>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawns `count` workers named `{name}-{i}`, each running `run` on
+    /// every popped item.
+    pub fn spawn<F>(count: usize, name: &str, run: F) -> io::Result<WorkerPool<T>>
+    where
+        F: Fn(T) + Send + Clone + 'static,
+    {
+        let queue = Arc::new(WorkQueue::new());
+        let mut handles = Vec::with_capacity(count);
+        for i in 0..count {
+            let queue = Arc::clone(&queue);
+            let run = run.clone();
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        while let Some((item, _in_flight)) = queue.pop() {
+                            run(item);
+                        }
+                    })?,
+            );
+        }
+        Ok(WorkerPool {
+            queue,
+            handles: Mutex::new(handles),
+        })
+    }
+
+    /// Enqueues `item`, or returns it if the pool has shut down.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        self.queue.push(item)
+    }
+
+    /// See [`WorkQueue::push_or_merge`].
+    pub fn push_or_merge(
+        &self,
+        item: T,
+        merge: impl FnOnce(&mut T, T) -> Option<T>,
+    ) -> Result<(), T> {
+        self.queue.push_or_merge(item, merge)
+    }
+
+    /// Blocks until every accepted item has been processed.
+    pub fn drain(&self) {
+        self.queue.drain();
+    }
+
+    /// Stops the pool: refuses new items, drains accepted ones, joins the
+    /// workers. Idempotent and safe to call concurrently — the queue's
+    /// `closed` flag is the single source of truth, so no shutdown caller
+    /// can race a push into a half-closed pool; whichever caller finds
+    /// worker handles joins them, and every caller waits for quiet.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+        self.queue.drain();
+    }
+}
+
+impl<T> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        self.queue.close();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_roundtrip_and_close() {
+        let q = WorkQueue::new();
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().map(|(v, _g)| v), Some(1));
+        q.close();
+        // Drains the remainder even after close.
+        assert_eq!(q.pop().map(|(v, _g)| v), Some(2));
+        assert!(q.pop().is_none());
+        assert!(q.push(3).is_err());
+    }
+
+    #[test]
+    fn merge_absorbs_into_tail() {
+        let q = WorkQueue::new();
+        q.push(10).unwrap();
+        q.push_or_merge(5, |tail, item| {
+            *tail += item;
+            None
+        })
+        .unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(v, _g)| v), Some(15));
+    }
+
+    #[test]
+    fn merge_on_empty_queue_enqueues() {
+        let q = WorkQueue::new();
+        q.push_or_merge(5, |_, _| panic!("no tail to merge into"))
+            .unwrap();
+        assert_eq!(q.pop().map(|(v, _g)| v), Some(5));
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(WorkQueue::new());
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop().map(|(v, _g)| v));
+        thread::sleep(Duration::from_millis(20));
+        q.push(7).unwrap();
+        assert_eq!(h.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn drain_waits_for_in_flight_items() {
+        let q = Arc::new(WorkQueue::new());
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            let (v, _guard) = q2.pop().unwrap();
+            thread::sleep(Duration::from_millis(30));
+            v
+        });
+        thread::sleep(Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        q.drain();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(10),
+            "drain returned early"
+        );
+        assert_eq!(h.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn panicking_worker_does_not_wedge_drain() {
+        let pool: WorkerPool<u32> = WorkerPool::spawn(1, "boom", |v| {
+            if v == 13 {
+                panic!("injected worker failure");
+            }
+        })
+        .unwrap();
+        pool.push(13).unwrap();
+        // The guard's unwind drop releases the in-flight count, so both
+        // drain() and shutdown() terminate despite the dead worker.
+        pool.drain();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn worker_pool_processes_and_shuts_down() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let pool = WorkerPool::spawn(3, "t", move |v: usize| {
+            hits2.fetch_add(v, Relaxed);
+        })
+        .unwrap();
+        for _ in 0..100 {
+            pool.push(1).unwrap();
+        }
+        pool.drain();
+        assert_eq!(hits.load(Relaxed), 100);
+        pool.shutdown();
+        pool.shutdown(); // idempotent
+        assert!(pool.push(1).is_err());
+        assert_eq!(hits.load(Relaxed), 100);
+    }
+}

@@ -1,0 +1,60 @@
+//! The paper's default engine: FIFO work queue + N IO worker threads.
+
+use std::sync::Arc;
+
+use super::queue::WorkerPool;
+use super::{refuse, write_and_retire, IoEngine, SealedChunk};
+use crate::error::{CrfsError, Result};
+use crate::pool::BufferPool;
+use crate::stats::CrfsStats;
+
+/// One chunk in, one backend `write_at` out, `io_threads` at a time —
+/// the paper's §IV-B worker pool, preserving its default-4 throttling
+/// behavior and close/fsync barrier accounting.
+pub struct ThreadedEngine {
+    workers: WorkerPool<SealedChunk>,
+    pool: Arc<BufferPool>,
+    stats: Arc<CrfsStats>,
+}
+
+impl ThreadedEngine {
+    /// Spawns `io_threads` workers draining the engine queue.
+    pub fn new(
+        io_threads: usize,
+        pool: Arc<BufferPool>,
+        stats: Arc<CrfsStats>,
+    ) -> Result<ThreadedEngine> {
+        let worker_pool = Arc::clone(&pool);
+        let worker_stats = Arc::clone(&stats);
+        let workers = WorkerPool::spawn(io_threads, "crfs-io", move |chunk| {
+            write_and_retire(&worker_stats, &worker_pool, chunk);
+        })
+        .map_err(CrfsError::Io)?;
+        Ok(ThreadedEngine {
+            workers,
+            pool,
+            stats,
+        })
+    }
+}
+
+impl IoEngine for ThreadedEngine {
+    fn submit(&self, chunk: SealedChunk) -> Result<()> {
+        match self.workers.push(chunk) {
+            Ok(()) => Ok(()),
+            Err(chunk) => Err(refuse(&self.stats, &self.pool, chunk)),
+        }
+    }
+
+    fn drain(&self) {
+        self.workers.drain();
+    }
+
+    fn shutdown(&self) {
+        self.workers.shutdown();
+    }
+
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+}

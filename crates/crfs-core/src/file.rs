@@ -4,7 +4,9 @@
 //! entry carries a reference count, the file's current buffer chunk, and
 //! two counters — the "write chunk count" (chunks enqueued) and the
 //! "complete chunk count" (chunks the IO threads finished). `close()` and
-//! `fsync()` block until the counters match.
+//! `fsync()` block until the counters match. The counters themselves live
+//! in the shared [`ChunkAccounting`] ledger (also used by the cluster
+//! simulator); this module adds the blocking wait on top.
 
 use parking_lot::{Condvar, Mutex};
 use std::io;
@@ -13,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use crate::backend::BackendFile;
 use crate::chunking::ChunkState;
+use crate::engine::account::ChunkAccounting;
 
 /// A file's current aggregation chunk: a pool buffer plus its placement.
 pub struct CurrentChunk {
@@ -20,30 +23,6 @@ pub struct CurrentChunk {
     pub buf: Vec<u8>,
     /// Placement and fill level.
     pub state: ChunkState,
-}
-
-/// `io::Error` is not `Clone`; persist kind + message so the error can be
-/// re-surfaced at every later synchronization point.
-#[derive(Debug, Clone)]
-struct StoredError {
-    kind: io::ErrorKind,
-    msg: String,
-}
-
-impl StoredError {
-    fn to_io(&self) -> io::Error {
-        io::Error::new(self.kind, self.msg.clone())
-    }
-}
-
-#[derive(Default)]
-struct ChunkCounts {
-    /// Chunks enqueued to the work queue ("write chunk count").
-    sealed: u64,
-    /// Chunks the IO workers finished ("complete chunk count").
-    completed: u64,
-    /// First asynchronous write error, kept until the entry dies.
-    error: Option<StoredError>,
 }
 
 /// One open file: shared by every handle opened on the same path.
@@ -60,7 +39,7 @@ pub struct FileEntry {
     /// Highest byte offset written through CRFS (pending or completed),
     /// so `len()` can account for not-yet-flushed data.
     pub max_extent: AtomicU64,
-    counts: Mutex<ChunkCounts>,
+    counts: Mutex<ChunkAccounting>,
     cv: Condvar,
 }
 
@@ -74,30 +53,20 @@ impl FileEntry {
             refcount: AtomicUsize::new(1),
             chunk: Mutex::new(None),
             max_extent: AtomicU64::new(initial_len),
-            counts: Mutex::new(ChunkCounts::default()),
+            counts: Mutex::new(ChunkAccounting::new()),
             cv: Condvar::new(),
         }
     }
 
     /// Registers a chunk as enqueued (bumps the write chunk count).
     pub fn note_sealed(&self) {
-        self.counts.lock().sealed += 1;
+        self.counts.lock().note_sealed();
     }
 
     /// Registers a chunk as finished by an IO worker, recording the first
     /// error if the backend write failed, and wakes barrier waiters.
     pub fn note_completed(&self, result: io::Result<()>) {
-        let mut c = self.counts.lock();
-        c.completed += 1;
-        if let Err(e) = result {
-            if c.error.is_none() {
-                c.error = Some(StoredError {
-                    kind: e.kind(),
-                    msg: e.to_string(),
-                });
-            }
-        }
-        debug_assert!(c.completed <= c.sealed, "completed more than sealed");
+        self.counts.lock().note_completed(result);
         self.cv.notify_all();
     }
 
@@ -105,25 +74,24 @@ impl FileEntry {
     /// sticky asynchronous error, if any. Returns the time spent blocked.
     pub fn wait_outstanding(&self) -> (Duration, Option<io::Error>) {
         let mut c = self.counts.lock();
-        if c.completed == c.sealed {
-            return (Duration::ZERO, c.error.as_ref().map(StoredError::to_io));
+        if c.is_quiescent() {
+            return (Duration::ZERO, c.error());
         }
         let t0 = Instant::now();
-        while c.completed < c.sealed {
+        while !c.is_quiescent() {
             self.cv.wait(&mut c);
         }
-        (t0.elapsed(), c.error.as_ref().map(StoredError::to_io))
+        (t0.elapsed(), c.error())
     }
 
     /// Chunks currently in flight (sealed but not completed).
     pub fn outstanding(&self) -> u64 {
-        let c = self.counts.lock();
-        c.sealed - c.completed
+        self.counts.lock().outstanding()
     }
 
     /// The sticky asynchronous error, if one occurred.
     pub fn async_error(&self) -> Option<io::Error> {
-        self.counts.lock().error.as_ref().map(StoredError::to_io)
+        self.counts.lock().error()
     }
 
     /// Logical file length: the larger of the backend length and the
@@ -140,9 +108,9 @@ impl std::fmt::Debug for FileEntry {
         f.debug_struct("FileEntry")
             .field("path", &self.path)
             .field("refcount", &self.refcount.load(Relaxed))
-            .field("sealed", &c.sealed)
-            .field("completed", &c.completed)
-            .field("has_error", &c.error.is_some())
+            .field("sealed", &c.sealed())
+            .field("completed", &c.completed())
+            .field("has_error", &c.error().is_some())
             .finish()
     }
 }

@@ -1,41 +1,34 @@
-//! The CRFS filesystem: write aggregation, the work queue, IO worker
-//! threads, and the POSIX-like public API.
+//! The CRFS filesystem front end: write aggregation, the open-file
+//! table, and the POSIX-like public API. Sealed chunks are dispatched
+//! through a pluggable [`IoEngine`](crate::engine::IoEngine) — see
+//! [`crate::engine`] for the threaded/coalescing/inline implementations.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
-use std::thread;
-use std::time::Instant;
 
 use crate::backend::{normalize_path, parent_of, Backend, OpenOptions};
-use crate::chunking::{plan_write, ChunkState, PlanStep};
+use crate::chunking::{flush_plan, plan_write, ChunkState, FlushStep, PlanStep};
 use crate::config::CrfsConfig;
+use crate::engine::{IoEngine, SealedChunk};
 use crate::error::{CrfsError, Result};
 use crate::file::{CurrentChunk, FileEntry};
 use crate::pool::BufferPool;
 use crate::stats::{CrfsStats, StatsSnapshot};
 
-/// A sealed chunk travelling through the work queue to an IO thread.
-///
-/// Carries exactly the metadata the paper lists: "target file handler,
-/// offset into the file, valid data size in the chunk".
-struct WorkItem {
-    entry: Arc<FileEntry>,
-    buf: Vec<u8>,
-    len: usize,
-    offset: u64,
-}
-
-/// State shared between the front end and the IO workers.
+/// State shared between the front end and the IO engine.
 struct Shared {
     backend: Arc<dyn Backend>,
     config: CrfsConfig,
-    pool: BufferPool,
+    pool: Arc<BufferPool>,
     table: Mutex<HashMap<String, Arc<FileEntry>>>,
-    stats: CrfsStats,
+    stats: Arc<CrfsStats>,
+    /// The IO dispatch strategy. Plain `Arc` — the per-write path takes
+    /// no lock to reach the engine (the old design funnelled every seal
+    /// through a `Mutex<Option<Sender>>`).
+    engine: Arc<dyn IoEngine>,
 }
 
 /// A mounted CRFS filesystem.
@@ -46,43 +39,36 @@ struct Shared {
 /// process in the paper's setting).
 pub struct Crfs {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<thread::JoinHandle<()>>>,
-    sender: Mutex<Option<Sender<WorkItem>>>,
     unmounted: AtomicBool,
+    /// Held for the whole of the winning `unmount`'s teardown so racing
+    /// unmounts (and `Drop`) cannot return before the flush + engine
+    /// shutdown completed.
+    teardown: Mutex<()>,
 }
 
 impl Crfs {
     /// Mounts CRFS over `backend` with the given configuration.
     ///
-    /// Allocates the buffer pool and starts `config.io_threads` IO worker
-    /// threads, as the paper does at mount time.
+    /// Allocates the buffer pool and starts the configured IO engine
+    /// (by default `config.io_threads` worker threads, as the paper does
+    /// at mount time).
     pub fn mount(backend: Arc<dyn Backend>, config: CrfsConfig) -> Result<Arc<Crfs>> {
         config.validate()?;
-        let pool = BufferPool::new(config.chunk_size, config.pool_chunks());
+        let pool = Arc::new(BufferPool::new(config.chunk_size, config.pool_chunks()));
+        let stats = Arc::new(CrfsStats::new());
+        let engine = crate::engine::build(&config, Arc::clone(&pool), Arc::clone(&stats))?;
         let shared = Arc::new(Shared {
             backend,
             config,
             pool,
             table: Mutex::new(HashMap::new()),
-            stats: CrfsStats::new(),
+            stats,
+            engine,
         });
-        let (tx, rx) = unbounded::<WorkItem>();
-        let mut workers = Vec::with_capacity(shared.config.io_threads);
-        for i in 0..shared.config.io_threads {
-            let rx: Receiver<WorkItem> = rx.clone();
-            let shared = Arc::clone(&shared);
-            workers.push(
-                thread::Builder::new()
-                    .name(format!("crfs-io-{i}"))
-                    .spawn(move || io_worker(rx, shared))
-                    .map_err(CrfsError::Io)?,
-            );
-        }
         Ok(Arc::new(Crfs {
             shared,
-            workers: Mutex::new(workers),
-            sender: Mutex::new(Some(tx)),
             unmounted: AtomicBool::new(false),
+            teardown: Mutex::new(()),
         }))
     }
 
@@ -94,6 +80,11 @@ impl Crfs {
     /// Instrumentation snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Name of the active IO engine (`threaded`, `coalescing`, `inline`).
+    pub fn engine_name(&self) -> &'static str {
+        self.shared.engine.name()
     }
 
     /// The backing filesystem.
@@ -227,16 +218,11 @@ impl Crfs {
             match step {
                 PlanStep::Seal => {
                     let cur = slot.take().expect("plan seals existing chunk");
-                    let full = cur.state.fill == chunk_size;
-                    if full {
-                        self.seal_chunk(entry, cur)?;
-                    } else {
-                        self.shared
-                            .stats
-                            .discontinuity_seals
-                            .fetch_add(1, Relaxed);
-                        self.seal_chunk(entry, cur)?;
+                    if cur.state.fill != chunk_size {
+                        // Partial chunk orphaned by a non-sequential write.
+                        self.shared.stats.discontinuity_seals.fetch_add(1, Relaxed);
                     }
+                    self.seal_chunk(entry, cur)?;
                 }
                 PlanStep::Open { file_offset } => {
                     let Some((buf, waited)) = self.shared.pool.acquire() else {
@@ -278,21 +264,16 @@ impl Crfs {
         Ok(())
     }
 
-    /// Enqueues a sealed chunk for asynchronous writing.
+    /// Hands a sealed chunk to the IO engine for asynchronous writing.
     fn seal_chunk(&self, entry: &Arc<FileEntry>, cur: CurrentChunk) -> Result<()> {
         entry.note_sealed();
         self.shared.stats.chunks_sealed.fetch_add(1, Relaxed);
-        let item = WorkItem {
+        self.shared.engine.submit(SealedChunk {
             entry: Arc::clone(entry),
             len: cur.state.fill,
             offset: cur.state.file_offset,
             buf: cur.buf,
-        };
-        let sender = self.sender.lock();
-        match sender.as_ref() {
-            Some(tx) => tx.send(item).map_err(|_| CrfsError::Unmounted),
-            None => Err(CrfsError::Unmounted),
-        }
+        })
     }
 
     /// Seals the entry's partial chunk (if any) and waits for all
@@ -300,13 +281,16 @@ impl Crfs {
     fn flush_entry(&self, entry: &Arc<FileEntry>) -> Result<()> {
         {
             let mut slot = entry.chunk.lock();
-            if let Some(cur) = slot.take() {
-                if cur.state.fill > 0 {
+            let step = flush_plan(slot.as_ref().map(|c| c.state));
+            match (step, slot.take()) {
+                (FlushStep::SealPartial(_), Some(cur)) => {
                     self.shared.stats.partial_seals.fetch_add(1, Relaxed);
                     self.seal_chunk(entry, cur)?;
-                } else {
+                }
+                (FlushStep::ReleaseEmpty(_), Some(cur)) => {
                     self.shared.pool.release(cur.buf);
                 }
+                _ => {}
             }
         }
         let (waited, err) = entry.wait_outstanding();
@@ -476,17 +460,23 @@ impl Crfs {
     // unmount
     // ------------------------------------------------------------------
 
-    /// Unmounts the filesystem: flushes every open file, drains the work
-    /// queue, stops the IO workers, and closes the buffer pool.
+    /// Unmounts the filesystem: flushes every open file, drains and stops
+    /// the IO engine, and closes the buffer pool.
     ///
-    /// Idempotent; later calls return [`CrfsError::Unmounted`]. Handles
-    /// still open become inert (their operations fail with `Unmounted`).
+    /// Idempotent and safe to race from multiple threads (including the
+    /// implicit unmount in `Drop`): exactly one caller performs the
+    /// teardown; every other caller blocks until that teardown has fully
+    /// completed (open files flushed, engine stopped) and then returns
+    /// [`CrfsError::Unmounted`]. Handles still open become inert (their
+    /// operations fail with `Unmounted`).
     pub fn unmount(&self) -> Result<()> {
+        // The winner holds `teardown` across the entire flush + shutdown,
+        // so losers parked here return only after the mount is quiet.
+        let _teardown = self.teardown.lock();
         if self.unmounted.swap(true, Relaxed) {
             return Err(CrfsError::Unmounted);
         }
-        let entries: Vec<Arc<FileEntry>> =
-            self.shared.table.lock().values().cloned().collect();
+        let entries: Vec<Arc<FileEntry>> = self.shared.table.lock().values().cloned().collect();
         let mut first_err = None;
         for e in entries {
             if let Err(err) = self.flush_entry(&e) {
@@ -494,11 +484,8 @@ impl Crfs {
             }
         }
         self.shared.table.lock().clear();
-        // Dropping the sender lets workers drain and exit.
-        *self.sender.lock() = None;
-        for h in self.workers.lock().drain(..) {
-            let _ = h.join();
-        }
+        // Refuses new chunks, drains accepted ones, joins the workers.
+        self.shared.engine.shutdown();
         self.shared.pool.close();
         match first_err {
             Some(e) => Err(e),
@@ -532,26 +519,6 @@ fn annotate(e: io::Error, path: &str) -> CrfsError {
         io::ErrorKind::NotFound => CrfsError::NotFound(path.to_string()),
         io::ErrorKind::AlreadyExists => CrfsError::AlreadyExists(path.to_string()),
         _ => CrfsError::Io(e),
-    }
-}
-
-/// The IO worker loop (paper §IV-B "Work Queue and IO Throttling"): take a
-/// chunk, write it with one large `write_at`, bump the complete count,
-/// recycle the buffer.
-fn io_worker(rx: Receiver<WorkItem>, shared: Arc<Shared>) {
-    while let Ok(item) = rx.recv() {
-        let t0 = Instant::now();
-        let res = item.entry.file.write_at(item.offset, &item.buf[..item.len]);
-        shared
-            .stats
-            .backend_write_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
-        if res.is_ok() {
-            shared.stats.bytes_out.fetch_add(item.len as u64, Relaxed);
-        }
-        shared.stats.chunks_completed.fetch_add(1, Relaxed);
-        item.entry.note_completed(res);
-        shared.pool.release(item.buf);
     }
 }
 
@@ -731,6 +698,7 @@ impl std::fmt::Debug for CrfsFile {
 mod tests {
     use super::*;
     use crate::backend::{FailureMode, FaultyBackend, MemBackend};
+    use std::thread;
 
     fn mount_mem(config: CrfsConfig) -> (Arc<Crfs>, Arc<MemBackend>) {
         let be = Arc::new(MemBackend::new());
@@ -982,7 +950,7 @@ mod tests {
     fn write_after_truncate_lands_at_logical_offset() {
         let (fs, be) = mount_mem(small_config());
         let f = fs.create("/wt").unwrap();
-        f.write(&vec![1u8; 100]).unwrap();
+        f.write(&[1u8; 100]).unwrap();
         f.set_len(0).unwrap();
         f.write_at(0, b"fresh").unwrap();
         f.close().unwrap();
@@ -1014,6 +982,211 @@ mod tests {
         let g = fs.create("/c2").unwrap();
         g.write(b"x").unwrap();
         drop(g);
+    }
+
+    // ------------------------------------------------------------------
+    // engine semantics, across all three IoEngine implementations
+    // ------------------------------------------------------------------
+
+    use crate::backend::{ThrottleParams, ThrottledBackend};
+    use crate::config::EngineKind;
+
+    const ALL_ENGINES: [EngineKind; 3] = [
+        EngineKind::Threaded,
+        EngineKind::Coalescing,
+        EngineKind::Inline,
+    ];
+
+    #[test]
+    fn every_engine_preserves_write_close_semantics() {
+        for engine in ALL_ENGINES {
+            let (fs, be) = mount_mem(small_config().with_engine(engine));
+            assert_eq!(
+                fs.engine_name(),
+                match engine {
+                    EngineKind::Threaded => "threaded",
+                    EngineKind::Coalescing => "coalescing",
+                    EngineKind::Inline => "inline",
+                }
+            );
+            let f = fs.create("/x").unwrap();
+            f.write(&vec![3u8; 5000]).unwrap();
+            f.close().unwrap();
+            let data = be.contents("/x").unwrap();
+            assert_eq!(data.len(), 5000, "{engine:?}");
+            assert!(data.iter().all(|&b| b == 3), "{engine:?}");
+            let snap = fs.stats();
+            assert_eq!(snap.chunks_sealed, snap.chunks_completed, "{engine:?}");
+            assert_eq!(snap.bytes_out, 5000, "{engine:?}");
+            assert_eq!(
+                snap.backend_writes + snap.chunks_coalesced,
+                snap.chunks_completed,
+                "{engine:?}: ops + merges must account for every chunk"
+            );
+        }
+    }
+
+    #[test]
+    fn every_engine_observes_close_barrier_under_slow_backend() {
+        for engine in ALL_ENGINES {
+            let be = Arc::new(ThrottledBackend::new(
+                MemBackend::new(),
+                ThrottleParams {
+                    bandwidth: 512 << 20,
+                    per_op_latency: std::time::Duration::from_millis(2),
+                    seek_penalty: std::time::Duration::ZERO,
+                },
+            ));
+            let fs = Crfs::mount(
+                be.clone(),
+                small_config().with_engine(engine).with_io_threads(1),
+            )
+            .unwrap();
+            let f = fs.create("/barrier").unwrap();
+            f.write(&vec![1u8; 4 * 1024]).unwrap(); // 4 sealed chunks
+            f.close().unwrap();
+            // close must have waited until every sealed chunk completed.
+            let snap = fs.stats();
+            assert_eq!(snap.chunks_sealed, snap.chunks_completed, "{engine:?}");
+            assert_eq!(snap.bytes_out, 4 * 1024, "{engine:?}");
+            assert_eq!(be.inner().contents("/barrier").unwrap().len(), 4 * 1024);
+            fs.unmount().unwrap();
+        }
+    }
+
+    #[test]
+    fn every_engine_propagates_deferred_write_errors() {
+        for engine in ALL_ENGINES {
+            let be = Arc::new(FaultyBackend::new(
+                MemBackend::new(),
+                FailureMode::FailWritesAfter(0),
+            ));
+            let fs =
+                Crfs::mount(be as Arc<dyn Backend>, small_config().with_engine(engine)).unwrap();
+            let f = fs.create("/bad").unwrap();
+            f.write(&vec![1u8; 3000]).unwrap();
+            // flush_entry (via flush) surfaces the engine's async error.
+            let err = f.flush().unwrap_err();
+            assert!(
+                matches!(err, CrfsError::DeferredWrite { .. }),
+                "{engine:?}: got {err:?}"
+            );
+            // The sticky error also re-surfaces at close.
+            let err = f.close().unwrap_err();
+            assert!(
+                matches!(err, CrfsError::DeferredWrite { .. }),
+                "{engine:?}: got {err:?}"
+            );
+            let snap = fs.stats();
+            assert_eq!(snap.chunks_sealed, snap.chunks_completed, "{engine:?}");
+        }
+    }
+
+    /// The acceptance demo: on a small-write checkpoint workload over a
+    /// slow backend, the coalescing engine issues strictly fewer backend
+    /// `write_at` ops than the threaded engine, with byte-identical file
+    /// contents.
+    #[test]
+    fn coalescing_issues_strictly_fewer_backend_ops() {
+        fn run(engine: EngineKind) -> (Vec<u8>, StatsSnapshot) {
+            let be = Arc::new(ThrottledBackend::new(
+                MemBackend::new(),
+                ThrottleParams {
+                    bandwidth: 256 << 20,
+                    per_op_latency: std::time::Duration::from_millis(4),
+                    seek_penalty: std::time::Duration::ZERO,
+                },
+            ));
+            // 1 KiB chunks, 16-chunk pool, one IO thread: while the first
+            // write_at sits in the 4 ms device window, later seals queue
+            // up (and, for the coalescing engine, merge).
+            let config = CrfsConfig::default()
+                .with_chunk_size(1024)
+                .with_pool_size(16 * 1024)
+                .with_io_threads(1)
+                .with_engine(engine);
+            let fs = Crfs::mount(be.clone(), config).unwrap();
+            let f = fs.create("/ckpt").unwrap();
+            // The paper's workload shape: a storm of small writes.
+            for i in 0..96u64 {
+                f.write(&[(i % 251) as u8; 128]).unwrap();
+            }
+            f.close().unwrap();
+            let contents = be.inner().contents("/ckpt").unwrap();
+            let snap = fs.stats();
+            fs.unmount().unwrap();
+            (contents, snap)
+        }
+        let (threaded_bytes, threaded) = run(EngineKind::Threaded);
+        let (coalesced_bytes, coalesced) = run(EngineKind::Coalescing);
+        assert_eq!(
+            threaded_bytes, coalesced_bytes,
+            "identical resulting contents"
+        );
+        assert_eq!(threaded.chunks_sealed, coalesced.chunks_sealed);
+        assert_eq!(threaded.backend_writes, threaded.chunks_completed);
+        assert!(
+            coalesced.backend_writes < threaded.backend_writes,
+            "coalescing must save backend ops: {} vs {}",
+            coalesced.backend_writes,
+            threaded.backend_writes
+        );
+        assert!(coalesced.chunks_coalesced > 0);
+        assert_eq!(coalesced.backend_ops_saved(), coalesced.chunks_coalesced);
+    }
+
+    // ------------------------------------------------------------------
+    // unmount idempotency / Drop safety
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn concurrent_unmounts_drain_exactly_once() {
+        for engine in ALL_ENGINES {
+            let (fs, be) = mount_mem(small_config().with_engine(engine));
+            let f = fs.create("/pending").unwrap();
+            f.write(&vec![5u8; 2500]).unwrap();
+            f.close().unwrap();
+            // Leave a second file open so unmount itself has flushing to do.
+            let g = fs.create("/open").unwrap();
+            g.write(&vec![6u8; 1500]).unwrap();
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let fs = Arc::clone(&fs);
+                handles.push(thread::spawn(move || fs.unmount()));
+            }
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let oks = results.iter().filter(|r| r.is_ok()).count();
+            assert_eq!(oks, 1, "{engine:?}: exactly one unmount performs teardown");
+            for r in &results {
+                if r.is_err() {
+                    assert!(
+                        matches!(r, Err(CrfsError::Unmounted)),
+                        "{engine:?}: losers report Unmounted, got {r:?}"
+                    );
+                }
+            }
+            // All data drained exactly once, nothing lost or duplicated.
+            assert_eq!(be.contents("/pending").unwrap(), vec![5u8; 2500]);
+            assert_eq!(be.contents("/open").unwrap(), vec![6u8; 1500]);
+            let snap = fs.stats();
+            assert_eq!(snap.chunks_sealed, snap.chunks_completed, "{engine:?}");
+            assert_eq!(snap.bytes_out, 4000, "{engine:?}");
+            // A later Drop of `fs` must not attempt a second drain.
+            drop(g);
+        }
+    }
+
+    #[test]
+    fn unmounted_fs_drop_is_inert() {
+        let (fs, be) = mount_mem(small_config());
+        let f = fs.create("/d").unwrap();
+        f.write(b"bytes").unwrap();
+        drop(f);
+        fs.unmount().unwrap();
+        let completed_after_unmount = fs.stats().chunks_completed;
+        drop(fs); // Drop sees unmounted == true and must not re-drain
+        assert_eq!(be.contents("/d").unwrap(), b"bytes");
+        let _ = completed_after_unmount;
     }
 
     #[test]

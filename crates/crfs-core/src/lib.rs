@@ -64,6 +64,7 @@ pub mod aggregator;
 pub mod backend;
 pub mod chunking;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod file;
 pub mod fs;
@@ -72,7 +73,8 @@ pub mod stats;
 pub mod vfs;
 
 pub use backend::{Backend, BackendFile};
-pub use config::CrfsConfig;
+pub use config::{CrfsConfig, EngineKind};
+pub use engine::IoEngine;
 pub use error::{CrfsError, Result};
 pub use fs::{Crfs, CrfsFile};
 pub use stats::StatsSnapshot;

@@ -88,11 +88,7 @@ impl BufferPool {
     /// Panics if the buffer does not have the pool's chunk size (a foreign
     /// or corrupted buffer) or if the pool would exceed its capacity.
     pub fn release(&self, buf: Vec<u8>) {
-        assert_eq!(
-            buf.len(),
-            self.chunk_size,
-            "released buffer has wrong size"
-        );
+        assert_eq!(buf.len(), self.chunk_size, "released buffer has wrong size");
         let mut st = self.state.lock();
         assert!(
             st.free.len() < self.total_chunks,

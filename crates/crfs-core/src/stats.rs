@@ -22,6 +22,16 @@ pub struct CrfsStats {
     pub discontinuity_seals: AtomicU64,
     /// Chunks fully written to the backend by IO workers.
     pub chunks_completed: AtomicU64,
+    /// Backend `write_at` operations issued by the IO engine. Equals
+    /// `chunks_completed` for the threaded/inline engines; smaller under
+    /// the coalescing engine.
+    pub backend_writes: AtomicU64,
+    /// Sealed chunks absorbed into an already-queued backend write by the
+    /// coalescing engine (each one is a backend op saved).
+    pub chunks_coalesced: AtomicU64,
+    /// Sealed chunks the engine refused (submit racing shutdown); they
+    /// complete with an error and never reach the backend.
+    pub chunks_refused: AtomicU64,
     /// Bytes pushed to the backend.
     pub bytes_out: AtomicU64,
     /// Nanoseconds writers spent blocked waiting for a free chunk.
@@ -55,6 +65,9 @@ impl CrfsStats {
             partial_seals: self.partial_seals.load(Relaxed),
             discontinuity_seals: self.discontinuity_seals.load(Relaxed),
             chunks_completed: self.chunks_completed.load(Relaxed),
+            backend_writes: self.backend_writes.load(Relaxed),
+            chunks_coalesced: self.chunks_coalesced.load(Relaxed),
+            chunks_refused: self.chunks_refused.load(Relaxed),
             bytes_out: self.bytes_out.load(Relaxed),
             pool_wait: Duration::from_nanos(self.pool_wait_ns.load(Relaxed)),
             pool_waits: self.pool_waits.load(Relaxed),
@@ -82,6 +95,12 @@ pub struct StatsSnapshot {
     pub discontinuity_seals: u64,
     /// Chunks completed by IO workers.
     pub chunks_completed: u64,
+    /// Backend `write_at` operations issued.
+    pub backend_writes: u64,
+    /// Chunks absorbed into a queued write by the coalescing engine.
+    pub chunks_coalesced: u64,
+    /// Chunks refused by the engine (submit racing shutdown).
+    pub chunks_refused: u64,
     /// Bytes written to the backend.
     pub bytes_out: u64,
     /// Total time writers blocked on the buffer pool.
@@ -130,6 +149,22 @@ impl StatsSnapshot {
             self.writes as f64 / self.chunks_sealed as f64
         }
     }
+
+    /// Backend operations the IO engine avoided by coalescing — completed
+    /// chunks that did not need their own `write_at`.
+    pub fn backend_ops_saved(&self) -> u64 {
+        self.chunks_completed.saturating_sub(self.backend_writes)
+    }
+
+    /// Mean bytes per backend `write_at` — the transfer size the backend
+    /// actually sees (≥ the chunk fill under the coalescing engine).
+    pub fn mean_backend_write(&self) -> f64 {
+        if self.backend_writes == 0 {
+            0.0
+        } else {
+            self.bytes_out as f64 / self.backend_writes as f64
+        }
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -154,6 +189,19 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "aggregation ratio: {:.1} writes/chunk",
             self.aggregation_ratio()
+        )?;
+        writeln!(
+            f,
+            "backend ops: {:>9}  (mean {:.0} B, {} coalesced chunks, {} ops saved{})",
+            self.backend_writes,
+            self.mean_backend_write(),
+            self.chunks_coalesced,
+            self.backend_ops_saved(),
+            if self.chunks_refused > 0 {
+                format!(", {} refused", self.chunks_refused)
+            } else {
+                String::new()
+            }
         )?;
         writeln!(
             f,

@@ -58,7 +58,7 @@ impl Vfs {
         }
         mounts.push(MountPoint { prefix, fs });
         // Longest prefix first.
-        mounts.sort_by(|a, b| b.prefix.len().cmp(&a.prefix.len()));
+        mounts.sort_by_key(|m| std::cmp::Reverse(m.prefix.len()));
         Ok(())
     }
 

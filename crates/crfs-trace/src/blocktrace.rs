@@ -109,8 +109,8 @@ impl BlockTrace {
         let mut grid = vec![vec![' '; width]; height];
         for r in &self.records {
             let x = ((r.time_ns as f64 / t_max as f64) * (width - 1) as f64) as usize;
-            let y = (((r.sector - s_min) as f64 / (s_max - s_min) as f64)
-                * (height - 1) as f64) as usize;
+            let y = (((r.sector - s_min) as f64 / (s_max - s_min) as f64) * (height - 1) as f64)
+                as usize;
             grid[height - 1 - y][x] = '*';
         }
         let mut out = String::new();

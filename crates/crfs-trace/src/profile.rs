@@ -128,7 +128,8 @@ impl WriteProfile {
 
     /// Renders the paper's Table I layout.
     pub fn to_table(&self) -> String {
-        let mut t = crate::render::Table::new(&["Write Size", "% of Writes", "% of Data", "% of Time"]);
+        let mut t =
+            crate::render::Table::new(&["Write Size", "% of Writes", "% of Data", "% of Time"]);
         for r in &self.rows {
             t.row(&[
                 r.band.to_string(),

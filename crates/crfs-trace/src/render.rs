@@ -181,15 +181,11 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let chart = bar_chart(
-            &[("native".into(), 6.0), ("crfs".into(), 1.1)],
-            30,
-            "s",
-        );
+        let chart = bar_chart(&[("native".into(), 6.0), ("crfs".into(), 1.1)], 30, "s");
         let native_hashes = chart.lines().next().unwrap().matches('#').count();
         let crfs_hashes = chart.lines().nth(1).unwrap().matches('#').count();
         assert_eq!(native_hashes, 30);
-        assert!(crfs_hashes >= 5 && crfs_hashes <= 6);
+        assert!((5..=6).contains(&crfs_hashes));
     }
 
     #[test]

@@ -183,10 +183,7 @@ impl WriteTrace {
                 .map_err(|_| bad("bad timestamp"))?;
             let at = Duration::from_nanos(t as u64);
             let verb = parts.next().ok_or_else(|| bad("missing verb"))?;
-            let path = parts
-                .next()
-                .ok_or_else(|| bad("missing path"))?
-                .to_string();
+            let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
             let op = match verb {
                 "open" => TraceOp::Open { path },
                 "fsync" => TraceOp::Fsync { path },
@@ -403,7 +400,8 @@ mod tests {
             Ok(())
         }
         fn write(&mut self, path: &str, offset: u64, data: &[u8]) -> io::Result<()> {
-            self.log.push(format!("write {path} {offset} {}", data.len()));
+            self.log
+                .push(format!("write {path} {offset} {}", data.len()));
             self.bytes += data.len() as u64;
             Ok(())
         }
@@ -475,7 +473,9 @@ mod tests {
                 Ok(())
             }
         }
-        sample().replay(&mut CheckSink, Pace::AsFastAsPossible).unwrap();
+        sample()
+            .replay(&mut CheckSink, Pace::AsFastAsPossible)
+            .unwrap();
     }
 
     #[test]
@@ -525,10 +525,7 @@ mod tests {
         }
         let trace = std::sync::Arc::try_unwrap(rec).unwrap().finish();
         assert_eq!(trace.len(), 200);
-        assert!(trace
-            .events()
-            .windows(2)
-            .all(|w| w[0].at <= w[1].at));
+        assert!(trace.events().windows(2).all(|w| w[0].at <= w[1].at));
         assert_eq!(trace.bytes_written(), 2000);
     }
 

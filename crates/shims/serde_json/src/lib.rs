@@ -1,0 +1,416 @@
+//! API-subset stand-in for the `serde_json` crate.
+//!
+//! Provides the [`Value`] tree, the [`json!`] construction macro, and the
+//! [`to_string`] / [`to_string_pretty`] serializers — the surface the
+//! experiment drivers use to dump machine-readable results. Object key
+//! order is preserved (insertion order) so reports are stable.
+
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integers are kept exact, not squeezed through `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            // Debug keeps the fractional point on whole floats ("4.0"),
+            // matching serde_json's int-vs-float token distinction.
+            Number::Float(v) if v.is_finite() => write!(f, "{v:?}"),
+            // JSON has no NaN/Inf; mirror serde_json's `null`.
+            Number::Float(_) => f.write_str("null"),
+        }
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::PosInt(v as u64)) }
+        }
+    )*};
+}
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v as i64))
+                }
+            }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl Value {
+    /// Member access: `value.get("key")` for objects, like serde_json.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Float(v)) => Some(*v),
+            Value::Number(Number::PosInt(v)) => Some(*v as f64),
+            Value::Number(Number::NegInt(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+/// `value["key"]` on objects, yielding `Null` for missing keys or
+/// non-objects — serde_json's lenient indexing semantics.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// `value[i]` on arrays, yielding `Null` out of bounds.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * (level + 1)),
+            " ".repeat(w * level),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(out, item, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                escape_into(out, k);
+                out.push_str(colon);
+                write_value(out, item, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_value(&mut s, self, None, 0);
+        f.write_str(&s)
+    }
+}
+
+/// Serialization never fails for an in-memory `Value`; the `Result`
+/// mirrors serde_json's signature so call sites are drop-in.
+pub type Error = std::convert::Infallible;
+
+pub fn to_string(v: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    write_value(&mut s, v, None, 0);
+    Ok(s)
+}
+
+pub fn to_string_pretty(v: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    write_value(&mut s, v, Some(2), 0);
+    Ok(s)
+}
+
+/// Builds a [`Value`] from JSON-like syntax, including nested `{...}` and
+/// `[...]` literals and arbitrary Rust expressions convertible via
+/// `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        let mut array: Vec<$crate::Value> = Vec::new();
+        $crate::json_array_items!(array, $($tt)*);
+        $crate::Value::Array(array)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut object: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_object_items!(object, $($tt)*);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal muncher for `json!` object bodies.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_items {
+    ($obj:ident, ) => {};
+    ($obj:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_object_items!($obj, $($($rest)*)?);
+    };
+    ($obj:ident, $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_object_items!($obj, $($($rest)*)?);
+    };
+    ($obj:ident, $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_object_items!($obj, $($($rest)*)?);
+    };
+    ($obj:ident, $key:literal : $value:expr , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::Value::from($value)));
+        $crate::json_object_items!($obj, $($rest)*);
+    };
+    ($obj:ident, $key:literal : $value:expr) => {
+        $obj.push(($key.to_string(), $crate::Value::from($value)));
+    };
+}
+
+/// Internal muncher for `json!` array bodies.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array_items {
+    ($arr:ident, ) => {};
+    ($arr:ident, null $(, $($rest:tt)*)?) => {
+        $arr.push($crate::Value::Null);
+        $crate::json_array_items!($arr, $($($rest)*)?);
+    };
+    ($arr:ident, { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::json_array_items!($arr, $($($rest)*)?);
+    };
+    ($arr:ident, [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_items!($arr, $($($rest)*)?);
+    };
+    ($arr:ident, $value:expr , $($rest:tt)*) => {
+        $arr.push($crate::Value::from($value));
+        $crate::json_array_items!($arr, $($rest)*);
+    };
+    ($arr:ident, $value:expr) => {
+        $arr.push($crate::Value::from($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    // The json! muncher expands to init-then-push; that's inherent to
+    // incremental macro construction, not a cleanup opportunity.
+    #![allow(clippy::vec_init_then_push)]
+
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_values() {
+        let rows = vec![json!({ "a": 1, "b": 2.5 })];
+        let v = json!({
+            "name": "fig5",
+            "ok": true,
+            "missing": null,
+            "nested": { "min": 1.0, "max": 4 },
+            "list": [1, 2, 3],
+            "rows": rows,
+        });
+        assert_eq!(v.get("name").unwrap().as_str(), Some("fig5"));
+        assert_eq!(
+            v.get("nested").unwrap().get("max").unwrap().as_u64(),
+            Some(4)
+        );
+        assert_eq!(v.get("list").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("rows").unwrap().as_array().unwrap()[0]
+                .get("b")
+                .unwrap()
+                .as_f64(),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn compact_and_pretty_rendering() {
+        let v = json!({ "s": "a\"b", "n": -3, "arr": [true, null] });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"s":"a\"b","n":-3,"arr":[true,null]}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"s\": \"a\\\"b\""));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn integers_render_exactly() {
+        let big = (1u64 << 60) + 1;
+        let v = json!({ "big": big });
+        assert_eq!(to_string(&v).unwrap(), format!("{{\"big\":{big}}}"));
+    }
+
+    #[test]
+    fn whole_floats_keep_their_point() {
+        // serde_json distinguishes int and float tokens; so must we.
+        let v = json!({ "f": 4.0f64, "i": 4 });
+        assert_eq!(to_string(&v).unwrap(), r#"{"f":4.0,"i":4}"#);
+    }
+
+    #[test]
+    fn expression_values_with_internal_commas() {
+        let xs = [1u64, 2, 3];
+        let v = json!({
+            "sum": xs.iter().copied().sum::<u64>(),
+            "as_vals": xs.iter().map(|x| json!({ "x": *x })).collect::<Vec<_>>(),
+        });
+        assert_eq!(v.get("sum").unwrap().as_u64(), Some(6));
+        assert_eq!(v.get("as_vals").unwrap().as_array().unwrap().len(), 3);
+    }
+}

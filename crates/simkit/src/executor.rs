@@ -364,7 +364,9 @@ impl Sim {
             match self.step() {
                 StepOutcome::Progress => {}
                 StepOutcome::Idle => {
-                    return if self.tasks.is_empty() && self.handle.local.pending_spawn.borrow().is_empty() {
+                    return if self.tasks.is_empty()
+                        && self.handle.local.pending_spawn.borrow().is_empty()
+                    {
                         IdleReason::AllTasksFinished
                     } else {
                         IdleReason::Deadlock {
@@ -555,7 +557,7 @@ mod tests {
         let log = std::rc::Rc::new(RefCell::new(Vec::new()));
         for (i, delay) in [(0u32, 50u64), (1, 10), (2, 50), (3, 30)] {
             let log = log.clone();
-            let _ = sim.spawn(async move {
+            let _task = sim.spawn(async move {
                 sleep(Duration::from_millis(delay)).await;
                 log.borrow_mut().push(i);
             });
@@ -568,7 +570,7 @@ mod tests {
     #[test]
     fn deadlock_is_reported() {
         let mut sim = Sim::new(0);
-        let _ = sim.spawn(std::future::pending::<()>());
+        let _task = sim.spawn(std::future::pending::<()>());
         assert_eq!(
             sim.run_until_idle(),
             IdleReason::Deadlock { blocked_tasks: 1 }
@@ -600,7 +602,7 @@ mod tests {
         let mut sim = Sim::new(0);
         let hit = Rc::new(Cell::new(false));
         let hit2 = hit.clone();
-        let _ = sim.spawn(async move {
+        let _task = sim.spawn(async move {
             sleep(Duration::from_millis(10)).await;
             hit2.set(true);
         });
@@ -632,7 +634,7 @@ mod tests {
     #[should_panic(expected = "step limit")]
     fn step_limit_catches_livelock() {
         let mut sim = Sim::new(0).with_step_limit(1000);
-        let _ = sim.spawn(async {
+        let _task = sim.spawn(async {
             loop {
                 yield_now().await;
             }

@@ -4,27 +4,37 @@
 //! [`SimRng::stream`] so that adding randomness to one component does not
 //! perturb the draw sequence of another — a standard DES reproducibility
 //! practice.
-
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256** seeded through
+//! splitmix64 (no external crates), which keeps simulation results
+//! bit-reproducible across toolchains and offline builds.
 
 /// A deterministic random stream.
-///
-/// Wraps [`StdRng`] with convenience samplers used by the storage models.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    rng: StdRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates the root stream for `seed`.
     pub fn new(seed: u64) -> SimRng {
-        SimRng {
-            rng: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut x = seed;
+        let state = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        SimRng { state, seed }
     }
 
     /// Derives an independent child stream, keyed by `label`.
@@ -46,23 +56,50 @@ impl SimRng {
         self.seed
     }
 
+    /// Next raw 64-bit draw (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit draw.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
     /// Uniform sample from `range`.
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
-        T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.rng.gen_range(range)
+        range.sample(self)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen::<f64>() < p.clamp(0.0, 1.0)
+        self.gen_f64() < p.clamp(0.0, 1.0)
     }
 
     /// Exponentially distributed sample with the given mean.
@@ -72,7 +109,8 @@ impl SimRng {
         if mean <= 0.0 {
             return 0.0;
         }
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        // 1 - gen_f64() lies in (0, 1], so ln() is finite.
+        let u = 1.0 - self.gen_f64();
         -mean * u.ln()
     }
 
@@ -83,8 +121,8 @@ impl SimRng {
         }
         // Box-Muller transform.
         loop {
-            let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let u2: f64 = self.rng.gen::<f64>();
+            let u1 = (1.0 - self.gen_f64()).max(f64::MIN_POSITIVE);
+            let u2 = self.gen_f64();
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             if z.abs() <= 4.0 {
                 return (mean + stddev * z).max(min);
@@ -102,7 +140,7 @@ impl SimRng {
             !weights.is_empty() && total > 0.0,
             "weighted_index requires non-empty positive weights"
         );
-        let mut x = self.rng.gen::<f64>() * total;
+        let mut x = self.gen_f64() * total;
         for (i, w) in weights.iter().enumerate() {
             if x < *w {
                 return i;
@@ -111,20 +149,61 @@ impl SimRng {
         }
         weights.len() - 1
     }
+
+    fn uniform_u64_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection sampling on the top bits to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.rng.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.rng.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.rng.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.rng.try_fill_bytes(dest)
+/// Ranges [`SimRng::gen_range`] can sample from, mirroring the shape of
+/// `rand`'s `SampleRange` for the types the models use.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from `self`.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.uniform_u64_below(span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.uniform_u64_below(span + 1) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u32, u64, usize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let v = self.start + rng.gen_f64() * (self.end - self.start);
+        // Guard against rounding up to the (exclusive) end.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
     }
 }
 
@@ -189,5 +268,26 @@ mod tests {
         let mut r = SimRng::new(9);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SimRng::new(13);
+        for _ in 0..10_000 {
+            let a = r.gen_range(3u64..17);
+            assert!((3..17).contains(&a));
+            let b = r.gen_range(0usize..=4);
+            assert!(b <= 4);
+            let c = r.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::new(21);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "13 zero bytes is ~2^-104");
     }
 }

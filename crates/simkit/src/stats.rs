@@ -157,9 +157,10 @@ impl Histogram {
 
     /// Iterates non-empty buckets as `(lower_bound, count)`.
     pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.buckets.iter().enumerate().filter_map(|(i, &c)| {
-            (c > 0).then_some((if i == 0 { 0 } else { 1u64 << i }, c))
-        })
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (c > 0).then_some((if i == 0 { 0 } else { 1u64 << i }, c)))
     }
 }
 

@@ -728,7 +728,9 @@ impl<T> Future for Send<'_, T> {
             return Poll::Ready(Err(SendError(v)));
         }
         if inner.buf.len() < inner.cap && inner.send_waiters.is_empty() {
-            inner.buf.push_back(this.value.take().expect("send value present"));
+            inner
+                .buf
+                .push_back(this.value.take().expect("send value present"));
             inner.wake_one_receiver();
             return Poll::Ready(Ok(()));
         }
@@ -804,7 +806,10 @@ impl<T> Receiver<T> {
                 inner.recv_waiters.push_back(Rc::clone(&w));
                 w
             };
-            RecvWait { waiter: Some(waiter) }.await;
+            RecvWait {
+                waiter: Some(waiter),
+            }
+            .await;
         }
     }
 
@@ -981,7 +986,7 @@ mod tests {
             for i in 1..=3u64 {
                 wg.add(1);
                 let wg = wg.clone();
-                let _ = spawn(async move {
+                let _task = spawn(async move {
                     sleep(Duration::from_millis(10 * i)).await;
                     wg.done();
                 });

@@ -53,6 +53,7 @@ impl SimTime {
     }
 
     /// The instant `d` after `self` (saturating at the clock maximum).
+    #[allow(clippy::should_implement_trait)] // established sim API name
     pub fn add(self, d: Duration) -> SimTime {
         SimTime(self.0.saturating_add(duration_to_nanos(d)))
     }
@@ -201,7 +202,10 @@ mod tests {
         let u = t + Duration::from_nanos(500);
         assert_eq!(u.as_nanos(), 1_500);
         assert_eq!(u.since(t), Duration::from_nanos(500));
-        assert_eq!(format!("{}", SimTime::from_nanos(2_500_000_000)), "2.500000s");
+        assert_eq!(
+            format!("{}", SimTime::from_nanos(2_500_000_000)),
+            "2.500000s"
+        );
     }
 
     #[test]

@@ -66,7 +66,7 @@ impl PageCache {
             throttle_events: Cell::new(0),
         });
         let wb = Rc::clone(&cache);
-        let _ = simkit::spawn(async move { wb.writeback_loop().await });
+        let _task = simkit::spawn(async move { wb.writeback_loop().await });
         cache
     }
 
@@ -162,7 +162,9 @@ impl PageCache {
     async fn writeback_pass(&self) -> bool {
         let batch: Vec<Extent> = {
             let mut q = self.queue.borrow_mut();
-            let Some(&front) = q.front() else { return false };
+            let Some(&front) = q.front() else {
+                return false;
+            };
             let victim = front.file;
             let mut taken = Vec::new();
             let mut bytes = 0u64;
@@ -294,10 +296,7 @@ mod tests {
             let elapsed = now().since(t0);
             assert!(cache.throttle_events() > 0);
             // At least (30-10) MB had to hit the 75 MB/s disk first.
-            assert!(
-                elapsed >= Duration::from_millis(200),
-                "elapsed {elapsed:?}"
-            );
+            assert!(elapsed >= Duration::from_millis(200), "elapsed {elapsed:?}");
             cache.stop();
         });
     }

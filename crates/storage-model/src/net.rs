@@ -39,9 +39,7 @@ impl NetLink {
         sleep(self.params.per_message).await;
         {
             let _ch = self.channel.acquire(1).await;
-            let ser = Duration::from_secs_f64(
-                bytes as f64 / self.params.bandwidth.max(1) as f64,
-            );
+            let ser = Duration::from_secs_f64(bytes as f64 / self.params.bandwidth.max(1) as f64);
             sleep(ser).await;
         }
         sleep(self.params.latency).await;

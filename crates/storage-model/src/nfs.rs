@@ -113,8 +113,7 @@ pub struct NfsClient {
 impl NfsClient {
     /// Creates the client for one node.
     pub fn new(model: Rc<NfsModel>, cost: VfsCostParams, rng: SimRng) -> Rc<NfsClient> {
-        let window =
-            Semaphore::new(model.params.client_inflight * model.params.wsize as usize);
+        let window = Semaphore::new(model.params.client_inflight * model.params.wsize as usize);
         Rc::new(NfsClient {
             model,
             cost,
@@ -165,8 +164,7 @@ impl NfsClient {
         self.active.set(writers);
         let file = self.file(fid);
 
-        let jitter =
-            (1.0 + self.rng.borrow_mut().exponential(self.cost.jitter)) * file.handicap;
+        let jitter = (1.0 + self.rng.borrow_mut().exponential(self.cost.jitter)) * file.handicap;
         sleep(self.cost.write_cost(len, writers, jitter)).await;
 
         let p = self.model.params;
@@ -195,7 +193,7 @@ impl NfsClient {
         file.outstanding.add(1);
         let model = Rc::clone(&self.model);
         let wg = file.outstanding.clone();
-        let _ = simkit::spawn(async move {
+        let _task = simkit::spawn(async move {
             model.link.transfer(bytes).await;
             model.handle_write(fid, bytes).await;
             sleep(model.link.params().latency).await;
@@ -237,9 +235,9 @@ impl NfsClient {
 mod tests {
     use super::*;
     use crate::params::{KB, MB};
-    use std::time::Duration;
     use simkit::time::now;
     use simkit::Sim;
+    use std::time::Duration;
 
     fn setup(seed: u64) -> (Rc<NfsModel>, Rc<NfsClient>) {
         let rng = SimRng::new(seed);
@@ -316,9 +314,6 @@ mod tests {
         }
         let one = run(1, 4 * MB, 3);
         let eight = run(8, 4 * MB, 3);
-        assert!(
-            eight > one * 4,
-            "8 clients: {eight:?} vs 1 client: {one:?}"
-        );
+        assert!(eight > one * 4, "8 clients: {eight:?} vs 1 client: {one:?}");
     }
 }

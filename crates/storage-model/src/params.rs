@@ -308,7 +308,7 @@ impl AllocParams {
     pub fn ldiskfs() -> AllocParams {
         AllocParams {
             window: 4 * MB,
-            large_contig: 1 * MB,
+            large_contig: MB,
         }
     }
 
@@ -317,7 +317,7 @@ impl AllocParams {
     pub fn nfs_export() -> AllocParams {
         AllocParams {
             window: 2 * MB,
-            large_contig: 1 * MB,
+            large_contig: MB,
         }
     }
 }
@@ -392,8 +392,8 @@ impl LustreParams {
     pub fn paper() -> LustreParams {
         LustreParams {
             n_oss: 3,
-            stripe_size: 1 * MB,
-            rpc_max: 1 * MB,
+            stripe_size: MB,
+            rpc_max: MB,
             mds_op: Duration::from_micros(300),
             server_cpu_per_rpc: Duration::from_micros(60),
             client_cpu_per_rpc: Duration::from_micros(25),

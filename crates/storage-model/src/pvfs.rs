@@ -29,9 +29,7 @@ use simkit::time::sleep;
 
 use crate::localfs::LocalFs;
 use crate::net::NetLink;
-use crate::params::{
-    AllocParams, CacheParams, DiskParams, NetParams, PvfsParams, VfsCostParams,
-};
+use crate::params::{AllocParams, CacheParams, DiskParams, NetParams, PvfsParams, VfsCostParams};
 
 /// One PVFS2 I/O server.
 pub struct PvfsServer {
@@ -202,8 +200,7 @@ impl PvfsClient {
         // this only once per 4 MiB chunk; native BLCR pays it per write.
         self.upcall().await;
 
-        let jitter =
-            (1.0 + self.rng.borrow_mut().exponential(self.cost.jitter)) * file.handicap;
+        let jitter = (1.0 + self.rng.borrow_mut().exponential(self.cost.jitter)) * file.handicap;
         sleep(self.cost.write_cost(len, writers, jitter)).await;
 
         let p = self.model.params;
@@ -221,7 +218,7 @@ impl PvfsClient {
             sleep(p.client_cpu_per_req).await;
             wg.add(1);
             let done = wg.clone();
-            let _ = simkit::spawn(async move {
+            let _task = simkit::spawn(async move {
                 server.link.transfer(piece).await;
                 server.handle_write(object, piece).await;
                 sleep(server.link.params().latency).await; // ack
@@ -331,10 +328,7 @@ mod tests {
         }
         let small = run(4 * KB, 9);
         let bulk = run(256 * KB, 9);
-        assert!(
-            small > bulk * 3,
-            "small={small:?} must be ≫ bulk={bulk:?}"
-        );
+        assert!(small > bulk * 3, "small={small:?} must be ≫ bulk={bulk:?}");
     }
 
     #[test]

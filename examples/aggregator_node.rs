@@ -24,10 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // multiplexes all chunk writes into one sequential container.
     // ------------------------------------------------------------------
     let agg = Arc::new(AggregatingBackend::create(&disk, "/node0.crfsagg")?);
-    let fs = Crfs::mount(
-        Arc::clone(&agg) as Arc<dyn Backend>,
-        CrfsConfig::default(),
-    )?;
+    let fs = Crfs::mount(Arc::clone(&agg) as Arc<dyn Backend>, CrfsConfig::default())?;
 
     let images: Vec<ProcessImage> = (0..8)
         .map(|rank| ProcessImage::synthetic(rank + 1, 4 << 20, 7_000 + u64::from(rank)))
@@ -84,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plain_root = root.join("materialized");
     let plain: Arc<dyn Backend> = Arc::new(PassthroughBackend::new(&plain_root)?);
     let (files, bytes) = reader.materialize(&plain)?;
-    println!("\nmaterialized {files} files ({bytes} bytes) into {}", plain_root.display());
+    println!(
+        "\nmaterialized {files} files ({bytes} bytes) into {}",
+        plain_root.display()
+    );
     for (rank, image) in images.iter().enumerate() {
         let f = plain.open(&format!("/rank{rank}.img"), OpenOptions::read_only())?;
         let restored = RestartReader::new().read_image(&mut ReadCursor::new(f))?;

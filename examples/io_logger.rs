@@ -11,9 +11,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crfs::core::backend::{
-    Backend, MemBackend, OpenOptions, ThrottleParams, ThrottledBackend,
-};
+use crfs::core::backend::{Backend, MemBackend, OpenOptions, ThrottleParams, ThrottledBackend};
 use crfs::core::{Crfs, CrfsConfig};
 
 /// Synthesizes one log line of roughly realistic shape.
@@ -90,8 +88,10 @@ fn run_through_crfs(backend: &Arc<dyn Backend>) -> (f64, crfs::core::StatsSnapsh
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One shared "disk": 75 MB/s with per-op latency and seek penalties,
     // like the paper's node-local SATA drive.
-    let backend: Arc<dyn Backend> =
-        Arc::new(ThrottledBackend::new(MemBackend::new(), ThrottleParams::sata_disk()));
+    let backend: Arc<dyn Backend> = Arc::new(ThrottledBackend::new(
+        MemBackend::new(),
+        ThrottleParams::sata_disk(),
+    ));
 
     println!(
         "{WRITERS} loggers x {LINES} lines (~{:.1} MiB total), shared throttled disk\n",
@@ -102,16 +102,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("direct appends      : {direct:.2}s");
 
     let (via_crfs, snap) = run_through_crfs(&backend);
-    println!("through CRFS        : {via_crfs:.2}s   ({:.1}x)", direct / via_crfs);
+    println!(
+        "through CRFS        : {via_crfs:.2}s   ({:.1}x)",
+        direct / via_crfs
+    );
     println!(
         "\nCRFS turned {} small appends into {} chunk writes ({:.0}x aggregation);",
-        snap.writes, snap.chunks_sealed, snap.aggregation_ratio()
+        snap.writes,
+        snap.chunks_sealed,
+        snap.aggregation_ratio()
     );
     println!(
         "backend wrote {} bytes, every log line accounted for.",
         snap.bytes_out
     );
-    assert_eq!(snap.bytes_in, snap.bytes_out, "no data lost in the pipeline");
+    assert_eq!(
+        snap.bytes_in, snap.bytes_out,
+        "no data lost in the pipeline"
+    );
 
     // Sanity: the log contents really landed (spot-check one file).
     let f = backend.open("/crfs-0.log", OpenOptions::read_only())?;

@@ -36,7 +36,11 @@ fn main() {
             r.label, r.mean_time, r.spread.min, r.spread.max, r.spread.stddev
         );
         results.push((
-            if use_crfs { "CRFS".to_string() } else { "native".to_string() },
+            if use_crfs {
+                "CRFS".to_string()
+            } else {
+                "native".to_string()
+            },
             r.mean_time,
         ));
     }
@@ -44,5 +48,8 @@ fn main() {
     println!("\naverage local checkpoint time (lower is better):");
     print!("{}", bar_chart(&results, 40, "s"));
     let speedup = results[0].1 / results[1].1;
-    println!("\nCRFS speedup over native {}: {speedup:.1}x", backend.name());
+    println!(
+        "\nCRFS speedup over native {}: {speedup:.1}x",
+        backend.name()
+    );
 }

@@ -124,8 +124,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let checksum_after = solver.state.iter().map(|&b| b as u64).sum::<u64>();
     assert_eq!(solver.step, 1_000_000, "iteration counter restored");
-    assert_eq!(checksum_before, checksum_after, "state restored bit-exactly");
-    println!("state verified: step={} checksum={checksum_after}", solver.step);
+    assert_eq!(
+        checksum_before, checksum_after,
+        "state restored bit-exactly"
+    );
+    println!(
+        "state verified: step={} checksum={checksum_after}",
+        solver.step
+    );
 
     // The restarted solver keeps computing.
     solver.advance(1000);

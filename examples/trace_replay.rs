@@ -92,7 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs.unmount()?;
     let trace = recorder.finish();
 
-    println!("recorded {} events, {} MiB written", trace.len(), trace.bytes_written() >> 20);
+    println!(
+        "recorded {} events, {} MiB written",
+        trace.len(),
+        trace.bytes_written() >> 20
+    );
     let sizes = trace.write_sizes();
     let smallest = sizes.first().expect("trace has writes");
     let largest = sizes.last().expect("trace has writes");
@@ -111,14 +115,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(&trace_path, trace.to_text())?;
     let reloaded = WriteTrace::parse(&std::fs::read_to_string(&trace_path)?)?;
     assert_eq!(reloaded.len(), trace.len());
-    println!("\ntrace saved to {} and parsed back intact", trace_path.display());
+    println!(
+        "\ntrace saved to {} and parsed back intact",
+        trace_path.display()
+    );
 
     // ------------------------------------------------------------------
     // 3. Replay the identical stream against different chunk sizes and
     //    compare aggregation quality.
     // ------------------------------------------------------------------
     println!("\nreplay vs chunk size (same input stream):");
-    println!("{:>10}  {:>14}  {:>12}", "chunk", "backend writes", "aggregation");
+    println!(
+        "{:>10}  {:>14}  {:>12}",
+        "chunk", "backend writes", "aggregation"
+    );
     for chunk in [256 << 10, 1 << 20, 4 << 20] {
         let fs = Crfs::mount(
             Arc::new(MemBackend::new()),

@@ -47,9 +47,10 @@ fn run_real(stream: &[u64], config: &CrfsConfig) -> (u64, u64) {
     let buf = vec![7u8; max];
     for &len in stream {
         // Split like the VFS/FUSE layer would.
-        for piece in (0..len).step_by(config.max_write).map(|o| {
-            (len - o).min(config.max_write as u64)
-        }) {
+        for piece in (0..len)
+            .step_by(config.max_write)
+            .map(|o| (len - o).min(config.max_write as u64))
+        {
             f.write(&buf[..piece as usize]).expect("write");
         }
     }

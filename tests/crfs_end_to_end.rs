@@ -29,9 +29,7 @@ fn concurrent_checkpointers_over_real_filesystem() {
         let fs = Arc::clone(&fs);
         handles.push(std::thread::spawn(move || {
             let image = ProcessImage::synthetic(rank, 2 << 20, u64::from(rank));
-            let mut file = fs
-                .create(&format!("/ckpt/context.{rank}"))
-                .expect("create");
+            let mut file = fs.create(&format!("/ckpt/context.{rank}")).expect("create");
             CheckpointWriter::new()
                 .write_image(&mut file, &image)
                 .expect("dump");
@@ -39,7 +37,10 @@ fn concurrent_checkpointers_over_real_filesystem() {
             image
         }));
     }
-    let images: Vec<ProcessImage> = handles.into_iter().map(|h| h.join().expect("rank")).collect();
+    let images: Vec<ProcessImage> = handles
+        .into_iter()
+        .map(|h| h.join().expect("rank"))
+        .collect();
 
     // Restart every rank from the real files and verify bit-exactness.
     for (rank, original) in images.iter().enumerate() {
@@ -51,7 +52,11 @@ fn concurrent_checkpointers_over_real_filesystem() {
 
     // Aggregation actually happened: far fewer chunks than writes.
     let stats = fs.stats();
-    assert!(stats.aggregation_ratio() > 4.0, "ratio {}", stats.aggregation_ratio());
+    assert!(
+        stats.aggregation_ratio() > 4.0,
+        "ratio {}",
+        stats.aggregation_ratio()
+    );
     assert_eq!(stats.chunks_sealed, stats.chunks_completed);
 
     fs.unmount().expect("unmount");
@@ -143,7 +148,11 @@ fn checkpoint_write_pattern_aggregates_like_paper() {
     f.close().expect("close");
 
     let s = fs.stats();
-    assert!(wstats.writes > 50, "BLCR emits many writes: {}", wstats.writes);
+    assert!(
+        wstats.writes > 50,
+        "BLCR emits many writes: {}",
+        wstats.writes
+    );
     // 23 MB / 4 MiB chunks => 6-7 chunk writes.
     assert!(
         s.chunks_sealed <= 8,

@@ -6,9 +6,7 @@
 use std::sync::Arc;
 
 use crfs::core::aggregator::{AggregatingBackend, ContainerReader};
-use crfs::core::backend::{
-    Backend, FailureMode, FaultyBackend, MemBackend, OpenOptions,
-};
+use crfs::core::backend::{Backend, FailureMode, FaultyBackend, MemBackend, OpenOptions};
 use crfs::core::{Crfs, CrfsConfig, CrfsError, Vfs};
 
 fn small_config() -> CrfsConfig {
@@ -79,11 +77,7 @@ fn pool_buffers_survive_backend_failures_under_concurrency() {
         MemBackend::new(),
         FailureMode::FailWritesAfter(5),
     ));
-    let fs = Crfs::mount(
-        be.clone() as Arc<dyn Backend>,
-        small_config(),
-    )
-    .unwrap();
+    let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, small_config()).unwrap();
     let mut handles = Vec::new();
     for w in 0..8 {
         let fs = Arc::clone(&fs);
@@ -105,7 +99,10 @@ fn pool_buffers_survive_backend_failures_under_concurrency() {
         s.chunks_sealed, s.chunks_completed,
         "every sealed chunk must complete (ok or error) and recycle its buffer"
     );
-    assert!(be.writes_seen() > 5, "the backend did see the failing writes");
+    assert!(
+        be.writes_seen() > 5,
+        "the backend did see the failing writes"
+    );
 }
 
 #[test]
@@ -134,7 +131,10 @@ fn vfs_propagates_deferred_errors_at_close() {
     vfs.mount("/mnt", fs).unwrap();
     let fd = vfs.create("/mnt/ckpt").unwrap();
     vfs.write(fd, &vec![3u8; 4096]).unwrap();
-    assert!(vfs.close(fd).is_err(), "fd close must report the async error");
+    assert!(
+        vfs.close(fd).is_err(),
+        "fd close must report the async error"
+    );
     assert_eq!(vfs.open_fds(), 0);
 }
 
@@ -149,8 +149,7 @@ fn aggregator_propagates_append_failures_to_crfs_close() {
         // Header write succeeds (container creation), all appends fail.
         FailureMode::FailWritesAfter(1),
     ));
-    let agg: Arc<dyn Backend> =
-        Arc::new(AggregatingBackend::create(&inner, "/node.agg").unwrap());
+    let agg: Arc<dyn Backend> = Arc::new(AggregatingBackend::create(&inner, "/node.agg").unwrap());
     let fs = Crfs::mount(agg, small_config()).unwrap();
     let f = fs.create("/rank0").unwrap();
     f.write(&vec![5u8; 4096]).unwrap();

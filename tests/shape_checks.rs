@@ -227,11 +227,7 @@ fn full_scale_fig6_class_c() {
         let native = run_checkpoint(&spec(LuClass::C, backend, false, 16, 8, 1.0));
         let crfs = run_checkpoint(&spec(LuClass::C, backend, true, 16, 8, 1.0));
         let speedup = native.mean_time / crfs.mean_time;
-        assert!(
-            speedup >= 3.0,
-            "{}: speedup {speedup:.2}",
-            backend.name()
-        );
+        assert!(speedup >= 3.0, "{}: speedup {speedup:.2}", backend.name());
     }
 }
 
@@ -252,5 +248,8 @@ fn full_scale_fig9() {
         "8ppn: {:.1}% (paper: 29.6%)",
         reds[3]
     );
-    assert!(reds[3] > reds[0], "benefit grows with multiplexing: {reds:?}");
+    assert!(
+        reds[3] > reds[0],
+        "benefit grows with multiplexing: {reds:?}"
+    );
 }
