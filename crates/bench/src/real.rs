@@ -253,6 +253,152 @@ pub fn chunk_sweep(
     out
 }
 
+// ---------------------------------------------------------------------
+// Hot-path contention sweep (the `exp contention` experiment)
+// ---------------------------------------------------------------------
+
+/// One measured cell of the contention sweep: `writers` threads
+/// streaming into a discard-backed CRFS mount under a given locking
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct ContentionPoint {
+    /// Writer-thread count.
+    pub threads: usize,
+    /// `"baseline"` (pre-overhaul global locks, per-chunk submission) or
+    /// `"overhauled"` (sharded table/pool + batched submission).
+    pub mode: &'static str,
+    /// Aggregate write throughput, MiB/s.
+    pub mibs: f64,
+    /// Chunks sealed over the run.
+    pub chunks_sealed: u64,
+    /// Engine submissions (producer-side queue-lock acquisitions).
+    pub engine_submits: u64,
+    /// Queue-lock acquisitions per sealed chunk (1.0 unbatched; < 1
+    /// whenever batching engages).
+    pub locks_per_chunk: f64,
+    /// Pool acquisitions that had to block.
+    pub pool_waits: u64,
+    /// Contended open-file-table shard locks.
+    pub shard_lock_waits: u64,
+}
+
+/// The workload both sweeps share: concurrent per-thread streams of
+/// 256 KiB application writes (64 chunks each at the 4 KiB chunk size
+/// below) onto [`DiscardBackend`] — the paper's Fig. 5 measurement
+/// device, tuned so per-chunk overhead (locks, wakeups, queue traffic,
+/// buffer recycling), not memcpy, dominates: small chunks multiply the
+/// per-chunk costs, and the deliberately tight pool keeps every buffer
+/// cycling through acquire/release at full rate — exactly the convoy
+/// the sharded lock-free pool and batched retirement remove.
+fn contention_config() -> CrfsConfig {
+    CrfsConfig::default()
+        .with_chunk_size(4 << 10)
+        .with_pool_size(4 << 20) // 1024 buffers, recycled continuously
+        .with_io_threads(2)
+}
+
+/// Runs `point` five times and keeps the median-throughput run — the
+/// sweep shares a noisy machine with the rest of CI, and the median is
+/// robust to slow outliers in either direction.
+fn median_of_5(mut point: impl FnMut() -> ContentionPoint) -> ContentionPoint {
+    let mut runs: Vec<ContentionPoint> = (0..5).map(|_| point()).collect();
+    runs.sort_by(|a, b| a.mibs.total_cmp(&b.mibs));
+    runs.swap_remove(2)
+}
+
+/// Measures one contention cell. The config decides which code paths
+/// (legacy vs sharded/batched) the mount uses.
+pub fn contention_point(
+    config: CrfsConfig,
+    mode: &'static str,
+    writers: usize,
+    bytes_per_writer: usize,
+) -> ContentionPoint {
+    let fs = Crfs::mount(Arc::new(DiscardBackend::new()), config).expect("mount");
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let fs = &fs;
+            s.spawn(move || {
+                let f = fs.create(&format!("/stream{w}")).expect("create");
+                let buf = vec![0x5au8; 256 << 10];
+                let mut remaining = bytes_per_writer;
+                while remaining > 0 {
+                    let n = remaining.min(buf.len());
+                    f.write(&buf[..n]).expect("write");
+                    remaining -= n;
+                }
+                f.close().expect("close");
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let snap = fs.stats();
+    fs.unmount().expect("unmount");
+    ContentionPoint {
+        threads: writers,
+        mode,
+        mibs: (writers * bytes_per_writer) as f64 / secs / (1 << 20) as f64,
+        chunks_sealed: snap.chunks_sealed,
+        engine_submits: snap.engine_submits,
+        locks_per_chunk: if snap.chunks_sealed == 0 {
+            0.0
+        } else {
+            snap.engine_submits as f64 / snap.chunks_sealed as f64
+        },
+        pool_waits: snap.pool_waits,
+        shard_lock_waits: snap.shard_lock_waits,
+    }
+}
+
+/// Threads-vs-throughput sweep: baseline (pre-overhaul locking) against
+/// the overhauled hot path at its default knobs, at 1..=8 writer
+/// threads, each cell the median of five runs. `quick` trims the
+/// per-writer volume for smoke runs.
+pub fn contention_threads_sweep(quick: bool) -> Vec<ContentionPoint> {
+    let per_writer = if quick { 8 << 20 } else { 48 << 20 };
+    let mut out = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        out.push(median_of_5(|| {
+            contention_point(
+                contention_config().with_legacy_locking(true),
+                "baseline",
+                threads,
+                per_writer,
+            )
+        }));
+        out.push(median_of_5(|| {
+            contention_point(contention_config(), "overhauled", threads, per_writer)
+        }));
+    }
+    out
+}
+
+/// Batch-size sweep at 8 writer threads: how throughput and queue-lock
+/// acquisitions per chunk respond to `submit_batch`/`worker_batch`
+/// (sharded table/pool held constant; only batching varies).
+pub fn contention_batch_sweep(quick: bool) -> Vec<(usize, ContentionPoint)> {
+    let per_writer = if quick { 8 << 20 } else { 48 << 20 };
+    [1usize, 2, 4, 8, 16, 32, 64]
+        .iter()
+        .map(|&batch| {
+            (
+                batch,
+                median_of_5(|| {
+                    contention_point(
+                        contention_config()
+                            .with_submit_batch(batch)
+                            .with_worker_batch(batch.clamp(1, 32)),
+                        "overhauled",
+                        8,
+                        per_writer,
+                    )
+                }),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +408,43 @@ mod tests {
         let p = raw_bandwidth(16 << 20, 1 << 20, 4, 8 << 20);
         // Modern hardware must clear the paper's 700 MB/s easily.
         assert!(p.mbs > 200.0, "got {} MiB/s", p.mbs);
+    }
+
+    #[test]
+    fn contention_point_measures_and_counts() {
+        let p = contention_point(
+            CrfsConfig::default()
+                .with_chunk_size(4 << 10)
+                .with_pool_size(1 << 20)
+                .with_io_threads(2),
+            "overhauled",
+            2,
+            2 << 20,
+        );
+        assert_eq!(p.threads, 2);
+        assert!(p.mibs > 0.0);
+        assert_eq!(p.chunks_sealed, 2 * (2 << 20) / (4 << 10));
+        assert!(p.engine_submits > 0 && p.engine_submits <= p.chunks_sealed);
+        assert!(
+            p.locks_per_chunk < 1.0,
+            "batched submission must cost < 1 queue lock per chunk, got {}",
+            p.locks_per_chunk
+        );
+        let legacy = contention_point(
+            CrfsConfig::default()
+                .with_chunk_size(4 << 10)
+                .with_pool_size(1 << 20)
+                .with_io_threads(2)
+                .with_legacy_locking(true),
+            "baseline",
+            2,
+            2 << 20,
+        );
+        assert_eq!(
+            legacy.engine_submits, legacy.chunks_sealed,
+            "legacy submits per chunk"
+        );
+        assert_eq!(legacy.locks_per_chunk, 1.0);
     }
 
     #[test]

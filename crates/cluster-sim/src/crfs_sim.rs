@@ -57,6 +57,11 @@ pub struct CrfsSimStats {
     pub chunks_completed: Cell<u64>,
     /// Bytes written to the backend.
     pub bytes_out: Cell<u64>,
+    /// Engine submissions — mirrors the real filesystem's
+    /// `engine_submits`: a request's sealed chunks are collected and
+    /// handed to the work queue as one batch (flushed early only when
+    /// the batch limit is hit or the pool forces a blocking acquire).
+    pub submit_batches: Cell<u64>,
 }
 
 /// A simulated CRFS mount on one node.
@@ -208,16 +213,34 @@ impl CrfsSim {
                 f.outstanding.clone(),
             )
         };
+        // Mirror of the real write path's batched submission: sealed
+        // chunks collect in `pending` and go to the work queue together —
+        // flushed early when the batch limit is reached or before a
+        // blocking pool acquire (the awaited-on buffers only come back
+        // once submitted chunks complete).
+        let submit_batch = self.config.resolved_submit_batch();
+        let mut pending: Vec<ChunkState> = Vec::new();
         let plan = plan_write(cur, offset, len as usize, self.config.chunk_size);
         for step in plan {
             match step {
                 PlanStep::Seal => {
                     let c = cur.take().expect("plan seals existing chunk");
-                    self.enqueue(backend_fid, c, &acct, &wg).await;
+                    pending.push(c);
+                    if pending.len() >= submit_batch {
+                        self.enqueue_batch(backend_fid, &mut pending, &acct, &wg)
+                            .await;
+                    }
                 }
                 PlanStep::Open { file_offset } => {
-                    // Blocks when the pool is exhausted: CRFS back-pressure.
-                    self.pool.acquire(1).await.forget();
+                    match self.pool.try_acquire(1) {
+                        Some(permit) => permit.forget(),
+                        None => {
+                            // Flush, then block: CRFS back-pressure.
+                            self.enqueue_batch(backend_fid, &mut pending, &acct, &wg)
+                                .await;
+                            self.pool.acquire(1).await.forget();
+                        }
+                    }
                     cur = Some(ChunkState {
                         file_offset,
                         fill: 0,
@@ -229,11 +252,33 @@ impl CrfsSim {
                 }
             }
         }
+        self.enqueue_batch(backend_fid, &mut pending, &acct, &wg)
+            .await;
         if let Some(f) = self.files.borrow_mut().get_mut(&fh) {
             f.chunk = cur;
         }
         self.stats.requests.set(self.stats.requests.get() + 1);
         self.stats.bytes_in.set(self.stats.bytes_in.get() + len);
+    }
+
+    /// Sends a collected batch of sealed chunks to the IO workers as one
+    /// submission, leaving `pending` empty. No-op on an empty batch.
+    async fn enqueue_batch(
+        &self,
+        backend_fid: u64,
+        pending: &mut Vec<ChunkState>,
+        acct: &Rc<RefCell<ChunkAccounting>>,
+        wg: &WaitGroup,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        self.stats
+            .submit_batches
+            .set(self.stats.submit_batches.get() + 1);
+        for c in pending.drain(..) {
+            self.enqueue(backend_fid, c, acct, wg).await;
+        }
     }
 
     async fn enqueue(
@@ -287,7 +332,10 @@ impl CrfsSim {
             )
         };
         match flush_plan(chunk) {
-            FlushStep::SealPartial(c) => self.enqueue(backend_fid, c, &acct, &wg).await,
+            FlushStep::SealPartial(c) => {
+                self.enqueue_batch(backend_fid, &mut vec![c], &acct, &wg)
+                    .await
+            }
             FlushStep::ReleaseEmpty(_) => self.pool.add_permits(1),
             FlushStep::Nothing => {}
         }
@@ -328,7 +376,10 @@ impl CrfsSim {
             )
         };
         match flush_plan(chunk) {
-            FlushStep::SealPartial(c) => self.enqueue(backend_fid, c, &acct, &wg).await,
+            FlushStep::SealPartial(c) => {
+                self.enqueue_batch(backend_fid, &mut vec![c], &acct, &wg)
+                    .await
+            }
             FlushStep::ReleaseEmpty(_) => self.pool.add_permits(1),
             FlushStep::Nothing => {}
         }

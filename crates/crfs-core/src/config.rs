@@ -69,6 +69,29 @@ pub struct CrfsConfig {
     pub read_flushes: bool,
     /// IO engine dispatching sealed chunks to the backend.
     pub engine: EngineKind,
+    /// Number of hash shards for the open-file table. `0` (default)
+    /// auto-sizes to `next_pow2(io_threads * 4)`; any other value is
+    /// rounded up to a power of two. Concurrent open/write/close on
+    /// different files only contend when their paths hash to the same
+    /// shard.
+    pub table_shards: usize,
+    /// Number of free-list shards for the buffer pool. `0` (default)
+    /// auto-sizes to `next_pow2(io_threads * 2)`, capped at the pool's
+    /// chunk count; any other value is rounded up to a power of two.
+    pub pool_shards: usize,
+    /// Maximum sealed chunks a single `write()` collects before handing
+    /// them to the engine as one `submit_batch` (one queue-lock
+    /// acquisition instead of one per chunk). `1` disables batching.
+    pub submit_batch: usize,
+    /// Maximum queued items an IO worker drains per queue-lock
+    /// acquisition. `1` reproduces the paper's one-pop-per-wakeup.
+    pub worker_batch: usize,
+    /// Pre-sharding/pre-batching baseline for A/B contention
+    /// measurement: a single-`Mutex` buffer pool, a one-shard file
+    /// table, and per-chunk submission — the code path this repository
+    /// shipped before the hot-path overhaul. Used by the `exp
+    /// contention` experiment; leave `false` for production mounts.
+    pub legacy_locking: bool,
 }
 
 impl Default for CrfsConfig {
@@ -81,6 +104,11 @@ impl Default for CrfsConfig {
             crossing_delay: None,
             read_flushes: true,
             engine: EngineKind::Threaded,
+            table_shards: 0,
+            pool_shards: 0,
+            submit_batch: 16,
+            worker_batch: 8,
+            legacy_locking: false,
         }
     }
 }
@@ -110,9 +138,91 @@ impl CrfsConfig {
         self
     }
 
+    /// Convenience builder: sets the open-file-table shard count
+    /// (`0` = auto).
+    pub fn with_table_shards(mut self, n: usize) -> Self {
+        self.table_shards = n;
+        self
+    }
+
+    /// Convenience builder: sets the buffer-pool shard count (`0` = auto).
+    pub fn with_pool_shards(mut self, n: usize) -> Self {
+        self.pool_shards = n;
+        self
+    }
+
+    /// Convenience builder: sets the submission batch limit.
+    pub fn with_submit_batch(mut self, n: usize) -> Self {
+        self.submit_batch = n;
+        self
+    }
+
+    /// Convenience builder: sets the worker drain batch limit.
+    pub fn with_worker_batch(mut self, n: usize) -> Self {
+        self.worker_batch = n;
+        self
+    }
+
+    /// Convenience builder: toggles the pre-overhaul baseline locking.
+    pub fn with_legacy_locking(mut self, on: bool) -> Self {
+        self.legacy_locking = on;
+        self
+    }
+
     /// Number of chunks the pool will hold.
     pub fn pool_chunks(&self) -> usize {
         self.pool_size / self.chunk_size.max(1)
+    }
+
+    /// The open-file-table shard count a mount will actually use: the
+    /// configured value (or `io_threads * 4` when auto) rounded up to a
+    /// power of two; `1` in legacy mode.
+    pub fn resolved_table_shards(&self) -> usize {
+        if self.legacy_locking {
+            return 1;
+        }
+        let n = if self.table_shards == 0 {
+            self.io_threads.max(1) * 4
+        } else {
+            self.table_shards
+        };
+        n.max(1).next_power_of_two()
+    }
+
+    /// The buffer-pool shard count a mount will actually use: the
+    /// configured value (or `io_threads * 2` when auto) rounded up to a
+    /// power of two and capped at the pool's chunk count; `1` in legacy
+    /// mode.
+    pub fn resolved_pool_shards(&self) -> usize {
+        if self.legacy_locking {
+            return 1;
+        }
+        let n = if self.pool_shards == 0 {
+            self.io_threads.max(1) * 2
+        } else {
+            self.pool_shards
+        };
+        n.max(1)
+            .next_power_of_two()
+            .min(self.pool_chunks().max(1).next_power_of_two())
+    }
+
+    /// The submission batch limit actually in effect (`1` in legacy mode).
+    pub fn resolved_submit_batch(&self) -> usize {
+        if self.legacy_locking {
+            1
+        } else {
+            self.submit_batch
+        }
+    }
+
+    /// The worker drain batch actually in effect (`1` in legacy mode).
+    pub fn resolved_worker_batch(&self) -> usize {
+        if self.legacy_locking {
+            1
+        } else {
+            self.worker_batch
+        }
     }
 
     /// Validates the configuration, returning a descriptive error for any
@@ -139,6 +249,16 @@ impl CrfsConfig {
         }
         if self.max_write == 0 {
             return Err(CrfsError::Config("max_write must be non-zero".into()));
+        }
+        if self.submit_batch == 0 {
+            return Err(CrfsError::Config(
+                "submit_batch must be at least 1 (1 disables batching)".into(),
+            ));
+        }
+        if self.worker_batch == 0 {
+            return Err(CrfsError::Config(
+                "worker_batch must be at least 1 (1 disables batched draining)".into(),
+            ));
         }
         Ok(())
     }
@@ -202,5 +322,42 @@ mod tests {
             ..CrfsConfig::default()
         };
         assert!(c.validate().is_err());
+        assert!(CrfsConfig::default()
+            .with_submit_batch(0)
+            .validate()
+            .is_err());
+        assert!(CrfsConfig::default()
+            .with_worker_batch(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn shard_counts_resolve_to_powers_of_two() {
+        let c = CrfsConfig::default().with_io_threads(3);
+        assert_eq!(c.resolved_table_shards(), 16); // next_pow2(3 * 4)
+        assert_eq!(c.resolved_pool_shards(), 4); // next_pow2(3 * 2) capped at 4 chunks
+        let c = c.with_table_shards(5).with_pool_shards(3);
+        assert_eq!(c.resolved_table_shards(), 8);
+        assert_eq!(c.resolved_pool_shards(), 4);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn legacy_locking_forces_baseline_shape() {
+        let c = CrfsConfig::default()
+            .with_legacy_locking(true)
+            .with_table_shards(64)
+            .with_pool_shards(8)
+            .with_submit_batch(32)
+            .with_worker_batch(16);
+        assert_eq!(c.resolved_table_shards(), 1);
+        assert_eq!(c.resolved_pool_shards(), 1);
+        assert_eq!(c.resolved_submit_batch(), 1);
+        assert_eq!(c.resolved_worker_batch(), 1);
+        c.validate().unwrap();
+        let c = c.with_legacy_locking(false);
+        assert_eq!(c.resolved_submit_batch(), 32);
+        assert_eq!(c.resolved_worker_batch(), 16);
     }
 }

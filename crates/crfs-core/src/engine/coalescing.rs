@@ -63,12 +63,10 @@ impl CoalescedWrite {
     }
 
     /// Appends `next`'s segments to this write. Caller checked `accepts`.
-    fn absorb(&mut self, next: CoalescedWrite) -> u64 {
+    fn absorb(&mut self, next: CoalescedWrite) {
         debug_assert!(self.accepts(&next));
         self.total += next.total;
-        let merged = next.segments.len() as u64;
         self.segments.extend(next.segments);
-        merged
     }
 }
 
@@ -80,15 +78,17 @@ pub struct CoalescingEngine {
 }
 
 impl CoalescingEngine {
-    /// Spawns `io_threads` workers draining the engine queue.
+    /// Spawns `io_threads` workers draining the engine queue, up to
+    /// `worker_batch` merged writes per queue-lock acquisition.
     pub fn new(
         io_threads: usize,
+        worker_batch: usize,
         pool: Arc<BufferPool>,
         stats: Arc<CrfsStats>,
     ) -> Result<CoalescingEngine> {
         let worker_pool = Arc::clone(&pool);
         let worker_stats = Arc::clone(&stats);
-        let workers = WorkerPool::spawn(io_threads, "crfs-coalesce", move |write| {
+        let workers = WorkerPool::spawn(io_threads, worker_batch, "crfs-coalesce", move |write| {
             dispatch(&worker_stats, &worker_pool, write);
         })
         .map_err(CrfsError::Io)?;
@@ -97,6 +97,31 @@ impl CoalescingEngine {
             pool,
             stats,
         })
+    }
+
+    /// Fails a refused (possibly pre-merged) write: every segment
+    /// completes with an error and recycles its buffer.
+    fn refuse_write(&self, write: CoalescedWrite) {
+        let CoalescedWrite {
+            entry,
+            mut offset,
+            segments,
+            ..
+        } = write;
+        for Segment { buf, len } in segments {
+            let chunk_offset = offset;
+            offset += len as u64;
+            super::refuse(
+                &self.stats,
+                &self.pool,
+                SealedChunk {
+                    entry: Arc::clone(&entry),
+                    buf,
+                    len,
+                    offset: chunk_offset,
+                },
+            );
+        }
     }
 }
 
@@ -128,34 +153,43 @@ fn dispatch(stats: &CrfsStats, pool: &BufferPool, write: CoalescedWrite) {
         .backend_write_ns
         .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
     stats.backend_writes.fetch_add(1, Relaxed);
+    // Coalescing accounting happens here, where the op is actually
+    // issued: of this write's chunks, all but one were saved a backend
+    // op. Counting at dispatch (not at merge time) keeps
+    // `backend_writes + chunks_coalesced == chunks_completed` exact even
+    // when merged writes are later refused by a shutdown race.
+    stats
+        .chunks_coalesced
+        .fetch_add(write.segments.len() as u64 - 1, Relaxed);
     if res.is_ok() {
         stats.bytes_out.fetch_add(write.total as u64, Relaxed);
     }
     // Fan completion out to every absorbed chunk: the ledger counts
     // chunks, not backend ops.
     let err = res.err().map(|e| StoredError::capture(&e));
-    stats
-        .chunks_completed
-        .fetch_add(write.segments.len() as u64, Relaxed);
-    for seg in write.segments {
+    let segments = write.segments.len();
+    stats.chunks_completed.fetch_add(segments as u64, Relaxed);
+    // Batch-recycle all segment buffers (one waiter wakeup) before
+    // completing, so a passed barrier implies the buffers are back —
+    // the same ordering and amortization as `write_and_retire_batch`.
+    pool.release_many(write.segments.into_iter().map(|seg| seg.buf));
+    for _ in 0..segments {
         let seg_res = match &err {
             Some(e) => Err(e.to_io()),
             None => Ok(()),
         };
         write.entry.note_completed(seg_res);
-        pool.release(seg.buf);
     }
 }
 
 impl IoEngine for CoalescingEngine {
     fn submit(&self, chunk: SealedChunk) -> Result<()> {
-        let stats = &self.stats;
+        self.stats.engine_submits.fetch_add(1, Relaxed);
         let pushed = self
             .workers
             .push_or_merge(CoalescedWrite::of(chunk), |tail, item| {
                 if tail.accepts(&item) {
-                    let merged = tail.absorb(item);
-                    stats.chunks_coalesced.fetch_add(merged, Relaxed);
+                    tail.absorb(item);
                     None
                 } else {
                     Some(item)
@@ -167,24 +201,47 @@ impl IoEngine for CoalescingEngine {
                 // A refused item is always the freshly wrapped, unmerged
                 // chunk: merges mutate the queue tail in place and never
                 // bounce back out.
-                let CoalescedWrite {
-                    entry,
-                    offset,
-                    mut segments,
-                    ..
-                } = write;
-                debug_assert_eq!(segments.len(), 1, "refused write was merged?");
-                let Segment { buf, len } = segments.pop().expect("refused chunk has its segment");
-                Err(super::refuse(
-                    &self.stats,
-                    &self.pool,
-                    SealedChunk {
-                        entry,
-                        buf,
-                        len,
-                        offset,
-                    },
-                ))
+                debug_assert_eq!(write.segments.len(), 1, "refused write was merged?");
+                self.refuse_write(write);
+                Err(CrfsError::Unmounted)
+            }
+        }
+    }
+
+    fn submit_batch(&self, chunks: Vec<SealedChunk>) -> Result<()> {
+        if chunks.is_empty() {
+            return Ok(());
+        }
+        self.stats.engine_submits.fetch_add(1, Relaxed);
+        // Pre-merge within the batch without any lock: a large write's
+        // chunks are contiguous by construction, so a K-chunk batch
+        // usually collapses to a single pending write before the queue
+        // lock is even touched.
+        let mut writes: Vec<CoalescedWrite> = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            let item = CoalescedWrite::of(chunk);
+            match writes.last_mut() {
+                Some(tail) if tail.accepts(&item) => tail.absorb(item),
+                _ => writes.push(item),
+            }
+        }
+        // The remaining writes merge across the queue tail under one
+        // lock acquisition.
+        let pushed = self.workers.push_or_merge_batch(writes, |tail, item| {
+            if tail.accepts(&item) {
+                tail.absorb(item);
+                None
+            } else {
+                Some(item)
+            }
+        });
+        match pushed {
+            Ok(()) => Ok(()),
+            Err(writes) => {
+                for write in writes {
+                    self.refuse_write(write);
+                }
+                Err(CrfsError::Unmounted)
             }
         }
     }

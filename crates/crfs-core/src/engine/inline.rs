@@ -1,9 +1,10 @@
 //! Synchronous engine: submission is completion.
 
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
-use super::{refuse, write_and_retire, IoEngine, SealedChunk};
+use super::{refuse_batch, write_and_retire, IoEngine, SealedChunk};
 use crate::error::Result;
 use crate::pool::BufferPool;
 use crate::stats::CrfsStats;
@@ -39,22 +40,52 @@ impl InlineEngine {
     }
 }
 
-impl IoEngine for InlineEngine {
-    fn submit(&self, chunk: SealedChunk) -> Result<()> {
-        {
-            let mut st = self.state.lock();
-            if st.shut {
-                drop(st);
-                return Err(refuse(&self.stats, &self.pool, chunk));
-            }
-            st.in_flight += 1;
-        }
-        write_and_retire(&self.stats, &self.pool, chunk);
+impl InlineEngine {
+    /// Gates `n` submissions past the shutdown check; `false` means the
+    /// engine is shut and nothing was admitted.
+    fn enter(&self, n: usize) -> bool {
         let mut st = self.state.lock();
-        st.in_flight -= 1;
+        if st.shut {
+            return false;
+        }
+        st.in_flight += n;
+        true
+    }
+
+    /// Retire `n` in-flight submissions, waking drain/shutdown waiters.
+    fn exit(&self, n: usize) {
+        let mut st = self.state.lock();
+        st.in_flight -= n;
         if st.in_flight == 0 {
             self.cv.notify_all();
         }
+    }
+}
+
+impl IoEngine for InlineEngine {
+    fn submit(&self, chunk: SealedChunk) -> Result<()> {
+        self.stats.engine_submits.fetch_add(1, Relaxed);
+        if !self.enter(1) {
+            return Err(super::refuse(&self.stats, &self.pool, chunk));
+        }
+        write_and_retire(&self.stats, &self.pool, chunk);
+        self.exit(1);
+        Ok(())
+    }
+
+    fn submit_batch(&self, chunks: Vec<SealedChunk>) -> Result<()> {
+        if chunks.is_empty() {
+            return Ok(());
+        }
+        self.stats.engine_submits.fetch_add(1, Relaxed);
+        let n = chunks.len();
+        if !self.enter(n) {
+            return Err(refuse_batch(&self.stats, &self.pool, chunks));
+        }
+        for chunk in chunks {
+            write_and_retire(&self.stats, &self.pool, chunk);
+        }
+        self.exit(n);
         Ok(())
     }
 

@@ -72,6 +72,14 @@ pub trait IoEngine: Send + Sync {
     /// cannot hang).
     fn submit(&self, chunk: SealedChunk) -> Result<()>;
 
+    /// Hands a whole batch of sealed chunks to the engine under a single
+    /// queue-lock acquisition (the write path collects the chunks a large
+    /// `write()` seals and submits them together). Same contract as
+    /// [`submit`](IoEngine::submit), applied to every chunk: on shutdown
+    /// the entire batch is failed-and-recycled and `Unmounted` returned
+    /// once — acceptance is all-or-nothing, never partial.
+    fn submit_batch(&self, chunks: Vec<SealedChunk>) -> Result<()>;
+
     /// Blocks until every chunk accepted so far has completed.
     fn drain(&self);
 
@@ -89,9 +97,20 @@ pub fn build(
     pool: Arc<BufferPool>,
     stats: Arc<CrfsStats>,
 ) -> Result<Arc<dyn IoEngine>> {
+    let worker_batch = config.resolved_worker_batch();
     Ok(match config.engine {
-        EngineKind::Threaded => Arc::new(ThreadedEngine::new(config.io_threads, pool, stats)?),
-        EngineKind::Coalescing => Arc::new(CoalescingEngine::new(config.io_threads, pool, stats)?),
+        EngineKind::Threaded => Arc::new(ThreadedEngine::new(
+            config.io_threads,
+            worker_batch,
+            pool,
+            stats,
+        )?),
+        EngineKind::Coalescing => Arc::new(CoalescingEngine::new(
+            config.io_threads,
+            worker_batch,
+            pool,
+            stats,
+        )?),
         EngineKind::Inline => Arc::new(InlineEngine::new(pool, stats)),
     })
 }
@@ -114,8 +133,49 @@ fn write_and_retire(stats: &CrfsStats, pool: &BufferPool, chunk: SealedChunk) {
         stats.bytes_out.fetch_add(chunk.len as u64, Relaxed);
     }
     stats.chunks_completed.fetch_add(1, Relaxed);
-    chunk.entry.note_completed(res);
+    // Recycle before completing: a passed close/fsync barrier then
+    // implies the file's buffers are back in the pool (the occupancy
+    // gauge reads exact at quiescence).
     pool.release(chunk.buf);
+    chunk.entry.note_completed(res);
+}
+
+/// [`write_and_retire`] over a whole drained batch: one backend write
+/// per chunk as before, but the timing, stats, buffer recycling, and
+/// pool wakeup are paid once per batch instead of once per chunk. Used
+/// by the threaded engine's workers.
+fn write_and_retire_batch(stats: &CrfsStats, pool: &BufferPool, chunks: Vec<SealedChunk>) {
+    if chunks.is_empty() {
+        return;
+    }
+    let n = chunks.len() as u64;
+    let mut bufs = Vec::with_capacity(chunks.len());
+    let mut completions = Vec::with_capacity(chunks.len());
+    let mut ok_bytes = 0u64;
+    let t0 = Instant::now();
+    for chunk in chunks {
+        let res = chunk
+            .entry
+            .file
+            .write_at(chunk.offset, &chunk.buf[..chunk.len]);
+        if res.is_ok() {
+            ok_bytes += chunk.len as u64;
+        }
+        bufs.push(chunk.buf);
+        completions.push((chunk.entry, res));
+    }
+    stats
+        .backend_write_ns
+        .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+    stats.backend_writes.fetch_add(n, Relaxed);
+    stats.bytes_out.fetch_add(ok_bytes, Relaxed);
+    stats.chunks_completed.fetch_add(n, Relaxed);
+    // Batch-recycle (one waiter wake), then complete — same
+    // release-before-complete ordering as the single-chunk path.
+    pool.release_many(bufs);
+    for (entry, res) in completions {
+        entry.note_completed(res);
+    }
 }
 
 /// Fails a chunk that an engine refused (shutdown race): completes it
@@ -124,11 +184,24 @@ fn write_and_retire(stats: &CrfsStats, pool: &BufferPool, chunk: SealedChunk) {
 /// the backend, so it must not skew the op-savings accounting.
 fn refuse(stats: &CrfsStats, pool: &BufferPool, chunk: SealedChunk) -> CrfsError {
     stats.chunks_refused.fetch_add(1, Relaxed);
+    pool.release(chunk.buf);
     chunk.entry.note_completed(Err(io::Error::new(
         io::ErrorKind::NotConnected,
         "CRFS IO engine is shut down",
     )));
-    pool.release(chunk.buf);
+    CrfsError::Unmounted
+}
+
+/// [`refuse`] over a whole rejected batch; every chunk completes with an
+/// error and recycles its buffer, and a single `Unmounted` is returned.
+fn refuse_batch(
+    stats: &CrfsStats,
+    pool: &BufferPool,
+    chunks: impl IntoIterator<Item = SealedChunk>,
+) -> CrfsError {
+    for chunk in chunks {
+        refuse(stats, pool, chunk);
+    }
     CrfsError::Unmounted
 }
 
@@ -149,7 +222,7 @@ mod tests {
         let stats = Arc::new(CrfsStats::new());
         let be = Arc::new(MemBackend::new());
         let f = be.open("/e", OpenOptions::create_truncate()).unwrap();
-        let entry = Arc::new(FileEntry::new("/e".into(), f));
+        let entry = Arc::new(FileEntry::new("/e", f));
         (pool, stats, entry, be)
     }
 
@@ -173,8 +246,10 @@ mod tests {
 
     fn engine(which: usize, pool: &Arc<BufferPool>, stats: &Arc<CrfsStats>) -> Arc<dyn IoEngine> {
         match which {
-            0 => Arc::new(ThreadedEngine::new(2, Arc::clone(pool), Arc::clone(stats)).unwrap()),
-            1 => Arc::new(CoalescingEngine::new(2, Arc::clone(pool), Arc::clone(stats)).unwrap()),
+            0 => Arc::new(ThreadedEngine::new(2, 4, Arc::clone(pool), Arc::clone(stats)).unwrap()),
+            1 => {
+                Arc::new(CoalescingEngine::new(2, 4, Arc::clone(pool), Arc::clone(stats)).unwrap())
+            }
             _ => Arc::new(InlineEngine::new(Arc::clone(pool), Arc::clone(stats))),
         }
     }
@@ -198,6 +273,60 @@ mod tests {
             assert!(data[..1024].iter().all(|&b| b == b'a'));
             assert!(data[1024..].iter().all(|&b| b == b'b'));
             engine.shutdown();
+            assert_eq!(pool.free_chunks(), 4, "{}: buffers leaked", engine.name());
+        }
+    }
+
+    #[test]
+    fn every_engine_accepts_batches_and_counts_submits() {
+        for which in 0..3 {
+            let (pool, stats, entry, be) = fixture(4);
+            let engine = engine(which, &pool, &stats);
+            let batch = vec![
+                chunk_of(&pool, &entry, 0, b'a', 1024),
+                chunk_of(&pool, &entry, 1024, b'b', 1024),
+                chunk_of(&pool, &entry, 2048, b'c', 512),
+            ];
+            engine.submit_batch(batch).unwrap();
+            engine.submit_batch(Vec::new()).unwrap(); // empty batch is a no-op
+            engine.drain();
+            let (_, err) = entry.wait_outstanding();
+            assert!(err.is_none(), "{}: {err:?}", engine.name());
+            assert_eq!(be.contents("/e").unwrap().len(), 2560, "{}", engine.name());
+            assert_eq!(
+                stats.chunks_completed.load(Relaxed),
+                3,
+                "{}: every batched chunk completes individually",
+                engine.name()
+            );
+            assert_eq!(
+                stats.engine_submits.load(Relaxed),
+                1,
+                "{}: a 3-chunk batch is one submission (empty batches don't count)",
+                engine.name()
+            );
+            engine.shutdown();
+            assert_eq!(pool.free_chunks(), 4, "{}: buffers leaked", engine.name());
+        }
+    }
+
+    #[test]
+    fn batch_refused_after_shutdown_fails_every_chunk() {
+        for which in 0..3 {
+            let (pool, stats, entry, _be) = fixture(4);
+            let engine = engine(which, &pool, &stats);
+            engine.shutdown();
+            let batch = vec![
+                chunk_of(&pool, &entry, 0, b'x', 100),
+                chunk_of(&pool, &entry, 100, b'y', 100),
+            ];
+            let err = engine.submit_batch(batch).unwrap_err();
+            assert!(matches!(err, CrfsError::Unmounted), "{}", engine.name());
+            // Both chunks completed (with errors), so barriers cannot hang.
+            let (_, err) = entry.wait_outstanding();
+            assert!(err.is_some(), "{}", engine.name());
+            assert_eq!(stats.chunks_refused.load(Relaxed), 2, "{}", engine.name());
+            assert_eq!(stats.chunks_completed.load(Relaxed), 0, "{}", engine.name());
             assert_eq!(pool.free_chunks(), 4, "{}: buffers leaked", engine.name());
         }
     }

@@ -27,17 +27,19 @@ pub(crate) struct WorkQueue<T> {
     quiet_cv: Condvar,
 }
 
-/// Marks one popped item as in flight until dropped — dropping (even by
-/// panic unwind) re-arms [`WorkQueue::drain`], so a worker that dies
-/// mid-item cannot wedge shutdown/unmount forever.
+/// Marks one popped item (or a whole popped batch) as in flight until
+/// dropped — dropping (even by panic unwind) re-arms
+/// [`WorkQueue::drain`], so a worker that dies mid-item cannot wedge
+/// shutdown/unmount forever.
 pub(crate) struct InFlightGuard<'a, T> {
     queue: &'a WorkQueue<T>,
+    count: usize,
 }
 
 impl<T> Drop for InFlightGuard<'_, T> {
     fn drop(&mut self) {
         let mut st = self.queue.state.lock();
-        st.in_flight -= 1;
+        st.in_flight -= self.count;
         if st.items.is_empty() && st.in_flight == 0 {
             self.queue.quiet_cv.notify_all();
         }
@@ -60,6 +62,69 @@ impl<T> WorkQueue<T> {
     /// Enqueues `item`, or returns it if the queue is closed.
     pub fn push(&self, item: T) -> Result<(), T> {
         self.push_or_merge(item, |_, item| Some(item))
+    }
+
+    /// Enqueues a whole batch under one queue-lock acquisition, or
+    /// returns the batch untouched if the queue is closed.
+    pub fn push_batch(&self, items: Vec<T>) -> Result<(), Vec<T>> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let n = {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(items);
+            }
+            let n = items.len();
+            st.items.extend(items);
+            n
+        };
+        if n == 1 {
+            self.items_cv.notify_one();
+        } else {
+            self.items_cv.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Enqueues a whole batch under one queue-lock acquisition, offering
+    /// each item to `merge` together with the current tail (which may be
+    /// an earlier item of the same batch). `merge` returns `None` when it
+    /// absorbed the item into the tail. Returns the untouched batch if
+    /// the queue is closed.
+    pub fn push_or_merge_batch(
+        &self,
+        items: Vec<T>,
+        mut merge: impl FnMut(&mut T, T) -> Option<T>,
+    ) -> Result<(), Vec<T>> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let pushed = {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(items);
+            }
+            let mut pushed = 0usize;
+            for item in items {
+                let item = match st.items.back_mut() {
+                    Some(tail) => match merge(tail, item) {
+                        Some(item) => item,
+                        None => continue, // merged into the tail
+                    },
+                    None => item,
+                };
+                st.items.push_back(item);
+                pushed += 1;
+            }
+            pushed
+        };
+        match pushed {
+            0 => {}
+            1 => self.items_cv.notify_one(),
+            _ => self.items_cv.notify_all(),
+        }
+        Ok(())
     }
 
     /// Enqueues `item`, first offering it to `merge` together with the
@@ -90,13 +155,44 @@ impl<T> WorkQueue<T> {
 
     /// Dequeues the next item, blocking while the queue is empty. Returns
     /// `None` once the queue is closed *and* drained. The item counts as
-    /// in flight until the returned guard is dropped.
+    /// in flight until the returned guard is dropped. (Workers drain via
+    /// [`pop_batch`](Self::pop_batch); the single-item form remains for
+    /// tests.)
+    #[cfg(test)]
     pub fn pop(&self) -> Option<(T, InFlightGuard<'_, T>)> {
+        let (mut batch, guard) = self.pop_batch(1, 1)?;
+        Some((batch.pop().expect("pop_batch(1) returns one item"), guard))
+    }
+
+    /// Dequeues up to `max` items under one queue-lock acquisition,
+    /// blocking while the queue is empty. Returns `None` once the queue
+    /// is closed *and* drained. The whole batch counts as in flight
+    /// until the returned guard is dropped.
+    ///
+    /// The drain is additionally capped at a fair share of the queue
+    /// (`ceil(len / workers)`), so a shallow burst spreads across the
+    /// worker pool instead of one worker serializing it while its peers
+    /// sleep — on a latency-bound backend that parallelism is worth far
+    /// more than the saved lock acquisitions. Batching only engages
+    /// fully once the queue is deeper than the pool can drain in one
+    /// round.
+    pub fn pop_batch(&self, max: usize, workers: usize) -> Option<(Vec<T>, InFlightGuard<'_, T>)> {
+        let max = max.max(1);
+        let workers = workers.max(1);
         let mut st = self.state.lock();
         loop {
-            if let Some(item) = st.items.pop_front() {
-                st.in_flight += 1;
-                return Some((item, InFlightGuard { queue: self }));
+            if !st.items.is_empty() {
+                let fair = st.items.len().div_ceil(workers);
+                let n = st.items.len().min(max).min(fair.max(1));
+                let batch: Vec<T> = st.items.drain(..n).collect();
+                st.in_flight += n;
+                return Some((
+                    batch,
+                    InFlightGuard {
+                        queue: self,
+                        count: n,
+                    },
+                ));
             }
             if st.closed {
                 return None;
@@ -139,12 +235,38 @@ pub(crate) struct WorkerPool<T> {
 
 impl<T: Send + 'static> WorkerPool<T> {
     /// Spawns `count` workers named `{name}-{i}`, each running `run` on
-    /// every popped item.
-    pub fn spawn<F>(count: usize, name: &str, run: F) -> io::Result<WorkerPool<T>>
+    /// every popped item. Workers drain up to `worker_batch` queued items
+    /// per queue-lock acquisition (`1` = the paper's one-pop-per-wakeup).
+    pub fn spawn<F>(
+        count: usize,
+        worker_batch: usize,
+        name: &str,
+        run: F,
+    ) -> io::Result<WorkerPool<T>>
     where
         F: Fn(T) + Send + Clone + 'static,
     {
+        Self::spawn_batched(count, worker_batch, name, move |batch| {
+            for item in batch {
+                run(item);
+            }
+        })
+    }
+
+    /// Like [`spawn`](Self::spawn), but hands each worker the whole
+    /// drained batch at once, so per-item retirement costs (timing,
+    /// stats, buffer recycling, wakeups) can be amortized over it.
+    pub fn spawn_batched<F>(
+        count: usize,
+        worker_batch: usize,
+        name: &str,
+        run: F,
+    ) -> io::Result<WorkerPool<T>>
+    where
+        F: Fn(Vec<T>) + Send + Clone + 'static,
+    {
         let queue = Arc::new(WorkQueue::new());
+        let worker_batch = worker_batch.max(1);
         let mut handles = Vec::with_capacity(count);
         for i in 0..count {
             let queue = Arc::clone(&queue);
@@ -153,8 +275,8 @@ impl<T: Send + 'static> WorkerPool<T> {
                 thread::Builder::new()
                     .name(format!("{name}-{i}"))
                     .spawn(move || {
-                        while let Some((item, _in_flight)) = queue.pop() {
-                            run(item);
+                        while let Some((batch, _in_flight)) = queue.pop_batch(worker_batch, count) {
+                            run(batch);
                         }
                     })?,
             );
@@ -170,6 +292,11 @@ impl<T: Send + 'static> WorkerPool<T> {
         self.queue.push(item)
     }
 
+    /// See [`WorkQueue::push_batch`].
+    pub fn push_batch(&self, items: Vec<T>) -> Result<(), Vec<T>> {
+        self.queue.push_batch(items)
+    }
+
     /// See [`WorkQueue::push_or_merge`].
     pub fn push_or_merge(
         &self,
@@ -177,6 +304,15 @@ impl<T: Send + 'static> WorkerPool<T> {
         merge: impl FnOnce(&mut T, T) -> Option<T>,
     ) -> Result<(), T> {
         self.queue.push_or_merge(item, merge)
+    }
+
+    /// See [`WorkQueue::push_or_merge_batch`].
+    pub fn push_or_merge_batch(
+        &self,
+        items: Vec<T>,
+        merge: impl FnMut(&mut T, T) -> Option<T>,
+    ) -> Result<(), Vec<T>> {
+        self.queue.push_or_merge_batch(items, merge)
     }
 
     /// Blocks until every accepted item has been processed.
@@ -225,6 +361,80 @@ mod tests {
         assert_eq!(q.pop().map(|(v, _g)| v), Some(2));
         assert!(q.pop().is_none());
         assert!(q.push(3).is_err());
+    }
+
+    #[test]
+    fn push_batch_keeps_fifo_order_and_respects_close() {
+        let q = WorkQueue::new();
+        q.push(0).unwrap();
+        q.push_batch(vec![1, 2, 3]).unwrap();
+        assert_eq!(q.len(), 4);
+        for want in 0..4 {
+            assert_eq!(q.pop().map(|(v, _g)| v), Some(want));
+        }
+        q.close();
+        let refused = q.push_batch(vec![7, 8]).unwrap_err();
+        assert_eq!(refused, vec![7, 8], "closed queue returns the whole batch");
+        assert!(
+            q.push_batch(Vec::<i32>::new()).is_ok(),
+            "empty batch is a no-op"
+        );
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max_in_one_acquisition() {
+        let q = WorkQueue::new();
+        q.push_batch((0..10).collect()).unwrap();
+        let (batch, g) = q.pop_batch(4, 1).unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        drop(g);
+        let (batch, g) = q.pop_batch(100, 1).unwrap();
+        assert_eq!(batch.len(), 6, "capped by what is queued");
+        drop(g);
+        q.close();
+        assert!(q.pop_batch(4, 1).is_none());
+    }
+
+    #[test]
+    fn drain_waits_for_whole_in_flight_batch() {
+        let q = Arc::new(WorkQueue::new());
+        q.push_batch(vec![1, 2, 3]).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            let (batch, _guard) = q2.pop_batch(3, 1).unwrap();
+            thread::sleep(Duration::from_millis(30));
+            batch.len()
+        });
+        thread::sleep(Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        q.drain();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(10),
+            "drain returned early"
+        );
+        assert_eq!(h.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn merge_batch_absorbs_within_and_across_batches() {
+        let q = WorkQueue::new();
+        q.push(100).unwrap();
+        // Merge rule: absorb any item <= 10 into the tail.
+        let absorb = |tail: &mut i32, item: i32| {
+            if item <= 10 {
+                *tail += item;
+                None
+            } else {
+                Some(item)
+            }
+        };
+        q.push_or_merge_batch(vec![1, 2, 50, 3], absorb).unwrap();
+        // 1 and 2 merged into 100; 50 pushed; 3 merged into 50.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().map(|(v, _g)| v), Some(103));
+        assert_eq!(q.pop().map(|(v, _g)| v), Some(53));
+        q.close();
+        assert!(q.push_or_merge_batch(vec![1], absorb).is_err());
     }
 
     #[test]
@@ -280,7 +490,7 @@ mod tests {
 
     #[test]
     fn panicking_worker_does_not_wedge_drain() {
-        let pool: WorkerPool<u32> = WorkerPool::spawn(1, "boom", |v| {
+        let pool: WorkerPool<u32> = WorkerPool::spawn(1, 4, "boom", |v| {
             if v == 13 {
                 panic!("injected worker failure");
             }
@@ -295,20 +505,24 @@ mod tests {
 
     #[test]
     fn worker_pool_processes_and_shuts_down() {
-        let hits = Arc::new(AtomicUsize::new(0));
-        let hits2 = Arc::clone(&hits);
-        let pool = WorkerPool::spawn(3, "t", move |v: usize| {
-            hits2.fetch_add(v, Relaxed);
-        })
-        .unwrap();
-        for _ in 0..100 {
-            pool.push(1).unwrap();
+        for worker_batch in [1usize, 8] {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let hits2 = Arc::clone(&hits);
+            let pool = WorkerPool::spawn(3, worker_batch, "t", move |v: usize| {
+                hits2.fetch_add(v, Relaxed);
+            })
+            .unwrap();
+            for _ in 0..50 {
+                pool.push(1).unwrap();
+            }
+            pool.push_batch(vec![1; 50]).unwrap();
+            pool.drain();
+            assert_eq!(hits.load(Relaxed), 100, "batch {worker_batch}");
+            pool.shutdown();
+            pool.shutdown(); // idempotent
+            assert!(pool.push(1).is_err());
+            assert!(pool.push_batch(vec![1]).is_err());
+            assert_eq!(hits.load(Relaxed), 100, "batch {worker_batch}");
         }
-        pool.drain();
-        assert_eq!(hits.load(Relaxed), 100);
-        pool.shutdown();
-        pool.shutdown(); // idempotent
-        assert!(pool.push(1).is_err());
-        assert_eq!(hits.load(Relaxed), 100);
     }
 }

@@ -17,10 +17,12 @@ pub enum CrfsError {
     /// Immediate IO failure from the backend.
     Io(io::Error),
     /// An asynchronous chunk write failed earlier; the string preserves the
-    /// original error text and the file it struck.
+    /// original error text and the file it struck. The path is the
+    /// `FileEntry`'s interned `Arc<str>`, so constructing this error
+    /// never copies the path.
     DeferredWrite {
         /// Path of the file whose background write failed.
-        path: String,
+        path: std::sync::Arc<str>,
         /// Original IO error message.
         source: io::Error,
     },

@@ -3,11 +3,12 @@
 //! through a pluggable [`IoEngine`](crate::engine::IoEngine) — see
 //! [`crate::engine`] for the threaded/coalescing/inline implementations.
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::backend::{normalize_path, parent_of, Backend, OpenOptions};
 use crate::chunking::{flush_plan, plan_write, ChunkState, FlushStep, PlanStep};
@@ -18,12 +19,93 @@ use crate::file::{CurrentChunk, FileEntry};
 use crate::pool::BufferPool;
 use crate::stats::{CrfsStats, StatsSnapshot};
 
+/// One shard of the open-file table.
+type TableShard = Mutex<HashMap<Arc<str>, Arc<FileEntry>>>;
+
+/// The open-file table (paper §IV-A), hash-sharded by path so concurrent
+/// open/write/close on different files never touch the same lock.
+///
+/// Shard count is fixed at mount (`CrfsConfig::resolved_table_shards`,
+/// default `next_pow2(io_threads * 4)`). Entries intern their path as an
+/// `Arc<str>` once at open; the table keys by that same `Arc`, so lookups
+/// and removals never copy the string. Contended shard locks are counted
+/// in `CrfsStats::shard_lock_waits`.
+struct FileTable {
+    shards: Box<[TableShard]>,
+    mask: u64,
+    stats: Arc<CrfsStats>,
+}
+
+impl FileTable {
+    /// Creates a table with `shards` shards (must be a power of two).
+    fn new(shards: usize, stats: Arc<CrfsStats>) -> FileTable {
+        debug_assert!(shards.is_power_of_two());
+        FileTable {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: shards as u64 - 1,
+            stats,
+        }
+    }
+
+    /// FNV-1a over the path bytes — cheap, stable, and well-mixed for the
+    /// short strings paths are.
+    fn shard_index(&self, path: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in path.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h & self.mask) as usize
+    }
+
+    /// Locks the shard owning `path`, counting contended acquisitions.
+    fn lock_shard(&self, path: &str) -> MutexGuard<'_, HashMap<Arc<str>, Arc<FileEntry>>> {
+        let shard = &self.shards[self.shard_index(path)];
+        match shard.try_lock() {
+            Some(g) => g,
+            None => {
+                self.stats.shard_lock_waits.fetch_add(1, Relaxed);
+                shard.lock()
+            }
+        }
+    }
+
+    /// Looks up an open entry without copying the path.
+    fn get(&self, path: &str) -> Option<Arc<FileEntry>> {
+        self.lock_shard(path).get(path).map(Arc::clone)
+    }
+
+    /// Open files across all shards.
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Snapshot of every open entry (unmount, rename sweeps).
+    fn entries(&self) -> Vec<Arc<FileEntry>> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().values().cloned().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Empties every shard (unmount epilogue).
+    fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().clear();
+        }
+    }
+}
+
 /// State shared between the front end and the IO engine.
 struct Shared {
     backend: Arc<dyn Backend>,
     config: CrfsConfig,
+    /// Sealed chunks a single `write()` may collect before handing them
+    /// to the engine in one `submit_batch` (resolved from the config at
+    /// mount).
+    submit_batch: usize,
     pool: Arc<BufferPool>,
-    table: Mutex<HashMap<String, Arc<FileEntry>>>,
+    table: FileTable,
     stats: Arc<CrfsStats>,
     /// The IO dispatch strategy. Plain `Arc` — the per-write path takes
     /// no lock to reach the engine (the old design funnelled every seal
@@ -54,14 +136,25 @@ impl Crfs {
     /// at mount time).
     pub fn mount(backend: Arc<dyn Backend>, config: CrfsConfig) -> Result<Arc<Crfs>> {
         config.validate()?;
-        let pool = Arc::new(BufferPool::new(config.chunk_size, config.pool_chunks()));
+        let pool = Arc::new(if config.legacy_locking {
+            BufferPool::legacy(config.chunk_size, config.pool_chunks())
+        } else {
+            BufferPool::with_shards(
+                config.chunk_size,
+                config.pool_chunks(),
+                config.resolved_pool_shards(),
+            )
+        });
         let stats = Arc::new(CrfsStats::new());
         let engine = crate::engine::build(&config, Arc::clone(&pool), Arc::clone(&stats))?;
+        let table = FileTable::new(config.resolved_table_shards(), Arc::clone(&stats));
+        let submit_batch = config.resolved_submit_batch();
         let shared = Arc::new(Shared {
             backend,
             config,
+            submit_batch,
             pool,
-            table: Mutex::new(HashMap::new()),
+            table,
             stats,
             engine,
         });
@@ -77,9 +170,12 @@ impl Crfs {
         &self.shared.config
     }
 
-    /// Instrumentation snapshot.
+    /// Instrumentation snapshot, including the pool occupancy gauge.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        let mut snap = self.shared.stats.snapshot();
+        snap.pool_free_chunks = self.shared.pool.free_chunks() as u64;
+        snap.pool_total_chunks = self.shared.pool.total_chunks() as u64;
+        snap
     }
 
     /// Name of the active IO engine (`threaded`, `coalescing`, `inline`).
@@ -94,7 +190,7 @@ impl Crfs {
 
     /// Number of files currently open.
     pub fn open_files(&self) -> usize {
-        self.shared.table.lock().len()
+        self.shared.table.len()
     }
 
     fn check_mounted(&self) -> Result<()> {
@@ -128,11 +224,11 @@ impl Crfs {
     pub fn open_with(self: &Arc<Self>, path: &str, opts: OpenOptions) -> Result<CrfsFile> {
         self.check_mounted()?;
         let path = normalize_path(path).map_err(CrfsError::Io)?;
-        let mut table = self.shared.table.lock();
-        if let Some(entry) = table.get(&path) {
+        let mut shard = self.shared.table.lock_shard(&path);
+        if let Some(entry) = shard.get(path.as_str()) {
             let entry = Arc::clone(entry);
             entry.refcount.fetch_add(1, Relaxed);
-            drop(table);
+            drop(shard);
             if opts.truncate {
                 self.truncate_entry(&entry)?;
             }
@@ -143,9 +239,14 @@ impl Crfs {
             .backend
             .open(&path, opts)
             .map_err(|e| annotate(e, &path))?;
-        let entry = Arc::new(FileEntry::new(path.clone(), file));
-        table.insert(path, Arc::clone(&entry));
-        drop(table);
+        // Intern the path once; table key and entry share the Arc.
+        let entry = Arc::new(FileEntry::with_ledger(
+            path,
+            file,
+            self.shared.config.legacy_locking,
+        ));
+        shard.insert(Arc::clone(&entry.path), Arc::clone(&entry));
+        drop(shard);
         self.shared.stats.opens.fetch_add(1, Relaxed);
         Ok(CrfsFile::new(Arc::clone(self), entry))
     }
@@ -180,11 +281,11 @@ impl Crfs {
     /// outstanding chunk write completed, and retires the table entry.
     fn close_entry(&self, entry: &Arc<FileEntry>) -> Result<()> {
         let last = {
-            let mut table = self.shared.table.lock();
+            let mut shard = self.shared.table.lock_shard(&entry.path);
             let prev = entry.refcount.fetch_sub(1, Relaxed);
             debug_assert!(prev >= 1, "refcount underflow on {}", entry.path);
             if prev == 1 {
-                table.remove(&entry.path);
+                shard.remove(&*entry.path);
                 true
             } else {
                 false
@@ -203,9 +304,19 @@ impl Crfs {
     // ------------------------------------------------------------------
 
     /// Core write-aggregation path (paper §IV-B).
+    ///
+    /// Chunks the write seals are *collected* and handed to the engine
+    /// as one `submit_batch` of up to `config.submit_batch` chunks — one
+    /// producer-side queue-lock acquisition instead of one per chunk. A
+    /// pending batch is flushed early when the batch limit is reached or
+    /// before blocking on an exhausted buffer pool (the blocked-on
+    /// buffers come back only after submitted chunks complete, so an
+    /// unflushed batch would deadlock the back-pressure loop).
     fn write_entry(&self, entry: &Arc<FileEntry>, offset: u64, data: &[u8]) -> Result<()> {
         self.check_mounted()?;
         let chunk_size = self.shared.config.chunk_size;
+        let max_batch = self.shared.submit_batch;
+        let mut batch: Vec<SealedChunk> = Vec::new();
         let mut slot = entry.chunk.lock();
         let plan = plan_write(
             slot.as_ref().map(|c| c.state),
@@ -214,6 +325,7 @@ impl Crfs {
             chunk_size,
         );
         let mut consumed = 0usize;
+        let mut sealed_count = 0u64;
         for step in plan {
             match step {
                 PlanStep::Seal => {
@@ -222,10 +334,35 @@ impl Crfs {
                         // Partial chunk orphaned by a non-sequential write.
                         self.shared.stats.discontinuity_seals.fetch_add(1, Relaxed);
                     }
-                    self.seal_chunk(entry, cur)?;
+                    sealed_count += 1;
+                    batch.push(Self::wrap_sealed(entry, cur));
+                    if batch.len() >= max_batch {
+                        // Flush the seal count first so the ledger and
+                        // the counter cannot diverge on a refused batch.
+                        self.shared
+                            .stats
+                            .chunks_sealed
+                            .fetch_add(std::mem::take(&mut sealed_count), Relaxed);
+                        self.submit_collected(&mut batch)?;
+                    }
                 }
                 PlanStep::Open { file_offset } => {
-                    let Some((buf, waited)) = self.shared.pool.acquire() else {
+                    let got = match self.shared.pool.try_acquire() {
+                        Some(buf) => Some((buf, Duration::ZERO)),
+                        None => {
+                            // Pool empty (or closing): flush our sealed
+                            // chunks so the workers can recycle their
+                            // buffers, then block.
+                            self.shared
+                                .stats
+                                .chunks_sealed
+                                .fetch_add(std::mem::take(&mut sealed_count), Relaxed);
+                            self.submit_collected(&mut batch)?;
+                            self.shared.pool.acquire()
+                        }
+                    };
+                    let Some((buf, waited)) = got else {
+                        debug_assert!(batch.is_empty(), "refused batch was completed");
                         return Err(CrfsError::Unmounted);
                     };
                     if !waited.is_zero() {
@@ -252,6 +389,11 @@ impl Crfs {
                 }
             }
         }
+        self.shared
+            .stats
+            .chunks_sealed
+            .fetch_add(sealed_count, Relaxed);
+        self.submit_collected(&mut batch)?;
         drop(slot);
         self.shared.stats.writes.fetch_add(1, Relaxed);
         self.shared
@@ -264,16 +406,40 @@ impl Crfs {
         Ok(())
     }
 
-    /// Hands a sealed chunk to the IO engine for asynchronous writing.
-    fn seal_chunk(&self, entry: &Arc<FileEntry>, cur: CurrentChunk) -> Result<()> {
+    /// Records a chunk on the entry's barrier ledger and wraps it for
+    /// the engine — the single place seal bookkeeping happens. The
+    /// caller owns the `chunks_sealed` stat (the write path counts a
+    /// whole batch at once) and the submission.
+    fn wrap_sealed(entry: &Arc<FileEntry>, cur: CurrentChunk) -> SealedChunk {
         entry.note_sealed();
-        self.shared.stats.chunks_sealed.fetch_add(1, Relaxed);
-        self.shared.engine.submit(SealedChunk {
+        SealedChunk {
             entry: Arc::clone(entry),
             len: cur.state.fill,
             offset: cur.state.file_offset,
             buf: cur.buf,
-        })
+        }
+    }
+
+    /// Hands the collected batch to the engine, leaving `batch` empty in
+    /// every case (on refusal the engine completes each chunk with an
+    /// error and recycles its buffer, so nothing is left to leak).
+    fn submit_collected(&self, batch: &mut Vec<SealedChunk>) -> Result<()> {
+        match batch.len() {
+            0 => Ok(()),
+            1 => self
+                .shared
+                .engine
+                .submit(batch.pop().expect("one collected chunk")),
+            _ => self.shared.engine.submit_batch(std::mem::take(batch)),
+        }
+    }
+
+    /// Hands a sealed chunk to the IO engine for asynchronous writing
+    /// (the close/fsync flush path, which never has more than one).
+    fn seal_chunk(&self, entry: &Arc<FileEntry>, cur: CurrentChunk) -> Result<()> {
+        let chunk = Self::wrap_sealed(entry, cur);
+        self.shared.stats.chunks_sealed.fetch_add(1, Relaxed);
+        self.shared.engine.submit(chunk)
     }
 
     /// Seals the entry's partial chunk (if any) and waits for all
@@ -378,16 +544,17 @@ impl Crfs {
         self.check_mounted()?;
         let from = normalize_path(from).map_err(CrfsError::Io)?;
         let to = normalize_path(to).map_err(CrfsError::Io)?;
-        let open_under: Vec<Arc<FileEntry>> = {
-            let table = self.shared.table.lock();
-            table
-                .iter()
-                .filter(|(k, _)| {
-                    k.as_str() == from || k.starts_with(&format!("{from}/")) || parent_of(k) == from
-                })
-                .map(|(_, v)| Arc::clone(v))
-                .collect()
-        };
+        let under = format!("{from}/");
+        let open_under: Vec<Arc<FileEntry>> = self
+            .shared
+            .table
+            .entries()
+            .into_iter()
+            .filter(|e| {
+                let k: &str = &e.path;
+                k == from || k.starts_with(&under) || parent_of(k) == from
+            })
+            .collect();
         for e in open_under {
             self.flush_entry(&e)?;
         }
@@ -404,7 +571,7 @@ impl Crfs {
     pub fn truncate(&self, path: &str, len: u64) -> Result<()> {
         self.check_mounted()?;
         let p = normalize_path(path).map_err(CrfsError::Io)?;
-        let open_entry = self.shared.table.lock().get(&p).map(Arc::clone);
+        let open_entry = self.shared.table.get(&p);
         match open_entry {
             Some(entry) => {
                 self.flush_entry(&entry)?;
@@ -437,7 +604,7 @@ impl Crfs {
     pub fn file_len(&self, path: &str) -> Result<u64> {
         self.check_mounted()?;
         let p = normalize_path(path).map_err(CrfsError::Io)?;
-        if let Some(entry) = self.shared.table.lock().get(&p) {
+        if let Some(entry) = self.shared.table.get(&p) {
             return entry.logical_len().map_err(CrfsError::Io);
         }
         self.shared
@@ -476,14 +643,14 @@ impl Crfs {
         if self.unmounted.swap(true, Relaxed) {
             return Err(CrfsError::Unmounted);
         }
-        let entries: Vec<Arc<FileEntry>> = self.shared.table.lock().values().cloned().collect();
+        let entries = self.shared.table.entries();
         let mut first_err = None;
         for e in entries {
             if let Err(err) = self.flush_entry(&e) {
                 first_err.get_or_insert(err);
             }
         }
-        self.shared.table.lock().clear();
+        self.shared.table.clear();
         // Refuses new chunks, drains accepted ones, joins the workers.
         self.shared.engine.shutdown();
         self.shared.pool.close();
@@ -1133,6 +1300,119 @@ mod tests {
         );
         assert!(coalesced.chunks_coalesced > 0);
         assert_eq!(coalesced.backend_ops_saved(), coalesced.chunks_coalesced);
+    }
+
+    /// Batched submission is observable: a multi-chunk write makes one
+    /// engine submission, and the accounting ledger still balances.
+    #[test]
+    fn large_write_submits_chunks_as_one_batch() {
+        for engine in ALL_ENGINES {
+            let (fs, be) = mount_mem(
+                small_config()
+                    .with_pool_size(16 << 10)
+                    .with_engine(engine)
+                    .with_submit_batch(16),
+            );
+            let f = fs.create("/batched").unwrap();
+            f.write(&vec![4u8; 8 * 1024]).unwrap(); // seals 8 chunks
+            f.close().unwrap();
+            assert_eq!(be.contents("/batched").unwrap().len(), 8 * 1024);
+            let snap = fs.stats();
+            assert_eq!(snap.chunks_sealed, 8, "{engine:?}");
+            assert_eq!(snap.chunks_sealed, snap.chunks_completed, "{engine:?}");
+            // 8 full chunks in one batch + the close-time partial-less
+            // flush submits nothing extra (the write ended chunk-aligned).
+            assert_eq!(snap.engine_submits, 1, "{engine:?}");
+            assert!(snap.avg_batch_len() >= 8.0, "{engine:?}");
+            assert_eq!(
+                snap.backend_writes + snap.chunks_coalesced,
+                snap.chunks_completed,
+                "{engine:?}"
+            );
+        }
+    }
+
+    /// With batching disabled (submit_batch = 1) every sealed chunk is
+    /// its own submission — the baseline the batch counter is judged
+    /// against.
+    #[test]
+    fn unbatched_submission_costs_one_lock_per_chunk() {
+        let (fs, _be) = mount_mem(small_config().with_submit_batch(1));
+        let f = fs.create("/solo").unwrap();
+        f.write(&vec![1u8; 8 * 1024]).unwrap();
+        f.close().unwrap();
+        let snap = fs.stats();
+        assert_eq!(snap.chunks_sealed, 8);
+        assert_eq!(snap.engine_submits, 8);
+        assert_eq!(snap.avg_batch_len(), 1.0);
+    }
+
+    /// Unmount racing a storm of multi-chunk (batched) writes: every
+    /// sealed chunk must complete exactly once (written or refused), no
+    /// barrier may hang, and every pool buffer must come back — for all
+    /// three engines.
+    #[test]
+    fn unmount_during_batched_writes_never_leaks_or_hangs() {
+        for engine in ALL_ENGINES {
+            let config = CrfsConfig::default()
+                .with_chunk_size(1024)
+                .with_pool_size(8 << 10)
+                .with_io_threads(2)
+                .with_engine(engine)
+                .with_submit_batch(8);
+            let (fs, _be) = mount_mem(config);
+            let mut writers = Vec::new();
+            for w in 0..4 {
+                let fs = Arc::clone(&fs);
+                writers.push(thread::spawn(move || {
+                    let Ok(f) = fs.create(&format!("/race{w}")) else {
+                        return; // lost the race to unmount entirely
+                    };
+                    for _ in 0..50 {
+                        // 4-chunk writes so submission is genuinely batched.
+                        if f.write(&vec![w as u8; 4 * 1024]).is_err() {
+                            break; // unmounted under us — expected
+                        }
+                    }
+                    let _ = f.close();
+                }));
+            }
+            // Let the writers get going, then pull the rug.
+            thread::sleep(std::time::Duration::from_millis(5));
+            let _ = fs.unmount();
+            for h in writers {
+                h.join().unwrap();
+            }
+            let snap = fs.stats();
+            assert_eq!(
+                snap.chunks_sealed,
+                snap.chunks_completed + snap.chunks_refused,
+                "{engine:?}: every sealed chunk written or refused exactly once"
+            );
+            assert_eq!(
+                snap.backend_writes + snap.chunks_coalesced,
+                snap.chunks_completed,
+                "{engine:?}: op accounting balances"
+            );
+            assert_eq!(
+                snap.pool_free_chunks, snap.pool_total_chunks,
+                "{engine:?}: every buffer returned to the pool"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_locking_mount_still_correct() {
+        let (fs, be) = mount_mem(small_config().with_legacy_locking(true));
+        let f = fs.create("/legacy").unwrap();
+        f.write(&vec![9u8; 5000]).unwrap();
+        f.close().unwrap();
+        assert_eq!(be.contents("/legacy").unwrap().len(), 5000);
+        let snap = fs.stats();
+        assert_eq!(snap.chunks_sealed, snap.chunks_completed);
+        // Per-chunk submission in legacy mode.
+        assert_eq!(snap.engine_submits, snap.chunks_sealed);
+        fs.unmount().unwrap();
     }
 
     // ------------------------------------------------------------------

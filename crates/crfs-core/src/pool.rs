@@ -5,38 +5,254 @@
 //! when every chunk is in flight — this back-pressure, together with the
 //! bounded IO-thread count, is CRFS's *IO throttling*. IO workers return
 //! buffers with [`BufferPool::release`] after writing them out.
+//!
+//! ## Contention structure
+//!
+//! The free list is split into power-of-two **shards**, each a bounded
+//! lock-free MPMC ring (Vyukov-style sequence-tagged slots): the hot
+//! acquire/release path is a couple of atomic CAS/stores and never takes
+//! a lock, so writer threads and IO workers stop convoying on a single
+//! `Mutex` the way the original single-free-list pool did. A `Mutex` +
+//! `Condvar` pair exists purely as the **empty slow path**: a writer that
+//! finds every shard empty parks on it until a release (or `close`) wakes
+//! it. The wait re-arms on a short timeout as a belt-and-braces guard
+//! against the theoretical store-buffer race between a releaser's
+//! waiter-count check and a waiter's final ring scan.
+//!
+//! [`BufferPool::legacy`] keeps the pre-overhaul single-`Mutex` pool
+//! alive as a measurable baseline for the `exp contention` experiment
+//! (with the `closed`-check bug of that era fixed in both paths: a
+//! closed pool never hands out buffers, even when its free list is
+//! non-empty).
 
 use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{
+    AtomicBool, AtomicUsize,
+    Ordering::{Acquire, Relaxed, Release},
+};
 use std::time::{Duration, Instant};
 
-struct PoolState {
+/// Park-and-recheck period for the empty slow path; bounds the cost of a
+/// (theoretical) missed wakeup without measurable polling overhead —
+/// pool-exhaustion waits are milliseconds-scale by design.
+const EMPTY_RECHECK: Duration = Duration::from_millis(1);
+
+/// Pads a hot atomic to its own cache line: producers CAS-ing `tail`
+/// must not invalidate the line consumers CAS on `head` (false sharing
+/// would reintroduce the cross-core traffic the sharded pool removes).
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// One slot of a [`Ring`]: a sequence number gating a possibly-present
+/// buffer, per Vyukov's bounded MPMC queue.
+struct Slot {
+    seq: AtomicUsize,
+    buf: UnsafeCell<MaybeUninit<Vec<u8>>>,
+}
+
+/// A bounded lock-free MPMC ring of buffers (one pool shard).
+///
+/// Invariant maintained by [`BufferPool`]: each ring's capacity is at
+/// least the pool's total buffer count, so `push` cannot fail no matter
+/// how releases distribute across shards.
+struct Ring {
+    mask: usize,
+    /// Dequeue position (own cache line).
+    head: CachePadded<AtomicUsize>,
+    /// Enqueue position (own cache line).
+    tail: CachePadded<AtomicUsize>,
+    slots: Box<[Slot]>,
+}
+
+// The UnsafeCell contents are only touched by the thread that won the
+// corresponding head/tail CAS, and publication is ordered by the slot's
+// `seq` (Release store / Acquire load).
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        let cap = capacity.max(1).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                buf: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Ring {
+            mask: cap - 1,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+            slots,
+        }
+    }
+
+    /// Enqueues `v`; returns it if the ring is full (never happens under
+    /// the pool's capacity invariant).
+    fn push(&self, v: Vec<u8>) -> Result<(), Vec<u8>> {
+        let mut pos = self.tail.0.load(Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self
+                    .tail
+                    .0
+                    .compare_exchange_weak(pos, pos.wrapping_add(1), Relaxed, Relaxed)
+                {
+                    Ok(_) => {
+                        unsafe { (*slot.buf.get()).write(v) };
+                        slot.seq.store(pos.wrapping_add(1), Release);
+                        return Ok(());
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                return Err(v);
+            } else {
+                pos = self.tail.0.load(Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues a buffer, or `None` if the ring is empty.
+    fn pop(&self) -> Option<Vec<u8>> {
+        let mut pos = self.head.0.load(Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                match self
+                    .head
+                    .0
+                    .compare_exchange_weak(pos, pos.wrapping_add(1), Relaxed, Relaxed)
+                {
+                    Ok(_) => {
+                        let v = unsafe { (*slot.buf.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask).wrapping_add(1), Release);
+                        return Some(v);
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.head.0.load(Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        // Drain remaining buffers so their Vecs are dropped.
+        while self.pop().is_some() {}
+    }
+}
+
+/// Pre-overhaul free-list state (the `legacy` baseline).
+struct LegacyState {
     free: Vec<Vec<u8>>,
-    closed: bool,
+}
+
+enum PoolImpl {
+    Sharded {
+        shards: Box<[Ring]>,
+        shard_mask: usize,
+        /// Round-robin start points spreading acquires and releases
+        /// across shards, each on its own cache line so producers and
+        /// consumers don't bounce a shared line on every operation.
+        acquire_cursor: CachePadded<AtomicUsize>,
+        release_cursor: CachePadded<AtomicUsize>,
+        /// Empty-slow-path parking. Not touched by the lock-free fast
+        /// path.
+        gate: Mutex<()>,
+        cv: Condvar,
+        waiters: AtomicUsize,
+    },
+    Legacy {
+        state: Mutex<LegacyState>,
+        cv: Condvar,
+    },
 }
 
 /// Fixed-size pool of reusable chunk buffers.
 pub struct BufferPool {
-    state: Mutex<PoolState>,
-    cv: Condvar,
+    imp: PoolImpl,
     chunk_size: usize,
     total_chunks: usize,
+    closed: AtomicBool,
+    /// Occupancy gauge (buffers currently free), cache-line padded —
+    /// it is touched by every acquire and release. Exact whenever the
+    /// pool is quiescent; transiently approximate under concurrent
+    /// churn.
+    free_count: CachePadded<AtomicUsize>,
 }
 
 impl BufferPool {
-    /// Creates a pool of `total_chunks` buffers of `chunk_size` bytes each.
-    /// All buffers are allocated (and zero-initialized) up front, like the
-    /// paper's mount-time pool.
+    /// Creates a pool of `total_chunks` buffers of `chunk_size` bytes
+    /// each with an automatically sized shard count. All buffers are
+    /// allocated (and zero-initialized) up front, like the paper's
+    /// mount-time pool.
     pub fn new(chunk_size: usize, total_chunks: usize) -> BufferPool {
+        let auto = (total_chunks / 4).max(1).next_power_of_two().min(16);
+        BufferPool::with_shards(chunk_size, total_chunks, auto)
+    }
+
+    /// Creates a pool with an explicit shard count (rounded up to a
+    /// power of two, capped at `total_chunks`).
+    pub fn with_shards(chunk_size: usize, total_chunks: usize, shards: usize) -> BufferPool {
+        assert!(chunk_size > 0 && total_chunks > 0);
+        let n = shards
+            .max(1)
+            .next_power_of_two()
+            .min(total_chunks.next_power_of_two());
+        // Capacity = 2x total: every buffer fits in any one shard
+        // (wherever round-robin points a release), with headroom for
+        // slots transiently unavailable while a concurrent pop is
+        // between its head-CAS and its sequence store.
+        let rings: Box<[Ring]> = (0..n).map(|_| Ring::new(total_chunks * 2)).collect();
+        for i in 0..total_chunks {
+            if rings[i & (n - 1)].push(vec![0u8; chunk_size]).is_err() {
+                unreachable!("fresh ring has room");
+            }
+        }
+        BufferPool {
+            imp: PoolImpl::Sharded {
+                shards: rings,
+                shard_mask: n - 1,
+                acquire_cursor: CachePadded(AtomicUsize::new(0)),
+                release_cursor: CachePadded(AtomicUsize::new(0)),
+                gate: Mutex::new(()),
+                cv: Condvar::new(),
+                waiters: AtomicUsize::new(0),
+            },
+            chunk_size,
+            total_chunks,
+            closed: AtomicBool::new(false),
+            free_count: CachePadded(AtomicUsize::new(total_chunks)),
+        }
+    }
+
+    /// Creates the pre-overhaul single-`Mutex` pool — the contention
+    /// baseline measured by `exp contention`.
+    pub fn legacy(chunk_size: usize, total_chunks: usize) -> BufferPool {
         assert!(chunk_size > 0 && total_chunks > 0);
         let free = (0..total_chunks).map(|_| vec![0u8; chunk_size]).collect();
         BufferPool {
-            state: Mutex::new(PoolState {
-                free,
-                closed: false,
-            }),
-            cv: Condvar::new(),
+            imp: PoolImpl::Legacy {
+                state: Mutex::new(LegacyState { free }),
+                cv: Condvar::new(),
+            },
             chunk_size,
             total_chunks,
+            closed: AtomicBool::new(false),
+            free_count: CachePadded(AtomicUsize::new(total_chunks)),
         }
     }
 
@@ -50,59 +266,219 @@ impl BufferPool {
         self.total_chunks
     }
 
-    /// Buffers currently free.
+    /// Number of free-list shards (1 for the legacy baseline).
+    pub fn shards(&self) -> usize {
+        match &self.imp {
+            PoolImpl::Sharded { shards, .. } => shards.len(),
+            PoolImpl::Legacy { .. } => 1,
+        }
+    }
+
+    /// Buffers currently free (occupancy gauge; exact at quiescence).
     pub fn free_chunks(&self) -> usize {
-        self.state.lock().free.len()
+        self.free_count.0.load(Relaxed)
+    }
+
+    /// Pushes into one ring, spinning out the (bounded, transient) case
+    /// where a slot is mid-pop: the ring's capacity is twice the pool's
+    /// buffer count, so it can never be *logically* full — a failed push
+    /// only means a concurrent pop holds a slot between its head-CAS and
+    /// its sequence store.
+    fn push_ring(ring: &Ring, mut buf: Vec<u8>) {
+        loop {
+            match ring.push(buf) {
+                Ok(()) => return,
+                Err(b) => {
+                    buf = b;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Lock-free scan over all shards, starting at a rotating cursor.
+    fn pop_any(&self) -> Option<Vec<u8>> {
+        match &self.imp {
+            PoolImpl::Sharded {
+                shards,
+                shard_mask,
+                acquire_cursor,
+                ..
+            } => {
+                let start = acquire_cursor.0.fetch_add(1, Relaxed);
+                for i in 0..shards.len() {
+                    if let Some(buf) = shards[(start + i) & shard_mask].pop() {
+                        self.free_count.0.fetch_sub(1, Relaxed);
+                        return Some(buf);
+                    }
+                }
+                None
+            }
+            PoolImpl::Legacy { state, .. } => {
+                let buf = state.lock().free.pop();
+                if buf.is_some() {
+                    self.free_count.0.fetch_sub(1, Relaxed);
+                }
+                buf
+            }
+        }
     }
 
     /// Takes a free buffer, blocking until one is available.
     ///
     /// Returns the buffer and the time spent blocked (zero when a buffer
-    /// was immediately available). Returns `None` if the pool was closed
-    /// while waiting (unmount).
+    /// was immediately available). Returns `None` once the pool is
+    /// closed (unmount) — including when free buffers remain; a closed
+    /// pool hands out nothing.
     pub fn acquire(&self) -> Option<(Vec<u8>, Duration)> {
-        let mut st = self.state.lock();
-        if let Some(buf) = st.free.pop() {
+        // Closed gate first: the fast path must not outrun `close()`.
+        if self.closed.load(Acquire) {
+            return None;
+        }
+        if let Some(buf) = self.pop_any() {
             return Some((buf, Duration::ZERO));
         }
-        let t0 = Instant::now();
-        loop {
-            if st.closed {
-                return None;
+        match &self.imp {
+            PoolImpl::Sharded {
+                gate, cv, waiters, ..
+            } => {
+                let t0 = Instant::now();
+                waiters.fetch_add(1, Relaxed);
+                let mut g = gate.lock();
+                let got = loop {
+                    if self.closed.load(Acquire) {
+                        break None;
+                    }
+                    if let Some(buf) = self.pop_any() {
+                        break Some((buf, t0.elapsed()));
+                    }
+                    // Timed re-arm: self-heals a missed notify.
+                    let _ = cv.wait_for(&mut g, EMPTY_RECHECK);
+                };
+                drop(g);
+                waiters.fetch_sub(1, Relaxed);
+                got
             }
-            if let Some(buf) = st.free.pop() {
-                return Some((buf, t0.elapsed()));
+            PoolImpl::Legacy { state, cv } => {
+                let mut st = state.lock();
+                let mut t0 = None;
+                loop {
+                    if self.closed.load(Acquire) {
+                        return None;
+                    }
+                    if let Some(buf) = st.free.pop() {
+                        self.free_count.0.fetch_sub(1, Relaxed);
+                        let waited = t0.map_or(Duration::ZERO, |t: Instant| t.elapsed());
+                        return Some((buf, waited));
+                    }
+                    t0.get_or_insert_with(Instant::now);
+                    cv.wait(&mut st);
+                }
             }
-            self.cv.wait(&mut st);
         }
     }
 
-    /// Non-blocking acquire.
+    /// Non-blocking acquire. Returns `None` when the pool is empty *or*
+    /// closed.
     pub fn try_acquire(&self) -> Option<Vec<u8>> {
-        self.state.lock().free.pop()
+        if self.closed.load(Acquire) {
+            return None;
+        }
+        self.pop_any()
     }
 
     /// Returns a buffer to the pool, waking one blocked writer.
+    ///
+    /// Still accepted after [`close`](Self::close): IO workers recycle
+    /// their in-flight buffers during unmount drain.
     ///
     /// # Panics
     /// Panics if the buffer does not have the pool's chunk size (a foreign
     /// or corrupted buffer) or if the pool would exceed its capacity.
     pub fn release(&self, buf: Vec<u8>) {
         assert_eq!(buf.len(), self.chunk_size, "released buffer has wrong size");
-        let mut st = self.state.lock();
+        let prev = self.free_count.0.fetch_add(1, Relaxed);
         assert!(
-            st.free.len() < self.total_chunks,
+            prev < self.total_chunks,
             "pool over-released: more buffers than capacity"
         );
-        st.free.push(buf);
-        drop(st);
-        self.cv.notify_one();
+        match &self.imp {
+            PoolImpl::Sharded {
+                shards,
+                shard_mask,
+                release_cursor,
+                gate,
+                cv,
+                waiters,
+                ..
+            } => {
+                let at = release_cursor.0.fetch_add(1, Relaxed) & shard_mask;
+                Self::push_ring(&shards[at], buf);
+                if waiters.load(Relaxed) > 0 {
+                    // Serialize with a parked waiter's final recheck.
+                    drop(gate.lock());
+                    cv.notify_one();
+                }
+            }
+            PoolImpl::Legacy { state, cv } => {
+                state.lock().free.push(buf);
+                cv.notify_one();
+            }
+        }
+    }
+
+    /// Returns a whole batch of buffers under one waiter-wake check —
+    /// the IO workers' counterpart to batched submission. Semantically
+    /// `release` per buffer; the wake (if any) happens once.
+    pub fn release_many(&self, bufs: impl IntoIterator<Item = Vec<u8>>) {
+        match &self.imp {
+            PoolImpl::Sharded {
+                shards,
+                shard_mask,
+                release_cursor,
+                gate,
+                cv,
+                waiters,
+                ..
+            } => {
+                let mut released = 0usize;
+                for buf in bufs {
+                    assert_eq!(buf.len(), self.chunk_size, "released buffer has wrong size");
+                    let prev = self.free_count.0.fetch_add(1, Relaxed);
+                    assert!(
+                        prev < self.total_chunks,
+                        "pool over-released: more buffers than capacity"
+                    );
+                    let at = release_cursor.0.fetch_add(1, Relaxed) & shard_mask;
+                    Self::push_ring(&shards[at], buf);
+                    released += 1;
+                }
+                if released > 0 && waiters.load(Relaxed) > 0 {
+                    drop(gate.lock());
+                    cv.notify_all();
+                }
+            }
+            PoolImpl::Legacy { .. } => {
+                for buf in bufs {
+                    self.release(buf);
+                }
+            }
+        }
     }
 
     /// Closes the pool: blocked and future `acquire`s return `None`.
     pub fn close(&self) {
-        self.state.lock().closed = true;
-        self.cv.notify_all();
+        self.closed.store(true, Release);
+        match &self.imp {
+            PoolImpl::Sharded { gate, cv, .. } => {
+                drop(gate.lock());
+                cv.notify_all();
+            }
+            PoolImpl::Legacy { state, cv } => {
+                drop(state.lock());
+                cv.notify_all();
+            }
+        }
     }
 }
 
@@ -112,6 +488,8 @@ impl std::fmt::Debug for BufferPool {
             .field("chunk_size", &self.chunk_size)
             .field("total_chunks", &self.total_chunks)
             .field("free_chunks", &self.free_chunks())
+            .field("shards", &self.shards())
+            .field("closed", &self.closed.load(Relaxed))
             .finish()
     }
 }
@@ -122,45 +500,86 @@ mod tests {
     use std::sync::Arc;
     use std::thread;
 
+    fn both_pools(chunk: usize, total: usize) -> [BufferPool; 2] {
+        [
+            BufferPool::new(chunk, total),
+            BufferPool::legacy(chunk, total),
+        ]
+    }
+
     #[test]
     fn acquire_release_roundtrip() {
-        let pool = BufferPool::new(1024, 2);
-        assert_eq!(pool.free_chunks(), 2);
-        let (a, w) = pool.acquire().unwrap();
-        assert_eq!(a.len(), 1024);
-        assert_eq!(w, Duration::ZERO);
-        let (_b, _) = pool.acquire().unwrap();
-        assert_eq!(pool.free_chunks(), 0);
-        assert!(pool.try_acquire().is_none());
-        pool.release(a);
-        assert_eq!(pool.free_chunks(), 1);
+        for pool in both_pools(1024, 2) {
+            assert_eq!(pool.free_chunks(), 2);
+            let (a, w) = pool.acquire().unwrap();
+            assert_eq!(a.len(), 1024);
+            assert_eq!(w, Duration::ZERO);
+            let (_b, _) = pool.acquire().unwrap();
+            assert_eq!(pool.free_chunks(), 0);
+            assert!(pool.try_acquire().is_none());
+            pool.release(a);
+            assert_eq!(pool.free_chunks(), 1);
+        }
     }
 
     #[test]
     fn exhausted_pool_blocks_until_release() {
-        let pool = Arc::new(BufferPool::new(64, 1));
-        let (buf, _) = pool.acquire().unwrap();
-        let p2 = Arc::clone(&pool);
-        let h = thread::spawn(move || {
-            let (b, waited) = p2.acquire().unwrap();
-            (b.len(), waited)
-        });
-        thread::sleep(Duration::from_millis(30));
-        pool.release(buf);
-        let (len, waited) = h.join().unwrap();
-        assert_eq!(len, 64);
-        assert!(waited >= Duration::from_millis(15), "waited {waited:?}");
+        for pool in both_pools(64, 1) {
+            let pool = Arc::new(pool);
+            let (buf, _) = pool.acquire().unwrap();
+            let p2 = Arc::clone(&pool);
+            let h = thread::spawn(move || {
+                let (b, waited) = p2.acquire().unwrap();
+                (b.len(), waited)
+            });
+            thread::sleep(Duration::from_millis(30));
+            pool.release(buf);
+            let (len, waited) = h.join().unwrap();
+            assert_eq!(len, 64);
+            assert!(waited >= Duration::from_millis(15), "waited {waited:?}");
+        }
     }
 
     #[test]
     fn close_unblocks_waiters() {
-        let pool = Arc::new(BufferPool::new(64, 1));
-        let (_held, _) = pool.acquire().unwrap();
-        let p2 = Arc::clone(&pool);
-        let h = thread::spawn(move || p2.acquire());
-        thread::sleep(Duration::from_millis(20));
-        pool.close();
-        assert!(h.join().unwrap().is_none());
+        for pool in both_pools(64, 1) {
+            let pool = Arc::new(pool);
+            let (_held, _) = pool.acquire().unwrap();
+            let p2 = Arc::clone(&pool);
+            let h = thread::spawn(move || p2.acquire());
+            thread::sleep(Duration::from_millis(20));
+            pool.close();
+            assert!(h.join().unwrap().is_none());
+        }
+    }
+
+    /// Regression (hot-path overhaul): the pre-overhaul fast path handed
+    /// out buffers from a non-empty free list *after* `close()`, letting
+    /// writes racing unmount sneak past the shutdown gate. Both pool
+    /// flavors must refuse.
+    #[test]
+    fn closed_pool_refuses_even_with_free_buffers() {
+        for pool in both_pools(64, 4) {
+            assert_eq!(pool.free_chunks(), 4, "free list is non-empty");
+            pool.close();
+            assert!(pool.acquire().is_none(), "acquire must observe close");
+            assert!(
+                pool.try_acquire().is_none(),
+                "try_acquire must observe close"
+            );
+            assert_eq!(pool.free_chunks(), 4, "no buffer escaped");
+        }
+    }
+
+    #[test]
+    fn release_after_close_is_accepted() {
+        for pool in both_pools(64, 2) {
+            let (buf, _) = pool.acquire().unwrap();
+            pool.close();
+            pool.release(buf); // unmount drain returns in-flight buffers
+            assert_eq!(pool.free_chunks(), 2);
+            assert!(pool.acquire().is_none());
+        }
     }
 
     #[test]
@@ -171,13 +590,43 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "over-released")]
+    fn release_rejects_over_capacity() {
+        let pool = BufferPool::new(64, 1);
+        pool.release(vec![0; 64]);
+    }
+
+    #[test]
     fn concurrent_churn_conserves_buffers() {
-        let pool = Arc::new(BufferPool::new(256, 4));
+        for shards in [1usize, 2, 8] {
+            let pool = Arc::new(BufferPool::with_shards(256, 4, shards));
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let pool = Arc::clone(&pool);
+                handles.push(thread::spawn(move || {
+                    for _ in 0..200 {
+                        let (buf, _) = pool.acquire().unwrap();
+                        pool.release(buf);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(pool.free_chunks(), 4, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn contended_exhaustion_hands_every_buffer_back() {
+        // More writers than buffers: the empty slow path must park and
+        // resume without losing or duplicating buffers.
+        let pool = Arc::new(BufferPool::with_shards(128, 2, 4));
         let mut handles = Vec::new();
-        for _ in 0..8 {
+        for _ in 0..6 {
             let pool = Arc::clone(&pool);
             handles.push(thread::spawn(move || {
-                for _ in 0..200 {
+                for _ in 0..300 {
                     let (buf, _) = pool.acquire().unwrap();
                     pool.release(buf);
                 }
@@ -186,6 +635,14 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(pool.free_chunks(), 4);
+        assert_eq!(pool.free_chunks(), 2);
+    }
+
+    #[test]
+    fn shard_count_resolution() {
+        assert_eq!(BufferPool::with_shards(64, 4, 0).shards(), 1);
+        assert_eq!(BufferPool::with_shards(64, 4, 3).shards(), 4);
+        assert_eq!(BufferPool::with_shards(64, 2, 64).shards(), 2);
+        assert_eq!(BufferPool::legacy(64, 8).shards(), 1);
     }
 }

@@ -48,6 +48,14 @@ pub struct CrfsStats {
     pub fsyncs: AtomicU64,
     /// Nanoseconds callers spent blocked in close/fsync barriers.
     pub barrier_wait_ns: AtomicU64,
+    /// Open-file-table shard locks that were contended (a `try_lock`
+    /// failed and the caller had to block).
+    pub shard_lock_waits: AtomicU64,
+    /// Engine submissions (`submit` + `submit_batch` calls) — the
+    /// producer-side queue-lock acquisitions. With batching,
+    /// `engine_submits < chunks_sealed`; see
+    /// [`StatsSnapshot::avg_batch_len`].
+    pub engine_submits: AtomicU64,
 }
 
 impl CrfsStats {
@@ -76,6 +84,10 @@ impl CrfsStats {
             closes: self.closes.load(Relaxed),
             fsyncs: self.fsyncs.load(Relaxed),
             barrier_wait: Duration::from_nanos(self.barrier_wait_ns.load(Relaxed)),
+            shard_lock_waits: self.shard_lock_waits.load(Relaxed),
+            engine_submits: self.engine_submits.load(Relaxed),
+            pool_free_chunks: 0,
+            pool_total_chunks: 0,
         }
     }
 }
@@ -117,6 +129,17 @@ pub struct StatsSnapshot {
     pub fsyncs: u64,
     /// Total time callers blocked in close/fsync barriers.
     pub barrier_wait: Duration,
+    /// Contended open-file-table shard locks.
+    pub shard_lock_waits: u64,
+    /// Engine submissions (producer-side queue-lock acquisitions).
+    pub engine_submits: u64,
+    /// Buffers free in the pool at snapshot time (occupancy gauge;
+    /// filled by [`Crfs::stats`](crate::Crfs::stats), zero on raw
+    /// [`CrfsStats::snapshot`] calls).
+    pub pool_free_chunks: u64,
+    /// Total buffers the pool owns (gauge; filled alongside
+    /// `pool_free_chunks`).
+    pub pool_total_chunks: u64,
 }
 
 impl StatsSnapshot {
@@ -165,6 +188,17 @@ impl StatsSnapshot {
             self.bytes_out as f64 / self.backend_writes as f64
         }
     }
+
+    /// Mean sealed chunks handed to the engine per submission call —
+    /// ≥ 1 whenever anything was sealed; > 1 means batching collapsed
+    /// producer-side queue-lock acquisitions.
+    pub fn avg_batch_len(&self) -> f64 {
+        if self.engine_submits == 0 {
+            0.0
+        } else {
+            self.chunks_sealed as f64 / self.engine_submits as f64
+        }
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -208,6 +242,15 @@ impl std::fmt::Display for StatsSnapshot {
             "pool waits: {} ({:?}); backend write time {:?}; barrier wait {:?}",
             self.pool_waits, self.pool_wait, self.backend_write, self.barrier_wait
         )?;
+        writeln!(
+            f,
+            "submits: {} (avg batch {:.1} chunks); table shard waits: {}; pool free {}/{}",
+            self.engine_submits,
+            self.avg_batch_len(),
+            self.shard_lock_waits,
+            self.pool_free_chunks,
+            self.pool_total_chunks
+        )?;
         write!(
             f,
             "opens {} / closes {} / fsyncs {}",
@@ -240,6 +283,15 @@ mod tests {
         assert_eq!(snap.mean_chunk_fill(), 0.0);
         assert_eq!(snap.mean_write_size(), 0.0);
         assert_eq!(snap.aggregation_ratio(), 0.0);
+        assert_eq!(snap.avg_batch_len(), 0.0);
+    }
+
+    #[test]
+    fn avg_batch_len_tracks_submission_batching() {
+        let s = CrfsStats::new();
+        s.chunks_sealed.fetch_add(32, Relaxed);
+        s.engine_submits.fetch_add(4, Relaxed);
+        assert_eq!(s.snapshot().avg_batch_len(), 8.0);
     }
 
     #[test]

@@ -34,18 +34,39 @@ struct MountPoint {
     fs: Arc<Crfs>,
 }
 
-/// A tiny VFS: mount table + file-descriptor table + request splitting.
-#[derive(Default)]
+/// Shards in the descriptor table. Descriptors are a monotonically
+/// increasing counter, so sharding by the low bits spreads concurrent
+/// handles perfectly — the per-request `with_fd` lookup stops funnelling
+/// every writer through one `Mutex` (the FUSE kernel module dispatches
+/// requests concurrently; so do we).
+const FD_SHARDS: usize = 16;
+
+/// A tiny VFS: mount table + sharded file-descriptor table + request
+/// splitting.
 pub struct Vfs {
     mounts: RwLock<Vec<MountPoint>>,
-    fds: Mutex<HashMap<u64, Arc<CrfsFile>>>,
+    fds: [Mutex<HashMap<u64, Arc<CrfsFile>>>; FD_SHARDS],
     next_fd: AtomicU64,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Vfs {
+            mounts: RwLock::new(Vec::new()),
+            fds: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            next_fd: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Vfs {
     /// Creates an empty VFS with no mounts.
     pub fn new() -> Vfs {
         Vfs::default()
+    }
+
+    fn fd_shard(&self, fd: u64) -> &Mutex<HashMap<u64, Arc<CrfsFile>>> {
+        &self.fds[(fd as usize) % FD_SHARDS]
     }
 
     /// Mounts `fs` at `prefix` (e.g. `/mnt/crfs`). Longest-prefix wins on
@@ -94,19 +115,18 @@ impl Vfs {
 
     fn install(&self, file: CrfsFile) -> Fd {
         let fd = self.next_fd.fetch_add(1, Relaxed);
-        self.fds.lock().insert(fd, Arc::new(file));
+        self.fd_shard(fd).lock().insert(fd, Arc::new(file));
         Fd(fd)
     }
 
-    /// Looks up the handle and releases the table lock *before* the
-    /// operation runs. Holding the table lock across an operation would
-    /// serialize all descriptors — and deadlock outright when the holder
-    /// blocks on buffer-pool back-pressure that only another descriptor's
-    /// progress can relieve. The FUSE kernel module dispatches requests
-    /// concurrently; so do we.
+    /// Looks up the handle and releases the shard lock *before* the
+    /// operation runs. Holding the lock across an operation would
+    /// serialize the shard's descriptors — and deadlock outright when the
+    /// holder blocks on buffer-pool back-pressure that only another
+    /// descriptor's progress can relieve.
     fn with_fd<R>(&self, fd: Fd, f: impl FnOnce(&CrfsFile) -> Result<R>) -> Result<R> {
         let file = {
-            let fds = self.fds.lock();
+            let fds = self.fd_shard(fd.0).lock();
             Arc::clone(fds.get(&fd.0).ok_or(CrfsError::HandleClosed)?)
         };
         f(&file)
@@ -185,7 +205,7 @@ impl Vfs {
     /// with a real file description.
     pub fn close(&self, fd: Fd) -> Result<()> {
         let file = self
-            .fds
+            .fd_shard(fd.0)
             .lock()
             .remove(&fd.0)
             .ok_or(CrfsError::HandleClosed)?;
@@ -250,7 +270,7 @@ impl Vfs {
 
     /// Number of open descriptors.
     pub fn open_fds(&self) -> usize {
-        self.fds.lock().len()
+        self.fds.iter().map(|s| s.lock().len()).sum()
     }
 }
 

@@ -111,6 +111,20 @@ impl Condvar {
         guard.inner = Some(g);
     }
 
+    /// Waits with a timeout; returns `true` if the wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(p) => {
+                let (g, res) = p.into_inner();
+                (g, res)
+            }
+        };
+        guard.inner = Some(g);
+        res.timed_out()
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }

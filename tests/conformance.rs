@@ -110,6 +110,33 @@ fn real_and_sim_agree_on_blcr_streams() {
     }
 }
 
+/// Batched submission must be invisible to chunking: with batching
+/// disabled (`submit_batch = 1`), at the default, and far beyond it, the
+/// real filesystem and the simulator replay a stream to byte-identical
+/// seal counts and tail bytes.
+#[test]
+fn real_and_sim_agree_across_submit_batch_sizes() {
+    for submit_batch in [1usize, 4, 64] {
+        let config = CrfsConfig::default()
+            .with_chunk_size(256 << 10)
+            .with_pool_size(2 << 20)
+            .with_submit_batch(submit_batch);
+        let mut rng = SimRng::new(7);
+        let stream = blcr_write_stream(4 << 20, &mut rng);
+        let expect = reference_chunks(&stream, config.chunk_size, config.max_write as u64);
+        assert_eq!(
+            run_real(&stream, &config),
+            expect,
+            "real vs planner, batch {submit_batch}"
+        );
+        assert_eq!(
+            run_sim(stream, config),
+            expect,
+            "sim vs planner, batch {submit_batch}"
+        );
+    }
+}
+
 #[test]
 fn real_and_sim_agree_on_adversarial_sizes() {
     // Sizes straddling every boundary: sub-page, page, max_write,

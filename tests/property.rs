@@ -142,16 +142,20 @@ fn apply_model(model: &mut Vec<u8>, off: u64, data: &[u8]) {
 }
 
 fn run_ops_through(engine: EngineKind, ops: &[Op]) -> (Vec<u8>, crfs::core::StatsSnapshot) {
-    let be = Arc::new(MemBackend::new());
-    let fs = Crfs::mount(
-        be.clone(),
+    run_ops_with(
         CrfsConfig::default()
             .with_chunk_size(4096)
             .with_pool_size(16 << 10)
             .with_io_threads(2)
             .with_engine(engine),
+        ops,
     )
-    .expect("mount");
+}
+
+fn run_ops_with(config: CrfsConfig, ops: &[Op]) -> (Vec<u8>, crfs::core::StatsSnapshot) {
+    let engine = config.engine;
+    let be = Arc::new(MemBackend::new());
+    let fs = Crfs::mount(be.clone(), config).expect("mount");
     let f = fs.create("/prop").expect("create");
     let mut model: Vec<u8> = Vec::new();
     let mut pos: u64 = 0;
@@ -219,6 +223,64 @@ fn coalescing_engine_matches_threaded_output() {
             coalesced_stats.chunks_completed,
             "every completed chunk is either its own op or a coalesced one"
         );
+    });
+}
+
+/// Engine equivalence under *random batch sizes*: whatever
+/// `submit_batch`/`worker_batch` are in effect, all three engines land
+/// byte-identical files, the coalescing engine never issues more backend
+/// ops than the threaded one, and the submission counter shows batching
+/// never costs more than one queue-lock acquisition per sealed chunk.
+#[test]
+fn engines_agree_for_random_batch_sizes() {
+    for_cases("engines_agree_for_random_batch_sizes", 32, |rng| {
+        let ops = random_ops(rng);
+        let submit_batch = rng.gen_range(1usize..24);
+        let worker_batch = rng.gen_range(1usize..12);
+        let config = |engine: EngineKind| {
+            CrfsConfig::default()
+                .with_chunk_size(4096)
+                .with_pool_size(16 << 10)
+                .with_io_threads(2)
+                .with_submit_batch(submit_batch)
+                .with_worker_batch(worker_batch)
+                .with_engine(engine)
+        };
+        let (threaded_bytes, threaded_stats) = run_ops_with(config(EngineKind::Threaded), &ops);
+        let (coalesced_bytes, coalesced_stats) = run_ops_with(config(EngineKind::Coalescing), &ops);
+        let (inline_bytes, inline_stats) = run_ops_with(config(EngineKind::Inline), &ops);
+        assert_eq!(
+            threaded_bytes, coalesced_bytes,
+            "batch {submit_batch}/{worker_batch}"
+        );
+        assert_eq!(
+            threaded_bytes, inline_bytes,
+            "batch {submit_batch}/{worker_batch}"
+        );
+        assert!(
+            coalesced_stats.backend_writes <= threaded_stats.backend_writes,
+            "coalescing issued more ops ({}) than threaded ({}) at batch {submit_batch}",
+            coalesced_stats.backend_writes,
+            threaded_stats.backend_writes
+        );
+        for (name, stats) in [
+            ("threaded", &threaded_stats),
+            ("coalescing", &coalesced_stats),
+            ("inline", &inline_stats),
+        ] {
+            assert_eq!(
+                stats.backend_writes + stats.chunks_coalesced,
+                stats.chunks_completed,
+                "{name}: accounting balances at batch {submit_batch}"
+            );
+            assert!(
+                stats.engine_submits <= stats.chunks_sealed,
+                "{name}: batching never costs extra submissions \
+                 ({} submits for {} chunks)",
+                stats.engine_submits,
+                stats.chunks_sealed
+            );
+        }
     });
 }
 

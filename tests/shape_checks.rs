@@ -216,6 +216,102 @@ fn pvfs_speedup_positive_but_modest() {
 }
 
 // ---------------------------------------------------------------------
+// Hot-path stats invariants (real library): the counters added by the
+// contention overhaul must balance after any workload.
+// ---------------------------------------------------------------------
+
+/// Runs a concurrent multi-file workload on the real library and asserts
+/// every invariant of the new instrumentation: submission batching,
+/// shard-contention counting, and the pool occupancy gauge.
+#[test]
+fn hot_path_stats_invariants_hold() {
+    use crfs::core::backend::MemBackend;
+    use crfs::core::{Crfs, CrfsConfig, EngineKind};
+    use std::sync::Arc;
+
+    for engine in [
+        EngineKind::Threaded,
+        EngineKind::Coalescing,
+        EngineKind::Inline,
+    ] {
+        // Pool sized above peak demand (8 writers x up to 5 buffers
+        // each), so batches are never split by early flushes on pool
+        // exhaustion and the avg_batch_len assertion below is
+        // scheduling-independent.
+        let config = CrfsConfig::default()
+            .with_chunk_size(1024)
+            .with_pool_size(64 << 10)
+            .with_io_threads(4)
+            .with_submit_batch(8)
+            .with_engine(engine);
+        let fs = Crfs::mount(Arc::new(MemBackend::new()), config.clone()).expect("mount");
+        std::thread::scope(|s| {
+            for w in 0..8 {
+                let fs = &fs;
+                s.spawn(move || {
+                    let f = fs.create(&format!("/inv{w}")).expect("create");
+                    for _ in 0..20 {
+                        // 4-chunk writes: submission is genuinely batched.
+                        f.write(&vec![w as u8; 4 * 1024]).expect("write");
+                    }
+                    f.close().expect("close");
+                });
+            }
+        });
+        let snap = fs.stats();
+
+        // Chunk ledger balances.
+        assert_eq!(snap.chunks_sealed, snap.chunks_completed, "{engine:?}");
+        assert_eq!(
+            snap.backend_writes + snap.chunks_coalesced,
+            snap.chunks_completed,
+            "{engine:?}: ops + merges account for every chunk"
+        );
+
+        // Submission batching: at least one call per write-with-seals is
+        // unavoidable, but never more than one call per sealed chunk —
+        // and with 4-chunk writes batching must actually engage.
+        assert!(snap.engine_submits > 0, "{engine:?}");
+        assert!(
+            snap.engine_submits <= snap.chunks_sealed,
+            "{engine:?}: {} submits for {} chunks",
+            snap.engine_submits,
+            snap.chunks_sealed
+        );
+        assert!(
+            snap.avg_batch_len() >= 1.0,
+            "{engine:?}: avg batch {:.2}",
+            snap.avg_batch_len()
+        );
+        assert!(
+            snap.avg_batch_len() > 1.5,
+            "{engine:?}: 4-chunk writes should batch well above 1 \
+             (got {:.2})",
+            snap.avg_batch_len()
+        );
+
+        // Pool occupancy gauge: quiescent after the barrier, everything
+        // free, totals as configured.
+        assert_eq!(snap.pool_total_chunks as usize, config.pool_chunks());
+        assert_eq!(
+            snap.pool_free_chunks, snap.pool_total_chunks,
+            "{engine:?}: all buffers back after close barriers"
+        );
+
+        // Shard-contention counter is sane: it can only count lock
+        // acquisitions that actually happened (open/close/lookup paths).
+        let lock_touches = 2 * (snap.opens + snap.closes);
+        assert!(
+            snap.shard_lock_waits <= lock_touches,
+            "{engine:?}: {} waits for {} table touches",
+            snap.shard_lock_waits,
+            lock_touches
+        );
+        fs.unmount().expect("unmount");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Full paper geometry (slow): run explicitly with `cargo test -- --ignored`
 // ---------------------------------------------------------------------
 
