@@ -662,40 +662,120 @@ fn chunksweep(quick: bool) -> ExpOutput {
 
 fn restart(quick: bool) -> ExpOutput {
     let (images, bytes) = if quick {
-        (4, 4u64 << 20)
+        (2, 4u64 << 20)
     } else {
-        (8, 32 << 20)
+        (4, 16 << 20)
     };
-    let r = real::restart_comparison(images, bytes);
-    let mut t = Table::new(&["Restart path", "Time (s)", "MB/s"]);
-    let mb = r.bytes as f64 / (1 << 20) as f64;
-    t.row(&[
+
+    // Part 1 (paper §V-F, kept from the original experiment): reads
+    // pass through unchanged, so a job can restart without CRFS at all.
+    let cmp = real::restart_comparison(images, bytes);
+
+    // Part 2 (the restart read engine): cold sequential restore from a
+    // latency-bound RPC store across read-ahead windows. Window 0 is
+    // the paper's pass-through baseline.
+    let windows: &[usize] = &[0, 1, 2, 4, 8];
+    let sweep = real::restart_prefetch_sweep(windows, images, bytes);
+
+    let mut t = Table::new(&[
+        "Read-ahead (chunks)",
+        "Time (s)",
+        "MiB/s",
+        "Hit rate",
+        "Prefetch issued",
+        "Wasted",
+    ]);
+    let mut sweep_json = Vec::new();
+    for p in &sweep {
+        t.row(&[
+            if p.window == 0 {
+                "0 (pass-through)".to_string()
+            } else {
+                p.window.to_string()
+            },
+            format!("{:.3}", p.secs),
+            format!("{:.0}", p.mibs),
+            format!("{:.0}%", p.hit_rate * 100.0),
+            p.prefetch_issued.to_string(),
+            p.prefetch_wasted.to_string(),
+        ]);
+        sweep_json.push(json!({
+            "window": p.window, "secs": p.secs, "mibs": p.mibs,
+            "read_hits": p.read_hits, "read_misses": p.read_misses,
+            "prefetch_issued": p.prefetch_issued,
+            "prefetch_wasted": p.prefetch_wasted,
+            "hit_rate": p.hit_rate,
+        }));
+    }
+    let baseline = sweep.first().expect("window-0 cell");
+    let best = sweep
+        .iter()
+        .max_by(|a, b| a.mibs.total_cmp(&b.mibs))
+        .expect("non-empty sweep");
+    let speedup = best.mibs / baseline.mibs.max(1e-9);
+
+    let mb = cmp.bytes as f64 / (1 << 20) as f64;
+    let mut ct = Table::new(&["Restart path", "Time (s)", "MB/s"]);
+    ct.row(&[
         "through CRFS mount".to_string(),
-        format!("{:.3}", r.via_crfs_s),
-        format!("{:.0}", mb / r.via_crfs_s.max(1e-9)),
+        format!("{:.3}", cmp.via_crfs_s),
+        format!("{:.0}", mb / cmp.via_crfs_s.max(1e-9)),
     ]);
-    t.row(&[
+    ct.row(&[
         "directly from backend".to_string(),
-        format!("{:.3}", r.direct_s),
-        format!("{:.0}", mb / r.direct_s.max(1e-9)),
+        format!("{:.3}", cmp.direct_s),
+        format!("{:.0}", mb / cmp.direct_s.max(1e-9)),
     ]);
+
     let text = format!(
-        "Restart timing, {} BLCR-style images ({:.0} MB total) checkpointed \
-         through CRFS, then restored (paper §V-F)\n\n{t}\n\
-         Both restores verified byte-for-byte against the original images. \
-         CRFS passes reads through and never changes the file layout, so a \
-         job can restart without CRFS mounted at all — the paper reports the \
-         same finding qualitatively and omits the numbers.\n",
-        r.images, mb
+        "Restart read path: {} BLCR-style images ({} MiB total) restored \
+         cold from a latency-bound RPC store (1 ms read round trip), swept \
+         across prefetch windows\n\n{t}\n\
+         headline: {:.0} MiB/s at window {} vs {:.0} MiB/s pass-through \
+         ({speedup:.2}x) — chunk-granular read-ahead through the shared IO \
+         worker pool overlaps restart latency the same way write \
+         aggregation overlaps checkpoint latency.\n\n\
+         §V-F pass-through check (restores byte-verified, seek-free SSD \
+         model):\n\n{ct}\n\
+         CRFS never changes the file layout, so restart works without CRFS \
+         mounted at all — the paper reports this qualitatively.\n",
+        cmp.images,
+        (images as u64 * bytes) >> 20,
+        best.mibs,
+        best.window,
+        baseline.mibs,
     );
+
+    let read_rtt = storage_model::RpcStoreParams::restart_store().read_rtt;
+    let json = json!({
+        "workload": {
+            "images": images,
+            "image_bytes": bytes,
+            "chunk_size": real::RESTART_SWEEP_CHUNK,
+            "read_rtt_us": read_rtt.as_micros() as u64,
+            "quick": quick,
+        },
+        "sweep": sweep_json,
+        "via_crfs_vs_direct": {
+            "via_crfs_s": cmp.via_crfs_s, "direct_s": cmp.direct_s,
+        },
+        "headline": {
+            "baseline_mibs": baseline.mibs,
+            "prefetch_mibs": best.mibs,
+            "best_window": best.window,
+            "speedup": speedup,
+            "hit_rate": best.hit_rate,
+        },
+    });
+    // The acceptance artifact, like BENCH_contention.json: written at
+    // the invocation directory for CI to upload and gate on.
+    let pretty = serde_json::to_string_pretty(&json).unwrap_or_default();
+    let _ = std::fs::write("BENCH_restart.json", pretty);
     ExpOutput {
         id: "restart",
-        title: "§V-F: restart through CRFS vs directly from backend".into(),
+        title: "Restart: prefetching read engine vs pass-through reads".into(),
         text,
-        json: json!({
-            "images": r.images, "bytes": r.bytes,
-            "via_crfs_s": r.via_crfs_s, "direct_s": r.direct_s,
-        }),
+        json,
     }
 }
 

@@ -16,6 +16,7 @@ use crfs_core::backend::{
     Backend, DiscardBackend, MemBackend, OpenOptions, ReadCursor, ThrottleParams, ThrottledBackend,
 };
 use crfs_core::{Crfs, CrfsConfig, Vfs};
+use storage_model::{RpcStore, RpcStoreParams};
 
 /// One cell of the Fig. 5 sweep.
 #[derive(Debug, Clone, Copy)]
@@ -187,6 +188,116 @@ pub fn restart_comparison(images: usize, image_bytes: u64) -> RestartComparison 
         via_crfs_s,
         direct_s,
     }
+}
+
+/// One cell of the restart prefetch sweep: a cold sequential read of
+/// every checkpoint file through a mount with the given read-ahead
+/// window (`0` = the pass-through baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct RestartPoint {
+    /// Read-ahead window in chunks (0 disables the read subsystem).
+    pub window: usize,
+    /// Wall-clock seconds for the whole restart.
+    pub secs: f64,
+    /// Aggregate restart read throughput, MiB/s.
+    pub mibs: f64,
+    /// Chunk-granular segments served from the prefetch cache.
+    pub read_hits: u64,
+    /// Segments read from the backend directly.
+    pub read_misses: u64,
+    /// Prefetch chunks issued to the IO engine.
+    pub prefetch_issued: u64,
+    /// Prefetched chunks that never served a hit.
+    pub prefetch_wasted: u64,
+    /// `read_hits / (read_hits + read_misses)`.
+    pub hit_rate: f64,
+}
+
+/// Chunk size the restart sweep mounts with (also reported in
+/// `BENCH_restart.json`'s workload metadata).
+pub const RESTART_SWEEP_CHUNK: usize = 256 << 10;
+
+/// The `exp restart` sweep: checkpoint `images` files of `image_bytes`
+/// each through CRFS onto a latency-bound RPC store (per-read round
+/// trip, concurrent service — `storage_model::RpcStore`), then restart
+/// cold across read-ahead windows, one full sequential replay per
+/// window. The window-0 cell is the paper's pass-through read path; the
+/// others show how far the prefetching read engine hides the store's
+/// latency.
+pub fn restart_prefetch_sweep(
+    windows: &[usize],
+    images: usize,
+    image_bytes: u64,
+) -> Vec<RestartPoint> {
+    let chunk = RESTART_SWEEP_CHUNK;
+    let backend: Arc<dyn Backend> = Arc::new(RpcStore::new(
+        MemBackend::new(),
+        RpcStoreParams::restart_store(),
+    ));
+
+    // Checkpoint phase (once): the files every window restarts from.
+    let originals: Vec<ProcessImage> = (0..images)
+        .map(|pid| ProcessImage::synthetic(pid as u32 + 1, image_bytes, 0xBEEF + pid as u64))
+        .collect();
+    let fs = Crfs::mount(
+        Arc::clone(&backend),
+        CrfsConfig::default()
+            .with_chunk_size(chunk)
+            .with_pool_size(16 * chunk),
+    )
+    .unwrap();
+    fs.mkdir_all("/ckpt").unwrap();
+    std::thread::scope(|s| {
+        for (pid, img) in originals.iter().enumerate() {
+            let fs = &fs;
+            s.spawn(move || {
+                let mut f = fs.create(&format!("/ckpt/rank{pid}.img")).unwrap();
+                CheckpointWriter::new().write_image(&mut f, img).unwrap();
+                f.close().unwrap();
+            });
+        }
+    });
+    fs.unmount().unwrap();
+
+    // Restart phase: one cold sequential replay per window.
+    let mut out = Vec::new();
+    for &window in windows {
+        let fs = Crfs::mount(
+            Arc::clone(&backend),
+            CrfsConfig::default()
+                .with_chunk_size(chunk)
+                .with_pool_size(16 * chunk)
+                .with_read_ahead(window),
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        let mut bytes = 0u64;
+        for (pid, orig) in originals.iter().enumerate() {
+            let mut f = fs.open(&format!("/ckpt/rank{pid}.img")).unwrap();
+            let img = RestartReader::new().read_image(&mut f).unwrap();
+            assert_eq!(
+                img.total_bytes(),
+                orig.total_bytes(),
+                "rank{pid} restored size"
+            );
+            bytes += img.total_bytes();
+            f.close().unwrap();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let snap = fs.stats();
+        fs.unmount().unwrap();
+        out.push(RestartPoint {
+            window,
+            secs,
+            mibs: bytes as f64 / secs.max(1e-9) / (1 << 20) as f64,
+            read_hits: snap.read_hits,
+            read_misses: snap.read_misses,
+            prefetch_issued: snap.prefetch_issued,
+            prefetch_wasted: snap.prefetch_wasted,
+            hit_rate: snap.read_hit_rate(),
+        });
+    }
+    out
 }
 
 /// One cell of the chunk-size ablation.
@@ -445,6 +556,26 @@ mod tests {
             "legacy submits per chunk"
         );
         assert_eq!(legacy.locks_per_chunk, 1.0);
+    }
+
+    #[test]
+    fn restart_prefetch_beats_passthrough_on_latency_bound_store() {
+        let points = restart_prefetch_sweep(&[0, 4], 2, 2 << 20);
+        assert_eq!(points.len(), 2);
+        let (base, pf) = (&points[0], &points[1]);
+        assert_eq!(base.read_hits, 0, "pass-through has no cache");
+        assert_eq!(base.prefetch_issued, 0);
+        assert!(pf.hit_rate > 0.0, "prefetch never hit");
+        assert!(pf.prefetch_issued > 0);
+        assert!(pf.prefetch_wasted <= pf.prefetch_issued);
+        // The acceptance bar (with slack for CI noise — the full sweep
+        // shows 3-10x): prefetch must clearly beat pass-through cold.
+        assert!(
+            pf.mibs >= base.mibs * 1.5,
+            "prefetch {:.0} MiB/s vs baseline {:.0} MiB/s",
+            pf.mibs,
+            base.mibs
+        );
     }
 
     #[test]

@@ -21,10 +21,56 @@ use crfs_core::engine::account::ChunkAccounting;
 use crfs_core::CrfsConfig;
 use simkit::sync::{unbounded, Semaphore, Sender, WaitGroup};
 use simkit::time::sleep;
-use storage_model::params::{CrfsCostParams, FuseParams};
+use storage_model::params::{CrfsCostParams, FuseParams, ReadCostParams};
 
 use crate::fuse::FuseLayer;
 use crate::target::Target;
+
+/// One chunk's prefetch status in a file's read window.
+struct ChunkFetch {
+    ready: Cell<bool>,
+    wg: WaitGroup,
+}
+
+/// A file's prefetched-chunk window — the simulated counterpart of the
+/// real library's per-file `ReadState` cache (chunk-granular, bounded
+/// by pool permits, drained at close).
+#[derive(Default)]
+struct ReadWindow {
+    chunks: RefCell<HashMap<u64, Rc<ChunkFetch>>>,
+}
+
+impl ReadWindow {
+    fn get(&self, idx: u64) -> Option<Rc<ChunkFetch>> {
+        self.chunks.borrow().get(&idx).cloned()
+    }
+
+    fn contains(&self, idx: u64) -> bool {
+        self.chunks.borrow().contains_key(&idx)
+    }
+
+    fn insert(&self, idx: u64) -> Rc<ChunkFetch> {
+        let wg = WaitGroup::new();
+        wg.add(1);
+        let fetch = Rc::new(ChunkFetch {
+            ready: Cell::new(false),
+            wg,
+        });
+        self.chunks.borrow_mut().insert(idx, Rc::clone(&fetch));
+        fetch
+    }
+
+    fn remove(&self, idx: u64) -> Option<Rc<ChunkFetch>> {
+        self.chunks.borrow_mut().remove(&idx)
+    }
+
+    fn drain_list(&self) -> Vec<Rc<ChunkFetch>> {
+        let mut chunks = self.chunks.borrow_mut();
+        let list = chunks.values().cloned().collect();
+        chunks.clear();
+        list
+    }
+}
 
 struct FileState {
     backend_fid: u64,
@@ -34,14 +80,28 @@ struct FileState {
     /// real side gets from its condvar.
     acct: Rc<RefCell<ChunkAccounting>>,
     outstanding: WaitGroup,
+    /// Next expected sequential read offset (restart phase).
+    read_next: u64,
+    /// Known logical length — raised by writes, or declared by
+    /// [`CrfsSim::open_restart`]; caps the read-ahead window like the
+    /// real entry's `max_extent`.
+    extent: u64,
+    /// Prefetched chunks.
+    window: Rc<ReadWindow>,
 }
 
-struct WorkItem {
-    backend_fid: u64,
-    offset: u64,
-    len: u64,
-    acct: Rc<RefCell<ChunkAccounting>>,
-    wg: WaitGroup,
+enum WorkItem {
+    /// A sealed chunk heading to the backend.
+    Write {
+        backend_fid: u64,
+        offset: u64,
+        len: u64,
+        acct: Rc<RefCell<ChunkAccounting>>,
+        wg: WaitGroup,
+    },
+    /// A restart prefetch: charge the read model, then mark the chunk
+    /// ready in its file's window.
+    Read { len: u64, fetch: Rc<ChunkFetch> },
 }
 
 /// Live counters of the simulated CRFS instance.
@@ -62,6 +122,15 @@ pub struct CrfsSimStats {
     /// handed to the work queue as one batch (flushed early only when
     /// the batch limit is hit or the pool forces a blocking acquire).
     pub submit_batches: Cell<u64>,
+    /// Restart read requests served.
+    pub reads: Cell<u64>,
+    /// Read segments served from the prefetch window (no backend charge
+    /// beyond the overlapped fetch).
+    pub read_hits: Cell<u64>,
+    /// Read segments charged to the backend directly.
+    pub read_misses: Cell<u64>,
+    /// Prefetch chunks handed to the IO workers.
+    pub prefetch_issued: Cell<u64>,
 }
 
 /// A simulated CRFS mount on one node.
@@ -75,12 +144,23 @@ pub struct CrfsSim {
     files: RefCell<HashMap<u64, FileState>>,
     next_fh: Cell<u64>,
     stats: Rc<CrfsSimStats>,
+    /// Restart read-path cost model; shared with the IO worker tasks so
+    /// [`set_read_costs`](Self::set_read_costs) takes effect
+    /// immediately.
+    read_costs: Rc<Cell<ReadCostParams>>,
     /// Container (node-aggregation) mode: all sealed chunks append to one
     /// shared backend file at a monotonic tail — the simulated counterpart
     /// of `crfs_core::aggregator::AggregatingBackend`.
     container: bool,
     container_fid: Cell<Option<u64>>,
     container_tail: Cell<u64>,
+}
+
+/// Charges one backend read of `len` bytes against the model (round
+/// trip + transfer) in virtual time.
+async fn charge_read(costs: ReadCostParams, len: u64) {
+    let transfer = Duration::from_secs_f64(len as f64 / costs.bandwidth.max(1) as f64);
+    sleep(costs.per_op + transfer).await;
 }
 
 impl CrfsSim {
@@ -112,19 +192,40 @@ impl CrfsSim {
         let (tx, rx) = unbounded::<WorkItem>();
         let stats = Rc::new(CrfsSimStats::default());
         let pool = Semaphore::new(config.pool_chunks());
+        let read_costs = Rc::new(Cell::new(ReadCostParams::shared_fs()));
         for _ in 0..config.io_threads {
             let rx = rx.clone();
             let target = target.clone();
             let stats = Rc::clone(&stats);
             let pool = pool.clone();
+            let read_costs = Rc::clone(&read_costs);
             let _task = simkit::spawn(async move {
                 while let Some(item) = rx.recv().await {
-                    target.write(item.backend_fid, item.offset, item.len).await;
-                    stats.bytes_out.set(stats.bytes_out.get() + item.len);
-                    stats.chunks_completed.set(stats.chunks_completed.get() + 1);
-                    item.acct.borrow_mut().note_completed(Ok(()));
-                    item.wg.done();
-                    pool.add_permits(1);
+                    match item {
+                        WorkItem::Write {
+                            backend_fid,
+                            offset,
+                            len,
+                            acct,
+                            wg,
+                        } => {
+                            target.write(backend_fid, offset, len).await;
+                            stats.bytes_out.set(stats.bytes_out.get() + len);
+                            stats.chunks_completed.set(stats.chunks_completed.get() + 1);
+                            acct.borrow_mut().note_completed(Ok(()));
+                            wg.done();
+                            pool.add_permits(1);
+                        }
+                        WorkItem::Read { len, fetch } => {
+                            // The fetched chunk keeps its pool permit
+                            // until the reader consumes it (or close
+                            // drains the window) — mirroring the real
+                            // cache's buffer accounting.
+                            charge_read(read_costs.get(), len).await;
+                            fetch.ready.set(true);
+                            fetch.wg.done();
+                        }
+                    }
                 }
             });
         }
@@ -138,10 +239,17 @@ impl CrfsSim {
             files: RefCell::new(HashMap::new()),
             next_fh: Cell::new(1),
             stats,
+            read_costs,
             container,
             container_fid: Cell::new(None),
             container_tail: Cell::new(0),
         })
+    }
+
+    /// Overrides the restart read-cost model (default:
+    /// [`ReadCostParams::shared_fs`]).
+    pub fn set_read_costs(&self, costs: ReadCostParams) {
+        self.read_costs.set(costs);
     }
 
     /// The mount's chunking configuration.
@@ -180,8 +288,23 @@ impl CrfsSim {
                 chunk: None,
                 acct: Rc::new(RefCell::new(ChunkAccounting::new())),
                 outstanding: WaitGroup::new(),
+                read_next: 0,
+                extent: 0,
+                window: Rc::new(ReadWindow::default()),
             },
         );
+        fh
+    }
+
+    /// Opens a checkpoint file for the restart phase, declaring its
+    /// length (the real library learns it from the backend at open; the
+    /// simulator's backends model time, not contents). The length caps
+    /// the read-ahead window.
+    pub async fn open_restart(&self, len: u64) -> u64 {
+        let fh = self.open().await;
+        if let Some(f) = self.files.borrow_mut().get_mut(&fh) {
+            f.extent = len;
+        }
         fh
     }
 
@@ -256,6 +379,7 @@ impl CrfsSim {
             .await;
         if let Some(f) = self.files.borrow_mut().get_mut(&fh) {
             f.chunk = cur;
+            f.extent = f.extent.max(offset + len);
         }
         self.stats.requests.set(self.stats.requests.get() + 1);
         self.stats.bytes_in.set(self.stats.bytes_in.get() + len);
@@ -305,7 +429,7 @@ impl CrfsSim {
         };
         let sent = self
             .tx
-            .send(WorkItem {
+            .send(WorkItem::Write {
                 backend_fid,
                 offset,
                 len: c.fill as u64,
@@ -316,12 +440,100 @@ impl CrfsSim {
         assert!(sent.is_ok(), "CRFS IO workers alive");
     }
 
+    // ------------------------------------------------------------------
+    // restart read phase (mirrors crfs-core's prefetching read engine)
+    // ------------------------------------------------------------------
+
+    /// An application `read()` during restart: served chunk-granularly
+    /// against the file's prefetch window. Sequential streams keep a
+    /// `read_ahead_chunks`-deep window of fetches in flight on the IO
+    /// worker tasks (each holding one pool permit, like a cache buffer);
+    /// segments whose chunk is fetched — or in flight, in which case
+    /// the reader awaits it — count as hits, the rest charge the read
+    /// model directly. Semantics mirror `crfs_core`'s `read_via_cache`.
+    pub async fn app_read(&self, fh: u64, offset: u64, len: u64) -> u64 {
+        self.fuse.crossing(len).await;
+        let cs = self.config.chunk_size as u64;
+        let (window, extent, sequential) = {
+            let files = self.files.borrow();
+            let f = files.get(&fh).expect("read of unknown CRFS file");
+            (Rc::clone(&f.window), f.extent, f.read_next == offset)
+        };
+        let end = (offset + len).min(extent.max(offset));
+        let mut pos = offset;
+        while pos < end {
+            let idx = pos / cs;
+            let seg_end = ((idx + 1) * cs).min(end);
+            if sequential && self.config.read_ahead_chunks > 0 {
+                self.plan_read_ahead(&window, pos, extent).await;
+            }
+            match window.get(idx) {
+                Some(fetch) => {
+                    if !fetch.ready.get() {
+                        // Waiting for the in-flight fetch IS the win:
+                        // it started up to a window ago.
+                        fetch.wg.wait().await;
+                    }
+                    self.stats.read_hits.set(self.stats.read_hits.get() + 1);
+                    if seg_end == (idx + 1) * cs || seg_end >= extent {
+                        // Chunk fully consumed: permit back to the pool.
+                        if window.remove(idx).is_some() {
+                            self.pool.add_permits(1);
+                        }
+                    }
+                }
+                None => {
+                    self.stats.read_misses.set(self.stats.read_misses.get() + 1);
+                    charge_read(self.read_costs.get(), seg_end - pos).await;
+                }
+            }
+            pos = seg_end;
+        }
+        if let Some(f) = self.files.borrow_mut().get_mut(&fh) {
+            f.read_next = pos;
+        }
+        self.stats.reads.set(self.stats.reads.get() + 1);
+        pos - offset
+    }
+
+    /// Claims and enqueues the read-ahead window following `pos`:
+    /// chunks not yet fetched take a pool permit (non-blocking — an
+    /// exhausted pool simply means no prefetch) and go to the worker
+    /// queue.
+    async fn plan_read_ahead(&self, window: &Rc<ReadWindow>, pos: u64, extent: u64) {
+        let cs = self.config.chunk_size as u64;
+        let limit = extent.div_ceil(cs);
+        let start = pos / cs;
+        let end = (start + 1 + self.config.read_ahead_chunks as u64).min(limit);
+        for idx in start..end {
+            if window.contains(idx) {
+                continue;
+            }
+            let Some(permit) = self.pool.try_acquire(1) else {
+                break;
+            };
+            permit.forget();
+            let fetch = window.insert(idx);
+            self.stats
+                .prefetch_issued
+                .set(self.stats.prefetch_issued.get() + 1);
+            let sent = self
+                .tx
+                .send(WorkItem::Read {
+                    len: (extent - idx * cs).min(cs),
+                    fetch,
+                })
+                .await;
+            assert!(sent.is_ok(), "CRFS IO workers alive");
+        }
+    }
+
     /// close(): seal the partial chunk, wait until the complete-chunk
     /// count matches the write-chunk count, then close on the backend
     /// (paper §IV-C).
     pub async fn close(&self, fh: u64) {
         self.fuse.crossing(0).await;
-        let (chunk, backend_fid, acct, wg) = {
+        let (chunk, backend_fid, acct, wg, window) = {
             let mut files = self.files.borrow_mut();
             let f = files.get_mut(&fh).expect("close of unknown CRFS file");
             (
@@ -329,6 +541,7 @@ impl CrfsSim {
                 f.backend_fid,
                 Rc::clone(&f.acct),
                 f.outstanding.clone(),
+                Rc::clone(&f.window),
             )
         };
         match flush_plan(chunk) {
@@ -341,6 +554,15 @@ impl CrfsSim {
         }
         wg.wait().await;
         debug_assert!(acct.borrow().is_quiescent(), "barrier passed early");
+        // Read-side epilogue: wait out in-flight prefetches and hand
+        // every window permit back (mirrors the real close's
+        // `ReadState::clear`).
+        for fetch in window.drain_list() {
+            if !fetch.ready.get() {
+                fetch.wg.wait().await;
+            }
+            self.pool.add_permits(1);
+        }
         if !self.container {
             self.target.close(backend_fid).await;
         }
@@ -466,6 +688,77 @@ mod tests {
             assert!(crfs.stats().chunks_sealed.get() >= 16);
             crfs.close(fh).await;
             assert_eq!(crfs.stats().bytes_out.get(), 64 * MB);
+            fs.stop();
+        });
+    }
+
+    /// The restart phase: replaying a checkpoint sequentially with
+    /// read-ahead must be much faster than the pass-through baseline —
+    /// the simulated counterpart of `exp restart`'s sweep.
+    #[test]
+    fn restart_prefetch_overlaps_read_latency() {
+        fn run(read_ahead: usize) -> (f64, u64, u64) {
+            let mut sim = Sim::new(3);
+            sim.run(async move {
+                let fs = LocalFs::new(
+                    VfsCostParams::ext3_node(),
+                    AllocParams::ext3(),
+                    CacheParams::compute_node(),
+                    DiskParams::node_sata(),
+                    SimRng::new(3),
+                );
+                let crfs = CrfsSim::new(
+                    Target::Ext3(Rc::clone(&fs)),
+                    CrfsConfig::default()
+                        .with_chunk_size(256 << 10)
+                        .with_pool_size(4 << 20)
+                        .with_read_ahead(read_ahead),
+                    CrfsCostParams::paper(),
+                    FuseParams::paper(),
+                );
+                let image = 8 * MB;
+                let fh = crfs.open_restart(image).await;
+                let t0 = now();
+                let mut off = 0;
+                while off < image {
+                    let n = crfs.app_read(fh, off, 64 * KB).await;
+                    assert_eq!(n, 64 * KB);
+                    off += n;
+                }
+                crfs.close(fh).await;
+                let dt = now().since(t0).as_secs_f64();
+                let hits = crfs.stats().read_hits.get();
+                let misses = crfs.stats().read_misses.get();
+                fs.stop();
+                (dt, hits, misses)
+            })
+        }
+        let (base_t, base_hits, base_misses) = run(0);
+        let (pf_t, pf_hits, _pf_misses) = run(8);
+        assert_eq!(base_hits, 0, "pass-through never hits");
+        assert_eq!(base_misses, 128, "one miss per 64 KiB segment");
+        assert!(pf_hits > 0, "prefetch window never served a hit");
+        assert!(
+            pf_t * 2.0 <= base_t,
+            "prefetch {pf_t:.3}s must be ≥2x faster than pass-through {base_t:.3}s"
+        );
+    }
+
+    #[test]
+    fn restart_window_drains_cleanly_at_close() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (fs, crfs) = mount(0);
+            let fh = crfs.open_restart(4 * MB).await;
+            // Read just enough to spin up a window, then close with
+            // fetches still in flight: close must drain and return
+            // every permit.
+            crfs.app_read(fh, 0, 8 * KB).await;
+            crfs.close(fh).await;
+            assert!(crfs.stats().prefetch_issued.get() > 0);
+            // All permits are back: a full-pool acquire succeeds.
+            let permit = crfs.pool.try_acquire(crfs.config.pool_chunks());
+            assert!(permit.is_some(), "window leaked pool permits");
             fs.stop();
         });
     }

@@ -86,6 +86,17 @@ pub struct CrfsConfig {
     /// Maximum queued items an IO worker drains per queue-lock
     /// acquisition. `1` reproduces the paper's one-pop-per-wakeup.
     pub worker_batch: usize,
+    /// Chunks of read-ahead the restart read path issues when it detects
+    /// sequential access: prefetch reads go through the IO engine (the
+    /// same worker pool that drains writes) and park in the file's read
+    /// cache. `0` disables the read subsystem entirely — reads pass
+    /// straight through to the backend, the paper's §IV-D1 behavior.
+    pub read_ahead_chunks: usize,
+    /// Read-cache slots per open file (each slot can park one
+    /// chunk-sized pool buffer). `0` (default) auto-sizes to
+    /// `next_pow2(read_ahead_chunks * 2)`; any other value is rounded up
+    /// to a power of two. Irrelevant when `read_ahead_chunks` is 0.
+    pub read_cache_slots: usize,
     /// Pre-sharding/pre-batching baseline for A/B contention
     /// measurement: a single-`Mutex` buffer pool, a one-shard file
     /// table, and per-chunk submission — the code path this repository
@@ -108,6 +119,8 @@ impl Default for CrfsConfig {
             pool_shards: 0,
             submit_batch: 16,
             worker_batch: 8,
+            read_ahead_chunks: 4,
+            read_cache_slots: 0,
             legacy_locking: false,
         }
     }
@@ -160,6 +173,20 @@ impl CrfsConfig {
     /// Convenience builder: sets the worker drain batch limit.
     pub fn with_worker_batch(mut self, n: usize) -> Self {
         self.worker_batch = n;
+        self
+    }
+
+    /// Convenience builder: sets the sequential read-ahead window in
+    /// chunks (`0` disables prefetching).
+    pub fn with_read_ahead(mut self, chunks: usize) -> Self {
+        self.read_ahead_chunks = chunks;
+        self
+    }
+
+    /// Convenience builder: sets the per-file read-cache slot count
+    /// (`0` = auto).
+    pub fn with_read_cache_slots(mut self, n: usize) -> Self {
+        self.read_cache_slots = n;
         self
     }
 
@@ -223,6 +250,21 @@ impl CrfsConfig {
         } else {
             self.worker_batch
         }
+    }
+
+    /// The per-file read-cache slot count a mount will actually use: the
+    /// configured value (or `read_ahead_chunks * 2` when auto) rounded up
+    /// to a power of two. Zero when prefetching is disabled.
+    pub fn resolved_read_cache_slots(&self) -> usize {
+        if self.read_ahead_chunks == 0 {
+            return 0;
+        }
+        let n = if self.read_cache_slots == 0 {
+            self.read_ahead_chunks * 2
+        } else {
+            self.read_cache_slots
+        };
+        n.max(1).next_power_of_two()
     }
 
     /// Validates the configuration, returning a descriptive error for any
@@ -330,6 +372,19 @@ mod tests {
             .with_worker_batch(0)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn read_cache_slots_resolve() {
+        let c = CrfsConfig::default(); // read_ahead 4, slots auto
+        assert_eq!(c.resolved_read_cache_slots(), 8);
+        let c = c.with_read_cache_slots(5);
+        assert_eq!(c.resolved_read_cache_slots(), 8);
+        let c = c.with_read_ahead(0);
+        assert_eq!(c.resolved_read_cache_slots(), 0, "disabled read path");
+        let c = c.with_read_ahead(3).with_read_cache_slots(0);
+        assert_eq!(c.resolved_read_cache_slots(), 8); // next_pow2(3 * 2)
+        c.validate().unwrap();
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use super::account::StoredError;
 use super::queue::WorkerPool;
-use super::{IoEngine, SealedChunk};
+use super::{read_and_install, refuse_reads, IoEngine, ReadChunk, SealedChunk};
 use crate::error::{CrfsError, Result};
 use crate::file::FileEntry;
 use crate::pool::BufferPool;
@@ -70,9 +70,30 @@ impl CoalescedWrite {
     }
 }
 
+/// One queue entry: a (possibly merged) pending write, or a prefetch
+/// read riding the same FIFO. Reads never merge — each fills its own
+/// cache slot — and a read at the queue tail simply blocks write merges
+/// across it (FIFO order is preserved either way).
+enum Task {
+    Write(CoalescedWrite),
+    Read(ReadChunk),
+}
+
+/// Offers `item` to the queue tail for absorption; the merge rule used
+/// both for the lock-free pre-merge and at the queue tail.
+fn merge_tasks(tail: &mut Task, item: Task) -> Option<Task> {
+    match (tail, item) {
+        (Task::Write(tail), Task::Write(item)) if tail.accepts(&item) => {
+            tail.absorb(item);
+            None
+        }
+        (_, item) => Some(item),
+    }
+}
+
 /// Threaded engine variant that merges adjacent chunks before dispatch.
 pub struct CoalescingEngine {
-    workers: WorkerPool<CoalescedWrite>,
+    workers: WorkerPool<Task>,
     pool: Arc<BufferPool>,
     stats: Arc<CrfsStats>,
 }
@@ -88,10 +109,17 @@ impl CoalescingEngine {
     ) -> Result<CoalescingEngine> {
         let worker_pool = Arc::clone(&pool);
         let worker_stats = Arc::clone(&stats);
-        let workers = WorkerPool::spawn(io_threads, worker_batch, "crfs-coalesce", move |write| {
-            dispatch(&worker_stats, &worker_pool, write);
-        })
-        .map_err(CrfsError::Io)?;
+        let workers =
+            WorkerPool::spawn(
+                io_threads,
+                worker_batch,
+                "crfs-coalesce",
+                move |task| match task {
+                    Task::Write(write) => dispatch(&worker_stats, &worker_pool, write),
+                    Task::Read(chunk) => read_and_install(&worker_stats, &worker_pool, chunk),
+                },
+            )
+            .map_err(CrfsError::Io)?;
         Ok(CoalescingEngine {
             workers,
             pool,
@@ -187,17 +215,10 @@ impl IoEngine for CoalescingEngine {
         self.stats.engine_submits.fetch_add(1, Relaxed);
         let pushed = self
             .workers
-            .push_or_merge(CoalescedWrite::of(chunk), |tail, item| {
-                if tail.accepts(&item) {
-                    tail.absorb(item);
-                    None
-                } else {
-                    Some(item)
-                }
-            });
+            .push_or_merge(Task::Write(CoalescedWrite::of(chunk)), merge_tasks);
         match pushed {
             Ok(()) => Ok(()),
-            Err(write) => {
+            Err(Task::Write(write)) => {
                 // A refused item is always the freshly wrapped, unmerged
                 // chunk: merges mutate the queue tail in place and never
                 // bounce back out.
@@ -205,6 +226,7 @@ impl IoEngine for CoalescingEngine {
                 self.refuse_write(write);
                 Err(CrfsError::Unmounted)
             }
+            Err(Task::Read(_)) => unreachable!("pushed a write"),
         }
     }
 
@@ -227,22 +249,37 @@ impl IoEngine for CoalescingEngine {
         }
         // The remaining writes merge across the queue tail under one
         // lock acquisition.
-        let pushed = self.workers.push_or_merge_batch(writes, |tail, item| {
-            if tail.accepts(&item) {
-                tail.absorb(item);
-                None
-            } else {
-                Some(item)
-            }
-        });
+        let tasks = writes.into_iter().map(Task::Write).collect();
+        let pushed = self.workers.push_or_merge_batch(tasks, merge_tasks);
         match pushed {
             Ok(()) => Ok(()),
-            Err(writes) => {
-                for write in writes {
-                    self.refuse_write(write);
+            Err(tasks) => {
+                for task in tasks {
+                    match task {
+                        Task::Write(write) => self.refuse_write(write),
+                        Task::Read(_) => unreachable!("pushed writes"),
+                    }
                 }
                 Err(CrfsError::Unmounted)
             }
+        }
+    }
+
+    fn submit_reads(&self, reads: Vec<ReadChunk>) -> Result<()> {
+        if reads.is_empty() {
+            return Ok(());
+        }
+        let tasks = reads.into_iter().map(Task::Read).collect();
+        match self.workers.push_batch(tasks) {
+            Ok(()) => Ok(()),
+            Err(tasks) => Err(refuse_reads(
+                &self.stats,
+                &self.pool,
+                tasks.into_iter().map(|task| match task {
+                    Task::Read(chunk) => chunk,
+                    Task::Write(_) => unreachable!("pushed reads"),
+                }),
+            )),
         }
     }
 

@@ -4,7 +4,10 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
-use super::{refuse_batch, write_and_retire, IoEngine, SealedChunk};
+use super::{
+    read_and_install, refuse_batch, refuse_reads, write_and_retire, IoEngine, ReadChunk,
+    SealedChunk,
+};
 use crate::error::Result;
 use crate::pool::BufferPool;
 use crate::stats::CrfsStats;
@@ -84,6 +87,24 @@ impl IoEngine for InlineEngine {
         }
         for chunk in chunks {
             write_and_retire(&self.stats, &self.pool, chunk);
+        }
+        self.exit(n);
+        Ok(())
+    }
+
+    fn submit_reads(&self, reads: Vec<ReadChunk>) -> Result<()> {
+        if reads.is_empty() {
+            return Ok(());
+        }
+        let n = reads.len();
+        if !self.enter(n) {
+            return Err(refuse_reads(&self.stats, &self.pool, reads));
+        }
+        // Synchronous prefetch: deterministic, still exercises the full
+        // cache/ledger machinery (reads are simply never ahead of the
+        // caller by more than one call).
+        for chunk in reads {
+            read_and_install(&self.stats, &self.pool, chunk);
         }
         self.exit(n);
         Ok(())

@@ -58,6 +58,36 @@ pub struct SealedChunk {
     pub offset: u64,
 }
 
+/// A prefetch read travelling from the restart read path to an IO
+/// engine — the read-side twin of [`SealedChunk`], served by the same
+/// worker pool. Completion installs the filled buffer into the entry's
+/// [`ReadState`](crate::prefetch::ReadState) cache (or recycles it if
+/// the claim went stale) and retires the chunk on the read ledger.
+pub struct ReadChunk {
+    /// The open file; its `read_state` receives the result.
+    pub entry: Arc<FileEntry>,
+    /// Pool buffer the backend read fills.
+    pub buf: Vec<u8>,
+    /// Bytes to read (≤ the chunk size; short at the file tail).
+    pub len: usize,
+    /// File offset the chunk starts at.
+    pub offset: u64,
+    /// Chunk index (`offset / chunk_size`) keying the cache slot.
+    pub idx: u64,
+    /// Slot generation stamped at claim time; a mismatch at install
+    /// means an overlapping write invalidated the fetch.
+    pub gen: u64,
+}
+
+/// One unit of engine work: the queue the worker pool drains carries
+/// checkpoint writes and restart prefetch reads side by side.
+pub enum IoItem {
+    /// A sealed aggregation chunk to write out.
+    Write(SealedChunk),
+    /// A prefetch read to fill and park in the read cache.
+    Read(ReadChunk),
+}
+
 /// An IO dispatch strategy for sealed chunks.
 ///
 /// Implementations must uphold the barrier contract: every accepted
@@ -79,6 +109,14 @@ pub trait IoEngine: Send + Sync {
     /// the entire batch is failed-and-recycled and `Unmounted` returned
     /// once — acceptance is all-or-nothing, never partial.
     fn submit_batch(&self, chunks: Vec<SealedChunk>) -> Result<()>;
+
+    /// Hands a batch of prefetch reads to the engine under a single
+    /// queue-lock acquisition. The caller has already recorded them on
+    /// the file's read ledger (`note_issued`); the engine retires every
+    /// accepted chunk exactly once — installed into the read cache,
+    /// discarded as stale, or (on shutdown) aborted with its buffer
+    /// recycled — so the close-time drain can never hang.
+    fn submit_reads(&self, reads: Vec<ReadChunk>) -> Result<()>;
 
     /// Blocks until every chunk accepted so far has completed.
     fn drain(&self);
@@ -176,6 +214,48 @@ fn write_and_retire_batch(stats: &CrfsStats, pool: &BufferPool, chunks: Vec<Seal
     for (entry, res) in completions {
         entry.note_completed(res);
     }
+}
+
+/// Executes one prefetch read and retires it against the entry's read
+/// cache: a successful, non-empty read is parked in the chunk's slot
+/// (unless invalidated meanwhile or writers are starved for buffers);
+/// anything else recycles the buffer as a wasted fetch. Shared by every
+/// engine.
+fn read_and_install(stats: &CrfsStats, pool: &BufferPool, mut chunk: ReadChunk) {
+    let rs = chunk
+        .entry
+        .read_state
+        .as_ref()
+        .expect("prefetch read on a file without read state");
+    let res = chunk
+        .entry
+        .file
+        .read_at(chunk.offset, &mut chunk.buf[..chunk.len]);
+    match res {
+        Ok(n) => rs.install(chunk.idx, chunk.gen, chunk.buf, n, pool, stats),
+        // Prefetch failures are soft: the reader falls back to a direct
+        // read and surfaces the error on its own call.
+        Err(_) => rs.abort(chunk.idx, chunk.gen, chunk.buf, pool, stats),
+    }
+}
+
+/// Fails a batch of prefetch reads an engine refused (shutdown race):
+/// every chunk retires on its read ledger and recycles its buffer, and a
+/// single `Unmounted` is returned.
+fn refuse_reads(
+    stats: &CrfsStats,
+    pool: &BufferPool,
+    reads: impl IntoIterator<Item = ReadChunk>,
+) -> CrfsError {
+    for chunk in reads {
+        let rs = chunk
+            .entry
+            .read_state
+            .as_ref()
+            .expect("prefetch read on a file without read state");
+        rs.abort(chunk.idx, chunk.gen, chunk.buf, pool, stats);
+    }
+    CrfsError::Unmounted
 }
 
 /// Fails a chunk that an engine refused (shutdown race): completes it

@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use super::queue::WorkerPool;
 use super::{
-    refuse, refuse_batch, write_and_retire, write_and_retire_batch, IoEngine, SealedChunk,
+    read_and_install, refuse, refuse_batch, refuse_reads, write_and_retire, write_and_retire_batch,
+    IoEngine, IoItem, ReadChunk, SealedChunk,
 };
 use crate::error::{CrfsError, Result};
 use crate::pool::BufferPool;
@@ -15,16 +16,18 @@ use crate::stats::CrfsStats;
 /// the paper's §IV-B worker pool, preserving its default-4 throttling
 /// behavior and close/fsync barrier accounting. Batched `submit_batch`
 /// calls enqueue under a single queue-lock acquisition, and each worker
-/// drains up to `worker_batch` chunks per wakeup.
+/// drains up to `worker_batch` items per wakeup. Restart prefetch reads
+/// flow through the same queue as [`IoItem::Read`] work items, so reads
+/// and writes share the thread pool's throttling.
 pub struct ThreadedEngine {
-    workers: WorkerPool<SealedChunk>,
+    workers: WorkerPool<IoItem>,
     pool: Arc<BufferPool>,
     stats: Arc<CrfsStats>,
 }
 
 impl ThreadedEngine {
     /// Spawns `io_threads` workers draining the engine queue, up to
-    /// `worker_batch` chunks per queue-lock acquisition.
+    /// `worker_batch` items per queue-lock acquisition.
     pub fn new(
         io_threads: usize,
         worker_batch: usize,
@@ -34,15 +37,24 @@ impl ThreadedEngine {
         let worker_pool = Arc::clone(&pool);
         let worker_stats = Arc::clone(&stats);
         // worker_batch == 1 (legacy / batching disabled) keeps the exact
-        // per-chunk retire path; otherwise retirement is amortized over
-        // the drained batch.
+        // per-chunk retire path; otherwise write retirement is amortized
+        // over the drained batch (reads always retire individually —
+        // each lands in its own cache slot).
         let workers = if worker_batch <= 1 {
-            WorkerPool::spawn(io_threads, 1, "crfs-io", move |chunk| {
-                write_and_retire(&worker_stats, &worker_pool, chunk);
+            WorkerPool::spawn(io_threads, 1, "crfs-io", move |item| match item {
+                IoItem::Write(chunk) => write_and_retire(&worker_stats, &worker_pool, chunk),
+                IoItem::Read(chunk) => read_and_install(&worker_stats, &worker_pool, chunk),
             })
         } else {
             WorkerPool::spawn_batched(io_threads, worker_batch, "crfs-io", move |batch| {
-                write_and_retire_batch(&worker_stats, &worker_pool, batch);
+                let mut writes = Vec::with_capacity(batch.len());
+                for item in batch {
+                    match item {
+                        IoItem::Write(chunk) => writes.push(chunk),
+                        IoItem::Read(chunk) => read_and_install(&worker_stats, &worker_pool, chunk),
+                    }
+                }
+                write_and_retire_batch(&worker_stats, &worker_pool, writes);
             })
         }
         .map_err(CrfsError::Io)?;
@@ -57,9 +69,10 @@ impl ThreadedEngine {
 impl IoEngine for ThreadedEngine {
     fn submit(&self, chunk: SealedChunk) -> Result<()> {
         self.stats.engine_submits.fetch_add(1, Relaxed);
-        match self.workers.push(chunk) {
+        match self.workers.push(IoItem::Write(chunk)) {
             Ok(()) => Ok(()),
-            Err(chunk) => Err(refuse(&self.stats, &self.pool, chunk)),
+            Err(IoItem::Write(chunk)) => Err(refuse(&self.stats, &self.pool, chunk)),
+            Err(IoItem::Read(_)) => unreachable!("pushed a write"),
         }
     }
 
@@ -68,9 +81,35 @@ impl IoEngine for ThreadedEngine {
             return Ok(());
         }
         self.stats.engine_submits.fetch_add(1, Relaxed);
-        match self.workers.push_batch(chunks) {
+        let items = chunks.into_iter().map(IoItem::Write).collect();
+        match self.workers.push_batch(items) {
             Ok(()) => Ok(()),
-            Err(chunks) => Err(refuse_batch(&self.stats, &self.pool, chunks)),
+            Err(items) => Err(refuse_batch(
+                &self.stats,
+                &self.pool,
+                items.into_iter().map(|item| match item {
+                    IoItem::Write(chunk) => chunk,
+                    IoItem::Read(_) => unreachable!("pushed writes"),
+                }),
+            )),
+        }
+    }
+
+    fn submit_reads(&self, reads: Vec<ReadChunk>) -> Result<()> {
+        if reads.is_empty() {
+            return Ok(());
+        }
+        let items = reads.into_iter().map(IoItem::Read).collect();
+        match self.workers.push_batch(items) {
+            Ok(()) => Ok(()),
+            Err(items) => Err(refuse_reads(
+                &self.stats,
+                &self.pool,
+                items.into_iter().map(|item| match item {
+                    IoItem::Read(chunk) => chunk,
+                    IoItem::Write(_) => unreachable!("pushed reads"),
+                }),
+            )),
         }
     }
 

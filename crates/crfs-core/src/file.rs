@@ -102,6 +102,16 @@ pub struct FileEntry {
     /// Highest byte offset written through CRFS (pending or completed),
     /// so `len()` can account for not-yet-flushed data.
     pub max_extent: AtomicU64,
+    /// Lowest byte offset written through this entry since it was opened
+    /// (`u64::MAX` while untouched). Reads below this point can skip the
+    /// read-after-write flush barrier entirely — the overlap check the
+    /// `read_flushes` path uses instead of flushing the whole file on
+    /// every read. Monotone non-increasing (never reset mid-session, so
+    /// it can only be pessimistic, never stale).
+    pub dirty_low: AtomicU64,
+    /// Read cache + prefetch ledger; present when the mount's
+    /// `read_ahead_chunks` is non-zero.
+    pub read_state: Option<Arc<crate::prefetch::ReadState>>,
     ledger: Ledger,
 }
 
@@ -119,6 +129,17 @@ impl FileEntry {
         file: Box<dyn BackendFile>,
         legacy: bool,
     ) -> FileEntry {
+        FileEntry::with_options(path, file, legacy, None)
+    }
+
+    /// Full constructor: ledger selection plus an optional read
+    /// cache/prefetch state (mounts with `read_ahead_chunks > 0`).
+    pub fn with_options(
+        path: impl Into<Arc<str>>,
+        file: Box<dyn BackendFile>,
+        legacy: bool,
+        read_state: Option<Arc<crate::prefetch::ReadState>>,
+    ) -> FileEntry {
         let initial_len = file.len().unwrap_or(0);
         FileEntry {
             path: path.into(),
@@ -126,6 +147,8 @@ impl FileEntry {
             refcount: AtomicUsize::new(1),
             chunk: Mutex::new(None),
             max_extent: AtomicU64::new(initial_len),
+            dirty_low: AtomicU64::new(u64::MAX),
+            read_state,
             ledger: if legacy {
                 Ledger::locked()
             } else {

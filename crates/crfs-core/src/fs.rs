@@ -13,10 +13,11 @@ use std::time::Duration;
 use crate::backend::{normalize_path, parent_of, Backend, OpenOptions};
 use crate::chunking::{flush_plan, plan_write, ChunkState, FlushStep, PlanStep};
 use crate::config::CrfsConfig;
-use crate::engine::{IoEngine, SealedChunk};
+use crate::engine::{IoEngine, ReadChunk, SealedChunk};
 use crate::error::{CrfsError, Result};
 use crate::file::{CurrentChunk, FileEntry};
 use crate::pool::BufferPool;
+use crate::prefetch::{Consume, ReadState};
 use crate::stats::{CrfsStats, StatsSnapshot};
 
 /// One shard of the open-file table.
@@ -239,11 +240,19 @@ impl Crfs {
             .backend
             .open(&path, opts)
             .map_err(|e| annotate(e, &path))?;
+        let read_state = (self.shared.config.read_ahead_chunks > 0).then(|| {
+            Arc::new(ReadState::new(
+                self.shared.config.chunk_size,
+                self.shared.config.read_ahead_chunks,
+                self.shared.config.resolved_read_cache_slots(),
+            ))
+        });
         // Intern the path once; table key and entry share the Arc.
-        let entry = Arc::new(FileEntry::with_ledger(
+        let entry = Arc::new(FileEntry::with_options(
             path,
             file,
             self.shared.config.legacy_locking,
+            read_state,
         ));
         shard.insert(Arc::clone(&entry.path), Arc::clone(&entry));
         drop(shard);
@@ -273,7 +282,18 @@ impl Crfs {
         }
         entry.file.set_len(0).map_err(CrfsError::Io)?;
         entry.max_extent.store(0, Relaxed);
+        self.invalidate_reads(entry, 0);
         Ok(())
+    }
+
+    /// Drops cached/in-flight prefetches at or past `from` — truncation
+    /// makes them describe bytes that no longer exist.
+    fn invalidate_reads(&self, entry: &Arc<FileEntry>, from: u64) {
+        if let Some(rs) = &entry.read_state {
+            if rs.is_active() {
+                rs.invalidate_range(from, u64::MAX, &self.shared.pool, &self.shared.stats);
+            }
+        }
     }
 
     /// Handle close path (paper §IV-C): drop one reference; the last
@@ -295,6 +315,11 @@ impl Crfs {
             return Ok(());
         }
         let res = self.flush_entry(entry);
+        // Read-side epilogue: wait out in-flight prefetches and hand
+        // every cached buffer back before the entry retires.
+        if let Some(rs) = &entry.read_state {
+            rs.clear(&self.shared.pool, &self.shared.stats);
+        }
         self.shared.stats.closes.fetch_add(1, Relaxed);
         res
     }
@@ -314,6 +339,14 @@ impl Crfs {
     /// unflushed batch would deadlock the back-pressure loop).
     fn write_entry(&self, entry: &Arc<FileEntry>, offset: u64, data: &[u8]) -> Result<()> {
         self.check_mounted()?;
+        // Mark the range dirty for the read side's overlap check BEFORE
+        // buffering anything, so no read can pass the overlap gate while
+        // this write is in flight. The cache invalidation happens at the
+        // END of the write (after the data is buffered): a prefetch
+        // claimed mid-write then either predates the invalidation (its
+        // install is killed by the generation bump) or postdates it, in
+        // which case its coherence flush sees the buffered data.
+        entry.dirty_low.fetch_min(offset, Relaxed);
         let chunk_size = self.shared.config.chunk_size;
         let max_batch = self.shared.submit_batch;
         let mut batch: Vec<SealedChunk> = Vec::new();
@@ -352,12 +385,14 @@ impl Crfs {
                         None => {
                             // Pool empty (or closing): flush our sealed
                             // chunks so the workers can recycle their
-                            // buffers, then block.
+                            // buffers, evict idle read-cache buffers
+                            // mount-wide, then block.
                             self.shared
                                 .stats
                                 .chunks_sealed
                                 .fetch_add(std::mem::take(&mut sealed_count), Relaxed);
                             self.submit_collected(&mut batch)?;
+                            self.reclaim_read_buffers();
                             self.shared.pool.acquire()
                         }
                     };
@@ -395,6 +430,18 @@ impl Crfs {
             .fetch_add(sealed_count, Relaxed);
         self.submit_collected(&mut batch)?;
         drop(slot);
+        // Kill any cached/in-flight prefetch this write supersedes (one
+        // relaxed load when no reads are active — the common case).
+        if let Some(rs) = &entry.read_state {
+            if rs.is_active() {
+                rs.invalidate_range(
+                    offset,
+                    offset + data.len() as u64,
+                    &self.shared.pool,
+                    &self.shared.stats,
+                );
+            }
+        }
         self.shared.stats.writes.fetch_add(1, Relaxed);
         self.shared
             .stats
@@ -481,14 +528,180 @@ impl Crfs {
         entry.file.sync().map_err(CrfsError::Io)
     }
 
-    /// Read path: optionally flush (read-after-write coherence), then pass
-    /// through to the backend (paper §IV-D1).
+    // ------------------------------------------------------------------
+    // read path (the restart direction)
+    // ------------------------------------------------------------------
+
+    /// Read path: flush only when the request overlaps unflushed data
+    /// (read-after-write coherence at overlap granularity, not the old
+    /// whole-file-flush-per-read), then serve through the per-file read
+    /// cache with sequential read-ahead — or pass straight through when
+    /// prefetching is disabled (paper §IV-D1).
     fn read_entry(&self, entry: &Arc<FileEntry>, offset: u64, buf: &mut [u8]) -> Result<usize> {
         self.check_mounted()?;
-        if self.shared.config.read_flushes {
+        self.shared.stats.reads.fetch_add(1, Relaxed);
+        if self.shared.config.read_flushes
+            && offset + buf.len() as u64 > entry.dirty_low.load(Relaxed)
+        {
             self.flush_entry(entry)?;
         }
-        entry.file.read_at(offset, buf).map_err(CrfsError::Io)
+        let n = match entry.read_state.as_ref() {
+            Some(rs) => self.read_via_cache(entry, rs, offset, buf)?,
+            None => entry.file.read_at(offset, buf).map_err(CrfsError::Io)?,
+        };
+        self.shared.stats.bytes_read.fetch_add(n as u64, Relaxed);
+        Ok(n)
+    }
+
+    /// Serves a read chunk-granularly from the file's cache: cached
+    /// segments copy out (hits), in-flight prefetches are awaited, the
+    /// rest reads the backend directly (misses). Afterwards, a read that
+    /// continued the sequential stream plans the next read-ahead window.
+    fn read_via_cache(
+        &self,
+        entry: &Arc<FileEntry>,
+        rs: &Arc<ReadState>,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<usize> {
+        let cs = rs.chunk_size() as u64;
+        let stats = &self.shared.stats;
+        let pool = &self.shared.pool;
+        // A read continuing the sequential stream keeps the window
+        // topped up as it advances — large reads (a whole VMA at
+        // restart) span many chunks, and the pipeline must stay primed
+        // across them, not just between calls.
+        let sequential = rs.is_sequential(offset);
+        let mut done = 0usize;
+        'segments: while done < buf.len() {
+            let pos = offset + done as u64;
+            let idx = pos / cs;
+            let within = (pos % cs) as usize;
+            let want = (buf.len() - done).min(cs as usize - within);
+            if sequential {
+                self.issue_read_ahead(entry, rs, pos)?;
+            }
+            loop {
+                match rs.try_consume(idx, within, &mut buf[done..done + want], pool, stats) {
+                    Consume::Hit(n) => {
+                        done += n;
+                        if n < want {
+                            break 'segments; // cached chunk ends: EOF
+                        }
+                        break;
+                    }
+                    // The chunk is being fetched right now — waiting for
+                    // it IS the prefetch win (the fetch started up to a
+                    // window ago). Aborted fetches empty the slot, so
+                    // this loop always terminates in a hit or a miss.
+                    Consume::Pending => rs.park_pending(),
+                    Consume::Miss => {
+                        stats.read_misses.fetch_add(1, Relaxed);
+                        let n = entry
+                            .file
+                            .read_at(pos, &mut buf[done..done + want])
+                            .map_err(CrfsError::Io)?;
+                        done += n;
+                        if n < want {
+                            break 'segments; // EOF
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if rs.note_read(offset, done as u64) && done == buf.len() {
+            // Keep the window primed for the caller's next read.
+            self.issue_read_ahead(entry, rs, offset + done as u64)?;
+        }
+        Ok(done)
+    }
+
+    /// Plans and submits the read-ahead window following `from`: claims
+    /// cache slots, draws buffers from the pool (non-blocking — an empty
+    /// pool simply means no prefetch), and hands the batch to the IO
+    /// engine in one submission. When the window overlaps unflushed
+    /// writes, the flush barrier runs *after* the slots are claimed:
+    /// any write racing the flush invalidates the claims, so a stale
+    /// install can never be served (see `prefetch` module docs).
+    fn issue_read_ahead(
+        &self,
+        entry: &Arc<FileEntry>,
+        rs: &Arc<ReadState>,
+        from: u64,
+    ) -> Result<()> {
+        let cs = rs.chunk_size() as u64;
+        let stats = &self.shared.stats;
+        let pool = &self.shared.pool;
+        // Cap the window at the known logical length (initialized from
+        // the backend at open, raised by writes); only a cap, so a low
+        // value merely trims the window.
+        let extent = entry.max_extent.load(Relaxed);
+        let limit = extent.div_ceil(cs);
+        let start = (from / cs).max(rs.ahead_until());
+        let end = (from / cs + 1 + rs.read_ahead() as u64).min(limit);
+        if start >= end {
+            return Ok(());
+        }
+        let mut batch: Vec<ReadChunk> = Vec::with_capacity((end - start) as usize);
+        // High-water only up to what is actually covered: chunks skipped
+        // by an exhausted pool must be replannable once buffers return.
+        let mut covered = start;
+        for idx in start..end {
+            let Some(gen) = rs.begin(idx, pool, stats) else {
+                covered = idx + 1; // already cached or in flight
+                continue;
+            };
+            let Some(buf) = pool.try_acquire() else {
+                rs.cancel(idx, gen);
+                break; // never compete with writers for the last buffer
+            };
+            let chunk_off = idx * cs;
+            batch.push(ReadChunk {
+                entry: Arc::clone(entry),
+                buf,
+                len: (extent - chunk_off).min(cs) as usize,
+                offset: chunk_off,
+                idx,
+                gen,
+            });
+            covered = idx + 1;
+        }
+        rs.note_planned(covered);
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.shared.config.read_flushes && end * cs > entry.dirty_low.load(Relaxed) {
+            // Same coherence barrier a direct read of the window would
+            // take. On failure, unwind the claims and surface the error
+            // like the direct path would.
+            if let Err(e) = self.flush_entry(entry) {
+                for chunk in batch {
+                    rs.cancel(chunk.idx, chunk.gen);
+                    pool.release(chunk.buf);
+                }
+                return Err(e);
+            }
+        }
+        rs.note_issued(batch.len() as u64);
+        stats.prefetch_issued.fetch_add(batch.len() as u64, Relaxed);
+        // A refusal (engine racing unmount) already retired every chunk;
+        // prefetch is best-effort, so the read itself still succeeds.
+        let _ = self.shared.engine.submit_reads(batch);
+        Ok(())
+    }
+
+    /// Evicts idle read-cache buffers on every open file — the pressure
+    /// valve a writer pulls before parking on an exhausted pool, so
+    /// parked prefetches can never starve the write path.
+    fn reclaim_read_buffers(&self) {
+        for e in self.shared.table.entries() {
+            if let Some(rs) = &e.read_state {
+                if rs.is_active() {
+                    rs.evict_ready(&self.shared.pool, &self.shared.stats);
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -579,6 +792,7 @@ impl Crfs {
                 // Clamp-then-raise keeps the pending-extent accounting
                 // exact for both shrink and extend.
                 entry.max_extent.store(len, Relaxed);
+                self.invalidate_reads(&entry, len);
                 Ok(())
             }
             None => {
@@ -648,6 +862,11 @@ impl Crfs {
         for e in entries {
             if let Err(err) = self.flush_entry(&e) {
                 first_err.get_or_insert(err);
+            }
+            // Drain prefetches while the engine workers are still alive,
+            // so every cached buffer is back before the pool closes.
+            if let Some(rs) = &e.read_state {
+                rs.clear(&self.shared.pool, &self.shared.stats);
             }
         }
         self.shared.table.clear();
@@ -799,6 +1018,7 @@ impl CrfsFile {
         self.crfs.flush_entry(&self.entry)?;
         self.entry.file.set_len(len).map_err(CrfsError::Io)?;
         self.entry.max_extent.store(len, Relaxed);
+        self.crfs.invalidate_reads(&self.entry, len);
         Ok(())
     }
 
@@ -1413,6 +1633,201 @@ mod tests {
         // Per-chunk submission in legacy mode.
         assert_eq!(snap.engine_submits, snap.chunks_sealed);
         fs.unmount().unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // restart read path: prefetch cache, read-ahead, overlap-only flush
+    // ------------------------------------------------------------------
+
+    /// The restart workload: write a checkpoint, close, reopen, stream
+    /// it back sequentially. The read cache must serve hits, the ledger
+    /// must balance, and every buffer must come back — on all engines.
+    #[test]
+    fn sequential_reopen_read_hits_prefetch_cache() {
+        for engine in ALL_ENGINES {
+            let (fs, _be) = mount_mem(small_config().with_engine(engine).with_read_ahead(4));
+            let data: Vec<u8> = (0..16 * 1024u32).map(|i| (i % 251) as u8).collect();
+            let f = fs.create("/img").unwrap();
+            f.write(&data).unwrap();
+            f.close().unwrap();
+
+            let g = fs.open("/img").unwrap();
+            let mut got = Vec::new();
+            let mut buf = [0u8; 512];
+            loop {
+                let n = g.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            g.close().unwrap();
+            assert_eq!(got, data, "{engine:?}");
+
+            let snap = fs.stats();
+            assert!(snap.read_hits > 0, "{engine:?}: cache never hit");
+            assert!(snap.prefetch_issued > 0, "{engine:?}");
+            assert_eq!(
+                snap.prefetch_issued, snap.prefetch_completed,
+                "{engine:?}: read ledger balances"
+            );
+            assert!(snap.prefetch_wasted <= snap.prefetch_issued, "{engine:?}");
+            assert_eq!(
+                snap.pool_free_chunks, snap.pool_total_chunks,
+                "{engine:?}: every cached buffer returned"
+            );
+            assert_eq!(snap.bytes_read, 16 * 1024, "{engine:?}");
+            fs.unmount().unwrap();
+        }
+    }
+
+    /// A second sequential pass over an already-streamed file must
+    /// prefetch again: the first pass drives the planning high-water to
+    /// EOF, and the seek back to 0 must re-base it.
+    #[test]
+    fn reread_after_full_scan_still_prefetches() {
+        let (fs, _be) = mount_mem(small_config().with_read_ahead(4));
+        let data: Vec<u8> = (0..8 * 1024u32).map(|i| (i % 251) as u8).collect();
+        let f = fs.create("/rescan").unwrap();
+        f.write(&data).unwrap();
+        f.close().unwrap();
+
+        let g = fs.open("/rescan").unwrap();
+        let scan = |g: &CrfsFile| {
+            g.set_position(0);
+            let mut got = Vec::new();
+            let mut buf = [0u8; 512];
+            loop {
+                let n = g.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(got, data);
+        };
+        scan(&g);
+        let first_pass = fs.stats().prefetch_issued;
+        assert!(first_pass > 0);
+        scan(&g);
+        let second_pass = fs.stats().prefetch_issued - first_pass;
+        assert!(
+            second_pass > 0,
+            "second pass issued no prefetch — window never re-based"
+        );
+        assert!(fs.stats().read_hits > 0);
+        g.close().unwrap();
+    }
+
+    /// `read_ahead_chunks = 0` restores the paper's pass-through reads:
+    /// no cache, no prefetch traffic, identical bytes.
+    #[test]
+    fn disabled_prefetch_passes_reads_through() {
+        let (fs, _be) = mount_mem(small_config().with_read_ahead(0));
+        let f = fs.create("/plain").unwrap();
+        f.write(&vec![3u8; 4096]).unwrap();
+        f.close().unwrap();
+        let g = fs.open("/plain").unwrap();
+        let mut buf = vec![0u8; 4096];
+        assert_eq!(g.read_at(0, &mut buf).unwrap(), 4096);
+        assert!(buf.iter().all(|&b| b == 3));
+        g.close().unwrap();
+        let snap = fs.stats();
+        assert_eq!(snap.read_hits, 0);
+        assert_eq!(snap.read_misses, 0, "no cache layer at all");
+        assert_eq!(snap.prefetch_issued, 0);
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.bytes_read, 4096);
+    }
+
+    /// The overlap-only flush fix: a read entirely below the dirty range
+    /// must not seal the file's partial chunk; a read overlapping it
+    /// must (that seal is what makes the data visible).
+    #[test]
+    fn read_flushes_only_on_overlap_with_dirty_range() {
+        let (fs, _be) = mount_mem(small_config());
+        let f = fs.create("/tail").unwrap();
+        // Dirty range starts at 8192; everything below is clean.
+        f.write_at(8192, b"tail-data").unwrap();
+        let mut buf = [0u8; 64];
+        let _ = f.read_at(0, &mut buf).unwrap();
+        assert_eq!(
+            fs.stats().partial_seals,
+            0,
+            "non-overlapping read must not flush the partial chunk"
+        );
+        let n = f.read_at(8192, &mut buf[..9]).unwrap();
+        assert_eq!(&buf[..n], b"tail-data");
+        assert_eq!(
+            fs.stats().partial_seals,
+            1,
+            "overlapping read performs the coherence flush"
+        );
+        f.close().unwrap();
+    }
+
+    /// A write over cached chunks invalidates them: the next read sees
+    /// the new bytes, never the stale cache.
+    #[test]
+    fn write_invalidates_overlapping_read_cache() {
+        let (fs, _be) = mount_mem(small_config().with_read_ahead(4));
+        let f = fs.create("/inv").unwrap();
+        f.write(&vec![1u8; 4096]).unwrap();
+        f.flush().unwrap();
+        // Warm the cache with a sequential read.
+        let mut buf = vec![0u8; 2048];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 2048);
+        assert!(buf.iter().all(|&b| b == 1));
+        // Overwrite the cached range, then re-read it.
+        f.write_at(0, &vec![2u8; 2048]).unwrap();
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 2048);
+        assert!(
+            buf.iter().all(|&b| b == 2),
+            "read served stale cached bytes after an overlapping write"
+        );
+        f.close().unwrap();
+        let snap = fs.stats();
+        assert_eq!(snap.prefetch_issued, snap.prefetch_completed);
+        assert_eq!(snap.pool_free_chunks, snap.pool_total_chunks);
+    }
+
+    /// Unmount racing active prefetch: ledgers balance, nothing leaks.
+    #[test]
+    fn unmount_during_prefetch_reads_never_leaks() {
+        for engine in ALL_ENGINES {
+            let (fs, _be) = mount_mem(small_config().with_engine(engine).with_read_ahead(8));
+            let f = fs.create("/r").unwrap();
+            f.write(&vec![5u8; 32 * 1024]).unwrap();
+            f.close().unwrap();
+            let mut readers = Vec::new();
+            for _ in 0..3 {
+                let fs = Arc::clone(&fs);
+                readers.push(thread::spawn(move || {
+                    let Ok(g) = fs.open("/r") else { return };
+                    let mut buf = [0u8; 700];
+                    while let Ok(n) = g.read(&mut buf) {
+                        if n == 0 {
+                            break;
+                        }
+                    }
+                    let _ = g.close();
+                }));
+            }
+            thread::sleep(std::time::Duration::from_millis(2));
+            let _ = fs.unmount();
+            for h in readers {
+                h.join().unwrap();
+            }
+            let snap = fs.stats();
+            assert_eq!(
+                snap.prefetch_issued, snap.prefetch_completed,
+                "{engine:?}: every issued prefetch retired"
+            );
+            assert_eq!(
+                snap.pool_free_chunks, snap.pool_total_chunks,
+                "{engine:?}: every buffer returned"
+            );
+        }
     }
 
     // ------------------------------------------------------------------

@@ -37,9 +37,12 @@
 //! - **close()/fsync() barrier**: both wait until the file's completed
 //!   chunk count equals its sealed chunk count, then act on the backend —
 //!   exactly the accounting the paper describes.
-//! - **Reads & metadata**: passed through to the backend (after flushing
-//!   pending chunks of that file, a strictly-safer refinement of the
-//!   paper's pass-through reads).
+//! - **Reads (the restart direction)**: served chunk-granularly through a
+//!   per-file read cache with sequential read-ahead issued to the same IO
+//!   worker pool (see [`prefetch`]), flushing pending chunks first only
+//!   when the request actually overlaps them — a strictly-safer, and on
+//!   restart streams much faster, refinement of the paper's pass-through
+//!   reads. `read_ahead_chunks = 0` restores the paper's §IV-D1 behavior.
 //!
 //! ## Quick start
 //!
@@ -69,6 +72,7 @@ pub mod error;
 pub mod file;
 pub mod fs;
 pub mod pool;
+pub mod prefetch;
 pub mod stats;
 pub mod vfs;
 

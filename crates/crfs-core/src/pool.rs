@@ -178,6 +178,10 @@ enum PoolImpl {
     Legacy {
         state: Mutex<LegacyState>,
         cv: Condvar,
+        /// Writers parked on the empty pool (the sharded flavor tracks
+        /// this in its own variant); lets the read cache yield buffers
+        /// to starving writers in both flavors.
+        waiters: AtomicUsize,
     },
 }
 
@@ -248,6 +252,7 @@ impl BufferPool {
             imp: PoolImpl::Legacy {
                 state: Mutex::new(LegacyState { free }),
                 cv: Condvar::new(),
+                waiters: AtomicUsize::new(0),
             },
             chunk_size,
             total_chunks,
@@ -277,6 +282,16 @@ impl BufferPool {
     /// Buffers currently free (occupancy gauge; exact at quiescence).
     pub fn free_chunks(&self) -> usize {
         self.free_count.0.load(Relaxed)
+    }
+
+    /// Whether any writer is currently parked on the empty pool — the
+    /// read cache checks this before parking a prefetched buffer, so
+    /// prefetching cannot starve the write side's back-pressure loop.
+    pub fn has_waiters(&self) -> bool {
+        match &self.imp {
+            PoolImpl::Sharded { waiters, .. } => waiters.load(Relaxed) > 0,
+            PoolImpl::Legacy { waiters, .. } => waiters.load(Relaxed) > 0,
+        }
     }
 
     /// Pushes into one ring, spinning out the (bounded, transient) case
@@ -359,19 +374,28 @@ impl BufferPool {
                 waiters.fetch_sub(1, Relaxed);
                 got
             }
-            PoolImpl::Legacy { state, cv } => {
+            PoolImpl::Legacy { state, cv, waiters } => {
                 let mut st = state.lock();
                 let mut t0 = None;
                 loop {
                     if self.closed.load(Acquire) {
+                        if t0.is_some() {
+                            waiters.fetch_sub(1, Relaxed);
+                        }
                         return None;
                     }
                     if let Some(buf) = st.free.pop() {
                         self.free_count.0.fetch_sub(1, Relaxed);
+                        if t0.is_some() {
+                            waiters.fetch_sub(1, Relaxed);
+                        }
                         let waited = t0.map_or(Duration::ZERO, |t: Instant| t.elapsed());
                         return Some((buf, waited));
                     }
-                    t0.get_or_insert_with(Instant::now);
+                    if t0.is_none() {
+                        t0 = Some(Instant::now());
+                        waiters.fetch_add(1, Relaxed);
+                    }
                     cv.wait(&mut st);
                 }
             }
@@ -420,7 +444,7 @@ impl BufferPool {
                     cv.notify_one();
                 }
             }
-            PoolImpl::Legacy { state, cv } => {
+            PoolImpl::Legacy { state, cv, .. } => {
                 state.lock().free.push(buf);
                 cv.notify_one();
             }
@@ -474,7 +498,7 @@ impl BufferPool {
                 drop(gate.lock());
                 cv.notify_all();
             }
-            PoolImpl::Legacy { state, cv } => {
+            PoolImpl::Legacy { state, cv, .. } => {
                 drop(state.lock());
                 cv.notify_all();
             }

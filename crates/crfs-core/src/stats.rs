@@ -56,6 +56,23 @@ pub struct CrfsStats {
     /// `engine_submits < chunks_sealed`; see
     /// [`StatsSnapshot::avg_batch_len`].
     pub engine_submits: AtomicU64,
+    /// `read()`/`read_at()` calls served.
+    pub reads: AtomicU64,
+    /// Bytes returned to readers.
+    pub bytes_read: AtomicU64,
+    /// Chunk-granular read segments served from the prefetch cache.
+    pub read_hits: AtomicU64,
+    /// Chunk-granular read segments that went to the backend directly.
+    pub read_misses: AtomicU64,
+    /// Prefetch read chunks handed to the IO engine.
+    pub prefetch_issued: AtomicU64,
+    /// Prefetch read chunks retired by the engine (installed, discarded
+    /// as stale, or refused at shutdown). Equals `prefetch_issued` at
+    /// quiescence — the read-side twin of sealed == completed.
+    pub prefetch_completed: AtomicU64,
+    /// Prefetched chunks that never served a hit: evicted unread,
+    /// invalidated by an overlapping write, failed, or refused.
+    pub prefetch_wasted: AtomicU64,
 }
 
 impl CrfsStats {
@@ -86,6 +103,13 @@ impl CrfsStats {
             barrier_wait: Duration::from_nanos(self.barrier_wait_ns.load(Relaxed)),
             shard_lock_waits: self.shard_lock_waits.load(Relaxed),
             engine_submits: self.engine_submits.load(Relaxed),
+            reads: self.reads.load(Relaxed),
+            bytes_read: self.bytes_read.load(Relaxed),
+            read_hits: self.read_hits.load(Relaxed),
+            read_misses: self.read_misses.load(Relaxed),
+            prefetch_issued: self.prefetch_issued.load(Relaxed),
+            prefetch_completed: self.prefetch_completed.load(Relaxed),
+            prefetch_wasted: self.prefetch_wasted.load(Relaxed),
             pool_free_chunks: 0,
             pool_total_chunks: 0,
         }
@@ -133,6 +157,20 @@ pub struct StatsSnapshot {
     pub shard_lock_waits: u64,
     /// Engine submissions (producer-side queue-lock acquisitions).
     pub engine_submits: u64,
+    /// Read calls served.
+    pub reads: u64,
+    /// Bytes returned to readers.
+    pub bytes_read: u64,
+    /// Read segments served from the prefetch cache.
+    pub read_hits: u64,
+    /// Read segments that went to the backend directly.
+    pub read_misses: u64,
+    /// Prefetch chunks handed to the IO engine.
+    pub prefetch_issued: u64,
+    /// Prefetch chunks retired by the engine.
+    pub prefetch_completed: u64,
+    /// Prefetched chunks that never served a hit.
+    pub prefetch_wasted: u64,
     /// Buffers free in the pool at snapshot time (occupancy gauge;
     /// filled by [`Crfs::stats`](crate::Crfs::stats), zero on raw
     /// [`CrfsStats::snapshot`] calls).
@@ -199,6 +237,17 @@ impl StatsSnapshot {
             self.chunks_sealed as f64 / self.engine_submits as f64
         }
     }
+
+    /// Fraction of chunk-granular read segments served from the prefetch
+    /// cache (0.0 when nothing was read).
+    pub fn read_hit_rate(&self) -> f64 {
+        let total = self.read_hits + self.read_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -251,6 +300,19 @@ impl std::fmt::Display for StatsSnapshot {
             self.pool_free_chunks,
             self.pool_total_chunks
         )?;
+        writeln!(
+            f,
+            "reads: {} ({} bytes); cache hits {} / misses {} ({:.0}% hit); \
+             prefetch {} issued, {} completed, {} wasted",
+            self.reads,
+            self.bytes_read,
+            self.read_hits,
+            self.read_misses,
+            self.read_hit_rate() * 100.0,
+            self.prefetch_issued,
+            self.prefetch_completed,
+            self.prefetch_wasted
+        )?;
         write!(
             f,
             "opens {} / closes {} / fsyncs {}",
@@ -292,6 +354,15 @@ mod tests {
         s.chunks_sealed.fetch_add(32, Relaxed);
         s.engine_submits.fetch_add(4, Relaxed);
         assert_eq!(s.snapshot().avg_batch_len(), 8.0);
+    }
+
+    #[test]
+    fn read_hit_rate_tracks_cache_effectiveness() {
+        let s = CrfsStats::new();
+        assert_eq!(s.snapshot().read_hit_rate(), 0.0);
+        s.read_hits.fetch_add(3, Relaxed);
+        s.read_misses.fetch_add(1, Relaxed);
+        assert_eq!(s.snapshot().read_hit_rate(), 0.75);
     }
 
     #[test]

@@ -184,14 +184,26 @@ impl Vfs {
     }
 
     /// Sequential read (reads are passed through whole; FUSE read sizes
-    /// are governed by the kernel readahead, which we do not model).
+    /// are governed by the kernel readahead, which CRFS's own
+    /// chunk-granular read-ahead stands in for). Each request pays the
+    /// configured user↔kernel crossing cost, same as writes.
     pub fn read(&self, fd: Fd, buf: &mut [u8]) -> Result<usize> {
-        self.with_fd(fd, |file| file.read(buf))
+        self.with_fd(fd, |file| {
+            if let Some(d) = file_config(file).1 {
+                std::thread::sleep(d);
+            }
+            file.read(buf)
+        })
     }
 
     /// Positioned read.
     pub fn pread(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize> {
-        self.with_fd(fd, |file| file.read_at(offset, buf))
+        self.with_fd(fd, |file| {
+            if let Some(d) = file_config(file).1 {
+                std::thread::sleep(d);
+            }
+            file.read_at(offset, buf)
+        })
     }
 
     /// fsync(2).

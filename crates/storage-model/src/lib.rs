@@ -27,6 +27,11 @@
 //! - **[`nfs::NfsModel`]** — a single NFSv3 server with `wsize`-limited
 //!   write RPCs and one request queue; the paper's pathological backend.
 //!
+//! One model is the odd one out: **[`rpc::RpcStore`]** charges *wall
+//! clock* instead of virtual time — it implements the real library's
+//! `Backend` trait so `crfs-core`'s restart read-ahead can be measured
+//! live against a latency-bound store (`exp restart`).
+//!
 //! Every parameter lives in [`params`] with its provenance documented.
 //! Calibration tests in `cluster-sim` assert the *shapes* of the paper's
 //! results, not absolute seconds.
@@ -39,6 +44,7 @@ pub mod net;
 pub mod nfs;
 pub mod params;
 pub mod pvfs;
+pub mod rpc;
 
 pub use disk::DiskModel;
 pub use localfs::LocalFs;
@@ -47,3 +53,4 @@ pub use net::NetLink;
 pub use nfs::{NfsClient, NfsModel};
 pub use params::*;
 pub use pvfs::{PvfsClient, PvfsModel, PvfsServer};
+pub use rpc::{mem_rpc_store, RpcStore, RpcStoreParams};

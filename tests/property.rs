@@ -13,6 +13,16 @@ use crfs::core::chunking::{apply_plan, plan_write, ChunkState, PlanStep};
 use crfs::core::{Crfs, CrfsConfig, EngineKind};
 use crfs::simkit::rng::SimRng;
 
+/// Base config honoring the CI lock-regime matrix (`CRFS_TEST_LEGACY=1`
+/// reruns every property on the pre-overhaul locking baseline).
+fn base_config() -> CrfsConfig {
+    CrfsConfig::default().with_legacy_locking(
+        std::env::var("CRFS_TEST_LEGACY")
+            .map(|v| v == "1")
+            .unwrap_or(false),
+    )
+}
+
 /// Runs `case` for `cases` deterministic seeds, labelling failures.
 fn for_cases(name: &str, cases: u64, mut case: impl FnMut(&mut SimRng)) {
     for seed in 0..cases {
@@ -143,7 +153,7 @@ fn apply_model(model: &mut Vec<u8>, off: u64, data: &[u8]) {
 
 fn run_ops_through(engine: EngineKind, ops: &[Op]) -> (Vec<u8>, crfs::core::StatsSnapshot) {
     run_ops_with(
-        CrfsConfig::default()
+        base_config()
             .with_chunk_size(4096)
             .with_pool_size(16 << 10)
             .with_io_threads(2)
@@ -238,7 +248,7 @@ fn engines_agree_for_random_batch_sizes() {
         let submit_batch = rng.gen_range(1usize..24);
         let worker_batch = rng.gen_range(1usize..12);
         let config = |engine: EngineKind| {
-            CrfsConfig::default()
+            base_config()
                 .with_chunk_size(4096)
                 .with_pool_size(16 << 10)
                 .with_io_threads(2)
@@ -291,9 +301,7 @@ fn pool_and_byte_conservation() {
     for_cases("pool_and_byte_conservation", 48, |rng| {
         let fs = Crfs::mount(
             Arc::new(MemBackend::new()),
-            CrfsConfig::default()
-                .with_chunk_size(8192)
-                .with_pool_size(32 << 10),
+            base_config().with_chunk_size(8192).with_pool_size(32 << 10),
         )
         .expect("mount");
         let f = fs.create("/conserve").expect("create");
@@ -313,6 +321,138 @@ fn pool_and_byte_conservation() {
 }
 
 // ---------------------------------------------------------------------
+// Read-after-write coherence under concurrent readers and writers,
+// swept across prefetch window sizes
+// ---------------------------------------------------------------------
+
+/// Readers racing an appending writer must always see the bytes the
+/// flush barriers promised, whatever the prefetch window: the cache may
+/// reorder *when* the backend is read, never *what* a read returns.
+/// Window 0 is the pass-through control; the larger windows exercise
+/// claim/invalidate/install against live writes.
+#[test]
+fn read_write_coherence_across_prefetch_windows() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    for_cases("read_write_coherence_across_prefetch_windows", 6, |rng| {
+        for window in [0usize, 1, 4, 8] {
+            let config = base_config()
+                .with_chunk_size(4096)
+                .with_pool_size(64 << 10)
+                .with_io_threads(2)
+                .with_read_ahead(window);
+            let fs = Crfs::mount(Arc::new(MemBackend::new()), config).expect("mount");
+            let f = Arc::new(fs.create("/coh").expect("create"));
+
+            // An immutable, flushed prefix with a position-derived
+            // pattern: concurrent readers verify against it while the
+            // writer appends strictly beyond it.
+            let pat = |i: u64| (i % 251) as u8;
+            let prefix = rng.gen_range(8_000u64..40_000);
+            let data: Vec<u8> = (0..prefix).map(pat).collect();
+            f.write(&data).expect("prefix write");
+            f.flush().expect("prefix flush");
+
+            // Pre-draw every reader's offsets so the run replays exactly
+            // from the printed seed.
+            let reader_plans: Vec<Vec<(u64, usize)>> = (0..2)
+                .map(|_| {
+                    (0..60)
+                        .map(|_| {
+                            let len = rng.gen_range(1usize..6_000);
+                            let off = rng.gen_range(0u64..prefix.saturating_sub(len as u64).max(1));
+                            (off, len)
+                        })
+                        .collect()
+                })
+                .collect();
+            let appends = rng.gen_range(5usize..30);
+
+            let writer_done = Arc::new(AtomicBool::new(false));
+            std::thread::scope(|s| {
+                for plan in &reader_plans {
+                    let f = Arc::clone(&f);
+                    let done = Arc::clone(&writer_done);
+                    s.spawn(move || {
+                        // Cycle the plan until the writer finishes, then
+                        // one final pass (so reads genuinely overlap
+                        // writes and still run under quiescence).
+                        let mut last_round = false;
+                        loop {
+                            for &(off, len) in plan {
+                                let mut buf = vec![0u8; len];
+                                let n = f.read_at(off, &mut buf).expect("read");
+                                assert_eq!(n, len, "prefix read came up short");
+                                for (k, &b) in buf.iter().enumerate() {
+                                    assert_eq!(
+                                        b,
+                                        pat(off + k as u64),
+                                        "stale/corrupt byte at {} (window {window})",
+                                        off + k as u64
+                                    );
+                                }
+                            }
+                            if last_round {
+                                break;
+                            }
+                            last_round = done.load(Ordering::Relaxed);
+                        }
+                    });
+                }
+                // The writer appends beyond the prefix while readers run.
+                for a in 0..appends {
+                    f.write(&vec![(a % 200) as u8 + 1; 1500]).expect("append");
+                    if a % 4 == 3 {
+                        f.flush().expect("mid flush");
+                    }
+                }
+                writer_done.store(true, Ordering::Relaxed);
+            });
+
+            // Quiescent full-file scan: everything (prefix + appends)
+            // must match the model, and with a window the scan must
+            // actually exercise the cache.
+            f.flush().expect("final flush");
+            let total = prefix + (appends as u64) * 1500;
+            let mut got = vec![0u8; total as usize];
+            let mut off = 0usize;
+            while off < got.len() {
+                let n = f.read_at(off as u64, &mut got[off..]).expect("scan");
+                assert!(n > 0, "scan stalled at {off}");
+                off += n;
+            }
+            for (i, &b) in got[..prefix as usize].iter().enumerate() {
+                assert_eq!(b, pat(i as u64), "prefix byte {i} (window {window})");
+            }
+            for a in 0..appends {
+                let start = prefix as usize + a * 1500;
+                assert!(
+                    got[start..start + 1500]
+                        .iter()
+                        .all(|&b| b == (a % 200) as u8 + 1),
+                    "append {a} corrupted (window {window})"
+                );
+            }
+            drop(f);
+            let snap = fs.stats();
+            if window == 0 {
+                assert_eq!(snap.prefetch_issued, 0, "window 0 must not prefetch");
+            }
+            assert_eq!(
+                snap.prefetch_issued, snap.prefetch_completed,
+                "read ledger balances (window {window})"
+            );
+            assert!(snap.prefetch_wasted <= snap.prefetch_issued);
+            assert_eq!(
+                snap.pool_free_chunks, snap.pool_total_chunks,
+                "pool conserved (window {window})"
+            );
+            fs.unmount().expect("unmount");
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
 // BLCR image round-trips
 // ---------------------------------------------------------------------
 
@@ -325,7 +465,7 @@ fn blcr_roundtrip_through_crfs() {
         let seed = rng.next_u64();
         let fs = Crfs::mount(
             Arc::new(MemBackend::new()),
-            CrfsConfig::default()
+            base_config()
                 .with_chunk_size(64 << 10)
                 .with_pool_size(256 << 10),
         )

@@ -311,6 +311,103 @@ fn hot_path_stats_invariants_hold() {
     }
 }
 
+/// The read-side twin of the invariants above: after a checkpoint +
+/// restart workload, the prefetch ledger must balance, hit/miss
+/// accounting must cover the bytes served, and no buffer may linger in
+/// the cache — for every engine and for both prefetch-on and -off.
+#[test]
+fn restart_read_stats_invariants_hold() {
+    use crfs::core::backend::MemBackend;
+    use crfs::core::{Crfs, CrfsConfig, EngineKind};
+    use std::sync::Arc;
+
+    for engine in [
+        EngineKind::Threaded,
+        EngineKind::Coalescing,
+        EngineKind::Inline,
+    ] {
+        for window in [0usize, 4] {
+            let config = CrfsConfig::default()
+                .with_chunk_size(2048)
+                .with_pool_size(64 << 10)
+                .with_io_threads(4)
+                .with_engine(engine)
+                .with_read_ahead(window);
+            let fs = Crfs::mount(Arc::new(MemBackend::new()), config).expect("mount");
+            // Checkpoint...
+            let total: usize = 48 << 10;
+            let f = fs.create("/ckpt").expect("create");
+            f.write(&vec![9u8; total]).expect("write");
+            f.close().expect("close");
+            // ...and restart, with concurrent readers.
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    let fs = &fs;
+                    s.spawn(move || {
+                        let g = fs.open("/ckpt").expect("open");
+                        let mut buf = [0u8; 900];
+                        let mut seen = 0usize;
+                        loop {
+                            let n = g.read(&mut buf).expect("read");
+                            if n == 0 {
+                                break;
+                            }
+                            assert!(buf[..n].iter().all(|&b| b == 9));
+                            seen += n;
+                        }
+                        assert_eq!(seen, total);
+                        g.close().expect("close");
+                    });
+                }
+            });
+            let snap = fs.stats();
+
+            // The read ledger balances and nothing leaks.
+            assert_eq!(
+                snap.prefetch_issued, snap.prefetch_completed,
+                "{engine:?}/w{window}: every issued prefetch retired"
+            );
+            assert!(
+                snap.prefetch_wasted <= snap.prefetch_issued,
+                "{engine:?}/w{window}"
+            );
+            assert_eq!(
+                snap.pool_free_chunks, snap.pool_total_chunks,
+                "{engine:?}/w{window}: cached buffers all returned"
+            );
+
+            // Serving accounting: every byte came from a hit, a miss, or
+            // the pass-through path; with the window off there is no
+            // cache traffic at all, with it on the segment counts must
+            // cover the reads.
+            assert_eq!(snap.bytes_read, 3 * total as u64, "{engine:?}/w{window}");
+            assert!(snap.reads > 0, "{engine:?}/w{window}");
+            if window == 0 {
+                assert_eq!(snap.read_hits + snap.read_misses, 0, "{engine:?}");
+                assert_eq!(snap.prefetch_issued, 0, "{engine:?}");
+            } else {
+                assert!(
+                    snap.read_hits + snap.read_misses >= snap.reads,
+                    "{engine:?}: chunk segments at least cover read calls \
+                     ({} + {} vs {})",
+                    snap.read_hits,
+                    snap.read_misses,
+                    snap.reads
+                );
+                assert!(snap.prefetch_issued > 0, "{engine:?}: window never engaged");
+            }
+            // The write-side invariants still hold with reads in the mix.
+            assert_eq!(snap.chunks_sealed, snap.chunks_completed, "{engine:?}");
+            assert_eq!(
+                snap.backend_writes + snap.chunks_coalesced,
+                snap.chunks_completed,
+                "{engine:?}"
+            );
+            fs.unmount().expect("unmount");
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Full paper geometry (slow): run explicitly with `cargo test -- --ignored`
 // ---------------------------------------------------------------------
