@@ -15,7 +15,7 @@ use crfs_blcr::{CheckpointWriter, ProcessImage, RestartReader};
 use crfs_core::backend::{
     Backend, DiscardBackend, MemBackend, OpenOptions, ReadCursor, ThrottleParams, ThrottledBackend,
 };
-use crfs_core::{Crfs, CrfsConfig, Vfs};
+use crfs_core::{CodecKind, Crfs, CrfsConfig, Vfs};
 use storage_model::{RpcStore, RpcStoreParams};
 
 /// One cell of the Fig. 5 sweep.
@@ -365,6 +365,246 @@ pub fn chunk_sweep(
 }
 
 // ---------------------------------------------------------------------
+// Chunk transform sweep (the `exp compress` experiment)
+// ---------------------------------------------------------------------
+
+/// One measured cell of the transform sweep: a multi-epoch checkpoint
+/// workload written through a given codec/dedup configuration, plus —
+/// on the content-storing backend — a full byte-exact restart
+/// verification on a fresh mount.
+#[derive(Debug, Clone)]
+pub struct CompressPoint {
+    /// Transform codec the mount ran.
+    pub codec: CodecKind,
+    /// Whether content-addressed dedup was on.
+    pub dedup: bool,
+    /// Chunk size in bytes.
+    pub chunk: usize,
+    /// Fraction of chunks whose content repeats across epochs.
+    pub dup_fraction: f64,
+    /// `"discard"` or `"rpc"`.
+    pub backend: &'static str,
+    /// Wall-clock seconds for the checkpoint (write) phase.
+    pub secs: f64,
+    /// Logical checkpoint throughput, MiB/s.
+    pub mibs: f64,
+    /// Logical chunk bytes entering the transform stage.
+    pub bytes_logical: u64,
+    /// Frame bytes the backend received.
+    pub bytes_stored: u64,
+    /// `bytes_logical / bytes_stored`.
+    pub ratio: f64,
+    /// Chunks deduplicated into reference records.
+    pub dedup_hits: u64,
+    /// Integrity failures observed across write + verify (must be 0).
+    pub integrity_failures: u64,
+    /// Bytes read back and compared during verification (0 on discard).
+    pub verified_bytes: u64,
+    /// Whether every verified byte matched the expected content.
+    pub verify_ok: bool,
+    /// Milliseconds spent in the transform stage (encode + decode).
+    pub transform_ms: f64,
+}
+
+/// Deterministic checkpoint-like content for chunk `idx` of file
+/// `file` in epoch `epoch`: a repeated 32-byte tile (LZ/RLE-friendly,
+/// like zeroed or structured pages) with every 8th 64-byte block
+/// replaced by pseudo-random bytes (so codecs cannot cheat). Chunks
+/// selected by `dup_fraction` are epoch-independent — byte-identical
+/// across epochs, the self-similarity stdchk measured in real
+/// checkpoint streams.
+pub fn epoch_chunk_payload(
+    chunk: usize,
+    file: usize,
+    idx: u64,
+    epoch: usize,
+    dup_fraction: f64,
+) -> Vec<u8> {
+    let is_dup = ((idx % 16) as f64) < dup_fraction * 16.0;
+    let epoch_salt = if is_dup { 0 } else { epoch as u64 + 1 };
+    let mut x = 0x9E37_79B9u64
+        .wrapping_mul(file as u64 + 1)
+        .wrapping_add(idx.wrapping_mul(0x85EB_CA6B))
+        .wrapping_add(epoch_salt.wrapping_mul(0xC2B2_AE35));
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    };
+    let tile: Vec<u8> = (0..32).map(|_| (next() >> 33) as u8).collect();
+    let mut out = Vec::with_capacity(chunk);
+    while out.len() < chunk {
+        let block = out.len() / 64;
+        if block % 8 == 7 {
+            for _ in 0..64 {
+                out.push((next() >> 33) as u8);
+            }
+        } else {
+            out.extend_from_slice(&tile);
+            out.extend_from_slice(&tile);
+        }
+    }
+    out.truncate(chunk);
+    out
+}
+
+/// Measures one transform cell: writes `images` checkpoint files of
+/// `image_bytes` each for two epochs (calling
+/// [`Crfs::advance_epoch`] between them), then — on the RPC backend —
+/// restarts every file on a fresh mount and verifies byte-exactness.
+pub fn compress_cell(
+    codec: CodecKind,
+    dedup: bool,
+    chunk: usize,
+    dup_fraction: f64,
+    rpc: bool,
+    images: usize,
+    image_bytes: u64,
+) -> CompressPoint {
+    const EPOCHS: usize = 2;
+    let backend: Arc<dyn Backend> = if rpc {
+        Arc::new(RpcStore::new(
+            MemBackend::new(),
+            RpcStoreParams::restart_store(),
+        ))
+    } else {
+        Arc::new(DiscardBackend::new())
+    };
+    let config = CrfsConfig::default()
+        .with_chunk_size(chunk)
+        .with_pool_size(8 * chunk)
+        .with_codec(codec)
+        .with_dedup(dedup);
+    let chunks_per_file = image_bytes / chunk as u64;
+
+    // Checkpoint phase: EPOCHS rounds of `images` files each.
+    let fs = Crfs::mount(Arc::clone(&backend), config.clone()).expect("mount");
+    fs.mkdir_all("/ckpt").expect("mkdir");
+    let t0 = Instant::now();
+    for epoch in 0..EPOCHS {
+        fs.mkdir_all(&format!("/ckpt/e{epoch}")).expect("mkdir");
+        std::thread::scope(|s| {
+            for file in 0..images {
+                let fs = &fs;
+                s.spawn(move || {
+                    let f = fs
+                        .create(&format!("/ckpt/e{epoch}/rank{file}.img"))
+                        .expect("create");
+                    for idx in 0..chunks_per_file {
+                        let payload = epoch_chunk_payload(chunk, file, idx, epoch, dup_fraction);
+                        f.write(&payload).expect("write");
+                    }
+                    f.close().expect("close");
+                });
+            }
+        });
+        fs.advance_epoch();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let write_snap = fs.stats();
+    fs.unmount().expect("unmount");
+
+    // Restart verification (content-storing backend only): a fresh
+    // mount rebuilds every frame map by scanning and must reproduce
+    // each file byte-for-byte, resolving cross-epoch dedup references.
+    let (verified_bytes, verify_ok, verify_integrity) = if rpc {
+        let fs = Crfs::mount(Arc::clone(&backend), config).expect("remount");
+        let mut bytes = 0u64;
+        let mut ok = true;
+        for epoch in 0..EPOCHS {
+            for file in 0..images {
+                let f = fs
+                    .open(&format!("/ckpt/e{epoch}/rank{file}.img"))
+                    .expect("open");
+                let mut got = vec![0u8; chunk];
+                for idx in 0..chunks_per_file {
+                    let n = f
+                        .read_at(idx * chunk as u64, &mut got)
+                        .expect("verified read");
+                    let want = epoch_chunk_payload(chunk, file, idx, epoch, dup_fraction);
+                    ok &= n == chunk && got == want;
+                    bytes += n as u64;
+                }
+                f.close().expect("close");
+            }
+        }
+        let snap = fs.stats();
+        fs.unmount().expect("unmount");
+        (bytes, ok, snap.integrity_failures)
+    } else {
+        (0, true, 0)
+    };
+
+    let logical = EPOCHS as u64 * images as u64 * chunks_per_file * chunk as u64;
+    let stored = if write_snap.bytes_stored > 0 {
+        write_snap.bytes_stored
+    } else {
+        write_snap.bytes_out // identity-of-the-identity: raw mounts
+    };
+    CompressPoint {
+        codec,
+        dedup,
+        chunk,
+        dup_fraction,
+        backend: if rpc { "rpc" } else { "discard" },
+        secs,
+        mibs: logical as f64 / secs.max(1e-9) / (1 << 20) as f64,
+        bytes_logical: logical,
+        bytes_stored: stored,
+        ratio: logical as f64 / stored.max(1) as f64,
+        dedup_hits: write_snap.dedup_hits,
+        integrity_failures: write_snap.integrity_failures + verify_integrity,
+        verified_bytes,
+        verify_ok,
+        transform_ms: write_snap.transform.as_secs_f64() * 1e3,
+    }
+}
+
+/// The `exp compress` sweep: codec × chunk size × duplicate-epoch
+/// fraction on both the discard backend (pure pipeline cost) and the
+/// latency-bound RPC store (with full restart verification). Identity
+/// cells run without dedup — they are the stored-volume baseline the
+/// acceptance gate compares against.
+pub fn compress_sweep(quick: bool) -> Vec<CompressPoint> {
+    let (images, image_bytes) = if quick {
+        (2, 1u64 << 20)
+    } else {
+        (2, 8u64 << 20)
+    };
+    let chunks: &[usize] = if quick {
+        &[64 << 10]
+    } else {
+        &[4 << 10, 64 << 10, 1 << 20]
+    };
+    let dup_fractions: &[f64] = &[0.0, 0.75];
+    let mut out = Vec::new();
+    for &chunk in chunks {
+        let image_bytes = image_bytes.max(chunk as u64 * 4); // ≥4 chunks/file
+        for &dup in dup_fractions {
+            for rpc in [false, true] {
+                for (codec, dedup) in [
+                    (CodecKind::Identity, false),
+                    (CodecKind::Rle, true),
+                    (CodecKind::Lz, true),
+                ] {
+                    out.push(compress_cell(
+                        codec,
+                        dedup,
+                        chunk,
+                        dup,
+                        rpc,
+                        images,
+                        image_bytes,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Hot-path contention sweep (the `exp contention` experiment)
 // ---------------------------------------------------------------------
 
@@ -556,6 +796,29 @@ mod tests {
             "legacy submits per chunk"
         );
         assert_eq!(legacy.locks_per_chunk, 1.0);
+    }
+
+    #[test]
+    fn compress_cell_dedups_verifies_and_beats_identity() {
+        // Duplicate-epoch profile in miniature: every chunk recurs in
+        // epoch 2, so dedup + LZ must shrink stored volume hard while
+        // restoring byte-exactly.
+        let lz = compress_cell(CodecKind::Lz, true, 16 << 10, 1.0, true, 1, 64 << 10);
+        assert!(lz.verify_ok, "restart must be byte-exact");
+        assert_eq!(lz.integrity_failures, 0, "clean path, no failures");
+        assert!(lz.dedup_hits > 0, "epoch 2 must dedup against epoch 1");
+        assert!(lz.ratio > 1.5, "got ratio {:.2}", lz.ratio);
+        assert_eq!(lz.verified_bytes, lz.bytes_logical);
+
+        let base = compress_cell(CodecKind::Identity, false, 16 << 10, 1.0, true, 1, 64 << 10);
+        assert!(base.verify_ok);
+        assert!(base.ratio <= 1.0, "identity pays frame headers");
+        assert!(
+            lz.bytes_stored * 2 < base.bytes_stored,
+            "dedup+lz {} vs identity {} stored bytes",
+            lz.bytes_stored,
+            base.bytes_stored
+        );
     }
 
     #[test]

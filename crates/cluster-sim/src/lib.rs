@@ -28,7 +28,7 @@ pub mod mpi;
 pub mod target;
 
 pub use blcr::blcr_write_stream;
-pub use crfs_sim::CrfsSim;
+pub use crfs_sim::{CrfsSim, SimTransform};
 pub use experiment::{run_checkpoint, BackendKind, CheckpointResult, CheckpointSpec};
 pub use mpi::{LuClass, MpiStack};
 pub use target::Target;

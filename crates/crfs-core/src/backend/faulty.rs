@@ -4,7 +4,11 @@
 //! [`FailureMode`]. Used by the failure-injection test suite to verify
 //! that asynchronous chunk-write errors surface at close/fsync and that
 //! CRFS never loses track of pool buffers when the backend misbehaves.
+//! The mode is shared across every file handle and switchable at
+//! runtime with [`FaultyBackend::set_mode`], so a test can write clean
+//! data and then corrupt only the read-back phase.
 
+use parking_lot::Mutex;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
@@ -22,13 +26,20 @@ pub enum FailureMode {
     FailSync,
     /// Fail every `open`.
     FailOpen,
+    /// Silently flip one bit in the payload of every `n`-th `read_at`
+    /// (`1` corrupts every read). The read *succeeds* — this models bit
+    /// rot / a misbehaving store, the failure class only end-to-end
+    /// integrity checking can catch.
+    CorruptReads(u64),
 }
 
 /// A failure-injecting [`Backend`] decorator.
 pub struct FaultyBackend<B> {
     inner: B,
-    mode: FailureMode,
+    mode: Arc<Mutex<FailureMode>>,
     writes_seen: Arc<AtomicU64>,
+    reads_seen: Arc<AtomicU64>,
+    reads_corrupted: Arc<AtomicU64>,
 }
 
 impl<B: Backend> FaultyBackend<B> {
@@ -36,8 +47,10 @@ impl<B: Backend> FaultyBackend<B> {
     pub fn new(inner: B, mode: FailureMode) -> FaultyBackend<B> {
         FaultyBackend {
             inner,
-            mode,
+            mode: Arc::new(Mutex::new(mode)),
             writes_seen: Arc::new(AtomicU64::new(0)),
+            reads_seen: Arc::new(AtomicU64::new(0)),
+            reads_corrupted: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -46,9 +59,24 @@ impl<B: Backend> FaultyBackend<B> {
         &self.inner
     }
 
+    /// Switches the failure mode; affects all existing handles.
+    pub fn set_mode(&self, mode: FailureMode) {
+        *self.mode.lock() = mode;
+    }
+
     /// Total `write_at` attempts observed (including failed ones).
     pub fn writes_seen(&self) -> u64 {
         self.writes_seen.load(Relaxed)
+    }
+
+    /// Total `read_at` calls observed.
+    pub fn reads_seen(&self) -> u64 {
+        self.reads_seen.load(Relaxed)
+    }
+
+    /// Reads whose payload was bit-flipped by `CorruptReads`.
+    pub fn reads_corrupted(&self) -> u64 {
+        self.reads_corrupted.load(Relaxed)
     }
 
     fn injected() -> io::Error {
@@ -62,14 +90,16 @@ impl<B: Backend> Backend for FaultyBackend<B> {
     }
 
     fn open(&self, path: &str, opts: OpenOptions) -> io::Result<Box<dyn BackendFile>> {
-        if self.mode == FailureMode::FailOpen {
+        if *self.mode.lock() == FailureMode::FailOpen {
             return Err(Self::injected());
         }
         let file = self.inner.open(path, opts)?;
         Ok(Box::new(FaultyFile {
             inner: file,
-            mode: self.mode,
+            mode: Arc::clone(&self.mode),
             writes_seen: Arc::clone(&self.writes_seen),
+            reads_seen: Arc::clone(&self.reads_seen),
+            reads_corrupted: Arc::clone(&self.reads_corrupted),
         }))
     }
 
@@ -104,14 +134,16 @@ impl<B: Backend> Backend for FaultyBackend<B> {
 
 struct FaultyFile {
     inner: Box<dyn BackendFile>,
-    mode: FailureMode,
+    mode: Arc<Mutex<FailureMode>>,
     writes_seen: Arc<AtomicU64>,
+    reads_seen: Arc<AtomicU64>,
+    reads_corrupted: Arc<AtomicU64>,
 }
 
 impl BackendFile for FaultyFile {
     fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
         let seen = self.writes_seen.fetch_add(1, Relaxed);
-        if let FailureMode::FailWritesAfter(n) = self.mode {
+        if let FailureMode::FailWritesAfter(n) = *self.mode.lock() {
             if seen >= n {
                 return Err(FaultyBackend::<super::MemBackend>::injected());
             }
@@ -120,11 +152,20 @@ impl BackendFile for FaultyFile {
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
-        self.inner.read_at(offset, buf)
+        let seen = self.reads_seen.fetch_add(1, Relaxed) + 1;
+        let n = self.inner.read_at(offset, buf)?;
+        if let FailureMode::CorruptReads(rate) = *self.mode.lock() {
+            if rate > 0 && seen.is_multiple_of(rate) && n > 0 {
+                // Deterministic single-bit flip in the payload middle.
+                buf[n / 2] ^= 0x01;
+                self.reads_corrupted.fetch_add(1, Relaxed);
+            }
+        }
+        Ok(n)
     }
 
     fn sync(&self) -> io::Result<()> {
-        if self.mode == FailureMode::FailSync {
+        if *self.mode.lock() == FailureMode::FailSync {
             return Err(FaultyBackend::<super::MemBackend>::injected());
         }
         self.inner.sync()
@@ -162,5 +203,27 @@ mod tests {
 
         let be = FaultyBackend::new(MemBackend::new(), FailureMode::FailOpen);
         assert!(be.open("/f", OpenOptions::create_truncate()).is_err());
+    }
+
+    #[test]
+    fn corrupt_reads_flips_bits_at_the_configured_rate() {
+        let be = FaultyBackend::new(MemBackend::new(), FailureMode::None);
+        let f = be.open("/f", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, &[0u8; 64]).unwrap();
+
+        // Mode switch affects the existing handle.
+        be.set_mode(FailureMode::CorruptReads(2));
+        let mut buf = [0u8; 64];
+        // 1st read: not corrupted (every 2nd), 2nd read: corrupted.
+        f.read_at(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "read 1 clean");
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf.iter().filter(|&&b| b != 0).count(), 1, "one flipped");
+        assert_eq!(be.reads_corrupted(), 1);
+        assert_eq!(be.reads_seen(), 2);
+
+        be.set_mode(FailureMode::None);
+        f.read_at(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "clean again after reset");
     }
 }

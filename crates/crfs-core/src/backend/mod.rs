@@ -170,6 +170,20 @@ impl io::Read for ReadCursor {
     }
 }
 
+/// Reads exactly `buf.len()` bytes at `offset` or fails with
+/// `UnexpectedEof` — the strict read used by format readers (container
+/// index, chunk frames) where a short read means a truncated file.
+pub(crate) fn read_exact_at(file: &dyn BackendFile, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+    let got = file.read_at(offset, buf)?;
+    if got != buf.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("short read at {offset}: wanted {}, got {got}", buf.len()),
+        ));
+    }
+    Ok(())
+}
+
 /// Normalizes a user path into the canonical internal form: absolute,
 /// `/`-separated, no empty/`.`/`..` components, no trailing slash (except
 /// the root itself).

@@ -1,6 +1,7 @@
 //! Mount-time configuration.
 
 use crate::error::{CrfsError, Result};
+use crate::transform::CodecKind;
 use std::time::Duration;
 
 /// Which IO engine a mount dispatches sealed chunks through.
@@ -103,6 +104,20 @@ pub struct CrfsConfig {
     /// shipped before the hot-path overhaul. Used by the `exp
     /// contention` experiment; leave `false` for production mounts.
     pub legacy_locking: bool,
+    /// Chunk transform codec (see [`crate::transform`]). The default,
+    /// [`CodecKind::None`], disables the transform stage entirely —
+    /// chunks land raw at their logical offsets, the paper's layout.
+    /// Any other codec switches new files to the framed layout with
+    /// per-chunk integrity checksums; `Identity` frames without
+    /// compressing (the baseline isolating framing overhead).
+    pub codec: CodecKind,
+    /// Content-addressed chunk dedup (requires a codec, i.e. the framed
+    /// layout): chunks whose bytes were already stored this mount emit
+    /// a tiny reference record instead of their payload.
+    pub dedup: bool,
+    /// How many idle checkpoint epochs a dedup-index entry survives
+    /// before eviction (see [`crate::Crfs::advance_epoch`]).
+    pub dedup_keep_epochs: usize,
 }
 
 impl Default for CrfsConfig {
@@ -122,6 +137,9 @@ impl Default for CrfsConfig {
             read_ahead_chunks: 4,
             read_cache_slots: 0,
             legacy_locking: false,
+            codec: CodecKind::None,
+            dedup: false,
+            dedup_keep_epochs: 2,
         }
     }
 }
@@ -193,6 +211,25 @@ impl CrfsConfig {
     /// Convenience builder: toggles the pre-overhaul baseline locking.
     pub fn with_legacy_locking(mut self, on: bool) -> Self {
         self.legacy_locking = on;
+        self
+    }
+
+    /// Convenience builder: selects the chunk transform codec
+    /// ([`CodecKind::None`] disables the transform stage).
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Convenience builder: toggles content-addressed chunk dedup.
+    pub fn with_dedup(mut self, on: bool) -> Self {
+        self.dedup = on;
+        self
+    }
+
+    /// Convenience builder: sets the dedup-index epoch retention.
+    pub fn with_dedup_keep_epochs(mut self, epochs: usize) -> Self {
+        self.dedup_keep_epochs = epochs;
         self
     }
 
@@ -302,6 +339,16 @@ impl CrfsConfig {
                 "worker_batch must be at least 1 (1 disables batched draining)".into(),
             ));
         }
+        if self.dedup && self.codec == CodecKind::None {
+            return Err(CrfsError::Config(
+                "dedup requires the framed layout: set codec to identity, rle or lz".into(),
+            ));
+        }
+        if self.dedup && self.dedup_keep_epochs == 0 {
+            return Err(CrfsError::Config(
+                "dedup_keep_epochs must be at least 1".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -396,6 +443,19 @@ mod tests {
         assert_eq!(c.resolved_table_shards(), 8);
         assert_eq!(c.resolved_pool_shards(), 4);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn codec_and_dedup_knobs_validate() {
+        let c = CrfsConfig::default();
+        assert_eq!(c.codec, CodecKind::None);
+        assert!(!c.dedup);
+        let c = c.with_codec(CodecKind::Lz).with_dedup(true);
+        c.validate().unwrap();
+        // Dedup without the framed layout is rejected.
+        assert!(CrfsConfig::default().with_dedup(true).validate().is_err());
+        assert!(c.clone().with_dedup_keep_epochs(0).validate().is_err());
+        assert_eq!(CodecKind::parse("lz"), Some(CodecKind::Lz));
     }
 
     #[test]

@@ -155,31 +155,76 @@ impl CoalescingEngine {
 
 /// Issues the (possibly multi-chunk) write and retires every segment.
 fn dispatch(stats: &CrfsStats, pool: &BufferPool, write: CoalescedWrite) {
-    // Assemble the merged chunks into one contiguous transfer before
-    // starting the backend timer, so `backend_write_ns` stays comparable
-    // with the threaded engine's (the memcpy is CRFS CPU time, not
-    // backend time). The extra copy is the price of a single large
-    // sequential backend op — the trade the paper's aggregation already
-    // makes once.
-    let merged: Option<Vec<u8>> = (write.segments.len() > 1).then(|| {
-        let mut buf = Vec::with_capacity(write.total);
-        for seg in &write.segments {
-            buf.extend_from_slice(&seg.buf[..seg.len]);
+    let (res, stored_bytes) = match write.entry.transform.clone() {
+        Some(t) => {
+            // Transform stage, worker context: encode every segment
+            // (dedup + codec + frame header — CPU that parallelizes
+            // across workers), then issue ONE backend write of the
+            // concatenated frames at one contiguous stored extent. The
+            // merged-op invariant survives the framed layout: N logical
+            // chunks still cost a single backend `write_at`.
+            let mut frames = Vec::with_capacity(write.segments.len());
+            let mut logical = write.offset;
+            let mut total = 0u64;
+            for seg in &write.segments {
+                let enc = t.encode_chunk(logical, &seg.buf[..seg.len]);
+                logical += seg.len as u64;
+                total += enc.stored_bytes() as u64;
+                frames.push(enc);
+            }
+            let base = t.allocate(total);
+            let mut merged = Vec::with_capacity(total as usize);
+            for enc in &frames {
+                merged.extend_from_slice(enc.bytes());
+            }
+            let t0 = Instant::now();
+            let res = write.entry.file.write_at(base, &merged);
+            stats
+                .backend_write_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+            if res.is_ok() {
+                let mut at = base;
+                for enc in frames {
+                    let n = enc.stored_bytes() as u64;
+                    t.commit(&write.entry.path, at, enc);
+                    at += n;
+                }
+            } else {
+                // Contain the damage: one pad frame over the whole
+                // allocated extent keeps the frame chain walkable.
+                let _ = t.write_pad(&*write.entry.file, base, total);
+            }
+            (res, total)
         }
-        buf
-    });
-    let payload: &[u8] = match &merged {
-        Some(m) => m,
         None => {
-            let seg = &write.segments[0];
-            &seg.buf[..seg.len]
+            // Assemble the merged chunks into one contiguous transfer
+            // before starting the backend timer, so `backend_write_ns`
+            // stays comparable with the threaded engine's (the memcpy is
+            // CRFS CPU time, not backend time). The extra copy is the
+            // price of a single large sequential backend op — the trade
+            // the paper's aggregation already makes once.
+            let merged: Option<Vec<u8>> = (write.segments.len() > 1).then(|| {
+                let mut buf = Vec::with_capacity(write.total);
+                for seg in &write.segments {
+                    buf.extend_from_slice(&seg.buf[..seg.len]);
+                }
+                buf
+            });
+            let payload: &[u8] = match &merged {
+                Some(m) => m,
+                None => {
+                    let seg = &write.segments[0];
+                    &seg.buf[..seg.len]
+                }
+            };
+            let t0 = Instant::now();
+            let res = write.entry.file.write_at(write.offset, payload);
+            stats
+                .backend_write_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+            (res, write.total as u64)
         }
     };
-    let t0 = Instant::now();
-    let res = write.entry.file.write_at(write.offset, payload);
-    stats
-        .backend_write_ns
-        .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
     stats.backend_writes.fetch_add(1, Relaxed);
     // Coalescing accounting happens here, where the op is actually
     // issued: of this write's chunks, all but one were saved a backend
@@ -190,7 +235,7 @@ fn dispatch(stats: &CrfsStats, pool: &BufferPool, write: CoalescedWrite) {
         .chunks_coalesced
         .fetch_add(write.segments.len() as u64 - 1, Relaxed);
     if res.is_ok() {
-        stats.bytes_out.fetch_add(write.total as u64, Relaxed);
+        stats.bytes_out.fetch_add(stored_bytes, Relaxed);
     }
     // Fan completion out to every absorbed chunk: the ledger counts
     // chunks, not backend ops.

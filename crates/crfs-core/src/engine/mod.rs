@@ -153,22 +153,60 @@ pub fn build(
     })
 }
 
+/// Issues the backend write for one sealed chunk. On a transformed
+/// entry the chunk first runs the transform stage — dedup lookup,
+/// codec, frame header — *in this (worker) context*, so compression
+/// parallelizes across IO workers and overlaps backend writes; the
+/// frame then lands at a freshly allocated stored offset. Raw entries
+/// write the payload at its logical offset, the paper's layout. Only
+/// the backend write is timed (`transform_ns` owns the codec time).
+/// Returns the result and the bytes the backend actually received.
+fn dispatch_chunk(stats: &CrfsStats, chunk: &SealedChunk) -> (io::Result<()>, u64) {
+    match &chunk.entry.transform {
+        Some(t) => {
+            let enc = t.encode_chunk(chunk.offset, &chunk.buf[..chunk.len]);
+            let stored = enc.stored_bytes() as u64;
+            let off = t.allocate(stored);
+            let t0 = Instant::now();
+            let res = chunk.entry.file.write_at(off, enc.bytes());
+            stats
+                .backend_write_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+            if res.is_ok() {
+                // Commit makes the frame readable and registers its
+                // content for dedup — strictly before note_completed,
+                // so a passed flush barrier implies a consistent map.
+                t.commit(&chunk.entry.path, off, enc);
+            } else {
+                // Contain the damage: pad the allocated extent so the
+                // frame chain stays walkable past this failed chunk.
+                let _ = t.write_pad(&*chunk.entry.file, off, stored);
+            }
+            (res, stored)
+        }
+        None => {
+            let t0 = Instant::now();
+            let res = chunk
+                .entry
+                .file
+                .write_at(chunk.offset, &chunk.buf[..chunk.len]);
+            stats
+                .backend_write_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+            (res, chunk.len as u64)
+        }
+    }
+}
+
 /// Issues one backend write for `chunk` and retires it: timing + byte
 /// stats, completion accounting, buffer recycling. Shared by the
 /// threaded and inline engines (the coalescing engine fans completion out
 /// over its merged segments itself).
 fn write_and_retire(stats: &CrfsStats, pool: &BufferPool, chunk: SealedChunk) {
-    let t0 = Instant::now();
-    let res = chunk
-        .entry
-        .file
-        .write_at(chunk.offset, &chunk.buf[..chunk.len]);
-    stats
-        .backend_write_ns
-        .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+    let (res, stored) = dispatch_chunk(stats, &chunk);
     stats.backend_writes.fetch_add(1, Relaxed);
     if res.is_ok() {
-        stats.bytes_out.fetch_add(chunk.len as u64, Relaxed);
+        stats.bytes_out.fetch_add(stored, Relaxed);
     }
     stats.chunks_completed.fetch_add(1, Relaxed);
     // Recycle before completing: a passed close/fsync barrier then
@@ -179,9 +217,9 @@ fn write_and_retire(stats: &CrfsStats, pool: &BufferPool, chunk: SealedChunk) {
 }
 
 /// [`write_and_retire`] over a whole drained batch: one backend write
-/// per chunk as before, but the timing, stats, buffer recycling, and
-/// pool wakeup are paid once per batch instead of once per chunk. Used
-/// by the threaded engine's workers.
+/// per chunk as before, but the stats, buffer recycling, and pool
+/// wakeup are paid once per batch instead of once per chunk. Used by
+/// the threaded engine's workers.
 fn write_and_retire_batch(stats: &CrfsStats, pool: &BufferPool, chunks: Vec<SealedChunk>) {
     if chunks.is_empty() {
         return;
@@ -190,21 +228,14 @@ fn write_and_retire_batch(stats: &CrfsStats, pool: &BufferPool, chunks: Vec<Seal
     let mut bufs = Vec::with_capacity(chunks.len());
     let mut completions = Vec::with_capacity(chunks.len());
     let mut ok_bytes = 0u64;
-    let t0 = Instant::now();
     for chunk in chunks {
-        let res = chunk
-            .entry
-            .file
-            .write_at(chunk.offset, &chunk.buf[..chunk.len]);
+        let (res, stored) = dispatch_chunk(stats, &chunk);
         if res.is_ok() {
-            ok_bytes += chunk.len as u64;
+            ok_bytes += stored;
         }
         bufs.push(chunk.buf);
         completions.push((chunk.entry, res));
     }
-    stats
-        .backend_write_ns
-        .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
     stats.backend_writes.fetch_add(n, Relaxed);
     stats.bytes_out.fetch_add(ok_bytes, Relaxed);
     stats.chunks_completed.fetch_add(n, Relaxed);
@@ -220,7 +251,11 @@ fn write_and_retire_batch(stats: &CrfsStats, pool: &BufferPool, chunks: Vec<Seal
 /// cache: a successful, non-empty read is parked in the chunk's slot
 /// (unless invalidated meanwhile or writers are starved for buffers);
 /// anything else recycles the buffer as a wasted fetch. Shared by every
-/// engine.
+/// engine. The read goes through [`FileEntry::read_backend`], so on
+/// transformed entries every prefetch fill decodes and **verifies** its
+/// frames; a chunk failing verification is retired as a wasted prefetch
+/// (buffer back to the pool, ledger balanced) and the reader's own
+/// direct read surfaces the integrity error.
 fn read_and_install(stats: &CrfsStats, pool: &BufferPool, mut chunk: ReadChunk) {
     let rs = chunk
         .entry
@@ -229,8 +264,7 @@ fn read_and_install(stats: &CrfsStats, pool: &BufferPool, mut chunk: ReadChunk) 
         .expect("prefetch read on a file without read state");
     let res = chunk
         .entry
-        .file
-        .read_at(chunk.offset, &mut chunk.buf[..chunk.len]);
+        .read_backend(chunk.offset, &mut chunk.buf[..chunk.len]);
     match res {
         Ok(n) => rs.install(chunk.idx, chunk.gen, chunk.buf, n, pool, stats),
         // Prefetch failures are soft: the reader falls back to a direct

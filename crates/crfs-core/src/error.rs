@@ -28,6 +28,15 @@ pub enum CrfsError {
     },
     /// Invalid mount configuration.
     Config(String),
+    /// A chunk read failed its end-to-end integrity verification: the
+    /// stored frame was corrupt, undecodable, or its checksum did not
+    /// match. Surfaced instead of handing corrupt bytes to a restart.
+    IntegrityError {
+        /// Path of the file whose chunk failed verification.
+        path: std::sync::Arc<str>,
+        /// What failed to verify.
+        detail: String,
+    },
     /// Operation on a handle whose file has already been closed.
     HandleClosed,
     /// Operation on a filesystem that has been unmounted.
@@ -47,6 +56,7 @@ impl CrfsError {
         match self {
             CrfsError::Io(e) | CrfsError::DeferredWrite { source: e, .. } => e.kind(),
             CrfsError::Config(_) => io::ErrorKind::InvalidInput,
+            CrfsError::IntegrityError { .. } => io::ErrorKind::InvalidData,
             CrfsError::HandleClosed | CrfsError::Unmounted => io::ErrorKind::BrokenPipe,
             CrfsError::NotFound(_) => io::ErrorKind::NotFound,
             CrfsError::AlreadyExists(_) => io::ErrorKind::AlreadyExists,
@@ -63,6 +73,9 @@ impl fmt::Display for CrfsError {
                 write!(f, "asynchronous chunk write to {path:?} failed: {source}")
             }
             CrfsError::Config(msg) => write!(f, "invalid CRFS configuration: {msg}"),
+            CrfsError::IntegrityError { path, detail } => {
+                write!(f, "integrity failure reading {path:?}: {detail}")
+            }
             CrfsError::HandleClosed => f.write_str("file handle already closed"),
             CrfsError::Unmounted => f.write_str("filesystem already unmounted"),
             CrfsError::NotFound(p) => write!(f, "no such file or directory: {p:?}"),

@@ -112,6 +112,11 @@ pub struct FileEntry {
     /// Read cache + prefetch ledger; present when the mount's
     /// `read_ahead_chunks` is non-zero.
     pub read_state: Option<Arc<crate::prefetch::ReadState>>,
+    /// Chunk transform state (frame map + stored-space allocator);
+    /// present when the mount runs a codec AND this file's stored
+    /// layout is framed (new files always; pre-existing raw files stay
+    /// raw and pass through untransformed).
+    pub transform: Option<Arc<crate::transform::FileTransform>>,
     ledger: Ledger,
 }
 
@@ -140,7 +145,23 @@ impl FileEntry {
         legacy: bool,
         read_state: Option<Arc<crate::prefetch::ReadState>>,
     ) -> FileEntry {
-        let initial_len = file.len().unwrap_or(0);
+        FileEntry::with_transform(path, file, legacy, read_state, None)
+    }
+
+    /// [`with_options`](Self::with_options) plus the chunk transform
+    /// state. A transformed entry's logical length comes from its frame
+    /// map, not the backend file size (stored ≠ logical bytes).
+    pub fn with_transform(
+        path: impl Into<Arc<str>>,
+        file: Box<dyn BackendFile>,
+        legacy: bool,
+        read_state: Option<Arc<crate::prefetch::ReadState>>,
+        transform: Option<Arc<crate::transform::FileTransform>>,
+    ) -> FileEntry {
+        let initial_len = match &transform {
+            Some(t) => t.logical_len(),
+            None => file.len().unwrap_or(0),
+        };
         FileEntry {
             path: path.into(),
             file,
@@ -149,11 +170,24 @@ impl FileEntry {
             max_extent: AtomicU64::new(initial_len),
             dirty_low: AtomicU64::new(u64::MAX),
             read_state,
+            transform,
             ledger: if legacy {
                 Ledger::locked()
             } else {
                 Ledger::atomic()
             },
+        }
+    }
+
+    /// Reads logical bytes from the backend: through the transform
+    /// stage (frame resolution, decode, **integrity verification**) on
+    /// transformed entries, straight through otherwise. Every consumer
+    /// of backend bytes — direct reads, prefetch fills — goes through
+    /// here, so no read path can skip verification.
+    pub fn read_backend(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        match &self.transform {
+            Some(t) => t.read_logical(&*self.file, &self.path, offset, buf),
+            None => self.file.read_at(offset, buf),
         }
     }
 
@@ -283,11 +317,15 @@ impl FileEntry {
         }
     }
 
-    /// Logical file length: the larger of the backend length and the
+    /// Logical file length: the larger of the stored length (frame map
+    /// for transformed entries, backend length otherwise) and the
     /// highest offset written through CRFS.
     pub fn logical_len(&self) -> io::Result<u64> {
-        let backend = self.file.len()?;
-        Ok(backend.max(self.max_extent.load(Relaxed)))
+        let stored = match &self.transform {
+            Some(t) => t.logical_len(),
+            None => self.file.len()?,
+        };
+        Ok(stored.max(self.max_extent.load(Relaxed)))
     }
 }
 

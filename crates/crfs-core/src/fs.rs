@@ -19,6 +19,7 @@ use crate::file::{CurrentChunk, FileEntry};
 use crate::pool::BufferPool;
 use crate::prefetch::{Consume, ReadState};
 use crate::stats::{CrfsStats, StatsSnapshot};
+use crate::transform::{self, FileTransform, TransformCtx};
 
 /// One shard of the open-file table.
 type TableShard = Mutex<HashMap<Arc<str>, Arc<FileEntry>>>;
@@ -112,6 +113,9 @@ struct Shared {
     /// no lock to reach the engine (the old design funnelled every seal
     /// through a `Mutex<Option<Sender>>`).
     engine: Arc<dyn IoEngine>,
+    /// Chunk transform stage (codec + dedup index + integrity); `None`
+    /// when `config.codec` is `None` and chunks ship raw.
+    transform: Option<Arc<TransformCtx>>,
 }
 
 /// A mounted CRFS filesystem.
@@ -150,6 +154,8 @@ impl Crfs {
         let engine = crate::engine::build(&config, Arc::clone(&pool), Arc::clone(&stats))?;
         let table = FileTable::new(config.resolved_table_shards(), Arc::clone(&stats));
         let submit_batch = config.resolved_submit_batch();
+        let transform =
+            TransformCtx::from_config(&config, Arc::clone(&backend), Arc::clone(&stats));
         let shared = Arc::new(Shared {
             backend,
             config,
@@ -158,6 +164,7 @@ impl Crfs {
             table,
             stats,
             engine,
+            transform,
         });
         Ok(Arc::new(Crfs {
             shared,
@@ -182,6 +189,23 @@ impl Crfs {
     /// Name of the active IO engine (`threaded`, `coalescing`, `inline`).
     pub fn engine_name(&self) -> &'static str {
         self.shared.engine.name()
+    }
+
+    /// Advances the mount's checkpoint epoch — call between checkpoint
+    /// rounds so the dedup index can evict entries whose content
+    /// stopped recurring (see [`crate::transform::DedupIndex`]).
+    /// Returns the number of dedup entries evicted; a no-op (0) on
+    /// mounts without dedup.
+    pub fn advance_epoch(&self) -> usize {
+        self.shared
+            .transform
+            .as_ref()
+            .map_or(0, |ctx| ctx.advance_epoch())
+    }
+
+    /// The mount's transform context, when a codec is configured.
+    pub fn transform(&self) -> Option<&Arc<TransformCtx>> {
+        self.shared.transform.as_ref()
     }
 
     /// The backing filesystem.
@@ -224,40 +248,113 @@ impl Crfs {
     /// performed and a new entry inserted.
     pub fn open_with(self: &Arc<Self>, path: &str, opts: OpenOptions) -> Result<CrfsFile> {
         self.check_mounted()?;
-        let path = normalize_path(path).map_err(CrfsError::Io)?;
-        let mut shard = self.shared.table.lock_shard(&path);
-        if let Some(entry) = shard.get(path.as_str()) {
-            let entry = Arc::clone(entry);
-            entry.refcount.fetch_add(1, Relaxed);
-            drop(shard);
-            if opts.truncate {
-                self.truncate_entry(&entry)?;
+        // Intern the path once; table key and entry share the Arc.
+        let path: Arc<str> = normalize_path(path).map_err(CrfsError::Io)?.into();
+        loop {
+            let shard = self.shared.table.lock_shard(&path);
+            if let Some(entry) = shard.get(&*path) {
+                let entry = Arc::clone(entry);
+                entry.refcount.fetch_add(1, Relaxed);
+                drop(shard);
+                if opts.truncate {
+                    self.truncate_entry(&entry)?;
+                }
+                return Ok(CrfsFile::new(Arc::clone(self), entry));
             }
+            // Non-truncating opens of framed files pay an O(frames)
+            // header scan (FileTransform::attach) — the restart open
+            // path. Run it OUTSIDE the shard lock so a many-rank open
+            // storm of files hashing to the same shard doesn't
+            // serialize behind backend round trips; the lock is
+            // retaken below with a re-check + scan revalidation.
+            // (Creating/truncating opens mutate the backend, so they
+            // keep the original lock-across-open serialization — their
+            // attach is a fresh map, O(1).)
+            let scan_outside = self.shared.transform.is_some() && !opts.truncate;
+            let mut held = if scan_outside {
+                drop(shard);
+                None
+            } else {
+                Some(shard)
+            };
+            let file = self
+                .shared
+                .backend
+                .open(&path, opts)
+                .map_err(|e| annotate(e, &path))?;
+            let read_state = (self.shared.config.read_ahead_chunks > 0).then(|| {
+                Arc::new(ReadState::new(
+                    self.shared.config.chunk_size,
+                    self.shared.config.read_ahead_chunks,
+                    self.shared.config.resolved_read_cache_slots(),
+                ))
+            });
+            // Transform-enabled mounts attach per-file frame state:
+            // fresh for new/truncated files, rebuilt by a header scan
+            // for re-opened framed files (the restart path), absent for
+            // pre-existing raw files (which pass through untransformed).
+            let file_transform = match &self.shared.transform {
+                Some(ctx) => {
+                    if opts.truncate {
+                        // Any previous content (and dedup entries
+                        // pointing at it) is gone.
+                        ctx.invalidate_path(&path);
+                        Some(Arc::new(FileTransform::fresh(Arc::clone(ctx))))
+                    } else {
+                        FileTransform::attach(Arc::clone(ctx), &*file)
+                            .map_err(|e| self.read_error(&path, e))?
+                            .map(Arc::new)
+                    }
+                }
+                None => None,
+            };
+            let entry = Arc::new(FileEntry::with_transform(
+                Arc::clone(&path),
+                file,
+                self.shared.config.legacy_locking,
+                read_state,
+                file_transform,
+            ));
+            let mut shard = match held.take() {
+                Some(g) => g,
+                None => {
+                    let g = self.shared.table.lock_shard(&path);
+                    if let Some(existing) = g.get(&*path) {
+                        // Lost the race to a concurrent open: adopt the
+                        // winning entry (our read-only backend handle
+                        // and scanned map are simply dropped — nothing
+                        // was mutated).
+                        let existing = Arc::clone(existing);
+                        existing.refcount.fetch_add(1, Relaxed);
+                        drop(g);
+                        return Ok(CrfsFile::new(Arc::clone(self), existing));
+                    }
+                    // Revalidate the unlocked scan: a full concurrent
+                    // open/write/close cycle may have appended frames
+                    // after it. Writes require a table entry, and close
+                    // removes the entry only after its flush barrier,
+                    // so under this lock a stored length equal to the
+                    // scanned tail proves the scan is current; a
+                    // mismatch retries with a fresh scan. (The
+                    // same-length-different-bytes corner degrades to a
+                    // detected checksum failure, never stale data
+                    // overwrites: allocation would resume at the
+                    // correct tail.)
+                    if let Some(t) = &entry.transform {
+                        let live = entry.file.len().map_err(CrfsError::Io)?;
+                        if live != t.stored_len() {
+                            drop(g);
+                            continue;
+                        }
+                    }
+                    g
+                }
+            };
+            shard.insert(Arc::clone(&entry.path), Arc::clone(&entry));
+            drop(shard);
+            self.shared.stats.opens.fetch_add(1, Relaxed);
             return Ok(CrfsFile::new(Arc::clone(self), entry));
         }
-        let file = self
-            .shared
-            .backend
-            .open(&path, opts)
-            .map_err(|e| annotate(e, &path))?;
-        let read_state = (self.shared.config.read_ahead_chunks > 0).then(|| {
-            Arc::new(ReadState::new(
-                self.shared.config.chunk_size,
-                self.shared.config.read_ahead_chunks,
-                self.shared.config.resolved_read_cache_slots(),
-            ))
-        });
-        // Intern the path once; table key and entry share the Arc.
-        let entry = Arc::new(FileEntry::with_options(
-            path,
-            file,
-            self.shared.config.legacy_locking,
-            read_state,
-        ));
-        shard.insert(Arc::clone(&entry.path), Arc::clone(&entry));
-        drop(shard);
-        self.shared.stats.opens.fetch_add(1, Relaxed);
-        Ok(CrfsFile::new(Arc::clone(self), entry))
     }
 
     /// Truncates an open entry to zero: discards its current chunk, waits
@@ -280,10 +377,41 @@ impl Crfs {
                 source: e,
             });
         }
-        entry.file.set_len(0).map_err(CrfsError::Io)?;
+        self.entry_set_len(entry, 0)?;
         entry.max_extent.store(0, Relaxed);
         self.invalidate_reads(entry, 0);
         Ok(())
+    }
+
+    /// Applies `set_len` to an entry's backend state: framed entries go
+    /// through the transform's truncation (persistent marker frames,
+    /// frame-map clamp), raw entries straight to the backend. Any
+    /// truncation also drops dedup-index entries pointing into the file
+    /// — their bytes may no longer exist.
+    fn entry_set_len(&self, entry: &Arc<FileEntry>, len: u64) -> Result<()> {
+        match &entry.transform {
+            Some(t) => t.truncate(&*entry.file, len).map_err(CrfsError::Io)?,
+            None => entry.file.set_len(len).map_err(CrfsError::Io)?,
+        }
+        if let Some(ctx) = &self.shared.transform {
+            ctx.invalidate_path(&entry.path);
+        }
+        Ok(())
+    }
+
+    /// Classifies a backend read failure: detected integrity violations
+    /// surface as [`CrfsError::IntegrityError`], everything else as IO.
+    fn read_error(&self, path: &str, e: io::Error) -> CrfsError {
+        if transform::is_integrity_error(&e) {
+            CrfsError::IntegrityError {
+                path: path.into(),
+                detail: e
+                    .get_ref()
+                    .map_or_else(|| e.to_string(), ToString::to_string),
+            }
+        } else {
+            CrfsError::Io(e)
+        }
     }
 
     /// Drops cached/in-flight prefetches at or past `from` — truncation
@@ -547,7 +675,9 @@ impl Crfs {
         }
         let n = match entry.read_state.as_ref() {
             Some(rs) => self.read_via_cache(entry, rs, offset, buf)?,
-            None => entry.file.read_at(offset, buf).map_err(CrfsError::Io)?,
+            None => entry
+                .read_backend(offset, buf)
+                .map_err(|e| self.read_error(&entry.path, e))?,
         };
         self.shared.stats.bytes_read.fetch_add(n as u64, Relaxed);
         Ok(n)
@@ -598,9 +728,8 @@ impl Crfs {
                     Consume::Miss => {
                         stats.read_misses.fetch_add(1, Relaxed);
                         let n = entry
-                            .file
-                            .read_at(pos, &mut buf[done..done + want])
-                            .map_err(CrfsError::Io)?;
+                            .read_backend(pos, &mut buf[done..done + want])
+                            .map_err(|e| self.read_error(&entry.path, e))?;
                         done += n;
                         if n < want {
                             break 'segments; // EOF
@@ -745,10 +874,26 @@ impl Crfs {
 
     /// Removes a file. An open file keeps working on its existing handle
     /// (Unix unlink semantics, to the extent the backend supports it).
+    ///
+    /// **Dedup caveat**: on a dedup-enabled mount, other files may hold
+    /// persisted *reference records* pointing into this file (they
+    /// stored references instead of payloads when their content matched
+    /// it). Unlinking the origin makes those chunks unreadable — reads
+    /// detect it and fail with [`CrfsError::IntegrityError`] rather
+    /// than returning wrong bytes, but the data is gone. Retire
+    /// checkpoint files newest-first or as whole epoch trees (the
+    /// normal checkpoint GC discipline); see [`crate::transform::dedup`].
     pub fn unlink(&self, path: &str) -> Result<()> {
         self.check_mounted()?;
         let p = normalize_path(path).map_err(CrfsError::Io)?;
-        self.shared.backend.unlink(&p).map_err(|e| annotate(e, &p))
+        self.shared
+            .backend
+            .unlink(&p)
+            .map_err(|e| annotate(e, &p))?;
+        if let Some(ctx) = &self.shared.transform {
+            ctx.invalidate_path(&p);
+        }
+        Ok(())
     }
 
     /// Renames a file or directory; open files under the old name are
@@ -774,26 +919,46 @@ impl Crfs {
         self.shared
             .backend
             .rename(&from, &to)
-            .map_err(|e| annotate(e, &from))
+            .map_err(|e| annotate(e, &from))?;
+        // Dedup entries keyed by the old path would plant references to
+        // a name that no longer resolves; drop them (conservative —
+        // the bytes themselves are fine under the new name). The
+        // *destination* must be invalidated too: a replaced file's
+        // entries would otherwise describe offsets inside the new
+        // bytes, and a later hit would plant a reference to garbage.
+        if let Some(ctx) = &self.shared.transform {
+            ctx.invalidate_path(&from);
+            ctx.invalidate_path(&to);
+        }
+        Ok(())
     }
 
     /// Truncates (or extends) the file at `path` to exactly `len` bytes
     /// (paper §IV-D3 pass-through, made buffering-aware: pending chunks
     /// of an open file are drained first so none lands past the cut
     /// afterwards).
-    pub fn truncate(&self, path: &str, len: u64) -> Result<()> {
+    pub fn truncate(self: &Arc<Self>, path: &str, len: u64) -> Result<()> {
         self.check_mounted()?;
         let p = normalize_path(path).map_err(CrfsError::Io)?;
         let open_entry = self.shared.table.get(&p);
         match open_entry {
             Some(entry) => {
                 self.flush_entry(&entry)?;
-                entry.file.set_len(len).map_err(CrfsError::Io)?;
+                self.entry_set_len(&entry, len)?;
                 // Clamp-then-raise keeps the pending-extent accounting
                 // exact for both shrink and extend.
                 entry.max_extent.store(len, Relaxed);
                 self.invalidate_reads(&entry, len);
                 Ok(())
+            }
+            None if self.shared.transform.is_some() => {
+                // Transformed files must not have their *stored* bytes
+                // chopped at the logical length — route through an
+                // entry (which attaches the frame map and truncates
+                // logically).
+                let f = self.open_with(path, crate::backend::OpenOptions::read_write())?;
+                f.set_len(len)?;
+                f.close()
             }
             None => {
                 let file = self
@@ -814,12 +979,27 @@ impl Crfs {
     }
 
     /// Length of the file at `path`, including data still buffered in CRFS
-    /// for open files.
+    /// for open files. On transform-enabled mounts a closed framed
+    /// file's *logical* length is recovered by a frame-header scan (its
+    /// backend size is the stored length, which compression decouples
+    /// from the logical one).
     pub fn file_len(&self, path: &str) -> Result<u64> {
         self.check_mounted()?;
         let p = normalize_path(path).map_err(CrfsError::Io)?;
         if let Some(entry) = self.shared.table.get(&p) {
             return entry.logical_len().map_err(CrfsError::Io);
+        }
+        if self.shared.transform.is_some() {
+            let file = self
+                .shared
+                .backend
+                .open(&p, crate::backend::OpenOptions::read_only())
+                .map_err(|e| annotate(e, &p))?;
+            if let Some(logical) =
+                transform::scan_logical_len(&*file).map_err(|e| self.read_error(&p, e))?
+            {
+                return Ok(logical);
+            }
         }
         self.shared
             .backend
@@ -1016,7 +1196,7 @@ impl CrfsFile {
     pub fn set_len(&self, len: u64) -> Result<()> {
         self.check_open()?;
         self.crfs.flush_entry(&self.entry)?;
-        self.entry.file.set_len(len).map_err(CrfsError::Io)?;
+        self.crfs.entry_set_len(&self.entry, len)?;
         self.entry.max_extent.store(len, Relaxed);
         self.crfs.invalidate_reads(&self.entry, len);
         Ok(())
@@ -1369,6 +1549,203 @@ mod tests {
         let g = fs.create("/c2").unwrap();
         g.write(b"x").unwrap();
         drop(g);
+    }
+
+    // ------------------------------------------------------------------
+    // transform pipeline at the mount level
+    // ------------------------------------------------------------------
+
+    use crate::transform::CodecKind;
+
+    /// Repetitive (compressible) payload with per-seed variation:
+    /// alternating byte runs (RLE-friendly) and a repeating short
+    /// pattern (LZ-friendly).
+    fn compressible(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                if (i / 64) % 2 == 0 {
+                    seed
+                } else {
+                    seed.wrapping_add((i % 37) as u8)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transform_roundtrip_across_engines_and_codecs() {
+        for engine in [
+            EngineKind::Threaded,
+            EngineKind::Coalescing,
+            EngineKind::Inline,
+        ] {
+            for codec in [CodecKind::Identity, CodecKind::Rle, CodecKind::Lz] {
+                let config = small_config().with_engine(engine).with_codec(codec);
+                let (fs, _be) = mount_mem(config);
+                let f = fs.create("/t").unwrap();
+                let data = compressible(10_000, 3);
+                f.write(&data).unwrap();
+                f.flush().unwrap();
+                let mut back = vec![0u8; data.len()];
+                assert_eq!(f.read_at(0, &mut back).unwrap(), data.len());
+                assert_eq!(back, data, "{engine:?}/{codec:?}");
+                assert_eq!(f.len().unwrap(), data.len() as u64);
+                f.close().unwrap();
+                assert_eq!(fs.file_len("/t").unwrap(), data.len() as u64);
+                let snap = fs.stats();
+                assert_eq!(snap.chunks_sealed, snap.chunks_completed);
+                assert_eq!(
+                    snap.bytes_logical,
+                    data.len() as u64,
+                    "{engine:?}/{codec:?}"
+                );
+                assert_eq!(snap.integrity_failures, 0, "{engine:?}/{codec:?}");
+                if codec != CodecKind::Identity {
+                    assert!(
+                        snap.bytes_stored < snap.bytes_logical,
+                        "{engine:?}/{codec:?}: {} stored for {} logical",
+                        snap.bytes_stored,
+                        snap.bytes_logical
+                    );
+                }
+                fs.unmount().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn transformed_files_restart_on_a_fresh_mount() {
+        let be = Arc::new(MemBackend::new());
+        let config = small_config().with_codec(CodecKind::Lz).with_dedup(true);
+        let data = compressible(6000, 9);
+        let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, config.clone()).unwrap();
+        fs.mkdir_all("/ckpt").unwrap();
+        let f = fs.create("/ckpt/e1").unwrap();
+        f.write(&data).unwrap();
+        f.close().unwrap();
+        // Second epoch, identical content: dedup emits references.
+        fs.advance_epoch();
+        let g = fs.create("/ckpt/e2").unwrap();
+        g.write(&data).unwrap();
+        g.close().unwrap();
+        assert!(fs.stats().dedup_hits > 0, "identical epoch must dedup");
+        fs.unmount().unwrap();
+
+        // A fresh mount (restart): logical lengths and bytes must be
+        // recovered from the frame headers alone, including resolving
+        // the cross-file dedup references.
+        let fs = Crfs::mount(be as Arc<dyn Backend>, config).unwrap();
+        for path in ["/ckpt/e1", "/ckpt/e2"] {
+            assert_eq!(fs.file_len(path).unwrap(), data.len() as u64, "{path}");
+            let f = fs.open(path).unwrap();
+            let mut back = vec![0u8; data.len()];
+            assert_eq!(f.read_at(0, &mut back).unwrap(), data.len(), "{path}");
+            assert_eq!(back, data, "{path}");
+            f.close().unwrap();
+        }
+        let snap = fs.stats();
+        assert_eq!(snap.integrity_failures, 0);
+        fs.unmount().unwrap();
+    }
+
+    #[test]
+    fn transform_truncate_and_reopen_semantics() {
+        let (fs, _be) = mount_mem(small_config().with_codec(CodecKind::Rle));
+        let f = fs.create("/t").unwrap();
+        f.write(&compressible(3000, 1)).unwrap();
+        f.set_len(100).unwrap();
+        assert_eq!(f.len().unwrap(), 100);
+        let mut back = vec![0u8; 200];
+        assert_eq!(f.read_at(0, &mut back).unwrap(), 100);
+        assert_eq!(&back[..100], &compressible(3000, 1)[..100]);
+        f.close().unwrap();
+        // Truncate by path while closed, then verify on reopen.
+        fs.truncate("/t", 40).unwrap();
+        assert_eq!(fs.file_len("/t").unwrap(), 40);
+        let g = fs.open("/t").unwrap();
+        assert_eq!(g.len().unwrap(), 40);
+        g.close().unwrap();
+    }
+
+    #[test]
+    fn corrupted_backend_reads_surface_integrity_errors() {
+        use crate::backend::{FailureMode, FaultyBackend};
+        let be = Arc::new(FaultyBackend::new(MemBackend::new(), FailureMode::None));
+        let fs = Crfs::mount(
+            be.clone() as Arc<dyn Backend>,
+            small_config().with_codec(CodecKind::Lz),
+        )
+        .unwrap();
+        let f = fs.create("/c").unwrap();
+        f.write(&compressible(4000, 7)).unwrap();
+        f.flush().unwrap();
+        // Start corrupting every backend read payload.
+        be.set_mode(FailureMode::CorruptReads(1));
+        let mut buf = vec![0u8; 4000];
+        let err = f.read_at(0, &mut buf).unwrap_err();
+        assert!(
+            matches!(err, CrfsError::IntegrityError { .. }),
+            "corruption must be detected, got {err:?}"
+        );
+        assert!(fs.stats().integrity_failures > 0);
+        // Stop corrupting: the data is still intact underneath.
+        be.set_mode(FailureMode::None);
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 4000);
+        assert_eq!(buf, compressible(4000, 7));
+        f.close().unwrap();
+    }
+
+    #[test]
+    fn rename_invalidates_destination_dedup_entries() {
+        // /b is registered in the dedup index, then rename(/a -> /b)
+        // replaces its bytes. A later write matching OLD /b content
+        // must store its payload (no stale reference into the new /b).
+        let (fs, _be) = mount_mem(
+            small_config()
+                .with_codec(CodecKind::Identity)
+                .with_dedup(true),
+        );
+        let x = compressible(2000, 1);
+        let b = fs.create("/b").unwrap();
+        b.write(&x).unwrap();
+        b.close().unwrap();
+        let a = fs.create("/a").unwrap();
+        a.write(&compressible(2000, 2)).unwrap();
+        a.close().unwrap();
+        fs.rename("/a", "/b").unwrap();
+        let c = fs.create("/c").unwrap();
+        c.write(&x).unwrap(); // would hit the stale /b entry
+        c.close().unwrap();
+        let f = fs.open("/c").unwrap();
+        let mut back = vec![0u8; x.len()];
+        assert_eq!(f.read_at(0, &mut back).unwrap(), x.len());
+        assert_eq!(back, x, "stale dedup entry served wrong bytes");
+        f.close().unwrap();
+        assert_eq!(fs.stats().integrity_failures, 0);
+    }
+
+    #[test]
+    fn raw_files_pass_through_on_transform_mounts() {
+        let be = Arc::new(MemBackend::new());
+        // Write raw (no codec)...
+        let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, small_config()).unwrap();
+        let f = fs.create("/raw").unwrap();
+        f.write(b"plain bytes, no frames").unwrap();
+        f.close().unwrap();
+        fs.unmount().unwrap();
+        // ...reopen on a transform-enabled mount: reads pass through.
+        let fs = Crfs::mount(
+            be as Arc<dyn Backend>,
+            small_config().with_codec(CodecKind::Lz),
+        )
+        .unwrap();
+        assert_eq!(fs.file_len("/raw").unwrap(), 22);
+        let g = fs.open("/raw").unwrap();
+        let mut buf = vec![0u8; 22];
+        assert_eq!(g.read_at(0, &mut buf).unwrap(), 22);
+        assert_eq!(&buf, b"plain bytes, no frames");
+        g.close().unwrap();
+        fs.unmount().unwrap();
     }
 
     // ------------------------------------------------------------------

@@ -37,6 +37,11 @@
 //! - **close()/fsync() barrier**: both wait until the file's completed
 //!   chunk count equals its sealed chunk count, then act on the backend —
 //!   exactly the accounting the paper describes.
+//! - **Chunk transforms** (optional, [`transform`]): between seal and
+//!   submission each chunk can be compressed (native LZ77/RLE codecs
+//!   with a store-raw escape), deduplicated against a mount-scoped
+//!   content-addressed index, and framed with an end-to-end integrity
+//!   checksum the read path verifies on every fill.
 //! - **Reads (the restart direction)**: served chunk-granularly through a
 //!   per-file read cache with sequential read-ahead issued to the same IO
 //!   worker pool (see [`prefetch`]), flushing pending chunks first only
@@ -74,6 +79,7 @@ pub mod fs;
 pub mod pool;
 pub mod prefetch;
 pub mod stats;
+pub mod transform;
 pub mod vfs;
 
 pub use backend::{Backend, BackendFile};
@@ -82,4 +88,5 @@ pub use engine::IoEngine;
 pub use error::{CrfsError, Result};
 pub use fs::{Crfs, CrfsFile};
 pub use stats::StatsSnapshot;
+pub use transform::CodecKind;
 pub use vfs::{Fd, Vfs};

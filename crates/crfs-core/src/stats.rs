@@ -73,6 +73,23 @@ pub struct CrfsStats {
     /// Prefetched chunks that never served a hit: evicted unread,
     /// invalidated by an overlapping write, failed, or refused.
     pub prefetch_wasted: AtomicU64,
+    /// Logical chunk bytes entering the transform stage (pre-codec,
+    /// pre-dedup). Zero on mounts without a codec.
+    pub bytes_logical: AtomicU64,
+    /// Frame bytes leaving the transform stage (headers + stored
+    /// payloads + reference/truncation records) — what the backend
+    /// actually receives. Zero on mounts without a codec.
+    pub bytes_stored: AtomicU64,
+    /// Chunks whose bytes were already stored this mount and were
+    /// submitted as reference records instead of payloads.
+    pub dedup_hits: AtomicU64,
+    /// Reads that failed end-to-end integrity verification (checksum
+    /// mismatch, malformed frame, undecodable stored bytes). Every one
+    /// of these surfaced an error instead of corrupt bytes.
+    pub integrity_failures: AtomicU64,
+    /// Nanoseconds spent in the transform stage (hash + encode on the
+    /// write side, decode + verify on the read side).
+    pub transform_ns: AtomicU64,
 }
 
 impl CrfsStats {
@@ -110,6 +127,11 @@ impl CrfsStats {
             prefetch_issued: self.prefetch_issued.load(Relaxed),
             prefetch_completed: self.prefetch_completed.load(Relaxed),
             prefetch_wasted: self.prefetch_wasted.load(Relaxed),
+            bytes_logical: self.bytes_logical.load(Relaxed),
+            bytes_stored: self.bytes_stored.load(Relaxed),
+            dedup_hits: self.dedup_hits.load(Relaxed),
+            integrity_failures: self.integrity_failures.load(Relaxed),
+            transform: Duration::from_nanos(self.transform_ns.load(Relaxed)),
             pool_free_chunks: 0,
             pool_total_chunks: 0,
         }
@@ -171,6 +193,16 @@ pub struct StatsSnapshot {
     pub prefetch_completed: u64,
     /// Prefetched chunks that never served a hit.
     pub prefetch_wasted: u64,
+    /// Logical chunk bytes entering the transform stage.
+    pub bytes_logical: u64,
+    /// Frame bytes the transform stage handed to the backend.
+    pub bytes_stored: u64,
+    /// Chunks deduplicated into reference records.
+    pub dedup_hits: u64,
+    /// Reads that failed integrity verification (surfaced as errors).
+    pub integrity_failures: u64,
+    /// Time spent in the transform stage (encode + decode + verify).
+    pub transform: Duration,
     /// Buffers free in the pool at snapshot time (occupancy gauge;
     /// filled by [`Crfs::stats`](crate::Crfs::stats), zero on raw
     /// [`CrfsStats::snapshot`] calls).
@@ -235,6 +267,18 @@ impl StatsSnapshot {
             0.0
         } else {
             self.chunks_sealed as f64 / self.engine_submits as f64
+        }
+    }
+
+    /// Stored-byte reduction achieved by the transform stage:
+    /// `bytes_logical / bytes_stored`. 1.0 means no reduction; 0.0 when
+    /// the transform stage never ran. Above 1.0, compression + dedup
+    /// are shrinking the checkpoint volume.
+    pub fn compress_ratio(&self) -> f64 {
+        if self.bytes_stored == 0 {
+            0.0
+        } else {
+            self.bytes_logical as f64 / self.bytes_stored as f64
         }
     }
 
@@ -313,6 +357,19 @@ impl std::fmt::Display for StatsSnapshot {
             self.prefetch_completed,
             self.prefetch_wasted
         )?;
+        if self.bytes_stored > 0 || self.integrity_failures > 0 {
+            writeln!(
+                f,
+                "transform: {} logical -> {} stored ({:.2}x); {} dedup hits; \
+                 {} integrity failures; {:?} in codec",
+                self.bytes_logical,
+                self.bytes_stored,
+                self.compress_ratio(),
+                self.dedup_hits,
+                self.integrity_failures,
+                self.transform
+            )?;
+        }
         write!(
             f,
             "opens {} / closes {} / fsyncs {}",
@@ -354,6 +411,17 @@ mod tests {
         s.chunks_sealed.fetch_add(32, Relaxed);
         s.engine_submits.fetch_add(4, Relaxed);
         assert_eq!(s.snapshot().avg_batch_len(), 8.0);
+    }
+
+    #[test]
+    fn compress_ratio_tracks_stored_reduction() {
+        let s = CrfsStats::new();
+        assert_eq!(s.snapshot().compress_ratio(), 0.0, "transform never ran");
+        s.bytes_logical.fetch_add(4096, Relaxed);
+        s.bytes_stored.fetch_add(1024, Relaxed);
+        assert_eq!(s.snapshot().compress_ratio(), 4.0);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("4.00x"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,1081 @@
+//! The chunk transform pipeline: compression, content-addressed dedup,
+//! and end-to-end integrity.
+//!
+//! This is the fourth pipeline stage, running between chunk seal and
+//! backend submission (and, mirrored, between backend read and cache
+//! install):
+//!
+//! ```text
+//!  write() ─▶ aggregate ─▶ seal ─▶ TRANSFORM ─▶ IoEngine ─▶ backend
+//!                                  │ compress (Codec, store-raw escape)
+//!                                  │ dedup    (DedupIndex → REF frames)
+//!                                  │ checksum (ChunkFrame header)
+//!  read()  ◀─ cache ◀─ verify+decode ◀─────────── backend
+//! ```
+//!
+//! A transformed file is an append-only log of self-describing
+//! [`ChunkFrame`s](frame::FrameHeader): the *stored* layout decouples
+//! from the *logical* layout exactly the way the node container's
+//! extent index decouples logical files from the container — here the
+//! indirection additionally buys compression (stored ≠ logical bytes)
+//! and dedup (a frame may be a reference to bytes stored elsewhere).
+//! The per-file [`FileTransform`] keeps the frame map in memory while
+//! the file is open and rebuilds it with a single header scan at open,
+//! so a fresh mount (restart) needs no side index.
+//!
+//! Where the transform runs: compression is CPU work, so it executes in
+//! the IO engine's *worker* context for the threaded and coalescing
+//! engines — sealed chunks of different workers compress in parallel,
+//! overlapped with backend writes — and inline on the submitting thread
+//! for the inline engine. See [`crate::engine`] for the call sites.
+//!
+//! Integrity: every frame carries an FNV-1a-64 checksum of its logical
+//! payload, verified after decode on **every** read — direct reads,
+//! prefetch fills, and dedup reference resolution alike. A mismatch (or
+//! a malformed frame/stored stream) surfaces as
+//! [`CrfsError::IntegrityError`](crate::CrfsError::IntegrityError)
+//! instead of handing corrupt bytes to a restarting process.
+//!
+//! Known detection gap: framed-vs-raw is decided by the 4 magic bytes
+//! at stored offset 0 (raw pass-through files are a supported layout,
+//! so there is no out-of-band record of which files are framed).
+//! Corruption of exactly those 4 bytes on a *closed* file makes the
+//! next open classify it as raw and serve stored frame bytes verbatim;
+//! every other stored byte is covered by a header CRC or payload
+//! checksum. Deployments that never mix raw files can close the gap by
+//! treating `attach() == None` as an error at a higher layer.
+
+pub mod codec;
+pub mod dedup;
+pub mod frame;
+
+pub use codec::CodecKind;
+pub use dedup::DedupIndex;
+
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::backend::{read_exact_at, Backend, BackendFile, OpenOptions};
+use crate::config::CrfsConfig;
+use crate::stats::CrfsStats;
+use codec::{decode_payload, encode_payload, STORED_RAW};
+use frame::{
+    content_hash128, fnv1a64, FrameHeader, FLAG_PAD, FLAG_REF, FLAG_TRUNC, FRAME_HEADER_LEN,
+    FRAME_MAGIC,
+};
+
+/// Byte length of the fixed metadata prefix of a REF frame payload
+/// (origin stored offset + stored length + codec + reserved); the
+/// origin path follows as UTF-8.
+const REF_META_LEN: usize = 16;
+
+// ---------------------------------------------------------------------
+// Integrity error marker
+// ---------------------------------------------------------------------
+
+/// Marker payload inside `io::Error` identifying a detected integrity
+/// violation (checksum mismatch, malformed frame, undecodable stored
+/// bytes) — as opposed to an ordinary backend IO failure.
+#[derive(Debug)]
+pub struct IntegrityViolation {
+    /// Human-readable description of what failed to verify.
+    pub detail: String,
+}
+
+impl std::fmt::Display for IntegrityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "integrity violation: {}", self.detail)
+    }
+}
+
+impl std::error::Error for IntegrityViolation {}
+
+/// Whether an IO error carries an [`IntegrityViolation`] marker.
+pub fn is_integrity_error(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|r| r.is::<IntegrityViolation>())
+}
+
+fn integrity(stats: &CrfsStats, detail: String) -> io::Error {
+    stats.integrity_failures.fetch_add(1, Relaxed);
+    io::Error::new(io::ErrorKind::InvalidData, IntegrityViolation { detail })
+}
+
+// ---------------------------------------------------------------------
+// Mount-level context
+// ---------------------------------------------------------------------
+
+/// Mount-scoped transform state: the configured codec, the shared dedup
+/// index, and the handles the read path needs to resolve cross-file
+/// dedup references.
+pub struct TransformCtx {
+    codec: CodecKind,
+    dedup: Option<DedupIndex>,
+    backend: Arc<dyn Backend>,
+    stats: Arc<CrfsStats>,
+}
+
+impl TransformCtx {
+    /// Builds the mount's transform context, or `None` when the config
+    /// disables the transform stage (`codec == None`).
+    pub fn from_config(
+        config: &CrfsConfig,
+        backend: Arc<dyn Backend>,
+        stats: Arc<CrfsStats>,
+    ) -> Option<Arc<TransformCtx>> {
+        if config.codec == CodecKind::None {
+            return None;
+        }
+        Some(Arc::new(TransformCtx {
+            codec: config.codec,
+            dedup: config
+                .dedup
+                .then(|| DedupIndex::new(config.dedup_keep_epochs as u64)),
+            backend,
+            stats,
+        }))
+    }
+
+    /// The configured codec.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
+    }
+
+    /// The dedup index, when dedup is enabled.
+    pub fn dedup(&self) -> Option<&DedupIndex> {
+        self.dedup.as_ref()
+    }
+
+    /// Advances the checkpoint epoch (see [`DedupIndex::advance_epoch`]);
+    /// returns the number of index entries evicted.
+    pub fn advance_epoch(&self) -> usize {
+        self.dedup.as_ref().map_or(0, DedupIndex::advance_epoch)
+    }
+
+    /// Drops dedup entries pointing into `path` (or any path under it,
+    /// for directory renames) so no new reference lands on dead bytes.
+    pub fn invalidate_path(&self, path: &str) {
+        if let Some(d) = &self.dedup {
+            d.invalidate_path(path);
+        }
+    }
+}
+
+impl std::fmt::Debug for TransformCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransformCtx")
+            .field("codec", &self.codec)
+            .field("dedup", &self.dedup)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-file frame map
+// ---------------------------------------------------------------------
+
+/// One frame's metadata as the map holds it.
+#[derive(Debug, Clone, Copy)]
+struct FrameEntry {
+    /// Byte offset of the frame header within the stored file.
+    stored_off: u64,
+    /// Stored payload length (follows the 40-byte header).
+    stored_len: u32,
+    /// Logical placement of the decoded payload.
+    logical_offset: u64,
+    /// Decoded payload length.
+    logical_len: u32,
+    /// Bytes of the payload still visible (reduced by truncation;
+    /// decode always produces `logical_len`, visibility clamps it).
+    vis_len: u32,
+    /// Stored codec id of the payload.
+    codec: u8,
+    /// `FLAG_REF` when the payload is a dedup reference record.
+    flags: u8,
+    /// FNV-1a-64 of the logical payload.
+    check: u64,
+}
+
+impl FrameEntry {
+    fn vis_end(&self) -> u64 {
+        self.logical_offset + self.vis_len as u64
+    }
+}
+
+/// One planned piece of a logical read.
+enum PlanPiece {
+    /// Copy `len` decoded bytes starting `within` bytes into `frame`'s
+    /// payload, to `dst` bytes into the destination buffer.
+    Data {
+        dst: usize,
+        frame: FrameEntry,
+        within: usize,
+        len: usize,
+    },
+    /// Zero-fill (a hole).
+    Hole { dst: usize, len: usize },
+}
+
+/// The in-memory frame map: frames in allocation (= stored) order,
+/// newest-wins for overlapping logical ranges — the same authority rule
+/// the container's extent index uses, at frame granularity.
+#[derive(Default)]
+struct FrameMap {
+    /// Sorted ascending by `stored_off` (allocation order).
+    frames: Vec<FrameEntry>,
+    logical_len: u64,
+}
+
+impl FrameMap {
+    fn insert(&mut self, e: FrameEntry) {
+        self.logical_len = self
+            .logical_len
+            .max(e.logical_offset + e.logical_len as u64);
+        // Workers commit in completion order, which can trail allocation
+        // order; keep the vec sorted by stored_off so "newest" is
+        // well-defined as allocation order.
+        match self.frames.last() {
+            Some(last) if last.stored_off > e.stored_off => {
+                let at = self.frames.partition_point(|f| f.stored_off < e.stored_off);
+                self.frames.insert(at, e);
+            }
+            _ => self.frames.push(e),
+        }
+    }
+
+    /// Applies `truncate(new_len)`: drops frames fully past the cut,
+    /// clamps visibility of straddlers, sets the logical length (which
+    /// may also extend — the new range reads as a hole).
+    fn truncate(&mut self, new_len: u64) {
+        if new_len < self.logical_len {
+            self.frames.retain_mut(|f| {
+                if f.logical_offset >= new_len {
+                    return false;
+                }
+                if f.vis_end() > new_len {
+                    f.vis_len = (new_len - f.logical_offset) as u32;
+                }
+                true
+            });
+        }
+        self.logical_len = new_len;
+    }
+
+    /// Applies one scanned frame header in file (= allocation) order —
+    /// the single semantic authority shared by [`FileTransform::attach`]
+    /// and [`scan_logical_len`], so the two can never disagree on what
+    /// a frame chain means.
+    fn apply(&mut self, stored_off: u64, h: &FrameHeader) {
+        if h.flags & FLAG_PAD != 0 {
+            return; // failed-write filler: no logical content
+        }
+        if h.flags & FLAG_TRUNC != 0 {
+            self.truncate(h.logical_offset);
+            return;
+        }
+        self.insert(FrameEntry {
+            stored_off,
+            stored_len: h.stored_len,
+            logical_offset: h.logical_offset,
+            logical_len: h.logical_len,
+            vis_len: h.logical_len,
+            codec: h.codec,
+            flags: h.flags,
+            check: h.payload_check,
+        });
+    }
+
+    /// Plans a read of `len` bytes at `offset` (newest frame wins), in
+    /// ascending `dst` order, exactly tiling the returned total.
+    fn plan(&self, offset: u64, len: usize) -> (Vec<PlanPiece>, usize) {
+        if offset >= self.logical_len || len == 0 {
+            return (Vec::new(), 0);
+        }
+        let end = (offset + len as u64).min(self.logical_len);
+        let total = (end - offset) as usize;
+        let mut uncovered: Vec<(u64, u64)> = vec![(offset, end)];
+        let mut pieces: Vec<PlanPiece> = Vec::new();
+        for f in self.frames.iter().rev() {
+            if uncovered.is_empty() {
+                break;
+            }
+            let mut next = Vec::with_capacity(uncovered.len());
+            for &(lo, hi) in &uncovered {
+                let cov_lo = lo.max(f.logical_offset);
+                let cov_hi = hi.min(f.vis_end());
+                if cov_lo >= cov_hi {
+                    next.push((lo, hi));
+                    continue;
+                }
+                pieces.push(PlanPiece::Data {
+                    dst: (cov_lo - offset) as usize,
+                    frame: *f,
+                    within: (cov_lo - f.logical_offset) as usize,
+                    len: (cov_hi - cov_lo) as usize,
+                });
+                if lo < cov_lo {
+                    next.push((lo, cov_lo));
+                }
+                if cov_hi < hi {
+                    next.push((cov_hi, hi));
+                }
+            }
+            uncovered = next;
+        }
+        for (lo, hi) in uncovered {
+            pieces.push(PlanPiece::Hole {
+                dst: (lo - offset) as usize,
+                len: (hi - lo) as usize,
+            });
+        }
+        pieces.sort_by_key(|p| match *p {
+            PlanPiece::Data { dst, .. } | PlanPiece::Hole { dst, .. } => dst,
+        });
+        (pieces, total)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-file transform state
+// ---------------------------------------------------------------------
+
+/// A chunk encoded into its on-disk frame, awaiting its backend write.
+/// Produced by [`FileTransform::encode_chunk`] (worker context),
+/// committed to the frame map with [`FileTransform::commit`] once the
+/// write succeeded.
+pub struct EncodedChunk {
+    /// Complete frame bytes: 40-byte header + stored payload.
+    frame: Vec<u8>,
+    entry: FrameEntry, // stored_off filled at commit
+    /// Content key to register in the dedup index on commit (DATA
+    /// frames on dedup-enabled mounts).
+    dedup_key: Option<(u128, u32)>,
+}
+
+impl EncodedChunk {
+    /// The frame's total stored size in bytes.
+    pub fn stored_bytes(&self) -> usize {
+        self.frame.len()
+    }
+
+    /// The frame bytes to write at the allocated stored offset.
+    pub fn bytes(&self) -> &[u8] {
+        &self.frame
+    }
+
+    /// Whether this frame is a dedup reference record.
+    pub fn is_ref(&self) -> bool {
+        self.entry.flags & FLAG_REF != 0
+    }
+}
+
+/// Per-open-file transform state: the frame map and the stored-space
+/// tail allocator. Lives on the [`FileEntry`](crate::file::FileEntry)
+/// of every file on a transform-enabled mount whose stored layout is
+/// framed (new files always; existing files when the header scan
+/// recognizes them).
+/// How many dedup-origin file handles a [`FileTransform`] caches for
+/// reference resolution (restart reads of deduped files resolve the
+/// same one or two origin files thousands of times).
+const ORIGIN_CACHE_CAP: usize = 8;
+
+pub struct FileTransform {
+    ctx: Arc<TransformCtx>,
+    map: Mutex<FrameMap>,
+    /// Next free stored byte; frames allocate their extent here.
+    stored_tail: AtomicU64,
+    /// Open backend handles of dedup-origin files, keyed by path —
+    /// resolving N reference records into the same origin must not
+    /// cost N backend opens. Bounded FIFO; dropped with the entry at
+    /// close.
+    origins: Mutex<Vec<(String, Arc<dyn BackendFile>)>>,
+}
+
+impl FileTransform {
+    /// Fresh state for a new (or truncated-at-open) file.
+    pub fn fresh(ctx: Arc<TransformCtx>) -> FileTransform {
+        FileTransform {
+            ctx,
+            map: Mutex::new(FrameMap::default()),
+            stored_tail: AtomicU64::new(0),
+            origins: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Attaches to an existing backend file: empty files and files whose
+    /// first bytes validate as a frame header are (re)opened framed —
+    /// the latter via a full header scan that rebuilds the frame map.
+    /// Returns `None` for raw (unframed) files, which keep the paper's
+    /// pass-through layout; fails with an integrity error on a framed
+    /// file whose frame chain is broken.
+    pub fn attach(
+        ctx: Arc<TransformCtx>,
+        file: &dyn BackendFile,
+    ) -> io::Result<Option<FileTransform>> {
+        let stored_len = file.len()?;
+        if stored_len == 0 {
+            return Ok(Some(FileTransform::fresh(ctx)));
+        }
+        let mut map = FrameMap::default();
+        let walked = walk_frames(file, |off, h| map.apply(off, h)).inspect_err(|e| {
+            if is_integrity_error(e) {
+                // Surface scan corruption in the mount-wide counter,
+                // like every other detection site.
+                ctx.stats.integrity_failures.fetch_add(1, Relaxed);
+            }
+        })?;
+        match walked {
+            None => Ok(None), // raw pass-through file
+            Some(stored_len) => Ok(Some(FileTransform {
+                ctx,
+                map: Mutex::new(map),
+                stored_tail: AtomicU64::new(stored_len),
+                origins: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The mount context this file transforms under.
+    pub fn ctx(&self) -> &Arc<TransformCtx> {
+        &self.ctx
+    }
+
+    /// Current logical file length (frames + truncation markers).
+    pub fn logical_len(&self) -> u64 {
+        self.map.lock().logical_len
+    }
+
+    /// Current stored tail — the bytes of backing file the frame chain
+    /// accounts for. Used to revalidate a scan done outside the
+    /// open-table lock.
+    pub fn stored_len(&self) -> u64 {
+        self.stored_tail.load(Relaxed)
+    }
+
+    /// Frames currently mapped (diagnostics).
+    pub fn frame_count(&self) -> usize {
+        self.map.lock().frames.len()
+    }
+
+    /// Encodes one sealed chunk into its frame: dedup lookup first (a
+    /// hit emits a reference record), then the configured codec with
+    /// the store-raw escape. Pure CPU — runs in IO-worker context so
+    /// chunks compress in parallel. Counts `bytes_logical`,
+    /// `transform_ns` and `dedup_hits`.
+    pub fn encode_chunk(&self, logical_offset: u64, payload: &[u8]) -> EncodedChunk {
+        let stats = &self.ctx.stats;
+        let t0 = Instant::now();
+        stats.bytes_logical.fetch_add(payload.len() as u64, Relaxed);
+        let check = fnv1a64(payload);
+
+        let mut frame = vec![0u8; FRAME_HEADER_LEN as usize];
+        let mut dedup_key = None;
+        let (codec, flags) = match self.ctx.dedup.as_ref() {
+            Some(index) => {
+                let hash = content_hash128(payload);
+                match index.lookup(hash, payload.len() as u32) {
+                    Some(hit) => {
+                        // Reference record: origin location + path.
+                        frame.extend_from_slice(&hit.stored_off.to_le_bytes());
+                        frame.extend_from_slice(&hit.stored_len.to_le_bytes());
+                        frame.push(hit.codec);
+                        frame.extend_from_slice(&[0u8; 3]);
+                        frame.extend_from_slice(hit.path.as_bytes());
+                        stats.dedup_hits.fetch_add(1, Relaxed);
+                        (STORED_RAW, FLAG_REF)
+                    }
+                    None => {
+                        dedup_key = Some((hash, payload.len() as u32));
+                        (encode_payload(self.ctx.codec, payload, &mut frame), 0)
+                    }
+                }
+            }
+            None => (encode_payload(self.ctx.codec, payload, &mut frame), 0),
+        };
+        let stored_len = (frame.len() - FRAME_HEADER_LEN as usize) as u32;
+        let header = FrameHeader {
+            codec,
+            flags,
+            logical_offset,
+            logical_len: payload.len() as u32,
+            stored_len,
+            payload_check: check,
+        };
+        frame[..FRAME_HEADER_LEN as usize].copy_from_slice(&header.encode());
+        stats
+            .transform_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+        EncodedChunk {
+            frame,
+            entry: FrameEntry {
+                stored_off: 0,
+                stored_len,
+                logical_offset,
+                logical_len: payload.len() as u32,
+                vis_len: payload.len() as u32,
+                codec,
+                flags,
+                check,
+            },
+            dedup_key,
+        }
+    }
+
+    /// Allocates `len` bytes of stored space at the file tail.
+    pub fn allocate(&self, len: u64) -> u64 {
+        self.stored_tail.fetch_add(len, Relaxed)
+    }
+
+    /// Commits a successfully written frame at `stored_off`: installs it
+    /// in the frame map (making it readable) and registers fresh content
+    /// in the dedup index. Counts `bytes_stored`.
+    pub fn commit(&self, path: &Arc<str>, stored_off: u64, enc: EncodedChunk) {
+        let mut e = enc.entry;
+        e.stored_off = stored_off;
+        self.ctx
+            .stats
+            .bytes_stored
+            .fetch_add(enc.frame.len() as u64, Relaxed);
+        self.map.lock().insert(e);
+        if let (Some((hash, len)), Some(index)) = (enc.dedup_key, self.ctx.dedup.as_ref()) {
+            index.insert(
+                hash,
+                len,
+                Arc::clone(path),
+                stored_off,
+                e.stored_len,
+                e.codec,
+            );
+        }
+    }
+
+    /// Applies `set_len` to a framed file: length 0 resets the stored
+    /// log outright; any other length appends a persistent truncation
+    /// marker frame (so a restart scan reaches the same logical state)
+    /// and clamps the in-memory map.
+    pub fn truncate(&self, file: &dyn BackendFile, len: u64) -> io::Result<()> {
+        if len == 0 {
+            file.set_len(0)?;
+            let mut map = self.map.lock();
+            map.frames.clear();
+            map.logical_len = 0;
+            self.stored_tail.store(0, Relaxed);
+            return Ok(());
+        }
+        let header = FrameHeader {
+            codec: STORED_RAW,
+            flags: FLAG_TRUNC,
+            logical_offset: len,
+            logical_len: 0,
+            stored_len: 0,
+            payload_check: 0,
+        };
+        let off = self.allocate(FRAME_HEADER_LEN);
+        file.write_at(off, &header.encode())?;
+        // Not counted in bytes_stored: the marker is metadata written
+        // outside the engine, and `bytes_out == bytes_stored` must keep
+        // holding for stats consumers (both count chunk traffic only).
+        self.map.lock().truncate(len);
+        Ok(())
+    }
+
+    /// Fills an allocated stored extent whose frame write failed with a
+    /// padding frame (header only; the payload bytes stay garbage but
+    /// the chain skips them), so one failed backend write does not
+    /// leave an unscannable hole that makes the *whole* file unopenable
+    /// — later successful chunks stay reachable. Best-effort: if this
+    /// write fails too (the backend is hard down, not transiently
+    /// erroring), the file stays broken past this point, which the
+    /// failed close already reports.
+    pub(crate) fn write_pad(
+        &self,
+        file: &dyn BackendFile,
+        stored_off: u64,
+        total_len: u64,
+    ) -> io::Result<()> {
+        debug_assert!(total_len >= FRAME_HEADER_LEN);
+        let header = FrameHeader {
+            codec: STORED_RAW,
+            flags: FLAG_PAD,
+            logical_offset: 0,
+            logical_len: 0,
+            stored_len: (total_len - FRAME_HEADER_LEN) as u32,
+            payload_check: 0,
+        };
+        file.write_at(stored_off, &header.encode())
+    }
+
+    /// Serves a logical read: plans frame coverage (newest wins, holes
+    /// zero-filled), then decodes and **verifies** each touched frame.
+    /// Returns the bytes produced (clamped at logical EOF). Any
+    /// checksum mismatch or malformed frame fails the read with an
+    /// integrity-marked error and counts `integrity_failures`.
+    pub fn read_logical(
+        &self,
+        file: &dyn BackendFile,
+        path: &str,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> io::Result<usize> {
+        let (pieces, total) = self.map.lock().plan(offset, buf.len());
+        // A frame's coverage can split into several pieces — and
+        // overwrites can interleave pieces of *different* frames — so
+        // cache every frame decoded this call, not just the last one.
+        let mut decoded: Vec<(u64, Vec<u8>)> = Vec::new();
+        for piece in pieces {
+            match piece {
+                PlanPiece::Hole { dst, len } => buf[dst..dst + len].fill(0),
+                PlanPiece::Data {
+                    dst,
+                    frame,
+                    within,
+                    len,
+                } => {
+                    let at = match decoded.iter().position(|(off, _)| *off == frame.stored_off) {
+                        Some(i) => i,
+                        None => {
+                            decoded.push((frame.stored_off, self.fetch_frame(file, path, &frame)?));
+                            decoded.len() - 1
+                        }
+                    };
+                    let payload = &decoded[at].1;
+                    buf[dst..dst + len].copy_from_slice(&payload[within..within + len]);
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Reads, decodes and verifies one frame's logical payload.
+    fn fetch_frame(
+        &self,
+        file: &dyn BackendFile,
+        path: &str,
+        f: &FrameEntry,
+    ) -> io::Result<Vec<u8>> {
+        let stats = &self.ctx.stats;
+        let mut stored = vec![0u8; f.stored_len as usize];
+        read_exact_at(file, f.stored_off + FRAME_HEADER_LEN, &mut stored)?;
+        let t0 = Instant::now();
+        let payload = if f.flags & FLAG_REF != 0 {
+            self.resolve_ref(file, path, f, &stored)?
+        } else {
+            let mut out = Vec::with_capacity(f.logical_len as usize);
+            decode_payload(f.codec, &stored, f.logical_len as usize, &mut out).map_err(|e| {
+                integrity(
+                    stats,
+                    format!("chunk at {} of {path:?} undecodable: {e}", f.logical_offset),
+                )
+            })?;
+            out
+        };
+        if fnv1a64(&payload) != f.check {
+            return Err(integrity(
+                stats,
+                format!(
+                    "chunk at {} of {path:?} failed its checksum",
+                    f.logical_offset
+                ),
+            ));
+        }
+        stats
+            .transform_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+        Ok(payload)
+    }
+
+    /// Resolves a dedup reference record to the origin frame's decoded
+    /// payload. The caller verifies the result against the reference's
+    /// own checksum, so a stale or mismatched origin is detected.
+    fn resolve_ref(
+        &self,
+        file: &dyn BackendFile,
+        path: &str,
+        f: &FrameEntry,
+        payload: &[u8],
+    ) -> io::Result<Vec<u8>> {
+        let stats = &self.ctx.stats;
+        if payload.len() < REF_META_LEN {
+            return Err(integrity(
+                stats,
+                format!(
+                    "reference record at {} of {path:?} truncated",
+                    f.logical_offset
+                ),
+            ));
+        }
+        let origin_off = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        let origin_len = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+        let origin_codec = payload[12];
+        let origin_path = std::str::from_utf8(&payload[REF_META_LEN..]).map_err(|_| {
+            integrity(
+                stats,
+                format!(
+                    "reference record at {} of {path:?} has a bad path",
+                    f.logical_offset
+                ),
+            )
+        })?;
+        let mut stored = vec![0u8; origin_len as usize];
+        if origin_path == path {
+            read_exact_at(file, origin_off + FRAME_HEADER_LEN, &mut stored)?;
+        } else {
+            let origin = self.origin_handle(origin_path).map_err(|e| {
+                integrity(
+                    stats,
+                    format!("dedup origin {origin_path:?} unavailable: {e}"),
+                )
+            })?;
+            read_exact_at(&*origin, origin_off + FRAME_HEADER_LEN, &mut stored)?;
+        }
+        let mut out = Vec::with_capacity(f.logical_len as usize);
+        decode_payload(origin_codec, &stored, f.logical_len as usize, &mut out).map_err(|e| {
+            integrity(
+                stats,
+                format!("dedup origin {origin_path:?}@{origin_off} undecodable: {e}"),
+            )
+        })?;
+        Ok(out)
+    }
+
+    /// An open handle on a dedup-origin file, served from the bounded
+    /// per-file cache — a restart read resolving thousands of
+    /// references into the same origin must pay one backend open, not
+    /// one per reference.
+    fn origin_handle(&self, origin_path: &str) -> io::Result<Arc<dyn BackendFile>> {
+        {
+            let origins = self.origins.lock();
+            if let Some((_, f)) = origins.iter().find(|(p, _)| p == origin_path) {
+                return Ok(Arc::clone(f));
+            }
+        }
+        let opened: Arc<dyn BackendFile> = Arc::from(
+            self.ctx
+                .backend
+                .open(origin_path, OpenOptions::read_only())?,
+        );
+        let mut origins = self.origins.lock();
+        if !origins.iter().any(|(p, _)| p == origin_path) {
+            if origins.len() >= ORIGIN_CACHE_CAP {
+                origins.remove(0);
+            }
+            origins.push((origin_path.to_string(), Arc::clone(&opened)));
+        }
+        Ok(opened)
+    }
+}
+
+impl std::fmt::Debug for FileTransform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileTransform")
+            .field("frames", &self.frame_count())
+            .field("logical_len", &self.logical_len())
+            .field("stored_tail", &self.stored_tail.load(Relaxed))
+            .finish()
+    }
+}
+
+/// Walks a stored file's frame chain, calling `visit(stored_off,
+/// header)` for every frame in file order. Returns `Ok(None)` when the
+/// file is raw (no frame magic at offset 0) and `Ok(Some(stored_len))`
+/// after a complete walk. A torn or malformed chain — header
+/// overrunning EOF, payload cut short, header CRC mismatch — fails
+/// with an integrity-marked error: once the magic says framed, a bad
+/// chain is corruption, never a silent downgrade to raw. The single
+/// walker behind [`FileTransform::attach`] and [`scan_logical_len`].
+fn walk_frames(
+    file: &dyn BackendFile,
+    mut visit: impl FnMut(u64, &FrameHeader),
+) -> io::Result<Option<u64>> {
+    let stored_len = file.len()?;
+    if stored_len < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let mut hdr = [0u8; FRAME_HEADER_LEN as usize];
+    read_exact_at(file, 0, &mut hdr)?;
+    if hdr[..4] != FRAME_MAGIC.to_le_bytes() {
+        return Ok(None);
+    }
+    let corrupt =
+        |detail: String| io::Error::new(io::ErrorKind::InvalidData, IntegrityViolation { detail });
+    let mut off = 0u64;
+    while off < stored_len {
+        if off + FRAME_HEADER_LEN > stored_len {
+            return Err(corrupt(format!(
+                "frame header at {off} overruns the stored file"
+            )));
+        }
+        read_exact_at(file, off, &mut hdr)?;
+        let h =
+            FrameHeader::decode(&hdr).map_err(|e| corrupt(format!("frame scan at {off}: {e}")))?;
+        let next = off + FRAME_HEADER_LEN + u64::from(h.stored_len);
+        if next > stored_len {
+            return Err(corrupt(format!(
+                "frame payload at {off} overruns the stored file"
+            )));
+        }
+        visit(off, &h);
+        off = next;
+    }
+    Ok(Some(stored_len))
+}
+
+/// Scans a backend file's frame headers to report its logical length;
+/// `None` when the file is raw (unframed). Used for `file_len` on
+/// files that are not open. Shares [`walk_frames`] and
+/// [`FrameMap::apply`] with the open path, so `file_len` can never
+/// report a healthy length for a file `open` will refuse (or vice
+/// versa).
+pub fn scan_logical_len(file: &dyn BackendFile) -> io::Result<Option<u64>> {
+    let mut map = FrameMap::default();
+    match walk_frames(file, |off, h| map.apply(off, h))? {
+        None => Ok(None),
+        Some(_) => Ok(Some(map.logical_len)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn ctx(codec: CodecKind, dedup: bool) -> (Arc<TransformCtx>, Arc<CrfsStats>) {
+        let stats = Arc::new(CrfsStats::new());
+        let config = CrfsConfig::default().with_codec(codec).with_dedup(dedup);
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let ctx = TransformCtx::from_config(&config, backend, Arc::clone(&stats)).expect("ctx");
+        (ctx, stats)
+    }
+
+    fn write_all(
+        ft: &FileTransform,
+        file: &dyn BackendFile,
+        path: &Arc<str>,
+        offset: u64,
+        payload: &[u8],
+    ) {
+        let enc = ft.encode_chunk(offset, payload);
+        let off = ft.allocate(enc.stored_bytes() as u64);
+        file.write_at(off, enc.bytes()).unwrap();
+        ft.commit(path, off, enc);
+    }
+
+    fn compressible(len: usize, seed: u8) -> Vec<u8> {
+        let tile: Vec<u8> = (0..32).map(|i| seed.wrapping_add(i)).collect();
+        tile.iter().cycle().take(len).cloned().collect()
+    }
+
+    #[test]
+    fn frame_roundtrip_compresses_and_verifies() {
+        let (ctx, stats) = ctx(CodecKind::Lz, false);
+        let be = MemBackend::new();
+        let file = be.open("/f", OpenOptions::create_truncate()).unwrap();
+        let ft = FileTransform::fresh(Arc::clone(&ctx));
+        let path: Arc<str> = "/f".into();
+        let data = compressible(8192, 3);
+        write_all(&ft, &*file, &path, 0, &data);
+
+        assert_eq!(ft.logical_len(), 8192);
+        let mut buf = vec![0u8; 8192];
+        assert_eq!(ft.read_logical(&*file, &path, 0, &mut buf).unwrap(), 8192);
+        assert_eq!(buf, data);
+        let logical = stats.bytes_logical.load(Relaxed);
+        let stored = stats.bytes_stored.load(Relaxed);
+        assert_eq!(logical, 8192);
+        assert!(stored < logical, "compressible data must shrink: {stored}");
+        assert_eq!(stats.integrity_failures.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn scan_rebuilds_map_on_reattach() {
+        let (ctx, _stats) = ctx(CodecKind::Rle, false);
+        let be = MemBackend::new();
+        let file = be.open("/f", OpenOptions::create_truncate()).unwrap();
+        let ft = FileTransform::fresh(Arc::clone(&ctx));
+        let path: Arc<str> = "/f".into();
+        write_all(&ft, &*file, &path, 0, &compressible(4096, 1));
+        write_all(&ft, &*file, &path, 4096, &compressible(1000, 2));
+        drop(ft);
+
+        // Fresh attach (a restart) must rebuild the same logical view.
+        let ft = FileTransform::attach(Arc::clone(&ctx), &*file)
+            .unwrap()
+            .expect("framed file recognized");
+        assert_eq!(ft.logical_len(), 5096);
+        assert_eq!(ft.frame_count(), 2);
+        let mut buf = vec![0u8; 5096];
+        assert_eq!(ft.read_logical(&*file, &path, 0, &mut buf).unwrap(), 5096);
+        assert_eq!(&buf[..4096], &compressible(4096, 1)[..]);
+        assert_eq!(&buf[4096..], &compressible(1000, 2)[..]);
+        assert_eq!(scan_logical_len(&*file).unwrap(), Some(5096));
+    }
+
+    #[test]
+    fn pad_frames_keep_the_chain_walkable_past_failed_writes() {
+        let (ctx, _stats) = ctx(CodecKind::Identity, false);
+        let be = MemBackend::new();
+        let file = be.open("/f", OpenOptions::create_truncate()).unwrap();
+        let ft = FileTransform::fresh(Arc::clone(&ctx));
+        let path: Arc<str> = "/f".into();
+        write_all(&ft, &*file, &path, 0, &compressible(1000, 1));
+        // A chunk whose backend write failed: its allocated extent is
+        // padded so the chain skips it; later chunks stay reachable.
+        let gap = ft.allocate(FRAME_HEADER_LEN + 500);
+        ft.write_pad(&*file, gap, FRAME_HEADER_LEN + 500).unwrap();
+        write_all(&ft, &*file, &path, 2000, &compressible(800, 2));
+
+        let ft2 = FileTransform::attach(Arc::clone(&ctx), &*file)
+            .unwrap()
+            .expect("framed");
+        assert_eq!(ft2.frame_count(), 2, "pad frame carries no content");
+        assert_eq!(ft2.logical_len(), 2800);
+        assert_eq!(scan_logical_len(&*file).unwrap(), Some(2800));
+        let mut buf = vec![0u8; 1000];
+        assert_eq!(ft2.read_logical(&*file, &path, 0, &mut buf).unwrap(), 1000);
+        assert_eq!(buf, compressible(1000, 1));
+        let mut buf = vec![0u8; 800];
+        assert_eq!(
+            ft2.read_logical(&*file, &path, 2000, &mut buf).unwrap(),
+            800
+        );
+        assert_eq!(buf, compressible(800, 2));
+    }
+
+    #[test]
+    fn torn_tail_rejected_by_attach_and_scan_alike() {
+        let (ctx, _stats) = ctx(CodecKind::Identity, false);
+        let be = MemBackend::new();
+        let file = be.open("/f", OpenOptions::create_truncate()).unwrap();
+        let ft = FileTransform::fresh(Arc::clone(&ctx));
+        let path: Arc<str> = "/f".into();
+        write_all(&ft, &*file, &path, 0, &compressible(1000, 4));
+        // Tear the last frame: chop half the stored payload (a crashed
+        // write). Both the open path and the metadata scan must refuse.
+        let stored = file.len().unwrap();
+        file.set_len(stored - 100).unwrap();
+        let err = FileTransform::attach(Arc::clone(&ctx), &*file).unwrap_err();
+        assert!(is_integrity_error(&err), "attach: {err}");
+        let err = scan_logical_len(&*file).unwrap_err();
+        assert!(is_integrity_error(&err), "scan: {err}");
+        // Trailing garbage shorter than a header is equally torn.
+        file.set_len(stored).unwrap();
+        let g = be.open("/g", OpenOptions::create_truncate()).unwrap();
+        let ft = FileTransform::fresh(Arc::clone(&ctx));
+        write_all(&ft, &*g, &"/g".into(), 0, &compressible(500, 5));
+        let glen = g.len().unwrap();
+        g.write_at(glen, &[0u8; 13]).unwrap();
+        assert!(scan_logical_len(&*g).is_err());
+    }
+
+    #[test]
+    fn raw_files_are_left_alone() {
+        let (ctx, _stats) = ctx(CodecKind::Lz, false);
+        let be = MemBackend::new();
+        let file = be.open("/raw", OpenOptions::create_truncate()).unwrap();
+        file.write_at(0, b"plain old bytes, no frames here")
+            .unwrap();
+        assert!(FileTransform::attach(ctx, &*file).unwrap().is_none());
+        assert_eq!(scan_logical_len(&*file).unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_newest_wins_and_holes_zero() {
+        let (ctx, _stats) = ctx(CodecKind::Identity, false);
+        let be = MemBackend::new();
+        let file = be.open("/f", OpenOptions::create_truncate()).unwrap();
+        let ft = FileTransform::fresh(ctx);
+        let path: Arc<str> = "/f".into();
+        write_all(&ft, &*file, &path, 0, &[1u8; 100]);
+        write_all(&ft, &*file, &path, 25, &[2u8; 50]);
+        write_all(&ft, &*file, &path, 200, &[3u8; 10]); // hole at 100..200
+        let mut buf = vec![0xFFu8; 210];
+        assert_eq!(ft.read_logical(&*file, &path, 0, &mut buf).unwrap(), 210);
+        assert!(buf[..25].iter().all(|&b| b == 1));
+        assert!(buf[25..75].iter().all(|&b| b == 2));
+        assert!(buf[75..100].iter().all(|&b| b == 1));
+        assert!(buf[100..200].iter().all(|&b| b == 0), "hole reads zero");
+        assert!(buf[200..].iter().all(|&b| b == 3));
+        // EOF clamp.
+        let mut tail = [0u8; 64];
+        assert_eq!(ft.read_logical(&*file, &path, 205, &mut tail).unwrap(), 5);
+        assert_eq!(ft.read_logical(&*file, &path, 210, &mut tail).unwrap(), 0);
+    }
+
+    #[test]
+    fn dedup_emits_and_resolves_reference_frames() {
+        let (ctx, stats) = ctx(CodecKind::Lz, true);
+        let be: Arc<dyn Backend> = Arc::clone(&ctx.backend);
+        let f1 = be.open("/e1", OpenOptions::create_truncate()).unwrap();
+        let f2 = be.open("/e2", OpenOptions::create_truncate()).unwrap();
+        let p1: Arc<str> = "/e1".into();
+        let p2: Arc<str> = "/e2".into();
+        let ft1 = FileTransform::fresh(Arc::clone(&ctx));
+        let ft2 = FileTransform::fresh(Arc::clone(&ctx));
+        let data = compressible(4096, 9);
+        write_all(&ft1, &*f1, &p1, 0, &data);
+        let before = stats.bytes_stored.load(Relaxed);
+        write_all(&ft2, &*f2, &p2, 0, &data); // identical content: REF
+        let ref_bytes = stats.bytes_stored.load(Relaxed) - before;
+        assert_eq!(stats.dedup_hits.load(Relaxed), 1);
+        assert!(
+            ref_bytes < 100,
+            "reference record must be tiny, got {ref_bytes}"
+        );
+        // Resolution across files, on a fresh attach (restart path).
+        let ft2 = FileTransform::attach(Arc::clone(&ctx), &*f2)
+            .unwrap()
+            .expect("framed");
+        let mut buf = vec![0u8; 4096];
+        assert_eq!(ft2.read_logical(&*f2, &p2, 0, &mut buf).unwrap(), 4096);
+        assert_eq!(buf, data);
+        assert_eq!(stats.integrity_failures.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_returned() {
+        let (ctx, stats) = ctx(CodecKind::Rle, false);
+        let be = MemBackend::new();
+        let file = be.open("/f", OpenOptions::create_truncate()).unwrap();
+        let ft = FileTransform::fresh(ctx);
+        let path: Arc<str> = "/f".into();
+        write_all(&ft, &*file, &path, 0, &compressible(2048, 5));
+        // Flip a payload byte behind the map's back.
+        let mut b = [0u8; 1];
+        file.read_at(FRAME_HEADER_LEN + 2, &mut b).unwrap();
+        file.write_at(FRAME_HEADER_LEN + 2, &[b[0] ^ 0xFF]).unwrap();
+        let mut buf = vec![0u8; 2048];
+        let err = ft.read_logical(&*file, &path, 0, &mut buf).unwrap_err();
+        assert!(is_integrity_error(&err), "got: {err}");
+        assert!(stats.integrity_failures.load(Relaxed) >= 1);
+    }
+
+    #[test]
+    fn truncate_persists_via_marker_frames() {
+        let (ctx, _stats) = ctx(CodecKind::Identity, false);
+        let be = MemBackend::new();
+        let file = be.open("/f", OpenOptions::create_truncate()).unwrap();
+        let ft = FileTransform::fresh(Arc::clone(&ctx));
+        let path: Arc<str> = "/f".into();
+        write_all(&ft, &*file, &path, 0, &[7u8; 1000]);
+        ft.truncate(&*file, 300).unwrap();
+        assert_eq!(ft.logical_len(), 300);
+        // Extend again: the cut range must stay a hole, per POSIX.
+        ft.truncate(&*file, 600).unwrap();
+        let mut buf = vec![0xAAu8; 600];
+        assert_eq!(ft.read_logical(&*file, &path, 0, &mut buf).unwrap(), 600);
+        assert!(buf[..300].iter().all(|&b| b == 7));
+        assert!(buf[300..].iter().all(|&b| b == 0));
+        // The same state must survive a rescan (restart).
+        let ft2 = FileTransform::attach(ctx, &*file).unwrap().expect("framed");
+        assert_eq!(ft2.logical_len(), 600);
+        let mut buf2 = vec![0xAAu8; 600];
+        ft2.read_logical(&*file, &path, 0, &mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+        // Truncate to zero resets the stored log.
+        ft2.truncate(&*file, 0).unwrap();
+        assert_eq!(ft2.logical_len(), 0);
+        assert_eq!(file.len().unwrap(), 0);
+    }
+}

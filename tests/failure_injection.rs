@@ -139,6 +139,101 @@ fn vfs_propagates_deferred_errors_at_close() {
 }
 
 // ---------------------------------------------------------------------
+// Corrupted reads vs the integrity pipeline
+// ---------------------------------------------------------------------
+
+use crfs::core::CodecKind;
+
+/// Compressible payload (runs + structure) for the integrity tests.
+fn transform_payload(len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| {
+            if (i / 64) % 2 == 0 {
+                7u8
+            } else {
+                (i % 31) as u8
+            }
+        })
+        .collect()
+}
+
+/// A backend that silently flips bits in read payloads must never get
+/// corrupt bytes past a transform-enabled mount: every read fails with
+/// `IntegrityError` instead — on the direct path and through the
+/// prefetch cache alike — and the prefetch/pool accounting stays exact
+/// (corrupt fills retire as wasted, buffers all return).
+#[test]
+fn corrupted_chunks_are_detected_not_returned() {
+    for window in [0usize, 4] {
+        let be = Arc::new(FaultyBackend::new(MemBackend::new(), FailureMode::None));
+        let fs = Crfs::mount(
+            be.clone() as Arc<dyn Backend>,
+            small_config()
+                .with_codec(CodecKind::Lz)
+                .with_read_ahead(window),
+        )
+        .unwrap();
+        let f = fs.create("/ckpt").unwrap();
+        let data = transform_payload(6 * 1024);
+        f.write(&data).unwrap();
+        f.flush().unwrap();
+
+        // Bit-flip every backend read payload from here on. The
+        // guarantee is "never wrong bytes": a read either fails with
+        // IntegrityError or returns the exact original data (a flip
+        // can be semantically null, and then the checksum legitimately
+        // passes) — and with every read corrupted, errors must occur.
+        be.set_mode(FailureMode::CorruptReads(1));
+        let mut buf = vec![0u8; data.len()];
+        let mut saw_error = false;
+        for _ in 0..4 {
+            match f.read_at(0, &mut buf) {
+                Ok(n) => {
+                    assert_eq!(n, data.len(), "window {window}");
+                    assert_eq!(buf, data, "window {window}: silent corruption");
+                }
+                Err(err) => {
+                    assert!(
+                        matches!(err, CrfsError::IntegrityError { .. }),
+                        "window {window}: got {err:?}"
+                    );
+                    saw_error = true;
+                }
+            }
+        }
+        assert!(saw_error, "window {window}: corruption never detected");
+        assert!(be.reads_corrupted() > 0, "the backend did corrupt reads");
+
+        // Clean reads work again once the corruption stops — the
+        // stored bytes were never damaged, only the wire.
+        be.set_mode(FailureMode::None);
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), data.len());
+        assert_eq!(buf, data, "window {window}");
+        f.close().unwrap();
+
+        let s = fs.stats();
+        assert!(
+            s.integrity_failures > 0,
+            "window {window}: failures counted"
+        );
+        // The prefetch ledger balances and nothing leaks: corrupt
+        // fills retire as wasted prefetches with their buffers back.
+        assert_eq!(s.prefetch_issued, s.prefetch_completed, "window {window}");
+        assert_eq!(
+            s.pool_free_chunks, s.pool_total_chunks,
+            "window {window}: corrupt fills must not leak buffers"
+        );
+        if window > 0 {
+            assert!(
+                s.prefetch_wasted > 0,
+                "window {window}: corrupt prefetch fills retire as wasted"
+            );
+        }
+        fs.unmount().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
 // Aggregator under failure
 // ---------------------------------------------------------------------
 

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use crfs::blcr::{CheckpointWriter, ProcessImage, RestartReader};
 use crfs::core::backend::{Backend, MemBackend};
 use crfs::core::chunking::{apply_plan, plan_write, ChunkState, PlanStep};
-use crfs::core::{Crfs, CrfsConfig, EngineKind};
+use crfs::core::{CodecKind, Crfs, CrfsConfig, EngineKind};
 use crfs::simkit::rng::SimRng;
 
 /// Base config honoring the CI lock-regime matrix (`CRFS_TEST_LEGACY=1`
@@ -317,6 +317,145 @@ fn pool_and_byte_conservation() {
         assert_eq!(s.bytes_out, total);
         assert_eq!(s.chunks_sealed, s.chunks_completed);
         fs.unmount().expect("unmount");
+    });
+}
+
+// ---------------------------------------------------------------------
+// Transform pipeline round trip: write → compress → dedup → read,
+// across engines, codecs, chunk sizes and lock regimes
+// ---------------------------------------------------------------------
+
+/// Compressible checkpoint-like bytes for chunk `idx`: a repeated tile
+/// with per-chunk variation plus a run segment, epoch-independent for
+/// `dup` chunks (so a second epoch exercises dedup).
+fn transform_chunk_payload(chunk: usize, idx: u64, epoch: u64, dup: bool) -> Vec<u8> {
+    let salt = if dup { 0 } else { epoch + 1 };
+    let seed = (idx.wrapping_mul(0x9E37_79B9) ^ salt.wrapping_mul(0xC2B2_AE35)) as u8;
+    (0..chunk)
+        .map(|i| {
+            if (i / 64) % 4 == 0 {
+                seed // runs for RLE
+            } else {
+                seed.wrapping_add((i % 23) as u8) // structure for LZ
+            }
+        })
+        .collect()
+}
+
+/// The codec dimension of the CI matrix (`CRFS_TEST_CODEC`), plus the
+/// two real codecs always — every lock regime must round-trip with the
+/// framed layout.
+fn test_codecs() -> Vec<CodecKind> {
+    let mut codecs = vec![CodecKind::Rle, CodecKind::Lz];
+    if let Some(c) = std::env::var("CRFS_TEST_CODEC")
+        .ok()
+        .and_then(|v| CodecKind::parse(&v))
+    {
+        if c != CodecKind::None && !codecs.contains(&c) {
+            codecs.push(c);
+        }
+    }
+    codecs
+}
+
+/// Byte-exact restore through the full transform pipeline: two epochs
+/// of checkpoint files written through every engine × codec × chunk
+/// size (4K / 64K / 1M), read back both on the writing mount and on a
+/// fresh mount (the restart path, which rebuilds frame maps by scanning
+/// and resolves cross-epoch dedup references). Stored bytes must never
+/// exceed logical bytes on this compressible workload, and the clean
+/// path must report zero integrity failures.
+#[test]
+fn transform_roundtrip_write_compress_dedup_read() {
+    let codecs = test_codecs();
+    for_cases("transform_roundtrip", 2, |rng| {
+        for engine in [
+            EngineKind::Threaded,
+            EngineKind::Coalescing,
+            EngineKind::Inline,
+        ] {
+            for &codec in &codecs {
+                for chunk in [4usize << 10, 64 << 10, 1 << 20] {
+                    let be = Arc::new(MemBackend::new());
+                    let config = base_config()
+                        .with_engine(engine)
+                        .with_chunk_size(chunk)
+                        .with_pool_size(4 * chunk)
+                        .with_codec(codec)
+                        .with_dedup(true);
+                    let chunks_per_file = rng.gen_range(2u64..5);
+                    // Tail fraction exercises partial-chunk frames.
+                    let tail = rng.gen_range(0usize..chunk);
+                    let file_len = chunks_per_file * chunk as u64 + tail as u64;
+
+                    let fs =
+                        Crfs::mount(be.clone() as Arc<dyn Backend>, config.clone()).expect("mount");
+                    for epoch in 0..2u64 {
+                        let f = fs.create(&format!("/e{epoch}.img")).expect("create");
+                        for idx in 0..=chunks_per_file {
+                            let len = if idx == chunks_per_file { tail } else { chunk };
+                            if len == 0 {
+                                continue;
+                            }
+                            let dup = idx % 2 == 0; // half the chunks recur
+                            let mut payload = transform_chunk_payload(chunk, idx, epoch, dup);
+                            payload.truncate(len);
+                            f.write(&payload).expect("write");
+                        }
+                        f.close().expect("close");
+                        fs.advance_epoch();
+                    }
+                    let verify = |fs: &Arc<Crfs>, label: &str| {
+                        for epoch in 0..2u64 {
+                            let f = fs.open(&format!("/e{epoch}.img")).expect("open");
+                            assert_eq!(f.len().expect("len"), file_len, "{label}");
+                            let mut got = vec![0u8; chunk];
+                            for idx in 0..=chunks_per_file {
+                                let len = if idx == chunks_per_file { tail } else { chunk };
+                                if len == 0 {
+                                    continue;
+                                }
+                                let n = f
+                                    .read_at(idx * chunk as u64, &mut got[..len])
+                                    .expect("read");
+                                let dup = idx % 2 == 0;
+                                let mut want = transform_chunk_payload(chunk, idx, epoch, dup);
+                                want.truncate(len);
+                                assert_eq!(n, len, "{label}");
+                                assert_eq!(got[..len], want[..], "{label}");
+                            }
+                            f.close().expect("close");
+                        }
+                    };
+                    verify(&fs, "same mount");
+                    let snap = fs.stats();
+                    assert_eq!(snap.chunks_sealed, snap.chunks_completed);
+                    assert_eq!(
+                        snap.integrity_failures, 0,
+                        "{engine:?}/{codec:?}/{chunk}: clean path"
+                    );
+                    assert!(
+                        snap.bytes_stored <= snap.bytes_logical,
+                        "{engine:?}/{codec:?}/{chunk}: stored {} > logical {}",
+                        snap.bytes_stored,
+                        snap.bytes_logical
+                    );
+                    assert!(
+                        snap.dedup_hits > 0,
+                        "{engine:?}/{codec:?}/{chunk}: duplicate epoch must dedup"
+                    );
+                    assert_eq!(snap.bytes_out, snap.bytes_stored);
+                    fs.unmount().expect("unmount");
+
+                    // Restart on a fresh mount: frame maps rebuilt by
+                    // scanning, dedup references resolved cross-file.
+                    let fs = Crfs::mount(be as Arc<dyn Backend>, config).expect("remount");
+                    verify(&fs, "fresh mount");
+                    assert_eq!(fs.stats().integrity_failures, 0);
+                    fs.unmount().expect("unmount");
+                }
+            }
+        }
     });
 }
 

@@ -408,6 +408,137 @@ fn restart_read_stats_invariants_hold() {
     }
 }
 
+/// Transform-stage invariants, for every engine: the byte ledger
+/// (`bytes_out == bytes_stored ≤ bytes_logical` on compressible data),
+/// dedup accounting, a clean path with zero integrity failures, and —
+/// with injected read corruption — the shape tying `integrity_failures`
+/// into the prefetch issued/completed ledger (corrupt fills retire as
+/// wasted, never leak buffers, never hang the drain).
+#[test]
+fn transform_stats_invariants_hold() {
+    use crfs::core::backend::{Backend, FailureMode, FaultyBackend, MemBackend};
+    use crfs::core::{CodecKind, Crfs, CrfsConfig, CrfsError, EngineKind};
+    use std::sync::Arc;
+
+    let payload = |len: usize, idx: u64| -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                if (i / 64) % 2 == 0 {
+                    idx as u8
+                } else {
+                    (i % 29) as u8
+                }
+            })
+            .collect()
+    };
+
+    for engine in [
+        EngineKind::Threaded,
+        EngineKind::Coalescing,
+        EngineKind::Inline,
+    ] {
+        let be = Arc::new(FaultyBackend::new(MemBackend::new(), FailureMode::None));
+        let config = CrfsConfig::default()
+            .with_chunk_size(2048)
+            .with_pool_size(64 << 10)
+            .with_io_threads(4)
+            .with_engine(engine)
+            .with_codec(CodecKind::Lz)
+            .with_dedup(true);
+        let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, config).expect("mount");
+        // Two epochs, half the chunks identical across them.
+        for epoch in 0..2u64 {
+            let f = fs.create(&format!("/e{epoch}")).expect("create");
+            for idx in 0..16u64 {
+                let p = if idx % 2 == 0 {
+                    payload(2048, idx) // epoch-independent: dedups
+                } else {
+                    payload(2048, idx * 100 + epoch + 1)
+                };
+                f.write(&p).expect("write");
+            }
+            f.close().expect("close");
+            fs.advance_epoch();
+        }
+        let clean = fs.stats();
+        assert_eq!(clean.chunks_sealed, clean.chunks_completed, "{engine:?}");
+        assert_eq!(
+            clean.backend_writes + clean.chunks_coalesced,
+            clean.chunks_completed,
+            "{engine:?}"
+        );
+        assert_eq!(clean.bytes_logical, 2 * 16 * 2048, "{engine:?}");
+        assert_eq!(clean.bytes_out, clean.bytes_stored, "{engine:?}");
+        assert!(
+            clean.bytes_stored <= clean.bytes_logical,
+            "{engine:?}: compressible data must not inflate ({} > {})",
+            clean.bytes_stored,
+            clean.bytes_logical
+        );
+        assert!(
+            clean.dedup_hits >= 8,
+            "{engine:?}: {} hits",
+            clean.dedup_hits
+        );
+        assert_eq!(clean.integrity_failures, 0, "{engine:?}: clean path");
+        assert_eq!(
+            clean.pool_free_chunks, clean.pool_total_chunks,
+            "{engine:?}: all buffers back"
+        );
+
+        // Corruption shape: flip bits on every backend read. The
+        // guarantee is "never wrong bytes": each read either fails
+        // with IntegrityError or returns the exact original data (a
+        // flipped bit can be semantically null — e.g. an LZ match
+        // distance shifting within a byte run — and then the checksum
+        // legitimately passes). The prefetch ledger must still
+        // balance, and every integrity-failed fill counts as wasted.
+        // (Open first: the frame-map scan itself detects corrupt
+        // headers.)
+        let f = fs.open("/e0").expect("open");
+        be.set_mode(FailureMode::CorruptReads(1));
+        let mut buf = vec![0u8; 2048];
+        let mut saw_error = false;
+        for idx in 0..8u64 {
+            match f.read_at(idx * 2048, &mut buf) {
+                Ok(n) => {
+                    let want = if idx % 2 == 0 {
+                        payload(2048, idx)
+                    } else {
+                        payload(2048, idx * 100 + 1)
+                    };
+                    assert_eq!(n, 2048, "{engine:?}");
+                    assert_eq!(buf, want, "{engine:?}: silent corruption at {idx}");
+                }
+                Err(err) => {
+                    assert!(
+                        matches!(err, CrfsError::IntegrityError { .. }),
+                        "{engine:?}: {err:?}"
+                    );
+                    saw_error = true;
+                }
+            }
+        }
+        assert!(saw_error, "{engine:?}: bit flips on every read must trip");
+        f.close().expect("close");
+        let snap = fs.stats();
+        assert!(snap.integrity_failures > 0, "{engine:?}");
+        assert_eq!(
+            snap.prefetch_issued, snap.prefetch_completed,
+            "{engine:?}: corrupt fills still retire on the ledger"
+        );
+        assert!(
+            snap.prefetch_wasted >= snap.prefetch_issued.min(1),
+            "{engine:?}: integrity-failed fills count as wasted"
+        );
+        assert_eq!(
+            snap.pool_free_chunks, snap.pool_total_chunks,
+            "{engine:?}: error path leaks no buffers"
+        );
+        fs.unmount().expect("unmount");
+    }
+}
+
 // ---------------------------------------------------------------------
 // Full paper geometry (slow): run explicitly with `cargo test -- --ignored`
 // ---------------------------------------------------------------------
