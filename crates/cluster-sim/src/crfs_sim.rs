@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use crfs_core::chunking::{flush_plan, plan_write, ChunkState, FlushStep, PlanStep};
 use crfs_core::engine::account::ChunkAccounting;
-use crfs_core::CrfsConfig;
+use crfs_core::{CrfsConfig, EngineKind};
 use simkit::sync::{unbounded, Semaphore, Sender, WaitGroup};
 use simkit::time::sleep;
 use storage_model::params::{CrfsCostParams, FuseParams, ReadCostParams};
@@ -243,7 +243,17 @@ impl CrfsSim {
         let stats = Rc::new(CrfsSimStats::default());
         let pool = Semaphore::new(config.pool_chunks());
         let read_costs = Rc::new(Cell::new(ReadCostParams::shared_fs()));
-        for _ in 0..config.io_threads {
+        // The worker-task count models the engine's in-flight op limit.
+        // Queue engines block one worker per op, so `io_threads` tasks;
+        // the ring engine parks per-op state in its descriptor slab, so
+        // its limit is `ring_depth` (the pool semaphore still bounds
+        // total buffered chunks). Chunking is engine-independent either
+        // way — the conformance suite holds across the matrix.
+        let workers = match config.engine {
+            EngineKind::Ring => config.ring_depth,
+            _ => config.io_threads,
+        };
+        for _ in 0..workers {
             let rx = rx.clone();
             let target = target.clone();
             let stats = Rc::clone(&stats);

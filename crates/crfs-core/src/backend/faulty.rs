@@ -31,6 +31,15 @@ pub enum FailureMode {
     /// rot / a misbehaving store, the failure class only end-to-end
     /// integrity checking can catch.
     CorruptReads(u64),
+    /// Accept every asynchronous `begin_write_at` and deliver its
+    /// completion *inline*, failing each completion after the first `n`
+    /// writes have succeeded. Submission never errors — the failure
+    /// arrives through the [`CompletionSink`], modeling a device that
+    /// acks the submit and reports the error only at completion time.
+    /// Exercises the completion half of async-capable engines
+    /// (inline-completion handshake, error plumbing from sink to
+    /// ledger). Synchronous `write_at` is unaffected.
+    FailCompletionsAfter(u64),
 }
 
 /// A failure-injecting [`Backend`] decorator.
@@ -151,6 +160,31 @@ impl BackendFile for FaultyFile {
         self.inner.write_at(offset, data)
     }
 
+    fn begin_write_at(
+        &self,
+        token: u64,
+        offset: u64,
+        data: &[u8],
+        sink: &Arc<dyn super::CompletionSink>,
+    ) -> io::Result<bool> {
+        let FailureMode::FailCompletionsAfter(n) = *self.mode.lock() else {
+            // Other modes keep the synchronous shim so their injection
+            // points (write_at / sync) stay on the engine's fallback
+            // path.
+            return Ok(false);
+        };
+        let seen = self.writes_seen.fetch_add(1, Relaxed);
+        let res = if seen >= n {
+            Err(FaultyBackend::<super::MemBackend>::injected())
+        } else {
+            self.inner.write_at(offset, data)
+        };
+        // Inline completion: legal per the contract, and deterministic —
+        // the engine's completed-early handshake runs on every write.
+        sink.complete(token, res);
+        Ok(true)
+    }
+
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         let seen = self.reads_seen.fetch_add(1, Relaxed) + 1;
         let n = self.inner.read_at(offset, buf)?;
@@ -203,6 +237,41 @@ mod tests {
 
         let be = FaultyBackend::new(MemBackend::new(), FailureMode::FailOpen);
         assert!(be.open("/f", OpenOptions::create_truncate()).is_err());
+    }
+
+    #[test]
+    fn completion_failures_arrive_through_the_sink() {
+        use crate::backend::CompletionSink;
+        use std::sync::Mutex as StdMutex;
+
+        struct Recorder(StdMutex<Vec<(u64, io::Result<()>)>>);
+        impl CompletionSink for Recorder {
+            fn complete(&self, token: u64, result: io::Result<()>) {
+                self.0.lock().unwrap().push((token, result));
+            }
+        }
+
+        let sink = Arc::new(Recorder(StdMutex::new(Vec::new())));
+        let dyn_sink: Arc<dyn CompletionSink> = Arc::clone(&sink) as Arc<dyn CompletionSink>;
+        let be = FaultyBackend::new(MemBackend::new(), FailureMode::FailCompletionsAfter(1));
+        let f = be.open("/g", OpenOptions::create_truncate()).unwrap();
+        // Both writes are accepted at submission; the first completes
+        // Ok inline, the second fails at completion time.
+        assert!(f.begin_write_at(1, 0, b"ok", &dyn_sink).unwrap());
+        assert!(f.begin_write_at(2, 2, b"xx", &dyn_sink).unwrap());
+        {
+            let got = sink.0.lock().unwrap();
+            assert_eq!(got.len(), 2);
+            assert_eq!(got[0].0, 1);
+            assert!(got[0].1.is_ok());
+            assert_eq!(got[1].0, 2);
+            assert!(got[1].1.is_err());
+        }
+        // The failed completion wrote nothing.
+        assert_eq!(be.inner().contents("/g").unwrap(), b"ok");
+        // Synchronous writes are unaffected by this mode.
+        f.write_at(2, b"yy").unwrap();
+        assert_eq!(be.inner().contents("/g").unwrap(), b"okyy");
     }
 
     #[test]

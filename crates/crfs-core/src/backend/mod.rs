@@ -19,17 +19,20 @@
 
 mod discard;
 mod faulty;
+mod local;
 mod mem;
 mod passthrough;
 mod throttled;
 
 pub use discard::DiscardBackend;
 pub use faulty::{FailureMode, FaultyBackend};
+pub use local::LocalFileBackend;
 pub use mem::MemBackend;
 pub use passthrough::PassthroughBackend;
 pub use throttled::{ThrottleParams, ThrottledBackend};
 
 use std::io;
+use std::sync::Arc;
 
 /// How a file should be opened on the backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +79,18 @@ impl OpenOptions {
     }
 }
 
+/// Receives asynchronous write completions from a backend that accepted
+/// a [`BackendFile::begin_write_at`]. Implemented by engines that keep
+/// per-op state in a descriptor slab (see `engine::RingEngine`) instead
+/// of a blocked worker thread.
+pub trait CompletionSink: Send + Sync {
+    /// Reports the final result of the asynchronous write identified by
+    /// `token`. Called exactly once per accepted `begin_write_at`;
+    /// calling it from inside `begin_write_at` itself (an inline
+    /// completion) is legal and engines must tolerate it.
+    fn complete(&self, token: u64, result: io::Result<()>);
+}
+
 /// An open file on a backend. All methods are `&self` and thread-safe:
 /// CRFS's IO workers call [`write_at`](BackendFile::write_at) concurrently
 /// from multiple threads.
@@ -83,6 +98,31 @@ pub trait BackendFile: Send + Sync {
     /// Writes all of `data` at byte `offset`, extending the file (with a
     /// zero hole) if the offset is past the end.
     fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()>;
+
+    /// Begins an asynchronous write of all of `data` at `offset`.
+    ///
+    /// Returns `Ok(true)` if the backend accepted the operation: it has
+    /// consumed (copied or durably queued) `data` — the slice is only
+    /// valid for the duration of this call — and will invoke
+    /// `sink.complete(token, result)` exactly once, possibly before this
+    /// call returns. Returns `Ok(false)` if the backend has no
+    /// asynchronous path (the default): the caller falls back to the
+    /// blocking [`write_at`](BackendFile::write_at) and no completion is
+    /// delivered. `Err` is a submission-time failure: nothing was
+    /// written and no completion will be delivered.
+    ///
+    /// The default shim keeps every existing backend (Discard / Mem /
+    /// Throttled / Faulty / Passthrough) working unchanged.
+    fn begin_write_at(
+        &self,
+        token: u64,
+        offset: u64,
+        data: &[u8],
+        sink: &Arc<dyn CompletionSink>,
+    ) -> io::Result<bool> {
+        let _ = (token, offset, data, sink);
+        Ok(false)
+    }
 
     /// Reads up to `buf.len()` bytes from `offset`; returns the number of
     /// bytes read (0 at end-of-file).

@@ -19,17 +19,23 @@ pub enum EngineKind {
     /// Synchronous dispatch on the writer's thread; deterministic, for
     /// tests and baselines.
     Inline,
+    /// Submission/completion rings over a slab of in-flight descriptors:
+    /// in-flight ops scale with `ring_depth` instead of `io_threads`,
+    /// and backends with an asynchronous path (`begin_write_at`) overlap
+    /// many writes per issue thread.
+    Ring,
 }
 
 impl EngineKind {
-    /// Parses an engine name (`threaded`, `coalescing`, `inline`) as
-    /// used by CLI flags and the examples' `CRFS_ENGINE` environment
-    /// selector.
+    /// Parses an engine name (`threaded`, `coalescing`, `inline`,
+    /// `ring`) as used by CLI flags and the examples' `CRFS_ENGINE`
+    /// environment selector.
     pub fn parse(name: &str) -> Option<EngineKind> {
         match name.trim().to_ascii_lowercase().as_str() {
             "threaded" => Some(EngineKind::Threaded),
             "coalescing" => Some(EngineKind::Coalescing),
             "inline" => Some(EngineKind::Inline),
+            "ring" => Some(EngineKind::Ring),
             _ => None,
         }
     }
@@ -118,6 +124,21 @@ pub struct CrfsConfig {
     /// How many idle checkpoint epochs a dedup-index entry survives
     /// before eviction (see [`crate::Crfs::advance_epoch`]).
     pub dedup_keep_epochs: usize,
+    /// In-flight descriptor slab size for [`EngineKind::Ring`]: the
+    /// maximum ops (write chunks + prefetch reads) the ring engine keeps
+    /// in flight at once. The effective bound is
+    /// `min(ring_depth, pool_chunks)` — a chunk in flight holds a pool
+    /// buffer. Ignored by the other engines.
+    pub ring_depth: usize,
+    /// Completion-reaper threads for [`EngineKind::Ring`]: a small pool
+    /// draining the completion ring and retiring descriptors in batches.
+    /// Ignored by the other engines.
+    pub reapers: usize,
+    /// Alignment [`crate::backend::LocalFileBackend`] uses for its
+    /// O_DIRECT-style write path (offset and length must be multiples of
+    /// this to take the direct path). Must be a power of two; 4096
+    /// matches the Linux page/sector constraint.
+    pub write_align: usize,
 }
 
 impl Default for CrfsConfig {
@@ -140,6 +161,9 @@ impl Default for CrfsConfig {
             codec: CodecKind::None,
             dedup: false,
             dedup_keep_epochs: 2,
+            ring_depth: 64,
+            reapers: 1,
+            write_align: 4096,
         }
     }
 }
@@ -230,6 +254,26 @@ impl CrfsConfig {
     /// Convenience builder: sets the dedup-index epoch retention.
     pub fn with_dedup_keep_epochs(mut self, epochs: usize) -> Self {
         self.dedup_keep_epochs = epochs;
+        self
+    }
+
+    /// Convenience builder: sets the ring engine's in-flight descriptor
+    /// slab size.
+    pub fn with_ring_depth(mut self, depth: usize) -> Self {
+        self.ring_depth = depth;
+        self
+    }
+
+    /// Convenience builder: sets the ring engine's completion-reaper
+    /// thread count.
+    pub fn with_reapers(mut self, n: usize) -> Self {
+        self.reapers = n;
+        self
+    }
+
+    /// Convenience builder: sets the direct-write alignment.
+    pub fn with_write_align(mut self, align: usize) -> Self {
+        self.write_align = align;
         self
     }
 
@@ -349,6 +393,20 @@ impl CrfsConfig {
                 "dedup_keep_epochs must be at least 1".into(),
             ));
         }
+        if self.ring_depth < 2 {
+            return Err(CrfsError::Config(
+                "ring_depth must be at least 2 to pipeline".into(),
+            ));
+        }
+        if self.reapers == 0 {
+            return Err(CrfsError::Config("reapers must be at least 1".into()));
+        }
+        if !self.write_align.is_power_of_two() {
+            return Err(CrfsError::Config(format!(
+                "write_align must be a power of two (got {})",
+                self.write_align
+            )));
+        }
         Ok(())
     }
 }
@@ -377,10 +435,28 @@ mod tests {
             EngineKind::parse("coalescing"),
             Some(EngineKind::Coalescing)
         );
+        assert_eq!(EngineKind::parse("ring"), Some(EngineKind::Ring));
         assert_eq!(EngineKind::parse("fancy"), None);
         let c = CrfsConfig::default().with_engine(EngineKind::Coalescing);
         assert_eq!(c.engine, EngineKind::Coalescing);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn ring_knobs_default_and_validate() {
+        let c = CrfsConfig::default();
+        assert_eq!(c.ring_depth, 64);
+        assert_eq!(c.reapers, 1);
+        assert_eq!(c.write_align, 4096);
+        let c = c
+            .with_engine(EngineKind::Ring)
+            .with_ring_depth(16)
+            .with_reapers(2)
+            .with_write_align(512);
+        c.validate().unwrap();
+        assert!(c.clone().with_ring_depth(1).validate().is_err());
+        assert!(c.clone().with_reapers(0).validate().is_err());
+        assert!(c.with_write_align(3000).validate().is_err());
     }
 
     #[test]

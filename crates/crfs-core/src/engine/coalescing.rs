@@ -237,27 +237,27 @@ fn dispatch(stats: &CrfsStats, pool: &BufferPool, write: CoalescedWrite) {
     if res.is_ok() {
         stats.bytes_out.fetch_add(stored_bytes, Relaxed);
     }
-    // Fan completion out to every absorbed chunk: the ledger counts
-    // chunks, not backend ops.
+    // Fan completion out to every absorbed chunk — the ledger counts
+    // chunks, not backend ops — through the shared retire path (one
+    // batch recycle, release-before-complete).
     let err = res.err().map(|e| StoredError::capture(&e));
-    let segments = write.segments.len();
-    stats.chunks_completed.fetch_add(segments as u64, Relaxed);
-    // Batch-recycle all segment buffers (one waiter wakeup) before
-    // completing, so a passed barrier implies the buffers are back —
-    // the same ordering and amortization as `write_and_retire_batch`.
-    pool.release_many(write.segments.into_iter().map(|seg| seg.buf));
-    for _ in 0..segments {
+    let mut bufs = Vec::with_capacity(write.segments.len());
+    let mut completions = Vec::with_capacity(write.segments.len());
+    for seg in write.segments {
+        bufs.push(seg.buf);
         let seg_res = match &err {
             Some(e) => Err(e.to_io()),
             None => Ok(()),
         };
-        write.entry.note_completed(seg_res);
+        completions.push((Arc::clone(&write.entry), seg_res));
     }
+    super::retire_batch(stats, pool, bufs, completions);
 }
 
 impl IoEngine for CoalescingEngine {
     fn submit(&self, chunk: SealedChunk) -> Result<()> {
         self.stats.engine_submits.fetch_add(1, Relaxed);
+        self.stats.note_inflight(1);
         let pushed = self
             .workers
             .push_or_merge(Task::Write(CoalescedWrite::of(chunk)), merge_tasks);
@@ -280,6 +280,7 @@ impl IoEngine for CoalescingEngine {
             return Ok(());
         }
         self.stats.engine_submits.fetch_add(1, Relaxed);
+        self.stats.note_inflight(chunks.len() as u64);
         // Pre-merge within the batch without any lock: a large write's
         // chunks are contiguous by construction, so a K-chunk batch
         // usually collapses to a single pending write before the queue
@@ -314,6 +315,7 @@ impl IoEngine for CoalescingEngine {
         if reads.is_empty() {
             return Ok(());
         }
+        self.stats.note_inflight(reads.len() as u64);
         let tasks = reads.into_iter().map(Task::Read).collect();
         match self.workers.push_batch(tasks) {
             Ok(()) => Ok(()),

@@ -68,6 +68,7 @@ impl InlineEngine {
 impl IoEngine for InlineEngine {
     fn submit(&self, chunk: SealedChunk) -> Result<()> {
         self.stats.engine_submits.fetch_add(1, Relaxed);
+        self.stats.note_inflight(1);
         if !self.enter(1) {
             return Err(super::refuse(&self.stats, &self.pool, chunk));
         }
@@ -81,6 +82,7 @@ impl IoEngine for InlineEngine {
             return Ok(());
         }
         self.stats.engine_submits.fetch_add(1, Relaxed);
+        self.stats.note_inflight(chunks.len() as u64);
         let n = chunks.len();
         if !self.enter(n) {
             return Err(refuse_batch(&self.stats, &self.pool, chunks));
@@ -96,6 +98,7 @@ impl IoEngine for InlineEngine {
         if reads.is_empty() {
             return Ok(());
         }
+        self.stats.note_inflight(reads.len() as u64);
         let n = reads.len();
         if !self.enter(n) {
             return Err(refuse_reads(&self.stats, &self.pool, reads));

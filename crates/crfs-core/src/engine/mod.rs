@@ -24,10 +24,12 @@ pub mod account;
 mod coalescing;
 mod inline;
 mod queue;
+mod ring;
 mod threaded;
 
 pub use coalescing::CoalescingEngine;
 pub use inline::InlineEngine;
+pub use ring::RingEngine;
 pub use threaded::ThreadedEngine;
 
 use std::io;
@@ -150,6 +152,13 @@ pub fn build(
             stats,
         )?),
         EngineKind::Inline => Arc::new(InlineEngine::new(pool, stats)),
+        EngineKind::Ring => Arc::new(RingEngine::new(
+            config.io_threads,
+            config.ring_depth,
+            config.reapers,
+            pool,
+            stats,
+        )?),
     })
 }
 
@@ -209,11 +218,42 @@ fn write_and_retire(stats: &CrfsStats, pool: &BufferPool, chunk: SealedChunk) {
         stats.bytes_out.fetch_add(stored, Relaxed);
     }
     stats.chunks_completed.fetch_add(1, Relaxed);
+    stats.completion_reaps.fetch_add(1, Relaxed);
+    stats.completion_reaped.fetch_add(1, Relaxed);
+    stats.note_retired(1);
     // Recycle before completing: a passed close/fsync barrier then
     // implies the file's buffers are back in the pool (the occupancy
     // gauge reads exact at quiescence).
     pool.release(chunk.buf);
     chunk.entry.note_completed(res);
+}
+
+/// Retires one batch of already-issued writes: completion + reap
+/// accounting, batch buffer recycling (one waiter wake), then ledger
+/// completion — the release-before-complete ordering every engine must
+/// preserve, paid once per batch. The single shared retire loop: the
+/// threaded workers, the coalescing dispatcher, and the ring reaper all
+/// end here. Backend-op stats (`backend_writes`, `bytes_out`,
+/// `backend_write_ns`) are the issuer's job — they are engine-shaped —
+/// so they are counted before this call.
+fn retire_batch(
+    stats: &CrfsStats,
+    pool: &BufferPool,
+    bufs: Vec<Vec<u8>>,
+    completions: Vec<(Arc<FileEntry>, io::Result<()>)>,
+) {
+    if completions.is_empty() {
+        return;
+    }
+    let n = completions.len() as u64;
+    stats.chunks_completed.fetch_add(n, Relaxed);
+    stats.completion_reaps.fetch_add(1, Relaxed);
+    stats.completion_reaped.fetch_add(n, Relaxed);
+    stats.note_retired(n);
+    pool.release_many(bufs);
+    for (entry, res) in completions {
+        entry.note_completed(res);
+    }
 }
 
 /// [`write_and_retire`] over a whole drained batch: one backend write
@@ -238,13 +278,23 @@ fn write_and_retire_batch(stats: &CrfsStats, pool: &BufferPool, chunks: Vec<Seal
     }
     stats.backend_writes.fetch_add(n, Relaxed);
     stats.bytes_out.fetch_add(ok_bytes, Relaxed);
-    stats.chunks_completed.fetch_add(n, Relaxed);
-    // Batch-recycle (one waiter wake), then complete — same
-    // release-before-complete ordering as the single-chunk path.
-    pool.release_many(bufs);
-    for (entry, res) in completions {
-        entry.note_completed(res);
+    retire_batch(stats, pool, bufs, completions);
+}
+
+/// Drains one mixed worker batch: prefetch reads install inline (each
+/// fills its own cache slot, so there is nothing to batch), writes
+/// dispatch and retire together. Shared by the threaded engine's
+/// batched workers; the ring engine's issue/reap split runs the same
+/// demux one op at a time.
+fn run_item_batch(stats: &CrfsStats, pool: &BufferPool, batch: Vec<IoItem>) {
+    let mut writes = Vec::with_capacity(batch.len());
+    for item in batch {
+        match item {
+            IoItem::Write(chunk) => writes.push(chunk),
+            IoItem::Read(chunk) => read_and_install(stats, pool, chunk),
+        }
     }
+    write_and_retire_batch(stats, pool, writes);
 }
 
 /// Executes one prefetch read and retires it against the entry's read
@@ -265,6 +315,7 @@ fn read_and_install(stats: &CrfsStats, pool: &BufferPool, mut chunk: ReadChunk) 
     let res = chunk
         .entry
         .read_backend(chunk.offset, &mut chunk.buf[..chunk.len]);
+    stats.note_retired(1);
     match res {
         Ok(n) => rs.install(chunk.idx, chunk.gen, chunk.buf, n, pool, stats),
         // Prefetch failures are soft: the reader falls back to a direct
@@ -287,6 +338,7 @@ fn refuse_reads(
             .read_state
             .as_ref()
             .expect("prefetch read on a file without read state");
+        stats.note_retired(1);
         rs.abort(chunk.idx, chunk.gen, chunk.buf, pool, stats);
     }
     CrfsError::Unmounted
@@ -298,6 +350,7 @@ fn refuse_reads(
 /// the backend, so it must not skew the op-savings accounting.
 fn refuse(stats: &CrfsStats, pool: &BufferPool, chunk: SealedChunk) -> CrfsError {
     stats.chunks_refused.fetch_add(1, Relaxed);
+    stats.note_retired(1);
     pool.release(chunk.buf);
     chunk.entry.note_completed(Err(io::Error::new(
         io::ErrorKind::NotConnected,
@@ -358,19 +411,22 @@ mod tests {
         }
     }
 
+    const ENGINE_COUNT: usize = 4;
+
     fn engine(which: usize, pool: &Arc<BufferPool>, stats: &Arc<CrfsStats>) -> Arc<dyn IoEngine> {
         match which {
             0 => Arc::new(ThreadedEngine::new(2, 4, Arc::clone(pool), Arc::clone(stats)).unwrap()),
             1 => {
                 Arc::new(CoalescingEngine::new(2, 4, Arc::clone(pool), Arc::clone(stats)).unwrap())
             }
-            _ => Arc::new(InlineEngine::new(Arc::clone(pool), Arc::clone(stats))),
+            2 => Arc::new(InlineEngine::new(Arc::clone(pool), Arc::clone(stats))),
+            _ => Arc::new(RingEngine::new(2, 8, 1, Arc::clone(pool), Arc::clone(stats)).unwrap()),
         }
     }
 
     #[test]
     fn every_engine_lands_bytes_and_completes() {
-        for which in 0..3 {
+        for which in 0..ENGINE_COUNT {
             let (pool, stats, entry, be) = fixture(4);
             let engine = engine(which, &pool, &stats);
             engine
@@ -393,7 +449,7 @@ mod tests {
 
     #[test]
     fn every_engine_accepts_batches_and_counts_submits() {
-        for which in 0..3 {
+        for which in 0..ENGINE_COUNT {
             let (pool, stats, entry, be) = fixture(4);
             let engine = engine(which, &pool, &stats);
             let batch = vec![
@@ -426,7 +482,7 @@ mod tests {
 
     #[test]
     fn batch_refused_after_shutdown_fails_every_chunk() {
-        for which in 0..3 {
+        for which in 0..ENGINE_COUNT {
             let (pool, stats, entry, _be) = fixture(4);
             let engine = engine(which, &pool, &stats);
             engine.shutdown();
@@ -447,7 +503,7 @@ mod tests {
 
     #[test]
     fn submit_after_shutdown_fails_chunk_not_barrier() {
-        for which in 0..3 {
+        for which in 0..ENGINE_COUNT {
             let (pool, stats, entry, _be) = fixture(4);
             let engine = engine(which, &pool, &stats);
             engine.shutdown();
@@ -468,7 +524,7 @@ mod tests {
 
     #[test]
     fn shutdown_is_idempotent_and_concurrent_safe() {
-        for which in 0..3 {
+        for which in 0..ENGINE_COUNT {
             let (pool, stats, entry, be) = fixture(4);
             let engine = engine(which, &pool, &stats);
             engine

@@ -1,0 +1,835 @@
+//! Ring engine: submission/completion rings over an in-flight
+//! descriptor slab.
+//!
+//! The threaded engines cap in-flight IO at `io_threads` — each op owns
+//! a blocked worker thread from dispatch to completion. This engine
+//! decouples the two the way io_uring-style interfaces do: per-op state
+//! lives in a slab of `ring_depth` descriptors, submitters post
+//! descriptor indices onto a lock-free **submission ring**, a pool of
+//! `io_threads` issue workers starts the backend ops, and a small
+//! reaper pool drains a **completion ring**, retiring descriptors in
+//! batches through the shared retire path. On a backend with an
+//! asynchronous write path ([`BackendFile::begin_write_at`]) an issue
+//! worker starts an op and immediately moves to the next — in-flight
+//! ops scale with `ring_depth`, far past the thread count. Synchronous
+//! backends transparently fall back to blocking dispatch inside the
+//! issue worker (the shim adapter: `begin_write_at` returns
+//! `Ok(false)`), degrading to threaded-engine behavior, never breaking.
+//!
+//! ## Descriptor lifecycle
+//!
+//! ```text
+//! Free ──submit──▶ Queued ──issue──▶ Issuing ──┬─(sync / refused)──▶ Done
+//!                                              └─(async accepted)─▶ InFlight
+//! InFlight ──sink.complete──▶ Done ──reap──▶ Free
+//! ```
+//!
+//! The issuer calls `begin_write_at` *without* holding the slot lock
+//! (the backend may complete inline, re-entering the slot). Whoever
+//! finishes second — issuer observing `CompletedEarly`, or sink
+//! observing `InFlight` — publishes `Done` and pushes the completion;
+//! the handshake makes inline completions (and `FaultyBackend`'s
+//! completion-time failures) safe without recursion or deadlock.
+//!
+//! ## Backpressure and shutdown
+//!
+//! A full slab (no free descriptor) parks the submitter on a timed
+//! condvar until a reap frees a slot — the same park-and-recheck idiom
+//! as the buffer pool's empty slow path. Batch acceptance is
+//! *incremental*: each chunk of a `submit_batch` acquires, fills and
+//! posts its own descriptor, so a batch larger than the slab streams
+//! through it instead of deadlocking on slots its own head holds. The
+//! one observable relaxation vs the queue engines: a shutdown racing
+//! mid-batch refuses only the not-yet-posted suffix (every chunk still
+//! completes exactly once, and the caller still sees one `Unmounted`).
+//!
+//! Ordering vs the seal/complete ledger is unchanged: completions may
+//! arrive in any order, but every accepted op calls `note_completed`
+//! exactly once after its buffer is back in the pool, so close/fsync
+//! barriers and `pool_free == pool_total` at quiescence hold exactly as
+//! on the other engines.
+
+use parking_lot::{Condvar, Mutex};
+use std::io;
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use super::{
+    dispatch_chunk, read_and_install, refuse, refuse_batch, refuse_reads, retire_batch, IoEngine,
+    IoItem, ReadChunk, SealedChunk,
+};
+use crate::backend::CompletionSink;
+use crate::error::{CrfsError, Result};
+use crate::pool::BufferPool;
+use crate::stats::CrfsStats;
+
+/// Park-and-recheck period for every waiting position (submitters on a
+/// full slab, issuers/reapers on empty rings, drain on quiescence):
+/// bounds a theoretical missed wakeup at 1ms without polling overhead.
+const EMPTY_RECHECK: Duration = Duration::from_millis(1);
+
+/// Most descriptors a reaper retires per pass — bounds the latency of
+/// one reap batch while still amortizing the pool wakeup.
+const REAP_BATCH: usize = 64;
+
+/// Pads a hot atomic to its own cache line (see `pool.rs`).
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// One slot of a [`SlotRing`]: a Vyukov sequence gating a descriptor
+/// index. The value is a plain `usize`, so no `UnsafeCell` is needed —
+/// publication is still ordered by the `seq` Release/Acquire pair.
+struct IdxSlot {
+    seq: AtomicUsize,
+    val: AtomicUsize,
+}
+
+/// A bounded lock-free MPMC ring of descriptor indices — the same
+/// sequence-tagged design as the buffer pool's free-list shards.
+/// Capacity is 2x the slab, so a push can only fail transiently (a
+/// concurrent pop between its head-CAS and seq store); `push_spin`
+/// rides that out.
+struct SlotRing {
+    mask: usize,
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+    slots: Box<[IdxSlot]>,
+}
+
+impl SlotRing {
+    fn new(capacity: usize) -> SlotRing {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| IdxSlot {
+                seq: AtomicUsize::new(i),
+                val: AtomicUsize::new(0),
+            })
+            .collect();
+        SlotRing {
+            mask: cap - 1,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+            slots,
+        }
+    }
+
+    fn push(&self, v: usize) -> std::result::Result<(), usize> {
+        let mut pos = self.tail.0.load(Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(std::sync::atomic::Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self
+                    .tail
+                    .0
+                    .compare_exchange_weak(pos, pos.wrapping_add(1), Relaxed, Relaxed)
+                {
+                    Ok(_) => {
+                        slot.val.store(v, Relaxed);
+                        slot.seq
+                            .store(pos.wrapping_add(1), std::sync::atomic::Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                return Err(v);
+            } else {
+                pos = self.tail.0.load(Relaxed);
+            }
+        }
+    }
+
+    fn push_spin(&self, v: usize) {
+        let mut v = v;
+        loop {
+            match self.push(v) {
+                Ok(()) => return,
+                Err(b) => {
+                    v = b;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<usize> {
+        let mut pos = self.head.0.load(Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(std::sync::atomic::Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                match self
+                    .head
+                    .0
+                    .compare_exchange_weak(pos, pos.wrapping_add(1), Relaxed, Relaxed)
+                {
+                    Ok(_) => {
+                        let v = slot.val.load(Relaxed);
+                        slot.seq.store(
+                            pos.wrapping_add(self.mask).wrapping_add(1),
+                            std::sync::atomic::Ordering::Release,
+                        );
+                        return Some(v);
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.head.0.load(Relaxed);
+            }
+        }
+    }
+}
+
+/// Per-descriptor state. The `Issuing`/`CompletedEarly` pair implements
+/// the who-finishes-second-publishes handshake for inline completions.
+enum DescState {
+    /// Available for a submitter.
+    Free,
+    /// Filled by a submitter, waiting on the submission ring.
+    Queued(IoItem),
+    /// An issue worker took the op and is calling into the backend.
+    Issuing,
+    /// The backend completed inline, before the issuer re-locked the
+    /// slot; the issuer publishes `Done`.
+    CompletedEarly(io::Result<()>),
+    /// Asynchronous write accepted by the backend; the sink publishes
+    /// `Done` when the completion lands.
+    InFlight { chunk: SealedChunk, stored: u64 },
+    /// Completed, waiting on the completion ring for a reaper.
+    Done {
+        chunk: SealedChunk,
+        res: io::Result<()>,
+        stored: u64,
+    },
+}
+
+struct RingInner {
+    slots: Box<[Mutex<DescState>]>,
+    /// Free descriptor indices (submitters pop).
+    free: SlotRing,
+    /// Queued descriptor indices (issue workers pop).
+    subq: SlotRing,
+    /// Done descriptor indices (reapers pop).
+    compq: SlotRing,
+    pool: Arc<BufferPool>,
+    stats: Arc<CrfsStats>,
+    /// Descriptors between submit-accept and slot-free; the drain and
+    /// shutdown quiescence condition. SeqCst pairs the submit-side
+    /// increment-then-check-closed with the shutdown-side
+    /// store-closed-then-drain (a store-buffer race either refuses the
+    /// submit or makes the drain wait for it — never neither).
+    inflight: AtomicUsize,
+    /// Refuses new submissions (set first by shutdown).
+    closed: AtomicBool,
+    /// Tells issue/reap workers to exit once their ring is empty (set
+    /// by shutdown only after the slab drained).
+    stopping: AtomicBool,
+    submit_gate: Mutex<()>,
+    submit_cv: Condvar,
+    issue_gate: Mutex<()>,
+    issue_cv: Condvar,
+    reap_gate: Mutex<()>,
+    reap_cv: Condvar,
+    quiet_gate: Mutex<()>,
+    quiet_cv: Condvar,
+}
+
+impl RingInner {
+    /// Serialized notify (see pool.rs): lock-drop the gate so a parked
+    /// waiter between its recheck and its wait cannot miss the signal.
+    fn wake(gate: &Mutex<()>, cv: &Condvar, all: bool) {
+        drop(gate.lock());
+        if all {
+            cv.notify_all();
+        } else {
+            cv.notify_one();
+        }
+    }
+
+    /// Decrements the in-flight descriptor count, waking quiescence
+    /// waiters at zero.
+    fn retire_inflight(&self, n: usize) {
+        if self.inflight.fetch_sub(n, SeqCst) == n {
+            Self::wake(&self.quiet_gate, &self.quiet_cv, true);
+        }
+    }
+
+    /// Acquires a free descriptor, fills it with `item` and posts it on
+    /// the submission ring. Returns the item if the engine closed
+    /// (including while parked on a full slab).
+    fn submit_one(&self, item: IoItem) -> std::result::Result<(), IoItem> {
+        // Reserve before the closed check: shutdown stores `closed`
+        // (SeqCst) and then reads `inflight` (SeqCst) in its drain, so
+        // either we see closed here and back out, or the drain sees our
+        // reservation and waits for this op.
+        self.inflight.fetch_add(1, SeqCst);
+        if self.closed.load(SeqCst) {
+            self.retire_inflight(1);
+            return Err(item);
+        }
+        let idx = loop {
+            if let Some(idx) = self.free.pop() {
+                break idx;
+            }
+            if self.closed.load(SeqCst) {
+                self.retire_inflight(1);
+                return Err(item);
+            }
+            // Full slab: park until a reap frees a descriptor.
+            let mut g = self.submit_gate.lock();
+            let _ = self.submit_cv.wait_for(&mut g, EMPTY_RECHECK);
+        };
+        *self.slots[idx].lock() = DescState::Queued(item);
+        self.subq.push_spin(idx);
+        Self::wake(&self.issue_gate, &self.issue_cv, false);
+        Ok(())
+    }
+
+    /// Publishes a finished op on the completion ring and wakes a
+    /// reaper.
+    fn push_completion(&self, idx: usize) {
+        self.compq.push_spin(idx);
+        Self::wake(&self.reap_gate, &self.reap_cv, false);
+    }
+
+    /// Frees a descriptor that bypassed the completion ring (prefetch
+    /// reads retire inline at issue).
+    fn release_slot(&self, idx: usize) {
+        *self.slots[idx].lock() = DescState::Free;
+        self.free.push_spin(idx);
+        Self::wake(&self.submit_gate, &self.submit_cv, false);
+        self.retire_inflight(1);
+    }
+
+    /// Issues one queued op. Raw writes try the backend's asynchronous
+    /// path first; transformed writes and the synchronous fallback run
+    /// `dispatch_chunk` in this worker (threaded-engine behavior).
+    fn issue_one(self: &Arc<Self>, idx: usize, sink: &Arc<dyn CompletionSink>) {
+        let item = {
+            let mut slot = self.slots[idx].lock();
+            match std::mem::replace(&mut *slot, DescState::Issuing) {
+                DescState::Queued(item) => item,
+                other => {
+                    *slot = other;
+                    return;
+                }
+            }
+        };
+        match item {
+            IoItem::Read(chunk) => {
+                read_and_install(&self.stats, &self.pool, chunk);
+                self.release_slot(idx);
+            }
+            IoItem::Write(chunk) => {
+                // One backend op per chunk on either path (the ring
+                // never coalesces), counted at issue like the other
+                // engines count at dispatch.
+                self.stats.backend_writes.fetch_add(1, Relaxed);
+                let chunk = if chunk.entry.transform.is_none() {
+                    match self.try_begin_async(idx, chunk, sink) {
+                        None => return, // async path owns the op now
+                        Some(chunk) => chunk,
+                    }
+                } else {
+                    chunk
+                };
+                let (res, stored) = dispatch_chunk(&self.stats, &chunk);
+                self.finish_issuing(idx, chunk, res, stored);
+            }
+        }
+    }
+
+    /// Attempts `begin_write_at`; returns the chunk back if the backend
+    /// has no asynchronous path (`Ok(false)`).
+    fn try_begin_async(
+        &self,
+        idx: usize,
+        chunk: SealedChunk,
+        sink: &Arc<dyn CompletionSink>,
+    ) -> Option<SealedChunk> {
+        let stored = chunk.len as u64;
+        let t0 = Instant::now();
+        let began = chunk.entry.file.begin_write_at(
+            idx as u64,
+            chunk.offset,
+            &chunk.buf[..chunk.len],
+            sink,
+        );
+        match began {
+            Ok(true) => {
+                self.stats
+                    .backend_write_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                // Accepted. Publish InFlight — unless the completion
+                // already landed inline, in which case we finish.
+                let mut slot = self.slots[idx].lock();
+                match std::mem::replace(&mut *slot, DescState::Issuing) {
+                    DescState::Issuing => {
+                        *slot = DescState::InFlight { chunk, stored };
+                    }
+                    DescState::CompletedEarly(res) => {
+                        *slot = DescState::Done { chunk, res, stored };
+                        drop(slot);
+                        self.push_completion(idx);
+                    }
+                    _ => unreachable!("issuing slot changed to a foreign state"),
+                }
+                None
+            }
+            Ok(false) => Some(chunk),
+            Err(e) => {
+                self.stats
+                    .backend_write_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                // Submission-time failure: complete the op ourselves.
+                self.finish_issuing(idx, chunk, Err(e), stored);
+                None
+            }
+        }
+    }
+
+    /// Publishes the result of a synchronously finished write.
+    fn finish_issuing(&self, idx: usize, chunk: SealedChunk, res: io::Result<()>, stored: u64) {
+        {
+            let mut slot = self.slots[idx].lock();
+            debug_assert!(matches!(*slot, DescState::Issuing));
+            *slot = DescState::Done { chunk, res, stored };
+        }
+        self.push_completion(idx);
+    }
+
+    /// Retires up to [`REAP_BATCH`] completed descriptors through the
+    /// shared retire path, then recycles the descriptors.
+    fn reap(&self, idxs: Vec<usize>) {
+        let mut bufs = Vec::with_capacity(idxs.len());
+        let mut completions = Vec::with_capacity(idxs.len());
+        let mut ok_bytes = 0u64;
+        for &idx in &idxs {
+            let state = std::mem::replace(&mut *self.slots[idx].lock(), DescState::Free);
+            match state {
+                DescState::Done { chunk, res, stored } => {
+                    if res.is_ok() {
+                        ok_bytes += stored;
+                    }
+                    bufs.push(chunk.buf);
+                    completions.push((chunk.entry, res));
+                }
+                _ => unreachable!("completion ring carried a non-Done descriptor"),
+            }
+        }
+        self.stats.bytes_out.fetch_add(ok_bytes, Relaxed);
+        // Buffers back, then note_completed — the shared ordering.
+        retire_batch(&self.stats, &self.pool, bufs, completions);
+        let n = idxs.len();
+        for idx in idxs {
+            self.free.push_spin(idx);
+        }
+        Self::wake(&self.submit_gate, &self.submit_cv, true);
+        self.retire_inflight(n);
+    }
+
+    fn issue_loop(self: Arc<Self>, sink: Arc<dyn CompletionSink>) {
+        loop {
+            if let Some(idx) = self.subq.pop() {
+                self.issue_one(idx, &sink);
+                continue;
+            }
+            if self.stopping.load(SeqCst) {
+                return;
+            }
+            let mut g = self.issue_gate.lock();
+            let _ = self.issue_cv.wait_for(&mut g, EMPTY_RECHECK);
+        }
+    }
+
+    fn reap_loop(self: Arc<Self>) {
+        loop {
+            let mut idxs = Vec::new();
+            while idxs.len() < REAP_BATCH {
+                match self.compq.pop() {
+                    Some(idx) => idxs.push(idx),
+                    None => break,
+                }
+            }
+            if !idxs.is_empty() {
+                self.reap(idxs);
+                continue;
+            }
+            if self.stopping.load(SeqCst) {
+                return;
+            }
+            let mut g = self.reap_gate.lock();
+            let _ = self.reap_cv.wait_for(&mut g, EMPTY_RECHECK);
+        }
+    }
+}
+
+impl CompletionSink for RingInner {
+    fn complete(&self, token: u64, result: io::Result<()>) {
+        let idx = token as usize;
+        let mut slot = self.slots[idx].lock();
+        match std::mem::replace(&mut *slot, DescState::Issuing) {
+            DescState::InFlight { chunk, stored } => {
+                *slot = DescState::Done {
+                    chunk,
+                    res: result,
+                    stored,
+                };
+                drop(slot);
+                self.push_completion(idx);
+            }
+            DescState::Issuing => {
+                // Inline completion: the issuer is still between its
+                // begin_write_at call and its re-lock; leave the result
+                // for it to publish.
+                *slot = DescState::CompletedEarly(result);
+            }
+            other => {
+                *slot = other;
+                debug_assert!(false, "completion for an idle descriptor");
+            }
+        }
+    }
+}
+
+/// The ring engine. See the module docs for the architecture.
+pub struct RingEngine {
+    inner: Arc<RingInner>,
+    pool: Arc<BufferPool>,
+    stats: Arc<CrfsStats>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RingEngine {
+    /// Spawns `io_threads` issue workers and `reapers` completion
+    /// reapers over a slab of `ring_depth` descriptors.
+    pub fn new(
+        io_threads: usize,
+        ring_depth: usize,
+        reapers: usize,
+        pool: Arc<BufferPool>,
+        stats: Arc<CrfsStats>,
+    ) -> Result<RingEngine> {
+        let depth = ring_depth.max(2);
+        let slots = (0..depth).map(|_| Mutex::new(DescState::Free)).collect();
+        let inner = Arc::new(RingInner {
+            slots,
+            free: SlotRing::new(depth * 2),
+            subq: SlotRing::new(depth * 2),
+            compq: SlotRing::new(depth * 2),
+            pool: Arc::clone(&pool),
+            stats: Arc::clone(&stats),
+            inflight: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            submit_gate: Mutex::new(()),
+            submit_cv: Condvar::new(),
+            issue_gate: Mutex::new(()),
+            issue_cv: Condvar::new(),
+            reap_gate: Mutex::new(()),
+            reap_cv: Condvar::new(),
+            quiet_gate: Mutex::new(()),
+            quiet_cv: Condvar::new(),
+        });
+        for idx in 0..depth {
+            inner.free.push_spin(idx);
+        }
+        let sink: Arc<dyn CompletionSink> = Arc::clone(&inner) as Arc<dyn CompletionSink>;
+        let mut handles = Vec::with_capacity(io_threads.max(1) + reapers.max(1));
+        for i in 0..io_threads.max(1) {
+            let inner = Arc::clone(&inner);
+            let sink = Arc::clone(&sink);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("crfs-ring-io-{i}"))
+                    .spawn(move || inner.issue_loop(sink))
+                    .map_err(CrfsError::Io)?,
+            );
+        }
+        for i in 0..reapers.max(1) {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("crfs-ring-reap-{i}"))
+                    .spawn(move || inner.reap_loop())
+                    .map_err(CrfsError::Io)?,
+            );
+        }
+        Ok(RingEngine {
+            inner,
+            pool,
+            stats,
+            handles: Mutex::new(handles),
+        })
+    }
+}
+
+impl IoEngine for RingEngine {
+    fn submit(&self, chunk: SealedChunk) -> Result<()> {
+        self.stats.engine_submits.fetch_add(1, Relaxed);
+        self.stats.note_inflight(1);
+        match self.inner.submit_one(IoItem::Write(chunk)) {
+            Ok(()) => Ok(()),
+            Err(IoItem::Write(chunk)) => Err(refuse(&self.stats, &self.pool, chunk)),
+            Err(IoItem::Read(_)) => unreachable!("posted a write"),
+        }
+    }
+
+    fn submit_batch(&self, chunks: Vec<SealedChunk>) -> Result<()> {
+        if chunks.is_empty() {
+            return Ok(());
+        }
+        self.stats.engine_submits.fetch_add(1, Relaxed);
+        self.stats.note_inflight(chunks.len() as u64);
+        let mut it = chunks.into_iter();
+        for chunk in it.by_ref() {
+            if let Err(item) = self.inner.submit_one(IoItem::Write(chunk)) {
+                // Shutdown race mid-batch: the already-posted prefix
+                // completes normally; this chunk and the suffix are
+                // refused (every chunk still completes exactly once).
+                let chunk = match item {
+                    IoItem::Write(chunk) => chunk,
+                    IoItem::Read(_) => unreachable!("posted writes"),
+                };
+                refuse(&self.stats, &self.pool, chunk);
+                return Err(refuse_batch(&self.stats, &self.pool, it));
+            }
+        }
+        Ok(())
+    }
+
+    fn submit_reads(&self, reads: Vec<ReadChunk>) -> Result<()> {
+        if reads.is_empty() {
+            return Ok(());
+        }
+        self.stats.note_inflight(reads.len() as u64);
+        let mut it = reads.into_iter();
+        for chunk in it.by_ref() {
+            if let Err(item) = self.inner.submit_one(IoItem::Read(chunk)) {
+                let chunk = match item {
+                    IoItem::Read(chunk) => chunk,
+                    IoItem::Write(_) => unreachable!("posted reads"),
+                };
+                refuse_reads(&self.stats, &self.pool, std::iter::once(chunk));
+                return Err(refuse_reads(&self.stats, &self.pool, it));
+            }
+        }
+        Ok(())
+    }
+
+    fn drain(&self) {
+        let mut g = self.inner.quiet_gate.lock();
+        while self.inner.inflight.load(SeqCst) != 0 {
+            let _ = self.inner.quiet_cv.wait_for(&mut g, EMPTY_RECHECK);
+        }
+    }
+
+    fn shutdown(&self) {
+        // Refuse new submissions, then wait out everything accepted
+        // (including ops parked in backends' asynchronous paths), then
+        // stop and join the workers. Idempotent: a second call finds
+        // the flags set and the handle list empty.
+        self.inner.closed.store(true, SeqCst);
+        self.drain();
+        self.inner.stopping.store(true, SeqCst);
+        RingInner::wake(&self.inner.issue_gate, &self.inner.issue_cv, true);
+        RingInner::wake(&self.inner.reap_gate, &self.inner.reap_cv, true);
+        RingInner::wake(&self.inner.submit_gate, &self.inner.submit_cv, true);
+        let mut handles = self.handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+}
+
+impl Drop for RingEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, BackendFile, MemBackend, OpenOptions};
+    use crate::file::FileEntry;
+
+    fn fixture(chunks: usize) -> (Arc<BufferPool>, Arc<CrfsStats>, Arc<MemBackend>) {
+        (
+            Arc::new(BufferPool::new(1024, chunks)),
+            Arc::new(CrfsStats::new()),
+            Arc::new(MemBackend::new()),
+        )
+    }
+
+    fn chunk_of(
+        pool: &BufferPool,
+        entry: &Arc<FileEntry>,
+        offset: u64,
+        fill: u8,
+        len: usize,
+    ) -> SealedChunk {
+        let (mut buf, _) = pool.acquire().unwrap();
+        buf[..len].iter_mut().for_each(|b| *b = fill);
+        entry.note_sealed();
+        SealedChunk {
+            entry: Arc::clone(entry),
+            buf,
+            len,
+            offset,
+        }
+    }
+
+    /// A backend file whose writes complete asynchronously on a helper
+    /// thread — exercises the genuine `InFlight` path.
+    struct DeferredFile {
+        inner: Box<dyn BackendFile>,
+    }
+
+    impl BackendFile for DeferredFile {
+        fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+            self.inner.write_at(offset, data)
+        }
+        fn begin_write_at(
+            &self,
+            token: u64,
+            offset: u64,
+            data: &[u8],
+            sink: &Arc<dyn CompletionSink>,
+        ) -> io::Result<bool> {
+            // Consume the data now (the contract), defer only the
+            // completion.
+            let res = self.inner.write_at(offset, data);
+            let sink = Arc::clone(sink);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                sink.complete(token, res);
+            });
+            Ok(true)
+        }
+        fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+            self.inner.read_at(offset, buf)
+        }
+        fn sync(&self) -> io::Result<()> {
+            self.inner.sync()
+        }
+        fn len(&self) -> io::Result<u64> {
+            self.inner.len()
+        }
+        fn set_len(&self, len: u64) -> io::Result<()> {
+            self.inner.set_len(len)
+        }
+    }
+
+    fn deferred_entry(be: &MemBackend, path: &str) -> Arc<FileEntry> {
+        let inner = be.open(path, OpenOptions::create_truncate()).unwrap();
+        Arc::new(FileEntry::new(path, Box::new(DeferredFile { inner })))
+    }
+
+    #[test]
+    fn async_completions_scale_past_issue_threads() {
+        // 1 issue thread, depth 8: with a deferred backend all 8 chunks
+        // must be in flight simultaneously (a blocked-thread engine
+        // could hold only 1).
+        let (pool, stats, be) = fixture(8);
+        let engine = RingEngine::new(1, 8, 1, Arc::clone(&pool), Arc::clone(&stats)).unwrap();
+        let entry = deferred_entry(&be, "/d");
+        let batch: Vec<SealedChunk> = (0..8)
+            .map(|i| chunk_of(&pool, &entry, i * 1024, b'a' + i as u8, 1024))
+            .collect();
+        engine.submit_batch(batch).unwrap();
+        engine.drain();
+        let (_, err) = entry.wait_outstanding();
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(be.contents("/d").unwrap().len(), 8 * 1024);
+        let snap = stats.snapshot();
+        assert_eq!(snap.chunks_completed, 8);
+        assert_eq!(snap.completion_reaped, 8);
+        assert!(
+            snap.inflight_hwm >= 4,
+            "async depth never materialized: hwm {}",
+            snap.inflight_hwm
+        );
+        engine.shutdown();
+        assert_eq!(pool.free_chunks(), 8, "buffers leaked");
+        assert_eq!(stats.snapshot().ops_inflight, 0);
+    }
+
+    #[test]
+    fn slab_backpressure_streams_batches_larger_than_depth() {
+        // Depth 2, 12 chunks: submitters must park and resume as reaps
+        // free descriptors, never deadlock.
+        let (pool, stats, be) = fixture(12);
+        let engine = RingEngine::new(2, 2, 1, Arc::clone(&pool), Arc::clone(&stats)).unwrap();
+        let f = be.open("/s", OpenOptions::create_truncate()).unwrap();
+        let entry = Arc::new(FileEntry::new("/s", f));
+        let batch: Vec<SealedChunk> = (0..12)
+            .map(|i| chunk_of(&pool, &entry, i * 1024, b'x', 1024))
+            .collect();
+        engine.submit_batch(batch).unwrap();
+        engine.drain();
+        let (_, err) = entry.wait_outstanding();
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(be.contents("/s").unwrap().len(), 12 * 1024);
+        engine.shutdown();
+        assert_eq!(pool.free_chunks(), 12);
+        assert_eq!(stats.snapshot().ops_inflight, 0);
+    }
+
+    #[test]
+    fn inline_completion_failure_propagates_through_slab() {
+        use crate::backend::{FailureMode, FaultyBackend};
+        // FaultyBackend's completion-time injection completes inside
+        // begin_write_at — the CompletedEarly handshake path.
+        let (pool, stats, _) = fixture(4);
+        let be = FaultyBackend::new(MemBackend::new(), FailureMode::FailCompletionsAfter(0));
+        let engine = RingEngine::new(2, 4, 1, Arc::clone(&pool), Arc::clone(&stats)).unwrap();
+        let f = be.open("/bad", OpenOptions::create_truncate()).unwrap();
+        let entry = Arc::new(FileEntry::new("/bad", f));
+        engine
+            .submit(chunk_of(&pool, &entry, 0, b'z', 512))
+            .unwrap();
+        engine.drain();
+        let (_, err) = entry.wait_outstanding();
+        assert!(err.is_some(), "completion-time failure must surface");
+        engine.shutdown();
+        assert_eq!(pool.free_chunks(), 4, "failed op leaked its buffer");
+        let snap = stats.snapshot();
+        assert_eq!(snap.chunks_completed, 1);
+        assert_eq!(snap.ops_inflight, 0);
+    }
+
+    #[test]
+    fn mid_batch_shutdown_completes_prefix_and_refuses_suffix() {
+        let (pool, stats, be) = fixture(4);
+        let engine =
+            Arc::new(RingEngine::new(2, 4, 1, Arc::clone(&pool), Arc::clone(&stats)).unwrap());
+        let f = be.open("/r", OpenOptions::create_truncate()).unwrap();
+        let entry = Arc::new(FileEntry::new("/r", f));
+        engine.shutdown();
+        let batch = vec![
+            chunk_of(&pool, &entry, 0, b'a', 100),
+            chunk_of(&pool, &entry, 100, b'b', 100),
+        ];
+        let err = engine.submit_batch(batch).unwrap_err();
+        assert!(matches!(err, CrfsError::Unmounted));
+        let (_, err) = entry.wait_outstanding();
+        assert!(err.is_some());
+        let snap = stats.snapshot();
+        assert_eq!(snap.chunks_refused, 2);
+        assert_eq!(snap.ops_inflight, 0);
+        assert_eq!(pool.free_chunks(), 4);
+    }
+}

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use super::queue::WorkerPool;
 use super::{
-    read_and_install, refuse, refuse_batch, refuse_reads, write_and_retire, write_and_retire_batch,
+    read_and_install, refuse, refuse_batch, refuse_reads, run_item_batch, write_and_retire,
     IoEngine, IoItem, ReadChunk, SealedChunk,
 };
 use crate::error::{CrfsError, Result};
@@ -47,14 +47,7 @@ impl ThreadedEngine {
             })
         } else {
             WorkerPool::spawn_batched(io_threads, worker_batch, "crfs-io", move |batch| {
-                let mut writes = Vec::with_capacity(batch.len());
-                for item in batch {
-                    match item {
-                        IoItem::Write(chunk) => writes.push(chunk),
-                        IoItem::Read(chunk) => read_and_install(&worker_stats, &worker_pool, chunk),
-                    }
-                }
-                write_and_retire_batch(&worker_stats, &worker_pool, writes);
+                run_item_batch(&worker_stats, &worker_pool, batch)
             })
         }
         .map_err(CrfsError::Io)?;
@@ -69,6 +62,7 @@ impl ThreadedEngine {
 impl IoEngine for ThreadedEngine {
     fn submit(&self, chunk: SealedChunk) -> Result<()> {
         self.stats.engine_submits.fetch_add(1, Relaxed);
+        self.stats.note_inflight(1);
         match self.workers.push(IoItem::Write(chunk)) {
             Ok(()) => Ok(()),
             Err(IoItem::Write(chunk)) => Err(refuse(&self.stats, &self.pool, chunk)),
@@ -81,6 +75,7 @@ impl IoEngine for ThreadedEngine {
             return Ok(());
         }
         self.stats.engine_submits.fetch_add(1, Relaxed);
+        self.stats.note_inflight(chunks.len() as u64);
         let items = chunks.into_iter().map(IoItem::Write).collect();
         match self.workers.push_batch(items) {
             Ok(()) => Ok(()),
@@ -99,6 +94,7 @@ impl IoEngine for ThreadedEngine {
         if reads.is_empty() {
             return Ok(());
         }
+        self.stats.note_inflight(reads.len() as u64);
         let items = reads.into_iter().map(IoItem::Read).collect();
         match self.workers.push_batch(items) {
             Ok(()) => Ok(()),

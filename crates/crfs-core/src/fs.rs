@@ -1578,6 +1578,7 @@ mod tests {
             EngineKind::Threaded,
             EngineKind::Coalescing,
             EngineKind::Inline,
+            EngineKind::Ring,
         ] {
             for codec in [CodecKind::Identity, CodecKind::Rle, CodecKind::Lz] {
                 let config = small_config().with_engine(engine).with_codec(codec);
@@ -1749,16 +1750,17 @@ mod tests {
     }
 
     // ------------------------------------------------------------------
-    // engine semantics, across all three IoEngine implementations
+    // engine semantics, across all IoEngine implementations
     // ------------------------------------------------------------------
 
     use crate::backend::{ThrottleParams, ThrottledBackend};
     use crate::config::EngineKind;
 
-    const ALL_ENGINES: [EngineKind; 3] = [
+    const ALL_ENGINES: [EngineKind; 4] = [
         EngineKind::Threaded,
         EngineKind::Coalescing,
         EngineKind::Inline,
+        EngineKind::Ring,
     ];
 
     #[test]
@@ -1771,6 +1773,7 @@ mod tests {
                     EngineKind::Threaded => "threaded",
                     EngineKind::Coalescing => "coalescing",
                     EngineKind::Inline => "inline",
+                    EngineKind::Ring => "ring",
                 }
             );
             let f = fs.create("/x").unwrap();

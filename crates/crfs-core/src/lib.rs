@@ -82,7 +82,7 @@ pub mod stats;
 pub mod transform;
 pub mod vfs;
 
-pub use backend::{Backend, BackendFile};
+pub use backend::{Backend, BackendFile, CompletionSink};
 pub use config::{CrfsConfig, EngineKind};
 pub use engine::IoEngine;
 pub use error::{CrfsError, Result};

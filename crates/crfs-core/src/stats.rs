@@ -90,12 +90,46 @@ pub struct CrfsStats {
     /// Nanoseconds spent in the transform stage (hash + encode on the
     /// write side, decode + verify on the read side).
     pub transform_ns: AtomicU64,
+    /// Ops (write chunks + prefetch reads) currently inside an engine:
+    /// accepted by a submit call but not yet retired. A gauge, not a
+    /// monotonic counter — exactly zero at quiescence, so
+    /// `chunks_sealed == chunks_completed + chunks_refused` and
+    /// `ops_inflight == 0` together are the engine-conservation shape
+    /// check at unmount.
+    pub ops_inflight: AtomicU64,
+    /// High-water mark of `ops_inflight` — the in-flight depth the
+    /// engine actually reached. Bounded by `io_threads` + queue on the
+    /// threaded engines; by `ring_depth` on the ring engine.
+    pub inflight_hwm: AtomicU64,
+    /// Completion-retirement passes (batched or single). Every engine
+    /// counts one reap per retirement batch, so
+    /// [`StatsSnapshot::avg_reap_len`] measures completion batching the
+    /// way `avg_batch_len` measures submission batching.
+    pub completion_reaps: AtomicU64,
+    /// Write chunks retired across all reaps; equals `chunks_completed`
+    /// at quiescence on every engine (refused chunks never reap).
+    pub completion_reaped: AtomicU64,
 }
 
 impl CrfsStats {
     /// Creates zeroed counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Records `n` ops entering an engine (gauge up + high-water mark).
+    /// Engines call this at submit-accept time, before the op can
+    /// possibly retire, so the gauge never transiently underflows.
+    pub fn note_inflight(&self, n: u64) {
+        let now = self.ops_inflight.fetch_add(n, Relaxed) + n;
+        self.inflight_hwm.fetch_max(now, Relaxed);
+    }
+
+    /// Records `n` ops leaving an engine (retired, installed, or
+    /// refused). Paired with [`note_inflight`](Self::note_inflight) by
+    /// the shared retire/refuse helpers in `engine`.
+    pub fn note_retired(&self, n: u64) {
+        self.ops_inflight.fetch_sub(n, Relaxed);
     }
 
     /// Takes a coherent-enough copy for reporting.
@@ -132,6 +166,10 @@ impl CrfsStats {
             dedup_hits: self.dedup_hits.load(Relaxed),
             integrity_failures: self.integrity_failures.load(Relaxed),
             transform: Duration::from_nanos(self.transform_ns.load(Relaxed)),
+            ops_inflight: self.ops_inflight.load(Relaxed),
+            inflight_hwm: self.inflight_hwm.load(Relaxed),
+            completion_reaps: self.completion_reaps.load(Relaxed),
+            completion_reaped: self.completion_reaped.load(Relaxed),
             pool_free_chunks: 0,
             pool_total_chunks: 0,
         }
@@ -203,6 +241,14 @@ pub struct StatsSnapshot {
     pub integrity_failures: u64,
     /// Time spent in the transform stage (encode + decode + verify).
     pub transform: Duration,
+    /// Ops inside an engine at snapshot time (gauge; zero at quiescence).
+    pub ops_inflight: u64,
+    /// High-water mark of `ops_inflight` over the mount's lifetime.
+    pub inflight_hwm: u64,
+    /// Completion-retirement passes executed by the engine.
+    pub completion_reaps: u64,
+    /// Write chunks retired across all reaps.
+    pub completion_reaped: u64,
     /// Buffers free in the pool at snapshot time (occupancy gauge;
     /// filled by [`Crfs::stats`](crate::Crfs::stats), zero on raw
     /// [`CrfsStats::snapshot`] calls).
@@ -267,6 +313,17 @@ impl StatsSnapshot {
             0.0
         } else {
             self.chunks_sealed as f64 / self.engine_submits as f64
+        }
+    }
+
+    /// Mean write chunks retired per completion-reap pass — the
+    /// completion-side twin of [`avg_batch_len`](Self::avg_batch_len).
+    /// 1.0 on the per-chunk engines; > 1 whenever retirement batches.
+    pub fn avg_reap_len(&self) -> f64 {
+        if self.completion_reaps == 0 {
+            0.0
+        } else {
+            self.completion_reaped as f64 / self.completion_reaps as f64
         }
     }
 
@@ -346,6 +403,14 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
+            "inflight: {} now / {} peak; reaps: {} (avg reap {:.1} chunks)",
+            self.ops_inflight,
+            self.inflight_hwm,
+            self.completion_reaps,
+            self.avg_reap_len()
+        )?;
+        writeln!(
+            f,
             "reads: {} ({} bytes); cache hits {} / misses {} ({:.0}% hit); \
              prefetch {} issued, {} completed, {} wasted",
             self.reads,
@@ -411,6 +476,31 @@ mod tests {
         s.chunks_sealed.fetch_add(32, Relaxed);
         s.engine_submits.fetch_add(4, Relaxed);
         assert_eq!(s.snapshot().avg_batch_len(), 8.0);
+    }
+
+    #[test]
+    fn inflight_gauge_tracks_peak_and_balances() {
+        let s = CrfsStats::new();
+        s.note_inflight(3);
+        s.note_inflight(5);
+        assert_eq!(s.snapshot().ops_inflight, 8);
+        assert_eq!(s.snapshot().inflight_hwm, 8);
+        s.note_retired(6);
+        s.note_inflight(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.ops_inflight, 3);
+        assert_eq!(snap.inflight_hwm, 8, "hwm latches the peak");
+    }
+
+    #[test]
+    fn avg_reap_len_tracks_completion_batching() {
+        let s = CrfsStats::new();
+        assert_eq!(s.snapshot().avg_reap_len(), 0.0);
+        s.completion_reaps.fetch_add(4, Relaxed);
+        s.completion_reaped.fetch_add(32, Relaxed);
+        assert_eq!(s.snapshot().avg_reap_len(), 8.0);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("avg reap 8.0"), "{text}");
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //! prefetching read engine keeps a window of RPCs outstanding. The `exp
 //! restart` sweep measures precisely this.
 
+use std::collections::BinaryHeap;
 use std::io;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use crfs_core::backend::{Backend, BackendFile, OpenOptions};
+use crfs_core::backend::{Backend, BackendFile, CompletionSink, OpenOptions};
 
 /// Service-time parameters for [`RpcStore`].
 #[derive(Debug, Clone, Copy)]
@@ -55,20 +56,191 @@ impl RpcStoreParams {
 
 /// A [`Backend`] decorator charging concurrent per-RPC latency on reads
 /// and writes — the latency-simulating restart source.
+///
+/// Writes are also exposed through the asynchronous
+/// [`BackendFile::begin_write_at`] path: the data lands in the wrapped
+/// backend immediately, and the *acknowledgement* is delivered through
+/// the caller's [`CompletionSink`] once the modeled round trip +
+/// transfer time has elapsed, without a thread blocked per RPC. An
+/// async-capable engine can therefore keep an arbitrary window of write
+/// RPCs in flight — the store behaves like a parallel server farm on
+/// the write side too, which is exactly what the `exp engine` depth
+/// sweep measures.
 pub struct RpcStore<B> {
     inner: B,
     params: RpcStoreParams,
+    timer: Arc<TimerSlot>,
 }
 
 impl<B: Backend> RpcStore<B> {
     /// Wraps `inner` with the given RPC service model.
     pub fn new(inner: B, params: RpcStoreParams) -> RpcStore<B> {
-        RpcStore { inner, params }
+        RpcStore {
+            inner,
+            params,
+            timer: Arc::new(TimerSlot::default()),
+        }
     }
 
     /// The wrapped backend.
     pub fn inner(&self) -> &B {
         &self.inner
+    }
+}
+
+impl<B> Drop for RpcStore<B> {
+    fn drop(&mut self) {
+        // Fire any acks still pending and retire the timer thread.
+        // Files may outlive the store; their late begin_write_at calls
+        // simply spawn a fresh timer through the shared slot.
+        self.timer.stop();
+    }
+}
+
+/// Lazily-spawned shared completion timer: read-only stores never own a
+/// thread, and every file of one store shares the one deadline heap.
+#[derive(Default)]
+struct TimerSlot {
+    slot: Mutex<Option<Arc<TimerHandle>>>,
+}
+
+impl TimerSlot {
+    fn get(&self) -> Arc<TimerHandle> {
+        let mut guard = self.slot.lock().unwrap();
+        if let Some(t) = guard.as_ref() {
+            return Arc::clone(t);
+        }
+        let t = TimerHandle::spawn();
+        *guard = Some(Arc::clone(&t));
+        t
+    }
+
+    fn stop(&self) {
+        if let Some(t) = self.slot.lock().unwrap().take() {
+            t.stop_and_join();
+        }
+    }
+}
+
+/// One pending write acknowledgement.
+struct Pending {
+    due: Instant,
+    /// FIFO tiebreak for equal deadlines.
+    seq: u64,
+    token: u64,
+    sink: Arc<dyn CompletionSink>,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Pending) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Pending) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Pending) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due
+        // (then lowest seq) on top.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct TimerState {
+    queue: BinaryHeap<Pending>,
+    seq: u64,
+    stop: bool,
+}
+
+/// A deadline wheel shared by every file of one store: a single thread
+/// sleeps until the earliest pending acknowledgement is due and fires
+/// it. `register` is O(log n) under a short lock — the submitting IO
+/// worker never sleeps.
+struct TimerHandle {
+    state: Mutex<TimerState>,
+    cv: Condvar,
+    join: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl TimerHandle {
+    fn spawn() -> Arc<TimerHandle> {
+        let handle = Arc::new(TimerHandle {
+            state: Mutex::new(TimerState {
+                queue: BinaryHeap::new(),
+                seq: 0,
+                stop: false,
+            }),
+            cv: Condvar::new(),
+            join: Mutex::new(None),
+        });
+        let worker = Arc::clone(&handle);
+        let join = std::thread::Builder::new()
+            .name("rpc-store-timer".into())
+            .spawn(move || worker.run())
+            .expect("spawn rpc-store timer");
+        *handle.join.lock().unwrap() = Some(join);
+        handle
+    }
+
+    fn register(&self, due: Instant, token: u64, sink: Arc<dyn CompletionSink>) {
+        let mut st = self.state.lock().unwrap();
+        let seq = st.seq;
+        st.seq += 1;
+        st.queue.push(Pending {
+            due,
+            seq,
+            token,
+            sink,
+        });
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn run(&self) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.stop {
+                // Fire everything still queued (the data is already in
+                // the wrapped backend; only the ack was pending).
+                while let Some(p) = st.queue.pop() {
+                    drop(st);
+                    p.sink.complete(p.token, Ok(()));
+                    st = self.state.lock().unwrap();
+                }
+                return;
+            }
+            let now = Instant::now();
+            match st.queue.peek() {
+                Some(p) if p.due <= now => {
+                    let p = st.queue.pop().unwrap();
+                    drop(st);
+                    p.sink.complete(p.token, Ok(()));
+                    st = self.state.lock().unwrap();
+                }
+                Some(p) => {
+                    let wait = p.due - now;
+                    st = self.cv.wait_timeout(st, wait).unwrap().0;
+                }
+                None => {
+                    st = self.cv.wait(st).unwrap();
+                }
+            }
+        }
+    }
+
+    fn stop_and_join(&self) {
+        self.state.lock().unwrap().stop = true;
+        self.cv.notify_all();
+        if let Some(j) = self.join.lock().unwrap().take() {
+            let _ = j.join();
+        }
     }
 }
 
@@ -89,6 +261,7 @@ impl<B: Backend> Backend for RpcStore<B> {
         Ok(Box::new(RpcFile {
             inner: file,
             params: self.params,
+            timer: Arc::clone(&self.timer),
         }))
     }
 
@@ -124,12 +297,32 @@ impl<B: Backend> Backend for RpcStore<B> {
 struct RpcFile {
     inner: Box<dyn BackendFile>,
     params: RpcStoreParams,
+    timer: Arc<TimerSlot>,
 }
 
 impl BackendFile for RpcFile {
     fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
         charge(self.params.write_rtt, data.len(), self.params.bandwidth);
         self.inner.write_at(offset, data)
+    }
+
+    fn begin_write_at(
+        &self,
+        token: u64,
+        offset: u64,
+        data: &[u8],
+        sink: &Arc<dyn CompletionSink>,
+    ) -> io::Result<bool> {
+        // The bytes transfer now (consuming `data` within this call,
+        // per the contract); the acknowledgement arrives after the
+        // modeled service time, from the shared timer thread. A failed
+        // transfer is a submission-time error: nothing in flight.
+        self.inner.write_at(offset, data)?;
+        let transfer =
+            Duration::from_secs_f64(data.len() as f64 / self.params.bandwidth.max(1) as f64);
+        let due = Instant::now() + self.params.write_rtt + transfer;
+        self.timer.get().register(due, token, Arc::clone(sink));
+        Ok(true)
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
@@ -182,6 +375,91 @@ mod tests {
             "read under-charged"
         );
         assert_eq!(&buf, b"payload");
+    }
+
+    #[test]
+    fn async_writes_ack_after_the_service_time_without_blocking() {
+        struct Recorder {
+            done: Mutex<Vec<u64>>,
+            cv: Condvar,
+        }
+        impl CompletionSink for Recorder {
+            fn complete(&self, token: u64, result: io::Result<()>) {
+                result.unwrap();
+                self.done.lock().unwrap().push(token);
+                self.cv.notify_all();
+            }
+        }
+
+        let store = RpcStore::new(
+            MemBackend::new(),
+            RpcStoreParams {
+                read_rtt: Duration::ZERO,
+                write_rtt: Duration::from_millis(20),
+                bandwidth: u64::MAX,
+            },
+        );
+        let f = store.open("/f", OpenOptions::create_truncate()).unwrap();
+        let rec = Arc::new(Recorder {
+            done: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        });
+        let sink: Arc<dyn CompletionSink> = Arc::clone(&rec) as Arc<dyn CompletionSink>;
+        let t0 = Instant::now();
+        // 8 writes of a 20 ms RPC each: submission must not block, and
+        // the acks must overlap (well under 8 x 20 ms total).
+        for i in 0..8u64 {
+            assert!(f.begin_write_at(i, i * 4, b"abcd", &sink).unwrap());
+        }
+        let submit_time = t0.elapsed();
+        assert!(
+            submit_time < Duration::from_millis(15),
+            "submission blocked: {submit_time:?}"
+        );
+        let mut done = rec.done.lock().unwrap();
+        while done.len() < 8 {
+            let (g, timeout) = rec.cv.wait_timeout(done, Duration::from_secs(5)).unwrap();
+            done = g;
+            assert!(!timeout.timed_out(), "acks never arrived");
+        }
+        let total = t0.elapsed();
+        assert!(
+            total >= Duration::from_millis(18),
+            "ack under-charged: {total:?}"
+        );
+        assert!(
+            total < Duration::from_millis(100),
+            "acks serialized: {total:?}"
+        );
+        drop(done);
+        assert_eq!(store.inner().contents("/f").unwrap().len(), 32);
+    }
+
+    #[test]
+    fn dropping_the_store_fires_pending_acks() {
+        struct Counter(Arc<std::sync::atomic::AtomicU64>);
+        impl CompletionSink for Counter {
+            fn complete(&self, _token: u64, result: io::Result<()>) {
+                result.unwrap();
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let n = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let store = RpcStore::new(
+            MemBackend::new(),
+            RpcStoreParams {
+                read_rtt: Duration::ZERO,
+                write_rtt: Duration::from_secs(30),
+                bandwidth: u64::MAX,
+            },
+        );
+        let f = store.open("/f", OpenOptions::create_truncate()).unwrap();
+        let sink: Arc<dyn CompletionSink> = Arc::new(Counter(Arc::clone(&n)));
+        assert!(f.begin_write_at(0, 0, b"x", &sink).unwrap());
+        assert!(f.begin_write_at(1, 1, b"y", &sink).unwrap());
+        drop(f);
+        drop(store); // must not wait the 30 s RTT
+        assert_eq!(n.load(std::sync::atomic::Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -18,16 +18,25 @@ use crfs::storage::params::{
 };
 use crfs::storage::LocalFs;
 
-/// Base config honoring the CI lock-regime matrix: `CRFS_TEST_LEGACY=1`
-/// runs the whole suite on the pre-overhaul locking baseline
-/// (single-`Mutex` pool, one-shard table, per-chunk submission), so the
-/// mount-selectable A/B path can't silently rot.
+/// Base config honoring the CI matrix: `CRFS_TEST_LEGACY=1` runs the
+/// whole suite on the pre-overhaul locking baseline (single-`Mutex`
+/// pool, one-shard table, per-chunk submission), and `CRFS_TEST_ENGINE`
+/// selects the IO engine (threaded/coalescing/inline/ring) — chunking
+/// decisions must be identical on every one of them, both in the real
+/// library and in the simulator's mirrored engine model.
 fn base_config() -> CrfsConfig {
-    CrfsConfig::default().with_legacy_locking(
+    let mut config = CrfsConfig::default().with_legacy_locking(
         std::env::var("CRFS_TEST_LEGACY")
             .map(|v| v == "1")
             .unwrap_or(false),
-    )
+    );
+    if let Some(engine) = std::env::var("CRFS_TEST_ENGINE")
+        .ok()
+        .and_then(|v| crfs::core::EngineKind::parse(&v))
+    {
+        config = config.with_engine(engine);
+    }
+    config
 }
 
 /// Replays a stream through the pure planner, counting sealed chunks and

@@ -35,6 +35,79 @@ fn async_error_is_sticky_across_barriers() {
     assert!(matches!(err, CrfsError::DeferredWrite { .. }), "{err:?}");
 }
 
+/// Completion-time failures (the backend acks the submission, the error
+/// arrives through the completion sink) must surface at the same
+/// barriers as write-time failures, on the engine that actually drives
+/// the async path. `FailCompletionsAfter` delivers the completion
+/// inline, so this also pins the ring engine's completed-early
+/// handshake under a real mount.
+#[test]
+fn completion_time_error_is_sticky_across_barriers_on_ring() {
+    use crfs::core::EngineKind;
+    let fs = Crfs::mount(
+        faulty(FailureMode::FailCompletionsAfter(0)),
+        small_config().with_engine(EngineKind::Ring),
+    )
+    .unwrap();
+    let f = fs.create("/bad").unwrap();
+    f.write(&vec![1u8; 4096]).unwrap(); // completions fail in the background
+
+    let err = f.flush().unwrap_err();
+    assert!(matches!(err, CrfsError::DeferredWrite { .. }), "{err:?}");
+    let err = f.close().unwrap_err();
+    assert!(matches!(err, CrfsError::DeferredWrite { .. }), "{err:?}");
+    let s = fs.stats();
+    assert_eq!(s.chunks_sealed, s.chunks_completed);
+    assert_eq!(s.pool_free_chunks, s.pool_total_chunks);
+    assert_eq!(s.ops_inflight, 0);
+    let _ = fs.unmount(); // may re-report the deferred error
+}
+
+/// The same concurrency hammer as the write-time version, but with the
+/// failures injected at completion time on the ring engine: every close
+/// returns, sealed == completed, and no buffer is lost.
+#[test]
+fn pool_buffers_survive_completion_failures_under_concurrency() {
+    use crfs::core::EngineKind;
+    let be = Arc::new(FaultyBackend::new(
+        MemBackend::new(),
+        FailureMode::FailCompletionsAfter(5),
+    ));
+    let fs = Crfs::mount(
+        be.clone() as Arc<dyn Backend>,
+        small_config().with_engine(EngineKind::Ring),
+    )
+    .unwrap();
+    let mut handles = Vec::new();
+    for w in 0..8 {
+        let fs = Arc::clone(&fs);
+        handles.push(std::thread::spawn(move || {
+            let f = fs.create(&format!("/w{w}")).unwrap();
+            for _ in 0..10 {
+                if f.write(&vec![w as u8; 700]).is_err() {
+                    break;
+                }
+            }
+            let _ = f.close(); // must not hang
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = fs.stats();
+    assert_eq!(
+        s.chunks_sealed, s.chunks_completed,
+        "every sealed chunk must complete (ok or error) and recycle its buffer"
+    );
+    assert_eq!(s.completion_reaped, s.chunks_completed);
+    assert_eq!(s.ops_inflight, 0);
+    assert!(
+        be.writes_seen() > 5,
+        "the backend did see the failing completions"
+    );
+    let _ = fs.unmount(); // may re-report the deferred error
+}
+
 #[test]
 fn fsync_failure_propagates_but_close_succeeds() {
     // Backend accepts data but cannot fsync: fsync() must fail, while

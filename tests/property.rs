@@ -13,14 +13,23 @@ use crfs::core::chunking::{apply_plan, plan_write, ChunkState, PlanStep};
 use crfs::core::{CodecKind, Crfs, CrfsConfig, EngineKind};
 use crfs::simkit::rng::SimRng;
 
-/// Base config honoring the CI lock-regime matrix (`CRFS_TEST_LEGACY=1`
-/// reruns every property on the pre-overhaul locking baseline).
+/// Base config honoring the CI matrix: `CRFS_TEST_LEGACY=1` reruns
+/// every property on the pre-overhaul locking baseline, and
+/// `CRFS_TEST_ENGINE` pins the default engine (tests that sweep engines
+/// explicitly override it).
 fn base_config() -> CrfsConfig {
-    CrfsConfig::default().with_legacy_locking(
+    let mut config = CrfsConfig::default().with_legacy_locking(
         std::env::var("CRFS_TEST_LEGACY")
             .map(|v| v == "1")
             .unwrap_or(false),
-    )
+    );
+    if let Some(engine) = std::env::var("CRFS_TEST_ENGINE")
+        .ok()
+        .and_then(|v| EngineKind::parse(&v))
+    {
+        config = config.with_engine(engine);
+    }
+    config
 }
 
 /// Runs `case` for `cases` deterministic seeds, labelling failures.
@@ -204,6 +213,7 @@ fn crfs_matches_reference_buffer() {
             EngineKind::Threaded,
             EngineKind::Coalescing,
             EngineKind::Inline,
+            EngineKind::Ring,
         ] {
             run_ops_through(engine, &ops);
         }
@@ -259,12 +269,17 @@ fn engines_agree_for_random_batch_sizes() {
         let (threaded_bytes, threaded_stats) = run_ops_with(config(EngineKind::Threaded), &ops);
         let (coalesced_bytes, coalesced_stats) = run_ops_with(config(EngineKind::Coalescing), &ops);
         let (inline_bytes, inline_stats) = run_ops_with(config(EngineKind::Inline), &ops);
+        let (ring_bytes, ring_stats) = run_ops_with(config(EngineKind::Ring), &ops);
         assert_eq!(
             threaded_bytes, coalesced_bytes,
             "batch {submit_batch}/{worker_batch}"
         );
         assert_eq!(
             threaded_bytes, inline_bytes,
+            "batch {submit_batch}/{worker_batch}"
+        );
+        assert_eq!(
+            threaded_bytes, ring_bytes,
             "batch {submit_batch}/{worker_batch}"
         );
         assert!(
@@ -277,6 +292,7 @@ fn engines_agree_for_random_batch_sizes() {
             ("threaded", &threaded_stats),
             ("coalescing", &coalesced_stats),
             ("inline", &inline_stats),
+            ("ring", &ring_stats),
         ] {
             assert_eq!(
                 stats.backend_writes + stats.chunks_coalesced,
@@ -292,6 +308,79 @@ fn engines_agree_for_random_batch_sizes() {
             );
         }
     });
+}
+
+/// Unmount racing in-flight batched writes, for every engine: whatever
+/// instant the unmount lands, every sealed chunk is accounted (completed
+/// or refused), the in-flight gauge returns to zero, no pool buffer
+/// leaks, and writers only ever see clean deferred-write errors. The
+/// random jitter makes the race land at a different point each seed —
+/// mid-batch acceptance included (the ring engine's incremental
+/// acceptance path).
+#[test]
+fn unmount_during_batched_writes_is_always_accounted() {
+    for_cases(
+        "unmount_during_batched_writes_is_always_accounted",
+        12,
+        |rng| {
+            for engine in [
+                EngineKind::Threaded,
+                EngineKind::Coalescing,
+                EngineKind::Inline,
+                EngineKind::Ring,
+            ] {
+                let config = base_config()
+                    .with_chunk_size(1024)
+                    .with_pool_size(16 << 10)
+                    .with_io_threads(2)
+                    .with_submit_batch(8)
+                    .with_ring_depth(4) // small slab: batches outsize it
+                    .with_engine(engine);
+                let fs = Crfs::mount(Arc::new(MemBackend::new()), config).expect("mount");
+                let jitter = rng.gen_range(0u64..400);
+                let writers = rng.gen_range(1usize..5);
+                std::thread::scope(|s| {
+                    for w in 0..writers {
+                        let fs = &fs;
+                        s.spawn(move || {
+                            let Ok(f) = fs.create(&format!("/race{w}")) else {
+                                return; // unmount won the race with create
+                            };
+                            for _ in 0..40 {
+                                // Multi-chunk writes so submit_batch carries
+                                // real batches when the shutdown lands.
+                                if f.write(&vec![w as u8; 6 * 1024]).is_err() {
+                                    break;
+                                }
+                            }
+                            // Close may surface a deferred error: fine.
+                            let _ = f.close();
+                        });
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(jitter));
+                    fs.unmount().expect("unmount");
+                });
+                let snap = fs.stats();
+                assert_eq!(
+                    snap.chunks_sealed,
+                    snap.chunks_completed + snap.chunks_refused,
+                    "{engine:?}: every sealed chunk accounted at jitter {jitter}"
+                );
+                assert_eq!(
+                    snap.ops_inflight, 0,
+                    "{engine:?}: gauge quiescent after unmount"
+                );
+                assert_eq!(
+                    snap.completion_reaped, snap.chunks_completed,
+                    "{engine:?}: reap ledger covers completions"
+                );
+                assert_eq!(
+                    snap.pool_free_chunks, snap.pool_total_chunks,
+                    "{engine:?}: no buffer leaked through the race"
+                );
+            }
+        },
+    );
 }
 
 /// Buffer pool conservation: after any workload, sealed == completed
@@ -373,6 +462,7 @@ fn transform_roundtrip_write_compress_dedup_read() {
             EngineKind::Threaded,
             EngineKind::Coalescing,
             EngineKind::Inline,
+            EngineKind::Ring,
         ] {
             for &codec in &codecs {
                 for chunk in [4usize << 10, 64 << 10, 1 << 20] {

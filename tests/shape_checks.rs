@@ -233,6 +233,7 @@ fn hot_path_stats_invariants_hold() {
         EngineKind::Threaded,
         EngineKind::Coalescing,
         EngineKind::Inline,
+        EngineKind::Ring,
     ] {
         // Pool sized above peak demand (8 writers x up to 5 buffers
         // each), so batches are never split by early flushes on pool
@@ -266,6 +267,32 @@ fn hot_path_stats_invariants_hold() {
             snap.backend_writes + snap.chunks_coalesced,
             snap.chunks_completed,
             "{engine:?}: ops + merges account for every chunk"
+        );
+        assert_eq!(
+            snap.chunks_sealed,
+            snap.chunks_completed + snap.chunks_refused,
+            "{engine:?}: seal ledger covers completions and refusals"
+        );
+
+        // In-flight gauge and completion-reap ledger: quiescent at the
+        // barrier, every completed chunk retired through a reap, and
+        // the workload genuinely had ops in flight at some point.
+        assert_eq!(
+            snap.ops_inflight, 0,
+            "{engine:?}: submitted == completed + inflight at unmount"
+        );
+        assert_eq!(
+            snap.completion_reaped, snap.chunks_completed,
+            "{engine:?}: every completion passed through a reap"
+        );
+        assert!(
+            snap.inflight_hwm >= 1,
+            "{engine:?}: high-water mark never moved"
+        );
+        assert!(
+            snap.avg_reap_len() >= 1.0,
+            "{engine:?}: avg reap {:.2}",
+            snap.avg_reap_len()
         );
 
         // Submission batching: at least one call per write-with-seals is
@@ -325,6 +352,7 @@ fn restart_read_stats_invariants_hold() {
         EngineKind::Threaded,
         EngineKind::Coalescing,
         EngineKind::Inline,
+        EngineKind::Ring,
     ] {
         for window in [0usize, 4] {
             let config = CrfsConfig::default()
@@ -436,6 +464,7 @@ fn transform_stats_invariants_hold() {
         EngineKind::Threaded,
         EngineKind::Coalescing,
         EngineKind::Inline,
+        EngineKind::Ring,
     ] {
         let be = Arc::new(FaultyBackend::new(MemBackend::new(), FailureMode::None));
         let config = CrfsConfig::default()
