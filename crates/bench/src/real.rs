@@ -934,6 +934,254 @@ pub fn engine_depth_sweep(quick: bool) -> Vec<EngineSweepPoint> {
     out
 }
 
+// ---------------------------------------------------------------------
+// fsck sweep (extension; emits BENCH_fsck.json)
+// ---------------------------------------------------------------------
+
+/// One cell of the `exp fsck` checker-thread sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FsckSweepPoint {
+    /// Volume profile name (`small` / `large`).
+    pub profile: &'static str,
+    /// Checkpoint files in the volume.
+    pub files: usize,
+    /// Stored bytes across all frame logs.
+    pub stored_bytes: u64,
+    /// Frames walked by the sweep.
+    pub frames: u64,
+    /// Checker threads.
+    pub threads: usize,
+    /// Median wall-clock seconds of three runs.
+    pub secs: f64,
+    /// Torn tails the sweep found (must equal the tears injected).
+    pub torn_found: u64,
+}
+
+/// One restart of the crash-point sweep: the volume was cut at `cut`
+/// stored bytes, repaired, and remounted.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashPoint {
+    /// Stored-byte offset the crash truncated the log to.
+    pub cut: u64,
+    /// Whole frames surviving the cut (the acked prefix).
+    pub surviving_chunks: u64,
+    /// Whether the cut tore a frame (vs landing on a frame boundary).
+    pub torn: bool,
+    /// Whether `crfs-fsck --repair` left the volume scanning clean.
+    pub repaired: bool,
+    /// Whether the restart served any byte differing from the
+    /// original data, or a length not matching the surviving prefix.
+    pub wrong_bytes: bool,
+}
+
+/// The fsck store profile: a remote checkpoint volume where each read
+/// RPC costs a round trip — recovery scans are dominated by per-frame
+/// metadata reads, which is exactly the regime pFSCK parallelizes.
+/// Writes are free so volume population doesn't bill the model.
+fn fsck_store_params() -> RpcStoreParams {
+    RpcStoreParams {
+        read_rtt: std::time::Duration::from_micros(250),
+        write_rtt: std::time::Duration::ZERO,
+        bandwidth: 4 << 30,
+    }
+}
+
+fn fsck_config(chunk: usize, io_threads: usize) -> CrfsConfig {
+    CrfsConfig::default()
+        .with_chunk_size(chunk)
+        .with_pool_size(32 * chunk)
+        .with_io_threads(io_threads)
+        .with_codec(CodecKind::Lz)
+}
+
+/// Builds a checkpoint volume of `files` frame logs on the latency
+/// store, then tears the tail of every `tear_every`-th log (a crash 25
+/// bytes short of a full final frame). Returns the backend and the
+/// number of tears injected.
+pub fn fsck_volume(
+    files: usize,
+    chunks_per_file: u64,
+    chunk: usize,
+    tear_every: usize,
+) -> (Arc<dyn Backend>, u64) {
+    let backend: Arc<dyn Backend> = Arc::new(RpcStore::new(MemBackend::new(), fsck_store_params()));
+    let fs = Crfs::mount(Arc::clone(&backend), fsck_config(chunk, 2)).expect("mount");
+    fs.mkdir_all("/ckpt").expect("mkdir");
+    for file in 0..files {
+        let f = fs.create(&format!("/ckpt/rank{file}.img")).expect("create");
+        for idx in 0..chunks_per_file {
+            f.write(&epoch_chunk_payload(chunk, file, idx, 0, 0.0))
+                .expect("write");
+        }
+        f.close().expect("close");
+    }
+    fs.unmount().expect("unmount");
+
+    let mut torn = 0;
+    for file in (0..files).step_by(tear_every.max(1)) {
+        let path = format!("/ckpt/rank{file}.img");
+        let len = backend.file_len(&path).expect("stored len");
+        let f = backend
+            .open(&path, OpenOptions::read_write())
+            .expect("reopen");
+        f.set_len(len - 25).expect("tear tail");
+        torn += 1;
+    }
+    (backend, torn)
+}
+
+/// The `exp fsck` thread sweep: recovery scan time versus checker
+/// threads on small and large volume profiles over the latency-bound
+/// store. Parallel speedup comes from overlapping per-frame read RPCs
+/// across per-file checkers — the pFSCK claim, measurable even on one
+/// core.
+pub fn fsck_thread_sweep(quick: bool) -> Vec<FsckSweepPoint> {
+    const CHUNK: usize = 64 << 10;
+    let profiles: &[(&'static str, usize, u64)] = if quick {
+        &[("small", 6, 4)]
+    } else {
+        &[("small", 8, 4), ("large", 32, 12)]
+    };
+    let threads: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    let mut out = Vec::new();
+    for &(profile, files, chunks_per_file) in profiles {
+        let (backend, torn) = fsck_volume(files, chunks_per_file, CHUNK, 3);
+        let stored_bytes: u64 = (0..files)
+            .map(|f| backend.file_len(&format!("/ckpt/rank{f}.img")).unwrap())
+            .sum();
+        for &t in threads {
+            // Median of three runs, same rationale as the other sweeps.
+            let mut runs: Vec<(f64, crfs_core::fsck::FsckSummary)> = (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let sum = crfs_core::fsck::run(
+                        &backend,
+                        &["/ckpt".to_string()],
+                        &crfs_core::fsck::FsckOptions {
+                            repair: false,
+                            threads: t,
+                            verify_payloads: true,
+                        },
+                    );
+                    (t0.elapsed().as_secs_f64(), sum)
+                })
+                .collect();
+            runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (secs, sum) = runs.remove(1);
+            assert_eq!(sum.damage.torn_tails, torn, "sweep must find every tear");
+            out.push(FsckSweepPoint {
+                profile,
+                files,
+                stored_bytes,
+                frames: sum.frames,
+                threads: t,
+                secs,
+                torn_found: sum.damage.torn_tails,
+            });
+        }
+    }
+    out
+}
+
+/// Stored end offset of every frame in a clean log, in chain order.
+fn frame_ends(backend: &Arc<dyn Backend>, path: &str) -> Vec<u64> {
+    use crfs_core::transform::frame::{FrameHeader, FRAME_HEADER_LEN};
+    let file = backend.open(path, OpenOptions::read_only()).expect("open");
+    let len = file.len().expect("len");
+    let mut ends = Vec::new();
+    let mut off = 0u64;
+    let mut hdr = [0u8; FRAME_HEADER_LEN as usize];
+    while off + FRAME_HEADER_LEN <= len {
+        let n = file.read_at(off, &mut hdr).expect("read header");
+        assert_eq!(n as u64, FRAME_HEADER_LEN);
+        let h = FrameHeader::decode(&hdr).expect("clean chain");
+        off += FRAME_HEADER_LEN + u64::from(h.stored_len);
+        ends.push(off);
+    }
+    assert_eq!(off, len, "clean chain covers the file");
+    ends
+}
+
+/// The crash-point sweep: write one checkpoint file, kill the volume at
+/// `cuts` evenly spaced stored-byte offsets, run the fsck repair, and
+/// restart. Every restart must serve exactly the surviving acked
+/// prefix, byte for byte — `wrong_bytes` must be false at every point.
+pub fn fsck_crash_sweep(quick: bool) -> Vec<CrashPoint> {
+    const CHUNK: usize = 4 << 10;
+    const CHUNKS: u64 = 8;
+    let cuts = if quick { 6 } else { 24 };
+
+    let mut out = Vec::new();
+    for k in 0..cuts {
+        // Fresh volume per crash point; io_threads = 1 keeps frame-log
+        // order equal to logical order, so the surviving prefix is a
+        // data prefix and the expected bytes are deterministic.
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let fs = Crfs::mount(Arc::clone(&backend), fsck_config(CHUNK, 1)).expect("mount");
+        let f = fs.create("/rank.img").expect("create");
+        for idx in 0..CHUNKS {
+            f.write(&epoch_chunk_payload(CHUNK, 0, idx, 0, 0.0))
+                .expect("write");
+        }
+        f.close().expect("close");
+        fs.unmount().expect("unmount");
+
+        let ends = frame_ends(&backend, "/rank.img");
+        let len = *ends.last().expect("frames written");
+        let cut = len * (k + 1) / (cuts + 1);
+        let f = backend
+            .open("/rank.img", OpenOptions::read_write())
+            .expect("reopen");
+        f.set_len(cut).expect("crash cut");
+        drop(f);
+
+        let torn = !ends.contains(&cut) && cut != 0;
+        let sum = crfs_core::fsck::run(
+            &backend,
+            &["/rank.img".to_string()],
+            &crfs_core::fsck::FsckOptions {
+                repair: true,
+                threads: 2,
+                verify_payloads: true,
+            },
+        );
+        // Repaired = the volume scans clean afterwards (trivially true
+        // when the cut landed exactly on a frame boundary).
+        let rescan = crfs_core::fsck::run(
+            &backend,
+            &["/rank.img".to_string()],
+            &crfs_core::fsck::FsckOptions {
+                repair: false,
+                threads: 1,
+                verify_payloads: true,
+            },
+        );
+        let repaired = sum.is_clean() && rescan.damage.is_clean();
+
+        let surviving = ends.iter().filter(|&&e| e <= cut).count() as u64;
+        let fs = Crfs::mount(Arc::clone(&backend), fsck_config(CHUNK, 1)).expect("remount");
+        let f = fs.open("/rank.img").expect("open");
+        let logical = f.len().expect("logical len");
+        let mut wrong = logical != surviving * CHUNK as u64;
+        let mut got = vec![0u8; CHUNK];
+        for idx in 0..surviving {
+            let n = f.read_at(idx * CHUNK as u64, &mut got).unwrap_or(0);
+            wrong |= n != CHUNK || got != epoch_chunk_payload(CHUNK, 0, idx, 0, 0.0);
+        }
+        f.close().expect("close");
+        fs.unmount().expect("unmount");
+        out.push(CrashPoint {
+            cut,
+            surviving_chunks: surviving,
+            torn,
+            repaired,
+            wrong_bytes: wrong,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::io;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -126,6 +127,55 @@ impl SimTransform {
     }
 }
 
+/// Virtual-time mirror of `FaultyBackend`'s power-cut injection
+/// (`FailureMode::PowerCutAfterBytes`): a stored-byte budget after
+/// which the simulated backend dies mid-write. The write that crosses
+/// the budget lands only its in-budget prefix (kill-at-any-byte), the
+/// chunk completes with an error, and every later write fails outright
+/// until [`CrfsSim::revive`] models the post-reboot remount.
+#[derive(Debug, Default)]
+struct CrashState {
+    /// Stored-byte budget; `None` = no cut armed.
+    budget: Cell<Option<u64>>,
+    /// Stored bytes already charged against the budget.
+    spent: Cell<u64>,
+    dead: Cell<bool>,
+}
+
+/// What one simulated backend write is allowed to do.
+enum SimWritePlan {
+    Full,
+    /// Land `keep` prefix bytes, then die.
+    Torn {
+        keep: u64,
+    },
+    /// Backend already dead: fail without touching it.
+    Fail,
+}
+
+impl CrashState {
+    fn plan(&self, len: u64) -> SimWritePlan {
+        if self.dead.get() {
+            return SimWritePlan::Fail;
+        }
+        match self.budget.get() {
+            None => SimWritePlan::Full,
+            Some(budget) => {
+                let start = self.spent.get();
+                self.spent.set(start + len);
+                if start + len <= budget {
+                    SimWritePlan::Full
+                } else {
+                    self.dead.set(true);
+                    SimWritePlan::Torn {
+                        keep: budget.saturating_sub(start).min(len),
+                    }
+                }
+            }
+        }
+    }
+}
+
 enum WorkItem {
     /// A sealed chunk heading to the backend (`len` is the *stored*
     /// size after the transform stage; `compress` the worker CPU time
@@ -177,6 +227,12 @@ pub struct CrfsSimStats {
     pub bytes_stored: Cell<u64>,
     /// Chunks deduplicated into reference records.
     pub dedup_hits: Cell<u64>,
+    /// Chunks whose backend write failed (power-cut injection): the
+    /// torn chunk plus every chunk issued against the dead backend.
+    pub failed_chunks: Cell<u64>,
+    /// Prefix bytes the torn write landed before the cut — the bytes a
+    /// post-reboot scan would find past the last full frame.
+    pub torn_bytes: Cell<u64>,
 }
 
 /// A simulated CRFS mount on one node.
@@ -204,6 +260,8 @@ pub struct CrfsSim {
     transform: Cell<Option<SimTransform>>,
     /// Deterministic dedup accumulator (error-diffusion of the rate).
     dedup_acc: Cell<f64>,
+    /// Power-cut injection state, shared with the IO worker tasks.
+    crash: Rc<CrashState>,
 }
 
 /// Charges one backend read of `len` bytes against the model (round
@@ -243,6 +301,7 @@ impl CrfsSim {
         let stats = Rc::new(CrfsSimStats::default());
         let pool = Semaphore::new(config.pool_chunks());
         let read_costs = Rc::new(Cell::new(ReadCostParams::shared_fs()));
+        let crash = Rc::new(CrashState::default());
         // The worker-task count models the engine's in-flight op limit.
         // Queue engines block one worker per op, so `io_threads` tasks;
         // the ring engine parks per-op state in its descriptor slab, so
@@ -259,6 +318,7 @@ impl CrfsSim {
             let stats = Rc::clone(&stats);
             let pool = pool.clone();
             let read_costs = Rc::clone(&read_costs);
+            let crash = Rc::clone(&crash);
             let _task = simkit::spawn(async move {
                 while let Some(item) = rx.recv().await {
                     match item {
@@ -276,10 +336,33 @@ impl CrfsSim {
                                 // the real engines.
                                 sleep(compress).await;
                             }
-                            target.write(backend_fid, offset, len).await;
-                            stats.bytes_out.set(stats.bytes_out.get() + len);
+                            // Power-cut injection mirrors FaultyBackend:
+                            // the crossing write lands its prefix, the
+                            // chunk fails, and the ledger stays balanced
+                            // (completed counts failures too) so close
+                            // barriers still release.
+                            let res = match crash.plan(len) {
+                                SimWritePlan::Full => {
+                                    target.write(backend_fid, offset, len).await;
+                                    stats.bytes_out.set(stats.bytes_out.get() + len);
+                                    Ok(())
+                                }
+                                SimWritePlan::Torn { keep } => {
+                                    if keep > 0 {
+                                        target.write(backend_fid, offset, keep).await;
+                                        stats.bytes_out.set(stats.bytes_out.get() + keep);
+                                    }
+                                    stats.torn_bytes.set(stats.torn_bytes.get() + keep);
+                                    stats.failed_chunks.set(stats.failed_chunks.get() + 1);
+                                    Err(io::Error::other("injected power cut: write torn"))
+                                }
+                                SimWritePlan::Fail => {
+                                    stats.failed_chunks.set(stats.failed_chunks.get() + 1);
+                                    Err(io::Error::other("injected power cut: backend is dead"))
+                                }
+                            };
                             stats.chunks_completed.set(stats.chunks_completed.get() + 1);
-                            acct.borrow_mut().note_completed(Ok(()));
+                            acct.borrow_mut().note_completed(res);
                             wg.done();
                             pool.add_permits(1);
                         }
@@ -312,7 +395,30 @@ impl CrfsSim {
             container_tail: Cell::new(0),
             transform: Cell::new(None),
             dedup_acc: Cell::new(0.0),
+            crash,
         })
+    }
+
+    /// Arms a power cut `budget` stored bytes from now: the backend
+    /// write that crosses the budget lands only its in-budget prefix
+    /// and every later write fails, until [`revive`](Self::revive).
+    /// The virtual-time mirror of
+    /// `FaultyBackend`'s `FailureMode::PowerCutAfterBytes`.
+    pub fn power_cut_after_bytes(&self, budget: u64) {
+        self.crash.spent.set(0);
+        self.crash.budget.set(Some(budget));
+    }
+
+    /// Whether injected failure has killed the simulated backend.
+    pub fn is_dead(&self) -> bool {
+        self.crash.dead.get()
+    }
+
+    /// Clears crash state — models the post-reboot remount.
+    pub fn revive(&self) {
+        self.crash.budget.set(None);
+        self.crash.spent.set(0);
+        self.crash.dead.set(false);
     }
 
     /// Overrides the restart read-cost model (default:
@@ -756,6 +862,45 @@ mod tests {
             assert_eq!(crfs.stats().chunks_sealed.get(), 3);
             assert_eq!(crfs.stats().chunks_completed.get(), 3);
             assert_eq!(crfs.stats().bytes_out.get(), 10 * MB);
+            fs.stop();
+        });
+    }
+
+    #[test]
+    fn power_cut_tears_the_crossing_chunk_and_kills_the_backend() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (fs, crfs) = mount(0);
+            let fh = crfs.open().await;
+            // Budget lands mid-way through the second 4 MiB chunk: the
+            // first chunk writes in full, the second lands only a 1 MiB
+            // prefix (kill-at-any-byte on virtual time), and the third
+            // meets a dead backend.
+            crfs.power_cut_after_bytes(5 * MB);
+            crfs.app_write(fh, 0, 12 * MB).await;
+            crfs.close(fh).await;
+            assert!(crfs.is_dead());
+            assert_eq!(crfs.stats().chunks_sealed.get(), 3);
+            assert_eq!(
+                crfs.stats().chunks_completed.get(),
+                3,
+                "failed chunks still complete — close barriers release"
+            );
+            assert_eq!(crfs.stats().failed_chunks.get(), 2);
+            assert_eq!(crfs.stats().torn_bytes.get(), MB);
+            assert_eq!(
+                crfs.stats().bytes_out.get(),
+                5 * MB,
+                "exactly the byte budget reaches the backend"
+            );
+            // Post-reboot remount: writes flow again.
+            crfs.revive();
+            assert!(!crfs.is_dead());
+            let fh2 = crfs.open().await;
+            crfs.app_write(fh2, 0, 4 * MB).await;
+            crfs.close(fh2).await;
+            assert_eq!(crfs.stats().bytes_out.get(), 9 * MB);
+            assert_eq!(crfs.stats().failed_chunks.get(), 2, "no new failures");
             fs.stop();
         });
     }

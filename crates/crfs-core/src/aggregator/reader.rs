@@ -211,15 +211,21 @@ impl ContainerReader {
     /// mount with a codec stacked over this container) hold
     /// [`ChunkFrame`s](crate::transform::frame::FrameHeader); fsck
     /// recognizes them by their magic, validates each frame's header
-    /// CRC and bounds, and decodes + checksums every DATA frame payload
-    /// — so a corrupt compressed chunk inside a structurally intact
-    /// container is still reported.
+    /// CRC and bounds, and decodes + checksums every DATA frame payload.
+    /// Frame-level damage is *classified, not fatal*: each torn tail,
+    /// bad header CRC and failed payload checksum is tallied per class
+    /// in the report ([`FsckReport::is_clean`] checks all three), so
+    /// one corrupt chunk does not hide the damage census of the rest of
+    /// the container. Damage that makes the record chain itself
+    /// unwalkable (a corrupt record marker, an extent pointing outside
+    /// its record) is still an error — the index, CRC-validated at
+    /// open, is the authority those checks defend.
     pub fn fsck(&self) -> io::Result<FsckReport> {
         let mut off = HEADER_LEN;
         let mut records = 0u64;
         let mut payload_bytes = 0u64;
         let mut framed_records = 0u64;
-        let mut frames = 0u64;
+        let mut damage = FrameScan::default();
         // payload start → (payload len, file id)
         let mut payloads: HashMap<u64, (u64, u64)> = HashMap::new();
         let mut hdr = [0u8; RECORD_HEADER_LEN as usize];
@@ -233,9 +239,9 @@ impl ContainerReader {
                     format!("record at {off} overruns the index block"),
                 ));
             }
-            if let Some(n) = self.fsck_frames(payload_at, rec.len)? {
+            if let Some(scan) = self.fsck_frames(payload_at, rec.len)? {
                 framed_records += 1;
-                frames += n;
+                damage.add(&scan);
             }
             payloads.insert(payload_at, (u64::from(rec.len), rec.file_id));
             records += 1;
@@ -283,16 +289,20 @@ impl ContainerReader {
             referenced_bytes: referenced,
             garbage_bytes: payload_bytes - referenced.min(payload_bytes),
             framed_records,
-            frames,
+            frames: damage.frames,
+            torn_tails: damage.torn_tails,
+            bad_header_crc: damage.bad_header_crc,
+            bad_payload_checksum: damage.bad_payload_checksum,
         })
     }
 
     /// Validates the chunk frames inside one record payload, if it is
-    /// framed at all: `None` for raw payloads (no frame magic), the
-    /// frame count when the whole payload is an intact frame chain, an
-    /// `InvalidData` error when the chain starts like frames but is
-    /// broken or a DATA frame fails decode/checksum verification.
-    fn fsck_frames(&self, payload_at: u64, payload_len: u32) -> io::Result<Option<u64>> {
+    /// framed at all: `None` for raw payloads (no frame magic),
+    /// otherwise a per-class damage tally. A bad header CRC or an
+    /// overrun ends the walk of *this record's* chain (nothing past it
+    /// is trustworthy); a failed payload decode/checksum is counted
+    /// and the walk continues — the frame boundaries are still sound.
+    fn fsck_frames(&self, payload_at: u64, payload_len: u32) -> io::Result<Option<FrameScan>> {
         use crate::transform::codec::decode_payload;
         use crate::transform::frame::{
             fnv1a64, FrameHeader, FLAG_REF, FLAG_TRUNC, FRAME_HEADER_LEN,
@@ -314,46 +324,47 @@ impl ContainerReader {
         }
         let mut payload = vec![0u8; payload_len as usize];
         read_exact_at(&*self.file, payload_at, &mut payload)?;
-        let corrupt = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut scan = FrameScan::default();
         let mut at = 0usize;
-        let mut frames = 0u64;
         while at < payload.len() {
             if at + FRAME_HEADER_LEN as usize > payload.len() {
-                return Err(corrupt(format!(
-                    "frame header at {payload_at}+{at} overruns its record"
-                )));
+                scan.torn_tails += 1;
+                break;
             }
-            let h = FrameHeader::decode(&payload[at..at + FRAME_HEADER_LEN as usize])
-                .map_err(|e| corrupt(format!("frame at {payload_at}+{at}: {e}")))?;
+            let h = match FrameHeader::decode(&payload[at..at + FRAME_HEADER_LEN as usize]) {
+                Ok(h) => h,
+                Err(_) => {
+                    scan.bad_header_crc += 1;
+                    break;
+                }
+            };
             let body = at + FRAME_HEADER_LEN as usize;
             let end = body + h.stored_len as usize;
             if end > payload.len() {
-                return Err(corrupt(format!(
-                    "frame payload at {payload_at}+{at} overruns its record"
-                )));
+                scan.torn_tails += 1;
+                break;
             }
             // DATA frames decode and checksum in full; REF and TRUNC
             // frames are header-validated (their targets live in other
             // records/files).
             if h.flags & (FLAG_REF | FLAG_TRUNC) == 0 {
                 let mut out = Vec::with_capacity(h.logical_len as usize);
-                decode_payload(
+                let ok = decode_payload(
                     h.codec,
                     &payload[body..end],
                     h.logical_len as usize,
                     &mut out,
                 )
-                .map_err(|e| corrupt(format!("frame at {payload_at}+{at} undecodable: {e}")))?;
-                if fnv1a64(&out) != h.payload_check {
-                    return Err(corrupt(format!(
-                        "frame at {payload_at}+{at} failed its checksum"
-                    )));
+                .is_ok()
+                    && fnv1a64(&out) == h.payload_check;
+                if !ok {
+                    scan.bad_payload_checksum += 1;
                 }
             }
-            frames += 1;
+            scan.frames += 1;
             at = end;
         }
-        Ok(Some(frames))
+        Ok(Some(scan))
     }
 }
 
@@ -381,9 +392,45 @@ pub struct FsckReport {
     pub garbage_bytes: u64,
     /// Records holding chunk-frame chains (transform pipeline output).
     pub framed_records: u64,
-    /// Total chunk frames validated across framed records (every DATA
-    /// frame decoded and checksummed).
+    /// Chunk frames walked across framed records (every DATA frame
+    /// decoded and checksummed; checksum failures are counted below,
+    /// not subtracted here).
     pub frames: u64,
+    /// Frame chains that ended in a torn tail: a header or payload cut
+    /// short by the end of its record.
+    pub torn_tails: u64,
+    /// Frame chains ended by a header failing magic/CRC validation.
+    pub bad_header_crc: u64,
+    /// DATA frames whose payload failed decode or checksum
+    /// verification.
+    pub bad_payload_checksum: u64,
+}
+
+impl FsckReport {
+    /// Whether the container's frame content verified with zero damage
+    /// in every class.
+    pub fn is_clean(&self) -> bool {
+        self.torn_tails == 0 && self.bad_header_crc == 0 && self.bad_payload_checksum == 0
+    }
+}
+
+/// Per-class damage tally for one framed record payload (and the
+/// accumulator [`ContainerReader::fsck`] folds them into).
+#[derive(Debug, Default, Clone, Copy)]
+struct FrameScan {
+    frames: u64,
+    torn_tails: u64,
+    bad_header_crc: u64,
+    bad_payload_checksum: u64,
+}
+
+impl FrameScan {
+    fn add(&mut self, other: &FrameScan) {
+        self.frames += other.frames;
+        self.torn_tails += other.torn_tails;
+        self.bad_header_crc += other.bad_header_crc;
+        self.bad_payload_checksum += other.bad_payload_checksum;
+    }
 }
 
 fn mkdir_parents(backend: &Arc<dyn Backend>, path: &str) -> io::Result<()> {
@@ -528,6 +575,7 @@ mod tests {
         let (inner, path) = build_container();
         let r = ContainerReader::open(&inner, &path).unwrap();
         let report = r.fsck().unwrap();
+        assert!(report.is_clean());
         assert_eq!(report.records, 8); // 3 ranks × 2 + odd × 2
         assert_eq!(report.payload_bytes, 3 * 1500 + 400);
         // odd.img: 300-byte extent trimmed to 250 by set_len, 100-byte
@@ -616,22 +664,28 @@ mod tests {
 
         let r = ContainerReader::open(&inner, "/node.agg").unwrap();
         let report = r.fsck().unwrap();
+        assert!(report.is_clean());
         assert!(report.framed_records > 0, "transform output not seen");
         assert!(report.frames >= report.framed_records);
 
         // Corrupt one byte inside the first frame's stored payload
         // (past the record header + frame header): structural fsck
-        // still walks, but the frame checksum must catch it.
+        // still walks, and the damage is classified — one failed
+        // payload checksum — without hiding the rest of the census.
         let c = inner.open("/node.agg", OpenOptions::read_write()).unwrap();
         let at = HEADER_LEN + RECORD_HEADER_LEN + FRAME_HEADER_LEN + 3;
         let mut b = [0u8; 1];
         c.read_at(at, &mut b).unwrap();
         c.write_at(at, &[b[0] ^ 0xFF]).unwrap();
         let r = ContainerReader::open(&inner, "/node.agg").unwrap();
-        let err = r.fsck().unwrap_err();
-        assert!(
-            err.to_string().contains("undecodable") || err.to_string().contains("checksum"),
-            "unhelpful error: {err}"
+        let damaged = r.fsck().unwrap();
+        assert!(!damaged.is_clean());
+        assert_eq!(damaged.bad_payload_checksum, 1);
+        assert_eq!(damaged.torn_tails, 0);
+        assert_eq!(damaged.bad_header_crc, 0);
+        assert_eq!(
+            damaged.frames, report.frames,
+            "a checksum failure does not end the walk"
         );
     }
 

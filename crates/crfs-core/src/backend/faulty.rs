@@ -7,10 +7,30 @@
 //! The mode is shared across every file handle and switchable at
 //! runtime with [`FaultyBackend::set_mode`], so a test can write clean
 //! data and then corrupt only the read-back phase.
+//!
+//! ## Mode-switch semantics
+//!
+//! Every operation captures the mode **once, on entry** — a
+//! [`set_mode`](FaultyBackend::set_mode) call therefore applies only to
+//! operations issued after it returns. An asynchronous write already in
+//! flight (e.g. an `RpcStore` deadline-heap acknowledgement registered
+//! before the swap) completes under the mode it was issued with; the
+//! swap can never retroactively fail or un-fail it.
+//!
+//! ## Crash modes
+//!
+//! [`TornWriteAt`](FailureMode::TornWriteAt) and
+//! [`PowerCutAfterBytes`](FailureMode::PowerCutAfterBytes) model a
+//! power cut mid-write: the victim write lands only a prefix of its
+//! payload in the wrapped backend, the caller gets an error (or a
+//! failed completion on the async path — the ack never arrived), and
+//! the backend is **dead** from then on: every subsequent operation on
+//! any handle fails until [`revive`](FaultyBackend::revive), which
+//! models the post-reboot remount over the surviving bytes.
 
 use parking_lot::Mutex;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use super::{Backend, BackendFile, OpenOptions};
@@ -40,15 +60,43 @@ pub enum FailureMode {
     /// (inline-completion handshake, error plumbing from sink to
     /// ledger). Synchronous `write_at` is unaffected.
     FailCompletionsAfter(u64),
+    /// Tear the `op`-th write (0-based, counted across `write_at` and
+    /// `begin_write_at` alike): only the first `byte` bytes of its
+    /// payload reach the wrapped backend, the op itself fails (sync
+    /// path) or completes with an error through the sink (async path),
+    /// and the backend is dead afterwards — every later op on any
+    /// handle fails until [`FaultyBackend::revive`]. `byte` may land
+    /// anywhere, including mid-frame-header or mid-checksum.
+    TornWriteAt {
+        /// Index of the write to tear.
+        op: u64,
+        /// Payload bytes that survive (clamped to the write's length).
+        byte: u64,
+    },
+    /// Power cut after a cumulative write-byte budget: writes succeed
+    /// until `n` total payload bytes (counted while this mode is
+    /// active) have landed; the write that crosses the budget keeps
+    /// only the in-budget prefix and fails, and the backend is dead
+    /// afterwards (as with [`FailureMode::TornWriteAt`]).
+    PowerCutAfterBytes(u64),
+}
+
+/// Injection state shared by the backend and every file handle.
+struct Shared {
+    mode: Mutex<FailureMode>,
+    writes_seen: AtomicU64,
+    reads_seen: AtomicU64,
+    reads_corrupted: AtomicU64,
+    /// Cumulative payload bytes counted against `PowerCutAfterBytes`.
+    crash_bytes: AtomicU64,
+    /// Set by a torn write / power cut: the backend died.
+    dead: AtomicBool,
 }
 
 /// A failure-injecting [`Backend`] decorator.
 pub struct FaultyBackend<B> {
     inner: B,
-    mode: Arc<Mutex<FailureMode>>,
-    writes_seen: Arc<AtomicU64>,
-    reads_seen: Arc<AtomicU64>,
-    reads_corrupted: Arc<AtomicU64>,
+    shared: Arc<Shared>,
 }
 
 impl<B: Backend> FaultyBackend<B> {
@@ -56,10 +104,14 @@ impl<B: Backend> FaultyBackend<B> {
     pub fn new(inner: B, mode: FailureMode) -> FaultyBackend<B> {
         FaultyBackend {
             inner,
-            mode: Arc::new(Mutex::new(mode)),
-            writes_seen: Arc::new(AtomicU64::new(0)),
-            reads_seen: Arc::new(AtomicU64::new(0)),
-            reads_corrupted: Arc::new(AtomicU64::new(0)),
+            shared: Arc::new(Shared {
+                mode: Mutex::new(mode),
+                writes_seen: AtomicU64::new(0),
+                reads_seen: AtomicU64::new(0),
+                reads_corrupted: AtomicU64::new(0),
+                crash_bytes: AtomicU64::new(0),
+                dead: AtomicBool::new(false),
+            }),
         }
     }
 
@@ -69,28 +121,56 @@ impl<B: Backend> FaultyBackend<B> {
     }
 
     /// Switches the failure mode; affects all existing handles.
+    ///
+    /// The switch is **issue-time only**: every op reads the mode once
+    /// when it starts, so ops already past that point — including async
+    /// writes whose acknowledgement is still pending in a completion
+    /// timer — finish under the old mode. Only ops issued after
+    /// `set_mode` returns observe the new one.
     pub fn set_mode(&self, mode: FailureMode) {
-        *self.mode.lock() = mode;
+        *self.shared.mode.lock() = mode;
+    }
+
+    /// True once a [`FailureMode::TornWriteAt`] /
+    /// [`FailureMode::PowerCutAfterBytes`] crash has fired: the backend
+    /// is failing every op.
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Relaxed)
+    }
+
+    /// "Reboots" a crashed backend: clears the dead flag and the crash
+    /// byte budget and resets the mode to [`FailureMode::None`], so a
+    /// recovery path can reopen and inspect exactly the bytes that
+    /// survived the cut.
+    pub fn revive(&self) {
+        *self.shared.mode.lock() = FailureMode::None;
+        self.shared.crash_bytes.store(0, Relaxed);
+        self.shared.dead.store(false, Relaxed);
     }
 
     /// Total `write_at` attempts observed (including failed ones).
     pub fn writes_seen(&self) -> u64 {
-        self.writes_seen.load(Relaxed)
+        self.shared.writes_seen.load(Relaxed)
     }
 
     /// Total `read_at` calls observed.
     pub fn reads_seen(&self) -> u64 {
-        self.reads_seen.load(Relaxed)
+        self.shared.reads_seen.load(Relaxed)
     }
 
     /// Reads whose payload was bit-flipped by `CorruptReads`.
     pub fn reads_corrupted(&self) -> u64 {
-        self.reads_corrupted.load(Relaxed)
+        self.shared.reads_corrupted.load(Relaxed)
     }
 
     fn injected() -> io::Error {
         io::Error::other("injected backend failure")
     }
+}
+
+/// The error every op returns once a crash mode has fired.
+fn dead_error() -> io::Error {
+    io::Error::other("injected power cut: backend is dead")
 }
 
 impl<B: Backend> Backend for FaultyBackend<B> {
@@ -99,16 +179,16 @@ impl<B: Backend> Backend for FaultyBackend<B> {
     }
 
     fn open(&self, path: &str, opts: OpenOptions) -> io::Result<Box<dyn BackendFile>> {
-        if *self.mode.lock() == FailureMode::FailOpen {
+        if self.shared.dead.load(Relaxed) {
+            return Err(dead_error());
+        }
+        if *self.shared.mode.lock() == FailureMode::FailOpen {
             return Err(Self::injected());
         }
         let file = self.inner.open(path, opts)?;
         Ok(Box::new(FaultyFile {
             inner: file,
-            mode: Arc::clone(&self.mode),
-            writes_seen: Arc::clone(&self.writes_seen),
-            reads_seen: Arc::clone(&self.reads_seen),
-            reads_corrupted: Arc::clone(&self.reads_corrupted),
+            shared: Arc::clone(&self.shared),
         }))
     }
 
@@ -143,21 +223,84 @@ impl<B: Backend> Backend for FaultyBackend<B> {
 
 struct FaultyFile {
     inner: Box<dyn BackendFile>,
-    mode: Arc<Mutex<FailureMode>>,
-    writes_seen: Arc<AtomicU64>,
-    reads_seen: Arc<AtomicU64>,
-    reads_corrupted: Arc<AtomicU64>,
+    shared: Arc<Shared>,
+}
+
+/// What a write op should do, decided once at issue time.
+enum WritePlan {
+    /// Write the full payload to the wrapped backend.
+    Full,
+    /// The mode failed the op outright (no bytes written).
+    Fail(io::Error),
+    /// Crash: land only the first `keep` payload bytes, then fail the
+    /// op and mark the backend dead.
+    Torn { keep: usize },
+}
+
+impl FaultyFile {
+    /// Captures the mode and decides this write's fate. All crash
+    /// bookkeeping (op counting, byte budget, the dead flag) happens
+    /// here, shared by the sync and async entry points.
+    fn plan_write(&self, len: usize) -> WritePlan {
+        if self.shared.dead.load(Relaxed) {
+            return WritePlan::Fail(dead_error());
+        }
+        let seen = self.shared.writes_seen.fetch_add(1, Relaxed);
+        // Issue-time capture: the mode a set_mode racing this op
+        // installs must not affect it past this point.
+        let mode = *self.shared.mode.lock();
+        match mode {
+            FailureMode::FailWritesAfter(n) if seen >= n => {
+                WritePlan::Fail(FaultyBackend::<super::MemBackend>::injected())
+            }
+            FailureMode::TornWriteAt { op, byte } if seen >= op => {
+                self.shared.dead.store(true, Relaxed);
+                if seen == op {
+                    WritePlan::Torn {
+                        keep: (byte as usize).min(len),
+                    }
+                } else {
+                    // A concurrent write raced past the victim before
+                    // the dead flag landed: it dies too, bytes unwritten.
+                    WritePlan::Fail(dead_error())
+                }
+            }
+            FailureMode::PowerCutAfterBytes(budget) => {
+                let start = self.shared.crash_bytes.fetch_add(len as u64, Relaxed);
+                if start + len as u64 <= budget {
+                    WritePlan::Full
+                } else {
+                    self.shared.dead.store(true, Relaxed);
+                    WritePlan::Torn {
+                        keep: budget.saturating_sub(start).min(len as u64) as usize,
+                    }
+                }
+            }
+            _ => WritePlan::Full,
+        }
+    }
+
+    /// Executes a write plan against the wrapped backend.
+    fn run_plan(&self, plan: WritePlan, offset: u64, data: &[u8]) -> io::Result<()> {
+        match plan {
+            WritePlan::Full => self.inner.write_at(offset, data),
+            WritePlan::Fail(e) => Err(e),
+            WritePlan::Torn { keep } => {
+                // The surviving prefix lands; the op itself fails — the
+                // power died before the ack.
+                if keep > 0 {
+                    self.inner.write_at(offset, &data[..keep])?;
+                }
+                Err(dead_error())
+            }
+        }
+    }
 }
 
 impl BackendFile for FaultyFile {
     fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
-        let seen = self.writes_seen.fetch_add(1, Relaxed);
-        if let FailureMode::FailWritesAfter(n) = *self.mode.lock() {
-            if seen >= n {
-                return Err(FaultyBackend::<super::MemBackend>::injected());
-            }
-        }
-        self.inner.write_at(offset, data)
+        let plan = self.plan_write(data.len());
+        self.run_plan(plan, offset, data)
     }
 
     fn begin_write_at(
@@ -167,49 +310,83 @@ impl BackendFile for FaultyFile {
         data: &[u8],
         sink: &Arc<dyn super::CompletionSink>,
     ) -> io::Result<bool> {
-        let FailureMode::FailCompletionsAfter(n) = *self.mode.lock() else {
-            // Other modes keep the synchronous shim so their injection
-            // points (write_at / sync) stay on the engine's fallback
-            // path.
-            return Ok(false);
-        };
-        let seen = self.writes_seen.fetch_add(1, Relaxed);
-        let res = if seen >= n {
-            Err(FaultyBackend::<super::MemBackend>::injected())
-        } else {
-            self.inner.write_at(offset, data)
-        };
-        // Inline completion: legal per the contract, and deterministic —
-        // the engine's completed-early handshake runs on every write.
-        sink.complete(token, res);
-        Ok(true)
+        if self.shared.dead.load(Relaxed) {
+            // A dead backend refuses the submission itself.
+            return Err(dead_error());
+        }
+        // Issue-time capture, as everywhere.
+        let mode = *self.shared.mode.lock();
+        match mode {
+            FailureMode::FailCompletionsAfter(n) => {
+                let seen = self.shared.writes_seen.fetch_add(1, Relaxed);
+                let res = if seen >= n {
+                    Err(FaultyBackend::<super::MemBackend>::injected())
+                } else {
+                    self.inner.write_at(offset, data)
+                };
+                // Inline completion: legal per the contract, and
+                // deterministic — the engine's completed-early
+                // handshake runs on every write.
+                sink.complete(token, res);
+                Ok(true)
+            }
+            FailureMode::TornWriteAt { .. } | FailureMode::PowerCutAfterBytes(_) => {
+                // Crash modes take the async path too: the submission
+                // is accepted, the prefix lands, and the missing ack
+                // arrives as a failed completion through the sink —
+                // the CompletionSink half of the kill-at-any-byte
+                // semantics.
+                let plan = self.plan_write(data.len());
+                sink.complete(token, self.run_plan(plan, offset, data));
+                Ok(true)
+            }
+            _ => {
+                // Other modes keep the synchronous shim so their
+                // injection points (write_at / sync) stay on the
+                // engine's fallback path.
+                Ok(false)
+            }
+        }
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
-        let seen = self.reads_seen.fetch_add(1, Relaxed) + 1;
+        if self.shared.dead.load(Relaxed) {
+            return Err(dead_error());
+        }
+        let seen = self.shared.reads_seen.fetch_add(1, Relaxed) + 1;
+        let mode = *self.shared.mode.lock();
         let n = self.inner.read_at(offset, buf)?;
-        if let FailureMode::CorruptReads(rate) = *self.mode.lock() {
+        if let FailureMode::CorruptReads(rate) = mode {
             if rate > 0 && seen.is_multiple_of(rate) && n > 0 {
                 // Deterministic single-bit flip in the payload middle.
                 buf[n / 2] ^= 0x01;
-                self.reads_corrupted.fetch_add(1, Relaxed);
+                self.shared.reads_corrupted.fetch_add(1, Relaxed);
             }
         }
         Ok(n)
     }
 
     fn sync(&self) -> io::Result<()> {
-        if *self.mode.lock() == FailureMode::FailSync {
+        if self.shared.dead.load(Relaxed) {
+            return Err(dead_error());
+        }
+        if *self.shared.mode.lock() == FailureMode::FailSync {
             return Err(FaultyBackend::<super::MemBackend>::injected());
         }
         self.inner.sync()
     }
 
     fn len(&self) -> io::Result<u64> {
+        if self.shared.dead.load(Relaxed) {
+            return Err(dead_error());
+        }
         self.inner.len()
     }
 
     fn set_len(&self, len: u64) -> io::Result<()> {
+        if self.shared.dead.load(Relaxed) {
+            return Err(dead_error());
+        }
         self.inner.set_len(len)
     }
 }
@@ -294,5 +471,187 @@ mod tests {
         be.set_mode(FailureMode::None);
         f.read_at(0, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0), "clean again after reset");
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_and_kills_the_backend() {
+        let be = FaultyBackend::new(
+            MemBackend::new(),
+            FailureMode::TornWriteAt { op: 1, byte: 3 },
+        );
+        let f = be.open("/t", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, b"alpha").unwrap(); // op 0: clean
+        let err = f.write_at(5, b"bravo").unwrap_err(); // op 1: torn at byte 3
+        assert!(err.to_string().contains("dead"), "{err}");
+        assert!(be.is_dead());
+        // Every subsequent op fails: the backend died mid-write.
+        assert!(f.write_at(10, b"x").is_err());
+        assert!(f.read_at(0, &mut [0u8; 4]).is_err());
+        assert!(f.sync().is_err());
+        assert!(f.len().is_err());
+        assert!(be.open("/t", OpenOptions::read_only()).is_err());
+        // Reboot: exactly the acked write plus the torn prefix survive.
+        be.revive();
+        assert_eq!(be.inner().contents("/t").unwrap(), b"alphabra");
+        let g = be.open("/t", OpenOptions::read_only()).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(g.read_at(0, &mut buf).unwrap(), 8);
+        assert_eq!(&buf, b"alphabra");
+    }
+
+    #[test]
+    fn torn_write_at_byte_zero_lands_nothing() {
+        let be = FaultyBackend::new(
+            MemBackend::new(),
+            FailureMode::TornWriteAt { op: 0, byte: 0 },
+        );
+        let f = be.open("/t", OpenOptions::create_truncate()).unwrap();
+        assert!(f.write_at(0, b"gone").is_err());
+        be.revive();
+        assert_eq!(be.inner().contents("/t").unwrap(), b"");
+    }
+
+    #[test]
+    fn power_cut_tears_the_write_that_crosses_the_budget() {
+        let be = FaultyBackend::new(MemBackend::new(), FailureMode::PowerCutAfterBytes(7));
+        let f = be.open("/p", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, b"abcd").unwrap(); // 4 bytes: within budget
+        let err = f.write_at(4, b"efgh").unwrap_err(); // crosses at byte 7
+        assert!(err.to_string().contains("dead"), "{err}");
+        assert!(be.is_dead());
+        assert!(f.write_at(8, b"x").is_err());
+        be.revive();
+        assert_eq!(be.inner().contents("/p").unwrap(), b"abcdefg");
+    }
+
+    #[test]
+    fn crash_modes_take_the_async_completion_path() {
+        use crate::backend::CompletionSink;
+        use std::sync::Mutex as StdMutex;
+
+        struct Recorder(StdMutex<Vec<(u64, io::Result<()>)>>);
+        impl CompletionSink for Recorder {
+            fn complete(&self, token: u64, result: io::Result<()>) {
+                self.0.lock().unwrap().push((token, result));
+            }
+        }
+
+        let sink = Arc::new(Recorder(StdMutex::new(Vec::new())));
+        let dyn_sink: Arc<dyn CompletionSink> = Arc::clone(&sink) as Arc<dyn CompletionSink>;
+        let be = FaultyBackend::new(
+            MemBackend::new(),
+            FailureMode::TornWriteAt { op: 1, byte: 2 },
+        );
+        let f = be.open("/a", OpenOptions::create_truncate()).unwrap();
+        // Both submissions are accepted; the second completes with an
+        // error through the sink after landing its 2-byte prefix.
+        assert!(f.begin_write_at(1, 0, b"okok", &dyn_sink).unwrap());
+        assert!(f.begin_write_at(2, 4, b"dead", &dyn_sink).unwrap());
+        {
+            let got = sink.0.lock().unwrap();
+            assert_eq!(got.len(), 2);
+            assert!(got[0].1.is_ok());
+            assert!(got[1].1.is_err());
+        }
+        // Dead: later submissions are refused outright.
+        assert!(f.begin_write_at(3, 8, b"x", &dyn_sink).is_err());
+        be.revive();
+        assert_eq!(be.inner().contents("/a").unwrap(), b"okokde");
+    }
+
+    #[test]
+    fn mode_is_captured_at_issue_time_even_across_a_mid_op_swap() {
+        use std::sync::Mutex as StdMutex;
+
+        // An inner backend that runs a hook in the middle of write_at —
+        // the deterministic stand-in for a set_mode racing an op that
+        // has already been issued (e.g. an RpcStore deadline-heap ack).
+        type Hook = Arc<StdMutex<Option<Box<dyn Fn() + Send>>>>;
+        struct HookBackend {
+            inner: MemBackend,
+            hook: Hook,
+        }
+        struct HookFile {
+            inner: Box<dyn BackendFile>,
+            hook: Hook,
+        }
+        impl Backend for HookBackend {
+            fn name(&self) -> &str {
+                "hook"
+            }
+            fn open(&self, path: &str, opts: OpenOptions) -> io::Result<Box<dyn BackendFile>> {
+                Ok(Box::new(HookFile {
+                    inner: self.inner.open(path, opts)?,
+                    hook: Arc::clone(&self.hook),
+                }))
+            }
+            fn mkdir(&self, path: &str) -> io::Result<()> {
+                self.inner.mkdir(path)
+            }
+            fn rmdir(&self, path: &str) -> io::Result<()> {
+                self.inner.rmdir(path)
+            }
+            fn unlink(&self, path: &str) -> io::Result<()> {
+                self.inner.unlink(path)
+            }
+            fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+                self.inner.rename(from, to)
+            }
+            fn exists(&self, path: &str) -> bool {
+                self.inner.exists(path)
+            }
+            fn file_len(&self, path: &str) -> io::Result<u64> {
+                self.inner.file_len(path)
+            }
+            fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+                self.inner.list_dir(path)
+            }
+        }
+        impl BackendFile for HookFile {
+            fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+                if let Some(h) = self.hook.lock().unwrap().as_ref() {
+                    h();
+                }
+                self.inner.write_at(offset, data)
+            }
+            fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+                self.inner.read_at(offset, buf)
+            }
+            fn sync(&self) -> io::Result<()> {
+                self.inner.sync()
+            }
+            fn len(&self) -> io::Result<u64> {
+                self.inner.len()
+            }
+            fn set_len(&self, len: u64) -> io::Result<()> {
+                self.inner.set_len(len)
+            }
+        }
+
+        let hook: Hook = Arc::new(StdMutex::new(None));
+        let be = Arc::new(FaultyBackend::new(
+            HookBackend {
+                inner: MemBackend::new(),
+                hook: Arc::clone(&hook),
+            },
+            FailureMode::None,
+        ));
+        // Mid-op, flip the mode to fail-everything.
+        let swap_target = Arc::clone(&be);
+        *hook.lock().unwrap() = Some(Box::new(move || {
+            swap_target.set_mode(FailureMode::FailWritesAfter(0));
+        }));
+
+        let f = be.open("/m", OpenOptions::create_truncate()).unwrap();
+        // The op that was issued under None succeeds even though the
+        // mode swapped underneath it...
+        f.write_at(0, b"issued-before-swap").unwrap();
+        // ...and only the *next* op sees the new mode.
+        *hook.lock().unwrap() = None;
+        assert!(f.write_at(0, b"after").is_err());
+        assert_eq!(
+            be.inner().inner.contents("/m").unwrap(),
+            b"issued-before-swap"
+        );
     }
 }

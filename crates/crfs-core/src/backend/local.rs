@@ -484,6 +484,71 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// The permanent buffered fallback: a direct write the filesystem
+    /// rejects must land byte-exact through the buffered handle, the
+    /// failure must never surface to the caller, and the direct handle
+    /// stays cleared — across further writes, `sync`, and close.
+    ///
+    /// A real `O_DIRECT` rejection needs a filesystem that accepts the
+    /// open but refuses the write (hard to arrange portably), so the
+    /// test builds a [`LocalFile`] whose direct handle is a read-only
+    /// descriptor: every `pwrite` on it fails exactly like a rejected
+    /// direct write, driving the same fallback path.
+    #[test]
+    fn failed_direct_write_falls_back_buffered_and_stays_buffered() {
+        let dir = scratch_dir("fallback");
+        fs::create_dir_all(&dir).unwrap();
+        let host = dir.join("sticky");
+        let buffered = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&host)
+            .unwrap();
+        let poisoned = fs::OpenOptions::new().read(true).open(&host).unwrap();
+        let f = LocalFile {
+            buffered,
+            direct: Mutex::new(Some(poisoned)),
+            align: DEFAULT_ALIGN,
+            extent: 1 << 20,
+            logical: AtomicU64::new(0),
+            grow: Mutex::new(Grow { allocated: 0 }),
+        };
+
+        // Perfectly aligned (the direct-path shape), position-derived
+        // bytes so a short or misplaced landing cannot go unnoticed.
+        let chunk: Vec<u8> = (0..2 * DEFAULT_ALIGN).map(|i| (i % 251) as u8).collect();
+        f.write_at(0, &chunk).expect("fallback hides the failure");
+        assert!(
+            f.direct.lock().unwrap().is_none(),
+            "first direct failure must clear the handle for good"
+        );
+
+        // Sticky across sync: the trim/flush path must not resurrect it.
+        f.sync().unwrap();
+        assert!(f.direct.lock().unwrap().is_none(), "sync kept the fallback");
+
+        // A second aligned write goes straight to the buffered handle.
+        f.write_at(chunk.len() as u64, &chunk).unwrap();
+        assert!(f.direct.lock().unwrap().is_none());
+
+        // Byte-exact through the handle...
+        let mut got = vec![0u8; 2 * chunk.len()];
+        assert_eq!(f.read_at(0, &mut got).unwrap(), got.len());
+        assert_eq!(&got[..chunk.len()], &chunk[..]);
+        assert_eq!(&got[chunk.len()..], &chunk[..]);
+
+        // ...and byte-exact on disk after sync + close.
+        f.sync().unwrap();
+        drop(f);
+        let ondisk = fs::read(&host).unwrap();
+        assert_eq!(ondisk.len(), 2 * chunk.len());
+        assert_eq!(&ondisk[..chunk.len()], &chunk[..]);
+        assert_eq!(&ondisk[chunk.len()..], &chunk[..]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn dir_ops_and_path_escape() {
         let dir = scratch_dir("dirs");

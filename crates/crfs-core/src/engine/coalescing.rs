@@ -156,46 +156,52 @@ impl CoalescingEngine {
 /// Issues the (possibly multi-chunk) write and retires every segment.
 fn dispatch(stats: &CrfsStats, pool: &BufferPool, write: CoalescedWrite) {
     let (res, stored_bytes) = match write.entry.transform.clone() {
-        Some(t) => {
-            // Transform stage, worker context: encode every segment
-            // (dedup + codec + frame header — CPU that parallelizes
-            // across workers), then issue ONE backend write of the
-            // concatenated frames at one contiguous stored extent. The
-            // merged-op invariant survives the framed layout: N logical
-            // chunks still cost a single backend `write_at`.
-            let mut frames = Vec::with_capacity(write.segments.len());
-            let mut logical = write.offset;
-            let mut total = 0u64;
-            for seg in &write.segments {
-                let enc = t.encode_chunk(logical, &seg.buf[..seg.len]);
-                logical += seg.len as u64;
-                total += enc.stored_bytes() as u64;
-                frames.push(enc);
-            }
-            let base = t.allocate(total);
-            let mut merged = Vec::with_capacity(total as usize);
-            for enc in &frames {
-                merged.extend_from_slice(enc.bytes());
-            }
-            let t0 = Instant::now();
-            let res = write.entry.file.write_at(base, &merged);
-            stats
-                .backend_write_ns
-                .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
-            if res.is_ok() {
-                let mut at = base;
-                for enc in frames {
-                    let n = enc.stored_bytes() as u64;
-                    t.commit(&write.entry.path, at, enc);
-                    at += n;
+        // Deferred torn-tail trim before the first frame lands (see
+        // FileTransform::prepare_append); a trim failure fails every
+        // segment through the shared fan-out below.
+        Some(t) => match t.prepare_append(&*write.entry.file) {
+            Err(e) => (Err(e), 0),
+            Ok(()) => {
+                // Transform stage, worker context: encode every segment
+                // (dedup + codec + frame header — CPU that parallelizes
+                // across workers), then issue ONE backend write of the
+                // concatenated frames at one contiguous stored extent. The
+                // merged-op invariant survives the framed layout: N logical
+                // chunks still cost a single backend `write_at`.
+                let mut frames = Vec::with_capacity(write.segments.len());
+                let mut logical = write.offset;
+                let mut total = 0u64;
+                for seg in &write.segments {
+                    let enc = t.encode_chunk(logical, &seg.buf[..seg.len]);
+                    logical += seg.len as u64;
+                    total += enc.stored_bytes() as u64;
+                    frames.push(enc);
                 }
-            } else {
-                // Contain the damage: one pad frame over the whole
-                // allocated extent keeps the frame chain walkable.
-                let _ = t.write_pad(&*write.entry.file, base, total);
+                let base = t.allocate(total);
+                let mut merged = Vec::with_capacity(total as usize);
+                for enc in &frames {
+                    merged.extend_from_slice(enc.bytes());
+                }
+                let t0 = Instant::now();
+                let res = write.entry.file.write_at(base, &merged);
+                stats
+                    .backend_write_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                if res.is_ok() {
+                    let mut at = base;
+                    for enc in frames {
+                        let n = enc.stored_bytes() as u64;
+                        t.commit(&write.entry.path, at, enc);
+                        at += n;
+                    }
+                } else {
+                    // Contain the damage: one pad frame over the whole
+                    // allocated extent keeps the frame chain walkable.
+                    let _ = t.write_pad(&*write.entry.file, base, total);
+                }
+                (res, total)
             }
-            (res, total)
-        }
+        },
         None => {
             // Assemble the merged chunks into one contiguous transfer
             // before starting the backend timer, so `backend_write_ns`

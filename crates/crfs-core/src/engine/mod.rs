@@ -173,6 +173,11 @@ pub fn build(
 fn dispatch_chunk(stats: &CrfsStats, chunk: &SealedChunk) -> (io::Result<()>, u64) {
     match &chunk.entry.transform {
         Some(t) => {
+            // Deferred torn-tail trim: the first append after a damaged
+            // attach truncates the file to its clean prefix first.
+            if let Err(e) = t.prepare_append(&*chunk.entry.file) {
+                return (Err(e), 0);
+            }
             let enc = t.encode_chunk(chunk.offset, &chunk.buf[..chunk.len]);
             let stored = enc.stored_bytes() as u64;
             let off = t.allocate(stored);

@@ -342,7 +342,7 @@ impl Crfs {
                     // correct tail.)
                     if let Some(t) = &entry.transform {
                         let live = entry.file.len().map_err(CrfsError::Io)?;
-                        if live != t.stored_len() {
+                        if live != t.scanned_len() {
                             drop(g);
                             continue;
                         }

@@ -1,0 +1,834 @@
+//! Offline integrity checking and repair for CRFS stored layouts —
+//! the library behind the `crfs-fsck` binary.
+//!
+//! A checkpoint volume holds three kinds of files: raw pass-through
+//! files (the paper's layout, no metadata to check), frame logs (the
+//! chunk-transform layout: a chain of [`ChunkFrame`]s, see
+//! `transform::frame`), and finalized aggregation containers
+//! (`aggregator`). fsck walks a directory tree, classifies every file,
+//! and verifies what each kind promises:
+//!
+//! - **Frame logs** get a full chain walk: header magic + CRC, payload
+//!   bounds, DATA-frame decode + checksum, and dedup-reference origin
+//!   resolution. Damage is classified per the recovery contract
+//!   (DESIGN.md §6): torn tail, bad header CRC, bad payload checksum,
+//!   orphaned dedup reference.
+//! - **Containers** run [`ContainerReader::fsck`]: record-chain walk,
+//!   extent/index cross-check, and the same frame validation inside
+//!   framed records. A container whose trailer or index no longer
+//!   validates (a crash before finalize completed) is reported as torn;
+//!   its index — the only map from file ids to paths — cannot be
+//!   rebuilt from the records alone, so it is never "repaired" into
+//!   something that would serve wrong bytes.
+//! - **Raw files** are counted and skipped.
+//!
+//! **Repair** (`FsckOptions::repair`) applies the torn-tail discard
+//! rule persistently: a frame log whose chain walk stopped early is
+//! truncated to the end of its last structurally valid frame, exactly
+//! the prefix a mount-time open scan would serve. In-bounds damage (a
+//! DATA frame that fails its checksum mid-chain) is *reported, not
+//! repaired* — truncating would discard good frames past it, and the
+//! read path already surfaces it as an `IntegrityError` instead of
+//! wrong bytes.
+//!
+//! Checking parallelizes pFSCK-style: a work-stealing pool of
+//! per-file checkers. Each worker owns a deque seeded round-robin with
+//! the roots; directory expansion pushes discovered children onto the
+//! worker's own queue (depth-first, cache-warm) and idle workers steal
+//! from the fronts of other queues — so one huge directory or one
+//! slow container does not serialize the sweep.
+//!
+//! [`ChunkFrame`]: crate::transform::frame::FrameHeader
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::aggregator::ContainerReader;
+use crate::backend::{read_exact_at, Backend, BackendFile, OpenOptions};
+use crate::transform::codec::decode_payload;
+use crate::transform::frame::{
+    fnv1a64, FrameHeader, FLAG_PAD, FLAG_REF, FLAG_TRUNC, FRAME_HEADER_LEN, FRAME_MAGIC,
+};
+use crate::transform::REF_META_LEN;
+
+/// How a check/repair sweep should run.
+#[derive(Debug, Clone)]
+pub struct FsckOptions {
+    /// Truncate torn frame-log tails to the last valid frame (and sync)
+    /// instead of only reporting them.
+    pub repair: bool,
+    /// Checker threads. 0 = one per available core.
+    pub threads: usize,
+    /// Decode + checksum every DATA frame payload (the expensive part;
+    /// disabling leaves a structural header walk).
+    pub verify_payloads: bool,
+}
+
+impl Default for FsckOptions {
+    fn default() -> Self {
+        FsckOptions {
+            repair: false,
+            threads: 0,
+            verify_payloads: true,
+        }
+    }
+}
+
+/// What kind of stored layout a checked file turned out to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Pass-through payload bytes; nothing to verify.
+    Raw,
+    /// A chunk-transform frame chain.
+    FrameLog,
+    /// A finalized aggregation container.
+    Container,
+}
+
+/// Per-class damage tally (the same classes the recovery contract and
+/// [`ContainerReader::fsck`] use, plus dedup-reference orphans that
+/// only an offline cross-file sweep can find).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DamageCounts {
+    /// Chains ending in a header or payload cut short by EOF.
+    pub torn_tails: u64,
+    /// Chains ended by a header failing magic/CRC validation.
+    pub bad_header_crc: u64,
+    /// DATA frames whose payload failed decode or checksum.
+    pub bad_payload_checksum: u64,
+    /// REF frames whose dedup origin is missing or too short to hold
+    /// the referenced bytes.
+    pub orphaned_refs: u64,
+}
+
+impl DamageCounts {
+    /// No damage in any class.
+    pub fn is_clean(&self) -> bool {
+        *self == DamageCounts::default()
+    }
+
+    /// Events across all classes.
+    pub fn total(&self) -> u64 {
+        self.torn_tails + self.bad_header_crc + self.bad_payload_checksum + self.orphaned_refs
+    }
+
+    fn add(&mut self, other: &DamageCounts) {
+        self.torn_tails += other.torn_tails;
+        self.bad_header_crc += other.bad_header_crc;
+        self.bad_payload_checksum += other.bad_payload_checksum;
+        self.orphaned_refs += other.orphaned_refs;
+    }
+}
+
+/// The findings for one damaged (or unreadable) file. Clean files are
+/// counted in the summary but produce no per-file report.
+#[derive(Debug, Clone)]
+pub struct FileReport {
+    /// Backend path of the file.
+    pub path: String,
+    /// Classified layout.
+    pub kind: FileKind,
+    /// Frames walked (frame logs) or validated (containers).
+    pub frames: u64,
+    /// Per-class damage found.
+    pub damage: DamageCounts,
+    /// Bytes past the last valid frame that repair truncated (or would
+    /// truncate, in dry-run mode).
+    pub torn_bytes: u64,
+    /// Whether repair ran and the file now scans clean.
+    pub repaired: bool,
+    /// A structural problem that prevented checking or repairing
+    /// (unopenable file, unfinalized container).
+    pub error: Option<String>,
+}
+
+/// Aggregate result of one sweep.
+#[derive(Debug, Default)]
+pub struct FsckSummary {
+    /// Files inspected (all kinds).
+    pub files: u64,
+    /// Files per classified kind.
+    pub raw_files: u64,
+    /// Frame-log files seen.
+    pub frame_logs: u64,
+    /// Finalized containers seen.
+    pub containers: u64,
+    /// Frames walked across all files.
+    pub frames: u64,
+    /// Damage totals across all files.
+    pub damage: DamageCounts,
+    /// Files repair restored to a clean scan.
+    pub repaired_files: u64,
+    /// Per-file findings for damaged/errored files only.
+    pub reports: Vec<FileReport>,
+    /// Wall-clock time of the sweep.
+    pub elapsed: Duration,
+}
+
+impl FsckSummary {
+    /// Whether every checked file verified clean (after repair, when
+    /// repair ran).
+    pub fn is_clean(&self) -> bool {
+        self.reports.iter().all(|r| r.repaired && r.error.is_none())
+    }
+}
+
+/// Checks (and optionally repairs) every file reachable from `roots` —
+/// paths of files or directories on `backend`. Directories expand
+/// recursively; the per-file work spreads over a work-stealing pool of
+/// `opts.threads` checkers.
+pub fn run(backend: &Arc<dyn Backend>, roots: &[String], opts: &FsckOptions) -> FsckSummary {
+    let t0 = Instant::now();
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.threads
+    };
+    let pool = StealPool::new(threads);
+    for (i, root) in roots.iter().enumerate() {
+        pool.push_to(i % threads, root.clone());
+    }
+    let collector = Mutex::new(FsckSummary::default());
+    std::thread::scope(|s| {
+        for worker in 0..threads {
+            let pool = &pool;
+            let collector = &collector;
+            s.spawn(move || {
+                let mut local = FsckSummary::default();
+                while let Some(path) = pool.next_job(worker) {
+                    process(backend, &path, opts, pool, worker, &mut local);
+                    pool.job_done();
+                }
+                let mut shared = collector.lock();
+                merge(&mut shared, local);
+            });
+        }
+    });
+    let mut summary = collector.into_inner();
+    summary.reports.sort_by(|a, b| a.path.cmp(&b.path));
+    summary.elapsed = t0.elapsed();
+    summary
+}
+
+fn merge(into: &mut FsckSummary, from: FsckSummary) {
+    into.files += from.files;
+    into.raw_files += from.raw_files;
+    into.frame_logs += from.frame_logs;
+    into.containers += from.containers;
+    into.frames += from.frames;
+    into.damage.add(&from.damage);
+    into.repaired_files += from.repaired_files;
+    into.reports.extend(from.reports);
+}
+
+// ---------------------------------------------------------------------
+// Work-stealing pool
+// ---------------------------------------------------------------------
+
+/// Per-worker deques with front-stealing. Jobs are backend paths; the
+/// `outstanding` count covers queued *and* in-flight jobs, so a worker
+/// only exits when the whole sweep is drained (an idle worker may be
+/// about to receive work from a directory another worker is still
+/// expanding).
+struct StealPool {
+    queues: Vec<Mutex<VecDeque<String>>>,
+    outstanding: AtomicU64,
+}
+
+impl StealPool {
+    fn new(threads: usize) -> StealPool {
+        StealPool {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            outstanding: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues a job on `worker`'s own queue (tail — depth-first for
+    /// the owner, while thieves take the front, breadth-first).
+    fn push_to(&self, worker: usize, path: String) {
+        self.outstanding.fetch_add(1, Relaxed);
+        self.queues[worker].lock().push_back(path);
+    }
+
+    /// Next job for `worker`: own queue first (LIFO), then steal the
+    /// front of the other queues, round-robin from the right neighbor.
+    /// Returns `None` only when the sweep is fully drained.
+    fn next_job(&self, worker: usize) -> Option<String> {
+        loop {
+            if let Some(job) = self.queues[worker].lock().pop_back() {
+                return Some(job);
+            }
+            let n = self.queues.len();
+            for k in 1..n {
+                if let Some(job) = self.queues[(worker + k) % n].lock().pop_front() {
+                    return Some(job);
+                }
+            }
+            if self.outstanding.load(Relaxed) == 0 {
+                return None;
+            }
+            // Another worker still holds jobs (or is mid-expansion of a
+            // directory): give it the core and re-poll.
+            std::thread::yield_now();
+        }
+    }
+
+    /// Marks one `next_job` result fully processed (including any
+    /// children it pushed — those carry their own count).
+    fn job_done(&self) {
+        self.outstanding.fetch_sub(1, Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-path processing
+// ---------------------------------------------------------------------
+
+fn process(
+    backend: &Arc<dyn Backend>,
+    path: &str,
+    opts: &FsckOptions,
+    pool: &StealPool,
+    worker: usize,
+    local: &mut FsckSummary,
+) {
+    // A listable path is a directory: expand onto our own queue and let
+    // idle workers steal the siblings.
+    match backend.list_dir(path) {
+        Ok(names) => {
+            for name in names {
+                let child = if path == "/" {
+                    format!("/{name}")
+                } else {
+                    format!("{path}/{name}")
+                };
+                pool.push_to(worker, child);
+            }
+        }
+        Err(_) => check_file(backend, path, opts, local),
+    }
+}
+
+fn check_file(backend: &Arc<dyn Backend>, path: &str, opts: &FsckOptions, local: &mut FsckSummary) {
+    local.files += 1;
+    let file = match backend.open(path, OpenOptions::read_only()) {
+        Ok(f) => f,
+        Err(e) => {
+            local.reports.push(FileReport {
+                path: path.to_string(),
+                kind: FileKind::Raw,
+                frames: 0,
+                damage: DamageCounts::default(),
+                torn_bytes: 0,
+                repaired: false,
+                error: Some(format!("unopenable: {e}")),
+            });
+            return;
+        }
+    };
+    match classify(&*file) {
+        Ok(FileKind::Raw) => local.raw_files += 1,
+        Ok(FileKind::Container) => {
+            local.containers += 1;
+            drop(file); // ContainerReader opens its own handle
+            check_container(backend, path, local);
+        }
+        Ok(FileKind::FrameLog) => {
+            local.frame_logs += 1;
+            check_frame_log(backend, path, &*file, opts, local);
+        }
+        Err(e) => local.reports.push(FileReport {
+            path: path.to_string(),
+            kind: FileKind::Raw,
+            frames: 0,
+            damage: DamageCounts::default(),
+            torn_bytes: 0,
+            repaired: false,
+            error: Some(format!("unreadable: {e}")),
+        }),
+    }
+}
+
+/// Sniffs the leading magic. Mirrors the open-scan's classification
+/// rule: a short file whose bytes match a prefix of the frame magic is
+/// a torn frame log (the crash case), not raw.
+fn classify(file: &dyn BackendFile) -> io::Result<FileKind> {
+    let len = file.len()?;
+    if len == 0 {
+        return Ok(FileKind::Raw);
+    }
+    let take = len.min(8) as usize;
+    let mut head = [0u8; 8];
+    read_exact_at(file, 0, &mut head[..take])?;
+    if head[..take] == crate::aggregator::format::HEADER_MAGIC[..take] {
+        return Ok(FileKind::Container);
+    }
+    let frame_magic = FRAME_MAGIC.to_le_bytes();
+    if head[..take.min(4)] == frame_magic[..take.min(4)] {
+        return Ok(FileKind::FrameLog);
+    }
+    Ok(FileKind::Raw)
+}
+
+fn check_container(backend: &Arc<dyn Backend>, path: &str, local: &mut FsckSummary) {
+    match ContainerReader::open(backend, path).and_then(|r| r.fsck()) {
+        Ok(report) => {
+            local.frames += report.frames;
+            let damage = DamageCounts {
+                torn_tails: report.torn_tails,
+                bad_header_crc: report.bad_header_crc,
+                bad_payload_checksum: report.bad_payload_checksum,
+                // REF frames inside container records point into the
+                // pre-aggregation CRFS namespace, unresolvable offline;
+                // the read path's per-reference checksum covers them.
+                orphaned_refs: 0,
+            };
+            if !damage.is_clean() {
+                local.damage.add(&damage);
+                local.reports.push(FileReport {
+                    path: path.to_string(),
+                    kind: FileKind::Container,
+                    frames: report.frames,
+                    damage,
+                    torn_bytes: 0,
+                    repaired: false,
+                    error: None,
+                });
+            }
+        }
+        Err(e) => {
+            // A container that no longer opens lost its trailer or
+            // index — the crash-during-finalize case. The index is the
+            // only file-id → path map, so there is nothing safe to
+            // rebuild; report it torn.
+            let damage = DamageCounts {
+                torn_tails: 1,
+                ..DamageCounts::default()
+            };
+            local.damage.add(&damage);
+            local.reports.push(FileReport {
+                path: path.to_string(),
+                kind: FileKind::Container,
+                frames: 0,
+                damage,
+                torn_bytes: 0,
+                repaired: false,
+                error: Some(format!("container does not validate: {e}")),
+            });
+        }
+    }
+}
+
+/// Walks a frame log end to end: structural validation, optional
+/// payload decode + checksum, dedup-reference origin resolution, and —
+/// under `repair` — truncation of a torn tail to the last valid frame.
+fn check_frame_log(
+    backend: &Arc<dyn Backend>,
+    path: &str,
+    file: &dyn BackendFile,
+    opts: &FsckOptions,
+    local: &mut FsckSummary,
+) {
+    let stored_len = match file.len() {
+        Ok(n) => n,
+        Err(e) => {
+            local.reports.push(FileReport {
+                path: path.to_string(),
+                kind: FileKind::FrameLog,
+                frames: 0,
+                damage: DamageCounts::default(),
+                torn_bytes: 0,
+                repaired: false,
+                error: Some(format!("unreadable: {e}")),
+            });
+            return;
+        }
+    };
+    let mut damage = DamageCounts::default();
+    let mut frames = 0u64;
+    let mut clean_end = 0u64; // end of the last structurally valid frame
+    let mut off = 0u64;
+    let mut hdr = [0u8; FRAME_HEADER_LEN as usize];
+    while off < stored_len {
+        if off + FRAME_HEADER_LEN > stored_len {
+            damage.torn_tails += 1;
+            break;
+        }
+        if read_exact_at(file, off, &mut hdr).is_err() {
+            damage.torn_tails += 1;
+            break;
+        }
+        let h = match FrameHeader::decode(&hdr) {
+            Ok(h) => h,
+            Err(_) => {
+                damage.bad_header_crc += 1;
+                break;
+            }
+        };
+        let body = off + FRAME_HEADER_LEN;
+        let end = body + u64::from(h.stored_len);
+        if end > stored_len {
+            damage.torn_tails += 1;
+            break;
+        }
+        if h.flags & (FLAG_PAD | FLAG_TRUNC) == 0 {
+            let mut payload = vec![0u8; h.stored_len as usize];
+            if read_exact_at(file, body, &mut payload).is_err() {
+                damage.torn_tails += 1;
+                break;
+            }
+            if h.flags & FLAG_REF != 0 {
+                if !ref_resolves(backend, path, stored_len, &payload) {
+                    damage.orphaned_refs += 1;
+                }
+            } else if opts.verify_payloads {
+                let mut out = Vec::with_capacity(h.logical_len as usize);
+                let ok = decode_payload(h.codec, &payload, h.logical_len as usize, &mut out)
+                    .is_ok()
+                    && fnv1a64(&out) == h.payload_check;
+                if !ok {
+                    damage.bad_payload_checksum += 1;
+                }
+            }
+        }
+        frames += 1;
+        clean_end = end;
+        off = end;
+    }
+    local.frames += frames;
+    if damage.is_clean() {
+        return;
+    }
+    local.damage.add(&damage);
+    let torn_bytes = stored_len - clean_end;
+    let tail_torn = damage.torn_tails > 0 || damage.bad_header_crc > 0;
+    let mut repaired = false;
+    let mut error = None;
+    if opts.repair && tail_torn {
+        // Persist the discard rule: cut back to the last valid frame.
+        // In-bounds damage (checksum/orphan) stays — truncating there
+        // would throw away good frames past it.
+        match repair_truncate(backend, path, clean_end) {
+            Ok(()) => {
+                repaired = damage.bad_payload_checksum == 0 && damage.orphaned_refs == 0;
+            }
+            Err(e) => error = Some(format!("repair failed: {e}")),
+        }
+    }
+    if repaired {
+        local.repaired_files += 1;
+    }
+    local.reports.push(FileReport {
+        path: path.to_string(),
+        kind: FileKind::FrameLog,
+        frames,
+        damage,
+        torn_bytes,
+        repaired,
+        error,
+    });
+}
+
+/// Whether a REF frame's origin exists and is long enough to hold the
+/// referenced stored extent.
+fn ref_resolves(backend: &Arc<dyn Backend>, path: &str, own_len: u64, payload: &[u8]) -> bool {
+    if payload.len() < REF_META_LEN {
+        return false;
+    }
+    let origin_off = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let origin_len = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+    let Ok(origin_path) = std::str::from_utf8(&payload[REF_META_LEN..]) else {
+        return false;
+    };
+    let origin_total = if origin_path == path {
+        own_len
+    } else {
+        match backend.file_len(origin_path) {
+            Ok(n) => n,
+            Err(_) => return false,
+        }
+    };
+    origin_off + FRAME_HEADER_LEN + u64::from(origin_len) <= origin_total
+}
+
+fn repair_truncate(backend: &Arc<dyn Backend>, path: &str, clean_end: u64) -> io::Result<()> {
+    let rw = backend.open(path, OpenOptions::read_write())?;
+    rw.set_len(clean_end)?;
+    rw.sync()
+}
+
+impl std::fmt::Display for FsckSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "checked {} files in {:?}: {} frame logs, {} containers, {} raw ({} frames walked)",
+            self.files, self.elapsed, self.frame_logs, self.containers, self.raw_files, self.frames
+        )?;
+        if self.damage.is_clean() {
+            return write!(f, "clean: no damage in any class");
+        }
+        writeln!(
+            f,
+            "damage: {} torn tails, {} bad header CRCs, {} bad payload checksums, \
+             {} orphaned dedup refs; {} files repaired",
+            self.damage.torn_tails,
+            self.damage.bad_header_crc,
+            self.damage.bad_payload_checksum,
+            self.damage.orphaned_refs,
+            self.repaired_files
+        )?;
+        for (i, r) in self.reports.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(
+                f,
+                "  {} [{:?}] frames={} torn={} crc={} checksum={} orphans={} torn_bytes={}{}{}",
+                r.path,
+                r.kind,
+                r.frames,
+                r.damage.torn_tails,
+                r.damage.bad_header_crc,
+                r.damage.bad_payload_checksum,
+                r.damage.orphaned_refs,
+                r.torn_bytes,
+                if r.repaired { " REPAIRED" } else { "" },
+                match &r.error {
+                    Some(e) => format!(" ERROR: {e}"),
+                    None => String::new(),
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::transform::CodecKind;
+    use crate::{Crfs, CrfsConfig};
+
+    fn be() -> Arc<dyn Backend> {
+        Arc::new(MemBackend::new())
+    }
+
+    /// Writes `files` frame logs of `len` bytes each under `/ckpt`.
+    fn populate(backend: &Arc<dyn Backend>, files: usize, len: usize) {
+        let fs = Crfs::mount(
+            Arc::clone(backend),
+            CrfsConfig::default()
+                .with_chunk_size(4096)
+                .with_pool_size(64 * 1024)
+                .with_codec(CodecKind::Lz),
+        )
+        .unwrap();
+        fs.mkdir("/ckpt").unwrap();
+        for i in 0..files {
+            let f = fs.create(&format!("/ckpt/rank{i}.img")).unwrap();
+            let data: Vec<u8> = (0..len).map(|b| ((b / 64) ^ i) as u8).collect();
+            f.write(&data).unwrap();
+            f.close().unwrap();
+        }
+        fs.unmount().unwrap();
+    }
+
+    fn opts(threads: usize) -> FsckOptions {
+        FsckOptions {
+            threads,
+            ..FsckOptions::default()
+        }
+    }
+
+    #[test]
+    fn clean_tree_reports_clean_on_any_thread_count() {
+        let backend = be();
+        populate(&backend, 6, 20_000);
+        for threads in [1, 4] {
+            let sum = run(&backend, &["/".to_string()], &opts(threads));
+            assert!(sum.is_clean(), "{sum}");
+            assert_eq!(sum.frame_logs, 6);
+            assert!(sum.frames >= 6 * 5, "5 chunks per file: {sum}");
+            assert!(sum.reports.is_empty());
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_found_and_repaired_to_a_clean_scan() {
+        let backend = be();
+        populate(&backend, 3, 20_000);
+        // Tear the tail of one log mid-payload.
+        let victim = "/ckpt/rank1.img";
+        let len = backend.file_len(victim).unwrap();
+        let f = backend.open(victim, OpenOptions::read_write()).unwrap();
+        f.set_len(len - 50).unwrap();
+        drop(f);
+
+        let dry = run(&backend, &["/".to_string()], &opts(2));
+        assert_eq!(dry.damage.torn_tails, 1);
+        assert_eq!(dry.reports.len(), 1);
+        assert_eq!(dry.reports[0].path, victim);
+        assert!(!dry.reports[0].repaired, "dry run must not repair");
+        assert!(dry.reports[0].torn_bytes > 0);
+        assert_eq!(
+            backend.file_len(victim).unwrap(),
+            len - 50,
+            "dry run must not mutate"
+        );
+
+        let fixed = run(
+            &backend,
+            &["/".to_string()],
+            &FsckOptions {
+                repair: true,
+                ..opts(2)
+            },
+        );
+        assert_eq!(fixed.repaired_files, 1);
+        assert!(fixed.is_clean(), "{fixed}");
+        let after = run(&backend, &["/".to_string()], &opts(2));
+        assert!(after.damage.is_clean(), "repaired log scans clean");
+    }
+
+    #[test]
+    fn bad_payload_checksum_is_reported_not_repaired() {
+        let backend = be();
+        populate(&backend, 1, 20_000);
+        let victim = "/ckpt/rank0.img";
+        // Flip a byte inside the first frame's payload.
+        let f = backend.open(victim, OpenOptions::read_write()).unwrap();
+        let at = FRAME_HEADER_LEN + 5;
+        let mut b = [0u8; 1];
+        f.read_at(at, &mut b).unwrap();
+        f.write_at(at, &[b[0] ^ 0xFF]).unwrap();
+        drop(f);
+        let len = backend.file_len(victim).unwrap();
+
+        let sum = run(
+            &backend,
+            &["/ckpt".to_string()],
+            &FsckOptions {
+                repair: true,
+                ..opts(1)
+            },
+        );
+        assert_eq!(sum.damage.bad_payload_checksum, 1);
+        assert_eq!(sum.repaired_files, 0, "mid-chain damage is not truncated");
+        assert_eq!(
+            backend.file_len(victim).unwrap(),
+            len,
+            "no good frames were discarded"
+        );
+    }
+
+    #[test]
+    fn orphaned_dedup_reference_is_detected() {
+        let backend = be();
+        // Two identical files on a dedup mount: the second becomes a
+        // REF chain pointing at the first.
+        let fs = Crfs::mount(
+            Arc::clone(&backend),
+            CrfsConfig::default()
+                .with_chunk_size(4096)
+                .with_pool_size(64 * 1024)
+                .with_codec(CodecKind::Lz)
+                .with_dedup(true),
+        )
+        .unwrap();
+        let data: Vec<u8> = (0..8192).map(|b| (b / 64) as u8).collect();
+        for name in ["/a.img", "/b.img"] {
+            let f = fs.create(name).unwrap();
+            f.write(&data).unwrap();
+            f.close().unwrap();
+        }
+        fs.unmount().unwrap();
+
+        let clean = run(&backend, &["/".to_string()], &opts(1));
+        assert!(clean.damage.is_clean(), "{clean}");
+
+        // Cut the origin short: references into it are now orphans.
+        let f = backend.open("/a.img", OpenOptions::read_write()).unwrap();
+        f.set_len(10).unwrap();
+        drop(f);
+        let sum = run(&backend, &["/b.img".to_string()], &opts(1));
+        assert!(sum.damage.orphaned_refs > 0, "{sum}");
+    }
+
+    #[test]
+    fn unfinalized_container_reports_torn_not_repaired() {
+        use crate::aggregator::AggregatingBackend;
+        let backend = be();
+        let agg = AggregatingBackend::create(&backend, "/node.agg").unwrap();
+        let f = agg.open("/f", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, &[7u8; 4000]).unwrap();
+        drop(f);
+        // No finalize: the crash-during-finalize case.
+        drop(agg);
+        let sum = run(&backend, &["/node.agg".to_string()], &opts(1));
+        assert_eq!(sum.containers, 1);
+        assert_eq!(sum.damage.torn_tails, 1);
+        assert_eq!(sum.repaired_files, 0);
+        assert!(sum.reports[0].error.is_some());
+    }
+
+    #[test]
+    fn finalized_container_with_frame_damage_is_classified() {
+        use crate::aggregator::format::{HEADER_LEN, RECORD_HEADER_LEN};
+        use crate::aggregator::AggregatingBackend;
+        let backend = be();
+        let agg: Arc<AggregatingBackend> =
+            Arc::new(AggregatingBackend::create(&backend, "/node.agg").unwrap());
+        let fs = Crfs::mount(
+            Arc::clone(&agg) as Arc<dyn Backend>,
+            CrfsConfig::default()
+                .with_chunk_size(1024)
+                .with_pool_size(8192)
+                .with_codec(CodecKind::Lz),
+        )
+        .unwrap();
+        let f = fs.create("/rank0.img").unwrap();
+        f.write(&vec![42u8; 5000]).unwrap();
+        f.close().unwrap();
+        fs.unmount().unwrap();
+        agg.finalize().unwrap();
+
+        // Corrupt a stored byte inside the first frame payload.
+        let c = backend
+            .open("/node.agg", OpenOptions::read_write())
+            .unwrap();
+        let at = HEADER_LEN + RECORD_HEADER_LEN + FRAME_HEADER_LEN + 2;
+        let mut b = [0u8; 1];
+        c.read_at(at, &mut b).unwrap();
+        c.write_at(at, &[b[0] ^ 0xFF]).unwrap();
+        drop(c);
+
+        let sum = run(&backend, &["/".to_string()], &opts(2));
+        assert_eq!(sum.containers, 1);
+        assert_eq!(sum.damage.bad_payload_checksum, 1);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_results() {
+        let backend = be();
+        populate(&backend, 8, 30_000);
+        // Tear two logs.
+        for victim in ["/ckpt/rank2.img", "/ckpt/rank5.img"] {
+            let len = backend.file_len(victim).unwrap();
+            let f = backend.open(victim, OpenOptions::read_write()).unwrap();
+            f.set_len(len - 33).unwrap();
+        }
+        let serial = run(&backend, &["/".to_string()], &opts(1));
+        let parallel = run(&backend, &["/".to_string()], &opts(4));
+        assert_eq!(serial.files, parallel.files);
+        assert_eq!(serial.frames, parallel.frames);
+        assert_eq!(serial.damage, parallel.damage);
+        assert_eq!(serial.reports.len(), parallel.reports.len());
+        assert_eq!(serial.damage.torn_tails, 2);
+    }
+}

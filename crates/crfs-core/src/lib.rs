@@ -76,6 +76,7 @@ pub mod engine;
 pub mod error;
 pub mod file;
 pub mod fs;
+pub mod fsck;
 pub mod pool;
 pub mod prefetch;
 pub mod stats;

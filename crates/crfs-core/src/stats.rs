@@ -87,6 +87,20 @@ pub struct CrfsStats {
     /// mismatch, malformed frame, undecodable stored bytes). Every one
     /// of these surfaced an error instead of corrupt bytes.
     pub integrity_failures: AtomicU64,
+    /// Torn tails discarded by the open-scan recovery contract: a frame
+    /// chain ended in a truncated header or a payload cut short by EOF
+    /// (a crashed append), and the tail past the clean prefix was
+    /// dropped (DESIGN.md §6).
+    pub torn_tails: AtomicU64,
+    /// Frame chains ended by a header that failed magic/CRC validation
+    /// (torn header bytes, an out-of-order-completion hole, or rot) —
+    /// the tail was discarded under the same contract.
+    pub bad_header_crc: AtomicU64,
+    /// Frame payloads that decoded but failed their checksum (or were
+    /// undecodable) at read time — the in-bounds damage class the
+    /// structural open scan cannot see. Each surfaced an
+    /// `IntegrityError`; a subset of `integrity_failures`.
+    pub bad_payload_checksum: AtomicU64,
     /// Nanoseconds spent in the transform stage (hash + encode on the
     /// write side, decode + verify on the read side).
     pub transform_ns: AtomicU64,
@@ -165,6 +179,9 @@ impl CrfsStats {
             bytes_stored: self.bytes_stored.load(Relaxed),
             dedup_hits: self.dedup_hits.load(Relaxed),
             integrity_failures: self.integrity_failures.load(Relaxed),
+            torn_tails: self.torn_tails.load(Relaxed),
+            bad_header_crc: self.bad_header_crc.load(Relaxed),
+            bad_payload_checksum: self.bad_payload_checksum.load(Relaxed),
             transform: Duration::from_nanos(self.transform_ns.load(Relaxed)),
             ops_inflight: self.ops_inflight.load(Relaxed),
             inflight_hwm: self.inflight_hwm.load(Relaxed),
@@ -239,6 +256,14 @@ pub struct StatsSnapshot {
     pub dedup_hits: u64,
     /// Reads that failed integrity verification (surfaced as errors).
     pub integrity_failures: u64,
+    /// Torn tails discarded by the open-scan recovery contract
+    /// (truncated header or payload cut short by EOF).
+    pub torn_tails: u64,
+    /// Frame chains ended by a header failing magic/CRC validation.
+    pub bad_header_crc: u64,
+    /// Payloads that failed checksum/decode at read time (a subset of
+    /// `integrity_failures`).
+    pub bad_payload_checksum: u64,
     /// Time spent in the transform stage (encode + decode + verify).
     pub transform: Duration,
     /// Ops inside an engine at snapshot time (gauge; zero at quiescence).
@@ -339,6 +364,13 @@ impl StatsSnapshot {
         }
     }
 
+    /// Total damage events across all classes seen by the open scan and
+    /// the read path. Zero on a mount that never met a torn or corrupt
+    /// frame.
+    pub fn damage_total(&self) -> u64 {
+        self.torn_tails + self.bad_header_crc + self.bad_payload_checksum
+    }
+
     /// Fraction of chunk-granular read segments served from the prefetch
     /// cache (0.0 when nothing was read).
     pub fn read_hit_rate(&self) -> f64 {
@@ -435,6 +467,14 @@ impl std::fmt::Display for StatsSnapshot {
                 self.transform
             )?;
         }
+        if self.damage_total() > 0 {
+            writeln!(
+                f,
+                "damage: {} torn tails discarded, {} bad header CRCs, \
+                 {} bad payload checksums",
+                self.torn_tails, self.bad_header_crc, self.bad_payload_checksum
+            )?;
+        }
         write!(
             f,
             "opens {} / closes {} / fsyncs {}",
@@ -512,6 +552,25 @@ mod tests {
         assert_eq!(s.snapshot().compress_ratio(), 4.0);
         let text = s.snapshot().to_string();
         assert!(text.contains("4.00x"), "{text}");
+    }
+
+    #[test]
+    fn damage_counters_surface_in_display_only_when_nonzero() {
+        let s = CrfsStats::new();
+        assert_eq!(s.snapshot().damage_total(), 0);
+        assert!(!s.snapshot().to_string().contains("damage:"));
+        s.torn_tails.fetch_add(2, Relaxed);
+        s.bad_header_crc.fetch_add(1, Relaxed);
+        s.bad_payload_checksum.fetch_add(3, Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.torn_tails, 2);
+        assert_eq!(snap.bad_header_crc, 1);
+        assert_eq!(snap.bad_payload_checksum, 3);
+        assert_eq!(snap.damage_total(), 6);
+        let text = snap.to_string();
+        assert!(text.contains("2 torn tails discarded"), "{text}");
+        assert!(text.contains("1 bad header CRCs"), "{text}");
+        assert!(text.contains("3 bad payload checksums"), "{text}");
     }
 
     #[test]

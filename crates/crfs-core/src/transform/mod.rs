@@ -36,14 +36,29 @@
 //! [`CrfsError::IntegrityError`](crate::CrfsError::IntegrityError)
 //! instead of handing corrupt bytes to a restarting process.
 //!
+//! Crash recovery (the acked-prefix contract, DESIGN.md §6): the open
+//! scan keeps the longest prefix of structurally valid frames and
+//! **discards** any torn tail — truncated header, bad header magic/CRC,
+//! payload cut short by EOF (see [`walk_frames`] / [`ScanOutcome`]).
+//! Frames are append-only, so crash damage is confined to the
+//! unsynchronized tail; discarded frames were never acknowledged
+//! through a passed barrier. A torn payload that stayed *in bounds*
+//! passes the structural scan and is caught by the payload checksum at
+//! read time — either way a reader sees acknowledged bytes or an
+//! `IntegrityError`, never wrong bytes. The scan never mutates the
+//! file; `crfs-fsck --repair` (see [`crate::fsck`]) truncates the torn
+//! tail away persistently.
+//!
 //! Known detection gap: framed-vs-raw is decided by the 4 magic bytes
 //! at stored offset 0 (raw pass-through files are a supported layout,
 //! so there is no out-of-band record of which files are framed).
 //! Corruption of exactly those 4 bytes on a *closed* file makes the
 //! next open classify it as raw and serve stored frame bytes verbatim;
 //! every other stored byte is covered by a header CRC or payload
-//! checksum. Deployments that never mix raw files can close the gap by
-//! treating `attach() == None` as an error at a higher layer.
+//! checksum. (A file shorter than the magic whose bytes match the
+//! magic's own prefix is classified as a torn first frame, not raw —
+//! the crash case.) Deployments that never mix raw files can close the
+//! gap by treating `attach() == None` as an error at a higher layer.
 
 pub mod codec;
 pub mod dedup;
@@ -54,7 +69,10 @@ pub use dedup::DedupIndex;
 
 use parking_lot::Mutex;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{
+    AtomicBool, AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -70,7 +88,7 @@ use frame::{
 /// Byte length of the fixed metadata prefix of a REF frame payload
 /// (origin stored offset + stored length + codec + reserved); the
 /// origin path follows as UTF-8.
-const REF_META_LEN: usize = 16;
+pub(crate) const REF_META_LEN: usize = 16;
 
 // ---------------------------------------------------------------------
 // Integrity error marker
@@ -386,6 +404,21 @@ pub struct FileTransform {
     map: Mutex<FrameMap>,
     /// Next free stored byte; frames allocate their extent here.
     stored_tail: AtomicU64,
+    /// `Some(clean_len)` when [`attach`](Self::attach) found a torn
+    /// tail: the first append truncates the backing file here before
+    /// writing, so new frames are never followed by stale torn bytes.
+    /// Deferred because attach must not mutate (the handle may be
+    /// read-only, and a racing open drops the loser's scan).
+    trim: Mutex<Option<u64>>,
+    /// Fast-path mirror of `trim.is_some()` so the steady-state cost
+    /// of [`prepare_append`](Self::prepare_append) is one atomic load.
+    needs_trim: AtomicBool,
+    /// Raw on-disk length the attach scan observed — clean prefix
+    /// *plus* any torn tail. The open path revalidates an unlocked
+    /// scan against the live file length with this (not `stored_tail`,
+    /// which already excludes discarded torn bytes and so would never
+    /// match a damaged file).
+    scan_raw: u64,
     /// Open backend handles of dedup-origin files, keyed by path —
     /// resolving N reference records into the same origin must not
     /// cost N backend opens. Bounded FIFO; dropped with the entry at
@@ -400,16 +433,28 @@ impl FileTransform {
             ctx,
             map: Mutex::new(FrameMap::default()),
             stored_tail: AtomicU64::new(0),
+            trim: Mutex::new(None),
+            needs_trim: AtomicBool::new(false),
+            scan_raw: 0,
             origins: Mutex::new(Vec::new()),
         }
     }
 
     /// Attaches to an existing backend file: empty files and files whose
-    /// first bytes validate as a frame header are (re)opened framed —
-    /// the latter via a full header scan that rebuilds the frame map.
+    /// first bytes validate as frame magic are (re)opened framed — the
+    /// latter via a full header scan that rebuilds the frame map.
     /// Returns `None` for raw (unframed) files, which keep the paper's
-    /// pass-through layout; fails with an integrity error on a framed
-    /// file whose frame chain is broken.
+    /// pass-through layout.
+    ///
+    /// **Recovery contract** (DESIGN.md §6): the scan keeps the clean
+    /// prefix of structurally valid frames and *discards* any torn
+    /// tail — a crashed append can only damage the tail region, and
+    /// the discarded bytes were never acknowledged through a barrier.
+    /// The stored tail restarts at the clean-prefix end, so new writes
+    /// overwrite the torn bytes. Damage is counted per class in the
+    /// mount stats (`torn_tails` / `bad_header_crc`); the file itself
+    /// is not modified here (it may be open read-only) — `crfs-fsck
+    /// --repair` is the mutating path.
     pub fn attach(
         ctx: Arc<TransformCtx>,
         file: &dyn BackendFile,
@@ -419,22 +464,28 @@ impl FileTransform {
             return Ok(Some(FileTransform::fresh(ctx)));
         }
         let mut map = FrameMap::default();
-        let walked = walk_frames(file, |off, h| map.apply(off, h)).inspect_err(|e| {
-            if is_integrity_error(e) {
-                // Surface scan corruption in the mount-wide counter,
-                // like every other detection site.
-                ctx.stats.integrity_failures.fetch_add(1, Relaxed);
+        let Some(outcome) = walk_frames(file, |off, h| map.apply(off, h))? else {
+            return Ok(None); // raw pass-through file
+        };
+        if let Some(damage) = outcome.damage {
+            match damage {
+                TailDamage::BadHeaderCrc => {
+                    ctx.stats.bad_header_crc.fetch_add(1, Relaxed);
+                }
+                TailDamage::TruncatedHeader | TailDamage::TruncatedPayload => {
+                    ctx.stats.torn_tails.fetch_add(1, Relaxed);
+                }
             }
-        })?;
-        match walked {
-            None => Ok(None), // raw pass-through file
-            Some(stored_len) => Ok(Some(FileTransform {
-                ctx,
-                map: Mutex::new(map),
-                stored_tail: AtomicU64::new(stored_len),
-                origins: Mutex::new(Vec::new()),
-            })),
         }
+        Ok(Some(FileTransform {
+            ctx,
+            map: Mutex::new(map),
+            stored_tail: AtomicU64::new(outcome.clean_len),
+            trim: Mutex::new(outcome.damage.map(|_| outcome.clean_len)),
+            needs_trim: AtomicBool::new(outcome.damage.is_some()),
+            scan_raw: outcome.stored_len,
+            origins: Mutex::new(Vec::new()),
+        }))
     }
 
     /// The mount context this file transforms under.
@@ -448,10 +499,20 @@ impl FileTransform {
     }
 
     /// Current stored tail — the bytes of backing file the frame chain
-    /// accounts for. Used to revalidate a scan done outside the
-    /// open-table lock.
+    /// accounts for (torn tail already discarded).
     pub fn stored_len(&self) -> u64 {
         self.stored_tail.load(Relaxed)
+    }
+
+    /// Raw on-disk length observed by the attach scan, torn tail
+    /// included. Used to revalidate a scan done outside the open-table
+    /// lock: a live length differing from this means frames were
+    /// appended (or the tail trimmed) after the scan, so the open must
+    /// rescan — whereas comparing against [`stored_len`](Self::stored_len)
+    /// would spin forever on a damaged file whose discarded tail is
+    /// still on disk.
+    pub fn scanned_len(&self) -> u64 {
+        self.scan_raw
     }
 
     /// Frames currently mapped (diagnostics).
@@ -528,6 +589,28 @@ impl FileTransform {
         self.stored_tail.fetch_add(len, Relaxed)
     }
 
+    /// One-shot deferred repair of a torn tail found by
+    /// [`attach`](Self::attach): truncates the backing file to the
+    /// clean prefix so the frame about to be appended is not followed
+    /// by stale torn bytes (which a later rescan would re-classify as
+    /// damage). Writers call this before every backend frame write;
+    /// after the first trim (or on an undamaged file) it is a single
+    /// relaxed-ish atomic load. The mutex makes concurrent first
+    /// writers wait until the trim has landed, so no frame can reach
+    /// the backend while torn bytes still follow its extent.
+    pub fn prepare_append(&self, file: &dyn BackendFile) -> io::Result<()> {
+        if !self.needs_trim.load(Acquire) {
+            return Ok(());
+        }
+        let mut g = self.trim.lock();
+        if let Some(clean) = *g {
+            file.set_len(clean)?;
+            *g = None;
+            self.needs_trim.store(false, Release);
+        }
+        Ok(())
+    }
+
     /// Commits a successfully written frame at `stored_off`: installs it
     /// in the frame map (making it readable) and registers fresh content
     /// in the dedup index. Counts `bytes_stored`.
@@ -562,8 +645,13 @@ impl FileTransform {
             map.frames.clear();
             map.logical_len = 0;
             self.stored_tail.store(0, Relaxed);
+            // set_len(0) removed any torn tail along with everything
+            // else — the deferred trim is moot.
+            *self.trim.lock() = None;
+            self.needs_trim.store(false, Release);
             return Ok(());
         }
+        self.prepare_append(file)?;
         let header = FrameHeader {
             codec: STORED_RAW,
             flags: FLAG_TRUNC,
@@ -664,6 +752,7 @@ impl FileTransform {
         } else {
             let mut out = Vec::with_capacity(f.logical_len as usize);
             decode_payload(f.codec, &stored, f.logical_len as usize, &mut out).map_err(|e| {
+                stats.bad_payload_checksum.fetch_add(1, Relaxed);
                 integrity(
                     stats,
                     format!("chunk at {} of {path:?} undecodable: {e}", f.logical_offset),
@@ -672,6 +761,7 @@ impl FileTransform {
             out
         };
         if fnv1a64(&payload) != f.check {
+            stats.bad_payload_checksum.fetch_add(1, Relaxed);
             return Err(integrity(
                 stats,
                 format!(
@@ -777,63 +867,134 @@ impl std::fmt::Debug for FileTransform {
     }
 }
 
+/// Why a frame-chain scan stopped before the stored EOF — the damage
+/// classes the recovery contract distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailDamage {
+    /// Fewer than [`FRAME_HEADER_LEN`] bytes remained past the clean
+    /// prefix — the classic torn tail of a crashed append.
+    TruncatedHeader,
+    /// A full header's worth of bytes was present but failed magic or
+    /// CRC validation — a torn header, an unwritten (hole) region left
+    /// by out-of-order completion, or bit rot.
+    BadHeaderCrc,
+    /// The header validated but its payload extends past the stored
+    /// EOF — the payload write was cut short.
+    TruncatedPayload,
+}
+
+/// The result of walking a framed file's chain under the recovery
+/// contract: the clean prefix that survives, and the damage (if any)
+/// that ended the walk.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOutcome {
+    /// Stored length of the backing file at scan time.
+    pub stored_len: u64,
+    /// End of the clean frame prefix — every frame below this offset
+    /// validated structurally; everything at or past it is discarded.
+    pub clean_len: u64,
+    /// Why the scan stopped early; `None` after a complete clean walk.
+    pub damage: Option<TailDamage>,
+}
+
 /// Walks a stored file's frame chain, calling `visit(stored_off,
-/// header)` for every frame in file order. Returns `Ok(None)` when the
-/// file is raw (no frame magic at offset 0) and `Ok(Some(stored_len))`
-/// after a complete walk. A torn or malformed chain — header
-/// overrunning EOF, payload cut short, header CRC mismatch — fails
-/// with an integrity-marked error: once the magic says framed, a bad
-/// chain is corruption, never a silent downgrade to raw. The single
-/// walker behind [`FileTransform::attach`] and [`scan_logical_len`].
+/// header)` for every frame of the **clean prefix** in file order.
+/// Returns `Ok(None)` when the file is raw (no frame magic at offset
+/// 0) and `Ok(Some(outcome))` for a framed file.
+///
+/// This is the enforcement point of the crash-recovery contract
+/// (DESIGN.md §6): frames are append-only and a mid-write crash can
+/// only damage the unsynchronized tail region, so the first structural
+/// failure — header overrunning EOF, magic/CRC mismatch, payload cut
+/// short by EOF — **ends the chain** and everything from there on is
+/// discarded rather than surfaced. Discarded bytes are unreachable
+/// (the read planner only sees visited frames), so a torn tail can
+/// never produce wrong bytes; a torn payload that stayed *in bounds*
+/// passes this structural scan and is caught by the per-frame payload
+/// checksum at read time instead. The single walker behind
+/// [`FileTransform::attach`] and [`scan_logical_len`], so the open
+/// path and the metadata path can never disagree on what survives.
 fn walk_frames(
     file: &dyn BackendFile,
     mut visit: impl FnMut(u64, &FrameHeader),
-) -> io::Result<Option<u64>> {
+) -> io::Result<Option<ScanOutcome>> {
     let stored_len = file.len()?;
-    if stored_len < FRAME_HEADER_LEN {
+    if stored_len == 0 {
         return Ok(None);
+    }
+    // Framed-vs-raw is decided by the magic prefix: a file shorter than
+    // the magic itself whose bytes match the magic's own prefix is a
+    // first frame torn almost immediately — classify framed (empty
+    // clean prefix) rather than serving the fragment as raw bytes.
+    let magic = FRAME_MAGIC.to_le_bytes();
+    let probe_len = stored_len.min(4) as usize;
+    let mut probe = [0u8; 4];
+    read_exact_at(file, 0, &mut probe[..probe_len])?;
+    if probe[..probe_len] != magic[..probe_len] {
+        return Ok(None);
+    }
+    if stored_len < FRAME_HEADER_LEN {
+        return Ok(Some(ScanOutcome {
+            stored_len,
+            clean_len: 0,
+            damage: Some(TailDamage::TruncatedHeader),
+        }));
     }
     let mut hdr = [0u8; FRAME_HEADER_LEN as usize];
-    read_exact_at(file, 0, &mut hdr)?;
-    if hdr[..4] != FRAME_MAGIC.to_le_bytes() {
-        return Ok(None);
-    }
-    let corrupt =
-        |detail: String| io::Error::new(io::ErrorKind::InvalidData, IntegrityViolation { detail });
     let mut off = 0u64;
     while off < stored_len {
         if off + FRAME_HEADER_LEN > stored_len {
-            return Err(corrupt(format!(
-                "frame header at {off} overruns the stored file"
-            )));
+            return Ok(Some(ScanOutcome {
+                stored_len,
+                clean_len: off,
+                damage: Some(TailDamage::TruncatedHeader),
+            }));
         }
         read_exact_at(file, off, &mut hdr)?;
-        let h =
-            FrameHeader::decode(&hdr).map_err(|e| corrupt(format!("frame scan at {off}: {e}")))?;
+        let Ok(h) = FrameHeader::decode(&hdr) else {
+            return Ok(Some(ScanOutcome {
+                stored_len,
+                clean_len: off,
+                damage: Some(TailDamage::BadHeaderCrc),
+            }));
+        };
         let next = off + FRAME_HEADER_LEN + u64::from(h.stored_len);
         if next > stored_len {
-            return Err(corrupt(format!(
-                "frame payload at {off} overruns the stored file"
-            )));
+            return Ok(Some(ScanOutcome {
+                stored_len,
+                clean_len: off,
+                damage: Some(TailDamage::TruncatedPayload),
+            }));
         }
         visit(off, &h);
         off = next;
     }
-    Ok(Some(stored_len))
+    Ok(Some(ScanOutcome {
+        stored_len,
+        clean_len: stored_len,
+        damage: None,
+    }))
 }
 
-/// Scans a backend file's frame headers to report its logical length;
-/// `None` when the file is raw (unframed). Used for `file_len` on
-/// files that are not open. Shares [`walk_frames`] and
-/// [`FrameMap::apply`] with the open path, so `file_len` can never
-/// report a healthy length for a file `open` will refuse (or vice
-/// versa).
+/// Scans a backend file's frame headers under the recovery contract to
+/// report its logical length; `None` when the file is raw (unframed).
+/// A torn tail is discarded exactly as [`FileTransform::attach`]
+/// discards it — the two share [`walk_frames`] and [`FrameMap::apply`]
+/// — so `file_len` always reports the same length a subsequent `open`
+/// will serve.
 pub fn scan_logical_len(file: &dyn BackendFile) -> io::Result<Option<u64>> {
     let mut map = FrameMap::default();
     match walk_frames(file, |off, h| map.apply(off, h))? {
         None => Ok(None),
         Some(_) => Ok(Some(map.logical_len)),
     }
+}
+
+/// Scans a framed file and reports the clean-prefix outcome without
+/// building a frame map — the structural half of what `crfs-fsck`
+/// checks. Returns `None` for raw files.
+pub fn scan_outcome(file: &dyn BackendFile) -> io::Result<Option<ScanOutcome>> {
+    walk_frames(file, |_, _| {})
 }
 
 #[cfg(test)]
@@ -856,6 +1017,7 @@ mod tests {
         offset: u64,
         payload: &[u8],
     ) {
+        ft.prepare_append(file).unwrap();
         let enc = ft.encode_chunk(offset, payload);
         let off = ft.allocate(enc.stored_bytes() as u64);
         file.write_at(off, enc.bytes()).unwrap();
@@ -944,29 +1106,90 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_rejected_by_attach_and_scan_alike() {
-        let (ctx, _stats) = ctx(CodecKind::Identity, false);
+    fn torn_tail_is_discarded_by_attach_and_scan_alike() {
+        let (ctx, stats) = ctx(CodecKind::Identity, false);
         let be = MemBackend::new();
         let file = be.open("/f", OpenOptions::create_truncate()).unwrap();
         let ft = FileTransform::fresh(Arc::clone(&ctx));
         let path: Arc<str> = "/f".into();
         write_all(&ft, &*file, &path, 0, &compressible(1000, 4));
-        // Tear the last frame: chop half the stored payload (a crashed
-        // write). Both the open path and the metadata scan must refuse.
+        let clean = file.len().unwrap();
+        write_all(&ft, &*file, &path, 1000, &compressible(1000, 6));
+        // Tear the last frame: chop half its stored payload (a crashed
+        // write). The recovery contract keeps the clean first frame and
+        // discards the torn tail — on the open path and the metadata
+        // scan alike.
         let stored = file.len().unwrap();
         file.set_len(stored - 100).unwrap();
-        let err = FileTransform::attach(Arc::clone(&ctx), &*file).unwrap_err();
-        assert!(is_integrity_error(&err), "attach: {err}");
-        let err = scan_logical_len(&*file).unwrap_err();
-        assert!(is_integrity_error(&err), "scan: {err}");
-        // Trailing garbage shorter than a header is equally torn.
-        file.set_len(stored).unwrap();
+        let ft2 = FileTransform::attach(Arc::clone(&ctx), &*file)
+            .unwrap()
+            .expect("framed");
+        assert_eq!(ft2.logical_len(), 1000, "clean prefix survives");
+        assert_eq!(ft2.frame_count(), 1);
+        assert_eq!(
+            ft2.stored_len(),
+            clean,
+            "stored tail resets to the clean prefix so new writes overwrite the tear"
+        );
+        assert_eq!(stats.torn_tails.load(Relaxed), 1, "damage is counted");
+        let mut buf = vec![0u8; 1000];
+        assert_eq!(ft2.read_logical(&*file, &path, 0, &mut buf).unwrap(), 1000);
+        assert_eq!(buf, compressible(1000, 4), "surviving bytes are exact");
+        assert_eq!(scan_logical_len(&*file).unwrap(), Some(1000));
+        let outcome = scan_outcome(&*file).unwrap().expect("framed");
+        assert_eq!(outcome.clean_len, clean);
+        assert_eq!(outcome.damage, Some(TailDamage::TruncatedPayload));
+        // Writing past the recovered tail reuses the torn region and
+        // yields a fully clean chain again.
+        write_all(&ft2, &*file, &path, 1000, &compressible(200, 7));
+        assert!(scan_outcome(&*file).unwrap().unwrap().damage.is_none());
+
+        // Trailing garbage shorter than a header is a truncated-header
+        // tear: discarded the same way.
         let g = be.open("/g", OpenOptions::create_truncate()).unwrap();
         let ft = FileTransform::fresh(Arc::clone(&ctx));
         write_all(&ft, &*g, &"/g".into(), 0, &compressible(500, 5));
         let glen = g.len().unwrap();
         g.write_at(glen, &[0u8; 13]).unwrap();
-        assert!(scan_logical_len(&*g).is_err());
+        assert_eq!(scan_logical_len(&*g).unwrap(), Some(500));
+        let outcome = scan_outcome(&*g).unwrap().expect("framed");
+        assert_eq!(outcome.clean_len, glen);
+        assert_eq!(outcome.damage, Some(TailDamage::TruncatedHeader));
+
+        // A header-sized run of garbage (an out-of-order-completion
+        // hole) classifies as a bad header CRC.
+        let h = be.open("/h", OpenOptions::create_truncate()).unwrap();
+        let ft = FileTransform::fresh(Arc::clone(&ctx));
+        write_all(&ft, &*h, &"/h".into(), 0, &compressible(500, 5));
+        let hlen = h.len().unwrap();
+        h.write_at(hlen, &[0u8; 96]).unwrap();
+        let before = stats.bad_header_crc.load(Relaxed);
+        let fth = FileTransform::attach(Arc::clone(&ctx), &*h)
+            .unwrap()
+            .expect("framed");
+        assert_eq!(fth.logical_len(), 500);
+        assert_eq!(stats.bad_header_crc.load(Relaxed), before + 1);
+    }
+
+    #[test]
+    fn first_frame_torn_inside_the_magic_is_framed_and_empty() {
+        let (ctx, _stats) = ctx(CodecKind::Identity, false);
+        let be = MemBackend::new();
+        // A crash 3 bytes into the very first frame write leaves "CRF":
+        // a prefix of the frame magic, so the file classifies as framed
+        // with an empty clean prefix — never served raw.
+        let file = be.open("/t", OpenOptions::create_truncate()).unwrap();
+        file.write_at(0, &FRAME_MAGIC.to_le_bytes()[..3]).unwrap();
+        let ft = FileTransform::attach(Arc::clone(&ctx), &*file)
+            .unwrap()
+            .expect("classified framed");
+        assert_eq!(ft.logical_len(), 0);
+        assert_eq!(ft.stored_len(), 0);
+        assert_eq!(scan_logical_len(&*file).unwrap(), Some(0));
+        // While a genuinely raw file of the same length is untouched.
+        let raw = be.open("/r", OpenOptions::create_truncate()).unwrap();
+        raw.write_at(0, b"xyz").unwrap();
+        assert!(FileTransform::attach(ctx, &*raw).unwrap().is_none());
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! End-to-end crash/repair smoke for the `crfs-fsck` binary: crash a
+//! checkpoint write at three byte offsets (mid-header, mid-payload,
+//! inside the header's checksum field), run `crfs-fsck --repair` on the
+//! volume, and gate a byte-exact restart — the reopened file must serve
+//! exactly the acked frame prefix and never a wrong byte.
+//!
+//! This is the CI `fsck-smoke` driver (see `.github/workflows/ci.yml`).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+use crfs_core::backend::{Backend, LocalFileBackend};
+use crfs_core::transform::frame::{FrameHeader, FRAME_HEADER_LEN};
+use crfs_core::{CodecKind, Crfs, CrfsConfig};
+
+const CHUNK: usize = 4096;
+const CHUNKS: usize = 5;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crfs-fsck-bin-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config() -> CrfsConfig {
+    // One io thread keeps frame-log order equal to logical order, so
+    // "the surviving frame prefix" is a logical data prefix and the
+    // byte-exact assertion below is deterministic.
+    CrfsConfig::default()
+        .with_chunk_size(CHUNK)
+        .with_pool_size(16 * CHUNK)
+        .with_io_threads(1)
+        .with_codec(CodecKind::Lz)
+}
+
+fn pattern() -> Vec<u8> {
+    (0..CHUNK * CHUNKS)
+        .map(|i| (i / 7 + i / 4096) as u8)
+        .collect()
+}
+
+/// Writes one checkpoint file and returns the host path of its frame log.
+fn populate(root: &Path) -> PathBuf {
+    let backend: Arc<dyn Backend> = Arc::new(LocalFileBackend::new(root).unwrap());
+    let fs = Crfs::mount(backend, config()).unwrap();
+    let f = fs.create("/rank0.img").unwrap();
+    f.write(&pattern()).unwrap();
+    f.close().unwrap();
+    fs.unmount().unwrap();
+    root.join("rank0.img")
+}
+
+/// Byte offset (from file start) where the last frame begins.
+fn last_frame_start(log: &Path) -> u64 {
+    let bytes = std::fs::read(log).unwrap();
+    let mut off = 0u64;
+    let mut last = 0u64;
+    while off + FRAME_HEADER_LEN <= bytes.len() as u64 {
+        let h = FrameHeader::decode(&bytes[off as usize..(off + FRAME_HEADER_LEN) as usize])
+            .expect("populated log must be a clean chain");
+        last = off;
+        off += FRAME_HEADER_LEN + u64::from(h.stored_len);
+    }
+    assert_eq!(off, bytes.len() as u64, "clean chain covers the file");
+    last
+}
+
+fn run_fsck(root: &Path, extra: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_crfs-fsck"))
+        .args(extra)
+        .arg(root.to_str().unwrap())
+        .output()
+        .unwrap();
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// The acked-prefix restart gate: after a crash `cut_into` bytes into
+/// the last frame and `crfs-fsck --repair`, the reopened file serves
+/// exactly the first four chunks, byte for byte.
+fn crash_repair_restart(tag: &str, cut_into: impl Fn(u64, u64) -> u64) {
+    let root = temp_root(tag);
+    let log = populate(&root);
+    let frame_start = last_frame_start(&log);
+    let len = std::fs::metadata(&log).unwrap().len();
+    let cut = cut_into(frame_start, len);
+    assert!(cut > frame_start && cut < len, "cut tears the last frame");
+
+    // Crash: the tail of the final frame never reaches the disk.
+    let f = std::fs::OpenOptions::new().write(true).open(&log).unwrap();
+    f.set_len(cut).unwrap();
+    drop(f);
+
+    // Dry run first: reports the tear, exits nonzero, mutates nothing.
+    let (clean, report) = run_fsck(&root, &["--dry-run", "--quiet"]);
+    assert!(!clean, "dry run must report damage: {report}");
+    assert_eq!(std::fs::metadata(&log).unwrap().len(), cut);
+
+    // Repair: truncate to the last valid frame.
+    let (repaired, report) = run_fsck(&root, &["--repair", "--quiet"]);
+    assert!(repaired, "repair must succeed: {report}");
+    assert_eq!(std::fs::metadata(&log).unwrap().len(), frame_start);
+
+    // A second sweep sees a clean volume.
+    let (clean, report) = run_fsck(&root, &["--quiet"]);
+    assert!(clean, "repaired volume must scan clean: {report}");
+
+    // Restart gate: byte-exact acked prefix, no wrong bytes.
+    let backend: Arc<dyn Backend> = Arc::new(LocalFileBackend::new(&root).unwrap());
+    let fs = Crfs::mount(backend, config()).unwrap();
+    let f = fs.open("/rank0.img").unwrap();
+    let logical = f.len().unwrap();
+    assert_eq!(logical, (CHUNK * (CHUNKS - 1)) as u64, "one chunk lost");
+    let mut got = vec![0u8; logical as usize];
+    let n = f.read_at(0, &mut got).unwrap();
+    assert_eq!(n, got.len());
+    assert_eq!(got, pattern()[..logical as usize], "no wrong bytes");
+    f.close().unwrap();
+    fs.unmount().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn crash_mid_header_repairs_to_byte_exact_restart() {
+    crash_repair_restart("mid-header", |frame, _| frame + 10);
+}
+
+#[test]
+fn crash_mid_checksum_field_repairs_to_byte_exact_restart() {
+    // Bytes 26..34 of the header hold the payload checksum; cutting
+    // inside them leaves a header that fails CRC/length validation.
+    crash_repair_restart("mid-checksum", |frame, _| frame + 30);
+}
+
+#[test]
+fn crash_mid_payload_repairs_to_byte_exact_restart() {
+    crash_repair_restart("mid-payload", |frame, len| {
+        frame + FRAME_HEADER_LEN + (len - frame - FRAME_HEADER_LEN) / 2
+    });
+}
+
+#[test]
+fn clean_volume_exits_zero() {
+    let root = temp_root("clean");
+    populate(&root);
+    let (clean, report) = run_fsck(&root, &[]);
+    assert!(clean, "{report}");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -360,3 +360,165 @@ fn truncated_container_is_rejected_with_clear_error() {
         "unhelpful error: {err}"
     );
 }
+
+// ---------------------------------------------------------------------
+// Crash consistency: torn writes and power cuts (DESIGN.md §6)
+// ---------------------------------------------------------------------
+
+/// A power cut mid-checkpoint, then "power back on": the reopened file
+/// serves a frame-granular prefix of the written data, byte for byte,
+/// with the flush-acked bytes guaranteed present and the torn tail
+/// discarded — never a wrong byte.
+#[test]
+fn power_cut_recovery_serves_acked_prefix_only() {
+    let be = Arc::new(FaultyBackend::new(MemBackend::new(), FailureMode::None));
+    // One io thread keeps frame order equal to logical order, so the
+    // surviving frame prefix is a data prefix.
+    let config = small_config().with_io_threads(1).with_codec(CodecKind::Lz);
+    let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, config.clone()).unwrap();
+    let f = fs.create("/ckpt").unwrap();
+    let data = transform_payload(8 * 1024);
+    // The first four chunks are flush-acked: the recovery contract says
+    // they must survive the crash.
+    f.write(&data[..4096]).unwrap();
+    f.flush().unwrap();
+
+    // Power cut: the budget dies inside one of the remaining frames.
+    be.set_mode(FailureMode::PowerCutAfterBytes(50));
+    f.write(&data[4096..]).unwrap();
+    let err = f.close().unwrap_err();
+    assert!(matches!(err, CrfsError::DeferredWrite { .. }), "{err:?}");
+    assert!(be.is_dead(), "the crash killed the backend");
+    let _ = fs.unmount(); // may re-report the deferred error
+
+    // Remount after the outage: open-scan keeps the clean frame prefix.
+    be.revive();
+    let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, config).unwrap();
+    let f = fs.open("/ckpt").unwrap();
+    let len = f.len().unwrap() as usize;
+    assert!(len >= 4096, "flush-acked bytes lost: {len}");
+    assert!(len <= data.len());
+    assert_eq!(len % 1024, 0, "recovery is frame-granular: {len}");
+    let mut got = vec![0u8; len];
+    assert_eq!(f.read_at(0, &mut got).unwrap(), len);
+    assert_eq!(got, data[..len], "restart served wrong bytes");
+    f.close().unwrap();
+    fs.unmount().unwrap();
+}
+
+/// A write torn seven bytes into its frame header leaves stray bytes no
+/// scan can mistake for a frame: reopen discards exactly that tail,
+/// counts it in the mount stats, and a write on the recovered handle
+/// makes the chain permanently clean again (the deferred trim).
+#[test]
+fn torn_header_is_discarded_counted_and_healed_by_next_write() {
+    let be = Arc::new(FaultyBackend::new(MemBackend::new(), FailureMode::None));
+    let config = small_config().with_io_threads(1).with_codec(CodecKind::Lz);
+    let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, config.clone()).unwrap();
+    let f = fs.create("/ckpt").unwrap();
+    let data = transform_payload(3 * 1024);
+    f.write(&data).unwrap();
+    f.flush().unwrap();
+    let clean_stored = be.inner().contents("/ckpt").unwrap().len();
+
+    // Tear the very next write 7 bytes in: a torn frame header. `op`
+    // is an absolute index into the mount's op stream, so anchor it on
+    // the ops already issued.
+    be.set_mode(FailureMode::TornWriteAt {
+        op: be.writes_seen(),
+        byte: 7,
+    });
+    f.write(&data[..1024]).unwrap();
+    assert!(f.close().is_err());
+    let _ = fs.unmount();
+    assert_eq!(
+        be.inner().contents("/ckpt").unwrap().len(),
+        clean_stored + 7,
+        "exactly the torn prefix landed"
+    );
+
+    be.revive();
+    let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, config.clone()).unwrap();
+    let f = fs.open("/ckpt").unwrap();
+    assert_eq!(f.len().unwrap(), data.len() as u64);
+    let mut got = vec![0u8; data.len()];
+    f.read_at(0, &mut got).unwrap();
+    assert_eq!(got, data);
+    assert_eq!(
+        fs.stats().torn_tails,
+        1,
+        "the discarded tail is counted in the mount stats"
+    );
+
+    // Writing through the recovered handle trims the stale tail before
+    // the first new frame, so a rescan finds a clean chain.
+    f.write_at(data.len() as u64, &data[..1024]).unwrap();
+    f.close().unwrap();
+    fs.unmount().unwrap();
+    let fs = Crfs::mount(be as Arc<dyn Backend>, config).unwrap();
+    assert_eq!(fs.stats().torn_tails, 0, "healed log must rescan clean");
+    let f = fs.open("/ckpt").unwrap();
+    assert_eq!(f.len().unwrap() as usize, data.len() + 1024);
+    f.close().unwrap();
+    fs.unmount().unwrap();
+}
+
+use crfs::storage::{RpcStore, RpcStoreParams};
+use std::time::{Duration, Instant};
+
+/// `set_mode` applies to subsequently *issued* ops only: flipping the
+/// backend to a failing mode while acks sit in the RPC store's deadline
+/// heap must not retroactively fail them — the in-flight window drains
+/// clean, and only ops issued after the flip fail. Ring engine, so the
+/// issue/ack gap is real.
+#[test]
+fn set_mode_mid_flight_spares_in_flight_acks() {
+    use crfs::core::EngineKind;
+    let store = Arc::new(RpcStore::new(
+        FaultyBackend::new(MemBackend::new(), FailureMode::None),
+        RpcStoreParams {
+            read_rtt: Duration::ZERO,
+            // A long ack delay: data lands in the wrapped backend at
+            // issue time, acks stay queued in the deadline heap.
+            write_rtt: Duration::from_millis(80),
+            bandwidth: 4 << 30,
+        },
+    ));
+    let fs = Crfs::mount(
+        store.clone() as Arc<dyn Backend>,
+        small_config().with_engine(EngineKind::Ring),
+    )
+    .unwrap();
+    let f = fs.create("/inflight").unwrap();
+    let data = vec![0xA5u8; 4096];
+    f.write(&data).unwrap();
+
+    // Wait until every chunk has been *issued* (landed in the wrapped
+    // backend) — the acks are still ~80 ms out.
+    let t0 = Instant::now();
+    while store.inner().writes_seen() < 4 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "issue never drained"
+        );
+        std::thread::yield_now();
+    }
+    // Flip mid-flight: from now on every issued write fails.
+    store.inner().set_mode(FailureMode::FailWritesAfter(0));
+
+    // The in-flight window must drain clean at the barrier.
+    f.flush()
+        .expect("in-flight acks must not be failed retroactively");
+    f.close().unwrap();
+    assert_eq!(
+        store.inner().inner().contents("/inflight").unwrap(),
+        data,
+        "issued-before-flip data is intact"
+    );
+
+    // Ops issued after the flip observe the new mode.
+    let g = fs.create("/after").unwrap();
+    g.write(&vec![1u8; 2048]).unwrap();
+    assert!(g.close().is_err(), "post-flip writes must fail");
+    let _ = fs.unmount();
+}
