@@ -36,10 +36,12 @@ pub const ALL_IDS: [&str; 10] = [
 /// chunk transform sweep (compression × dedup × integrity; emits
 /// `BENCH_compress.json`), the ring-engine depth sweep (in-flight
 /// ops vs throughput at fixed `io_threads`; emits `BENCH_engine.json`),
-/// and the crash-recovery fsck sweep (parallel checker scaling + a
+/// the crash-recovery fsck sweep (parallel checker scaling + a
 /// crash-point sweep gating zero wrong-byte restarts; emits
-/// `BENCH_fsck.json`).
-pub const EXTENSION_IDS: [&str; 9] = [
+/// `BENCH_fsck.json`), and the versioned-snapshot sweep (incremental
+/// epoch cost vs dirty fraction, chunk GC reclamation, byte-exact
+/// restart from every retained epoch; emits `BENCH_snapshot.json`).
+pub const EXTENSION_IDS: [&str; 10] = [
     "iothreads",
     "chunksweep",
     "restart",
@@ -49,6 +51,7 @@ pub const EXTENSION_IDS: [&str; 9] = [
     "compress",
     "engine",
     "fsck",
+    "snapshot",
 ];
 
 /// Runs one experiment by id. `quick` scales data sizes down for smoke
@@ -74,6 +77,7 @@ pub fn run_one(id: &str, quick: bool) -> Option<ExpOutput> {
         "compress" => compress(quick),
         "engine" => engine(quick),
         "fsck" => fsck(quick),
+        "snapshot" => snapshot(quick),
         _ => return None,
     })
 }
@@ -1416,6 +1420,133 @@ fn fsck(quick: bool) -> ExpOutput {
     ExpOutput {
         id: "fsck",
         title: "Crash recovery: parallel fsck scaling and wrong-byte-free restarts".into(),
+        text,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Versioned-snapshot sweep (extension; emits BENCH_snapshot.json)
+// ---------------------------------------------------------------------
+
+fn snapshot(quick: bool) -> ExpOutput {
+    let sweep = real::snapshot_sweep(quick);
+
+    let mut t = Table::new(&[
+        "Dirty",
+        "Epochs",
+        "Keep",
+        "Epoch0 KiB",
+        "Delta KiB",
+        "Delta ratio",
+        "GC chunks",
+        "GC KiB",
+        "GC pause ms",
+        "Retained",
+        "Restart",
+    ]);
+    let mut rows_json = Vec::new();
+    for p in &sweep {
+        let mean_delta = if p.epoch_bytes.len() > 1 {
+            p.epoch_bytes[1..].iter().sum::<u64>() / (p.epoch_bytes.len() - 1) as u64
+        } else {
+            0
+        };
+        let restart = if p.restart_ok && p.gc_lost_chunks == 0 {
+            "exact".to_string()
+        } else {
+            format!("LOST {}", p.gc_lost_chunks)
+        };
+        t.row(&[
+            format!("{:.0}%", p.dirty * 100.0),
+            p.epochs.to_string(),
+            p.keep.to_string(),
+            (p.epoch_bytes.first().copied().unwrap_or(0) >> 10).to_string(),
+            (mean_delta >> 10).to_string(),
+            format!("{:.3}", p.delta_ratio),
+            format!("{}/{}", p.gc_reclaimed_chunks, p.gc_scanned),
+            (p.gc_reclaimed_bytes >> 10).to_string(),
+            format!("{:.2}", p.gc_pause_ms),
+            p.retained.len().to_string(),
+            restart,
+        ]);
+        rows_json.push(json!({
+            "dirty": p.dirty,
+            "epochs": p.epochs,
+            "keep_epochs": p.keep,
+            "images": p.images,
+            "image_bytes": p.image_bytes,
+            "chunk_size": p.chunk,
+            "epoch_bytes": p.epoch_bytes.clone(),
+            "delta_ratio": p.delta_ratio,
+            "gc_scanned_chunks": p.gc_scanned,
+            "gc_reclaimed_chunks": p.gc_reclaimed_chunks,
+            "gc_reclaimed_bytes": p.gc_reclaimed_bytes,
+            "gc_pause_ms": p.gc_pause_ms,
+            "retained_epochs": p.retained.clone(),
+            "restart_bytes": p.restart_bytes,
+            "restart_ok": p.restart_ok,
+            "gc_lost_chunks": p.gc_lost_chunks,
+            "reclaim_complete": p.reclaim_complete,
+            "secs": p.secs,
+            "mibs": p.mibs,
+        }));
+    }
+
+    // Headline: the 10%-dirty cell carries the incremental-checkpoint
+    // claim — a dirty epoch must cost at most 25% of the full image —
+    // and every cell must restart byte-exactly with zero chunks lost
+    // to GC and a fully drained reclaim pass.
+    let inc = sweep
+        .iter()
+        .find(|p| (p.dirty - 0.1).abs() < 1e-9)
+        .expect("10%-dirty cell");
+    let gc_lost: u64 = sweep.iter().map(|p| p.gc_lost_chunks).sum();
+    let restart_ok = sweep.iter().all(|p| p.restart_ok);
+    let reclaim_complete = sweep.iter().all(|p| p.reclaim_complete);
+    let gc_reclaimed: usize = sweep.iter().map(|p| p.gc_reclaimed_chunks).sum();
+
+    let text = format!(
+        "Versioned-snapshot sweep: each epoch a full rewrite of the \
+         checkpoint images with a varying dirty fraction, sealed into a \
+         per-epoch manifest over a shared content store (unchanged \
+         chunks dedup into references, only dirty chunks store new \
+         bytes), then mark-and-sweep GC, a remount, and a byte-exact \
+         restart from every retained epoch\n\n\
+         {t}\n\
+         headline: a 10%-dirty epoch stores {:.1}% of the full-image \
+         epoch's bytes (gate: <= 25%); GC reclaimed {gc_reclaimed} \
+         retired chunks with {gc_lost} reachable chunks lost (gate: 0); \
+         restart from every retained epoch was {} and a second GC pass \
+         found {} to reclaim.\n",
+        inc.delta_ratio * 100.0,
+        if restart_ok { "byte-exact" } else { "WRONG" },
+        if reclaim_complete { "nothing" } else { "MORE" },
+    );
+    let json = json!({
+        "workload": {
+            "chunk_size": sweep.first().map_or(0, |p| p.chunk),
+            "codec": "lz",
+            "dedup": true,
+            "quick": quick,
+        },
+        "sweep": rows_json,
+        "headline": {
+            "incremental_dirty": inc.dirty,
+            "delta_ratio": inc.delta_ratio,
+            "delta_ratio_gate": 0.25,
+            "gc_lost_chunks": gc_lost,
+            "gc_reclaimed_chunks": gc_reclaimed,
+            "restart_ok": restart_ok,
+            "reclaim_complete": reclaim_complete,
+        },
+    });
+    let pretty = serde_json::to_string_pretty(&json).unwrap_or_default();
+    let _ = std::fs::write("BENCH_snapshot.json", pretty);
+    ExpOutput {
+        id: "snapshot",
+        title: "Versioned snapshots: incremental epoch cost, chunk GC, restart-from-any-epoch"
+            .into(),
         text,
         json,
     }

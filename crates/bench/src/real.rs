@@ -499,7 +499,7 @@ pub fn compress_cell(
                 });
             }
         });
-        fs.advance_epoch();
+        fs.advance_epoch().unwrap();
     }
     let secs = t0.elapsed().as_secs_f64();
     let write_snap = fs.stats();
@@ -1180,6 +1180,205 @@ pub fn fsck_crash_sweep(quick: bool) -> Vec<CrashPoint> {
         });
     }
     out
+}
+
+/// One cell of the incremental-snapshot sweep: a dirty fraction run
+/// through several checkpoint epochs, GC'd, remounted, and restarted
+/// from every retained epoch.
+pub struct SnapshotPoint {
+    /// Fraction of each image's chunks whose content changes per epoch.
+    pub dirty: f64,
+    /// Checkpoint epochs written (full rewrites of every image).
+    pub epochs: usize,
+    /// Snapshot retention window (`keep_epochs`).
+    pub keep: usize,
+    /// Checkpoint files written per epoch.
+    pub images: usize,
+    /// Logical bytes per image.
+    pub image_bytes: u64,
+    /// Chunk size in bytes.
+    pub chunk: usize,
+    /// New content-store bytes each epoch added (index = epoch).
+    pub epoch_bytes: Vec<u64>,
+    /// `mean(epoch_bytes[1..]) / epoch_bytes[0]` — the incremental
+    /// cost of a dirty epoch relative to the first full image.
+    pub delta_ratio: f64,
+    /// CAS chunk files the GC pass examined.
+    pub gc_scanned: usize,
+    /// Unreachable chunk files the GC pass unlinked.
+    pub gc_reclaimed_chunks: usize,
+    /// Stored bytes those files held.
+    pub gc_reclaimed_bytes: u64,
+    /// Milliseconds the sweep held the store lock (writer-visible pause).
+    pub gc_pause_ms: f64,
+    /// Epochs still restartable after retention + GC, oldest first.
+    pub retained: Vec<u64>,
+    /// Logical bytes read back through `open_restart` views.
+    pub restart_bytes: u64,
+    /// Every restart byte matched the epoch's expected content.
+    pub restart_ok: bool,
+    /// Restart chunks lost or corrupted after GC (must be 0).
+    pub gc_lost_chunks: u64,
+    /// A second GC pass after remount reclaimed nothing — the first
+    /// pass freed 100% of the unreferenced chunks.
+    pub reclaim_complete: bool,
+    /// Wall-clock seconds for the checkpoint (write) phase.
+    pub secs: f64,
+    /// Logical checkpoint throughput, MiB/s.
+    pub mibs: f64,
+}
+
+fn snapshot_config(chunk: usize, keep: usize) -> CrfsConfig {
+    CrfsConfig::default()
+        .with_chunk_size(chunk)
+        .with_pool_size(8 * chunk)
+        .with_codec(CodecKind::Lz)
+        .with_dedup(true)
+        .with_snapshots(true)
+        .with_snapshot_keep_epochs(keep)
+}
+
+/// Measures one snapshot cell: `epochs` full rewrites of `images`
+/// checkpoint files in which a `dirty` fraction of chunks changes each
+/// epoch, sealing a manifest per epoch, then one GC pass, a remount,
+/// and a byte-exact [`Crfs::open_restart`] of every retained epoch.
+pub fn snapshot_cell(
+    dirty: f64,
+    epochs: usize,
+    keep: usize,
+    images: usize,
+    image_bytes: u64,
+    chunk: usize,
+) -> SnapshotPoint {
+    // The content store must be readable for restart — Mem, not Discard.
+    let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    let config = snapshot_config(chunk, keep);
+    let chunks_per_file = image_bytes / chunk as u64;
+    // Chunks outside the dirty fraction are epoch-independent, so the
+    // rewrite dedups them into references and only dirty chunks reach
+    // the content store.
+    let dup_fraction = 1.0 - dirty;
+
+    let fs = Crfs::mount(Arc::clone(&backend), config.clone()).expect("mount");
+    fs.mkdir_all("/ckpt").expect("mkdir");
+    let mut epoch_bytes = Vec::with_capacity(epochs);
+    let mut stored_before = 0u64;
+    let t0 = Instant::now();
+    for epoch in 0..epochs {
+        std::thread::scope(|s| {
+            for file in 0..images {
+                let fs = &fs;
+                s.spawn(move || {
+                    let f = fs.create(&format!("/ckpt/rank{file}.img")).expect("create");
+                    for idx in 0..chunks_per_file {
+                        let payload = epoch_chunk_payload(chunk, file, idx, epoch, dup_fraction);
+                        f.write(&payload).expect("write");
+                    }
+                    f.close().expect("close");
+                });
+            }
+        });
+        fs.advance_epoch().expect("advance_epoch");
+        let stored = fs.stats().snapshot_bytes;
+        epoch_bytes.push(stored - stored_before);
+        stored_before = stored;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let logical = epochs as u64 * images as u64 * image_bytes;
+    let mibs = logical as f64 / (1 << 20) as f64 / secs.max(1e-9);
+
+    // One mark-and-sweep pass: epochs past the retention window were
+    // retired at seal time, so their exclusively-owned chunks are
+    // unreferenced now and must all go.
+    let gc = fs.snapshot_gc().expect("gc");
+    let retained = fs.snapshot_epochs();
+    fs.unmount().expect("unmount");
+
+    // Restart verification on a fresh mount: every retained epoch must
+    // reproduce that epoch's exact content through an open_restart
+    // view — anything GC wrongly freed shows up here as a lost chunk.
+    let fs = Crfs::mount(Arc::clone(&backend), config).expect("remount");
+    let mut restart_bytes = 0u64;
+    let mut restart_ok = true;
+    let mut gc_lost_chunks = 0u64;
+    for &epoch in &fs.snapshot_epochs() {
+        for file in 0..images {
+            let view = match fs.open_restart(&format!("/ckpt/rank{file}.img"), epoch) {
+                Ok(v) => v,
+                Err(_) => {
+                    restart_ok = false;
+                    gc_lost_chunks += chunks_per_file;
+                    continue;
+                }
+            };
+            let mut got = vec![0u8; chunk];
+            for idx in 0..chunks_per_file {
+                let want = epoch_chunk_payload(chunk, file, idx, epoch as usize, dup_fraction);
+                let n = view.read_at(idx * chunk as u64, &mut got).unwrap_or(0);
+                if n != chunk || got != want {
+                    restart_ok = false;
+                    gc_lost_chunks += 1;
+                } else {
+                    restart_bytes += chunk as u64;
+                }
+            }
+            view.close().expect("close view");
+        }
+    }
+    // The first pass must have freed everything unreferenced: a second
+    // sweep over the remounted store finds nothing to reclaim.
+    let gc2 = fs.snapshot_gc().expect("second gc");
+    let reclaim_complete = gc2.reclaimed_chunks == 0;
+    fs.unmount().expect("unmount");
+
+    let delta_ratio = if epoch_bytes.len() > 1 && epoch_bytes[0] > 0 {
+        let incr: u64 = epoch_bytes[1..].iter().sum();
+        incr as f64 / (epoch_bytes.len() - 1) as f64 / epoch_bytes[0] as f64
+    } else {
+        1.0
+    };
+    SnapshotPoint {
+        dirty,
+        epochs,
+        keep,
+        images,
+        image_bytes,
+        chunk,
+        epoch_bytes,
+        delta_ratio,
+        gc_scanned: gc.scanned_chunks,
+        gc_reclaimed_chunks: gc.reclaimed_chunks,
+        gc_reclaimed_bytes: gc.reclaimed_bytes,
+        gc_pause_ms: gc.pause.as_secs_f64() * 1e3,
+        retained,
+        restart_bytes,
+        restart_ok,
+        gc_lost_chunks,
+        reclaim_complete,
+        secs,
+        mibs,
+    }
+}
+
+/// The dirty-fraction sweep behind `exp snapshot`: one cell per
+/// fraction, from full-image epochs (dirty = 1.0) down to the 10%-dirty
+/// regime the incremental-checkpoint claim is gated on.
+pub fn snapshot_sweep(quick: bool) -> Vec<SnapshotPoint> {
+    const CHUNK: usize = 64 << 10;
+    let dirties: &[f64] = if quick {
+        &[1.0, 0.1]
+    } else {
+        &[1.0, 0.5, 0.25, 0.1]
+    };
+    let (epochs, keep, images, image_bytes) = if quick {
+        (4, 2, 1, 2u64 << 20)
+    } else {
+        (6, 3, 2, 8u64 << 20)
+    };
+    dirties
+        .iter()
+        .map(|&d| snapshot_cell(d, epochs, keep, images, image_bytes, CHUNK))
+        .collect()
 }
 
 #[cfg(test)]

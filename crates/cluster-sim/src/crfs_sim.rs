@@ -12,7 +12,7 @@
 //! `/tests` replays the same stream through both).
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::rc::Rc;
 use std::time::Duration;
@@ -127,6 +127,31 @@ impl SimTransform {
     }
 }
 
+/// Virtual-time mirror of the snapshot store (`crfs_core::snapshot`):
+/// content-addressed chunks with per-manifest refcounts, epoch sealing,
+/// bounded retention, and mark-and-sweep GC. Chunk *identity* is
+/// synthetic (the simulator models time and bytes, not contents): a
+/// dedup hit re-references an id from the carried/staged pool, a miss
+/// stores a fresh id and displaces one carried chunk — the rewrite.
+/// The byte accounting and the reclamation invariant (a chunk
+/// referenced by a retained manifest, or staged in the unsealed epoch,
+/// is never freed) match the real store.
+#[derive(Default)]
+struct SimSnapState {
+    keep_epochs: usize,
+    next_epoch: u64,
+    next_id: u64,
+    /// id → (stored bytes, retained manifests referencing it).
+    cas: HashMap<u64, (u64, u64)>,
+    /// Ids referenced by chunks written in the unsealed epoch.
+    staged: Vec<u64>,
+    /// Ids carried from the newest sealed manifest (unmodified chunks).
+    carried: Vec<u64>,
+    /// Sealed, retained manifests (epoch, referenced ids).
+    manifests: VecDeque<(u64, Vec<u64>)>,
+    hits_seen: u64,
+}
+
 /// Virtual-time mirror of `FaultyBackend`'s power-cut injection
 /// (`FailureMode::PowerCutAfterBytes`): a stored-byte budget after
 /// which the simulated backend dies mid-write. The write that crosses
@@ -233,6 +258,17 @@ pub struct CrfsSimStats {
     /// Prefix bytes the torn write landed before the cut — the bytes a
     /// post-reboot scan would find past the last full frame.
     pub torn_bytes: Cell<u64>,
+    /// Snapshot epochs sealed.
+    pub epochs_sealed: Cell<u64>,
+    /// Unique chunks stored into the content store (snapshot mode).
+    pub snapshot_chunks: Cell<u64>,
+    /// Stored bytes those chunks cost (counted once per unique chunk —
+    /// the delta; re-references are free).
+    pub snapshot_bytes: Cell<u64>,
+    /// Chunks reclaimed by snapshot GC.
+    pub gc_reclaimed_chunks: Cell<u64>,
+    /// Bytes reclaimed by snapshot GC.
+    pub gc_reclaimed_bytes: Cell<u64>,
 }
 
 /// A simulated CRFS mount on one node.
@@ -262,6 +298,12 @@ pub struct CrfsSim {
     dedup_acc: Cell<f64>,
     /// Power-cut injection state, shared with the IO worker tasks.
     crash: Rc<CrashState>,
+    /// Snapshot-store mirror; `None` until
+    /// [`enable_snapshots`](Self::enable_snapshots).
+    snap: RefCell<Option<SimSnapState>>,
+    /// Backend file holding the sealed manifests (lazily opened).
+    snap_fid: Cell<Option<u64>>,
+    snap_tail: Cell<u64>,
 }
 
 /// Charges one backend read of `len` bytes against the model (round
@@ -396,6 +438,9 @@ impl CrfsSim {
             transform: Cell::new(None),
             dedup_acc: Cell::new(0.0),
             crash,
+            snap: RefCell::new(None),
+            snap_fid: Cell::new(None),
+            snap_tail: Cell::new(0),
         })
     }
 
@@ -431,6 +476,177 @@ impl CrfsSim {
     /// enqueued from this point on.
     pub fn set_transform(&self, model: Option<SimTransform>) {
         self.transform.set(model);
+    }
+
+    /// Enables the snapshot-store mirror, retaining the newest
+    /// `keep_epochs` sealed epochs (clamped to ≥ 1, like the real
+    /// store). From here on every sealed chunk either stores a fresh
+    /// content-addressed id or — on a dedup hit — re-references one,
+    /// and [`advance_epoch`](Self::advance_epoch) seals manifests.
+    pub fn enable_snapshots(&self, keep_epochs: usize) {
+        *self.snap.borrow_mut() = Some(SimSnapState {
+            keep_epochs: keep_epochs.max(1),
+            ..SimSnapState::default()
+        });
+    }
+
+    /// Seals the unsealed epoch into a manifest (carried ∪ staged ids,
+    /// each taking one manifest reference), charges the manifest append
+    /// and sync to the backend, and retires manifests past the
+    /// retention bound (dropping their references — reclamation itself
+    /// waits for [`gc`](Self::gc)). Returns the sealed epoch, or
+    /// `None` when snapshots are disabled.
+    pub async fn advance_epoch(&self) -> Option<u64> {
+        let (epoch, manifest_bytes) = {
+            let mut snap = self.snap.borrow_mut();
+            let s = snap.as_mut()?;
+            let mut ids: Vec<u64> = s.carried.drain(..).chain(s.staged.drain(..)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            for id in &ids {
+                if let Some(c) = s.cas.get_mut(id) {
+                    c.1 += 1;
+                }
+            }
+            let epoch = s.next_epoch;
+            s.next_epoch += 1;
+            // ~64 bytes per chunk record, like the real manifest.
+            let bytes = 64 * ids.len() as u64 + 64;
+            s.carried = ids.clone();
+            s.manifests.push_back((epoch, ids));
+            while s.manifests.len() > s.keep_epochs {
+                let (_, old) = s.manifests.pop_front().expect("non-empty");
+                for id in old {
+                    if let Some(c) = s.cas.get_mut(&id) {
+                        c.1 -= 1;
+                    }
+                }
+            }
+            (epoch, bytes)
+        };
+        let fid = match self.snap_fid.get() {
+            Some(fid) => fid,
+            None => {
+                let fid = self.target.open().await;
+                self.snap_fid.set(Some(fid));
+                fid
+            }
+        };
+        let at = self.snap_tail.get();
+        self.snap_tail.set(at + manifest_bytes);
+        self.target.write(fid, at, manifest_bytes).await;
+        self.target.fsync(fid).await;
+        self.stats
+            .epochs_sealed
+            .set(self.stats.epochs_sealed.get() + 1);
+        Some(epoch)
+    }
+
+    /// Mark-and-sweep over the content store: frees every chunk no
+    /// retained manifest references — except ids staged in the unsealed
+    /// epoch, which are protected exactly like the real store's
+    /// inflight/staged registrations. Charges one metadata round trip
+    /// per reclaimed chunk. Returns `(chunks, bytes)` reclaimed.
+    pub async fn gc(&self) -> (u64, u64) {
+        let victims: Vec<u64> = {
+            let mut snap = self.snap.borrow_mut();
+            let Some(s) = snap.as_mut() else {
+                return (0, 0);
+            };
+            let protected: std::collections::HashSet<u64> =
+                s.staged.iter().chain(s.carried.iter()).copied().collect();
+            let ids: Vec<u64> = s
+                .cas
+                .iter()
+                .filter(|(id, c)| c.1 == 0 && !protected.contains(id))
+                .map(|(&id, _)| id)
+                .collect();
+            ids.iter()
+                .map(|id| s.cas.remove(id).expect("collected above").0)
+                .collect()
+        };
+        for _ in &victims {
+            sleep(self.costs.per_request).await;
+        }
+        let bytes: u64 = victims.iter().sum();
+        self.stats
+            .gc_reclaimed_chunks
+            .set(self.stats.gc_reclaimed_chunks.get() + victims.len() as u64);
+        self.stats
+            .gc_reclaimed_bytes
+            .set(self.stats.gc_reclaimed_bytes.get() + bytes);
+        (victims.len() as u64, bytes)
+    }
+
+    /// Live content-store population `(chunks, bytes)`.
+    pub fn snapshot_live(&self) -> (u64, u64) {
+        match self.snap.borrow().as_ref() {
+            Some(s) => (
+                s.cas.len() as u64,
+                s.cas.values().map(|&(bytes, _)| bytes).sum(),
+            ),
+            None => (0, 0),
+        }
+    }
+
+    /// Epochs whose manifests are retained (restartable-from), oldest
+    /// first.
+    pub fn retained_epochs(&self) -> Vec<u64> {
+        match self.snap.borrow().as_ref() {
+            Some(s) => s.manifests.iter().map(|&(e, _)| e).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether every chunk referenced by a retained manifest is still
+    /// present in the content store — the invariant GC must preserve.
+    pub fn retained_chunks_live(&self) -> bool {
+        match self.snap.borrow().as_ref() {
+            Some(s) => s
+                .manifests
+                .iter()
+                .flat_map(|(_, ids)| ids)
+                .all(|id| s.cas.contains_key(id)),
+            None => true,
+        }
+    }
+
+    /// Snapshot accounting for one sealed chunk: a dedup hit
+    /// re-references an existing id from the carried (cross-epoch) or
+    /// staged (intra-epoch) pool; a miss stores a fresh id and
+    /// displaces one carried chunk — modeling the rewrite that made the
+    /// content new.
+    fn note_snapshot_chunk(&self, hit: bool, stored: u64) {
+        let mut snap = self.snap.borrow_mut();
+        let Some(s) = snap.as_mut() else {
+            return;
+        };
+        if hit {
+            let pool = if s.carried.is_empty() {
+                &s.staged
+            } else {
+                &s.carried
+            };
+            if !pool.is_empty() {
+                let id = pool[(s.hits_seen % pool.len() as u64) as usize];
+                s.hits_seen += 1;
+                s.staged.push(id);
+                return;
+            }
+        }
+        let id = s.next_id;
+        s.next_id += 1;
+        s.cas.insert(id, (stored, 0));
+        if !hit {
+            s.carried.pop();
+        }
+        s.staged.push(id);
+        self.stats
+            .snapshot_chunks
+            .set(self.stats.snapshot_chunks.get() + 1);
+        self.stats
+            .snapshot_bytes
+            .set(self.stats.snapshot_bytes.get() + stored);
     }
 
     /// The mount's chunking configuration.
@@ -602,6 +818,7 @@ impl CrfsSim {
         // charge codec CPU time (spent in worker context, see the
         // worker task). Dedup hits store only a reference record.
         let logical = c.fill as u64;
+        let mut hit = false;
         let (stored, compress) = match self.transform.get() {
             None => (logical, Duration::ZERO),
             Some(m) => {
@@ -612,6 +829,7 @@ impl CrfsSim {
                 let stored = if acc >= 1.0 {
                     self.dedup_acc.set(acc - 1.0);
                     self.stats.dedup_hits.set(self.stats.dedup_hits.get() + 1);
+                    hit = true;
                     m.frame_overhead
                 } else {
                     self.dedup_acc.set(acc);
@@ -625,6 +843,7 @@ impl CrfsSim {
                 (stored, compress)
             }
         };
+        self.note_snapshot_chunk(hit, stored);
         // Container mode: the chunk is appended at the container tail
         // (allocated here, under the single-threaded executor, so appends
         // never overlap) instead of the chunk's logical file offset.
@@ -1053,6 +1272,45 @@ mod tests {
             t < base_t,
             "compression must beat the disk-bound baseline: {t:.3}s vs {base_t:.3}s"
         );
+    }
+
+    /// The snapshot mirror: epochs seal manifests over shared chunks,
+    /// retention retires old epochs, and GC reclaims exactly the
+    /// unreferenced chunks — never one a retained manifest still needs.
+    #[test]
+    fn snapshot_epochs_retain_deltas_and_gc_reclaims_retired() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (fs, crfs) = mount(0);
+            crfs.set_transform(Some(SimTransform::lz_like(0.5)));
+            crfs.enable_snapshots(2);
+            for epoch in 0..4u64 {
+                let fh = crfs.open().await;
+                crfs.app_write(fh, 0, 32 * MB).await;
+                crfs.close(fh).await;
+                assert_eq!(crfs.advance_epoch().await, Some(epoch));
+            }
+            assert_eq!(crfs.stats().epochs_sealed.get(), 4);
+            assert_eq!(crfs.retained_epochs(), vec![2, 3]);
+            assert!(crfs.stats().snapshot_bytes.get() > 0);
+
+            let (live_before, _) = crfs.snapshot_live();
+            let t0 = now();
+            let (chunks, bytes) = crfs.gc().await;
+            assert!(chunks > 0 && bytes > 0, "retired epochs must reclaim");
+            assert!(
+                now().since(t0) > Duration::ZERO,
+                "reclamation charges virtual time"
+            );
+            assert!(
+                crfs.retained_chunks_live(),
+                "GC freed a chunk a retained manifest references"
+            );
+            let (live_after, _) = crfs.snapshot_live();
+            assert_eq!(live_after, live_before - chunks);
+            assert_eq!(crfs.gc().await, (0, 0), "second sweep finds nothing");
+            fs.stop();
+        });
     }
 
     #[test]

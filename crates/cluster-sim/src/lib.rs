@@ -1,6 +1,6 @@
 //! # cluster-sim — the simulated InfiniBand cluster
 //!
-//! Assembles the [`storage-model`] devices into the paper's testbed and
+//! Assembles the `storage-model` devices into the paper's testbed and
 //! runs checkpoint experiments on it:
 //!
 //! - [`blcr`]: the BLCR checkpoint **write-pattern generator**, emitting

@@ -54,7 +54,7 @@ pub enum FailureMode {
     /// Accept every asynchronous `begin_write_at` and deliver its
     /// completion *inline*, failing each completion after the first `n`
     /// writes have succeeded. Submission never errors — the failure
-    /// arrives through the [`CompletionSink`], modeling a device that
+    /// arrives through the [`CompletionSink`](super::CompletionSink), modeling a device that
     /// acks the submit and reports the error only at completion time.
     /// Exercises the completion half of async-capable engines
     /// (inline-completion handshake, error plumbing from sink to
@@ -79,6 +79,12 @@ pub enum FailureMode {
     /// only the in-budget prefix and fails, and the backend is dead
     /// afterwards (as with [`FailureMode::TornWriteAt`]).
     PowerCutAfterBytes(u64),
+    /// Power cut mid-unlink sweep: the first `n` `unlink` calls
+    /// (counted while this mode is active) pass through, the `n`-th
+    /// fails without removing the file, and the backend is dead
+    /// afterwards (as with [`FailureMode::TornWriteAt`]). Models a
+    /// crash partway through a garbage-collection reclaim pass.
+    FailUnlinksAfter(u64),
 }
 
 /// Injection state shared by the backend and every file handle.
@@ -89,6 +95,8 @@ struct Shared {
     reads_corrupted: AtomicU64,
     /// Cumulative payload bytes counted against `PowerCutAfterBytes`.
     crash_bytes: AtomicU64,
+    /// Unlinks counted against `FailUnlinksAfter`.
+    unlinks_seen: AtomicU64,
     /// Set by a torn write / power cut: the backend died.
     dead: AtomicBool,
 }
@@ -110,6 +118,7 @@ impl<B: Backend> FaultyBackend<B> {
                 reads_seen: AtomicU64::new(0),
                 reads_corrupted: AtomicU64::new(0),
                 crash_bytes: AtomicU64::new(0),
+                unlinks_seen: AtomicU64::new(0),
                 dead: AtomicBool::new(false),
             }),
         }
@@ -145,6 +154,7 @@ impl<B: Backend> FaultyBackend<B> {
     pub fn revive(&self) {
         *self.shared.mode.lock() = FailureMode::None;
         self.shared.crash_bytes.store(0, Relaxed);
+        self.shared.unlinks_seen.store(0, Relaxed);
         self.shared.dead.store(false, Relaxed);
     }
 
@@ -201,6 +211,18 @@ impl<B: Backend> Backend for FaultyBackend<B> {
     }
 
     fn unlink(&self, path: &str) -> io::Result<()> {
+        if self.shared.dead.load(Relaxed) {
+            return Err(dead_error());
+        }
+        if let FailureMode::FailUnlinksAfter(n) = *self.shared.mode.lock() {
+            let seen = self.shared.unlinks_seen.fetch_add(1, Relaxed);
+            if seen >= n {
+                // The n-th unlink is the power cut: the file survives
+                // and every later op fails until `revive`.
+                self.shared.dead.store(true, Relaxed);
+                return Err(dead_error());
+            }
+        }
         self.inner.unlink(path)
     }
 

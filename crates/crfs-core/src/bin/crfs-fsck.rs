@@ -1,11 +1,14 @@
 //! `crfs-fsck` — offline check and repair for CRFS stored layouts.
 //!
 //! Walks a checkpoint directory on the local filesystem, verifies every
-//! frame log and aggregation container in parallel, classifies damage
-//! (torn tail, bad header CRC, bad payload checksum, orphaned dedup
-//! reference), and — with `--repair` — truncates torn frame-log tails
-//! back to the last valid frame, restoring exactly the acked prefix a
-//! mount-time recovery scan would serve.
+//! frame log, aggregation container, and snapshot epoch manifest in
+//! parallel, classifies damage (torn tail, bad header CRC, bad payload
+//! checksum, orphaned dedup reference, orphaned content-store chunk,
+//! dangling manifest reference), and — with `--repair` — truncates torn
+//! frame-log tails back to the last valid frame, unlinks undecodable
+//! (torn-seal) manifests, and unlinks content-store chunks nothing
+//! references. Run it offline only: a live mount's in-flight chunks are
+//! registered in memory and would look like orphans.
 //!
 //! ```text
 //! crfs-fsck [--repair | --dry-run] [--threads N] [--no-payloads] [--quiet] <dir>
@@ -85,13 +88,16 @@ fn main() -> ExitCode {
     if args.quiet {
         println!(
             "files={} frames={} torn_tails={} bad_header_crc={} bad_payload_checksum={} \
-             orphaned_refs={} repaired={} elapsed_ms={}",
+             orphaned_refs={} orphaned_chunks={} dangling_manifest_refs={} repaired={} \
+             elapsed_ms={}",
             summary.files,
             summary.frames,
             summary.damage.torn_tails,
             summary.damage.bad_header_crc,
             summary.damage.bad_payload_checksum,
             summary.damage.orphaned_refs,
+            summary.damage.orphaned_chunks,
+            summary.damage.dangling_manifest_refs,
             summary.repaired_files,
             summary.elapsed.as_millis()
         );

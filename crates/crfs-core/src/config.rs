@@ -124,6 +124,18 @@ pub struct CrfsConfig {
     /// How many idle checkpoint epochs a dedup-index entry survives
     /// before eviction (see [`crate::Crfs::advance_epoch`]).
     pub dedup_keep_epochs: usize,
+    /// Versioned snapshot store (requires dedup): chunk payloads land
+    /// once in a content-addressed store, every `advance_epoch` seals a
+    /// durable manifest restartable via
+    /// [`Crfs::open_restart`](crate::Crfs::open_restart), and
+    /// [`Crfs::snapshot_gc`](crate::Crfs::snapshot_gc) reclaims unreferenced chunks. See
+    /// [`crate::snapshot`].
+    pub snapshots: bool,
+    /// How many sealed epochs the snapshot store retains (older
+    /// manifests are retired at each seal; their exclusive chunks
+    /// become GC-reclaimable). Pinned epochs — ones with an open
+    /// restart view — survive past the window.
+    pub snapshot_keep_epochs: usize,
     /// In-flight descriptor slab size for [`EngineKind::Ring`]: the
     /// maximum ops (write chunks + prefetch reads) the ring engine keeps
     /// in flight at once. The effective bound is
@@ -161,6 +173,8 @@ impl Default for CrfsConfig {
             codec: CodecKind::None,
             dedup: false,
             dedup_keep_epochs: 2,
+            snapshots: false,
+            snapshot_keep_epochs: 4,
             ring_depth: 64,
             reapers: 1,
             write_align: 4096,
@@ -254,6 +268,18 @@ impl CrfsConfig {
     /// Convenience builder: sets the dedup-index epoch retention.
     pub fn with_dedup_keep_epochs(mut self, epochs: usize) -> Self {
         self.dedup_keep_epochs = epochs;
+        self
+    }
+
+    /// Convenience builder: toggles the versioned snapshot store.
+    pub fn with_snapshots(mut self, on: bool) -> Self {
+        self.snapshots = on;
+        self
+    }
+
+    /// Convenience builder: sets the snapshot-manifest retention window.
+    pub fn with_snapshot_keep_epochs(mut self, epochs: usize) -> Self {
+        self.snapshot_keep_epochs = epochs;
         self
     }
 
@@ -391,6 +417,18 @@ impl CrfsConfig {
         if self.dedup && self.dedup_keep_epochs == 0 {
             return Err(CrfsError::Config(
                 "dedup_keep_epochs must be at least 1".into(),
+            ));
+        }
+        if self.snapshots && !self.dedup {
+            return Err(CrfsError::Config(
+                "snapshots require dedup (the content-addressed store is keyed by \
+                 the dedup index's chunk hashes): enable dedup and a codec"
+                    .into(),
+            ));
+        }
+        if self.snapshots && self.snapshot_keep_epochs == 0 {
+            return Err(CrfsError::Config(
+                "snapshot_keep_epochs must be at least 1".into(),
             ));
         }
         if self.ring_depth < 2 {
@@ -532,6 +570,29 @@ mod tests {
         assert!(CrfsConfig::default().with_dedup(true).validate().is_err());
         assert!(c.clone().with_dedup_keep_epochs(0).validate().is_err());
         assert_eq!(CodecKind::parse("lz"), Some(CodecKind::Lz));
+    }
+
+    #[test]
+    fn snapshot_knobs_validate() {
+        let c = CrfsConfig::default();
+        assert!(!c.snapshots);
+        assert_eq!(c.snapshot_keep_epochs, 4);
+        let c = c
+            .with_codec(CodecKind::Lz)
+            .with_dedup(true)
+            .with_snapshots(true);
+        c.validate().unwrap();
+        // Snapshots without dedup (and hence without a codec) are rejected.
+        assert!(CrfsConfig::default()
+            .with_snapshots(true)
+            .validate()
+            .is_err());
+        assert!(CrfsConfig::default()
+            .with_codec(CodecKind::Lz)
+            .with_snapshots(true)
+            .validate()
+            .is_err());
+        assert!(c.with_snapshot_keep_epochs(0).validate().is_err());
     }
 
     #[test]

@@ -47,6 +47,14 @@ pub enum CrfsError {
     AlreadyExists(String),
     /// Path names a directory where a file was required, or vice versa.
     NotAFile(String),
+    /// Mutation attempted through a read-only snapshot restart view
+    /// (see [`Crfs::open_restart`](crate::Crfs::open_restart)).
+    ReadOnlySnapshot {
+        /// Path of the snapshotted file.
+        path: std::sync::Arc<str>,
+        /// The epoch the view was opened from.
+        epoch: u64,
+    },
 }
 
 impl CrfsError {
@@ -61,6 +69,7 @@ impl CrfsError {
             CrfsError::NotFound(_) => io::ErrorKind::NotFound,
             CrfsError::AlreadyExists(_) => io::ErrorKind::AlreadyExists,
             CrfsError::NotAFile(_) => io::ErrorKind::InvalidInput,
+            CrfsError::ReadOnlySnapshot { .. } => io::ErrorKind::PermissionDenied,
         }
     }
 }
@@ -81,6 +90,9 @@ impl fmt::Display for CrfsError {
             CrfsError::NotFound(p) => write!(f, "no such file or directory: {p:?}"),
             CrfsError::AlreadyExists(p) => write!(f, "already exists: {p:?}"),
             CrfsError::NotAFile(p) => write!(f, "not a regular file: {p:?}"),
+            CrfsError::ReadOnlySnapshot { path, epoch } => {
+                write!(f, "{path:?} is a read-only view of snapshot epoch {epoch}")
+            }
         }
     }
 }

@@ -6,7 +6,7 @@
 //! "complete chunk count" (chunks the IO threads finished). `close()` and
 //! `fsync()` block until the counters match.
 //!
-//! Two ledger implementations exist behind [`Ledger`]:
+//! Two ledger implementations exist behind `Ledger`:
 //!
 //! - **Atomic** (default): seal/complete are relaxed atomic increments —
 //!   the per-chunk hot path takes no lock; a `Mutex`+`Condvar` pair is
@@ -117,6 +117,10 @@ pub struct FileEntry {
     /// layout is framed (new files always; pre-existing raw files stay
     /// raw and pass through untransformed).
     pub transform: Option<Arc<crate::transform::FileTransform>>,
+    /// `Some(epoch)` marks a read-only snapshot restart view (see
+    /// `Crfs::open_restart`): writes and truncation are rejected, and
+    /// closing the last handle releases the epoch's pin.
+    pub snapshot_epoch: Option<u64>,
     ledger: Ledger,
 }
 
@@ -171,6 +175,7 @@ impl FileEntry {
             dirty_low: AtomicU64::new(u64::MAX),
             read_state,
             transform,
+            snapshot_epoch: None,
             ledger: if legacy {
                 Ledger::locked()
             } else {

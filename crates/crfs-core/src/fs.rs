@@ -1,6 +1,6 @@
 //! The CRFS filesystem front end: write aggregation, the open-file
 //! table, and the POSIX-like public API. Sealed chunks are dispatched
-//! through a pluggable [`IoEngine`](crate::engine::IoEngine) — see
+//! through a pluggable [`IoEngine`] — see
 //! [`crate::engine`] for the threaded/coalescing/inline implementations.
 
 use parking_lot::{Mutex, MutexGuard};
@@ -18,6 +18,7 @@ use crate::error::{CrfsError, Result};
 use crate::file::{CurrentChunk, FileEntry};
 use crate::pool::BufferPool;
 use crate::prefetch::{Consume, ReadState};
+use crate::snapshot::{synthesize_log, GcReport, SnapshotLogFile, SnapshotStore};
 use crate::stats::{CrfsStats, StatsSnapshot};
 use crate::transform::{self, FileTransform, TransformCtx};
 
@@ -155,7 +156,8 @@ impl Crfs {
         let table = FileTable::new(config.resolved_table_shards(), Arc::clone(&stats));
         let submit_batch = config.resolved_submit_batch();
         let transform =
-            TransformCtx::from_config(&config, Arc::clone(&backend), Arc::clone(&stats));
+            TransformCtx::from_config(&config, Arc::clone(&backend), Arc::clone(&stats))
+                .map_err(CrfsError::Io)?;
         let shared = Arc::new(Shared {
             backend,
             config,
@@ -192,15 +194,52 @@ impl Crfs {
     }
 
     /// Advances the mount's checkpoint epoch — call between checkpoint
-    /// rounds so the dedup index can evict entries whose content
-    /// stopped recurring (see [`crate::transform::DedupIndex`]).
-    /// Returns the number of dedup entries evicted; a no-op (0) on
-    /// mounts without dedup.
-    pub fn advance_epoch(&self) -> usize {
-        self.shared
+    /// rounds. On snapshot mounts this first flushes every open file
+    /// (so each staged chunk's frame is durable) and then seals the
+    /// epoch's manifest, making the checkpoint restartable via
+    /// [`open_restart`](Self::open_restart); with or without snapshots
+    /// the dedup index then evicts entries whose content stopped
+    /// recurring (see [`crate::transform::DedupIndex`]). Returns the
+    /// number of dedup entries evicted; a no-op (0) on mounts without
+    /// dedup.
+    pub fn advance_epoch(&self) -> Result<usize> {
+        self.check_mounted()?;
+        let Some(ctx) = self.shared.transform.as_ref() else {
+            return Ok(0);
+        };
+        if ctx.snapshots().is_some() {
+            for e in self.shared.table.entries() {
+                self.flush_entry(&e)?;
+            }
+        }
+        ctx.advance_epoch().map_err(CrfsError::Io)
+    }
+
+    /// Runs one snapshot mark-and-sweep GC pass, reclaiming
+    /// content-store chunks no retained manifest (and no in-flight or
+    /// staged write) reaches. A no-op report on mounts without
+    /// snapshots. See [`SnapshotStore::gc`] for the safety contract.
+    pub fn snapshot_gc(&self) -> Result<GcReport> {
+        self.check_mounted()?;
+        let Some(snap) = self.snapshot_store() else {
+            return Ok(GcReport::default());
+        };
+        let ctx = self
+            .shared
             .transform
             .as_ref()
-            .map_or(0, |ctx| ctx.advance_epoch())
+            .expect("snapshots imply transform");
+        snap.gc(ctx.dedup()).map_err(CrfsError::Io)
+    }
+
+    /// The retained snapshot epochs, oldest first; empty on mounts
+    /// without snapshots.
+    pub fn snapshot_epochs(&self) -> Vec<u64> {
+        self.snapshot_store().map_or_else(Vec::new, |s| s.epochs())
+    }
+
+    fn snapshot_store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.shared.transform.as_ref().and_then(|c| c.snapshots())
     }
 
     /// The mount's transform context, when a codec is configured.
@@ -299,6 +338,9 @@ impl Crfs {
                         // Any previous content (and dedup entries
                         // pointing at it) is gone.
                         ctx.invalidate_path(&path);
+                        if let Some(snap) = ctx.snapshots() {
+                            snap.note_reset(&path);
+                        }
                         Some(Arc::new(FileTransform::fresh(Arc::clone(ctx))))
                     } else {
                         FileTransform::attach(Arc::clone(ctx), &*file)
@@ -357,6 +399,90 @@ impl Crfs {
         }
     }
 
+    /// Opens a **read-only restart view** of `path` as it was sealed in
+    /// snapshot `epoch` (see [`crate::snapshot`]). The epoch stays
+    /// *pinned* — retention cannot retire its manifest and GC cannot
+    /// free its chunks — until the last handle on the view closes.
+    ///
+    /// The view is an ordinary [`CrfsFile`] for reading (served through
+    /// the same frame resolution, integrity verification, read cache
+    /// and prefetch as live files); writes and truncation fail with
+    /// [`CrfsError::ReadOnlySnapshot`].
+    pub fn open_restart(self: &Arc<Self>, path: &str, epoch: u64) -> Result<CrfsFile> {
+        self.check_mounted()?;
+        let p = normalize_path(path).map_err(CrfsError::Io)?;
+        let Some(snap) = self.snapshot_store().map(Arc::clone) else {
+            return Err(CrfsError::Config(
+                "open_restart requires snapshots (enable codec + dedup + snapshots)".into(),
+            ));
+        };
+        let ctx = Arc::clone(
+            self.shared
+                .transform
+                .as_ref()
+                .expect("snapshots imply transform"),
+        );
+        // Restart views share through the open-file table like live
+        // files, but under an epoch-qualified key (the NUL separator
+        // cannot appear in a normalized path), so views of different
+        // epochs — and the live file — coexist.
+        let key: Arc<str> = format!("{p}\u{0}snapshot-epoch-{epoch}").into();
+        if let Some(existing) = self.shared.table.get(&key) {
+            existing.refcount.fetch_add(1, Relaxed);
+            return Ok(CrfsFile::new(Arc::clone(self), existing));
+        }
+        snap.pin(epoch).map_err(|e| annotate(e, &p))?;
+        // Every failure path below must release the pin.
+        let unpin_err = |e: CrfsError| {
+            snap.unpin(epoch);
+            e
+        };
+        let records = snap
+            .manifest_records(epoch, &p)
+            .map_err(|e| unpin_err(annotate(e, &p)))?
+            .ok_or_else(|| {
+                unpin_err(CrfsError::NotFound(format!(
+                    "{p} in snapshot epoch {epoch}"
+                )))
+            })?;
+        let log: Box<dyn crate::backend::BackendFile> =
+            Box::new(SnapshotLogFile::new(synthesize_log(&records)));
+        let file_transform = FileTransform::attach(Arc::clone(&ctx), &*log)
+            .map_err(|e| unpin_err(self.read_error(&p, e)))?
+            .map(Arc::new)
+            .expect("synthesized snapshot logs are always framed");
+        let read_state = (self.shared.config.read_ahead_chunks > 0).then(|| {
+            Arc::new(ReadState::new(
+                self.shared.config.chunk_size,
+                self.shared.config.read_ahead_chunks,
+                self.shared.config.resolved_read_cache_slots(),
+            ))
+        });
+        let mut entry = FileEntry::with_transform(
+            Arc::clone(&key),
+            log,
+            self.shared.config.legacy_locking,
+            read_state,
+            Some(file_transform),
+        );
+        entry.snapshot_epoch = Some(epoch);
+        let entry = Arc::new(entry);
+        let mut shard = self.shared.table.lock_shard(&key);
+        if let Some(existing) = shard.get(&*key) {
+            // Lost the race to a concurrent open of the same view: the
+            // winner's entry already holds the pin; drop ours.
+            let existing = Arc::clone(existing);
+            existing.refcount.fetch_add(1, Relaxed);
+            drop(shard);
+            snap.unpin(epoch);
+            return Ok(CrfsFile::new(Arc::clone(self), existing));
+        }
+        shard.insert(Arc::clone(&key), Arc::clone(&entry));
+        drop(shard);
+        self.shared.stats.opens.fetch_add(1, Relaxed);
+        Ok(CrfsFile::new(Arc::clone(self), entry))
+    }
+
     /// Truncates an open entry to zero: discards its current chunk, waits
     /// out in-flight chunks, truncates the backend file.
     fn truncate_entry(&self, entry: &Arc<FileEntry>) -> Result<()> {
@@ -389,8 +515,16 @@ impl Crfs {
     /// truncation also drops dedup-index entries pointing into the file
     /// — their bytes may no longer exist.
     fn entry_set_len(&self, entry: &Arc<FileEntry>, len: u64) -> Result<()> {
+        if let Some(epoch) = entry.snapshot_epoch {
+            return Err(CrfsError::ReadOnlySnapshot {
+                path: entry.path.clone(),
+                epoch,
+            });
+        }
         match &entry.transform {
-            Some(t) => t.truncate(&*entry.file, len).map_err(CrfsError::Io)?,
+            Some(t) => t
+                .truncate(&entry.path, &*entry.file, len)
+                .map_err(CrfsError::Io)?,
             None => entry.file.set_len(len).map_err(CrfsError::Io)?,
         }
         if let Some(ctx) = &self.shared.transform {
@@ -448,6 +582,13 @@ impl Crfs {
         if let Some(rs) = &entry.read_state {
             rs.clear(&self.shared.pool, &self.shared.stats);
         }
+        // A retiring restart view releases its epoch pin — retention
+        // and GC may now retire the epoch it was reading.
+        if let Some(epoch) = entry.snapshot_epoch {
+            if let Some(snap) = self.snapshot_store() {
+                snap.unpin(epoch);
+            }
+        }
         self.shared.stats.closes.fetch_add(1, Relaxed);
         res
     }
@@ -467,6 +608,12 @@ impl Crfs {
     /// unflushed batch would deadlock the back-pressure loop).
     fn write_entry(&self, entry: &Arc<FileEntry>, offset: u64, data: &[u8]) -> Result<()> {
         self.check_mounted()?;
+        if let Some(epoch) = entry.snapshot_epoch {
+            return Err(CrfsError::ReadOnlySnapshot {
+                path: entry.path.clone(),
+                epoch,
+            });
+        }
         // Mark the range dirty for the read side's overlap check BEFORE
         // buffering anything, so no read can pass the overlap gate while
         // this write is in flight. The cache invalidation happens at the
@@ -892,6 +1039,9 @@ impl Crfs {
             .map_err(|e| annotate(e, &p))?;
         if let Some(ctx) = &self.shared.transform {
             ctx.invalidate_path(&p);
+            if let Some(snap) = ctx.snapshots() {
+                snap.note_unlink(&p);
+            }
         }
         Ok(())
     }
@@ -929,6 +1079,9 @@ impl Crfs {
         if let Some(ctx) = &self.shared.transform {
             ctx.invalidate_path(&from);
             ctx.invalidate_path(&to);
+            if let Some(snap) = ctx.snapshots() {
+                snap.note_rename(&from, &to);
+            }
         }
         Ok(())
     }
@@ -1625,7 +1778,7 @@ mod tests {
         f.write(&data).unwrap();
         f.close().unwrap();
         // Second epoch, identical content: dedup emits references.
-        fs.advance_epoch();
+        fs.advance_epoch().unwrap();
         let g = fs.create("/ckpt/e2").unwrap();
         g.write(&data).unwrap();
         g.close().unwrap();
@@ -2273,5 +2426,168 @@ mod tests {
         f.flush().unwrap();
         drop(f);
         assert_eq!(be.contents("/w").unwrap(), b"via io::Write");
+    }
+
+    // -----------------------------------------------------------------
+    // versioned snapshots
+    // -----------------------------------------------------------------
+
+    fn snapshot_config() -> CrfsConfig {
+        small_config()
+            .with_codec(CodecKind::Lz)
+            .with_dedup(true)
+            .with_snapshots(true)
+    }
+
+    #[test]
+    fn snapshot_epochs_restart_byte_exact_across_rewrites() {
+        let (fs, _be) = mount_mem(snapshot_config());
+        let v0 = compressible(6000, 1);
+        let f = fs.create("/img").unwrap();
+        f.write(&v0).unwrap();
+        f.close().unwrap();
+        fs.advance_epoch().unwrap(); // seals epoch 0
+
+        // Rewrite with a differing tail — the shared prefix dedups.
+        let mut v1 = v0.clone();
+        for b in &mut v1[4096..] {
+            *b = b.wrapping_add(13);
+        }
+        let f = fs.create("/img").unwrap();
+        f.write(&v1).unwrap();
+        f.close().unwrap();
+        fs.advance_epoch().unwrap(); // seals epoch 1
+
+        assert_eq!(fs.snapshot_epochs(), vec![0, 1]);
+        for (epoch, want) in [(0u64, &v0), (1u64, &v1)] {
+            let view = fs.open_restart("/img", epoch).unwrap();
+            assert_eq!(view.len().unwrap(), want.len() as u64, "epoch {epoch}");
+            let mut back = vec![0u8; want.len()];
+            assert_eq!(view.read_at(0, &mut back).unwrap(), want.len());
+            assert_eq!(&back, want, "epoch {epoch} bytes");
+            view.close().unwrap();
+        }
+        // The live file still reads the newest content.
+        let f = fs.open("/img").unwrap();
+        let mut live = vec![0u8; v1.len()];
+        f.read_at(0, &mut live).unwrap();
+        assert_eq!(live, v1);
+        f.close().unwrap();
+        assert_eq!(fs.stats().integrity_failures, 0);
+        fs.unmount().unwrap();
+    }
+
+    #[test]
+    fn snapshot_views_are_read_only_and_release_their_pin() {
+        let (fs, _be) = mount_mem(snapshot_config().with_snapshot_keep_epochs(1));
+        let f = fs.create("/img").unwrap();
+        f.write(&compressible(3000, 2)).unwrap();
+        f.close().unwrap();
+        fs.advance_epoch().unwrap(); // epoch 0
+        let view = fs.open_restart("/img", 0).unwrap();
+        assert!(matches!(
+            view.write(b"nope").unwrap_err(),
+            CrfsError::ReadOnlySnapshot { epoch: 0, .. }
+        ));
+        assert!(matches!(
+            view.set_len(1).unwrap_err(),
+            CrfsError::ReadOnlySnapshot { epoch: 0, .. }
+        ));
+        // keep_epochs = 1: sealing epoch 1 would retire epoch 0, but
+        // the open view pins it.
+        let f = fs.create("/img").unwrap();
+        f.write(&compressible(3000, 3)).unwrap();
+        f.close().unwrap();
+        fs.advance_epoch().unwrap(); // epoch 1
+        assert_eq!(fs.snapshot_epochs(), vec![0, 1], "pin holds epoch 0");
+        let mut back = vec![0u8; 3000];
+        view.read_at(0, &mut back).unwrap();
+        assert_eq!(back, compressible(3000, 2));
+        view.close().unwrap();
+        // Pin released: the next seal retires both old epochs.
+        let f = fs.create("/img").unwrap();
+        f.write(&compressible(3000, 4)).unwrap();
+        f.close().unwrap();
+        fs.advance_epoch().unwrap(); // epoch 2
+        assert_eq!(fs.snapshot_epochs(), vec![2]);
+        fs.unmount().unwrap();
+    }
+
+    #[test]
+    fn snapshot_gc_reclaims_retired_chunks_and_restart_survives_remount() {
+        let be = Arc::new(MemBackend::new());
+        let config = snapshot_config().with_snapshot_keep_epochs(2);
+        let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, config.clone()).unwrap();
+        let gens: Vec<Vec<u8>> = (0..4u8).map(|s| compressible(5000, 100 + s)).collect();
+        for g in &gens {
+            let f = fs.create("/img").unwrap();
+            f.write(g).unwrap();
+            f.close().unwrap();
+            fs.advance_epoch().unwrap();
+        }
+        assert_eq!(fs.snapshot_epochs(), vec![2, 3]);
+        let report = fs.snapshot_gc().unwrap();
+        assert!(
+            report.reclaimed_chunks > 0,
+            "epochs 0/1 chunks are unreachable: {report:?}"
+        );
+        // Everything the retained epochs reach still reads back.
+        for (epoch, want) in [(2u64, &gens[2]), (3u64, &gens[3])] {
+            let view = fs.open_restart("/img", epoch).unwrap();
+            let mut back = vec![0u8; want.len()];
+            view.read_at(0, &mut back).unwrap();
+            assert_eq!(&back, want, "epoch {epoch} after GC");
+            view.close().unwrap();
+        }
+        // A second pass finds nothing further.
+        assert_eq!(fs.snapshot_gc().unwrap().reclaimed_chunks, 0);
+        fs.unmount().unwrap();
+
+        // Remount: manifests recover, old epochs still restartable.
+        let fs = Crfs::mount(be as Arc<dyn Backend>, config).unwrap();
+        assert_eq!(fs.snapshot_epochs(), vec![2, 3]);
+        let view = fs.open_restart("/img", 2).unwrap();
+        let mut back = vec![0u8; gens[2].len()];
+        view.read_at(0, &mut back).unwrap();
+        assert_eq!(back, gens[2]);
+        view.close().unwrap();
+        // Unknown epoch and unknown path both fail cleanly.
+        assert!(fs.open_restart("/img", 99).is_err());
+        assert!(matches!(
+            fs.open_restart("/missing", 2).unwrap_err(),
+            CrfsError::NotFound(_)
+        ));
+        assert_eq!(fs.stats().integrity_failures, 0);
+        fs.unmount().unwrap();
+    }
+
+    #[test]
+    fn snapshot_delta_epochs_store_only_dirty_chunks() {
+        let (fs, _be) = mount_mem(snapshot_config());
+        // Incompressible-ish payload so CAS bytes track dirty bytes.
+        let mut img: Vec<u8> = (0..32_768u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let f = fs.create("/img").unwrap();
+        f.write(&img).unwrap();
+        f.close().unwrap();
+        fs.advance_epoch().unwrap();
+        let full = fs.stats().snapshot_bytes;
+        assert!(full > 0);
+
+        // Dirty ~1/8 of the image (chunk-aligned), rewrite everything.
+        for b in &mut img[0..4096] {
+            *b = b.wrapping_add(1);
+        }
+        let f = fs.create("/img").unwrap();
+        f.write(&img).unwrap();
+        f.close().unwrap();
+        fs.advance_epoch().unwrap();
+        let delta = fs.stats().snapshot_bytes - full;
+        assert!(
+            delta * 4 < full,
+            "10-ish% dirty epoch must store a small fraction: {delta} vs {full}"
+        );
+        fs.unmount().unwrap();
     }
 }

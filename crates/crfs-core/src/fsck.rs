@@ -50,6 +50,8 @@ use parking_lot::Mutex;
 
 use crate::aggregator::ContainerReader;
 use crate::backend::{read_exact_at, Backend, BackendFile, OpenOptions};
+use crate::snapshot::manifest::{ChunkRecord, Manifest, Record, MANIFEST_MAGIC};
+use crate::snapshot::{parse_cas_name, parse_manifest_name, CAS_DIR, SNAP_DIR};
 use crate::transform::codec::decode_payload;
 use crate::transform::frame::{
     fnv1a64, FrameHeader, FLAG_PAD, FLAG_REF, FLAG_TRUNC, FRAME_HEADER_LEN, FRAME_MAGIC,
@@ -88,6 +90,8 @@ pub enum FileKind {
     FrameLog,
     /// A finalized aggregation container.
     Container,
+    /// A sealed snapshot epoch manifest (see [`crate::snapshot`]).
+    Manifest,
 }
 
 /// Per-class damage tally (the same classes the recovery contract and
@@ -104,6 +108,14 @@ pub struct DamageCounts {
     /// REF frames whose dedup origin is missing or too short to hold
     /// the referenced bytes.
     pub orphaned_refs: u64,
+    /// Content-store chunk files that neither a sealed manifest nor a
+    /// live log's REF frame references — crash remnants the next
+    /// online GC would reclaim; `--repair` unlinks them.
+    pub orphaned_chunks: u64,
+    /// Manifest chunk records whose origin file is missing or too
+    /// short to hold the recorded frame. Not repairable: the sealed
+    /// epoch has lost bytes (reported so a restart is not attempted).
+    pub dangling_manifest_refs: u64,
 }
 
 impl DamageCounts {
@@ -114,7 +126,12 @@ impl DamageCounts {
 
     /// Events across all classes.
     pub fn total(&self) -> u64 {
-        self.torn_tails + self.bad_header_crc + self.bad_payload_checksum + self.orphaned_refs
+        self.torn_tails
+            + self.bad_header_crc
+            + self.bad_payload_checksum
+            + self.orphaned_refs
+            + self.orphaned_chunks
+            + self.dangling_manifest_refs
     }
 
     fn add(&mut self, other: &DamageCounts) {
@@ -122,6 +139,8 @@ impl DamageCounts {
         self.bad_header_crc += other.bad_header_crc;
         self.bad_payload_checksum += other.bad_payload_checksum;
         self.orphaned_refs += other.orphaned_refs;
+        self.orphaned_chunks += other.orphaned_chunks;
+        self.dangling_manifest_refs += other.dangling_manifest_refs;
     }
 }
 
@@ -158,6 +177,8 @@ pub struct FsckSummary {
     pub frame_logs: u64,
     /// Finalized containers seen.
     pub containers: u64,
+    /// Snapshot epoch manifests seen.
+    pub manifests: u64,
     /// Frames walked across all files.
     pub frames: u64,
     /// Damage totals across all files.
@@ -168,6 +189,10 @@ pub struct FsckSummary {
     pub reports: Vec<FileReport>,
     /// Wall-clock time of the sweep.
     pub elapsed: Duration,
+    /// Content-store paths referenced by REF frames in swept logs.
+    /// Chunks staged in a not-yet-sealed epoch appear in no manifest,
+    /// so the orphan pass must honor live references too.
+    cas_refs: std::collections::HashSet<String>,
 }
 
 impl FsckSummary {
@@ -210,6 +235,7 @@ pub fn run(backend: &Arc<dyn Backend>, roots: &[String], opts: &FsckOptions) -> 
         }
     });
     let mut summary = collector.into_inner();
+    check_snapshot_orphans(backend, opts, &mut summary);
     summary.reports.sort_by(|a, b| a.path.cmp(&b.path));
     summary.elapsed = t0.elapsed();
     summary
@@ -220,10 +246,12 @@ fn merge(into: &mut FsckSummary, from: FsckSummary) {
     into.raw_files += from.raw_files;
     into.frame_logs += from.frame_logs;
     into.containers += from.containers;
+    into.manifests += from.manifests;
     into.frames += from.frames;
     into.damage.add(&from.damage);
     into.repaired_files += from.repaired_files;
     into.reports.extend(from.reports);
+    into.cas_refs.extend(from.cas_refs);
 }
 
 // ---------------------------------------------------------------------
@@ -342,6 +370,10 @@ fn check_file(backend: &Arc<dyn Backend>, path: &str, opts: &FsckOptions, local:
             local.frame_logs += 1;
             check_frame_log(backend, path, &*file, opts, local);
         }
+        Ok(FileKind::Manifest) => {
+            local.manifests += 1;
+            check_manifest(backend, path, &*file, opts, local);
+        }
         Err(e) => local.reports.push(FileReport {
             path: path.to_string(),
             kind: FileKind::Raw,
@@ -368,6 +400,12 @@ fn classify(file: &dyn BackendFile) -> io::Result<FileKind> {
     if head[..take] == crate::aggregator::format::HEADER_MAGIC[..take] {
         return Ok(FileKind::Container);
     }
+    // Manifests require the full 4-byte magic: "CRSM" and the frame
+    // magic share the "CR" prefix, and a sub-4-byte torn tail should
+    // keep classifying as a torn frame log (the common crash shape).
+    if take >= 4 && head[..4] == MANIFEST_MAGIC {
+        return Ok(FileKind::Manifest);
+    }
     let frame_magic = FRAME_MAGIC.to_le_bytes();
     if head[..take.min(4)] == frame_magic[..take.min(4)] {
         return Ok(FileKind::FrameLog);
@@ -386,7 +424,7 @@ fn check_container(backend: &Arc<dyn Backend>, path: &str, local: &mut FsckSumma
                 // REF frames inside container records point into the
                 // pre-aggregation CRFS namespace, unresolvable offline;
                 // the read path's per-reference checksum covers them.
-                orphaned_refs: 0,
+                ..DamageCounts::default()
             };
             if !damage.is_clean() {
                 local.damage.add(&damage);
@@ -486,6 +524,13 @@ fn check_frame_log(
                 if !ref_resolves(backend, path, stored_len, &payload) {
                     damage.orphaned_refs += 1;
                 }
+                if let Some(meta) = payload.get(REF_META_LEN..) {
+                    if let Ok(origin) = std::str::from_utf8(meta) {
+                        if origin.starts_with(CAS_DIR) {
+                            local.cas_refs.insert(origin.to_string());
+                        }
+                    }
+                }
             } else if opts.verify_payloads {
                 let mut out = Vec::with_capacity(h.logical_len as usize);
                 let ok = decode_payload(h.codec, &payload, h.logical_len as usize, &mut out)
@@ -562,12 +607,176 @@ fn repair_truncate(backend: &Arc<dyn Backend>, path: &str, clean_end: u64) -> io
     rw.sync()
 }
 
+/// Validates a sealed epoch manifest: structural decode (magic,
+/// version, crc trailer) plus per-record origin resolution — every
+/// chunk record must point at an existing file long enough to hold the
+/// recorded frame. An undecodable manifest is a torn seal; the recovery
+/// contract says that epoch never existed, so `--repair` unlinks it.
+/// Dangling records are *not* repairable: the sealed epoch has lost
+/// bytes, and the only honest outcome is to report it so a restart from
+/// that epoch is not attempted.
+fn check_manifest(
+    backend: &Arc<dyn Backend>,
+    path: &str,
+    file: &dyn BackendFile,
+    opts: &FsckOptions,
+    local: &mut FsckSummary,
+) {
+    let mut damage = DamageCounts::default();
+    let mut frames = 0u64;
+    let mut repaired = false;
+    let mut error = None;
+    match read_manifest(file) {
+        Ok(m) => {
+            for (_, records) in &m.files {
+                for rec in records {
+                    let Record::Chunk(c) = rec else { continue };
+                    frames += 1;
+                    if !manifest_ref_resolves(backend, c) {
+                        damage.dangling_manifest_refs += 1;
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            damage.torn_tails += 1;
+            if opts.repair {
+                match backend.unlink(path) {
+                    Ok(()) => repaired = true,
+                    Err(e) => error = Some(format!("repair failed: {e}")),
+                }
+            }
+            if error.is_none() && !opts.repair {
+                error = Some(format!("manifest does not decode: {e}"));
+            }
+        }
+    }
+    local.frames += frames;
+    if damage.is_clean() {
+        return;
+    }
+    local.damage.add(&damage);
+    if repaired {
+        local.repaired_files += 1;
+    }
+    local.reports.push(FileReport {
+        path: path.to_string(),
+        kind: FileKind::Manifest,
+        frames,
+        damage,
+        torn_bytes: 0,
+        repaired,
+        error,
+    });
+}
+
+fn read_manifest(file: &dyn BackendFile) -> io::Result<Manifest> {
+    let len = file.len()?;
+    let mut buf = vec![0u8; len as usize];
+    read_exact_at(file, 0, &mut buf)?;
+    Manifest::decode(&buf)
+}
+
+/// Whether a manifest chunk record's origin file exists and is long
+/// enough to hold the recorded stored extent.
+fn manifest_ref_resolves(backend: &Arc<dyn Backend>, rec: &ChunkRecord) -> bool {
+    match backend.file_len(&rec.origin_path) {
+        Ok(total) => rec.origin_off + FRAME_HEADER_LEN + u64::from(rec.stored_len) <= total,
+        Err(_) => false,
+    }
+}
+
+/// Post-sweep global pass: any content-store chunk file that no
+/// decodable manifest references is an orphan — a remnant of a crash
+/// between CAS store and seal, or of a GC interrupted mid-sweep. They
+/// waste space but carry no reachable data, so `--repair` unlinks them.
+/// This check is only sound offline: a live mount's in-flight chunks
+/// are registered in memory, not in a sealed manifest, and would show
+/// up here as false orphans.
+fn check_snapshot_orphans(
+    backend: &Arc<dyn Backend>,
+    opts: &FsckOptions,
+    summary: &mut FsckSummary,
+) {
+    let Ok(snap_names) = backend.list_dir(SNAP_DIR) else {
+        return; // no snapshot store on this backend
+    };
+    let mut referenced = std::collections::HashSet::new();
+    for name in &snap_names {
+        if parse_manifest_name(name).is_none() {
+            continue;
+        }
+        let path = format!("{SNAP_DIR}/{name}");
+        let Ok(file) = backend.open(&path, OpenOptions::read_only()) else {
+            continue;
+        };
+        // An undecodable manifest contributes no references; the main
+        // sweep already reported (and possibly repaired) it.
+        let Ok(m) = read_manifest(&*file) else {
+            continue;
+        };
+        for (_, records) in &m.files {
+            for rec in records {
+                if let Record::Chunk(c) = rec {
+                    referenced.insert((c.hash, c.logical_len));
+                }
+            }
+        }
+    }
+    let Ok(cas_names) = backend.list_dir(CAS_DIR) else {
+        return;
+    };
+    for name in cas_names {
+        // An unparseable name cannot be referenced by any manifest
+        // (references are reconstructed from hash + length), so it is
+        // an orphan unless a live log's REF frame still points at it.
+        if parse_cas_name(&name).is_some_and(|key| referenced.contains(&key)) {
+            continue;
+        }
+        let path = format!("{CAS_DIR}/{name}");
+        if summary.cas_refs.contains(&path) {
+            continue;
+        }
+        let mut repaired = false;
+        let mut error = None;
+        if opts.repair {
+            match backend.unlink(&path) {
+                Ok(()) => repaired = true,
+                Err(e) => error = Some(format!("repair failed: {e}")),
+            }
+        }
+        summary.damage.orphaned_chunks += 1;
+        if repaired {
+            summary.repaired_files += 1;
+        }
+        summary.reports.push(FileReport {
+            path,
+            kind: FileKind::FrameLog,
+            frames: 0,
+            damage: DamageCounts {
+                orphaned_chunks: 1,
+                ..DamageCounts::default()
+            },
+            torn_bytes: 0,
+            repaired,
+            error,
+        });
+    }
+}
+
 impl std::fmt::Display for FsckSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "checked {} files in {:?}: {} frame logs, {} containers, {} raw ({} frames walked)",
-            self.files, self.elapsed, self.frame_logs, self.containers, self.raw_files, self.frames
+            "checked {} files in {:?}: {} frame logs, {} containers, {} manifests, \
+             {} raw ({} frames walked)",
+            self.files,
+            self.elapsed,
+            self.frame_logs,
+            self.containers,
+            self.manifests,
+            self.raw_files,
+            self.frames
         )?;
         if self.damage.is_clean() {
             return write!(f, "clean: no damage in any class");
@@ -575,11 +784,14 @@ impl std::fmt::Display for FsckSummary {
         writeln!(
             f,
             "damage: {} torn tails, {} bad header CRCs, {} bad payload checksums, \
-             {} orphaned dedup refs; {} files repaired",
+             {} orphaned dedup refs, {} orphaned chunks, {} dangling manifest refs; \
+             {} files repaired",
             self.damage.torn_tails,
             self.damage.bad_header_crc,
             self.damage.bad_payload_checksum,
             self.damage.orphaned_refs,
+            self.damage.orphaned_chunks,
+            self.damage.dangling_manifest_refs,
             self.repaired_files
         )?;
         for (i, r) in self.reports.iter().enumerate() {
@@ -588,7 +800,8 @@ impl std::fmt::Display for FsckSummary {
             }
             write!(
                 f,
-                "  {} [{:?}] frames={} torn={} crc={} checksum={} orphans={} torn_bytes={}{}{}",
+                "  {} [{:?}] frames={} torn={} crc={} checksum={} orphans={} \
+                 chunks={} dangling={} torn_bytes={}{}{}",
                 r.path,
                 r.kind,
                 r.frames,
@@ -596,6 +809,8 @@ impl std::fmt::Display for FsckSummary {
                 r.damage.bad_header_crc,
                 r.damage.bad_payload_checksum,
                 r.damage.orphaned_refs,
+                r.damage.orphaned_chunks,
+                r.damage.dangling_manifest_refs,
                 r.torn_bytes,
                 if r.repaired { " REPAIRED" } else { "" },
                 match &r.error {
@@ -830,5 +1045,148 @@ mod tests {
         assert_eq!(serial.damage, parallel.damage);
         assert_eq!(serial.reports.len(), parallel.reports.len());
         assert_eq!(serial.damage.torn_tails, 2);
+    }
+
+    // -- snapshot store checks ----------------------------------------
+
+    use crate::snapshot::{cas_path, manifest_path};
+
+    /// Writes one checkpoint file and seals one snapshot epoch, leaving
+    /// a manifest plus content-store chunks behind.
+    fn populate_snap(backend: &Arc<dyn Backend>) {
+        let fs = Crfs::mount(
+            Arc::clone(backend),
+            CrfsConfig::default()
+                .with_chunk_size(4096)
+                .with_pool_size(64 * 1024)
+                .with_codec(CodecKind::Lz)
+                .with_dedup(true)
+                .with_snapshots(true),
+        )
+        .unwrap();
+        fs.mkdir("/ckpt").unwrap();
+        let f = fs.create("/ckpt/rank0.img").unwrap();
+        let data: Vec<u8> = (0..20_000).map(|b| (b / 64) as u8).collect();
+        f.write(&data).unwrap();
+        f.close().unwrap();
+        fs.advance_epoch().unwrap();
+        fs.unmount().unwrap();
+    }
+
+    #[test]
+    fn snapshot_tree_scans_clean() {
+        let backend = be();
+        populate_snap(&backend);
+        let sum = run(&backend, &["/".to_string()], &opts(2));
+        assert!(sum.is_clean(), "{sum}");
+        assert_eq!(sum.manifests, 1);
+        assert!(sum.frame_logs >= 2, "live log + CAS chunks: {sum}");
+    }
+
+    #[test]
+    fn orphaned_cas_chunk_is_found_and_repair_unlinks_it() {
+        let backend = be();
+        populate_snap(&backend);
+        let orphan = cas_path((0xfeed_face, 4096));
+        let f = backend
+            .open(&orphan, OpenOptions::create_truncate())
+            .unwrap();
+        f.write_at(0, b"junk").unwrap();
+        drop(f);
+
+        let dry = run(&backend, &["/".to_string()], &opts(1));
+        assert_eq!(dry.damage.orphaned_chunks, 1, "{dry}");
+        assert_eq!(dry.reports.len(), 1);
+        assert_eq!(dry.reports[0].path, orphan);
+        assert!(backend.file_len(&orphan).is_ok(), "dry run must not unlink");
+
+        let fixed = run(
+            &backend,
+            &["/".to_string()],
+            &FsckOptions {
+                repair: true,
+                threads: 1,
+                ..FsckOptions::default()
+            },
+        );
+        assert_eq!(fixed.damage.orphaned_chunks, 1);
+        assert_eq!(fixed.repaired_files, 1);
+        assert!(backend.file_len(&orphan).is_err(), "repair unlinks orphans");
+        assert!(run(&backend, &["/".to_string()], &opts(1)).is_clean());
+    }
+
+    #[test]
+    fn dangling_manifest_ref_is_reported_not_repaired() {
+        let backend = be();
+        populate_snap(&backend);
+        let victim = crate::snapshot::CAS_DIR;
+        let name = backend
+            .list_dir(victim)
+            .unwrap()
+            .into_iter()
+            .next()
+            .unwrap();
+        backend.unlink(&format!("{victim}/{name}")).unwrap();
+
+        let sum = run(
+            &backend,
+            &["/".to_string()],
+            &FsckOptions {
+                repair: true,
+                threads: 1,
+                ..FsckOptions::default()
+            },
+        );
+        assert!(sum.damage.dangling_manifest_refs >= 1, "{sum}");
+        let report = sum
+            .reports
+            .iter()
+            .find(|r| r.kind == FileKind::Manifest)
+            .expect("manifest report");
+        assert!(!report.repaired, "lost sealed bytes are not repairable");
+        assert!(backend.file_len(&manifest_path(0)).is_ok());
+    }
+
+    #[test]
+    fn torn_manifest_is_repaired_by_unlink() {
+        let backend = be();
+        populate_snap(&backend);
+        let path = manifest_path(0);
+        let f = backend.open(&path, OpenOptions::read_write()).unwrap();
+        let mut b = [0u8; 1];
+        f.read_at(12, &mut b).unwrap();
+        f.write_at(12, &[b[0] ^ 0xFF]).unwrap();
+        drop(f);
+
+        let dry = run(&backend, &["/".to_string()], &opts(1));
+        assert_eq!(dry.manifests, 1);
+        assert_eq!(
+            dry.reports
+                .iter()
+                .filter(|r| r.kind == FileKind::Manifest)
+                .count(),
+            1
+        );
+        assert!(backend.file_len(&path).is_ok(), "dry run must not unlink");
+        // The live log's REF frames keep the chunks referenced, so the
+        // lost manifest must not cascade into chunk reclamation.
+        assert_eq!(dry.damage.orphaned_chunks, 0, "{dry}");
+
+        let fixed = run(
+            &backend,
+            &["/".to_string()],
+            &FsckOptions {
+                repair: true,
+                threads: 1,
+                ..FsckOptions::default()
+            },
+        );
+        assert!(fixed.damage.torn_tails >= 1, "{fixed}");
+        assert!(backend.file_len(&path).is_err(), "torn seal is unlinked");
+        let after = run(&backend, &["/".to_string()], &opts(1));
+        assert!(
+            after.is_clean(),
+            "manifest gone, live-referenced chunks kept: {after}"
+        );
     }
 }

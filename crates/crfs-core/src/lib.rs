@@ -31,7 +31,7 @@
 //!   writes append into the chunk; a full chunk is *sealed* and enqueued.
 //! - **Asynchronous draining**: a pool of IO worker threads (default 4, the
 //!   paper's best setting) dequeues sealed chunks and issues large
-//!   `write_at` calls against the [`Backend`](backend::Backend).
+//!   `write_at` calls against the [`Backend`] trait.
 //! - **IO throttling**: the worker count bounds backend concurrency; the
 //!   buffer pool bounds memory and applies back-pressure to writers.
 //! - **close()/fsync() barrier**: both wait until the file's completed
@@ -42,6 +42,12 @@
 //!   with a store-raw escape), deduplicated against a mount-scoped
 //!   content-addressed index, and framed with an end-to-end integrity
 //!   checksum the read path verifies on every fill.
+//! - **Versioned snapshots** (optional, [`snapshot`]): on snapshot
+//!   mounts [`Crfs::advance_epoch`] seals a durable manifest over a
+//!   content-addressed chunk store — unchanged chunks are shared across
+//!   epochs, so each checkpoint stores only its dirty chunks.
+//!   [`Crfs::open_restart`] serves a read-only view of any retained
+//!   epoch; [`Crfs::snapshot_gc`] mark-and-sweeps unreferenced chunks.
 //! - **Reads (the restart direction)**: served chunk-granularly through a
 //!   per-file read cache with sequential read-ahead issued to the same IO
 //!   worker pool (see [`prefetch`]), flushing pending chunks first only
@@ -79,6 +85,7 @@ pub mod fs;
 pub mod fsck;
 pub mod pool;
 pub mod prefetch;
+pub mod snapshot;
 pub mod stats;
 pub mod transform;
 pub mod vfs;
@@ -88,6 +95,7 @@ pub use config::{CrfsConfig, EngineKind};
 pub use engine::IoEngine;
 pub use error::{CrfsError, Result};
 pub use fs::{Crfs, CrfsFile};
+pub use snapshot::{GcReport, SnapshotStore};
 pub use stats::StatsSnapshot;
 pub use transform::CodecKind;
 pub use vfs::{Fd, Vfs};

@@ -18,7 +18,7 @@
 //! - An **atomic issue/complete ledger** mirrors the write path's
 //!   seal/complete design: issuing a prefetch bumps `issued`, the engine
 //!   retires it exactly once (installed, discarded as stale, or refused
-//!   at shutdown) bumping `completed`, and [`ReadState::drain`] parks on
+//!   at shutdown) bumping `completed`, and `ReadState::drain` parks on
 //!   the pair exactly like the close/fsync barrier does. No prefetch can
 //!   leak a pool buffer or wedge unmount.
 //!

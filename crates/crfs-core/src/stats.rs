@@ -123,6 +123,22 @@ pub struct CrfsStats {
     /// Write chunks retired across all reaps; equals `chunks_completed`
     /// at quiescence on every engine (refused chunks never reap).
     pub completion_reaped: AtomicU64,
+    /// Chunks newly written to the content-addressed snapshot store
+    /// (chunks whose bytes were already there cost nothing and are not
+    /// counted). Zero on mounts without snapshots.
+    pub snapshot_chunks: AtomicU64,
+    /// Frame bytes those CAS writes stored — the *delta* an epoch
+    /// actually cost. Counted separately from `bytes_stored` (which
+    /// keeps tracking user-file frame traffic, reference records
+    /// included, so `bytes_out == bytes_stored` keeps holding).
+    pub snapshot_bytes: AtomicU64,
+    /// Epoch manifests sealed (one per `advance_epoch` on a
+    /// snapshot-enabled mount).
+    pub snapshot_manifests: AtomicU64,
+    /// CAS chunks reclaimed by the snapshot garbage collector.
+    pub gc_reclaimed_chunks: AtomicU64,
+    /// Stored bytes those reclaimed chunks held.
+    pub gc_reclaimed_bytes: AtomicU64,
 }
 
 impl CrfsStats {
@@ -187,6 +203,11 @@ impl CrfsStats {
             inflight_hwm: self.inflight_hwm.load(Relaxed),
             completion_reaps: self.completion_reaps.load(Relaxed),
             completion_reaped: self.completion_reaped.load(Relaxed),
+            snapshot_chunks: self.snapshot_chunks.load(Relaxed),
+            snapshot_bytes: self.snapshot_bytes.load(Relaxed),
+            snapshot_manifests: self.snapshot_manifests.load(Relaxed),
+            gc_reclaimed_chunks: self.gc_reclaimed_chunks.load(Relaxed),
+            gc_reclaimed_bytes: self.gc_reclaimed_bytes.load(Relaxed),
             pool_free_chunks: 0,
             pool_total_chunks: 0,
         }
@@ -274,6 +295,16 @@ pub struct StatsSnapshot {
     pub completion_reaps: u64,
     /// Write chunks retired across all reaps.
     pub completion_reaped: u64,
+    /// Chunks newly written to the content-addressed snapshot store.
+    pub snapshot_chunks: u64,
+    /// Frame bytes those CAS writes stored (the per-epoch delta).
+    pub snapshot_bytes: u64,
+    /// Epoch manifests sealed.
+    pub snapshot_manifests: u64,
+    /// CAS chunks reclaimed by the snapshot GC.
+    pub gc_reclaimed_chunks: u64,
+    /// Stored bytes those reclaimed chunks held.
+    pub gc_reclaimed_bytes: u64,
     /// Buffers free in the pool at snapshot time (occupancy gauge;
     /// filled by [`Crfs::stats`](crate::Crfs::stats), zero on raw
     /// [`CrfsStats::snapshot`] calls).
@@ -465,6 +496,18 @@ impl std::fmt::Display for StatsSnapshot {
                 self.dedup_hits,
                 self.integrity_failures,
                 self.transform
+            )?;
+        }
+        if self.snapshot_manifests > 0 || self.snapshot_chunks > 0 {
+            writeln!(
+                f,
+                "snapshots: {} manifests sealed; {} CAS chunks ({} bytes) stored; \
+                 GC reclaimed {} chunks ({} bytes)",
+                self.snapshot_manifests,
+                self.snapshot_chunks,
+                self.snapshot_bytes,
+                self.gc_reclaimed_chunks,
+                self.gc_reclaimed_bytes
             )?;
         }
         if self.damage_total() > 0 {

@@ -162,6 +162,13 @@ impl DedupIndex {
         before - map.len()
     }
 
+    /// Drops the entry for one content key — the snapshot GC calls this
+    /// for every chunk it reclaims, so no later lookup resolves to
+    /// freed bytes.
+    pub fn remove(&self, hash: u128, len: u32) {
+        self.map.lock().remove(&(hash, len));
+    }
+
     /// Drops every entry pointing into `path` — called when the file is
     /// unlinked, truncated, renamed away, or re-created, so no *new*
     /// reference can be planted on bytes that no longer exist.

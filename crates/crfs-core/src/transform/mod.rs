@@ -39,7 +39,7 @@
 //! Crash recovery (the acked-prefix contract, DESIGN.md §6): the open
 //! scan keeps the longest prefix of structurally valid frames and
 //! **discards** any torn tail — truncated header, bad header magic/CRC,
-//! payload cut short by EOF (see [`walk_frames`] / [`ScanOutcome`]).
+//! payload cut short by EOF (see `walk_frames` / `ScanOutcome`).
 //! Frames are append-only, so crash damage is confined to the
 //! unsynchronized tail; discarded frames were never acknowledged
 //! through a passed barrier. A torn payload that stayed *in bounds*
@@ -78,6 +78,7 @@ use std::time::Instant;
 
 use crate::backend::{read_exact_at, Backend, BackendFile, OpenOptions};
 use crate::config::CrfsConfig;
+use crate::snapshot::{cas_path, manifest::ChunkRecord, ChunkKey, InflightGuard, SnapshotStore};
 use crate::stats::CrfsStats;
 use codec::{decode_payload, encode_payload, STORED_RAW};
 use frame::{
@@ -131,29 +132,52 @@ fn integrity(stats: &CrfsStats, detail: String) -> io::Error {
 pub struct TransformCtx {
     codec: CodecKind,
     dedup: Option<DedupIndex>,
+    /// The versioned snapshot store, when `config.snapshots` promotes
+    /// dedup into the persistent content-addressed store.
+    snap: Option<Arc<SnapshotStore>>,
     backend: Arc<dyn Backend>,
     stats: Arc<CrfsStats>,
 }
 
 impl TransformCtx {
     /// Builds the mount's transform context, or `None` when the config
-    /// disables the transform stage (`codec == None`).
+    /// disables the transform stage (`codec == None`). Fallible because
+    /// an enabled snapshot store recovers its manifests from the
+    /// backend here.
     pub fn from_config(
         config: &CrfsConfig,
         backend: Arc<dyn Backend>,
         stats: Arc<CrfsStats>,
-    ) -> Option<Arc<TransformCtx>> {
+    ) -> io::Result<Option<Arc<TransformCtx>>> {
         if config.codec == CodecKind::None {
-            return None;
+            return Ok(None);
         }
-        Some(Arc::new(TransformCtx {
+        let dedup = config
+            .dedup
+            .then(|| DedupIndex::new(config.dedup_keep_epochs as u64));
+        let snap = if config.snapshots {
+            let store = SnapshotStore::open(
+                Arc::clone(&backend),
+                Arc::clone(&stats),
+                config.snapshot_keep_epochs,
+            )?;
+            // Recovered carried-forward records re-arm the dedup index,
+            // so the first epoch after a remount still dedups against
+            // every chunk the last sealed manifest reaches.
+            if let Some(index) = dedup.as_ref() {
+                store.seed_dedup(index);
+            }
+            Some(store)
+        } else {
+            None
+        };
+        Ok(Some(Arc::new(TransformCtx {
             codec: config.codec,
-            dedup: config
-                .dedup
-                .then(|| DedupIndex::new(config.dedup_keep_epochs as u64)),
+            dedup,
+            snap,
             backend,
             stats,
-        }))
+        })))
     }
 
     /// The configured codec.
@@ -166,10 +190,21 @@ impl TransformCtx {
         self.dedup.as_ref()
     }
 
-    /// Advances the checkpoint epoch (see [`DedupIndex::advance_epoch`]);
-    /// returns the number of index entries evicted.
-    pub fn advance_epoch(&self) -> usize {
-        self.dedup.as_ref().map_or(0, DedupIndex::advance_epoch)
+    /// The snapshot store, when versioned snapshots are enabled.
+    pub fn snapshots(&self) -> Option<&Arc<SnapshotStore>> {
+        self.snap.as_ref()
+    }
+
+    /// Advances the checkpoint epoch: seals the snapshot manifest first
+    /// (when snapshots are on — the caller must have flushed open files
+    /// so every staged record's frame is durable), then ages the dedup
+    /// index (see [`DedupIndex::advance_epoch`]); returns the number of
+    /// index entries evicted.
+    pub fn advance_epoch(&self) -> io::Result<usize> {
+        if let Some(snap) = &self.snap {
+            snap.seal()?;
+        }
+        Ok(self.dedup.as_ref().map_or(0, DedupIndex::advance_epoch))
     }
 
     /// Drops dedup entries pointing into `path` (or any path under it,
@@ -370,6 +405,13 @@ pub struct EncodedChunk {
     /// Content key to register in the dedup index on commit (DATA
     /// frames on dedup-enabled mounts).
     dedup_key: Option<(u128, u32)>,
+    /// Manifest record to stage on commit (snapshot mounts): where this
+    /// chunk's bytes live in the CAS, keyed for the next sealed epoch.
+    snap_rec: Option<ChunkRecord>,
+    /// Holds the chunk key unreclaimable from [`encode_chunk`]'s dedup
+    /// lookup until the record is staged in [`FileTransform::commit`]
+    /// (the guard drops when the `EncodedChunk` does).
+    _inflight: Option<InflightGuard>,
 }
 
 impl EncodedChunk {
@@ -387,6 +429,34 @@ impl EncodedChunk {
     pub fn is_ref(&self) -> bool {
         self.entry.flags & FLAG_REF != 0
     }
+}
+
+/// Encodes `payload` into a standalone single-frame file in the
+/// content-addressed store (header `logical_offset` 0 — the chunk's
+/// placement lives in the referencing frames, not the CAS file).
+/// Returns the codec and stored length of the chunk *as it exists on
+/// disk*, which may differ from this encode when an earlier mount
+/// already stored the same content under another codec.
+fn store_cas(
+    codec: CodecKind,
+    snap: &Arc<SnapshotStore>,
+    key: ChunkKey,
+    payload: &[u8],
+    check: u64,
+) -> io::Result<(u8, u32)> {
+    let mut cas = vec![0u8; FRAME_HEADER_LEN as usize];
+    let cas_codec = encode_payload(codec, payload, &mut cas);
+    let stored_len = (cas.len() - FRAME_HEADER_LEN as usize) as u32;
+    let header = FrameHeader {
+        codec: cas_codec,
+        flags: 0,
+        logical_offset: 0,
+        logical_len: key.1,
+        stored_len,
+        payload_check: check,
+    };
+    cas[..FRAME_HEADER_LEN as usize].copy_from_slice(&header.encode());
+    snap.store_chunk(key, &cas, check)
 }
 
 /// Per-open-file transform state: the frame map and the stored-space
@@ -533,10 +603,20 @@ impl FileTransform {
 
         let mut frame = vec![0u8; FRAME_HEADER_LEN as usize];
         let mut dedup_key = None;
+        let mut snap_rec = None;
+        let mut inflight = None;
         let (codec, flags) = match self.ctx.dedup.as_ref() {
             Some(index) => {
                 let hash = content_hash128(payload);
-                match index.lookup(hash, payload.len() as u32) {
+                let len = payload.len() as u32;
+                // Snapshot mounts register the key as in-flight *before*
+                // the lookup: GC marks in-flight keys under the same
+                // lock, so the origin a hit resolves to cannot be swept
+                // between this lookup and the frame's commit.
+                if let Some(snap) = &self.ctx.snap {
+                    inflight = Some(snap.begin_chunk((hash, len)));
+                }
+                match index.lookup(hash, len) {
                     Some(hit) => {
                         // Reference record: origin location + path.
                         frame.extend_from_slice(&hit.stored_off.to_le_bytes());
@@ -545,12 +625,70 @@ impl FileTransform {
                         frame.extend_from_slice(&[0u8; 3]);
                         frame.extend_from_slice(hit.path.as_bytes());
                         stats.dedup_hits.fetch_add(1, Relaxed);
+                        if self.ctx.snap.is_some() {
+                            snap_rec = Some(ChunkRecord {
+                                hash,
+                                logical_offset,
+                                logical_len: len,
+                                check,
+                                origin_path: hit.path.to_string(),
+                                origin_off: hit.stored_off,
+                                stored_len: hit.stored_len,
+                                codec: hit.codec,
+                            });
+                        }
                         (STORED_RAW, FLAG_REF)
                     }
-                    None => {
-                        dedup_key = Some((hash, payload.len() as u32));
-                        (encode_payload(self.ctx.codec, payload, &mut frame), 0)
-                    }
+                    None => match self.ctx.snap.as_ref() {
+                        // Fresh content on a snapshot mount: encode it
+                        // into its own single-frame CAS file, register
+                        // it for dedup, and emit only a reference frame
+                        // into this file's log.
+                        Some(snap) => {
+                            match store_cas(self.ctx.codec, snap, (hash, len), payload, check) {
+                                Ok((cas_codec, cas_len)) => {
+                                    let origin = cas_path((hash, len));
+                                    frame.extend_from_slice(&0u64.to_le_bytes());
+                                    frame.extend_from_slice(&cas_len.to_le_bytes());
+                                    frame.push(cas_codec);
+                                    frame.extend_from_slice(&[0u8; 3]);
+                                    frame.extend_from_slice(origin.as_bytes());
+                                    index.insert(
+                                        hash,
+                                        len,
+                                        Arc::from(origin.as_str()),
+                                        0,
+                                        cas_len,
+                                        cas_codec,
+                                    );
+                                    snap_rec = Some(ChunkRecord {
+                                        hash,
+                                        logical_offset,
+                                        logical_len: len,
+                                        check,
+                                        origin_path: origin,
+                                        origin_off: 0,
+                                        stored_len: cas_len,
+                                        codec: cas_codec,
+                                    });
+                                    (STORED_RAW, FLAG_REF)
+                                }
+                                // CAS write failed: degrade to an inline
+                                // DATA frame so the user's bytes still land
+                                // through the ordinary path. `commit` stages
+                                // the in-file location instead, keeping the
+                                // sealed manifest complete.
+                                Err(_) => {
+                                    dedup_key = Some((hash, len));
+                                    (encode_payload(self.ctx.codec, payload, &mut frame), 0)
+                                }
+                            }
+                        }
+                        None => {
+                            dedup_key = Some((hash, len));
+                            (encode_payload(self.ctx.codec, payload, &mut frame), 0)
+                        }
+                    },
                 }
             }
             None => (encode_payload(self.ctx.codec, payload, &mut frame), 0),
@@ -581,6 +719,8 @@ impl FileTransform {
                 check,
             },
             dedup_key,
+            snap_rec,
+            _inflight: inflight,
         }
     }
 
@@ -612,8 +752,11 @@ impl FileTransform {
     }
 
     /// Commits a successfully written frame at `stored_off`: installs it
-    /// in the frame map (making it readable) and registers fresh content
-    /// in the dedup index. Counts `bytes_stored`.
+    /// in the frame map (making it readable), registers fresh content
+    /// in the dedup index, and on snapshot mounts stages the chunk's
+    /// manifest record for the next sealed epoch. Counts `bytes_stored`.
+    /// The in-flight GC guard carried from [`encode_chunk`](Self::encode_chunk)
+    /// drops here, *after* the record is staged.
     pub fn commit(&self, path: &Arc<str>, stored_off: u64, enc: EncodedChunk) {
         let mut e = enc.entry;
         e.stored_off = stored_off;
@@ -632,13 +775,34 @@ impl FileTransform {
                 e.codec,
             );
         }
+        if let Some(snap) = self.ctx.snap.as_ref() {
+            let rec = enc.snap_rec.or_else(|| {
+                // Degraded inline DATA frame (the CAS store failed at
+                // encode time): record its in-file location so the
+                // sealed manifest still reaches every committed byte.
+                enc.dedup_key.map(|(hash, _)| ChunkRecord {
+                    hash,
+                    logical_offset: e.logical_offset,
+                    logical_len: e.logical_len,
+                    check: e.check,
+                    origin_path: path.to_string(),
+                    origin_off: stored_off,
+                    stored_len: e.stored_len,
+                    codec: e.codec,
+                })
+            });
+            if let Some(rec) = rec {
+                snap.stage_chunk(path, stored_off, rec);
+            }
+        }
     }
 
     /// Applies `set_len` to a framed file: length 0 resets the stored
     /// log outright; any other length appends a persistent truncation
     /// marker frame (so a restart scan reaches the same logical state)
-    /// and clamps the in-memory map.
-    pub fn truncate(&self, file: &dyn BackendFile, len: u64) -> io::Result<()> {
+    /// and clamps the in-memory map. Snapshot mounts stage the same
+    /// event for the next sealed manifest.
+    pub fn truncate(&self, path: &Arc<str>, file: &dyn BackendFile, len: u64) -> io::Result<()> {
         if len == 0 {
             file.set_len(0)?;
             let mut map = self.map.lock();
@@ -649,6 +813,9 @@ impl FileTransform {
             // else — the deferred trim is moot.
             *self.trim.lock() = None;
             self.needs_trim.store(false, Release);
+            if let Some(snap) = self.ctx.snap.as_ref() {
+                snap.note_reset(path);
+            }
             return Ok(());
         }
         self.prepare_append(file)?;
@@ -665,6 +832,9 @@ impl FileTransform {
         // Not counted in bytes_stored: the marker is metadata written
         // outside the engine, and `bytes_out == bytes_stored` must keep
         // holding for stats consumers (both count chunk traffic only).
+        if let Some(snap) = self.ctx.snap.as_ref() {
+            snap.stage_trunc(path, off, len);
+        }
         self.map.lock().truncate(len);
         Ok(())
     }
@@ -979,7 +1149,7 @@ fn walk_frames(
 /// Scans a backend file's frame headers under the recovery contract to
 /// report its logical length; `None` when the file is raw (unframed).
 /// A torn tail is discarded exactly as [`FileTransform::attach`]
-/// discards it — the two share [`walk_frames`] and [`FrameMap::apply`]
+/// discards it — the two share `walk_frames` and `FrameMap::apply`
 /// — so `file_len` always reports the same length a subsequent `open`
 /// will serve.
 pub fn scan_logical_len(file: &dyn BackendFile) -> io::Result<Option<u64>> {
@@ -1006,7 +1176,9 @@ mod tests {
         let stats = Arc::new(CrfsStats::new());
         let config = CrfsConfig::default().with_codec(codec).with_dedup(dedup);
         let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
-        let ctx = TransformCtx::from_config(&config, backend, Arc::clone(&stats)).expect("ctx");
+        let ctx = TransformCtx::from_config(&config, backend, Arc::clone(&stats))
+            .unwrap()
+            .expect("ctx");
         (ctx, stats)
     }
 
@@ -1282,10 +1454,10 @@ mod tests {
         let ft = FileTransform::fresh(Arc::clone(&ctx));
         let path: Arc<str> = "/f".into();
         write_all(&ft, &*file, &path, 0, &[7u8; 1000]);
-        ft.truncate(&*file, 300).unwrap();
+        ft.truncate(&path, &*file, 300).unwrap();
         assert_eq!(ft.logical_len(), 300);
         // Extend again: the cut range must stay a hole, per POSIX.
-        ft.truncate(&*file, 600).unwrap();
+        ft.truncate(&path, &*file, 600).unwrap();
         let mut buf = vec![0xAAu8; 600];
         assert_eq!(ft.read_logical(&*file, &path, 0, &mut buf).unwrap(), 600);
         assert!(buf[..300].iter().all(|&b| b == 7));
@@ -1297,7 +1469,7 @@ mod tests {
         ft2.read_logical(&*file, &path, 0, &mut buf2).unwrap();
         assert_eq!(buf, buf2);
         // Truncate to zero resets the stored log.
-        ft2.truncate(&*file, 0).unwrap();
+        ft2.truncate(&path, &*file, 0).unwrap();
         assert_eq!(ft2.logical_len(), 0);
         assert_eq!(file.len().unwrap(), 0);
     }

@@ -8,7 +8,7 @@
 //!    bytes (128 KiB with the paper's `big_writes` option). An
 //!    application's 1 MiB `write()` reaches CRFS as eight 128 KiB requests.
 //! 2. **Per-request crossing cost** — each request pays a user↔kernel
-//!    round trip. [`CrfsConfig::crossing_delay`] can charge an explicit
+//!    round trip. `CrfsConfig::crossing_delay` can charge an explicit
 //!    cost per request for experiments; by default the real dispatch cost
 //!    of this layer stands in.
 //!

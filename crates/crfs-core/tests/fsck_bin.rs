@@ -151,3 +151,133 @@ fn clean_volume_exits_zero() {
     assert!(clean, "{report}");
     let _ = std::fs::remove_dir_all(&root);
 }
+
+// ---------------------------------------------------------------------
+// snapshot tree: orphaned chunks, dangling manifest refs, torn seals
+// ---------------------------------------------------------------------
+
+fn run_fsck_code(root: &Path, extra: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_crfs-fsck"))
+        .args(extra)
+        .arg(root.to_str().unwrap())
+        .output()
+        .unwrap();
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Writes one snapshot epoch (manifest + content-store chunks) onto a
+/// local volume and returns the host-side snapshot directory.
+fn populate_snap(root: &Path) -> PathBuf {
+    let backend: Arc<dyn Backend> = Arc::new(LocalFileBackend::new(root).unwrap());
+    let fs = Crfs::mount(backend, config().with_dedup(true).with_snapshots(true)).unwrap();
+    let f = fs.create("/rank0.img").unwrap();
+    f.write(&pattern()).unwrap();
+    f.close().unwrap();
+    fs.advance_epoch().unwrap();
+    fs.unmount().unwrap();
+    root.join(".crfs-snap")
+}
+
+/// An orphaned content-store chunk (no manifest, no live REF frame) is
+/// exit-1 damage on a dry run and unlinked — then clean — under
+/// `--repair`.
+#[test]
+fn snapshot_orphan_chunk_dry_reports_and_repair_unlinks() {
+    let root = temp_root("snap-orphan");
+    let snap = populate_snap(&root);
+    let orphan = snap
+        .join("cas")
+        .join(format!("{:032x}-{:x}", 0xfeed_faceu64, 0x1000));
+    std::fs::write(&orphan, b"junk").unwrap();
+
+    let (code, report) = run_fsck_code(&root, &["--dry-run", "--quiet"]);
+    assert_eq!(code, 1, "dry run must flag the orphan: {report}");
+    assert!(report.contains("orphaned_chunks=1"), "{report}");
+    assert!(orphan.exists(), "dry run must not mutate");
+
+    let (code, report) = run_fsck_code(&root, &["--repair", "--quiet"]);
+    assert_eq!(code, 0, "repair must unlink the orphan: {report}");
+    assert!(!orphan.exists(), "orphan gone after repair");
+
+    let (code, report) = run_fsck_code(&root, &["--quiet"]);
+    assert_eq!(code, 0, "repaired volume must scan clean: {report}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A manifest record whose content-store chunk is missing means a
+/// sealed epoch lost bytes — reported (exit 1) so a restart is never
+/// attempted, but never "repaired": the manifest stays for forensics.
+#[test]
+fn snapshot_dangling_manifest_ref_reported_never_repaired() {
+    let root = temp_root("snap-dangling");
+    let snap = populate_snap(&root);
+    let cas = snap.join("cas");
+    let victim = std::fs::read_dir(&cas)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    std::fs::remove_file(&victim).unwrap();
+    let manifest = snap.join("manifest-0.mfst");
+    assert!(manifest.exists());
+
+    let (code, report) = run_fsck_code(&root, &["--repair", "--quiet"]);
+    assert_eq!(code, 1, "dangling refs are unrepairable damage: {report}");
+    assert!(
+        !report.contains("dangling_manifest_refs=0"),
+        "must count dangling refs: {report}"
+    );
+    assert!(
+        manifest.exists(),
+        "repair must not unlink a decodable manifest"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A manifest that does not decode is a torn seal: per the recovery
+/// contract that epoch never existed, so `--repair` unlinks it and the
+/// volume scans clean (the live frame log still references the chunks,
+/// so nothing cascades into orphan reclaim).
+#[test]
+fn snapshot_torn_manifest_repairs_by_unlink() {
+    let root = temp_root("snap-torn-manifest");
+    let snap = populate_snap(&root);
+    let manifest = snap.join("manifest-0.mfst");
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    bytes[12] ^= 0xA5;
+    std::fs::write(&manifest, bytes).unwrap();
+
+    let (code, report) = run_fsck_code(&root, &["--dry-run", "--quiet"]);
+    assert_eq!(code, 1, "torn seal must be flagged: {report}");
+    assert!(manifest.exists(), "dry run must not mutate");
+
+    let (code, report) = run_fsck_code(&root, &["--repair", "--quiet"]);
+    assert_eq!(code, 0, "torn seal repairs by unlink: {report}");
+    assert!(!manifest.exists(), "torn manifest unlinked");
+
+    let (code, report) = run_fsck_code(&root, &["--quiet"]);
+    assert_eq!(code, 0, "after repair the volume scans clean: {report}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Bad invocations (unknown flag, missing directory) are usage errors:
+/// exit 2, distinct from both "clean" and "damage found".
+#[test]
+fn usage_errors_exit_two() {
+    let root = temp_root("usage");
+    let (code, _) = run_fsck_code(&root, &["--no-such-flag"]);
+    assert_eq!(code, 2, "unknown flag is a usage error");
+    let out = Command::new(env!("CARGO_BIN_EXE_crfs-fsck"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "missing directory is a usage error"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -3,7 +3,7 @@
 //! The paper uses `blktrace` to show that native checkpointing produces a
 //! high degree of disk-address randomness (a cloud of points and constant
 //! head seeks), while CRFS produces near-sequential access. The simulated
-//! disk ([`storage-model`]'s `DiskModel`) logs every request here; the
+//! disk (`storage-model`'s `DiskModel`) logs every request here; the
 //! analysis reduces the trace to the numbers the figure argues visually:
 //! seek count, mean seek distance and the sequential-byte fraction.
 

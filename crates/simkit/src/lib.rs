@@ -27,7 +27,7 @@
 //!
 //! ## Modules
 //! - [`executor`]: the [`Sim`] event loop, [`Handle`](executor::Handle), task spawning.
-//! - [`time`]: [`SimTime`](time::SimTime), [`sleep`](time::sleep), timeouts.
+//! - [`time`]: [`time::SimTime`], [`time::sleep`], timeouts.
 //! - [`sync`]: fair async [`Semaphore`](sync::Semaphore),
 //!   [`Notify`](sync::Notify), [`Barrier`](sync::Barrier),
 //!   [`WaitGroup`](sync::WaitGroup) and MPMC [`channel`](sync::channel).

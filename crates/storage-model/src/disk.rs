@@ -11,7 +11,7 @@
 //! stroke, and rotation is charged only on non-contiguous requests
 //! (contiguous streaming stays on track). Requests are serviced one at a
 //! time in FIFO order. Every request is logged to a
-//! [`BlockTrace`](crfs_trace::BlockTrace)-compatible recorder for Fig. 10.
+//! [`crfs_trace::BlockTrace`]-compatible recorder for Fig. 10.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;

@@ -435,7 +435,7 @@ impl NfsParams {
 /// PVFS2 deployment parameters.
 ///
 /// The paper lists PVFS2 among the filesystems CRFS can be mounted over
-/// (§I) and cites work [21] that had to *modify* PVFS to survive
+/// (§I) and cites work \[21\] that had to *modify* PVFS to survive
 /// checkpoint storms. The architectural trait that matters here is that
 /// PVFS2 has **no client-side write-back cache**: every `write()` is a
 /// synchronous striped request to the I/O servers (the flow protocol
@@ -464,7 +464,7 @@ pub struct PvfsParams {
     /// kernel path is the same upcall architecture as FUSE (every write
     /// syscall crosses into a user-space daemon) and was measurably
     /// *slower* per small operation in that era — which is precisely why
-    /// checkpoint storms hurt stock PVFS (the paper's reference [21]
+    /// checkpoint storms hurt stock PVFS (the paper's reference \[21\]
     /// resorted to modifying PVFS server-side).
     pub upcall: Duration,
 }

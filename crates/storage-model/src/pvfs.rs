@@ -1,7 +1,7 @@
 //! PVFS2 model — striped parallel filesystem with **no client cache**.
 //!
 //! The paper lists PVFS2 among CRFS's possible backends (§I), and its
-//! related work [21] describes modifying PVFS to serialize checkpoint
+//! related work \[21\] describes modifying PVFS to serialize checkpoint
 //! writes — evidence that stock PVFS suffered badly under checkpoint
 //! storms. The mechanism is architectural: PVFS2 performs no client-side
 //! write-back caching. Every `write()` becomes a synchronous striped

@@ -522,3 +522,94 @@ fn set_mode_mid_flight_spares_in_flight_acks() {
     assert!(g.close().is_err(), "post-flip writes must fail");
     let _ = fs.unmount();
 }
+
+/// Crash during GC's reclaim pass: the n-th content-store unlink fails
+/// and the backend dies mid-sweep (a power cut halfway through
+/// reclamation). The invariant is one-sided — GC may leave garbage
+/// behind, but it must NEVER free a chunk reachable from a retained
+/// manifest. After revive + remount, every retained epoch must still
+/// restart byte-exactly, and a rerun of the (idempotent) GC must
+/// finish the interrupted reclaim.
+#[test]
+fn gc_killed_mid_reclaim_never_frees_reachable_chunks() {
+    use crfs::core::CodecKind;
+
+    const CHUNK: usize = 1024;
+    const CHUNKS: usize = 4;
+    const KEEP: usize = 1;
+    const EPOCHS: usize = 3;
+    // Chunk contents for `epoch`: chunk 0 is epoch-independent (shared
+    // across every manifest via dedup — the chunk a buggy sweep is most
+    // tempted to free once its older referents retire), the rest are
+    // rewritten fresh each epoch.
+    let payload = |epoch: usize, idx: usize| -> Vec<u8> {
+        let salt = if idx == 0 { 0 } else { epoch as u8 + 1 };
+        (0..CHUNK)
+            .map(|j| {
+                (idx as u8)
+                    .wrapping_mul(31)
+                    .wrapping_add(salt.wrapping_mul(97))
+                    .wrapping_add((j % 13) as u8)
+            })
+            .collect()
+    };
+    let config = || {
+        small_config()
+            .with_codec(CodecKind::Lz)
+            .with_dedup(true)
+            .with_snapshots(true)
+            .with_snapshot_keep_epochs(KEEP)
+    };
+
+    // Kill the first unlink, and one mid-pass: both must uphold the
+    // reachability invariant.
+    for kill_after in [0u64, 2] {
+        let be = Arc::new(FaultyBackend::new(MemBackend::new(), FailureMode::None));
+        let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, config()).unwrap();
+        for epoch in 0..EPOCHS {
+            let f = fs.create("/rank.img").unwrap();
+            for idx in 0..CHUNKS {
+                f.write(&payload(epoch, idx)).unwrap();
+            }
+            f.close().unwrap();
+            fs.advance_epoch().unwrap();
+        }
+        // Epochs 0..EPOCHS-KEEP retired at seal; their exclusive chunks
+        // are unreferenced now, so the sweep has real victims.
+        be.set_mode(FailureMode::FailUnlinksAfter(kill_after));
+        let err = fs.snapshot_gc();
+        assert!(err.is_err(), "sweep must fail fast when an unlink dies");
+        be.revive();
+        be.set_mode(FailureMode::None);
+        fs.unmount().unwrap();
+
+        // Remount over the half-reclaimed store.
+        let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, config()).unwrap();
+        let retained = fs.snapshot_epochs();
+        assert_eq!(retained, vec![(EPOCHS - KEEP) as u64], "retention window");
+        for &epoch in &retained {
+            let view = fs.open_restart("/rank.img", epoch).unwrap();
+            let mut got = vec![0u8; CHUNK];
+            for idx in 0..CHUNKS {
+                let n = view.read_at(idx as u64 * CHUNK as u64, &mut got).unwrap();
+                assert_eq!(
+                    n, CHUNK,
+                    "kill_after={kill_after} epoch {epoch} chunk {idx}"
+                );
+                assert_eq!(
+                    got,
+                    payload(epoch as usize, idx),
+                    "kill_after={kill_after} epoch {epoch} chunk {idx} bytes"
+                );
+            }
+            view.close().unwrap();
+        }
+        // The rerun finishes the interrupted reclaim; a third pass
+        // finds nothing — the sweep is idempotent over a torn one.
+        fs.snapshot_gc().unwrap();
+        let report = fs.snapshot_gc().unwrap();
+        assert_eq!(report.reclaimed_chunks, 0, "kill_after={kill_after}");
+        assert_eq!(fs.stats().integrity_failures, 0);
+        fs.unmount().unwrap();
+    }
+}

@@ -493,7 +493,7 @@ fn transform_roundtrip_write_compress_dedup_read() {
                             f.write(&payload).expect("write");
                         }
                         f.close().expect("close");
-                        fs.advance_epoch();
+                        fs.advance_epoch().unwrap();
                     }
                     let verify = |fs: &Arc<Crfs>, label: &str| {
                         for epoch in 0..2u64 {
@@ -1053,5 +1053,125 @@ fn mem_backend_file_isolation() {
         fb.write_at(0, &b).expect("write b");
         assert_eq!(be.contents("/a").expect("a"), a);
         assert_eq!(be.contents("/b").expect("b"), b);
+    });
+}
+
+// ---------------------------------------------------------------------
+// versioned snapshots: epochs × GC × restart
+// ---------------------------------------------------------------------
+
+/// Versioned-snapshot invariant: N epochs of full checkpoint rewrites
+/// with a randomized per-epoch dirty fraction, a GC pass between
+/// epochs (mid-retention, so it must reclaim only retired chunks),
+/// then a byte-exact `open_restart` of every retained epoch — first on
+/// the writing mount, then on a fresh mount that reloads manifests
+/// from the store. Runs across every engine × codec. The model is the
+/// literal expected bytes per epoch, so any chunk the GC wrongly
+/// freed, any refcount miscount, and any manifest/dedup divergence
+/// shows up as a byte mismatch.
+#[test]
+fn snapshot_restart_is_byte_exact_from_every_retained_epoch() {
+    let codecs = test_codecs();
+    for_cases("snapshot_restart", 2, |rng| {
+        for engine in [
+            EngineKind::Threaded,
+            EngineKind::Coalescing,
+            EngineKind::Inline,
+            EngineKind::Ring,
+        ] {
+            for &codec in &codecs {
+                let chunk = 4096usize;
+                let keep = rng.gen_range(1usize..4);
+                let epochs = keep + rng.gen_range(1usize..4);
+                let chunks_per_file = rng.gen_range(3u64..7);
+                let be = Arc::new(MemBackend::new());
+                let config = base_config()
+                    .with_engine(engine)
+                    .with_chunk_size(chunk)
+                    .with_pool_size(4 * chunk)
+                    .with_codec(codec)
+                    .with_dedup(true)
+                    .with_snapshots(true)
+                    .with_snapshot_keep_epochs(keep);
+
+                let fs =
+                    Crfs::mount(be.clone() as Arc<dyn Backend>, config.clone()).expect("mount");
+                // The model: current per-chunk payloads, and a full
+                // copy of the image at every sealed epoch.
+                let mut current: Vec<Vec<u8>> = (0..chunks_per_file)
+                    .map(|idx| {
+                        // Compressible structured content, distinct per chunk.
+                        let seed = rng.gen_range(1u64..255) as u8;
+                        (0..chunk)
+                            .map(|j| seed.wrapping_add((j % 23 + idx as usize) as u8))
+                            .collect()
+                    })
+                    .collect();
+                let mut sealed: Vec<Vec<Vec<u8>>> = Vec::new();
+                for _epoch in 0..epochs {
+                    let dirty = rng.gen_range(0.0..1.0f64);
+                    for payload in &mut current {
+                        if rng.chance(dirty) {
+                            let seed = rng.gen_range(1u64..255) as u8;
+                            for (j, b) in payload.iter_mut().enumerate() {
+                                *b = seed.wrapping_add((j % 29) as u8);
+                            }
+                        }
+                    }
+                    let f = fs.create("/rank.img").expect("create");
+                    for payload in &current {
+                        f.write(payload).expect("write");
+                    }
+                    f.close().expect("close");
+                    fs.advance_epoch().expect("advance_epoch");
+                    sealed.push(current.clone());
+                    // GC between epochs: with live staging done and the
+                    // epoch sealed, only retired-epoch chunks may go.
+                    fs.snapshot_gc().expect("gc");
+                }
+
+                let verify = |fs: &Arc<Crfs>, label: &str| {
+                    let retained = fs.snapshot_epochs();
+                    assert_eq!(
+                        retained.len(),
+                        keep.min(epochs),
+                        "{label}: retention window"
+                    );
+                    for &epoch in &retained {
+                        let view = fs
+                            .open_restart("/rank.img", epoch)
+                            .unwrap_or_else(|e| panic!("{label}: open epoch {epoch}: {e}"));
+                        let want = &sealed[epoch as usize];
+                        let mut got = vec![0u8; chunk];
+                        for (idx, chunk_want) in want.iter().enumerate() {
+                            let n = view
+                                .read_at(idx as u64 * chunk as u64, &mut got)
+                                .unwrap_or_else(|e| {
+                                    panic!("{label}: read epoch {epoch} chunk {idx}: {e}")
+                                });
+                            assert_eq!(n, chunk, "{label}: epoch {epoch} chunk {idx}");
+                            assert_eq!(
+                                &got, chunk_want,
+                                "{label}: epoch {epoch} chunk {idx} bytes"
+                            );
+                        }
+                        view.close().expect("close view");
+                    }
+                };
+                verify(&fs, "writing mount");
+                assert_eq!(fs.stats().integrity_failures, 0);
+                fs.unmount().expect("unmount");
+
+                // Fresh mount: manifests reload from the store; every
+                // retained epoch must still restart byte-exactly, and a
+                // final GC pass must find nothing left to reclaim.
+                let fs = Crfs::mount(be.clone() as Arc<dyn Backend>, config).expect("remount");
+                verify(&fs, "fresh mount");
+                let report = fs.snapshot_gc().expect("final gc");
+                assert_eq!(report.reclaimed_chunks, 0, "reclaim already complete");
+                assert_eq!(fs.stats().integrity_failures, 0);
+                fs.unmount().expect("unmount");
+            }
+        }
     });
 }

@@ -487,7 +487,7 @@ fn transform_stats_invariants_hold() {
                 f.write(&p).expect("write");
             }
             f.close().expect("close");
-            fs.advance_epoch();
+            fs.advance_epoch().unwrap();
         }
         let clean = fs.stats();
         assert_eq!(clean.chunks_sealed, clean.chunks_completed, "{engine:?}");
