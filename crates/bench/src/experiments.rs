@@ -38,10 +38,14 @@ pub const ALL_IDS: [&str; 10] = [
 /// ops vs throughput at fixed `io_threads`; emits `BENCH_engine.json`),
 /// the crash-recovery fsck sweep (parallel checker scaling + a
 /// crash-point sweep gating zero wrong-byte restarts; emits
-/// `BENCH_fsck.json`), and the versioned-snapshot sweep (incremental
+/// `BENCH_fsck.json`), the versioned-snapshot sweep (incremental
 /// epoch cost vs dirty fraction, chunk GC reclamation, byte-exact
-/// restart from every retained epoch; emits `BENCH_snapshot.json`).
-pub const EXTENSION_IDS: [&str; 10] = [
+/// restart from every retained epoch; emits `BENCH_snapshot.json`),
+/// and the observability-overhead sweep (obs-on vs obs-off write
+/// throughput interleaved on the §V-B raw-aggregation workload, gated
+/// at ≤5%, plus the ring leg's issue→completion percentiles; emits
+/// `BENCH_obs.json`).
+pub const EXTENSION_IDS: [&str; 11] = [
     "iothreads",
     "chunksweep",
     "restart",
@@ -52,6 +56,7 @@ pub const EXTENSION_IDS: [&str; 10] = [
     "engine",
     "fsck",
     "snapshot",
+    "obs",
 ];
 
 /// Runs one experiment by id. `quick` scales data sizes down for smoke
@@ -78,6 +83,7 @@ pub fn run_one(id: &str, quick: bool) -> Option<ExpOutput> {
         "engine" => engine(quick),
         "fsck" => fsck(quick),
         "snapshot" => snapshot(quick),
+        "obs" => obs(quick),
         _ => return None,
     })
 }
@@ -1164,6 +1170,9 @@ fn compress(quick: bool) -> ExpOutput {
             "integrity_failures": integrity_total,
             "compressible_ratio": compressible.ratio,
         },
+        // The headline cell's full snapshot (stage histograms
+        // included), where `crfs-stat BENCH_compress.json` finds it.
+        "stats": lz.stats.to_value(),
     });
     // The acceptance artifact, like BENCH_contention.json and
     // BENCH_restart.json: written at the invocation directory for CI to
@@ -1274,6 +1283,10 @@ fn engine(quick: bool) -> ExpOutput {
             "verify_ok": verify_ok,
             "verified_bytes": ring.verified_bytes,
         },
+        // The headline ring cell's full snapshot (stage histograms,
+        // `write_issue_to_complete` included), where
+        // `crfs-stat BENCH_engine.json` finds it.
+        "stats": ring.stats.to_value(),
     });
     // The acceptance artifact, like BENCH_contention.json and
     // BENCH_compress.json: written at the invocation directory for CI
@@ -1547,6 +1560,139 @@ fn snapshot(quick: bool) -> ExpOutput {
         id: "snapshot",
         title: "Versioned snapshots: incremental epoch cost, chunk GC, restart-from-any-epoch"
             .into(),
+        text,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observability overhead sweep (extension; emits BENCH_obs.json)
+// ---------------------------------------------------------------------
+
+/// Compact percentile view of one stage histogram for the BENCH
+/// headline: nested so `bench_gate.py` can address
+/// `write_issue_to_complete.p99` with its dotted-key traversal. All
+/// values are nanoseconds.
+fn stage_headline(h: &crfs_core::obs::HistogramSnapshot) -> Value {
+    json!({
+        "count": h.count,
+        "p50": h.p50,
+        "p90": h.p90,
+        "p99": h.p99,
+        "p999": h.p999,
+        "max": h.max,
+    })
+}
+
+fn obs(quick: bool) -> ExpOutput {
+    let sweep = real::obs_sweep(quick);
+
+    let mut t = Table::new(&["Arm", "Reps", "Runs (MiB/s)", "Median MiB/s"]);
+    let fmt_runs = |runs: &[f64]| {
+        runs.iter()
+            .map(|m| format!("{m:.0}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    t.row(&[
+        "obs off".to_string(),
+        sweep.off_runs.len().to_string(),
+        fmt_runs(&sweep.off_runs),
+        format!("{:.0}", sweep.baseline_mibs),
+    ]);
+    t.row(&[
+        "obs on".to_string(),
+        sweep.on_runs.len().to_string(),
+        fmt_runs(&sweep.on_runs),
+        format!("{:.0}", sweep.obs_mibs),
+    ]);
+
+    let stages = &sweep.stats.stages;
+    let ring = &sweep.ring_stats.stages;
+    let mut pt = Table::new(&[
+        "Stage (leg)",
+        "Count",
+        "p50 us",
+        "p99 us",
+        "p999 us",
+        "max us",
+    ]);
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    for (label, h) in [
+        ("pool_wait (sync)", &stages.pool_wait),
+        ("seal_to_submit (sync)", &stages.seal_to_submit),
+        ("write_sync (sync)", &stages.write_sync),
+        ("barrier_wait (sync)", &stages.barrier_wait),
+        (
+            "write_issue_to_complete (ring)",
+            &ring.write_issue_to_complete,
+        ),
+        ("seal_to_submit (ring)", &ring.seal_to_submit),
+    ] {
+        pt.row(&[
+            label.to_string(),
+            h.count.to_string(),
+            format!("{:.1}", us(h.p50)),
+            format!("{:.1}", us(h.p99)),
+            format!("{:.1}", us(h.p999)),
+            format!("{:.1}", us(h.max)),
+        ]);
+    }
+
+    let text = format!(
+        "Observability overhead sweep: the §V-B raw-aggregation workload \
+         ({} writers, {} KiB chunks, discard backend — every cost is \
+         CPU, nothing hides a clock read) with the observability layer \
+         off and on, cells interleaved in ABBA order, median per arm; plus \
+         the ring-engine leg on the async RPC store for the \
+         issue→completion distribution\n\n\
+         {t}\n\
+         headline: obs on costs {:+.2}% write throughput \
+         (gate: <= 5%); the enabled run recorded {} stage samples and \
+         {} flight events the disabled baseline skips entirely.\n\n\
+         Stage percentiles (enabled legs):\n\n{pt}\n",
+        sweep.writers,
+        sweep.chunk >> 10,
+        sweep.overhead_pct,
+        stages.named().iter().map(|(_, h)| h.count).sum::<u64>()
+            + ring.named().iter().map(|(_, h)| h.count).sum::<u64>(),
+        sweep.stats.flight_events + sweep.ring_stats.flight_events,
+    );
+
+    let json = json!({
+        "workload": {
+            "writers": sweep.writers,
+            "chunk_size": sweep.chunk,
+            "bytes_per_cell": sweep.bytes,
+            "backend": "discard (sync legs), rpc(2ms rtt) (ring leg)",
+            "quick": quick,
+        },
+        "off_runs": sweep.off_runs.clone(),
+        "on_runs": sweep.on_runs.clone(),
+        "headline": {
+            "baseline_mibs": sweep.baseline_mibs,
+            "obs_mibs": sweep.obs_mibs,
+            "overhead_pct": sweep.overhead_pct,
+            "overhead_gate_pct": 5.0,
+            // Nested stage percentiles (ns) for dotted bench_gate
+            // checks like `write_issue_to_complete.p99<=...`.
+            "pool_wait": stage_headline(&stages.pool_wait),
+            "seal_to_submit": stage_headline(&stages.seal_to_submit),
+            "write_sync": stage_headline(&stages.write_sync),
+            "barrier_wait": stage_headline(&stages.barrier_wait),
+            "write_issue_to_complete": stage_headline(&ring.write_issue_to_complete),
+            "flight_events": sweep.stats.flight_events + sweep.ring_stats.flight_events,
+        },
+        // Full snapshots of both enabled legs, where `crfs-stat
+        // BENCH_obs.json` finds them (it reads the "stats" embedding).
+        "stats": sweep.stats.to_value(),
+        "ring_stats": sweep.ring_stats.to_value(),
+    });
+    let pretty = serde_json::to_string_pretty(&json).unwrap_or_default();
+    let _ = std::fs::write("BENCH_obs.json", pretty);
+    ExpOutput {
+        id: "obs",
+        title: "Observability: instrumentation overhead and stage percentiles".into(),
         text,
         json,
     }

@@ -404,6 +404,10 @@ pub struct CompressPoint {
     pub verify_ok: bool,
     /// Milliseconds spent in the transform stage (encode + decode).
     pub transform_ms: f64,
+    /// Full stats snapshot of the checkpoint-phase mount (stage
+    /// histograms included), embedded in `BENCH_compress.json` for the
+    /// headline cell.
+    pub stats: crfs_core::stats::StatsSnapshot,
 }
 
 /// Deterministic checkpoint-like content for chunk `idx` of file
@@ -558,6 +562,7 @@ pub fn compress_cell(
         verified_bytes,
         verify_ok,
         transform_ms: write_snap.transform.as_secs_f64() * 1e3,
+        stats: write_snap,
     }
 }
 
@@ -756,7 +761,7 @@ pub fn contention_batch_sweep(quick: bool) -> Vec<(usize, ContentionPoint)> {
 /// blocked worker per RPC); for the ring engine it is `ring_depth`
 /// slab descriptors, so throughput should keep climbing with depth at
 /// constant thread count.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineSweepPoint {
     /// Engine under test ("threaded" or "ring").
     pub engine: &'static str,
@@ -779,6 +784,10 @@ pub struct EngineSweepPoint {
     pub verified_bytes: u64,
     /// Whether every verified byte matched the generated payload.
     pub verify_ok: bool,
+    /// Full stats snapshot of the checkpoint-phase mount — stage
+    /// histograms included — embedded in `BENCH_engine.json` for the
+    /// headline cell so `crfs-stat` can decode the artifact.
+    pub stats: crfs_core::stats::StatsSnapshot,
 }
 
 /// The store profile for the engine sweep: a remote aggregation store
@@ -876,6 +885,7 @@ pub fn engine_cell(
         avg_reap_len: snap.avg_reap_len(),
         verified_bytes,
         verify_ok,
+        stats: snap,
     }
 }
 
@@ -904,7 +914,7 @@ pub fn engine_depth_sweep(quick: bool) -> Vec<EngineSweepPoint> {
     let median = |mut cell: Box<dyn FnMut() -> EngineSweepPoint + '_>| {
         let mut runs: Vec<EngineSweepPoint> = (0..3).map(|_| cell()).collect();
         runs.sort_by(|a, b| a.mibs.total_cmp(&b.mibs));
-        runs[1]
+        runs.swap_remove(1)
     };
 
     let mut out = vec![median(Box::new(|| {
@@ -1379,6 +1389,199 @@ pub fn snapshot_sweep(quick: bool) -> Vec<SnapshotPoint> {
         .iter()
         .map(|&d| snapshot_cell(d, epochs, keep, images, image_bytes, CHUNK))
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// observability overhead sweep (extension; emits BENCH_obs.json)
+// ---------------------------------------------------------------------
+
+/// Result of the obs-overhead sweep: the same CPU-bound aggregation
+/// workload with the observability layer off and on, interleaved.
+pub struct ObsSweep {
+    /// MiB/s per obs-off rep, in run order.
+    pub off_runs: Vec<f64>,
+    /// MiB/s per obs-on rep, in run order.
+    pub on_runs: Vec<f64>,
+    /// Median obs-off throughput (the no-op baseline).
+    pub baseline_mibs: f64,
+    /// Median obs-on throughput.
+    pub obs_mibs: f64,
+    /// Overhead in percent: the median over interleaved (off, on)
+    /// pairs of `(off - on) / off * 100`. Pairing adjacent cells
+    /// cancels slow machine-load drift that arm-vs-arm medians keep;
+    /// negative values mean the difference drowned in noise.
+    pub overhead_pct: f64,
+    /// Writer threads per cell.
+    pub writers: usize,
+    /// Chunk size in bytes.
+    pub chunk: usize,
+    /// Logical bytes streamed per cell.
+    pub bytes: u64,
+    /// Full snapshot of the last obs-on cell: stage histograms over
+    /// the synchronous write pipeline (pool wait, seal→submit,
+    /// write_sync, barrier).
+    pub stats: crfs_core::stats::StatsSnapshot,
+    /// Snapshot of the ring-engine leg on the async RPC store —
+    /// the only leg that populates `write_issue_to_complete`.
+    pub ring_stats: crfs_core::stats::StatsSnapshot,
+}
+
+/// One throughput cell: `writers` threads stream `bytes_per_writer`
+/// each through the VFS (FUSE-style 128 KiB splits) into a
+/// discard-backed mount — the paper's §V-B raw-aggregation setup, the
+/// most instrumentation-sensitive workload we have because every cost
+/// is CPU: there is no backend latency to hide a clock read behind.
+/// Returns (MiB/s, final snapshot).
+fn obs_cell(
+    obs: bool,
+    chunk: usize,
+    writers: usize,
+    bytes_per_writer: usize,
+) -> (f64, crfs_core::stats::StatsSnapshot) {
+    let config = CrfsConfig::default()
+        .with_chunk_size(chunk)
+        .with_pool_size(64 * chunk)
+        .with_obs(obs);
+    let fs = Crfs::mount(Arc::new(DiscardBackend::new()), config).expect("mount");
+    let vfs = Arc::new(Vfs::new());
+    vfs.mount("/mnt", Arc::clone(&fs)).expect("vfs mount");
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let vfs = Arc::clone(&vfs);
+        handles.push(std::thread::spawn(move || {
+            let fd = vfs.create(&format!("/mnt/rank{w}")).expect("create");
+            let buf = vec![0xc3u8; 1 << 20];
+            let mut remaining = bytes_per_writer;
+            while remaining > 0 {
+                let n = remaining.min(buf.len());
+                vfs.write(fd, &buf[..n]).expect("write");
+                remaining -= n;
+            }
+            vfs.fsync(fd).expect("fsync");
+            vfs.close(fd).expect("close");
+        }));
+    }
+    for h in handles {
+        h.join().expect("writer");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let snap = fs.stats();
+    fs.unmount().expect("unmount");
+    let mibs = (writers * bytes_per_writer) as f64 / secs.max(1e-9) / (1 << 20) as f64;
+    (mibs, snap)
+}
+
+/// The ring-engine leg: the same writer fleet against the async RPC
+/// store (2 ms write RTT), obs on — populates the
+/// `write_issue_to_complete` issue→completion histogram that the
+/// synchronous legs structurally cannot.
+fn obs_ring_cell(
+    chunk: usize,
+    writers: usize,
+    chunks_per_writer: u64,
+) -> crfs_core::stats::StatsSnapshot {
+    let backend: Arc<dyn Backend> =
+        Arc::new(RpcStore::new(MemBackend::new(), engine_store_params()));
+    let config = CrfsConfig::default()
+        .with_chunk_size(chunk)
+        .with_pool_size(128 * chunk)
+        .with_io_threads(4)
+        .with_engine(EngineKind::Ring)
+        .with_ring_depth(32)
+        .with_obs(true);
+    let fs = Crfs::mount(backend, config).expect("mount");
+    fs.mkdir_all("/ckpt").expect("mkdir");
+    std::thread::scope(|s| {
+        for file in 0..writers {
+            let fs = &fs;
+            s.spawn(move || {
+                let f = fs.create(&format!("/ckpt/rank{file}.img")).expect("create");
+                for idx in 0..chunks_per_writer {
+                    let payload = epoch_chunk_payload(chunk, file, idx, 0, 0.0);
+                    f.write(&payload).expect("write");
+                }
+                f.close().expect("close");
+            });
+        }
+    });
+    let snap = fs.stats();
+    fs.unmount().expect("unmount");
+    snap
+}
+
+/// The `exp obs` sweep: obs-off and obs-on cells strictly interleaved
+/// in ABBA order (off-on, on-off, off-on, …) so slow drift in machine
+/// load hits both arms equally and neither arm always runs second
+/// inside its pair (each cell saturates every core, so the second cell
+/// of a pair systematically sees a warmer machine — strict off-then-on
+/// order was measurably biased against the enabled arm), medians per
+/// arm, plus the ring leg for async percentiles.
+pub fn obs_sweep(quick: bool) -> ObsSweep {
+    const CHUNK: usize = 256 << 10;
+    const WRITERS: usize = 8;
+    // Many medium cells beat few long ones here: cell-to-cell
+    // throughput on a shared machine swings far more than the effect
+    // being measured, so the pairwise median needs pair count — but
+    // cells shorter than ~75ms land inside single interference bursts
+    // and flake the gate, so quick mode keeps the cell size and trims
+    // only the ring leg.
+    let bytes_per_writer: usize = 48 << 20;
+    let reps = 21;
+
+    let mut off_runs = Vec::new();
+    let mut on_runs = Vec::new();
+    let mut stats = None;
+    // One warm-up cell (discarded): first-touch page faults and thread
+    // spawn costs land on nobody's arm.
+    let _ = obs_cell(false, CHUNK, WRITERS, bytes_per_writer / 4);
+    for rep in 0..reps {
+        let order = if rep % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for obs in order {
+            let (mibs, snap) = obs_cell(obs, CHUNK, WRITERS, bytes_per_writer);
+            if obs {
+                on_runs.push(mibs);
+                stats = Some(snap);
+            } else {
+                off_runs.push(mibs);
+            }
+        }
+    }
+    let median = |runs: &[f64]| {
+        let mut sorted = runs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        sorted[sorted.len() / 2]
+    };
+    let baseline_mibs = median(&off_runs);
+    let obs_mibs = median(&on_runs);
+    // Per-pair deltas: the i-th off and on cells ran back to back, so
+    // whatever the machine was doing hit both; the median pair is far
+    // more stable than comparing arm medians.
+    let pair_deltas: Vec<f64> = off_runs
+        .iter()
+        .zip(&on_runs)
+        .map(|(off, on)| (off - on) / off.max(1e-9) * 100.0)
+        .collect();
+    let overhead_pct = median(&pair_deltas);
+    let ring_stats = obs_ring_cell(CHUNK, WRITERS, if quick { 24 } else { 64 });
+
+    ObsSweep {
+        baseline_mibs,
+        obs_mibs,
+        overhead_pct,
+        off_runs,
+        on_runs,
+        writers: WRITERS,
+        chunk: CHUNK,
+        bytes: (WRITERS * bytes_per_writer) as u64,
+        stats: stats.expect("at least one obs-on rep"),
+        ring_stats,
+    }
 }
 
 #[cfg(test)]

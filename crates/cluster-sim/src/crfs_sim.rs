@@ -21,7 +21,7 @@ use crfs_core::chunking::{flush_plan, plan_write, ChunkState, FlushStep, PlanSte
 use crfs_core::engine::account::ChunkAccounting;
 use crfs_core::{CrfsConfig, EngineKind};
 use simkit::sync::{unbounded, Semaphore, Sender, WaitGroup};
-use simkit::time::sleep;
+use simkit::time::{now, sleep, SimTime};
 use storage_model::params::{CrfsCostParams, FuseParams, ReadCostParams};
 
 use crate::fuse::FuseLayer;
@@ -210,12 +210,23 @@ enum WorkItem {
         offset: u64,
         len: u64,
         compress: Duration,
+        /// Virtual seal instant — the worker records the queue latency
+        /// (seal → issue) into `stages.seal_to_submit`, like the real
+        /// engines consume `SealedChunk::sealed_at`.
+        sealed_at: SimTime,
         acct: Rc<RefCell<ChunkAccounting>>,
         wg: WaitGroup,
     },
     /// A restart prefetch: charge the read model, then mark the chunk
     /// ready in its file's window.
-    Read { len: u64, fetch: Rc<ChunkFetch> },
+    Read {
+        len: u64,
+        /// Virtual issue instant — `stages.prefetch_fill` records the
+        /// issue→ready span, queue wait included, like the real cache's
+        /// `ReadChunk::issued_at`.
+        issued_at: SimTime,
+        fetch: Rc<ChunkFetch>,
+    },
 }
 
 /// Live counters of the simulated CRFS instance.
@@ -269,6 +280,15 @@ pub struct CrfsSimStats {
     pub gc_reclaimed_chunks: Cell<u64>,
     /// Bytes reclaimed by snapshot GC.
     pub gc_reclaimed_bytes: Cell<u64>,
+    /// Per-stage latency distributions on *virtual* time — the same
+    /// [`StageHistograms`](crfs_core::obs::StageHistograms) type (and
+    /// percentile schema) the real mount surfaces, so a simulated sweep
+    /// and a live BENCH artifact render through the same tooling. The
+    /// sim records the stages its model resolves: `pool_wait`,
+    /// `seal_to_submit`, `transform_encode` (the modelled codec CPU),
+    /// `write_sync`, `read_hit`/`read_miss`, `prefetch_fill`, and
+    /// `barrier_wait`. Deterministic: same seed, same histograms.
+    pub stages: crfs_core::obs::StageHistograms,
 }
 
 /// A simulated CRFS mount on one node.
@@ -341,6 +361,9 @@ impl CrfsSim {
         config.validate().expect("invalid CRFS config");
         let (tx, rx) = unbounded::<WorkItem>();
         let stats = Rc::new(CrfsSimStats::default());
+        // Virtual-time stage histograms are free (no clock syscalls in a
+        // simulation), so the sim always records them.
+        stats.stages.set_enabled(true);
         let pool = Semaphore::new(config.pool_chunks());
         let read_costs = Rc::new(Cell::new(ReadCostParams::shared_fs()));
         let crash = Rc::new(CrashState::default());
@@ -369,14 +392,20 @@ impl CrfsSim {
                             offset,
                             len,
                             compress,
+                            sealed_at,
                             acct,
                             wg,
                         } => {
+                            stats
+                                .stages
+                                .seal_to_submit
+                                .record_dur(now().since(sealed_at));
                             if !compress.is_zero() {
                                 // Codec CPU in worker context: overlaps
                                 // other workers' backend writes, like
                                 // the real engines.
                                 sleep(compress).await;
+                                stats.stages.transform_encode.record_dur(compress);
                             }
                             // Power-cut injection mirrors FaultyBackend:
                             // the crossing write lands its prefix, the
@@ -385,7 +414,9 @@ impl CrfsSim {
                             // barriers still release.
                             let res = match crash.plan(len) {
                                 SimWritePlan::Full => {
+                                    let t0 = now();
                                     target.write(backend_fid, offset, len).await;
+                                    stats.stages.write_sync.record_dur(now().since(t0));
                                     stats.bytes_out.set(stats.bytes_out.get() + len);
                                     Ok(())
                                 }
@@ -408,12 +439,20 @@ impl CrfsSim {
                             wg.done();
                             pool.add_permits(1);
                         }
-                        WorkItem::Read { len, fetch } => {
+                        WorkItem::Read {
+                            len,
+                            issued_at,
+                            fetch,
+                        } => {
                             // The fetched chunk keeps its pool permit
                             // until the reader consumes it (or close
                             // drains the window) — mirroring the real
                             // cache's buffer accounting.
                             charge_read(read_costs.get(), len).await;
+                            stats
+                                .stages
+                                .prefetch_fill
+                                .record_dur(now().since(issued_at));
                             fetch.ready.set(true);
                             fetch.wg.done();
                         }
@@ -758,7 +797,9 @@ impl CrfsSim {
                             // Flush, then block: CRFS back-pressure.
                             self.enqueue_batch(backend_fid, &mut pending, &acct, &wg)
                                 .await;
+                            let t0 = now();
                             self.pool.acquire(1).await.forget();
+                            self.stats.stages.pool_wait.record_dur(now().since(t0));
                         }
                     }
                     cur = Some(ChunkState {
@@ -861,6 +902,7 @@ impl CrfsSim {
                 offset,
                 len: stored,
                 compress,
+                sealed_at: now(),
                 acct: Rc::clone(acct),
                 wg: wg.clone(),
             })
@@ -895,6 +937,7 @@ impl CrfsSim {
             if sequential && self.config.read_ahead_chunks > 0 {
                 self.plan_read_ahead(&window, pos, extent).await;
             }
+            let seg_t0 = now();
             match window.get(idx) {
                 Some(fetch) => {
                     if !fetch.ready.get() {
@@ -902,6 +945,7 @@ impl CrfsSim {
                         // it started up to a window ago.
                         fetch.wg.wait().await;
                     }
+                    self.stats.stages.read_hit.record_dur(now().since(seg_t0));
                     self.stats.read_hits.set(self.stats.read_hits.get() + 1);
                     if seg_end == (idx + 1) * cs || seg_end >= extent {
                         // Chunk fully consumed: permit back to the pool.
@@ -913,6 +957,7 @@ impl CrfsSim {
                 None => {
                     self.stats.read_misses.set(self.stats.read_misses.get() + 1);
                     charge_read(self.read_costs.get(), seg_end - pos).await;
+                    self.stats.stages.read_miss.record_dur(now().since(seg_t0));
                 }
             }
             pos = seg_end;
@@ -949,6 +994,7 @@ impl CrfsSim {
                 .tx
                 .send(WorkItem::Read {
                     len: (extent - idx * cs).min(cs),
+                    issued_at: now(),
                     fetch,
                 })
                 .await;
@@ -980,7 +1026,12 @@ impl CrfsSim {
             FlushStep::ReleaseEmpty(_) => self.pool.add_permits(1),
             FlushStep::Nothing => {}
         }
+        let t0 = now();
         wg.wait().await;
+        let waited = now().since(t0);
+        if !waited.is_zero() {
+            self.stats.stages.barrier_wait.record_dur(waited);
+        }
         debug_assert!(acct.borrow().is_quiescent(), "barrier passed early");
         // Read-side epilogue: wait out in-flight prefetches and hand
         // every window permit back (mirrors the real close's
@@ -1033,7 +1084,12 @@ impl CrfsSim {
             FlushStep::ReleaseEmpty(_) => self.pool.add_permits(1),
             FlushStep::Nothing => {}
         }
+        let t0 = now();
         wg.wait().await;
+        let waited = now().since(t0);
+        if !waited.is_zero() {
+            self.stats.stages.barrier_wait.record_dur(waited);
+        }
         debug_assert!(acct.borrow().is_quiescent(), "barrier passed early");
         self.target.fsync(backend_fid).await;
     }
@@ -1228,6 +1284,93 @@ mod tests {
             assert!(permit.is_some(), "window leaked pool permits");
             fs.stop();
         });
+    }
+
+    /// The virtual-time stage histograms mirror the real mount's
+    /// observability schema: one `write_sync` sample per completed
+    /// backend write, one read sample per counted hit/miss, a
+    /// `prefetch_fill` sample per issued fetch — and, because the clock
+    /// is simulated, two identical runs produce bit-identical
+    /// distributions.
+    #[test]
+    fn stage_histograms_record_virtual_time_deterministically() {
+        fn run(seed: u64) -> crfs_core::obs::StageSnapshots {
+            let mut sim = Sim::new(seed);
+            sim.run(async move {
+                // A starved page cache (1 MiB dirty limit) throttles
+                // backend writes to disk speed, so the two-chunk pool
+                // genuinely blocks the producer.
+                let fs = LocalFs::new(
+                    VfsCostParams::ext3_node(),
+                    AllocParams::ext3(),
+                    CacheParams {
+                        dirty_limit: MB,
+                        background_limit: MB / 2,
+                        writeback_batch: MB,
+                    },
+                    DiskParams::node_sata(),
+                    SimRng::new(seed),
+                );
+                let crfs = CrfsSim::new(
+                    Target::Ext3(Rc::clone(&fs)),
+                    CrfsConfig::default()
+                        .with_chunk_size(256 << 10)
+                        .with_pool_size(512 << 10)
+                        .with_read_ahead(4),
+                    CrfsCostParams::paper(),
+                    FuseParams::paper(),
+                );
+                // Write phase: a two-chunk pool forces blocking
+                // acquires once the disk falls behind; close exercises
+                // the barrier.
+                let fh = crfs.open().await;
+                let mut off = 0;
+                while off < 32 * MB {
+                    crfs.app_write(fh, off, 64 * KB).await;
+                    off += 64 * KB;
+                }
+                crfs.close(fh).await;
+                // Restart phase: sequential reads through the window.
+                let fh = crfs.open_restart(4 * MB).await;
+                let mut off = 0;
+                while off < 4 * MB {
+                    crfs.app_read(fh, off, 64 * KB).await;
+                    off += 64 * KB;
+                }
+                crfs.close(fh).await;
+
+                let st = crfs.stats();
+                let stages = st.stages.snapshot();
+                assert_eq!(
+                    stages.write_sync.count,
+                    st.chunks_completed.get(),
+                    "one write_sync sample per completed chunk"
+                );
+                assert_eq!(
+                    stages.seal_to_submit.count,
+                    st.chunks_sealed.get(),
+                    "one queue-latency sample per sealed chunk"
+                );
+                assert_eq!(stages.read_hit.count, st.read_hits.get());
+                assert_eq!(stages.read_miss.count, st.read_misses.get());
+                assert_eq!(
+                    stages.prefetch_fill.count,
+                    st.prefetch_issued.get(),
+                    "every issued fetch fills"
+                );
+                assert!(stages.pool_wait.count > 0, "4-chunk pool never blocked");
+                assert!(stages.barrier_wait.count > 0, "close barrier never waited");
+                assert!(
+                    stages.write_sync.sum > 0 && stages.write_sync.p50 > 0,
+                    "virtual write time not recorded"
+                );
+                fs.stop();
+                stages
+            })
+        }
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a, b, "virtual-time histograms must be deterministic");
     }
 
     /// The transform model: stored bytes shrink per the configured

@@ -11,7 +11,7 @@
 //! registered in memory and would look like orphans.
 //!
 //! ```text
-//! crfs-fsck [--repair | --dry-run] [--threads N] [--no-payloads] [--quiet] <dir>
+//! crfs-fsck [--repair | --dry-run] [--threads N] [--no-payloads] [--quiet | --json] <dir>
 //! ```
 //!
 //! Exit status: 0 = clean (or every finding repaired), 1 = damage
@@ -28,11 +28,12 @@ struct Args {
     root: String,
     opts: FsckOptions,
     quiet: bool,
+    json: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: crfs-fsck [--repair | --dry-run] [--threads N] [--no-payloads] [--quiet] <dir>\n\
+        "usage: crfs-fsck [--repair | --dry-run] [--threads N] [--no-payloads] [--quiet | --json] <dir>\n\
          \n\
          Checks every CRFS frame log and container under <dir>.\n\
          \n\
@@ -40,7 +41,10 @@ fn usage() -> ExitCode {
            --dry-run      report only, never mutate (the default)\n\
            --threads N    checker threads (default: one per core)\n\
            --no-payloads  skip payload decode + checksum (structural walk only)\n\
-           --quiet        print only the summary line"
+           --quiet        print only the summary line\n\
+           --json         emit the machine-readable summary (per-file\n\
+                          classification, damage classes, repair actions,\n\
+                          per-checker timing)"
     );
     ExitCode::from(2)
 }
@@ -50,6 +54,7 @@ fn parse(argv: &[String]) -> Option<Args> {
         root: String::new(),
         opts: FsckOptions::default(),
         quiet: false,
+        json: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -58,6 +63,7 @@ fn parse(argv: &[String]) -> Option<Args> {
             "--dry-run" => args.opts.repair = false,
             "--no-payloads" => args.opts.verify_payloads = false,
             "--quiet" => args.quiet = true,
+            "--json" => args.json = true,
             "--threads" => args.opts.threads = it.next()?.parse().ok()?,
             other if !other.starts_with('-') && args.root.is_empty() => {
                 args.root = other.to_string();
@@ -65,7 +71,7 @@ fn parse(argv: &[String]) -> Option<Args> {
             _ => return None,
         }
     }
-    if args.root.is_empty() {
+    if args.root.is_empty() || (args.quiet && args.json) {
         return None;
     }
     Some(args)
@@ -85,7 +91,9 @@ fn main() -> ExitCode {
     };
     // The backend is rooted at the target directory; sweep its root.
     let summary = run(&backend, &["/".to_string()], &args.opts);
-    if args.quiet {
+    if args.json {
+        println!("{}", summary.to_json_pretty());
+    } else if args.quiet {
         println!(
             "files={} frames={} torn_tails={} bad_header_crc={} bad_payload_checksum={} \
              orphaned_refs={} orphaned_chunks={} dangling_manifest_refs={} repaired={} \

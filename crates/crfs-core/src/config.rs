@@ -151,6 +151,22 @@ pub struct CrfsConfig {
     /// this to take the direct path). Must be a power of two; 4096
     /// matches the Linux page/sector constraint.
     pub write_align: usize,
+    /// Observability layer (DESIGN.md §8): per-stage latency histograms
+    /// and the flight-recorder event trace. On by default — recording is
+    /// wait-free and the `exp obs` sweep gates its overhead at ≤ 5%.
+    /// `false` reduces every instrumentation site to a relaxed load and
+    /// branch (the overhead-gate baseline).
+    pub obs: bool,
+    /// Flight-recorder ring capacity in events (rounded up to a power of
+    /// two, minimum 64). The ring overwrites oldest-first, so this is
+    /// the size of the retained most-recent window.
+    pub flight_capacity: usize,
+    /// Where the flight recorder dumps its JSONL trace when the mount
+    /// hits an `IntegrityError` or unmounts with damage recorded.
+    /// `None` (default) disables automatic dumps; `crfs-stat` and
+    /// [`Crfs::flight_record_jsonl`](crate::Crfs::flight_record_jsonl)
+    /// still read the ring on demand.
+    pub flight_dump: Option<String>,
 }
 
 impl Default for CrfsConfig {
@@ -178,6 +194,9 @@ impl Default for CrfsConfig {
             ring_depth: 64,
             reapers: 1,
             write_align: 4096,
+            obs: true,
+            flight_capacity: crate::obs::DEFAULT_FLIGHT_CAPACITY,
+            flight_dump: None,
         }
     }
 }
@@ -300,6 +319,25 @@ impl CrfsConfig {
     /// Convenience builder: sets the direct-write alignment.
     pub fn with_write_align(mut self, align: usize) -> Self {
         self.write_align = align;
+        self
+    }
+
+    /// Convenience builder: toggles the observability layer (stage
+    /// histograms + flight recorder).
+    pub fn with_obs(mut self, on: bool) -> Self {
+        self.obs = on;
+        self
+    }
+
+    /// Convenience builder: sets the flight-recorder ring capacity.
+    pub fn with_flight_capacity(mut self, events: usize) -> Self {
+        self.flight_capacity = events;
+        self
+    }
+
+    /// Convenience builder: sets the automatic flight-dump path.
+    pub fn with_flight_dump(mut self, path: impl Into<String>) -> Self {
+        self.flight_dump = Some(path.into());
         self
     }
 
@@ -593,6 +631,22 @@ mod tests {
             .validate()
             .is_err());
         assert!(c.with_snapshot_keep_epochs(0).validate().is_err());
+    }
+
+    #[test]
+    fn obs_knobs_default_on_and_compose() {
+        let c = CrfsConfig::default();
+        assert!(c.obs, "observability is on by default");
+        assert_eq!(c.flight_capacity, crate::obs::DEFAULT_FLIGHT_CAPACITY);
+        assert_eq!(c.flight_dump, None);
+        let c = c
+            .with_obs(false)
+            .with_flight_capacity(256)
+            .with_flight_dump("/tmp/flight.jsonl");
+        assert!(!c.obs);
+        assert_eq!(c.flight_capacity, 256);
+        assert_eq!(c.flight_dump.as_deref(), Some("/tmp/flight.jsonl"));
+        c.validate().unwrap();
     }
 
     #[test]

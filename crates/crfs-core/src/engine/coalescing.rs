@@ -26,6 +26,7 @@ use super::queue::WorkerPool;
 use super::{read_and_install, refuse_reads, IoEngine, ReadChunk, SealedChunk};
 use crate::error::{CrfsError, Result};
 use crate::file::FileEntry;
+use crate::obs::EventKind;
 use crate::pool::BufferPool;
 use crate::stats::CrfsStats;
 
@@ -42,6 +43,9 @@ struct CoalescedWrite {
     offset: u64,
     total: usize,
     segments: Vec<Segment>,
+    /// Seal stamp of the *earliest* absorbed chunk — the merged write's
+    /// `seal_to_submit` latency is the worst case across its chunks.
+    sealed_at: Option<Instant>,
 }
 
 impl CoalescedWrite {
@@ -54,6 +58,7 @@ impl CoalescedWrite {
                 buf: chunk.buf,
                 len: chunk.len,
             }],
+            sealed_at: chunk.sealed_at,
         }
     }
 
@@ -67,6 +72,11 @@ impl CoalescedWrite {
         debug_assert!(self.accepts(&next));
         self.total += next.total;
         self.segments.extend(next.segments);
+        // FIFO absorption: self's stamp is the earlier one; keep next's
+        // only when self never had one.
+        if self.sealed_at.is_none() {
+            self.sealed_at = next.sealed_at;
+        }
     }
 }
 
@@ -147,6 +157,7 @@ impl CoalescingEngine {
                     buf,
                     len,
                     offset: chunk_offset,
+                    sealed_at: None,
                 },
             );
         }
@@ -155,6 +166,16 @@ impl CoalescingEngine {
 
 /// Issues the (possibly multi-chunk) write and retires every segment.
 fn dispatch(stats: &CrfsStats, pool: &BufferPool, write: CoalescedWrite) {
+    if let Some(sealed) = write.sealed_at {
+        stats.stages.seal_to_submit.record_dur(sealed.elapsed());
+    }
+    stats.flight.record_cached(
+        EventKind::Issued,
+        &write.entry.path,
+        &write.entry.flight_tag,
+        write.offset,
+        write.total as u64,
+    );
     let (res, stored_bytes) = match write.entry.transform.clone() {
         // Deferred torn-tail trim before the first frame lands (see
         // FileTransform::prepare_append); a trim failure fails every
@@ -184,9 +205,13 @@ fn dispatch(stats: &CrfsStats, pool: &BufferPool, write: CoalescedWrite) {
                 }
                 let t0 = Instant::now();
                 let res = write.entry.file.write_at(base, &merged);
+                let spent = t0.elapsed();
                 stats
                     .backend_write_ns
-                    .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                    .fetch_add(spent.as_nanos() as u64, Relaxed);
+                if stats.stages.enabled() {
+                    stats.stages.write_sync.record_dur(spent);
+                }
                 if res.is_ok() {
                     let mut at = base;
                     for enc in frames {
@@ -225,9 +250,13 @@ fn dispatch(stats: &CrfsStats, pool: &BufferPool, write: CoalescedWrite) {
             };
             let t0 = Instant::now();
             let res = write.entry.file.write_at(write.offset, payload);
+            let spent = t0.elapsed();
             stats
                 .backend_write_ns
-                .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                .fetch_add(spent.as_nanos() as u64, Relaxed);
+            if stats.stages.enabled() {
+                stats.stages.write_sync.record_dur(spent);
+            }
             (res, write.total as u64)
         }
     };
@@ -249,7 +278,22 @@ fn dispatch(stats: &CrfsStats, pool: &BufferPool, write: CoalescedWrite) {
     let err = res.err().map(|e| StoredError::capture(&e));
     let mut bufs = Vec::with_capacity(write.segments.len());
     let mut completions = Vec::with_capacity(write.segments.len());
+    let mut seg_offset = write.offset;
     for seg in write.segments {
+        if stats.flight.enabled() {
+            stats.flight.record_cached(
+                if err.is_none() {
+                    EventKind::Completed
+                } else {
+                    EventKind::WriteFailed
+                },
+                &write.entry.path,
+                &write.entry.flight_tag,
+                seg_offset,
+                seg.len as u64,
+            );
+        }
+        seg_offset += seg.len as u64;
         bufs.push(seg.buf);
         let seg_res = match &err {
             Some(e) => Err(e.to_io()),

@@ -40,6 +40,7 @@ use std::time::Instant;
 use crate::config::{CrfsConfig, EngineKind};
 use crate::error::{CrfsError, Result};
 use crate::file::FileEntry;
+use crate::obs::EventKind;
 use crate::pool::BufferPool;
 use crate::stats::CrfsStats;
 
@@ -58,6 +59,10 @@ pub struct SealedChunk {
     pub len: usize,
     /// File offset the chunk starts at.
     pub offset: u64,
+    /// When the chunk was sealed — `Some` only while stage histograms
+    /// are enabled; feeds the `seal_to_submit` queue-latency stage when
+    /// the engine issues the chunk's backend write.
+    pub sealed_at: Option<Instant>,
 }
 
 /// A prefetch read travelling from the restart read path to an IO
@@ -79,6 +84,10 @@ pub struct ReadChunk {
     /// Slot generation stamped at claim time; a mismatch at install
     /// means an overlapping write invalidated the fetch.
     pub gen: u64,
+    /// When the prefetch was issued — `Some` only while stage
+    /// histograms are enabled; feeds the `prefetch_fill` stage at
+    /// cache-install time.
+    pub issued_at: Option<Instant>,
 }
 
 /// One unit of engine work: the queue the worker pool drains carries
@@ -171,6 +180,16 @@ pub fn build(
 /// the backend write is timed (`transform_ns` owns the codec time).
 /// Returns the result and the bytes the backend actually received.
 fn dispatch_chunk(stats: &CrfsStats, chunk: &SealedChunk) -> (io::Result<()>, u64) {
+    if let Some(sealed) = chunk.sealed_at {
+        stats.stages.seal_to_submit.record_dur(sealed.elapsed());
+    }
+    stats.flight.record_cached(
+        EventKind::Issued,
+        &chunk.entry.path,
+        &chunk.entry.flight_tag,
+        chunk.offset,
+        chunk.len as u64,
+    );
     match &chunk.entry.transform {
         Some(t) => {
             // Deferred torn-tail trim: the first append after a damaged
@@ -183,9 +202,13 @@ fn dispatch_chunk(stats: &CrfsStats, chunk: &SealedChunk) -> (io::Result<()>, u6
             let off = t.allocate(stored);
             let t0 = Instant::now();
             let res = chunk.entry.file.write_at(off, enc.bytes());
+            let spent = t0.elapsed();
             stats
                 .backend_write_ns
-                .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                .fetch_add(spent.as_nanos() as u64, Relaxed);
+            if stats.stages.enabled() {
+                stats.stages.write_sync.record_dur(spent);
+            }
             if res.is_ok() {
                 // Commit makes the frame readable and registers its
                 // content for dedup — strictly before note_completed,
@@ -204,12 +227,28 @@ fn dispatch_chunk(stats: &CrfsStats, chunk: &SealedChunk) -> (io::Result<()>, u6
                 .entry
                 .file
                 .write_at(chunk.offset, &chunk.buf[..chunk.len]);
+            let spent = t0.elapsed();
             stats
                 .backend_write_ns
-                .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                .fetch_add(spent.as_nanos() as u64, Relaxed);
+            if stats.stages.enabled() {
+                stats.stages.write_sync.record_dur(spent);
+            }
             (res, chunk.len as u64)
         }
     }
+}
+
+/// Records the completion flight event for one issued chunk write.
+fn note_write_event(stats: &CrfsStats, entry: &FileEntry, offset: u64, len: usize, ok: bool) {
+    let kind = if ok {
+        EventKind::Completed
+    } else {
+        EventKind::WriteFailed
+    };
+    stats
+        .flight
+        .record_cached(kind, &entry.path, &entry.flight_tag, offset, len as u64);
 }
 
 /// Issues one backend write for `chunk` and retires it: timing + byte
@@ -218,6 +257,7 @@ fn dispatch_chunk(stats: &CrfsStats, chunk: &SealedChunk) -> (io::Result<()>, u6
 /// over its merged segments itself).
 fn write_and_retire(stats: &CrfsStats, pool: &BufferPool, chunk: SealedChunk) {
     let (res, stored) = dispatch_chunk(stats, &chunk);
+    note_write_event(stats, &chunk.entry, chunk.offset, chunk.len, res.is_ok());
     stats.backend_writes.fetch_add(1, Relaxed);
     if res.is_ok() {
         stats.bytes_out.fetch_add(stored, Relaxed);
@@ -275,6 +315,7 @@ fn write_and_retire_batch(stats: &CrfsStats, pool: &BufferPool, chunks: Vec<Seal
     let mut ok_bytes = 0u64;
     for chunk in chunks {
         let (res, stored) = dispatch_chunk(stats, &chunk);
+        note_write_event(stats, &chunk.entry, chunk.offset, chunk.len, res.is_ok());
         if res.is_ok() {
             ok_bytes += stored;
         }
@@ -322,7 +363,12 @@ fn read_and_install(stats: &CrfsStats, pool: &BufferPool, mut chunk: ReadChunk) 
         .read_backend(chunk.offset, &mut chunk.buf[..chunk.len]);
     stats.note_retired(1);
     match res {
-        Ok(n) => rs.install(chunk.idx, chunk.gen, chunk.buf, n, pool, stats),
+        Ok(n) => {
+            if let Some(issued) = chunk.issued_at {
+                stats.stages.prefetch_fill.record_dur(issued.elapsed());
+            }
+            rs.install(chunk.idx, chunk.gen, chunk.buf, n, pool, stats)
+        }
         // Prefetch failures are soft: the reader falls back to a direct
         // read and surfaces the error on its own call.
         Err(_) => rs.abort(chunk.idx, chunk.gen, chunk.buf, pool, stats),
@@ -354,6 +400,13 @@ fn refuse_reads(
 /// buffer. Counted as refused, not completed — the chunk never reached
 /// the backend, so it must not skew the op-savings accounting.
 fn refuse(stats: &CrfsStats, pool: &BufferPool, chunk: SealedChunk) -> CrfsError {
+    stats.flight.record_cached(
+        EventKind::Refused,
+        &chunk.entry.path,
+        &chunk.entry.flight_tag,
+        chunk.offset,
+        chunk.len as u64,
+    );
     stats.chunks_refused.fetch_add(1, Relaxed);
     stats.note_retired(1);
     pool.release(chunk.buf);
@@ -413,6 +466,7 @@ mod tests {
             buf,
             len,
             offset,
+            sealed_at: None,
         }
     }
 

@@ -63,6 +63,7 @@ use super::{
 };
 use crate::backend::CompletionSink;
 use crate::error::{CrfsError, Result};
+use crate::obs::EventKind;
 use crate::pool::BufferPool;
 use crate::stats::CrfsStats;
 
@@ -201,8 +202,14 @@ enum DescState {
     /// slot; the issuer publishes `Done`.
     CompletedEarly(io::Result<()>),
     /// Asynchronous write accepted by the backend; the sink publishes
-    /// `Done` when the completion lands.
-    InFlight { chunk: SealedChunk, stored: u64 },
+    /// `Done` when the completion lands. `issued` stamps the
+    /// `begin_write_at` call so the sink can record the full
+    /// issue-to-completion latency (`write_issue_to_complete`).
+    InFlight {
+        chunk: SealedChunk,
+        stored: u64,
+        issued: Instant,
+    },
     /// Completed, waiting on the completion ring for a reaper.
     Done {
         chunk: SealedChunk,
@@ -328,7 +335,16 @@ impl RingInner {
                 read_and_install(&self.stats, &self.pool, chunk);
                 self.release_slot(idx);
             }
-            IoItem::Write(chunk) => {
+            IoItem::Write(mut chunk) => {
+                // Consume the seal stamp here (not in `dispatch_chunk`)
+                // so the sync fallback cannot record the queue latency
+                // twice.
+                if let Some(sealed) = chunk.sealed_at.take() {
+                    self.stats
+                        .stages
+                        .seal_to_submit
+                        .record_dur(sealed.elapsed());
+                }
                 // One backend op per chunk on either path (the ring
                 // never coalesces), counted at issue like the other
                 // engines count at dispatch.
@@ -368,14 +384,31 @@ impl RingInner {
                 self.stats
                     .backend_write_ns
                     .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                self.stats.flight.record_cached(
+                    EventKind::Issued,
+                    &chunk.entry.path,
+                    &chunk.entry.flight_tag,
+                    chunk.offset,
+                    chunk.len as u64,
+                );
                 // Accepted. Publish InFlight — unless the completion
                 // already landed inline, in which case we finish.
                 let mut slot = self.slots[idx].lock();
                 match std::mem::replace(&mut *slot, DescState::Issuing) {
                     DescState::Issuing => {
-                        *slot = DescState::InFlight { chunk, stored };
+                        *slot = DescState::InFlight {
+                            chunk,
+                            stored,
+                            issued: t0,
+                        };
                     }
                     DescState::CompletedEarly(res) => {
+                        if self.stats.stages.enabled() {
+                            self.stats
+                                .stages
+                                .write_issue_to_complete
+                                .record_dur(t0.elapsed());
+                        }
                         *slot = DescState::Done { chunk, res, stored };
                         drop(slot);
                         self.push_completion(idx);
@@ -389,6 +422,19 @@ impl RingInner {
                 self.stats
                     .backend_write_ns
                     .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                self.stats.flight.record_cached(
+                    EventKind::Issued,
+                    &chunk.entry.path,
+                    &chunk.entry.flight_tag,
+                    chunk.offset,
+                    chunk.len as u64,
+                );
+                if self.stats.stages.enabled() {
+                    self.stats
+                        .stages
+                        .write_issue_to_complete
+                        .record_dur(t0.elapsed());
+                }
                 // Submission-time failure: complete the op ourselves.
                 self.finish_issuing(idx, chunk, Err(e), stored);
                 None
@@ -419,6 +465,17 @@ impl RingInner {
                     if res.is_ok() {
                         ok_bytes += stored;
                     }
+                    self.stats.flight.record_cached(
+                        if res.is_ok() {
+                            EventKind::Completed
+                        } else {
+                            EventKind::WriteFailed
+                        },
+                        &chunk.entry.path,
+                        &chunk.entry.flight_tag,
+                        chunk.offset,
+                        chunk.len as u64,
+                    );
                     bufs.push(chunk.buf);
                     completions.push((chunk.entry, res));
                 }
@@ -477,7 +534,17 @@ impl CompletionSink for RingInner {
         let idx = token as usize;
         let mut slot = self.slots[idx].lock();
         match std::mem::replace(&mut *slot, DescState::Issuing) {
-            DescState::InFlight { chunk, stored } => {
+            DescState::InFlight {
+                chunk,
+                stored,
+                issued,
+            } => {
+                if self.stats.stages.enabled() {
+                    self.stats
+                        .stages
+                        .write_issue_to_complete
+                        .record_dur(issued.elapsed());
+                }
                 *slot = DescState::Done {
                     chunk,
                     res: result,
@@ -689,6 +756,7 @@ mod tests {
             buf,
             len,
             offset,
+            sealed_at: None,
         }
     }
 

@@ -121,6 +121,10 @@ pub struct FileEntry {
     /// `Crfs::open_restart`): writes and truncation are rejected, and
     /// closing the last handle releases the epoch's pin.
     pub snapshot_epoch: Option<u64>,
+    /// Flight-recorder name tag, interned lazily on this entry's first
+    /// event (0 = not interned yet) so per-chunk events skip the hash
+    /// and name-table lock — see `FlightRecorder::record_cached`.
+    pub flight_tag: AtomicU64,
     ledger: Ledger,
 }
 
@@ -176,6 +180,7 @@ impl FileEntry {
             read_state,
             transform,
             snapshot_epoch: None,
+            flight_tag: AtomicU64::new(0),
             ledger: if legacy {
                 Ledger::locked()
             } else {

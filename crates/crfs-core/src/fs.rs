@@ -16,6 +16,7 @@ use crate::config::CrfsConfig;
 use crate::engine::{IoEngine, ReadChunk, SealedChunk};
 use crate::error::{CrfsError, Result};
 use crate::file::{CurrentChunk, FileEntry};
+use crate::obs::EventKind;
 use crate::pool::BufferPool;
 use crate::prefetch::{Consume, ReadState};
 use crate::snapshot::{synthesize_log, GcReport, SnapshotLogFile, SnapshotStore};
@@ -151,7 +152,10 @@ impl Crfs {
                 config.resolved_pool_shards(),
             )
         });
-        let stats = Arc::new(CrfsStats::new());
+        let stats = Arc::new(CrfsStats::for_config(config.obs, config.flight_capacity));
+        if let Some(path) = &config.flight_dump {
+            stats.flight.set_dump_path(Some(path.clone()));
+        }
         let engine = crate::engine::build(&config, Arc::clone(&pool), Arc::clone(&stats))?;
         let table = FileTable::new(config.resolved_table_shards(), Arc::clone(&stats));
         let submit_batch = config.resolved_submit_batch();
@@ -186,6 +190,21 @@ impl Crfs {
         snap.pool_free_chunks = self.shared.pool.free_chunks() as u64;
         snap.pool_total_chunks = self.shared.pool.total_chunks() as u64;
         snap
+    }
+
+    /// The live mount-wide counters + observability layer. Most callers
+    /// want [`stats`](Self::stats); this is for instrumentation-aware
+    /// tools (`crfs-stat`, the experiment drivers) that need the flight
+    /// recorder itself.
+    pub fn raw_stats(&self) -> &Arc<CrfsStats> {
+        &self.shared.stats
+    }
+
+    /// The flight recorder's retained event window as JSONL — the
+    /// on-demand dump (DESIGN.md §8). Empty when `config.obs` is off or
+    /// nothing has happened yet.
+    pub fn flight_record_jsonl(&self) -> String {
+        self.shared.stats.flight.dump_jsonl()
     }
 
     /// Name of the active IO engine (`threaded`, `coalescing`, `inline`).
@@ -497,6 +516,9 @@ impl Crfs {
             .stats
             .barrier_wait_ns
             .fetch_add(waited.as_nanos() as u64, Relaxed);
+        if !waited.is_zero() && self.shared.stats.stages.enabled() {
+            self.shared.stats.stages.barrier_wait.record_dur(waited);
+        }
         if let Some(e) = err {
             return Err(CrfsError::DeferredWrite {
                 path: entry.path.clone(),
@@ -643,7 +665,7 @@ impl Crfs {
                         self.shared.stats.discontinuity_seals.fetch_add(1, Relaxed);
                     }
                     sealed_count += 1;
-                    batch.push(Self::wrap_sealed(entry, cur));
+                    batch.push(self.wrap_sealed(entry, cur));
                     if batch.len() >= max_batch {
                         // Flush the seal count first so the ledger and
                         // the counter cannot diverge on a refused batch.
@@ -681,6 +703,9 @@ impl Crfs {
                             .stats
                             .pool_wait_ns
                             .fetch_add(waited.as_nanos() as u64, Relaxed);
+                        if self.shared.stats.stages.enabled() {
+                            self.shared.stats.stages.pool_wait.record_dur(waited);
+                        }
                     }
                     *slot = Some(CurrentChunk {
                         buf,
@@ -732,13 +757,22 @@ impl Crfs {
     /// the engine — the single place seal bookkeeping happens. The
     /// caller owns the `chunks_sealed` stat (the write path counts a
     /// whole batch at once) and the submission.
-    fn wrap_sealed(entry: &Arc<FileEntry>, cur: CurrentChunk) -> SealedChunk {
+    fn wrap_sealed(&self, entry: &Arc<FileEntry>, cur: CurrentChunk) -> SealedChunk {
         entry.note_sealed();
+        let stats = &self.shared.stats;
+        stats.flight.record_cached(
+            EventKind::Sealed,
+            &entry.path,
+            &entry.flight_tag,
+            cur.state.file_offset,
+            cur.state.fill as u64,
+        );
         SealedChunk {
             entry: Arc::clone(entry),
             len: cur.state.fill,
             offset: cur.state.file_offset,
             buf: cur.buf,
+            sealed_at: stats.stages.timer(),
         }
     }
 
@@ -746,6 +780,17 @@ impl Crfs {
     /// every case (on refusal the engine completes each chunk with an
     /// error and recycles its buffer, so nothing is left to leak).
     fn submit_collected(&self, batch: &mut Vec<SealedChunk>) -> Result<()> {
+        if self.shared.stats.flight.enabled() {
+            for chunk in batch.iter() {
+                self.shared.stats.flight.record_cached(
+                    EventKind::Submitted,
+                    &chunk.entry.path,
+                    &chunk.entry.flight_tag,
+                    chunk.offset,
+                    chunk.len as u64,
+                );
+            }
+        }
         match batch.len() {
             0 => Ok(()),
             1 => self
@@ -759,8 +804,15 @@ impl Crfs {
     /// Hands a sealed chunk to the IO engine for asynchronous writing
     /// (the close/fsync flush path, which never has more than one).
     fn seal_chunk(&self, entry: &Arc<FileEntry>, cur: CurrentChunk) -> Result<()> {
-        let chunk = Self::wrap_sealed(entry, cur);
+        let chunk = self.wrap_sealed(entry, cur);
         self.shared.stats.chunks_sealed.fetch_add(1, Relaxed);
+        self.shared.stats.flight.record_cached(
+            EventKind::Submitted,
+            &entry.path,
+            &entry.flight_tag,
+            chunk.offset,
+            chunk.len as u64,
+        );
         self.shared.engine.submit(chunk)
     }
 
@@ -786,6 +838,9 @@ impl Crfs {
             .stats
             .barrier_wait_ns
             .fetch_add(waited.as_nanos() as u64, Relaxed);
+        if !waited.is_zero() && self.shared.stats.stages.enabled() {
+            self.shared.stats.stages.barrier_wait.record_dur(waited);
+        }
         match err {
             Some(e) => Err(CrfsError::DeferredWrite {
                 path: entry.path.clone(),
@@ -858,9 +913,13 @@ impl Crfs {
             if sequential {
                 self.issue_read_ahead(entry, rs, pos)?;
             }
+            let seg_timer = stats.stages.timer();
             loop {
                 match rs.try_consume(idx, within, &mut buf[done..done + want], pool, stats) {
                     Consume::Hit(n) => {
+                        if let Some(t0) = seg_timer {
+                            stats.stages.read_hit.record_dur(t0.elapsed());
+                        }
                         done += n;
                         if n < want {
                             break 'segments; // cached chunk ends: EOF
@@ -877,6 +936,9 @@ impl Crfs {
                         let n = entry
                             .read_backend(pos, &mut buf[done..done + want])
                             .map_err(|e| self.read_error(&entry.path, e))?;
+                        if let Some(t0) = seg_timer {
+                            stats.stages.read_miss.record_dur(t0.elapsed());
+                        }
                         done += n;
                         if n < want {
                             break 'segments; // EOF
@@ -940,6 +1002,7 @@ impl Crfs {
                 offset: chunk_off,
                 idx,
                 gen,
+                issued_at: stats.stages.timer(),
             });
             covered = idx + 1;
         }
@@ -1206,6 +1269,9 @@ impl Crfs {
         // Refuses new chunks, drains accepted ones, joins the workers.
         self.shared.engine.shutdown();
         self.shared.pool.close();
+        // The mount is quiet: persist the flight record if a dump path
+        // is configured (best-effort; diagnostics never fail unmount).
+        self.shared.stats.flight.dump_to_configured_path();
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),

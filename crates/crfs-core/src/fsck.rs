@@ -50,6 +50,7 @@ use parking_lot::Mutex;
 
 use crate::aggregator::ContainerReader;
 use crate::backend::{read_exact_at, Backend, BackendFile, OpenOptions};
+use crate::obs::Histogram;
 use crate::snapshot::manifest::{ChunkRecord, Manifest, Record, MANIFEST_MAGIC};
 use crate::snapshot::{parse_cas_name, parse_manifest_name, CAS_DIR, SNAP_DIR};
 use crate::transform::codec::decode_payload;
@@ -189,10 +190,42 @@ pub struct FsckSummary {
     pub reports: Vec<FileReport>,
     /// Wall-clock time of the sweep.
     pub elapsed: Duration,
+    /// Per-file check latency distribution (ns) across all checkers —
+    /// the fsck analogue of the mount's stage histograms.
+    pub check_times: Histogram,
+    /// Total check time (ns) by classified kind, indexed raw /
+    /// frame-log / container / manifest — per-checker attribution of
+    /// where the sweep's CPU went.
+    pub checker_ns: [u64; 4],
     /// Content-store paths referenced by REF frames in swept logs.
     /// Chunks staged in a not-yet-sealed epoch appear in no manifest,
     /// so the orphan pass must honor live references too.
     cas_refs: std::collections::HashSet<String>,
+}
+
+impl FileKind {
+    /// Stable lower-case name (JSON field values).
+    pub fn name(self) -> &'static str {
+        match self {
+            FileKind::Raw => "raw",
+            FileKind::FrameLog => "frame_log",
+            FileKind::Container => "container",
+            FileKind::Manifest => "manifest",
+        }
+    }
+}
+
+impl DamageCounts {
+    fn to_value(self) -> serde_json::Value {
+        serde_json::json!({
+            "torn_tails": self.torn_tails,
+            "bad_header_crc": self.bad_header_crc,
+            "bad_payload_checksum": self.bad_payload_checksum,
+            "orphaned_refs": self.orphaned_refs,
+            "orphaned_chunks": self.orphaned_chunks,
+            "dangling_manifest_refs": self.dangling_manifest_refs,
+        })
+    }
 }
 
 impl FsckSummary {
@@ -200,6 +233,57 @@ impl FsckSummary {
     /// repair ran).
     pub fn is_clean(&self) -> bool {
         self.reports.iter().all(|r| r.repaired && r.error.is_none())
+    }
+
+    /// The machine-readable form of the sweep: totals, per-class damage
+    /// counts, per-file reports (classification, damage, repair
+    /// action), per-checker time attribution, and the per-file check
+    /// latency histogram.
+    pub fn to_value(&self) -> serde_json::Value {
+        let reports: Vec<serde_json::Value> = self
+            .reports
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "path": r.path.clone(),
+                    "kind": r.kind.name(),
+                    "frames": r.frames,
+                    "damage": r.damage.to_value(),
+                    "torn_bytes": r.torn_bytes,
+                    "repaired": r.repaired,
+                    "error": match &r.error {
+                        Some(e) => serde_json::Value::String(e.clone()),
+                        None => serde_json::Value::Null,
+                    },
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "files": self.files,
+            "raw_files": self.raw_files,
+            "frame_logs": self.frame_logs,
+            "containers": self.containers,
+            "manifests": self.manifests,
+            "frames": self.frames,
+            "damage": self.damage.to_value(),
+            "damage_total": self.damage.total(),
+            "clean": self.is_clean(),
+            "repaired_files": self.repaired_files,
+            "elapsed_us": self.elapsed.as_micros() as u64,
+            "checker_ns": serde_json::json!({
+                "raw": self.checker_ns[FileKind::Raw as usize],
+                "frame_log": self.checker_ns[FileKind::FrameLog as usize],
+                "container": self.checker_ns[FileKind::Container as usize],
+                "manifest": self.checker_ns[FileKind::Manifest as usize],
+            }),
+            "check_times": self.check_times.snapshot().to_value(),
+            "reports": serde_json::Value::Array(reports),
+        })
+    }
+
+    /// [`to_value`](Self::to_value), pretty-printed.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("infallible")
     }
 }
 
@@ -252,6 +336,10 @@ fn merge(into: &mut FsckSummary, from: FsckSummary) {
     into.repaired_files += from.repaired_files;
     into.reports.extend(from.reports);
     into.cas_refs.extend(from.cas_refs);
+    into.check_times.merge(&from.check_times);
+    for (mine, theirs) in into.checker_ns.iter_mut().zip(from.checker_ns) {
+        *mine += theirs;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -344,6 +432,21 @@ fn process(
 
 fn check_file(backend: &Arc<dyn Backend>, path: &str, opts: &FsckOptions, local: &mut FsckSummary) {
     local.files += 1;
+    let t0 = Instant::now();
+    let kind = check_file_inner(backend, path, opts, local);
+    let spent = t0.elapsed();
+    local.check_times.record_dur(spent);
+    local.checker_ns[kind as usize] += spent.as_nanos() as u64;
+}
+
+/// The untimed body of [`check_file`]; returns the classified kind so
+/// the caller can attribute the check time per checker.
+fn check_file_inner(
+    backend: &Arc<dyn Backend>,
+    path: &str,
+    opts: &FsckOptions,
+    local: &mut FsckSummary,
+) -> FileKind {
     let file = match backend.open(path, OpenOptions::read_only()) {
         Ok(f) => f,
         Err(e) => {
@@ -356,33 +459,42 @@ fn check_file(backend: &Arc<dyn Backend>, path: &str, opts: &FsckOptions, local:
                 repaired: false,
                 error: Some(format!("unopenable: {e}")),
             });
-            return;
+            return FileKind::Raw;
         }
     };
     match classify(&*file) {
-        Ok(FileKind::Raw) => local.raw_files += 1,
+        Ok(FileKind::Raw) => {
+            local.raw_files += 1;
+            FileKind::Raw
+        }
         Ok(FileKind::Container) => {
             local.containers += 1;
             drop(file); // ContainerReader opens its own handle
             check_container(backend, path, local);
+            FileKind::Container
         }
         Ok(FileKind::FrameLog) => {
             local.frame_logs += 1;
             check_frame_log(backend, path, &*file, opts, local);
+            FileKind::FrameLog
         }
         Ok(FileKind::Manifest) => {
             local.manifests += 1;
             check_manifest(backend, path, &*file, opts, local);
+            FileKind::Manifest
         }
-        Err(e) => local.reports.push(FileReport {
-            path: path.to_string(),
-            kind: FileKind::Raw,
-            frames: 0,
-            damage: DamageCounts::default(),
-            torn_bytes: 0,
-            repaired: false,
-            error: Some(format!("unreadable: {e}")),
-        }),
+        Err(e) => {
+            local.reports.push(FileReport {
+                path: path.to_string(),
+                kind: FileKind::Raw,
+                frames: 0,
+                damage: DamageCounts::default(),
+                torn_bytes: 0,
+                repaired: false,
+                error: Some(format!("unreadable: {e}")),
+            });
+            FileKind::Raw
+        }
     }
 }
 

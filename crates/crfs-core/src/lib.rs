@@ -83,6 +83,7 @@ pub mod error;
 pub mod file;
 pub mod fs;
 pub mod fsck;
+pub mod obs;
 pub mod pool;
 pub mod prefetch;
 pub mod snapshot;
@@ -95,6 +96,7 @@ pub use config::{CrfsConfig, EngineKind};
 pub use engine::IoEngine;
 pub use error::{CrfsError, Result};
 pub use fs::{Crfs, CrfsFile};
+pub use obs::{EventKind, FlightEvent, FlightRecorder, Histogram, HistogramSnapshot};
 pub use snapshot::{GcReport, SnapshotStore};
 pub use stats::StatsSnapshot;
 pub use transform::CodecKind;

@@ -396,6 +396,7 @@ impl SnapshotStore {
     /// newest `keep_epochs`, pinned epochs excluded). Returns the
     /// sealed epoch number.
     pub fn seal(&self) -> io::Result<u64> {
+        let t0 = self.stats.stages.timer();
         let mut inner = self.inner.lock();
         let mut files: BTreeMap<String, Vec<Record>> = inner.carried.drain().collect();
         for (path, stage) in std::mem::take(&mut inner.staged) {
@@ -431,6 +432,15 @@ impl SnapshotStore {
         inner.next_epoch = epoch + 1;
         self.stats.snapshot_manifests.fetch_add(1, Relaxed);
         self.enforce_retention(&mut inner);
+        if let Some(t0) = t0 {
+            self.stats.stages.snapshot_seal.record_dur(t0.elapsed());
+        }
+        self.stats.flight.record(
+            crate::obs::EventKind::ManifestSealed,
+            None,
+            epoch,
+            inner.carried.len() as u64,
+        );
         Ok(epoch)
     }
 
@@ -484,6 +494,12 @@ impl SnapshotStore {
             mark.extend(chunk_keys(stage.records.iter().map(|(_, r)| r)));
         }
         let names = self.backend.list_dir(CAS_DIR)?;
+        self.stats.flight.record(
+            crate::obs::EventKind::GcMark,
+            None,
+            mark.len() as u64,
+            names.len() as u64,
+        );
         let mut report = GcReport {
             scanned_chunks: names.len(),
             ..GcReport::default()
@@ -501,10 +517,16 @@ impl SnapshotStore {
             if let Some(d) = dedup {
                 d.remove(key.0, key.1);
             }
+            self.stats
+                .flight
+                .record(crate::obs::EventKind::GcFree, Some(&path), 0, len);
             report.reclaimed_chunks += 1;
             report.reclaimed_bytes += len;
         }
         report.pause = t0.elapsed();
+        if self.stats.stages.enabled() {
+            self.stats.stages.gc_pause.record_dur(report.pause);
+        }
         self.stats
             .gc_reclaimed_chunks
             .fetch_add(report.reclaimed_chunks as u64, Relaxed);

@@ -3,9 +3,19 @@
 //! All counters are relaxed atomics — they are monotonic event counts whose
 //! exact interleaving does not matter, only their totals. A coherent view
 //! is taken with [`CrfsStats::snapshot`].
+//!
+//! Since the observability layer (DESIGN.md §8) the struct also owns the
+//! per-stage latency [`StageHistograms`] and the [`FlightRecorder`]:
+//! every instrumentation site already holds an `Arc<CrfsStats>`, so the
+//! distributions and the event trace ride along with zero extra
+//! plumbing. [`StatsSnapshot::to_value`] serializes the whole snapshot
+//! — counters, derived ratios, gauges, stage distributions — to JSON
+//! for BENCH artifacts and the `crfs-stat` inspector.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Duration;
+
+use crate::obs::{FlightRecorder, StageHistograms, StageSnapshots};
 
 /// Live counters updated by the write path and the IO workers.
 #[derive(Debug, Default)]
@@ -139,12 +149,39 @@ pub struct CrfsStats {
     pub gc_reclaimed_chunks: AtomicU64,
     /// Stored bytes those reclaimed chunks held.
     pub gc_reclaimed_bytes: AtomicU64,
+    /// Per-stage latency histograms (DESIGN.md §8). Disabled (a relaxed
+    /// load and branch per site) on default-constructed stats; mounts
+    /// enable them per `CrfsConfig::obs`.
+    pub stages: StageHistograms,
+    /// The chunk-lifecycle event trace ring (DESIGN.md §8). Same
+    /// enablement story as `stages`.
+    pub flight: FlightRecorder,
 }
 
 impl CrfsStats {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters. Stage histograms and the flight
+    /// recorder exist but start disabled — [`Crfs::mount`]
+    /// (crate::Crfs::mount) enables them per `CrfsConfig::obs` via
+    /// [`configure_obs`](Self::configure_obs).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates counters with the observability layer sized and armed
+    /// per the mount's configuration.
+    pub fn for_config(obs: bool, flight_capacity: usize) -> Self {
+        let stats = CrfsStats {
+            flight: FlightRecorder::with_capacity(flight_capacity),
+            ..Default::default()
+        };
+        stats.configure_obs(obs);
+        stats
+    }
+
+    /// Arms (or disarms) both observability pillars.
+    pub fn configure_obs(&self, on: bool) {
+        self.stages.set_enabled(on);
+        self.flight.set_enabled(on);
     }
 
     /// Records `n` ops entering an engine (gauge up + high-water mark).
@@ -210,6 +247,8 @@ impl CrfsStats {
             gc_reclaimed_bytes: self.gc_reclaimed_bytes.load(Relaxed),
             pool_free_chunks: 0,
             pool_total_chunks: 0,
+            stages: self.stages.snapshot(),
+            flight_events: self.flight.recorded(),
         }
     }
 }
@@ -312,6 +351,12 @@ pub struct StatsSnapshot {
     /// Total buffers the pool owns (gauge; filled alongside
     /// `pool_free_chunks`).
     pub pool_total_chunks: u64,
+    /// Per-stage latency distributions at snapshot time (all counts
+    /// zero when the mount ran with `obs` disabled).
+    pub stages: StageSnapshots,
+    /// Flight-recorder events recorded over the mount's lifetime
+    /// (monotonic; the ring itself only retains the most recent window).
+    pub flight_events: u64,
 }
 
 impl StatsSnapshot {
@@ -411,6 +456,104 @@ impl StatsSnapshot {
         } else {
             self.read_hits as f64 / total as f64
         }
+    }
+
+    /// Every monotonic counter of the snapshot, by the name of the
+    /// [`CrfsStats`] atomic it was copied from (`Duration` fields under
+    /// their original `_ns` names). This is the canonical counter list:
+    /// the JSON serializer, the `crfs-stat` renderer, and the
+    /// completeness shape-check all iterate it, so a counter added to
+    /// [`CrfsStats`] but not here fails the build's shape test.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("writes", self.writes),
+            ("bytes_in", self.bytes_in),
+            ("chunks_sealed", self.chunks_sealed),
+            ("partial_seals", self.partial_seals),
+            ("discontinuity_seals", self.discontinuity_seals),
+            ("chunks_completed", self.chunks_completed),
+            ("backend_writes", self.backend_writes),
+            ("chunks_coalesced", self.chunks_coalesced),
+            ("chunks_refused", self.chunks_refused),
+            ("bytes_out", self.bytes_out),
+            ("pool_wait_ns", self.pool_wait.as_nanos() as u64),
+            ("pool_waits", self.pool_waits),
+            ("backend_write_ns", self.backend_write.as_nanos() as u64),
+            ("opens", self.opens),
+            ("closes", self.closes),
+            ("fsyncs", self.fsyncs),
+            ("barrier_wait_ns", self.barrier_wait.as_nanos() as u64),
+            ("shard_lock_waits", self.shard_lock_waits),
+            ("engine_submits", self.engine_submits),
+            ("reads", self.reads),
+            ("bytes_read", self.bytes_read),
+            ("read_hits", self.read_hits),
+            ("read_misses", self.read_misses),
+            ("prefetch_issued", self.prefetch_issued),
+            ("prefetch_completed", self.prefetch_completed),
+            ("prefetch_wasted", self.prefetch_wasted),
+            ("bytes_logical", self.bytes_logical),
+            ("bytes_stored", self.bytes_stored),
+            ("dedup_hits", self.dedup_hits),
+            ("integrity_failures", self.integrity_failures),
+            ("torn_tails", self.torn_tails),
+            ("bad_header_crc", self.bad_header_crc),
+            ("bad_payload_checksum", self.bad_payload_checksum),
+            ("transform_ns", self.transform.as_nanos() as u64),
+            ("ops_inflight", self.ops_inflight),
+            ("inflight_hwm", self.inflight_hwm),
+            ("completion_reaps", self.completion_reaps),
+            ("completion_reaped", self.completion_reaped),
+            ("snapshot_chunks", self.snapshot_chunks),
+            ("snapshot_bytes", self.snapshot_bytes),
+            ("snapshot_manifests", self.snapshot_manifests),
+            ("gc_reclaimed_chunks", self.gc_reclaimed_chunks),
+            ("gc_reclaimed_bytes", self.gc_reclaimed_bytes),
+        ]
+    }
+
+    /// Serializes the whole snapshot — counters, gauges, derived
+    /// ratios, stage distributions, flight-event total — as JSON. This
+    /// is the schema BENCH artifacts embed and `crfs-stat --json`
+    /// round-trips.
+    pub fn to_value(&self) -> serde_json::Value {
+        let counters: Vec<(String, serde_json::Value)> = self
+            .counters()
+            .into_iter()
+            .map(|(name, v)| (name.to_string(), serde_json::json!(v)))
+            .collect();
+        let stages: Vec<(String, serde_json::Value)> = self
+            .stages
+            .named()
+            .into_iter()
+            .map(|(name, h)| (name.to_string(), h.to_value()))
+            .collect();
+        serde_json::json!({
+            "counters": serde_json::Value::Object(counters),
+            "gauges": {
+                "pool_free_chunks": self.pool_free_chunks,
+                "pool_total_chunks": self.pool_total_chunks,
+            },
+            "derived": {
+                "mean_write_size": self.mean_write_size(),
+                "mean_chunk_fill": self.mean_chunk_fill(),
+                "aggregation_ratio": self.aggregation_ratio(),
+                "backend_ops_saved": self.backend_ops_saved(),
+                "mean_backend_write": self.mean_backend_write(),
+                "avg_batch_len": self.avg_batch_len(),
+                "avg_reap_len": self.avg_reap_len(),
+                "compress_ratio": self.compress_ratio(),
+                "damage_total": self.damage_total(),
+                "read_hit_rate": self.read_hit_rate(),
+            },
+            "stages": serde_json::Value::Object(stages),
+            "flight_events": self.flight_events,
+        })
+    }
+
+    /// [`to_value`](Self::to_value), pretty-printed.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("infallible")
     }
 }
 
@@ -518,6 +661,31 @@ impl std::fmt::Display for StatsSnapshot {
                 self.torn_tails, self.bad_header_crc, self.bad_payload_checksum
             )?;
         }
+        let recorded: Vec<_> = self
+            .stages
+            .named()
+            .into_iter()
+            .filter(|(_, h)| h.count > 0)
+            .collect();
+        if !recorded.is_empty() {
+            writeln!(
+                f,
+                "stage latency (us):      count /      p50 /      p99 /      max"
+            )?;
+            for (name, h) in recorded {
+                writeln!(
+                    f,
+                    "  {name:<22} {:>8} / {:>8.1} / {:>8.1} / {:>8.1}",
+                    h.count,
+                    h.p50 as f64 / 1_000.0,
+                    h.p99 as f64 / 1_000.0,
+                    h.max as f64 / 1_000.0
+                )?;
+            }
+        }
+        if self.flight_events > 0 {
+            writeln!(f, "flight recorder: {} events recorded", self.flight_events)?;
+        }
         write!(
             f,
             "opens {} / closes {} / fsyncs {}",
@@ -544,6 +712,8 @@ mod tests {
         assert_eq!(snap.aggregation_ratio(), 5.0);
     }
 
+    /// Every ratio helper guards its denominator: an all-zero snapshot
+    /// returns 0.0 everywhere, never NaN or a panic.
     #[test]
     fn empty_snapshot_ratios_are_zero() {
         let snap = StatsSnapshot::default();
@@ -551,6 +721,44 @@ mod tests {
         assert_eq!(snap.mean_write_size(), 0.0);
         assert_eq!(snap.aggregation_ratio(), 0.0);
         assert_eq!(snap.avg_batch_len(), 0.0);
+        assert_eq!(snap.mean_backend_write(), 0.0);
+        assert_eq!(snap.avg_reap_len(), 0.0);
+        assert_eq!(snap.compress_ratio(), 0.0);
+        assert_eq!(snap.read_hit_rate(), 0.0);
+        assert_eq!(snap.backend_ops_saved(), 0);
+        assert_eq!(snap.damage_total(), 0);
+    }
+
+    /// The same guards hold one-sidedly: a numerator with no
+    /// denominator (and vice versa) still yields finite values.
+    #[test]
+    fn one_sided_ratio_denominators_stay_finite() {
+        let s = CrfsStats::new();
+        // Numerators without their denominators.
+        s.bytes_in.fetch_add(4096, Relaxed);
+        s.bytes_out.fetch_add(4096, Relaxed);
+        s.bytes_logical.fetch_add(4096, Relaxed);
+        s.completion_reaped.fetch_add(7, Relaxed);
+        s.read_hits.fetch_add(3, Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.mean_write_size(), 0.0, "writes == 0");
+        assert_eq!(snap.mean_chunk_fill(), 0.0, "chunks_sealed == 0");
+        assert_eq!(snap.mean_backend_write(), 0.0, "backend_writes == 0");
+        assert_eq!(snap.avg_reap_len(), 0.0, "completion_reaps == 0");
+        assert_eq!(snap.compress_ratio(), 0.0, "bytes_stored == 0");
+        assert_eq!(snap.read_hit_rate(), 1.0, "hits with zero misses");
+        for v in [
+            snap.mean_write_size(),
+            snap.mean_chunk_fill(),
+            snap.aggregation_ratio(),
+            snap.mean_backend_write(),
+            snap.avg_batch_len(),
+            snap.avg_reap_len(),
+            snap.compress_ratio(),
+            snap.read_hit_rate(),
+        ] {
+            assert!(v.is_finite());
+        }
     }
 
     #[test]

@@ -119,6 +119,13 @@ pub fn is_integrity_error(e: &io::Error) -> bool {
 
 fn integrity(stats: &CrfsStats, detail: String) -> io::Error {
     stats.integrity_failures.fetch_add(1, Relaxed);
+    // Integrity violations are exactly what the flight recorder exists
+    // for: record the event, then dump the ring so the lead-up survives
+    // even if the process dies on the propagated error.
+    stats
+        .flight
+        .record(crate::obs::EventKind::IntegrityError, Some(&detail), 0, 0);
+    stats.flight.dump_to_configured_path();
     io::Error::new(io::ErrorKind::InvalidData, IntegrityViolation { detail })
 }
 
@@ -546,6 +553,15 @@ impl FileTransform {
                     ctx.stats.torn_tails.fetch_add(1, Relaxed);
                 }
             }
+            // Crash-mode trip: a torn tail is being discarded. Record
+            // (clean prefix, raw length) so the dump shows exactly how
+            // many bytes recovery dropped.
+            ctx.stats.flight.record(
+                crate::obs::EventKind::CrashTrip,
+                None,
+                outcome.clean_len,
+                outcome.stored_len,
+            );
         }
         Ok(Some(FileTransform {
             ctx,
@@ -703,9 +719,13 @@ impl FileTransform {
             payload_check: check,
         };
         frame[..FRAME_HEADER_LEN as usize].copy_from_slice(&header.encode());
+        let spent = t0.elapsed();
         stats
             .transform_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+            .fetch_add(spent.as_nanos() as u64, Relaxed);
+        if stats.stages.enabled() {
+            stats.stages.transform_encode.record_dur(spent);
+        }
         EncodedChunk {
             frame,
             entry: FrameEntry {
@@ -940,9 +960,13 @@ impl FileTransform {
                 ),
             ));
         }
+        let spent = t0.elapsed();
         stats
             .transform_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+            .fetch_add(spent.as_nanos() as u64, Relaxed);
+        if stats.stages.enabled() {
+            stats.stages.transform_decode.record_dur(spent);
+        }
         Ok(payload)
     }
 

@@ -281,3 +281,93 @@ fn usage_errors_exit_two() {
     );
     let _ = std::fs::remove_dir_all(&root);
 }
+
+// ---------------------------------------------------------------------
+// --json mode
+// ---------------------------------------------------------------------
+
+/// `--json` on a torn volume: machine-readable per-file classification,
+/// damage classes, repair actions, and per-checker timing — then a
+/// repaired sweep flips `clean` to true with zero damage.
+#[test]
+fn json_mode_reports_damage_classes_timing_and_repair() {
+    use serde_json::Value;
+    let root = temp_root("json");
+    let log = populate(&root);
+    let frame_start = last_frame_start(&log);
+    let f = std::fs::OpenOptions::new().write(true).open(&log).unwrap();
+    f.set_len(frame_start + 10).unwrap(); // tear the last header
+    drop(f);
+
+    let (code, report) = run_fsck_code(&root, &["--dry-run", "--json"]);
+    assert_eq!(code, 1, "torn volume must exit 1");
+    let v: Value = serde_json::from_str(&report).unwrap();
+    assert_eq!(v.get("clean").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        v.get("damage")
+            .and_then(|d| d.get("torn_tails"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    assert!(v.get("damage_total").and_then(Value::as_u64).unwrap() >= 1);
+
+    // Per-file report: classified as a frame log, torn, not repaired.
+    let reports = v.get("reports").and_then(Value::as_array).unwrap();
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert_eq!(r.get("kind").and_then(Value::as_str), Some("frame_log"));
+    assert_eq!(r.get("repaired").and_then(Value::as_bool), Some(false));
+    assert!(r.get("torn_bytes").and_then(Value::as_u64).unwrap() > 0);
+    assert!(r
+        .get("path")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("rank0.img"));
+
+    // Per-checker timing: the frame-log checker did the work, and the
+    // check-latency histogram saw every checked file.
+    let files = v.get("files").and_then(Value::as_u64).unwrap();
+    assert!(files >= 1);
+    assert!(
+        v.get("checker_ns")
+            .and_then(|c| c.get("frame_log"))
+            .and_then(Value::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert_eq!(
+        v.get("check_times")
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_u64),
+        Some(files)
+    );
+
+    // Repair through --json, then a clean verifying sweep.
+    let (code, report) = run_fsck_code(&root, &["--repair", "--json"]);
+    assert_eq!(code, 0, "repair must succeed: {report}");
+    let v: Value = serde_json::from_str(&report).unwrap();
+    assert_eq!(v.get("clean").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("repaired_files").and_then(Value::as_u64), Some(1));
+    let r = &v.get("reports").and_then(Value::as_array).unwrap()[0];
+    assert_eq!(r.get("repaired").and_then(Value::as_bool), Some(true));
+
+    let (code, report) = run_fsck_code(&root, &["--json"]);
+    assert_eq!(code, 0);
+    let v: Value = serde_json::from_str(&report).unwrap();
+    assert_eq!(
+        v.get("damage_total").and_then(Value::as_u64),
+        Some(0),
+        "{report}"
+    );
+    assert_eq!(v.get("reports").and_then(Value::as_array).unwrap().len(), 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `--quiet` and `--json` are mutually exclusive output modes.
+#[test]
+fn json_conflicts_with_quiet() {
+    let root = temp_root("json-quiet");
+    let (code, _) = run_fsck_code(&root, &["--json", "--quiet"]);
+    assert_eq!(code, 2);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -148,6 +148,29 @@ impl Value {
             _ => None,
         }
     }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(v)) if *v <= i64::MAX as u64 => Some(*v as i64),
+            Value::Number(Number::NegInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The object's key/value pairs, in insertion order.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
 }
 
 static NULL: Value = Value::Null;
@@ -343,6 +366,253 @@ macro_rules! json_array_items {
     };
 }
 
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Why [`from_str`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending input.
+    pub at: usize,
+    /// What was expected there.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document into a [`Value`] — the read half of the
+/// serializers above, so artifacts this crate wrote round-trip. Object
+/// key order is preserved. Trailing garbage after the document is an
+/// error, matching serde_json's strictness.
+pub fn from_str(s: &str) -> Result<Value, ParseError> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != b.len() {
+        return Err(p.err("end of input"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> ParseError {
+        ParseError { at: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8, msg: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("a JSON literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'{', "'{'")?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "':' after object key")?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'[', "'['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"', "'\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("closing '\"'")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("escape character"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("a valid escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("no control characters in strings")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is &str, so
+                    // slicing at a char boundary is always possible).
+                    let rest = &self.b[self.pos..];
+                    let ch = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("valid UTF-8"))?
+                        .chars()
+                        .next()
+                        .unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hi = self.hex4()?;
+        // Surrogate pair: a leading surrogate must be followed by
+        // \uXXXX holding the trailing half.
+        if (0xD800..0xDC00).contains(&hi) {
+            if self.b[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.err("a valid code point"));
+                }
+            }
+            return Err(self.err("a trailing surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("a valid code point"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.b.len() {
+            return Err(self.err("four hex digits"));
+        }
+        let s =
+            std::str::from_utf8(&self.b[self.pos..end]).map_err(|_| self.err("four hex digits"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("four hex digits"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
+        if !float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(v)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Value::Number(Number::Float(v))),
+            Err(_) => {
+                self.pos = start;
+                Err(self.err("a number"))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     // The json! muncher expands to init-then-push; that's inherent to
@@ -401,6 +671,35 @@ mod tests {
         // serde_json distinguishes int and float tokens; so must we.
         let v = json!({ "f": 4.0f64, "i": 4 });
         assert_eq!(to_string(&v).unwrap(), r#"{"f":4.0,"i":4}"#);
+    }
+
+    #[test]
+    fn parser_round_trips_serialized_values() {
+        let v = json!({
+            "name": "fig5 \"quoted\"\n",
+            "ok": true,
+            "missing": null,
+            "neg": -42,
+            "big": (1u64 << 62) + 3,
+            "pi": 3.25,
+            "nested": { "list": [1, 2.0, false, "x"] },
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = from_str(r#"{"s": "aé😀\tb"}"#).unwrap();
+        assert_eq!(v["s"].as_str(), Some("aé😀\tb"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "01x", "\"open", "{} trailing"] {
+            assert!(from_str(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 
     #[test]

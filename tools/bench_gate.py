@@ -11,10 +11,12 @@ CHECK is `key OP value` written without spaces, e.g.:
     bench_gate.py BENCH_engine.json 'scaling>1.0' 'verify_ok==true'
 
 Supported OPs: ==  !=  <=  >=  <  >. Values are parsed as JSON, so
-booleans (`true`), integers, and floats all work. The full headline is
-printed first so the run log carries the numbers even when every gate
-passes; the first failing check exits 1 with both sides of the
-comparison.
+booleans (`true`), integers, and floats all work. Keys may be dotted
+paths into nested headline objects, e.g.
+`write_issue_to_complete.p99<=50000000`. The full headline is printed
+first (nested objects flattened to dotted keys) so the run log carries
+the numbers even when every gate passes; the first failing check exits
+1 with both sides of the comparison.
 """
 
 import json
@@ -48,6 +50,25 @@ def fmt(v):
     return f"{v:.4g}" if isinstance(v, float) else json.dumps(v)
 
 
+def lookup(head, key):
+    """Resolve a dotted key path; returns (found, value)."""
+    node = head
+    for part in key.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return False, None
+        node = node[part]
+    return True, node
+
+
+def flat_items(head, prefix=""):
+    for key, value in head.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from flat_items(value, f"{name}.")
+        else:
+            yield name, value
+
+
 def main(argv):
     if len(argv) < 3:
         sys.exit(__doc__.strip())
@@ -59,17 +80,17 @@ def main(argv):
         sys.exit(f"bench_gate: cannot read headline from {path}: {e}")
 
     print(f"{path} headline:")
-    for key, value in head.items():
+    for key, value in flat_items(head):
         print(f"  {key} = {fmt(value)}")
 
     failed = False
     for check in checks:
         key, tok, fn, want = parse_check(check)
-        if key not in head:
+        found, got = lookup(head, key)
+        if not found:
             print(f"FAIL  {check}: no such headline key {key!r}")
             failed = True
             continue
-        got = head[key]
         if fn(got, want):
             print(f"ok    {key} = {fmt(got)}  ({check})")
         else:
