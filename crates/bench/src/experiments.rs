@@ -44,8 +44,11 @@ pub const ALL_IDS: [&str; 10] = [
 /// and the observability-overhead sweep (obs-on vs obs-off write
 /// throughput interleaved on the §V-B raw-aggregation workload, gated
 /// at ≤5%, plus the ring leg's issue→completion percentiles; emits
-/// `BENCH_obs.json`).
-pub const EXTENSION_IDS: [&str; 11] = [
+/// `BENCH_obs.json`), and the tiered-checkpointing sweep (fast-tier
+/// ack latency vs direct durable writes, throughput vs dirty volume ×
+/// drain bandwidth, and crash-during-drain recovery gating zero
+/// wrong-byte restarts; emits `BENCH_tiered.json`).
+pub const EXTENSION_IDS: [&str; 12] = [
     "iothreads",
     "chunksweep",
     "restart",
@@ -57,6 +60,7 @@ pub const EXTENSION_IDS: [&str; 11] = [
     "fsck",
     "snapshot",
     "obs",
+    "tiered",
 ];
 
 /// Runs one experiment by id. `quick` scales data sizes down for smoke
@@ -84,6 +88,7 @@ pub fn run_one(id: &str, quick: bool) -> Option<ExpOutput> {
         "fsck" => fsck(quick),
         "snapshot" => snapshot(quick),
         "obs" => obs(quick),
+        "tiered" => tiered(quick),
         _ => return None,
     })
 }
@@ -1693,6 +1698,170 @@ fn obs(quick: bool) -> ExpOutput {
     ExpOutput {
         id: "obs",
         title: "Observability: instrumentation overhead and stage percentiles".into(),
+        text,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tiered checkpointing sweep (extension; emits BENCH_tiered.json)
+// ---------------------------------------------------------------------
+
+fn tiered(quick: bool) -> ExpOutput {
+    let sweep = real::tiered_sweep(quick);
+
+    let mut t = Table::new(&[
+        "Dirty MiB",
+        "Drain",
+        "BW MiB/s",
+        "Ack s",
+        "Ack MiB/s",
+        "Total s",
+        "Total MiB/s",
+        "WT ops",
+        "Drains",
+        "Restart",
+    ]);
+    for c in &sweep.cells {
+        t.row(&[
+            c.dirty_mb.to_string(),
+            c.drain_profile.to_string(),
+            c.drain_bw_mibs.to_string(),
+            format!("{:.3}", c.ack_secs),
+            format!("{:.0}", c.ack_mibs),
+            format!("{:.3}", c.total_secs),
+            format!("{:.0}", c.total_mibs),
+            c.write_through_ops.to_string(),
+            c.drain_ops.to_string(),
+            if c.restart_tiered_ok && c.restart_durable_ok {
+                "ok".to_string()
+            } else {
+                "WRONG".to_string()
+            },
+        ]);
+    }
+
+    let mut ct = Table::new(&[
+        "Cut bytes",
+        "Barrier",
+        "Stranded",
+        "Diverged",
+        "Repaired",
+        "Restart",
+    ]);
+    for p in &sweep.crash {
+        ct.row(&[
+            if p.cut == u64::MAX {
+                "(none)".to_string()
+            } else {
+                p.cut.to_string()
+            },
+            if p.barrier_failed { "refused" } else { "ok" }.to_string(),
+            p.stranded.to_string(),
+            p.diverged.to_string(),
+            if p.repaired { "yes" } else { "NO" }.to_string(),
+            if p.wrong_bytes { "WRONG" } else { "exact" }.to_string(),
+        ]);
+    }
+
+    let restart_ok = sweep
+        .cells
+        .iter()
+        .all(|c| c.restart_tiered_ok && c.restart_durable_ok);
+    let wrong_byte_restarts = sweep.crash.iter().filter(|p| p.wrong_bytes).count();
+    let lossy_cuts = sweep.crash.iter().filter(|p| p.cut != u64::MAX).count();
+
+    let stages = &sweep.stats.stages;
+    let text = format!(
+        "Tiered checkpointing sweep (DESIGN.md §9): writes ack from the \
+         fast tier while a background pump drains sealed frames to the \
+         durable tier.\n\n\
+         Ack latency ({} x 64 KiB write_at, 2 ms-RTT RPC store as the \
+         durable tier): direct p50 {:.0} us, tiered p50 {:.0} us — \
+         {:.1}x faster ack (gate: >= 2x).\n\n\
+         Throughput vs dirty volume x drain bandwidth (4 writers, \
+         256 KiB chunks, mem fast tier, throttled durable tier, tight \
+         2/8 MiB watermarks; every cell restarts byte-exact through a \
+         fresh tiered stack AND from the durable tier alone):\n\n{t}\n\
+         Crash during drain (power cut on the durable tier mid-drain, \
+         reboot, `crfs-fsck --fast --repair` re-drains from the \
+         authoritative fast copy, restart from the durable tier alone): \
+         {} cuts, {} wrong-byte restarts (gate: 0).\n\n{ct}\n\
+         Headline-cell drain stages: drain_copy p50 {:.1} us (n={}), \
+         drain_wait p50 {:.1} us (n={}), tier counters: {} drains \
+         ({} MiB), {} write-through ops, {} barrier waits.\n",
+        sweep.ack_writes,
+        sweep.ack_p50_direct_us,
+        sweep.ack_p50_tiered_us,
+        sweep.ack_speedup,
+        lossy_cuts,
+        wrong_byte_restarts,
+        stages.drain_copy.p50 as f64 / 1_000.0,
+        stages.drain_copy.count,
+        stages.drain_wait.p50 as f64 / 1_000.0,
+        stages.drain_wait.count,
+        sweep.counters.drain_ops,
+        sweep.counters.drain_bytes >> 20,
+        sweep.counters.write_through_ops,
+        sweep.counters.barrier_waits,
+    );
+
+    let json = json!({
+        "workload": {
+            "ack_writes": sweep.ack_writes,
+            "ack_chunk_size": 64 << 10,
+            "durable_store": "rpc(1ms read rtt / 2ms write rtt) for ack arm; throttled disk/ssd for throughput grid",
+            "writers": 4,
+            "chunk_size": 256 << 10,
+            "quick": quick,
+        },
+        "cells": sweep.cells.iter().map(|c| json!({
+            "dirty_mb": c.dirty_mb,
+            "drain_profile": c.drain_profile,
+            "drain_bw_mibs": c.drain_bw_mibs,
+            "ack_secs": c.ack_secs,
+            "ack_mibs": c.ack_mibs,
+            "total_secs": c.total_secs,
+            "total_mibs": c.total_mibs,
+            "write_through_ops": c.write_through_ops,
+            "drain_ops": c.drain_ops,
+            "resident_after_barrier": c.resident_after_barrier,
+            "restart_tiered_ok": c.restart_tiered_ok,
+            "restart_durable_ok": c.restart_durable_ok,
+            "verified_bytes": c.verified_bytes,
+        })).collect::<Vec<_>>(),
+        "crash": sweep.crash.iter().map(|p| json!({
+            "cut": if p.cut == u64::MAX { Value::Null } else { json!(p.cut) },
+            "barrier_failed": p.barrier_failed,
+            "stranded": p.stranded,
+            "diverged": p.diverged,
+            "repaired": p.repaired,
+            "wrong_bytes": p.wrong_bytes,
+        })).collect::<Vec<_>>(),
+        "headline": {
+            "ack_p50_direct_us": sweep.ack_p50_direct_us,
+            "ack_p50_tiered_us": sweep.ack_p50_tiered_us,
+            "ack_speedup": sweep.ack_speedup,
+            "restart_ok": restart_ok,
+            "crash_points": lossy_cuts,
+            "wrong_byte_restarts": wrong_byte_restarts,
+            // Nested drain-stage percentiles (ns) for dotted
+            // bench_gate checks like `drain_copy.p50<=...`.
+            "drain_copy": stage_headline(&stages.drain_copy),
+            "drain_wait": stage_headline(&stages.drain_wait),
+            "tier_promote": stage_headline(&stages.tier_promote),
+        },
+        // Headline cell's full snapshot + tier counters, where
+        // `crfs-stat BENCH_tiered.json` finds them.
+        "stats": sweep.stats.to_value(),
+        "tier": sweep.counters.to_value(),
+    });
+    let pretty = serde_json::to_string_pretty(&json).unwrap_or_default();
+    let _ = std::fs::write("BENCH_tiered.json", pretty);
+    ExpOutput {
+        id: "tiered",
+        title: "Tiered checkpointing: fast-tier acks, async drain, crash-during-drain recovery"
+            .into(),
         text,
         json,
     }

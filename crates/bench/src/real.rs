@@ -1584,6 +1584,433 @@ pub fn obs_sweep(quick: bool) -> ObsSweep {
     }
 }
 
+// ---------------------------------------------------------------------
+// Tiered checkpointing sweep (extension; emits BENCH_tiered.json)
+// ---------------------------------------------------------------------
+
+/// One throughput cell of the tiered sweep: a dirty volume streamed
+/// through a fast-tier/durable-tier stack at a given drain bandwidth,
+/// then restarted byte-exactly from both tiers.
+#[derive(Debug, Clone)]
+pub struct TieredCell {
+    /// Dirty checkpoint volume in MiB (across all writers).
+    pub dirty_mb: u64,
+    /// Durable-tier device profile (`disk` / `ssd`).
+    pub drain_profile: &'static str,
+    /// Sustained durable-tier bandwidth, MiB/s.
+    pub drain_bw_mibs: u64,
+    /// Wall-clock seconds until every writer's close returned (the
+    /// application-visible checkpoint time — fast-tier acks).
+    pub ack_secs: f64,
+    /// Ack throughput, MiB/s.
+    pub ack_mibs: f64,
+    /// Wall-clock seconds until the epoch barrier returned (every
+    /// byte durable).
+    pub total_secs: f64,
+    /// End-to-end throughput including the drain, MiB/s.
+    pub total_mibs: f64,
+    /// Chunk writes degraded to write-through by the high watermark.
+    pub write_through_ops: u64,
+    /// Background drain copies pumped to the durable tier.
+    pub drain_ops: u64,
+    /// Fast-tier bytes still undrained after the barrier (must be 0).
+    pub resident_after_barrier: u64,
+    /// Byte-exact restart through a fresh tiered stack.
+    pub restart_tiered_ok: bool,
+    /// Byte-exact restart from the durable tier alone.
+    pub restart_durable_ok: bool,
+    /// Bytes read back and compared across both restarts.
+    pub verified_bytes: u64,
+}
+
+/// One crash-during-drain point: the durable tier dies `cut` bytes
+/// into the drain, the node "reboots", `fsck --fast` re-drains, and
+/// the restart must serve every acked byte from the durable tier.
+#[derive(Debug, Clone, Copy)]
+pub struct TieredCrashPoint {
+    /// Durable-tier byte budget the power cut allowed.
+    pub cut: u64,
+    /// Files the tier pass found stranded (fast-only).
+    pub stranded: u64,
+    /// Files whose durable copy diverged from the fast tier.
+    pub diverged: u64,
+    /// Whether the epoch barrier correctly refused to report the
+    /// epoch durable (it must fail — copies were lost).
+    pub barrier_failed: bool,
+    /// Whether `fsck --fast --repair` left the stack scanning clean.
+    pub repaired: bool,
+    /// Whether the post-repair durable-only restart served any wrong
+    /// byte (must be false at every point).
+    pub wrong_bytes: bool,
+}
+
+/// The whole `exp tiered` measurement.
+pub struct TieredSweep {
+    /// Backend-level write_at p50 straight at the 2 ms-RTT RPC store,
+    /// microseconds.
+    pub ack_p50_direct_us: f64,
+    /// The same writes acked by the fast tier of a tiered stack over
+    /// that store, microseconds.
+    pub ack_p50_tiered_us: f64,
+    /// `direct / tiered` — the headline ack win.
+    pub ack_speedup: f64,
+    /// Writes per ack-latency arm.
+    pub ack_writes: usize,
+    /// Dirty-volume × drain-bandwidth throughput grid.
+    pub cells: Vec<TieredCell>,
+    /// Crash-during-drain sweep.
+    pub crash: Vec<TieredCrashPoint>,
+    /// Stats snapshot of the headline throughput cell's mount — the
+    /// `drain_copy`/`drain_wait` stage histograms live here.
+    pub stats: crfs_core::stats::StatsSnapshot,
+    /// Tier counters of the headline cell's stack.
+    pub counters: crfs_core::backend::TierCounters,
+}
+
+/// Measures per-write ack latency at the backend level: `writes`
+/// chunk-sized `write_at`s against the 2 ms-RTT RPC store directly,
+/// then through a tiered stack whose fast tier is memory. Returns
+/// `(direct_p50_us, tiered_p50_us)`.
+pub fn tiered_ack_latency(writes: usize, chunk: usize) -> (f64, f64) {
+    use crfs_core::backend::{TieredBackend, TieredParams};
+
+    let p50 = |lat: &mut Vec<std::time::Duration>| {
+        lat.sort_unstable();
+        lat[lat.len() / 2].as_secs_f64() * 1e6
+    };
+    let run = |backend: Arc<dyn Backend>| {
+        let f = backend
+            .open("/ack.img", OpenOptions::create_truncate())
+            .expect("create");
+        let buf = vec![0xA5u8; chunk];
+        let mut lat = Vec::with_capacity(writes);
+        for i in 0..writes {
+            let t0 = Instant::now();
+            f.write_at(i as u64 * chunk as u64, &buf).expect("write");
+            lat.push(t0.elapsed());
+        }
+        lat
+    };
+
+    let direct: Arc<dyn Backend> =
+        Arc::new(RpcStore::new(MemBackend::new(), engine_store_params()));
+    let mut direct_lat = run(Arc::clone(&direct));
+
+    let fast: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    let durable: Arc<dyn Backend> =
+        Arc::new(RpcStore::new(MemBackend::new(), engine_store_params()));
+    let tiered = Arc::new(TieredBackend::new(
+        Arc::clone(&fast),
+        Arc::clone(&durable),
+        // Watermarks far above the working set: pure fast-ack mode.
+        TieredParams {
+            watermark_hi: u64::MAX / 2,
+            watermark_lo: u64::MAX / 4,
+            ..TieredParams::default()
+        },
+    ));
+    let mut tiered_lat = run(Arc::clone(&tiered) as Arc<dyn Backend>);
+    tiered
+        .drain_barrier()
+        .expect("clean drain after ack measurement");
+
+    (p50(&mut direct_lat), p50(&mut tiered_lat))
+}
+
+fn tiered_cell_config(chunk: usize) -> CrfsConfig {
+    CrfsConfig::default()
+        .with_chunk_size(chunk)
+        .with_pool_size(16 * chunk)
+        // Tight watermarks so the slow-drain cells visibly degrade to
+        // write-through instead of buffering without bound.
+        .with_tier_watermarks(2 << 20, 8 << 20)
+}
+
+/// Reads every checkpoint file back through a fresh mount over
+/// `backend` and compares byte-for-byte. Returns (bytes, ok).
+fn tiered_verify(
+    backend: Arc<dyn Backend>,
+    config: &CrfsConfig,
+    files: usize,
+    chunks_per_file: u64,
+    chunk: usize,
+) -> (u64, bool) {
+    let fs = Crfs::mount(backend, config.clone()).expect("verify mount");
+    let mut bytes = 0u64;
+    let mut ok = true;
+    let mut got = vec![0u8; chunk];
+    for file in 0..files {
+        let f = fs.open(&format!("/ckpt/rank{file}.img")).expect("open");
+        for idx in 0..chunks_per_file {
+            let n = f.read_at(idx * chunk as u64, &mut got).unwrap_or(0);
+            let want = epoch_chunk_payload(chunk, file, idx, 0, 0.0);
+            ok &= n == chunk && got == want;
+            bytes += n as u64;
+        }
+        f.close().expect("close");
+    }
+    fs.unmount().expect("unmount");
+    (bytes, ok)
+}
+
+/// Measures one throughput cell: `writers` streams of checkpoint
+/// chunks into a Crfs mount over a tiered stack whose durable tier is
+/// a throttled device, timing the close barrier (acks) and the epoch
+/// barrier (durability) separately, then restarting byte-exactly
+/// through a fresh tiered stack AND from the durable tier alone.
+#[allow(clippy::too_many_arguments)]
+pub fn tiered_cell(
+    profile: &'static str,
+    throttle: ThrottleParams,
+    writers: usize,
+    chunks_per_writer: u64,
+    chunk: usize,
+) -> (
+    TieredCell,
+    crfs_core::stats::StatsSnapshot,
+    crfs_core::backend::TierCounters,
+) {
+    use crfs_core::backend::TieredBackend;
+
+    let fast: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    let durable: Arc<dyn Backend> = Arc::new(ThrottledBackend::new(MemBackend::new(), throttle));
+    let config = tiered_cell_config(chunk);
+    let tiered = Arc::new(TieredBackend::from_config(
+        Arc::clone(&fast),
+        Arc::clone(&durable),
+        &config,
+    ));
+
+    let fs = Crfs::mount(Arc::clone(&tiered) as Arc<dyn Backend>, config.clone()).expect("mount");
+    fs.mkdir_all("/ckpt").expect("mkdir");
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for file in 0..writers {
+            let fs = &fs;
+            s.spawn(move || {
+                let f = fs.create(&format!("/ckpt/rank{file}.img")).expect("create");
+                for idx in 0..chunks_per_writer {
+                    f.write(&epoch_chunk_payload(chunk, file, idx, 0, 0.0))
+                        .expect("write");
+                }
+                f.close().expect("close");
+            });
+        }
+    });
+    let ack_secs = t0.elapsed().as_secs_f64();
+    // The epoch barrier: every acked byte must reach the durable tier
+    // before the epoch may be called durable (DESIGN.md §9).
+    fs.advance_epoch().expect("drain barrier");
+    let total_secs = t0.elapsed().as_secs_f64();
+    let snap = fs.stats();
+    let counters = tiered.tier_counters();
+    fs.unmount().expect("unmount");
+
+    let logical = writers as u64 * chunks_per_writer * chunk as u64;
+    // Restart (a): a fresh tiered stack over the same tiers.
+    let restack = Arc::new(TieredBackend::from_config(
+        Arc::clone(&fast),
+        Arc::clone(&durable),
+        &config,
+    ));
+    let (tiered_bytes, restart_tiered_ok) = tiered_verify(
+        restack as Arc<dyn Backend>,
+        &config,
+        writers,
+        chunks_per_writer,
+        chunk,
+    );
+    // Restart (b): the durable tier alone — the fast tier is gone
+    // (node loss), the barrier guaranteed everything already drained.
+    let (durable_bytes, restart_durable_ok) = tiered_verify(
+        Arc::clone(&durable),
+        &config,
+        writers,
+        chunks_per_writer,
+        chunk,
+    );
+
+    let cell = TieredCell {
+        dirty_mb: logical >> 20,
+        drain_profile: profile,
+        drain_bw_mibs: throttle.bandwidth >> 20,
+        ack_secs,
+        ack_mibs: logical as f64 / ack_secs.max(1e-9) / (1 << 20) as f64,
+        total_secs,
+        total_mibs: logical as f64 / total_secs.max(1e-9) / (1 << 20) as f64,
+        write_through_ops: counters.write_through_ops,
+        drain_ops: counters.drain_ops,
+        resident_after_barrier: counters.resident_bytes,
+        restart_tiered_ok,
+        restart_durable_ok,
+        verified_bytes: tiered_bytes + durable_bytes,
+    };
+    (cell, snap, counters)
+}
+
+/// One crash-during-drain point: the durable tier is a power-cut
+/// injected backend allowed `cut` bytes; after the (failing) barrier
+/// and a "reboot", `fsck::run_tiered --repair` re-drains stranded and
+/// diverged files from the authoritative fast copy, and the restart
+/// from the durable tier alone must be byte-exact.
+pub fn tiered_crash_point(
+    cut: u64,
+    files: usize,
+    chunks_per_file: u64,
+    chunk: usize,
+) -> TieredCrashPoint {
+    use crfs_core::backend::{FailureMode, FaultyBackend, TieredBackend};
+
+    let fast: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    let faulty = Arc::new(FaultyBackend::new(
+        MemBackend::new(),
+        FailureMode::PowerCutAfterBytes(cut),
+    ));
+    let durable: Arc<dyn Backend> = faulty.clone();
+    let config = fsck_config(chunk, 2);
+    let tiered = Arc::new(TieredBackend::from_config(
+        Arc::clone(&fast),
+        Arc::clone(&durable),
+        &config,
+    ));
+
+    let fs = Crfs::mount(Arc::clone(&tiered) as Arc<dyn Backend>, config.clone()).expect("mount");
+    fs.mkdir_all("/ckpt").expect("mkdir");
+    for file in 0..files {
+        let f = fs.create(&format!("/ckpt/rank{file}.img")).expect("create");
+        for idx in 0..chunks_per_file {
+            f.write(&epoch_chunk_payload(chunk, file, idx, 0, 0.0))
+                .expect("write");
+        }
+        f.close().expect("close");
+    }
+    // The barrier must refuse: drain copies were lost mid-flight.
+    let barrier_failed = fs.advance_epoch().is_err();
+    // Unmount may also fail against the dead durable tier — the crash
+    // is the point; the fast tier holds the authoritative bytes.
+    let _ = fs.unmount();
+
+    // "Reboot": the durable device comes back with whatever prefix
+    // the cut allowed.
+    faulty.revive();
+
+    let roots = ["/ckpt".to_string()];
+    let repair = crfs_core::fsck::run_tiered(
+        &fast,
+        &durable,
+        &roots,
+        &crfs_core::fsck::FsckOptions {
+            repair: true,
+            threads: 2,
+            verify_payloads: true,
+        },
+    );
+    let rescan = crfs_core::fsck::run_tiered(
+        &fast,
+        &durable,
+        &roots,
+        &crfs_core::fsck::FsckOptions {
+            repair: false,
+            threads: 2,
+            verify_payloads: true,
+        },
+    );
+    let repaired = repair.is_clean() && rescan.damage.is_clean();
+
+    let (_, durable_ok) =
+        tiered_verify(Arc::clone(&durable), &config, files, chunks_per_file, chunk);
+
+    TieredCrashPoint {
+        cut,
+        stranded: repair.damage.tier_stranded,
+        diverged: repair.damage.tier_diverged,
+        barrier_failed,
+        repaired,
+        wrong_bytes: !durable_ok,
+    }
+}
+
+/// The `exp tiered` sweep: ack-latency microbench on the 2 ms-RTT RPC
+/// store, the dirty-volume × drain-bandwidth throughput grid, and the
+/// crash-during-drain recovery sweep.
+pub fn tiered_sweep(quick: bool) -> TieredSweep {
+    const CHUNK: usize = 256 << 10;
+    const WRITERS: usize = 4;
+
+    let ack_writes = 192;
+    let (ack_p50_direct_us, ack_p50_tiered_us) = tiered_ack_latency(ack_writes, 64 << 10);
+
+    let dirty_chunks: &[u64] = if quick { &[32] } else { &[32, 128] };
+    let profiles: &[(&'static str, ThrottleParams)] = &[
+        ("disk", ThrottleParams::sata_disk()),
+        ("ssd", ThrottleParams::ssd()),
+    ];
+    let mut cells = Vec::new();
+    let mut headline = None;
+    for &chunks_per_writer in dirty_chunks {
+        for &(profile, throttle) in profiles {
+            let (cell, snap, counters) =
+                tiered_cell(profile, throttle, WRITERS, chunks_per_writer, CHUNK);
+            // Headline = the biggest volume on the slowest drain — the
+            // regime where tiering matters most.
+            if profile == "disk" {
+                headline = Some((snap, counters));
+            }
+            cells.push(cell);
+        }
+    }
+    let (stats, counters) = headline.expect("disk cell ran");
+
+    // Crash sweep: cuts spread across the stored volume, from "almost
+    // nothing drained" to "almost everything drained". The clean run
+    // sizes the stored volume (payloads are deterministic).
+    const CRASH_CHUNK: usize = 16 << 10;
+    const CRASH_FILES: usize = 3;
+    const CRASH_CHUNKS: u64 = 6;
+    let clean = tiered_crash_point(u64::MAX, CRASH_FILES, CRASH_CHUNKS, CRASH_CHUNK);
+    assert!(!clean.wrong_bytes, "clean point must restart exactly");
+    let stored: u64 = {
+        // Measure the real durable footprint from a clean stack.
+        let probe: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let fs = Crfs::mount(Arc::clone(&probe), fsck_config(CRASH_CHUNK, 2)).expect("mount");
+        fs.mkdir_all("/ckpt").expect("mkdir");
+        for file in 0..CRASH_FILES {
+            let f = fs.create(&format!("/ckpt/rank{file}.img")).expect("create");
+            for idx in 0..CRASH_CHUNKS {
+                f.write(&epoch_chunk_payload(CRASH_CHUNK, file, idx, 0, 0.0))
+                    .expect("write");
+            }
+            f.close().expect("close");
+        }
+        fs.unmount().expect("unmount");
+        (0..CRASH_FILES)
+            .map(|f| probe.file_len(&format!("/ckpt/rank{f}.img")).unwrap())
+            .sum()
+    };
+    let cuts = if quick { 4 } else { 12 };
+    let mut crash = vec![clean];
+    for k in 0..cuts {
+        let cut = stored * (k + 1) / (cuts + 1);
+        crash.push(tiered_crash_point(
+            cut,
+            CRASH_FILES,
+            CRASH_CHUNKS,
+            CRASH_CHUNK,
+        ));
+    }
+
+    TieredSweep {
+        ack_p50_direct_us,
+        ack_p50_tiered_us,
+        ack_speedup: ack_p50_direct_us / ack_p50_tiered_us.max(1e-9),
+        ack_writes,
+        cells,
+        crash,
+        stats,
+        counters,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -167,6 +167,76 @@ struct CrashState {
     dead: Cell<bool>,
 }
 
+/// One fast-tier chunk awaiting its background copy to the durable
+/// tier.
+struct SimDrainOp {
+    backend_fid: u64,
+    offset: u64,
+    len: u64,
+}
+
+/// Virtual-time mirror of the tiered backend
+/// (`crfs_core::backend::TieredBackend`, DESIGN.md §9): chunk writes
+/// ack at the fast tier's bandwidth and a single drain pump copies
+/// them to the durable tier in the background — so drain bandwidth is
+/// the durable backend's own model, serialized through one stream.
+/// Watermarks mirror the real backpressure: at `watermark_hi` resident
+/// (un-drained) bytes the mount degrades to write-through — both tiers
+/// charged synchronously — and re-arms fast acks once the pump drains
+/// back under `watermark_lo`. Crash injection moves with the durable
+/// write: in tiered mode the power-cut budget is charged by the pump,
+/// so a cut mid-drain loses *copies* (surfaced by
+/// [`CrfsSim::drain_barrier`]), never the application's ack.
+struct SimTierState {
+    /// Fast-tier ack bandwidth (bytes of chunk per second).
+    fast_bandwidth: u64,
+    /// Resident bytes at or below which write-through clears.
+    watermark_lo: u64,
+    /// Resident bytes at which write-through engages.
+    watermark_hi: u64,
+    /// Fast-tier bytes acked but not yet drained.
+    resident: Cell<u64>,
+    /// Degraded mode: writes charge both tiers synchronously.
+    write_through: Cell<bool>,
+    /// Barrier ledger: one `add` per queued drain, one `done` per
+    /// pumped copy.
+    outstanding: WaitGroup,
+    /// Drain copies lost to injected failure since the last barrier.
+    failed_since_barrier: Cell<u64>,
+    /// Queue into the drain pump task.
+    tx: Sender<SimDrainOp>,
+}
+
+impl SimTierState {
+    fn fast_cost(&self, len: u64) -> Duration {
+        Duration::from_secs_f64(len as f64 / self.fast_bandwidth.max(1) as f64)
+    }
+
+    /// Queues one acked chunk for background drain, tripping the high
+    /// watermark when the resident backlog crosses it.
+    async fn enqueue(&self, backend_fid: u64, offset: u64, len: u64) {
+        self.outstanding.add(1);
+        let resident = self.resident.get() + len;
+        self.resident.set(resident);
+        if resident >= self.watermark_hi {
+            self.write_through.set(true);
+        }
+        let sent = self
+            .tx
+            .send(SimDrainOp {
+                backend_fid,
+                offset,
+                len,
+            })
+            .await;
+        assert!(sent.is_ok(), "tier drain pump alive");
+    }
+}
+
+/// Shared handle to the optional tier mirror — the IO workers and the
+/// drain pump hold clones; [`CrfsSim::enable_tier`] fills it in.
+type SimTierCell = Rc<RefCell<Option<Rc<SimTierState>>>>;
+
 /// What one simulated backend write is allowed to do.
 enum SimWritePlan {
     Full,
@@ -280,14 +350,27 @@ pub struct CrfsSimStats {
     pub gc_reclaimed_chunks: Cell<u64>,
     /// Bytes reclaimed by snapshot GC.
     pub gc_reclaimed_bytes: Cell<u64>,
+    /// Drain copies pumped from the fast tier to the durable tier
+    /// (tiered mode).
+    pub drain_ops: Cell<u64>,
+    /// Bytes those copies landed on the durable tier.
+    pub drain_bytes: Cell<u64>,
+    /// Drain copies lost to injected failure — the crash-during-drain
+    /// shape; per-barrier counts come from
+    /// [`CrfsSim::drain_barrier`].
+    pub drain_failed: Cell<u64>,
+    /// Chunks written through both tiers synchronously because the
+    /// fast tier sat above its high watermark.
+    pub write_through_chunks: Cell<u64>,
     /// Per-stage latency distributions on *virtual* time — the same
     /// [`StageHistograms`](crfs_core::obs::StageHistograms) type (and
     /// percentile schema) the real mount surfaces, so a simulated sweep
     /// and a live BENCH artifact render through the same tooling. The
     /// sim records the stages its model resolves: `pool_wait`,
     /// `seal_to_submit`, `transform_encode` (the modelled codec CPU),
-    /// `write_sync`, `read_hit`/`read_miss`, `prefetch_fill`, and
-    /// `barrier_wait`. Deterministic: same seed, same histograms.
+    /// `write_sync`, `read_hit`/`read_miss`, `prefetch_fill`,
+    /// `barrier_wait`, and — in tiered mode — `drain_copy` and
+    /// `drain_wait`. Deterministic: same seed, same histograms.
     pub stages: crfs_core::obs::StageHistograms,
 }
 
@@ -318,6 +401,10 @@ pub struct CrfsSim {
     dedup_acc: Cell<f64>,
     /// Power-cut injection state, shared with the IO worker tasks.
     crash: Rc<CrashState>,
+    /// Tier mirror; `None` until [`enable_tier`](Self::enable_tier).
+    /// Shared with the IO worker tasks (they route chunk writes by it)
+    /// and the drain pump.
+    tier: SimTierCell,
     /// Snapshot-store mirror; `None` until
     /// [`enable_snapshots`](Self::enable_snapshots).
     snap: RefCell<Option<SimSnapState>>,
@@ -367,6 +454,7 @@ impl CrfsSim {
         let pool = Semaphore::new(config.pool_chunks());
         let read_costs = Rc::new(Cell::new(ReadCostParams::shared_fs()));
         let crash = Rc::new(CrashState::default());
+        let tier: SimTierCell = Rc::new(RefCell::new(None));
         // The worker-task count models the engine's in-flight op limit.
         // Queue engines block one worker per op, so `io_threads` tasks;
         // the ring engine parks per-op state in its descriptor slab, so
@@ -384,6 +472,7 @@ impl CrfsSim {
             let pool = pool.clone();
             let read_costs = Rc::clone(&read_costs);
             let crash = Rc::clone(&crash);
+            let tier = Rc::clone(&tier);
             let _task = simkit::spawn(async move {
                 while let Some(item) = rx.recv().await {
                     match item {
@@ -411,27 +500,57 @@ impl CrfsSim {
                             // the crossing write lands its prefix, the
                             // chunk fails, and the ledger stays balanced
                             // (completed counts failures too) so close
-                            // barriers still release.
-                            let res = match crash.plan(len) {
-                                SimWritePlan::Full => {
+                            // barriers still release. In tiered mode the
+                            // crash budget moves to the drain pump — it's
+                            // the durable tier that dies — so fast-tier
+                            // acks never consume it.
+                            let routed = tier.borrow().clone();
+                            let res = match routed {
+                                Some(t) if !t.write_through.get() => {
+                                    // Fast-tier ack: charge only the fast
+                                    // tier's bandwidth; the durable copy
+                                    // (and `bytes_out`) is the pump's.
                                     let t0 = now();
-                                    target.write(backend_fid, offset, len).await;
+                                    sleep(t.fast_cost(len)).await;
                                     stats.stages.write_sync.record_dur(now().since(t0));
-                                    stats.bytes_out.set(stats.bytes_out.get() + len);
+                                    t.enqueue(backend_fid, offset, len).await;
                                     Ok(())
                                 }
-                                SimWritePlan::Torn { keep } => {
-                                    if keep > 0 {
-                                        target.write(backend_fid, offset, keep).await;
-                                        stats.bytes_out.set(stats.bytes_out.get() + keep);
+                                routed => {
+                                    let res = match crash.plan(len) {
+                                        SimWritePlan::Full => {
+                                            let t0 = now();
+                                            target.write(backend_fid, offset, len).await;
+                                            stats.stages.write_sync.record_dur(now().since(t0));
+                                            stats.bytes_out.set(stats.bytes_out.get() + len);
+                                            Ok(())
+                                        }
+                                        SimWritePlan::Torn { keep } => {
+                                            if keep > 0 {
+                                                target.write(backend_fid, offset, keep).await;
+                                                stats.bytes_out.set(stats.bytes_out.get() + keep);
+                                            }
+                                            stats.torn_bytes.set(stats.torn_bytes.get() + keep);
+                                            stats.failed_chunks.set(stats.failed_chunks.get() + 1);
+                                            Err(io::Error::other("injected power cut: write torn"))
+                                        }
+                                        SimWritePlan::Fail => {
+                                            stats.failed_chunks.set(stats.failed_chunks.get() + 1);
+                                            Err(io::Error::other(
+                                                "injected power cut: backend is dead",
+                                            ))
+                                        }
+                                    };
+                                    if let Some(t) = routed {
+                                        // Write-through: the fast mirror
+                                        // still takes the bytes so reads
+                                        // keep serving from it.
+                                        sleep(t.fast_cost(len)).await;
+                                        stats
+                                            .write_through_chunks
+                                            .set(stats.write_through_chunks.get() + 1);
                                     }
-                                    stats.torn_bytes.set(stats.torn_bytes.get() + keep);
-                                    stats.failed_chunks.set(stats.failed_chunks.get() + 1);
-                                    Err(io::Error::other("injected power cut: write torn"))
-                                }
-                                SimWritePlan::Fail => {
-                                    stats.failed_chunks.set(stats.failed_chunks.get() + 1);
-                                    Err(io::Error::other("injected power cut: backend is dead"))
+                                    res
                                 }
                             };
                             stats.chunks_completed.set(stats.chunks_completed.get() + 1);
@@ -477,6 +596,7 @@ impl CrfsSim {
             transform: Cell::new(None),
             dedup_acc: Cell::new(0.0),
             crash,
+            tier,
             snap: RefCell::new(None),
             snap_fid: Cell::new(None),
             snap_tail: Cell::new(0),
@@ -515,6 +635,106 @@ impl CrfsSim {
     /// enqueued from this point on.
     pub fn set_transform(&self, model: Option<SimTransform>) {
         self.transform.set(model);
+    }
+
+    /// Enables the tiered-backend mirror (DESIGN.md §9): from here on
+    /// chunk writes ack at `fast_bandwidth` and a background drain
+    /// pump copies them to the durable tier (this mount's `target`,
+    /// one serialized stream — drain bandwidth is the durable model's
+    /// own). Above `watermark_hi` resident bytes the mount degrades to
+    /// write-through; the pump re-arms fast acks at `watermark_lo`.
+    /// Must be called inside a running `Sim` (it spawns the pump
+    /// task). Affects chunks enqueued from this point on.
+    pub fn enable_tier(&self, fast_bandwidth: u64, watermark_lo: u64, watermark_hi: u64) {
+        assert!(watermark_lo <= watermark_hi, "tier watermarks inverted");
+        let (tx, rx) = unbounded::<SimDrainOp>();
+        let state = Rc::new(SimTierState {
+            fast_bandwidth,
+            watermark_lo,
+            watermark_hi,
+            resident: Cell::new(0),
+            write_through: Cell::new(false),
+            outstanding: WaitGroup::new(),
+            failed_since_barrier: Cell::new(0),
+            tx,
+        });
+        let pump = Rc::clone(&state);
+        let target = self.target.clone();
+        let stats = Rc::clone(&self.stats);
+        let crash = Rc::clone(&self.crash);
+        let _task = simkit::spawn(async move {
+            while let Some(op) = rx.recv().await {
+                // The pump charges the crash budget: in a tiered stack
+                // the injected power cut kills the durable tier, and
+                // what it tears is a drain *copy* — the application
+                // already has its ack.
+                let t0 = now();
+                let landed = match crash.plan(op.len) {
+                    SimWritePlan::Full => {
+                        target.write(op.backend_fid, op.offset, op.len).await;
+                        op.len
+                    }
+                    SimWritePlan::Torn { keep } => {
+                        if keep > 0 {
+                            target.write(op.backend_fid, op.offset, keep).await;
+                        }
+                        stats.torn_bytes.set(stats.torn_bytes.get() + keep);
+                        stats.drain_failed.set(stats.drain_failed.get() + 1);
+                        pump.failed_since_barrier
+                            .set(pump.failed_since_barrier.get() + 1);
+                        keep
+                    }
+                    SimWritePlan::Fail => {
+                        stats.drain_failed.set(stats.drain_failed.get() + 1);
+                        pump.failed_since_barrier
+                            .set(pump.failed_since_barrier.get() + 1);
+                        0
+                    }
+                };
+                stats.stages.drain_copy.record_dur(now().since(t0));
+                stats.drain_ops.set(stats.drain_ops.get() + 1);
+                stats.drain_bytes.set(stats.drain_bytes.get() + landed);
+                stats.bytes_out.set(stats.bytes_out.get() + landed);
+                let resident = pump.resident.get().saturating_sub(op.len);
+                pump.resident.set(resident);
+                if resident <= pump.watermark_lo {
+                    pump.write_through.set(false);
+                }
+                pump.outstanding.done();
+            }
+        });
+        *self.tier.borrow_mut() = Some(state);
+    }
+
+    /// Waits until every queued drain copy has been pumped to the
+    /// durable tier — the virtual-time mirror of
+    /// `TieredBackend::drain_barrier` (the epoch durability gate).
+    /// Records the wait into `stages.drain_wait` and returns the
+    /// number of drain copies lost to injected failure since the
+    /// previous barrier: 0 means every acked byte is durable. No-op
+    /// returning 0 when tiering is disabled.
+    pub async fn drain_barrier(&self) -> u64 {
+        let state = self.tier.borrow().clone();
+        let Some(t) = state else {
+            return 0;
+        };
+        let t0 = now();
+        t.outstanding.wait().await;
+        self.stats.stages.drain_wait.record_dur(now().since(t0));
+        t.failed_since_barrier.take()
+    }
+
+    /// Fast-tier bytes acked but not yet drained (tiered mode).
+    pub fn tier_resident(&self) -> u64 {
+        self.tier.borrow().as_ref().map_or(0, |t| t.resident.get())
+    }
+
+    /// Whether the mirror is currently degraded to write-through.
+    pub fn tier_write_through(&self) -> bool {
+        self.tier
+            .borrow()
+            .as_ref()
+            .is_some_and(|t| t.write_through.get())
     }
 
     /// Enables the snapshot-store mirror, retaining the newest
@@ -575,6 +795,10 @@ impl CrfsSim {
         self.snap_tail.set(at + manifest_bytes);
         self.target.write(fid, at, manifest_bytes).await;
         self.target.fsync(fid).await;
+        // Epoch durability gate: the sealed manifest is only as durable
+        // as the frames it references — mirror `Crfs::advance_epoch`'s
+        // `drain_barrier` (DESIGN.md §9).
+        self.drain_barrier().await;
         self.stats
             .epochs_sealed
             .set(self.stats.epochs_sealed.get() + 1);
@@ -1614,5 +1838,141 @@ mod tests {
             native > crfs * 2.0,
             "native {native:.3}s should be ≫ CRFS {crfs:.3}s"
         );
+    }
+
+    /// The tier mirror's headline: the write phase acks at fast-tier
+    /// speed, the drain pump lands every byte on the durable tier in
+    /// the background, and the barrier accounts for all of it in the
+    /// same stage schema as the real `TieredBackend`.
+    #[test]
+    fn tiered_mirror_acks_fast_and_drains_in_background() {
+        fn run(tiered: bool) -> (f64, f64, u64, u64) {
+            let mut sim = Sim::new(11);
+            sim.run(async move {
+                // Starve the page cache so the durable tier runs at
+                // disk speed — the regime where tiering pays.
+                let fs = LocalFs::new(
+                    VfsCostParams::ext3_node(),
+                    AllocParams::ext3(),
+                    CacheParams {
+                        dirty_limit: MB,
+                        background_limit: MB / 2,
+                        writeback_batch: MB,
+                    },
+                    DiskParams::node_sata(),
+                    SimRng::new(11),
+                );
+                let crfs = CrfsSim::new(
+                    Target::Ext3(Rc::clone(&fs)),
+                    CrfsConfig::default(),
+                    CrfsCostParams::paper(),
+                    FuseParams::paper(),
+                );
+                if tiered {
+                    // Memory-speed fast tier, watermarks far above the
+                    // working set: pure fast-ack mode.
+                    crfs.enable_tier(8 << 30, 64 * MB, 256 * MB);
+                }
+                let fh = crfs.open().await;
+                let t0 = now();
+                crfs.app_write(fh, 0, 32 * MB).await;
+                crfs.close(fh).await;
+                let ack_t = now().since(t0).as_secs_f64();
+                assert_eq!(crfs.drain_barrier().await, 0, "no injected failure");
+                let total_t = now().since(t0).as_secs_f64();
+                let st = crfs.stats();
+                if tiered {
+                    let stages = st.stages.snapshot();
+                    assert_eq!(stages.drain_copy.count, st.drain_ops.get());
+                    assert_eq!(stages.drain_wait.count, 1, "one barrier, one wait sample");
+                    assert_eq!(st.drain_bytes.get(), 32 * MB);
+                    assert_eq!(crfs.tier_resident(), 0, "barrier leaves nothing resident");
+                }
+                let out = (st.bytes_out.get(), st.drain_ops.get());
+                fs.stop();
+                (ack_t, total_t, out.0, out.1)
+            })
+        }
+        let (base_ack, _, base_out, base_drains) = run(false);
+        assert_eq!(base_out, 32 * MB);
+        assert_eq!(base_drains, 0, "no tier, no drains");
+        let (ack, total, out, drains) = run(true);
+        assert_eq!(out, 32 * MB, "every acked byte reaches the durable tier");
+        assert_eq!(drains, 8, "one drain copy per sealed 4 MiB chunk");
+        assert!(
+            ack * 2.0 <= base_ack,
+            "fast-tier ack {ack:.3}s must be ≥2x faster than direct {base_ack:.3}s"
+        );
+        assert!(total > ack, "the drain barrier must cost virtual time");
+    }
+
+    /// Watermark backpressure: a tiny fast tier trips write-through
+    /// under load, the pump drains it back under the low watermark,
+    /// and fast acks re-arm — never an unbounded resident backlog.
+    #[test]
+    fn tiered_mirror_watermark_degrades_to_write_through() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (fs, crfs) = mount(0);
+            crfs.enable_tier(8 << 30, MB, 8 * MB);
+            let fh = crfs.open().await;
+            crfs.app_write(fh, 0, 64 * MB).await;
+            crfs.close(fh).await;
+            assert!(
+                crfs.stats().write_through_chunks.get() > 0,
+                "8 MiB high watermark never tripped under 64 MiB of dirty data"
+            );
+            assert_eq!(crfs.drain_barrier().await, 0);
+            assert_eq!(crfs.tier_resident(), 0);
+            assert!(
+                !crfs.tier_write_through(),
+                "a drained tier must re-arm fast acks"
+            );
+            assert_eq!(
+                crfs.stats().bytes_out.get(),
+                64 * MB,
+                "write-through and drained bytes together cover the stream"
+            );
+            fs.stop();
+        });
+    }
+
+    /// Crash during drain: the application keeps its fast-tier acks
+    /// (no failed chunks), the durable tier receives exactly the byte
+    /// budget, and the barrier surfaces the lost copies — the
+    /// virtual-time twin of `TieredBackend`'s
+    /// `crash_during_drain_fails_barrier_and_keeps_fast_prefix`.
+    #[test]
+    fn tiered_mirror_crash_during_drain_surfaces_lost_copies() {
+        let mut sim = Sim::new(0);
+        sim.run(async {
+            let (fs, crfs) = mount(0);
+            crfs.enable_tier(8 << 30, 64 * MB, 256 * MB);
+            // Budget lands mid-way through the second of three 4 MiB
+            // drain copies; the third meets a dead durable tier.
+            crfs.power_cut_after_bytes(5 * MB);
+            let fh = crfs.open().await;
+            crfs.app_write(fh, 0, 12 * MB).await;
+            crfs.close(fh).await;
+            assert_eq!(
+                crfs.stats().failed_chunks.get(),
+                0,
+                "the application acked from the fast tier — it saw no failure"
+            );
+            let lost = crfs.drain_barrier().await;
+            assert_eq!(lost, 2, "the torn copy plus the copy against the dead tier");
+            assert!(crfs.is_dead());
+            assert_eq!(
+                crfs.stats().bytes_out.get(),
+                5 * MB,
+                "exactly the byte budget reached the durable tier"
+            );
+            assert_eq!(crfs.stats().torn_bytes.get(), MB);
+            assert_eq!(crfs.stats().drain_failed.get(), 2);
+            // Post-reboot remount: revived, the next barrier is clean.
+            crfs.revive();
+            assert_eq!(crfs.drain_barrier().await, 0);
+            fs.stop();
+        });
     }
 }

@@ -202,13 +202,8 @@ impl<B: Backend> Backend for FaultyBackend<B> {
         }))
     }
 
-    fn mkdir(&self, path: &str) -> io::Result<()> {
-        self.inner.mkdir(path)
-    }
-
-    fn rmdir(&self, path: &str) -> io::Result<()> {
-        self.inner.rmdir(path)
-    }
+    crate::forward_backend_ops!(inner: mkdir, rmdir, rename, exists, file_len,
+        list_dir, drain_barrier, attach_stats);
 
     fn unlink(&self, path: &str) -> io::Result<()> {
         if self.shared.dead.load(Relaxed) {
@@ -224,22 +219,6 @@ impl<B: Backend> Backend for FaultyBackend<B> {
             }
         }
         self.inner.unlink(path)
-    }
-
-    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
-        self.inner.rename(from, to)
-    }
-
-    fn exists(&self, path: &str) -> bool {
-        self.inner.exists(path)
-    }
-
-    fn file_len(&self, path: &str) -> io::Result<u64> {
-        self.inner.file_len(path)
-    }
-
-    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
-        self.inner.list_dir(path)
     }
 }
 
@@ -362,11 +341,25 @@ impl BackendFile for FaultyFile {
                 sink.complete(token, self.run_plan(plan, offset, data));
                 Ok(true)
             }
-            _ => {
-                // Other modes keep the synchronous shim so their
-                // injection points (write_at / sync) stay on the
-                // engine's fallback path.
+            FailureMode::FailWritesAfter(_) => {
+                // This mode's injection point is the synchronous
+                // `write_at`; keep the shim so the countdown fires on
+                // the engine's fallback path.
                 Ok(false)
+            }
+            _ => {
+                // Pass-through modes (None, CorruptReads, FailSync,
+                // FailOpen, FailUnlinksAfter) don't touch the write
+                // path, so the inner backend's asynchronous-completion
+                // capability is forwarded instead of silently degrading
+                // the wrapped stack to the sync shim. The write is
+                // counted only when accepted — a `false` falls back to
+                // `write_at`, which counts it in `plan_write`.
+                let accepted = self.inner.begin_write_at(token, offset, data, sink)?;
+                if accepted {
+                    self.shared.writes_seen.fetch_add(1, Relaxed);
+                }
+                Ok(accepted)
             }
         }
     }

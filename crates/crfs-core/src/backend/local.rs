@@ -34,7 +34,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use super::{normalize_path, Backend, BackendFile, OpenOptions};
+use super::layer::{aligned_shape, HostDir};
+use super::{Backend, BackendFile, OpenOptions};
 
 /// Default write alignment: one page / typical logical block.
 pub const DEFAULT_ALIGN: usize = 4096;
@@ -86,7 +87,7 @@ impl Drop for AlignedBuf {
 /// Directory-rooted backend issuing aligned direct writes with extent
 /// preallocation. See the module docs.
 pub struct LocalFileBackend {
-    root: PathBuf,
+    dir: HostDir,
     align: usize,
     extent: u64,
     direct: bool,
@@ -97,10 +98,8 @@ impl LocalFileBackend {
     /// default alignment (4096), extent (4 MiB) and `O_DIRECT` enabled
     /// where the filesystem supports it.
     pub fn new(root: impl Into<PathBuf>) -> io::Result<LocalFileBackend> {
-        let root = root.into();
-        fs::create_dir_all(&root)?;
         Ok(LocalFileBackend {
-            root,
+            dir: HostDir::new(root.into())?,
             align: DEFAULT_ALIGN,
             extent: DEFAULT_EXTENT,
             direct: true,
@@ -137,12 +136,7 @@ impl LocalFileBackend {
 
     /// The host directory backing this filesystem.
     pub fn root(&self) -> &Path {
-        &self.root
-    }
-
-    fn host_path(&self, path: &str) -> io::Result<PathBuf> {
-        let norm = normalize_path(path)?;
-        Ok(self.root.join(norm.trim_start_matches('/')))
+        self.dir.root()
     }
 }
 
@@ -152,7 +146,7 @@ impl Backend for LocalFileBackend {
     }
 
     fn open(&self, path: &str, opts: OpenOptions) -> io::Result<Box<dyn BackendFile>> {
-        let host = self.host_path(path)?;
+        let host = self.dir.host_path(path)?;
         let file = fs::OpenOptions::new()
             .read(opts.read)
             .write(opts.write)
@@ -178,41 +172,11 @@ impl Backend for LocalFileBackend {
         }))
     }
 
-    fn mkdir(&self, path: &str) -> io::Result<()> {
-        fs::create_dir(self.host_path(path)?)
-    }
-
-    fn rmdir(&self, path: &str) -> io::Result<()> {
-        fs::remove_dir(self.host_path(path)?)
-    }
-
-    fn unlink(&self, path: &str) -> io::Result<()> {
-        fs::remove_file(self.host_path(path)?)
-    }
-
-    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
-        fs::rename(self.host_path(from)?, self.host_path(to)?)
-    }
-
-    fn exists(&self, path: &str) -> bool {
-        self.host_path(path).map(|p| p.exists()).unwrap_or(false)
-    }
-
-    fn file_len(&self, path: &str) -> io::Result<u64> {
-        // NOTE: while a file is open for writing this may include
-        // preallocated slack; the open handle's `len()` reports the
-        // logical length, and `sync`/drop trim the file back.
-        Ok(fs::metadata(self.host_path(path)?)?.len())
-    }
-
-    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
-        let mut names = Vec::new();
-        for entry in fs::read_dir(self.host_path(path)?)? {
-            names.push(entry?.file_name().to_string_lossy().into_owned());
-        }
-        names.sort();
-        Ok(names)
-    }
+    // NOTE: while a file is open for writing `file_len` may include
+    // preallocated slack; the open handle's `len()` reports the logical
+    // length, and `sync`/drop trim the file back.
+    crate::forward_backend_ops!(dir: mkdir, rmdir, unlink, rename, exists,
+        file_len, list_dir);
 }
 
 #[cfg(target_os = "linux")]
@@ -273,8 +237,7 @@ impl LocalFile {
     /// Attempts the direct path; `Ok(false)` means "take the buffered
     /// path" (wrong shape or no direct handle).
     fn try_direct(&self, offset: u64, data: &[u8]) -> io::Result<bool> {
-        let a = self.align as u64;
-        if data.is_empty() || !offset.is_multiple_of(a) || !(data.len() as u64).is_multiple_of(a) {
+        if !aligned_shape(offset, data.len(), self.align) {
             return Ok(false);
         }
         let mut guard = self.direct.lock().unwrap();

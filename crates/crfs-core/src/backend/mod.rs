@@ -19,17 +19,21 @@
 
 mod discard;
 mod faulty;
+pub mod layer;
 mod local;
 mod mem;
 mod passthrough;
 mod throttled;
+mod tiered;
 
 pub use discard::DiscardBackend;
 pub use faulty::{FailureMode, FaultyBackend};
+pub use layer::{aligned_shape, LayeredBackend};
 pub use local::LocalFileBackend;
 pub use mem::MemBackend;
 pub use passthrough::PassthroughBackend;
 pub use throttled::{ThrottleParams, ThrottledBackend};
+pub use tiered::{TierCounters, TieredBackend, TieredParams};
 
 use std::io;
 use std::sync::Arc;
@@ -174,6 +178,67 @@ pub trait Backend: Send + Sync + 'static {
 
     /// Names (not full paths) of entries directly under the directory.
     fn list_dir(&self, path: &str) -> io::Result<Vec<String>>;
+
+    /// Blocks until every write this backend has already acknowledged
+    /// has reached its final (most durable) tier, then returns. For
+    /// single-tier backends acknowledgement already implies placement,
+    /// so the default is a no-op; [`TieredBackend`] overrides it to
+    /// flush its drain queue, and decorators forward it so a barrier
+    /// reaches the tiered layer through any stack. This is the
+    /// snapshot-durability gate: an epoch is durable only once the
+    /// barrier after its manifest seal returns `Ok`.
+    fn drain_barrier(&self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Hands the backend the mount's stats block so layers below the
+    /// engine (tier drains, promotions) can record stage latencies and
+    /// flight-recorder events alongside the filesystem's own. Called
+    /// once by `Crfs::mount`; the default keeps plain backends
+    /// obs-free, and decorators forward it down the stack.
+    fn attach_stats(&self, stats: &Arc<crate::stats::CrfsStats>) {
+        let _ = stats;
+    }
+}
+
+/// A shared backend is itself a backend, so composable layers
+/// ([`TieredBackend`], decorators) can hold `Arc<dyn Backend>` tiers
+/// while generic wrappers like `FaultyBackend<B>` stack over them
+/// without a bespoke adapter.
+impl<B: Backend + ?Sized> Backend for Arc<B> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn open(&self, path: &str, opts: OpenOptions) -> io::Result<Box<dyn BackendFile>> {
+        (**self).open(path, opts)
+    }
+    fn mkdir(&self, path: &str) -> io::Result<()> {
+        (**self).mkdir(path)
+    }
+    fn rmdir(&self, path: &str) -> io::Result<()> {
+        (**self).rmdir(path)
+    }
+    fn unlink(&self, path: &str) -> io::Result<()> {
+        (**self).unlink(path)
+    }
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        (**self).rename(from, to)
+    }
+    fn exists(&self, path: &str) -> bool {
+        (**self).exists(path)
+    }
+    fn file_len(&self, path: &str) -> io::Result<u64> {
+        (**self).file_len(path)
+    }
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        (**self).list_dir(path)
+    }
+    fn drain_barrier(&self) -> io::Result<()> {
+        (**self).drain_barrier()
+    }
+    fn attach_stats(&self, stats: &Arc<crate::stats::CrfsStats>) {
+        (**self).attach_stats(stats)
+    }
 }
 
 /// Sequential [`io::Read`] adapter over a positional [`BackendFile`] —

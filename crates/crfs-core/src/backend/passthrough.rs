@@ -6,30 +6,26 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use super::{normalize_path, Backend, BackendFile, OpenOptions};
+use super::layer::HostDir;
+use super::{Backend, BackendFile, OpenOptions};
 
 /// Backend rooted at a host directory.
 pub struct PassthroughBackend {
-    root: PathBuf,
+    dir: HostDir,
 }
 
 impl PassthroughBackend {
     /// Creates a backend rooted at `root`, creating the directory if
     /// needed.
     pub fn new(root: impl Into<PathBuf>) -> io::Result<PassthroughBackend> {
-        let root = root.into();
-        fs::create_dir_all(&root)?;
-        Ok(PassthroughBackend { root })
+        Ok(PassthroughBackend {
+            dir: HostDir::new(root.into())?,
+        })
     }
 
     /// The host directory backing this filesystem.
     pub fn root(&self) -> &Path {
-        &self.root
-    }
-
-    fn host_path(&self, path: &str) -> io::Result<PathBuf> {
-        let norm = normalize_path(path)?;
-        Ok(self.root.join(norm.trim_start_matches('/')))
+        self.dir.root()
     }
 }
 
@@ -39,7 +35,7 @@ impl Backend for PassthroughBackend {
     }
 
     fn open(&self, path: &str, opts: OpenOptions) -> io::Result<Box<dyn BackendFile>> {
-        let host = self.host_path(path)?;
+        let host = self.dir.host_path(path)?;
         let file = fs::OpenOptions::new()
             .read(opts.read)
             .write(opts.write)
@@ -49,38 +45,8 @@ impl Backend for PassthroughBackend {
         Ok(Box::new(PassthroughFile { file }))
     }
 
-    fn mkdir(&self, path: &str) -> io::Result<()> {
-        fs::create_dir(self.host_path(path)?)
-    }
-
-    fn rmdir(&self, path: &str) -> io::Result<()> {
-        fs::remove_dir(self.host_path(path)?)
-    }
-
-    fn unlink(&self, path: &str) -> io::Result<()> {
-        fs::remove_file(self.host_path(path)?)
-    }
-
-    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
-        fs::rename(self.host_path(from)?, self.host_path(to)?)
-    }
-
-    fn exists(&self, path: &str) -> bool {
-        self.host_path(path).map(|p| p.exists()).unwrap_or(false)
-    }
-
-    fn file_len(&self, path: &str) -> io::Result<u64> {
-        Ok(fs::metadata(self.host_path(path)?)?.len())
-    }
-
-    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
-        let mut names = Vec::new();
-        for entry in fs::read_dir(self.host_path(path)?)? {
-            names.push(entry?.file_name().to_string_lossy().into_owned());
-        }
-        names.sort();
-        Ok(names)
-    }
+    crate::forward_backend_ops!(dir: mkdir, rmdir, unlink, rename, exists,
+        file_len, list_dir);
 }
 
 struct PassthroughFile {

@@ -105,33 +105,8 @@ impl<B: Backend> Backend for ThrottledBackend<B> {
         }))
     }
 
-    fn mkdir(&self, path: &str) -> io::Result<()> {
-        self.inner.mkdir(path)
-    }
-
-    fn rmdir(&self, path: &str) -> io::Result<()> {
-        self.inner.rmdir(path)
-    }
-
-    fn unlink(&self, path: &str) -> io::Result<()> {
-        self.inner.unlink(path)
-    }
-
-    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
-        self.inner.rename(from, to)
-    }
-
-    fn exists(&self, path: &str) -> bool {
-        self.inner.exists(path)
-    }
-
-    fn file_len(&self, path: &str) -> io::Result<u64> {
-        self.inner.file_len(path)
-    }
-
-    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
-        self.inner.list_dir(path)
-    }
+    crate::forward_backend_ops!(inner: mkdir, rmdir, unlink, rename, exists,
+        file_len, list_dir, drain_barrier, attach_stats);
 }
 
 struct ThrottledFile {
@@ -177,21 +152,28 @@ impl BackendFile for ThrottledFile {
         self.inner.write_at(offset, data)
     }
 
-    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
-        self.inner.read_at(offset, buf)
+    fn begin_write_at(
+        &self,
+        token: u64,
+        offset: u64,
+        data: &[u8],
+        sink: &Arc<dyn super::CompletionSink>,
+    ) -> io::Result<bool> {
+        // The device-time reservation is the submission cost either way;
+        // an async-capable inner backend then keeps its completion path
+        // instead of the whole stack degrading to the sync shim. A
+        // sync-only inner backend gets the write issued here with an
+        // inline completion — returning `Ok(false)` after charging would
+        // make the engine's `write_at` fallback charge the device twice.
+        self.charge_write(offset, data.len());
+        if self.inner.begin_write_at(token, offset, data, sink)? {
+            return Ok(true);
+        }
+        sink.complete(token, self.inner.write_at(offset, data));
+        Ok(true)
     }
 
-    fn sync(&self) -> io::Result<()> {
-        self.inner.sync()
-    }
-
-    fn len(&self) -> io::Result<u64> {
-        self.inner.len()
-    }
-
-    fn set_len(&self, len: u64) -> io::Result<()> {
-        self.inner.set_len(len)
-    }
+    crate::forward_file_ops!(inner: read_at, sync, len, set_len, is_empty);
 }
 
 #[cfg(test)]

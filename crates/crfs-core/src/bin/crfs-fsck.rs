@@ -10,8 +10,16 @@
 //! references. Run it offline only: a live mount's in-flight chunks are
 //! registered in memory and would look like orphans.
 //!
+//! With `--fast <dir>` the target is a two-tier stack (DESIGN.md §9):
+//! `<dir>` is the durable tier, `--fast` the fast tier. The structural
+//! sweep runs over the union view and a tier-consistency pass compares
+//! every fast-tier file against its durable copy — stranded or diverged
+//! files (the crash-during-drain shapes) are reported, and `--repair`
+//! re-drains them from the authoritative fast copy.
+//!
 //! ```text
-//! crfs-fsck [--repair | --dry-run] [--threads N] [--no-payloads] [--quiet | --json] <dir>
+//! crfs-fsck [--repair | --dry-run] [--threads N] [--no-payloads]
+//!           [--fast <dir>] [--quiet | --json] <dir>
 //! ```
 //!
 //! Exit status: 0 = clean (or every finding repaired), 1 = damage
@@ -22,10 +30,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use crfs_core::backend::{Backend, LocalFileBackend};
-use crfs_core::fsck::{run, FsckOptions};
+use crfs_core::fsck::{run, run_tiered, FsckOptions};
 
 struct Args {
     root: String,
+    fast: Option<String>,
     opts: FsckOptions,
     quiet: bool,
     json: bool,
@@ -33,7 +42,8 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: crfs-fsck [--repair | --dry-run] [--threads N] [--no-payloads] [--quiet | --json] <dir>\n\
+        "usage: crfs-fsck [--repair | --dry-run] [--threads N] [--no-payloads] \
+         [--fast <dir>] [--quiet | --json] <dir>\n\
          \n\
          Checks every CRFS frame log and container under <dir>.\n\
          \n\
@@ -41,6 +51,9 @@ fn usage() -> ExitCode {
            --dry-run      report only, never mutate (the default)\n\
            --threads N    checker threads (default: one per core)\n\
            --no-payloads  skip payload decode + checksum (structural walk only)\n\
+           --fast <dir>   treat <dir> as the durable tier of a tiered stack\n\
+                          with this fast tier: adds the tier-consistency pass\n\
+                          (stranded/diverged files; --repair re-drains them)\n\
            --quiet        print only the summary line\n\
            --json         emit the machine-readable summary (per-file\n\
                           classification, damage classes, repair actions,\n\
@@ -52,6 +65,7 @@ fn usage() -> ExitCode {
 fn parse(argv: &[String]) -> Option<Args> {
     let mut args = Args {
         root: String::new(),
+        fast: None,
         opts: FsckOptions::default(),
         quiet: false,
         json: false,
@@ -65,6 +79,7 @@ fn parse(argv: &[String]) -> Option<Args> {
             "--quiet" => args.quiet = true,
             "--json" => args.json = true,
             "--threads" => args.opts.threads = it.next()?.parse().ok()?,
+            "--fast" => args.fast = Some(it.next()?.clone()),
             other if !other.starts_with('-') && args.root.is_empty() => {
                 args.root = other.to_string();
             }
@@ -77,27 +92,44 @@ fn parse(argv: &[String]) -> Option<Args> {
     Some(args)
 }
 
+fn open_dir(path: &str) -> Result<Arc<dyn Backend>, ExitCode> {
+    match LocalFileBackend::new(path) {
+        Ok(b) => Ok(Arc::new(b)),
+        Err(e) => {
+            eprintln!("crfs-fsck: cannot open {path}: {e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(args) = parse(&argv) else {
         return usage();
     };
-    let backend: Arc<dyn Backend> = match LocalFileBackend::new(&args.root) {
-        Ok(b) => Arc::new(b),
-        Err(e) => {
-            eprintln!("crfs-fsck: cannot open {}: {e}", args.root);
-            return ExitCode::from(2);
-        }
+    let durable = match open_dir(&args.root) {
+        Ok(b) => b,
+        Err(code) => return code,
     };
-    // The backend is rooted at the target directory; sweep its root.
-    let summary = run(&backend, &["/".to_string()], &args.opts);
+    // Backends are rooted at the target directories; sweep their roots.
+    let roots = ["/".to_string()];
+    let summary = match &args.fast {
+        Some(fast_dir) => {
+            let fast = match open_dir(fast_dir) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            run_tiered(&fast, &durable, &roots, &args.opts)
+        }
+        None => run(&durable, &roots, &args.opts),
+    };
     if args.json {
         println!("{}", summary.to_json_pretty());
     } else if args.quiet {
         println!(
             "files={} frames={} torn_tails={} bad_header_crc={} bad_payload_checksum={} \
-             orphaned_refs={} orphaned_chunks={} dangling_manifest_refs={} repaired={} \
-             elapsed_ms={}",
+             orphaned_refs={} orphaned_chunks={} dangling_manifest_refs={} \
+             tier_stranded={} tier_diverged={} repaired={} elapsed_ms={}",
             summary.files,
             summary.frames,
             summary.damage.torn_tails,
@@ -106,6 +138,8 @@ fn main() -> ExitCode {
             summary.damage.orphaned_refs,
             summary.damage.orphaned_chunks,
             summary.damage.dangling_manifest_refs,
+            summary.damage.tier_stranded,
+            summary.damage.tier_diverged,
             summary.repaired_files,
             summary.elapsed.as_millis()
         );

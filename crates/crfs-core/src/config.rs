@@ -167,6 +167,24 @@ pub struct CrfsConfig {
     /// [`Crfs::flight_record_jsonl`](crate::Crfs::flight_record_jsonl)
     /// still read the ring on demand.
     pub flight_dump: Option<String>,
+    /// High watermark in bytes for
+    /// [`TieredBackend`](crate::backend::TieredBackend) stacks built via
+    /// [`tiered_params`](Self::tiered_params): undrained fast-tier bytes
+    /// at which writes degrade to synchronous write-through (DESIGN.md
+    /// §9). Ignored by single-tier mounts.
+    pub tier_watermark_hi: u64,
+    /// Low watermark in bytes: the drain must fall back to this before
+    /// fast-tier acknowledgement resumes after a write-through episode.
+    pub tier_watermark_lo: u64,
+    /// Maximum fast→durable drain copies in flight.
+    pub tier_drain_window: usize,
+    /// Promote whole files back into the fast tier on a fast-tier read
+    /// miss (after eviction or fast-tier loss).
+    pub tier_promote_reads: bool,
+    /// Evict fully-drained, closed files from the fast tier at each
+    /// successful drain barrier (minimal fast-tier retention; default
+    /// keeps a full mirror).
+    pub tier_evict: bool,
 }
 
 impl Default for CrfsConfig {
@@ -197,6 +215,11 @@ impl Default for CrfsConfig {
             obs: true,
             flight_capacity: crate::obs::DEFAULT_FLIGHT_CAPACITY,
             flight_dump: None,
+            tier_watermark_hi: 256 << 20,
+            tier_watermark_lo: 64 << 20,
+            tier_drain_window: 8,
+            tier_promote_reads: true,
+            tier_evict: false,
         }
     }
 }
@@ -341,6 +364,47 @@ impl CrfsConfig {
         self
     }
 
+    /// Convenience builder: sets the tiered-backend watermarks (bytes).
+    pub fn with_tier_watermarks(mut self, lo: u64, hi: u64) -> Self {
+        self.tier_watermark_lo = lo;
+        self.tier_watermark_hi = hi;
+        self
+    }
+
+    /// Convenience builder: sets the tiered drain window (max copies in
+    /// flight).
+    pub fn with_tier_drain_window(mut self, n: usize) -> Self {
+        self.tier_drain_window = n;
+        self
+    }
+
+    /// Convenience builder: toggles read-miss promotion into the fast
+    /// tier.
+    pub fn with_tier_promote_reads(mut self, on: bool) -> Self {
+        self.tier_promote_reads = on;
+        self
+    }
+
+    /// Convenience builder: toggles fast-tier eviction at drain
+    /// barriers.
+    pub fn with_tier_evict(mut self, on: bool) -> Self {
+        self.tier_evict = on;
+        self
+    }
+
+    /// The [`TieredParams`](crate::backend::TieredParams) a
+    /// [`TieredBackend`](crate::backend::TieredBackend) stack built for
+    /// this mount should use.
+    pub fn tiered_params(&self) -> crate::backend::TieredParams {
+        crate::backend::TieredParams {
+            watermark_hi: self.tier_watermark_hi,
+            watermark_lo: self.tier_watermark_lo,
+            drain_window: self.tier_drain_window,
+            promote_reads: self.tier_promote_reads,
+            evict_on_barrier: self.tier_evict,
+        }
+    }
+
     /// Number of chunks the pool will hold.
     pub fn pool_chunks(&self) -> usize {
         self.pool_size / self.chunk_size.max(1)
@@ -482,6 +546,17 @@ impl CrfsConfig {
                 "write_align must be a power of two (got {})",
                 self.write_align
             )));
+        }
+        if self.tier_watermark_lo > self.tier_watermark_hi {
+            return Err(CrfsError::Config(format!(
+                "tier_watermark_lo ({}) must not exceed tier_watermark_hi ({})",
+                self.tier_watermark_lo, self.tier_watermark_hi
+            )));
+        }
+        if self.tier_drain_window == 0 {
+            return Err(CrfsError::Config(
+                "tier_drain_window must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -647,6 +722,35 @@ mod tests {
         assert_eq!(c.flight_capacity, 256);
         assert_eq!(c.flight_dump.as_deref(), Some("/tmp/flight.jsonl"));
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn tier_knobs_default_validate_and_resolve() {
+        let c = CrfsConfig::default();
+        assert_eq!(c.tier_watermark_hi, 256 << 20);
+        assert_eq!(c.tier_watermark_lo, 64 << 20);
+        assert_eq!(c.tier_drain_window, 8);
+        assert!(c.tier_promote_reads);
+        assert!(!c.tier_evict);
+        let c = c
+            .with_tier_watermarks(1 << 20, 8 << 20)
+            .with_tier_drain_window(4)
+            .with_tier_promote_reads(false)
+            .with_tier_evict(true);
+        c.validate().unwrap();
+        let p = c.tiered_params();
+        assert_eq!(p.watermark_lo, 1 << 20);
+        assert_eq!(p.watermark_hi, 8 << 20);
+        assert_eq!(p.drain_window, 4);
+        assert!(!p.promote_reads);
+        assert!(p.evict_on_barrier);
+        // Inverted watermarks and a zero window are rejected.
+        assert!(c
+            .clone()
+            .with_tier_watermarks(8 << 20, 1 << 20)
+            .validate()
+            .is_err());
+        assert!(c.with_tier_drain_window(0).validate().is_err());
     }
 
     #[test]

@@ -156,6 +156,9 @@ impl Crfs {
         if let Some(path) = &config.flight_dump {
             stats.flight.set_dump_path(Some(path.clone()));
         }
+        // Layers below the engine (tier drains, promotions) record into
+        // the same stats block as the filesystem itself.
+        backend.attach_stats(&stats);
         let engine = crate::engine::build(&config, Arc::clone(&pool), Arc::clone(&stats))?;
         let table = FileTable::new(config.resolved_table_shards(), Arc::clone(&stats));
         let submit_batch = config.resolved_submit_batch();
@@ -223,15 +226,24 @@ impl Crfs {
     /// dedup.
     pub fn advance_epoch(&self) -> Result<usize> {
         self.check_mounted()?;
-        let Some(ctx) = self.shared.transform.as_ref() else {
-            return Ok(0);
-        };
-        if ctx.snapshots().is_some() {
-            for e in self.shared.table.entries() {
-                self.flush_entry(&e)?;
+        let evicted = match self.shared.transform.as_ref() {
+            Some(ctx) => {
+                if ctx.snapshots().is_some() {
+                    for e in self.shared.table.entries() {
+                        self.flush_entry(&e)?;
+                    }
+                }
+                ctx.advance_epoch().map_err(CrfsError::Io)?
             }
-        }
-        ctx.advance_epoch().map_err(CrfsError::Io)
+            None => 0,
+        };
+        // Epoch durability gate (DESIGN.md §9): on a tiered backend the
+        // manifest seal above only acknowledged fast-tier placement.
+        // The epoch counts as durable once this barrier confirms the
+        // manifest and every frame it references reached the durable
+        // tier; single-tier backends return immediately.
+        self.shared.backend.drain_barrier().map_err(CrfsError::Io)?;
+        Ok(evicted)
     }
 
     /// Runs one snapshot mark-and-sweep GC pass, reclaiming

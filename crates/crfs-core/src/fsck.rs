@@ -117,6 +117,14 @@ pub struct DamageCounts {
     /// short to hold the recorded frame. Not repairable: the sealed
     /// epoch has lost bytes (reported so a restart is not attempted).
     pub dangling_manifest_refs: u64,
+    /// Tiered stacks only ([`run_tiered`]): files the fast tier holds
+    /// that the durable tier is missing entirely or holds short — the
+    /// crash-during-drain shape. `--repair` re-drains the fast copy.
+    pub tier_stranded: u64,
+    /// Tiered stacks only: files present in both tiers whose bytes
+    /// differ. The fast tier is authoritative (acknowledgement happened
+    /// there); `--repair` re-drains it over the durable copy.
+    pub tier_diverged: u64,
 }
 
 impl DamageCounts {
@@ -133,6 +141,8 @@ impl DamageCounts {
             + self.orphaned_refs
             + self.orphaned_chunks
             + self.dangling_manifest_refs
+            + self.tier_stranded
+            + self.tier_diverged
     }
 
     fn add(&mut self, other: &DamageCounts) {
@@ -142,6 +152,8 @@ impl DamageCounts {
         self.orphaned_refs += other.orphaned_refs;
         self.orphaned_chunks += other.orphaned_chunks;
         self.dangling_manifest_refs += other.dangling_manifest_refs;
+        self.tier_stranded += other.tier_stranded;
+        self.tier_diverged += other.tier_diverged;
     }
 }
 
@@ -224,6 +236,8 @@ impl DamageCounts {
             "orphaned_refs": self.orphaned_refs,
             "orphaned_chunks": self.orphaned_chunks,
             "dangling_manifest_refs": self.dangling_manifest_refs,
+            "tier_stranded": self.tier_stranded,
+            "tier_diverged": self.tier_diverged,
         })
     }
 }
@@ -323,6 +337,178 @@ pub fn run(backend: &Arc<dyn Backend>, roots: &[String], opts: &FsckOptions) -> 
     summary.reports.sort_by(|a, b| a.path.cmp(&b.path));
     summary.elapsed = t0.elapsed();
     summary
+}
+
+/// Checks a two-tier stack (see [`crate::backend::TieredBackend`]):
+/// the structural sweep of [`run`] over the *union* view (fast bytes
+/// win, as they do for the mount's reads), followed by a
+/// tier-consistency pass comparing every fast-tier file against its
+/// durable copy. A file the durable tier is missing or holds short is
+/// **stranded** (the crash-during-drain shape: acknowledged fast, never
+/// fully drained); matching lengths with differing bytes is
+/// **diverged**. Both re-drain under `opts.repair` — the fast tier is
+/// authoritative, since acknowledgement happened there. Files only the
+/// durable tier holds are legitimate (evicted after a full drain) and
+/// are checked structurally but not flagged.
+pub fn run_tiered(
+    fast: &Arc<dyn Backend>,
+    durable: &Arc<dyn Backend>,
+    roots: &[String],
+    opts: &FsckOptions,
+) -> FsckSummary {
+    let t0 = Instant::now();
+    let union: Arc<dyn Backend> = Arc::new(crate::backend::TieredBackend::new(
+        Arc::clone(fast),
+        Arc::clone(durable),
+        crate::backend::TieredParams {
+            promote_reads: false,
+            evict_on_barrier: false,
+            ..Default::default()
+        },
+    ));
+    let mut summary = run(&union, roots, opts);
+    if opts.repair {
+        // Structural repairs (torn-tail truncation, orphan unlinks) went
+        // through the union view; make sure none of them is still in the
+        // drain queue before comparing tiers.
+        let _ = union.drain_barrier();
+    }
+    check_tier_consistency(fast, durable, roots, opts, &mut summary);
+    summary.reports.sort_by(|a, b| a.path.cmp(&b.path));
+    summary.elapsed = t0.elapsed();
+    summary
+}
+
+/// The tier-consistency pass of [`run_tiered`]: walks every fast-tier
+/// file under `roots` and compares it byte-for-byte against the durable
+/// tier.
+fn check_tier_consistency(
+    fast: &Arc<dyn Backend>,
+    durable: &Arc<dyn Backend>,
+    roots: &[String],
+    opts: &FsckOptions,
+    summary: &mut FsckSummary,
+) {
+    let mut stack: Vec<String> = roots.to_vec();
+    while let Some(path) = stack.pop() {
+        match fast.list_dir(&path) {
+            Ok(names) => {
+                for name in names {
+                    stack.push(if path == "/" {
+                        format!("/{name}")
+                    } else {
+                        format!("{path}/{name}")
+                    });
+                }
+            }
+            Err(_) => compare_tier_file(fast, durable, &path, opts, summary),
+        }
+    }
+}
+
+fn compare_tier_file(
+    fast: &Arc<dyn Backend>,
+    durable: &Arc<dyn Backend>,
+    path: &str,
+    opts: &FsckOptions,
+    summary: &mut FsckSummary,
+) {
+    let Ok(fast_len) = fast.file_len(path) else {
+        return; // raced an unlink; nothing to compare
+    };
+    let mut damage = DamageCounts::default();
+    match durable.file_len(path) {
+        Err(_) => damage.tier_stranded = 1,
+        Ok(durable_len) if durable_len != fast_len => damage.tier_stranded = 1,
+        Ok(_) => {
+            match tier_bytes_equal(fast, durable, path, fast_len) {
+                Ok(true) => {}
+                Ok(false) => damage.tier_diverged = 1,
+                Err(_) => damage.tier_stranded = 1,
+            };
+        }
+    }
+    if damage.is_clean() {
+        return;
+    }
+    summary.damage.add(&damage);
+    let mut repaired = false;
+    let mut error = None;
+    if opts.repair {
+        match redrain(fast, durable, path) {
+            Ok(()) => repaired = true,
+            Err(e) => error = Some(format!("re-drain failed: {e}")),
+        }
+    }
+    if repaired {
+        summary.repaired_files += 1;
+    }
+    summary.reports.push(FileReport {
+        path: path.to_string(),
+        kind: FileKind::Raw,
+        frames: 0,
+        damage,
+        torn_bytes: 0,
+        repaired,
+        error,
+    });
+}
+
+fn tier_bytes_equal(
+    fast: &Arc<dyn Backend>,
+    durable: &Arc<dyn Backend>,
+    path: &str,
+    len: u64,
+) -> io::Result<bool> {
+    let ff = fast.open(path, OpenOptions::read_only())?;
+    let df = durable.open(path, OpenOptions::read_only())?;
+    let mut fb = vec![0u8; 1 << 20];
+    let mut db = vec![0u8; 1 << 20];
+    let mut off = 0u64;
+    while off < len {
+        let want = fb.len().min((len - off) as usize);
+        read_exact_at(&*ff, off, &mut fb[..want])?;
+        read_exact_at(&*df, off, &mut db[..want])?;
+        if fb[..want] != db[..want] {
+            return Ok(false);
+        }
+        off += want as u64;
+    }
+    Ok(true)
+}
+
+/// Re-drains one fast-tier file over its durable copy: parent dirs,
+/// whole-file copy, sync — the offline analogue of the drain pump.
+fn redrain(fast: &Arc<dyn Backend>, durable: &Arc<dyn Backend>, path: &str) -> io::Result<()> {
+    // Ensure the durable parent chain exists (a crash can strand a file
+    // whose directory never drained either).
+    let mut prefix = String::new();
+    for comp in crate::backend::parent_of(path)
+        .split('/')
+        .filter(|c| !c.is_empty())
+    {
+        prefix = format!("{prefix}/{comp}");
+        if durable.exists(&prefix) {
+            continue;
+        }
+        match durable.mkdir(&prefix) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let src = fast.open(path, OpenOptions::read_only())?;
+    let dst = durable.open(path, OpenOptions::create_truncate())?;
+    let len = src.len()?;
+    let mut buf = vec![0u8; 1 << 20];
+    let mut off = 0u64;
+    while off < len {
+        let want = buf.len().min((len - off) as usize);
+        read_exact_at(&*src, off, &mut buf[..want])?;
+        dst.write_at(off, &buf[..want])?;
+        off += want as u64;
+    }
+    dst.sync()
 }
 
 fn merge(into: &mut FsckSummary, from: FsckSummary) {
@@ -896,14 +1082,16 @@ impl std::fmt::Display for FsckSummary {
         writeln!(
             f,
             "damage: {} torn tails, {} bad header CRCs, {} bad payload checksums, \
-             {} orphaned dedup refs, {} orphaned chunks, {} dangling manifest refs; \
-             {} files repaired",
+             {} orphaned dedup refs, {} orphaned chunks, {} dangling manifest refs, \
+             {} tier-stranded, {} tier-diverged; {} files repaired",
             self.damage.torn_tails,
             self.damage.bad_header_crc,
             self.damage.bad_payload_checksum,
             self.damage.orphaned_refs,
             self.damage.orphaned_chunks,
             self.damage.dangling_manifest_refs,
+            self.damage.tier_stranded,
+            self.damage.tier_diverged,
             self.repaired_files
         )?;
         for (i, r) in self.reports.iter().enumerate() {
@@ -913,7 +1101,7 @@ impl std::fmt::Display for FsckSummary {
             write!(
                 f,
                 "  {} [{:?}] frames={} torn={} crc={} checksum={} orphans={} \
-                 chunks={} dangling={} torn_bytes={}{}{}",
+                 chunks={} dangling={} stranded={} diverged={} torn_bytes={}{}{}",
                 r.path,
                 r.kind,
                 r.frames,
@@ -923,6 +1111,8 @@ impl std::fmt::Display for FsckSummary {
                 r.damage.orphaned_refs,
                 r.damage.orphaned_chunks,
                 r.damage.dangling_manifest_refs,
+                r.damage.tier_stranded,
+                r.damage.tier_diverged,
                 r.torn_bytes,
                 if r.repaired { " REPAIRED" } else { "" },
                 match &r.error {
@@ -1157,6 +1347,137 @@ mod tests {
         assert_eq!(serial.damage, parallel.damage);
         assert_eq!(serial.reports.len(), parallel.reports.len());
         assert_eq!(serial.damage.torn_tails, 2);
+    }
+
+    // -- tier consistency ---------------------------------------------
+
+    use crate::backend::{TieredBackend, TieredParams};
+
+    /// A tiered stack with checkpoints written and drained, then a
+    /// stranded suffix: one extra epoch of writes whose drain never
+    /// reached the durable tier (simulated by dropping the durable
+    /// copy's tail after the fact).
+    fn populate_tiered() -> (Arc<dyn Backend>, Arc<dyn Backend>) {
+        let fast: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let durable: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let tiered: Arc<dyn Backend> = Arc::new(TieredBackend::new(
+            Arc::clone(&fast),
+            Arc::clone(&durable),
+            TieredParams::default(),
+        ));
+        let fs = Crfs::mount(
+            tiered,
+            CrfsConfig::default()
+                .with_chunk_size(4096)
+                .with_pool_size(64 * 1024)
+                .with_codec(CodecKind::Lz),
+        )
+        .unwrap();
+        fs.mkdir("/ckpt").unwrap();
+        for i in 0..3 {
+            let f = fs.create(&format!("/ckpt/rank{i}.img")).unwrap();
+            let data: Vec<u8> = (0..20_000).map(|b| ((b / 64) ^ i) as u8).collect();
+            f.write(&data).unwrap();
+            f.close().unwrap();
+        }
+        fs.advance_epoch().unwrap(); // drain barrier: both tiers agree
+        fs.unmount().unwrap();
+        (fast, durable)
+    }
+
+    #[test]
+    fn tier_pass_is_clean_after_a_barrier() {
+        let (fast, durable) = populate_tiered();
+        let sum = run_tiered(&fast, &durable, &["/".to_string()], &opts(2));
+        assert!(sum.is_clean(), "{sum}");
+        assert_eq!(sum.damage.tier_stranded, 0);
+        assert_eq!(sum.damage.tier_diverged, 0);
+        assert_eq!(sum.frame_logs, 3);
+    }
+
+    #[test]
+    fn stranded_file_is_detected_and_redrained() {
+        let (fast, durable) = populate_tiered();
+        // Crash-during-drain shape: the durable copy of one file lost
+        // its tail, another never arrived at all.
+        let victim = "/ckpt/rank1.img";
+        let dlen = durable.file_len(victim).unwrap();
+        let f = durable.open(victim, OpenOptions::read_write()).unwrap();
+        f.set_len(dlen - 100).unwrap();
+        drop(f);
+        durable.unlink("/ckpt/rank2.img").unwrap();
+
+        let dry = run_tiered(&fast, &durable, &["/".to_string()], &opts(1));
+        assert_eq!(dry.damage.tier_stranded, 2, "{dry}");
+        assert!(!dry.is_clean());
+        assert!(
+            durable.file_len("/ckpt/rank2.img").is_err(),
+            "dry run must not re-drain"
+        );
+
+        let fixed = run_tiered(
+            &fast,
+            &durable,
+            &["/".to_string()],
+            &FsckOptions {
+                repair: true,
+                ..opts(1)
+            },
+        );
+        assert_eq!(fixed.damage.tier_stranded, 2);
+        assert_eq!(fixed.repaired_files, 2);
+        assert!(fixed.is_clean(), "{fixed}");
+        // Both tiers now agree byte-for-byte.
+        let after = run_tiered(&fast, &durable, &["/".to_string()], &opts(1));
+        assert!(after.damage.is_clean(), "{after}");
+        assert_eq!(
+            durable.file_len(victim).unwrap(),
+            fast.file_len(victim).unwrap()
+        );
+    }
+
+    #[test]
+    fn diverged_file_is_detected_and_fast_wins() {
+        let (fast, durable) = populate_tiered();
+        let victim = "/ckpt/rank0.img";
+        // Same length, different bytes: flip one durable byte.
+        let f = durable.open(victim, OpenOptions::read_write()).unwrap();
+        let mut b = [0u8; 1];
+        f.read_at(40, &mut b).unwrap();
+        f.write_at(40, &[b[0] ^ 0xFF]).unwrap();
+        drop(f);
+
+        let dry = run_tiered(&fast, &durable, &["/".to_string()], &opts(1));
+        assert_eq!(dry.damage.tier_diverged, 1, "{dry}");
+
+        let fixed = run_tiered(
+            &fast,
+            &durable,
+            &["/".to_string()],
+            &FsckOptions {
+                repair: true,
+                ..opts(1)
+            },
+        );
+        assert!(fixed.is_clean(), "{fixed}");
+        let mut fb = [0u8; 1];
+        let df = durable.open(victim, OpenOptions::read_only()).unwrap();
+        df.read_at(40, &mut fb).unwrap();
+        assert_eq!(fb, b, "fast tier's byte won");
+    }
+
+    #[test]
+    fn durable_only_files_are_not_flagged() {
+        let (fast, durable) = populate_tiered();
+        // Evicted shape: fast lost a fully-drained file.
+        fast.unlink("/ckpt/rank0.img").unwrap();
+        let sum = run_tiered(&fast, &durable, &["/".to_string()], &opts(1));
+        assert!(sum.is_clean(), "{sum}");
+        assert_eq!(sum.damage.tier_stranded, 0);
+        assert_eq!(
+            sum.frame_logs, 3,
+            "the union sweep still checks the durable-only file"
+        );
     }
 
     // -- snapshot store checks ----------------------------------------

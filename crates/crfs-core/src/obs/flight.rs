@@ -72,6 +72,14 @@ pub enum EventKind {
     GcFree = 10,
     /// An epoch manifest was sealed (`a` = epoch, `b` = files).
     ManifestSealed = 11,
+    /// The tiered backend drained one fast-tier write to the durable
+    /// tier (`a` = offset, `b` = len). A failed drain copy records a
+    /// [`WriteFailed`](EventKind::WriteFailed) instead.
+    DrainCopy = 12,
+    /// The tiered backend promoted a whole file from the durable tier
+    /// back into the fast tier on a read miss (`a` = bytes copied,
+    /// `b` = 0).
+    TierPromote = 13,
 }
 
 impl EventKind {
@@ -89,6 +97,8 @@ impl EventKind {
             EventKind::GcMark => "gc_mark",
             EventKind::GcFree => "gc_free",
             EventKind::ManifestSealed => "manifest_sealed",
+            EventKind::DrainCopy => "drain_copy",
+            EventKind::TierPromote => "tier_promote",
         }
     }
 
@@ -100,12 +110,14 @@ impl EventKind {
             | EventKind::Issued
             | EventKind::Completed
             | EventKind::Refused
-            | EventKind::WriteFailed => ("offset", "len"),
+            | EventKind::WriteFailed
+            | EventKind::DrainCopy => ("offset", "len"),
             EventKind::IntegrityError => ("offset", "aux"),
             EventKind::CrashTrip => ("clean_end", "discarded"),
             EventKind::GcMark => ("marked", "aux"),
             EventKind::GcFree => ("hash", "bytes"),
             EventKind::ManifestSealed => ("epoch", "files"),
+            EventKind::TierPromote => ("bytes", "aux"),
         }
     }
 
@@ -122,6 +134,8 @@ impl EventKind {
             9 => EventKind::GcMark,
             10 => EventKind::GcFree,
             11 => EventKind::ManifestSealed,
+            12 => EventKind::DrainCopy,
+            13 => EventKind::TierPromote,
             _ => return None,
         })
     }

@@ -160,8 +160,9 @@ pub struct CrfsStats {
 
 impl CrfsStats {
     /// Creates zeroed counters. Stage histograms and the flight
-    /// recorder exist but start disabled — [`Crfs::mount`]
-    /// (crate::Crfs::mount) enables them per `CrfsConfig::obs` via
+    /// recorder exist but start disabled —
+    /// [`Crfs::mount`](crate::Crfs::mount) enables them per
+    /// `CrfsConfig::obs` via
     /// [`configure_obs`](Self::configure_obs).
     pub fn new() -> Self {
         Self::default()
