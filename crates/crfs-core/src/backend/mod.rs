@@ -33,6 +33,7 @@ pub use local::LocalFileBackend;
 pub use mem::MemBackend;
 pub use passthrough::PassthroughBackend;
 pub use throttled::{ThrottleParams, ThrottledBackend};
+pub(crate) use tiered::is_promote_tmp;
 pub use tiered::{TierCounters, TieredBackend, TieredParams};
 
 use std::io;

@@ -24,7 +24,10 @@
 //!   `watermark_hi` the backend degrades to write-through — writes go
 //!   to both tiers synchronously and ack at durable-tier speed — until
 //!   the drain catches back down to `watermark_lo`. Full fast tiers
-//!   slow down; they never block indefinitely.
+//!   slow down; they never block indefinitely. A write-through write
+//!   waits out in-flight drain copies overlapping its range before its
+//!   direct durable write, so a backed-up copy of older bytes can
+//!   never land after it.
 //! - **Durability contract**: acknowledgement means *fast-tier* placement
 //!   only. Data is durable once a [`drain_barrier`](Backend::drain_barrier)
 //!   after it returns `Ok`: the barrier drains the queue, syncs every
@@ -156,6 +159,23 @@ struct DrainOp {
 
 fn overlaps(a_off: u64, a_len: u64, b_off: u64, b_len: u64) -> bool {
     a_off < b_off + b_len && b_off < a_off + a_len
+}
+
+/// Suffix marker of in-progress promotion staging files. They live in
+/// the fast-tier namespace next to their target (`{target}.promote-N`)
+/// but never hold user-visible data: `TieredBackend::list_dir` hides
+/// them, and the `crfs-fsck` tier pass sweeps leftovers from a crash
+/// mid-promotion instead of flagging them stranded and re-draining the
+/// partial copy.
+pub(crate) const PROMOTE_TMP_MARKER: &str = ".promote-";
+
+/// True for `{target}.promote-N` staging names (path or basename); see
+/// [`PROMOTE_TMP_MARKER`].
+pub(crate) fn is_promote_tmp(name: &str) -> bool {
+    name.rfind(PROMOTE_TMP_MARKER).is_some_and(|i| {
+        let digits = &name[i + PROMOTE_TMP_MARKER.len()..];
+        !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+    })
 }
 
 #[derive(Default)]
@@ -304,20 +324,29 @@ impl Shared {
         }
     }
 
-    /// Reads the op's current fast-tier bytes; `None` means the source
-    /// vanished (unlinked or truncated since the ack) and the op should
-    /// be dropped.
-    fn read_fast(&self, op: &DrainOp) -> Option<Vec<u8>> {
-        let f = self.fast.open(&op.path, OpenOptions::read_only()).ok()?;
+    /// Reads the op's current fast-tier bytes. `Ok(None)` means the
+    /// source genuinely vanished (unlinked, or truncated below the
+    /// range, since the ack) and the op should be dropped. Any other
+    /// IO error is *not* a vanished source: it propagates as `Err` so
+    /// the copy counts as failed and the next barrier reports the loss
+    /// instead of silently claiming durability.
+    fn read_fast(&self, op: &DrainOp) -> io::Result<Option<Vec<u8>>> {
+        let f = match self.fast.open(&op.path, OpenOptions::read_only()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
         let mut buf = vec![0u8; op.len as usize];
         let mut got = 0usize;
         while got < buf.len() {
             match f.read_at(op.offset + got as u64, &mut buf[got..]) {
-                Ok(0) | Err(_) => return None,
+                Ok(0) => return Ok(None), // truncated under the op
                 Ok(n) => got += n,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+                Err(e) => return Err(e),
             }
         }
-        Some(buf)
+        Ok(Some(buf))
     }
 
     fn open_durable(&self, path: &str) -> io::Result<Box<dyn BackendFile>> {
@@ -334,9 +363,16 @@ impl Shared {
 
     fn issue(self: &Arc<Self>, op: DrainOp) {
         let t0 = self.stage_timer();
-        let Some(data) = self.read_fast(&op) else {
-            self.complete_op(&op.path, op.offset, op.len, t0, Outcome::Dropped);
-            return;
+        let data = match self.read_fast(&op) {
+            Ok(Some(data)) => data,
+            Ok(None) => {
+                self.complete_op(&op.path, op.offset, op.len, t0, Outcome::Dropped);
+                return;
+            }
+            Err(_) => {
+                self.complete_op(&op.path, op.offset, op.len, t0, Outcome::Failed);
+                return;
+            }
         };
         let dfile = match self.open_durable(&op.path) {
             Ok(f) => f,
@@ -530,6 +566,64 @@ impl Shared {
         }
     }
 
+    /// Waits out in-flight drain copies overlapping `[offset,
+    /// offset+len)` on `path`. The write-through path calls this after
+    /// its fast write and before its direct durable write: an in-flight
+    /// copy read its bytes *before* this write and could otherwise land
+    /// on the durable tier after the newer direct write, leaving it
+    /// stale past a successful barrier. Queued-but-unissued ops are
+    /// safe — they re-read the fast tier (which already holds the new
+    /// bytes) at issue time.
+    fn wait_range(self: &Arc<Self>, path: &str, offset: u64, len: u64) {
+        let mut q = self.queue.lock();
+        while q
+            .inflight
+            .get(path)
+            .is_some_and(|rs| rs.iter().any(|&(o, l)| overlaps(o, l, offset, len)))
+        {
+            self.cv.wait_for(&mut q, Duration::from_millis(20));
+        }
+    }
+
+    /// Prepares the drain queue for a resize of `path` to `new_len`:
+    /// waits out in-flight copies (a late completion could extend the
+    /// durable file past the new length), then *clamps* queued ops to
+    /// `[0, new_len)` instead of purging them — acknowledged bytes that
+    /// survive the resize still have to reach the durable tier, or the
+    /// next barrier would claim durability for data it dropped.
+    fn truncate_path(self: &Arc<Self>, path: &str, new_len: u64) {
+        let mut q = self.queue.lock();
+        while q.path_in_flight(path) {
+            self.cv.wait_for(&mut q, Duration::from_millis(20));
+        }
+        let mut cut = 0u64;
+        let mut dropped_ops = 0u64;
+        q.ops.retain_mut(|op| {
+            if op.path != path {
+                return true;
+            }
+            if op.offset >= new_len {
+                cut += op.len;
+                dropped_ops += 1;
+                return false;
+            }
+            if op.offset + op.len > new_len {
+                cut += op.offset + op.len - new_len;
+                op.len = new_len - op.offset;
+            }
+            true
+        });
+        drop(q);
+        if cut > 0 {
+            let now = self.resident.fetch_sub(cut, Relaxed) - cut;
+            self.c.drain_dropped.fetch_add(dropped_ops, Relaxed);
+            if now <= self.params.watermark_lo && self.write_through.load(Relaxed) {
+                self.write_through.store(false, Relaxed);
+            }
+            self.cv.notify_all();
+        }
+    }
+
     fn register_writer(&self, path: &str) {
         *self.writers.lock().entry(path.to_string()).or_insert(0) += 1;
     }
@@ -691,7 +785,10 @@ impl TieredBackend {
         // path absent or complete, never a half-promoted prefix, and
         // racing promoters each publish a whole file (last one wins).
         static PROMOTE_NONCE: AtomicU64 = AtomicU64::new(0);
-        let tmp = format!("{path}.promote-{}", PROMOTE_NONCE.fetch_add(1, Relaxed));
+        let tmp = format!(
+            "{path}{PROMOTE_TMP_MARKER}{}",
+            PROMOTE_NONCE.fetch_add(1, Relaxed)
+        );
         let copy = || -> io::Result<()> {
             let dst = self
                 .shared
@@ -750,6 +847,13 @@ impl Backend for TieredBackend {
                     .open(&path, OpenOptions::create_truncate())?;
                 drop(f);
                 self.shared.dirty.lock().insert(path.clone());
+            } else if !self.shared.fast.exists(&path) && self.shared.durable.exists(&path) {
+                // The fast copy was evicted (or lost) but the file
+                // exists durable: a non-truncating write open must see
+                // those contents. Without promotion, create=false would
+                // fail NotFound and create=true would shadow the
+                // durable copy with a fresh empty fast file.
+                self.promote(&path)?;
             }
             let fast = self.shared.fast.open(&path, opts)?;
             self.shared.register_writer(&path);
@@ -897,9 +1001,16 @@ impl Backend for TieredBackend {
                 f.extend(d);
                 f.sort();
                 f.dedup();
+                // Promotion staging files are backend-internal; a crash
+                // mid-promotion may leave one behind, but it is never
+                // part of the user-visible namespace.
+                f.retain(|n| !is_promote_tmp(n));
                 Ok(f)
             }
-            (Ok(f), Err(_)) => Ok(f),
+            (Ok(mut f), Err(_)) => {
+                f.retain(|n| !is_promote_tmp(n));
+                Ok(f)
+            }
             (Err(_), Ok(d)) => Ok(d),
             (Err(e), Err(_)) => Err(e),
         }
@@ -959,9 +1070,15 @@ impl BackendFile for TieredFile {
             // Degraded: the drain is behind the high watermark. Write
             // both tiers synchronously — the fast mirror stays complete
             // for readers, and the ack waits for durable placement, so
-            // resident bytes stop growing.
+            // resident bytes stop growing. Drains are by definition
+            // backed up here, so an earlier op overlapping this range
+            // may be mid-copy with older bytes: wait it out after the
+            // fast write, or it could land on the durable tier *after*
+            // the direct write below and leave it stale.
             self.shared.c.write_through_ops.fetch_add(1, Relaxed);
             fast.write_at(offset, data)?;
+            self.shared
+                .wait_range(&self.path, offset, data.len() as u64);
             self.with_durable(|d| d.write_at(offset, data))?;
             self.shared.dirty.lock().insert(self.path.clone());
             Ok(())
@@ -1025,14 +1142,18 @@ impl BackendFile for TieredFile {
 
     fn set_len(&self, len: u64) -> io::Result<()> {
         let fast = self.fast_handle()?;
-        // Same discipline as truncate-on-open: no in-flight copy may
-        // race the shrink, and a stale durable tail must not outlive it.
-        self.shared.flush_path(&self.path);
+        // No in-flight copy may race the resize, and a stale durable
+        // tail must not outlive it — but unlike truncate-on-open,
+        // queued drains of acked bytes below the new length survive
+        // (clamped), so the next barrier still delivers them.
+        self.shared.truncate_path(&self.path, len);
         fast.set_len(len)?;
-        if self.shared.durable.exists(&self.path) {
-            self.with_durable(|d| d.set_len(len))?;
-            self.shared.dirty.lock().insert(self.path.clone());
-        }
+        // Mirror the resize unconditionally (creating the durable file
+        // if no drain has reached it yet): a grown file's zero tail is
+        // never written, so only set_len can make the durable length
+        // match what a durable-only restart expects.
+        self.with_durable(|d| d.set_len(len))?;
+        self.shared.dirty.lock().insert(self.path.clone());
         Ok(())
     }
 }
@@ -1315,5 +1436,168 @@ mod tests {
         be.drain_barrier().unwrap();
         assert_eq!(fast.contents("/s").unwrap(), b"0123");
         assert_eq!(durable.contents("/s").unwrap(), b"0123");
+    }
+
+    #[test]
+    fn set_len_preserves_queued_drains_of_surviving_bytes() {
+        let (be, fast, durable) = tiered(TieredParams::default());
+        let f = be.open("/sl", OpenOptions::create_truncate()).unwrap();
+        // Stall the pump so the write is still queued when set_len runs.
+        be.shared.pumping.store(true, Relaxed);
+        f.write_at(0, b"0123456789").unwrap();
+        f.set_len(4).unwrap();
+        be.shared.pumping.store(false, Relaxed);
+        drop(f);
+        be.drain_barrier().unwrap();
+        // The acked prefix below the new length still reached durable.
+        assert_eq!(fast.contents("/sl").unwrap(), b"0123");
+        assert_eq!(durable.contents("/sl").unwrap(), b"0123");
+
+        // Growing: the queued drain survives whole, and the durable
+        // length matches even though the zero tail is never written.
+        let f = be.open("/gr", OpenOptions::create_truncate()).unwrap();
+        be.shared.pumping.store(true, Relaxed);
+        f.write_at(0, b"abcdef").unwrap();
+        f.set_len(9).unwrap();
+        be.shared.pumping.store(false, Relaxed);
+        drop(f);
+        be.drain_barrier().unwrap();
+        assert_eq!(fast.contents("/gr").unwrap(), b"abcdef\0\0\0");
+        assert_eq!(durable.contents("/gr").unwrap(), b"abcdef\0\0\0");
+    }
+
+    #[test]
+    fn write_through_waits_out_inflight_overlapping_drain() {
+        let (be, _fast, durable) = tiered(TieredParams::default());
+        let f = be.open("/wt", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, b"stale").unwrap();
+        be.drain_barrier().unwrap();
+        // Hand-install an in-flight drain op that has already read the
+        // "stale" bytes — the state the pump is in when the queue backs
+        // up and write-through engages.
+        be.shared.resident.fetch_add(5, Relaxed);
+        {
+            let mut q = be.shared.queue.lock();
+            q.inflight
+                .entry("/wt".to_string())
+                .or_default()
+                .push((0, 5));
+            q.inflight_total += 1;
+        }
+        be.shared.write_through.store(true, Relaxed);
+        let shared = Arc::clone(&be.shared);
+        let late = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            // The stale copy lands on the durable tier only now...
+            let d = shared.open_durable("/wt").unwrap();
+            d.write_at(0, b"stale").unwrap();
+            // ...and then the op retires, releasing the writer.
+            shared.complete_op("/wt", 0, 5, None, Outcome::Copied);
+        });
+        // Must block until the stale in-flight copy fully completed,
+        // then land the newer bytes strictly after it.
+        f.write_at(0, b"newer").unwrap();
+        late.join().unwrap();
+        assert_eq!(
+            durable.contents("/wt").unwrap(),
+            b"newer",
+            "write-through bytes must not be overwritten by an older in-flight drain"
+        );
+        be.shared.write_through.store(false, Relaxed);
+        be.drain_barrier().unwrap();
+        assert_eq!(durable.contents("/wt").unwrap(), b"newer");
+    }
+
+    #[test]
+    fn fast_tier_read_error_fails_barrier_instead_of_dropping() {
+        let (fast_mem, durable) = mems();
+        let faulty_fast = Arc::new(FaultyBackend::new(
+            Arc::clone(&fast_mem) as Arc<dyn Backend>,
+            FailureMode::None,
+        ));
+        let be = TieredBackend::new(
+            Arc::clone(&faulty_fast) as Arc<dyn Backend>,
+            Arc::clone(&durable) as Arc<dyn Backend>,
+            TieredParams::default(),
+        );
+        let f = be.open("/r", OpenOptions::create_truncate()).unwrap();
+        // Stall the pump so the drain re-read happens only after the
+        // fast tier starts failing.
+        be.shared.pumping.store(true, Relaxed);
+        f.write_at(0, b"acked").unwrap();
+        faulty_fast.set_mode(FailureMode::FailOpen);
+        be.shared.pumping.store(false, Relaxed);
+        let err = be
+            .drain_barrier()
+            .expect_err("a failed fast-tier re-read is a lost copy, not a vanished source");
+        assert!(err.to_string().contains("re-drain"), "{err}");
+        let c = be.tier_counters();
+        assert!(c.drain_failed >= 1);
+        assert_eq!(c.drain_dropped, 0, "must not be miscounted as dropped");
+        assert!(!durable.exists("/r"));
+    }
+
+    #[test]
+    fn write_open_promotes_evicted_durable_copy() {
+        let (be, fast, durable) = tiered(TieredParams {
+            evict_on_barrier: true,
+            ..TieredParams::default()
+        });
+        let f = be.open("/w", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, b"payload").unwrap();
+        drop(f);
+        be.drain_barrier().unwrap();
+        assert!(!fast.exists("/w"), "evicted");
+        // Reopen read_write (create=false): must promote, not NotFound.
+        let f = be.open("/w", OpenOptions::read_write()).unwrap();
+        assert_eq!(f.len().unwrap(), 7);
+        let mut buf = [0u8; 7];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 7);
+        assert_eq!(&buf, b"payload");
+        f.write_at(7, b"+more").unwrap();
+        drop(f);
+        be.drain_barrier().unwrap();
+        assert_eq!(durable.contents("/w").unwrap(), b"payload+more");
+        assert!(!fast.exists("/w"), "evicted again");
+        // Reopen create=true, truncate=false (the snapshot store_chunk
+        // shape): must see the durable bytes, not an empty shadow.
+        let f = be
+            .open(
+                "/w",
+                OpenOptions {
+                    read: true,
+                    write: true,
+                    create: true,
+                    truncate: false,
+                },
+            )
+            .unwrap();
+        assert_eq!(f.len().unwrap(), 12, "no empty fast shadow");
+        let mut buf = [0u8; 12];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 12);
+        assert_eq!(&buf, b"payload+more");
+        drop(f);
+        assert_eq!(be.tier_counters().tier_promotes, 2);
+    }
+
+    #[test]
+    fn promote_staging_names_are_recognized_and_hidden() {
+        assert!(is_promote_tmp("/data.promote-3"));
+        assert!(is_promote_tmp("data.promote-0"));
+        assert!(!is_promote_tmp("/data.promote-"));
+        assert!(!is_promote_tmp("/data.promote-x"));
+        assert!(!is_promote_tmp("/data"));
+        let (be, fast, _durable) = tiered(TieredParams::default());
+        let f = be.open("/data", OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, b"real").unwrap();
+        drop(f);
+        // A crash mid-promotion leaves a staging file in the fast tier;
+        // the user-visible namespace never shows it.
+        let tmp = fast
+            .open("/data.promote-7", OpenOptions::create_truncate())
+            .unwrap();
+        tmp.write_at(0, b"junk").unwrap();
+        drop(tmp);
+        assert_eq!(be.list_dir("/").unwrap(), vec!["data"]);
     }
 }

@@ -401,7 +401,19 @@ fn check_tier_consistency(
                     });
                 }
             }
-            Err(_) => compare_tier_file(fast, durable, &path, opts, summary),
+            Err(_) => {
+                // A crash mid-promotion strands its staging file in the
+                // fast tier. It is backend-internal partial junk, not
+                // user data: never compare (or re-drain) it, and sweep
+                // it under `--repair`.
+                if crate::backend::is_promote_tmp(&path) {
+                    if opts.repair {
+                        let _ = fast.unlink(&path);
+                    }
+                    continue;
+                }
+                compare_tier_file(fast, durable, &path, opts, summary);
+            }
         }
     }
 }
@@ -1464,6 +1476,35 @@ mod tests {
         let df = durable.open(victim, OpenOptions::read_only()).unwrap();
         df.read_at(40, &mut fb).unwrap();
         assert_eq!(fb, b, "fast tier's byte won");
+    }
+
+    #[test]
+    fn promotion_staging_files_are_skipped_and_swept() {
+        let (fast, durable) = populate_tiered();
+        // Crash mid-promotion: a partial staging copy stranded in the
+        // fast tier, with no durable counterpart.
+        let tmp = "/ckpt/rank0.img.promote-4";
+        let f = fast.open(tmp, OpenOptions::create_truncate()).unwrap();
+        f.write_at(0, b"half-promoted junk").unwrap();
+        drop(f);
+
+        let dry = run_tiered(&fast, &durable, &["/".to_string()], &opts(1));
+        assert!(dry.is_clean(), "staging file must not be flagged: {dry}");
+        assert_eq!(dry.damage.tier_stranded, 0);
+        assert!(fast.exists(tmp), "dry run must not sweep");
+
+        let fixed = run_tiered(
+            &fast,
+            &durable,
+            &["/".to_string()],
+            &FsckOptions {
+                repair: true,
+                ..opts(1)
+            },
+        );
+        assert!(fixed.is_clean(), "{fixed}");
+        assert!(!fast.exists(tmp), "repair sweeps the leftover staging file");
+        assert!(!durable.exists(tmp), "the junk was never re-drained");
     }
 
     #[test]
